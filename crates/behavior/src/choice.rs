@@ -1,0 +1,96 @@
+//! The point-estimate discrete-choice interface and the stable softmax.
+
+use cubis_game::SecurityGame;
+
+/// A discrete-choice attacker model: target attractiveness
+/// `F_i(x_i) > 0`, decreasing in coverage.
+///
+/// The primitive is the **log** attractiveness so the attack
+/// distribution (a softmax) can be computed without overflow; models
+/// whose natural form is `exp(·)` (QR, SUQR) return the exponent
+/// directly.
+pub trait ChoiceModel {
+    /// `ln F_i(x_i)` for target `i` of `game` at coverage `x_i`.
+    fn log_attractiveness(&self, game: &SecurityGame, i: usize, x_i: f64) -> f64;
+
+    /// `F_i(x_i)`, clamped to stay positive and finite.
+    fn attractiveness(&self, game: &SecurityGame, i: usize, x_i: f64) -> f64 {
+        crate::clamp_exponent(self.log_attractiveness(game, i, x_i)).exp()
+    }
+}
+
+/// Attack distribution `q` of equation (4) under a point model, computed
+/// with the max-subtraction softmax for numerical stability.
+///
+/// # Panics
+/// Panics if `x.len() != game.num_targets()`.
+pub fn attack_distribution<M: ChoiceModel + ?Sized>(
+    model: &M,
+    game: &SecurityGame,
+    x: &[f64],
+) -> Vec<f64> {
+    let t = game.num_targets();
+    assert_eq!(x.len(), t, "attack_distribution: coverage length mismatch");
+    let logs: Vec<f64> = (0..t).map(|i| model.log_attractiveness(game, i, x[i])).collect();
+    softmax(&logs)
+}
+
+/// Stable softmax over raw logits.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    assert!(!logits.is_empty(), "softmax: empty input");
+    let m = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&l| (l - m).exp()).collect();
+    let z: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / z).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubis_game::TargetPayoffs;
+
+    struct UniformModel;
+    impl ChoiceModel for UniformModel {
+        fn log_attractiveness(&self, _: &SecurityGame, _: usize, _: f64) -> f64 {
+            0.0
+        }
+    }
+
+    fn game(t: usize) -> SecurityGame {
+        SecurityGame::new(
+            (0..t).map(|_| TargetPayoffs::new(5.0, -5.0, 5.0, -5.0)).collect(),
+            1.0,
+        )
+    }
+
+    #[test]
+    fn uniform_model_gives_uniform_attack() {
+        let g = game(4);
+        let q = attack_distribution(&UniformModel, &g, &[0.25; 4]);
+        for qi in &q {
+            assert!((qi - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let q = softmax(&[1.0, 2.0, 3.0]);
+        assert!((q.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(q[0] < q[1] && q[1] < q[2]);
+    }
+
+    #[test]
+    fn softmax_survives_huge_logits() {
+        let q = softmax(&[1000.0, 1001.0]);
+        assert!(q.iter().all(|v| v.is_finite()));
+        assert!((q.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(q[1] > q[0]);
+    }
+
+    #[test]
+    fn attractiveness_is_exp_of_log() {
+        let g = game(2);
+        let m = UniformModel;
+        assert!((m.attractiveness(&g, 0, 0.3) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,162 @@
+//! Closed-interval arithmetic.
+//!
+//! Only the operations the uncertainty models need: addition, scalar
+//! scaling, exact interval products (4-corner min/max), midpoint,
+//! width scaling around the midpoint, and containment.
+
+use serde::{Deserialize, Serialize};
+
+/// A closed interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Construct `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either endpoint is NaN.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(!lo.is_nan() && !hi.is_nan(), "Interval: NaN endpoint");
+        assert!(lo <= hi, "Interval: lo {lo} > hi {hi}");
+        Self { lo, hi }
+    }
+
+    /// The degenerate interval `[v, v]`.
+    pub fn point(v: f64) -> Self {
+        Self::new(v, v)
+    }
+
+    /// Midpoint `(lo + hi)/2`.
+    pub fn mid(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Width `hi − lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// True if `v ∈ [lo, hi]`.
+    pub fn contains(&self, v: f64) -> bool {
+        (self.lo..=self.hi).contains(&v)
+    }
+
+    /// Interval sum.
+    pub fn add(&self, other: Interval) -> Interval {
+        Interval::new(self.lo + other.lo, self.hi + other.hi)
+    }
+
+    /// Scale by a scalar (flips endpoints when negative).
+    pub fn scale(&self, s: f64) -> Interval {
+        if s >= 0.0 {
+            Interval::new(s * self.lo, s * self.hi)
+        } else {
+            Interval::new(s * self.hi, s * self.lo)
+        }
+    }
+
+    /// Exact interval product: min/max over the four endpoint products.
+    pub fn mul(&self, other: Interval) -> Interval {
+        let c = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ];
+        Interval::new(
+            c.iter().cloned().fold(f64::INFINITY, f64::min),
+            c.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        )
+    }
+
+    /// Shrink or grow the interval around its midpoint: width becomes
+    /// `factor ×` the original (0 collapses to the midpoint, 1 is the
+    /// identity).
+    ///
+    /// # Panics
+    /// Panics if `factor < 0`.
+    pub fn scale_width(&self, factor: f64) -> Interval {
+        assert!(factor >= 0.0, "scale_width: negative factor {factor}");
+        let m = self.mid();
+        let h = 0.5 * self.width() * factor;
+        Interval::new(m - h, m + h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let i = Interval::new(-2.0, 4.0);
+        assert_eq!(i.mid(), 1.0);
+        assert_eq!(i.width(), 6.0);
+        assert!(i.contains(-2.0) && i.contains(4.0) && i.contains(0.0));
+        assert!(!i.contains(4.1));
+    }
+
+    #[test]
+    fn point_interval() {
+        let p = Interval::point(3.0);
+        assert_eq!(p.width(), 0.0);
+        assert_eq!(p.mid(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo")]
+    fn crossing_endpoints_rejected() {
+        Interval::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(-1.0, 3.0);
+        assert_eq!(a.add(b), Interval::new(0.0, 5.0));
+        assert_eq!(a.scale(2.0), Interval::new(2.0, 4.0));
+        assert_eq!(a.scale(-1.0), Interval::new(-2.0, -1.0));
+    }
+
+    #[test]
+    fn product_handles_sign_flips() {
+        // [0.4, 0.9] × [−7, −3]: min = 0.9×(−7) = −6.3, max = 0.4×(−3) = −1.2.
+        let w = Interval::new(0.4, 0.9);
+        let p = Interval::new(-7.0, -3.0);
+        let prod = w.mul(p);
+        assert!((prod.lo - -6.3).abs() < 1e-12);
+        assert!((prod.hi - -1.2).abs() < 1e-12);
+        // Mixed-sign × mixed-sign.
+        let m = Interval::new(-2.0, 3.0).mul(Interval::new(-5.0, 1.0));
+        assert_eq!(m, Interval::new(-15.0, 10.0));
+    }
+
+    #[test]
+    fn product_contains_all_sample_products() {
+        let a = Interval::new(-1.5, 2.0);
+        let b = Interval::new(-3.0, 0.5);
+        let prod = a.mul(b);
+        for i in 0..=10 {
+            for j in 0..=10 {
+                let av = a.lo + a.width() * i as f64 / 10.0;
+                let bv = b.lo + b.width() * j as f64 / 10.0;
+                assert!(prod.contains(av * bv) || (av * bv - prod.lo).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn width_scaling() {
+        let i = Interval::new(2.0, 6.0);
+        assert_eq!(i.scale_width(0.5), Interval::new(3.0, 5.0));
+        assert_eq!(i.scale_width(0.0), Interval::new(4.0, 4.0));
+        assert_eq!(i.scale_width(1.0), i);
+        let grown = i.scale_width(2.0);
+        assert_eq!(grown, Interval::new(0.0, 8.0));
+    }
+}

@@ -1,0 +1,318 @@
+//! Learning SUQR weights from attack data, with uncertainty intervals.
+//!
+//! Section III of the paper motivates the interval model by scarce
+//! data: "the interval size indicates the uncertainty level when
+//! modeling, which could be specified based on the available data for
+//! learning". This module makes that operational:
+//!
+//! * [`AttackDataset`] — observed (coverage, attacked-target) pairs,
+//!   with a synthetic generator for experiments;
+//! * [`fit_suqr`] — maximum-likelihood estimation of the SUQR weights
+//!   by projected gradient ascent on the (concave) log-likelihood;
+//! * [`bootstrap_box`] — a nonparametric bootstrap producing the
+//!   [`SuqrUncertainty`] weight box from per-weight percentile
+//!   confidence intervals — the exact input CUBIS consumes.
+//!
+//! The end-to-end loop (generate data → fit → box → robust solve) is
+//! exercised by experiment **F7** in `cubis-eval`.
+
+use crate::choice::attack_distribution;
+use crate::suqr::{Suqr, SuqrWeights};
+use crate::uncertain::SuqrUncertainty;
+use crate::Interval;
+use cubis_game::SecurityGame;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// One observed attack: the coverage in force and the chosen target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Index of the coverage vector in the dataset's strategy list.
+    pub strategy: usize,
+    /// Attacked target.
+    pub target: usize,
+}
+
+/// A dataset of attacks observed under known defender strategies.
+#[derive(Debug, Clone)]
+pub struct AttackDataset {
+    /// Defender strategies in force during collection.
+    pub strategies: Vec<Vec<f64>>,
+    /// Observations referencing `strategies` by index.
+    pub observations: Vec<Observation>,
+}
+
+impl AttackDataset {
+    /// Generate `n` synthetic observations from a ground-truth SUQR
+    /// attacker facing rotating defender strategies (deterministic under
+    /// `seed`). The strategies are random feasible coverages — varied
+    /// coverage is what makes `w1` identifiable.
+    pub fn synthetic(
+        game: &SecurityGame,
+        truth: SuqrWeights,
+        n: usize,
+        seed: u64,
+    ) -> AttackDataset {
+        assert!(n > 0, "synthetic: need at least one observation");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let t = game.num_targets();
+        let n_strategies = 8.min(n);
+        let strategies: Vec<Vec<f64>> = (0..n_strategies)
+            .map(|_| {
+                let raw: Vec<f64> = (0..t).map(|_| rng.gen_range(-0.5..1.5)).collect();
+                cubis_game::project_capped_simplex(&raw, game.resources())
+            })
+            .collect();
+        let model = Suqr::new(truth);
+        let observations = (0..n)
+            .map(|i| {
+                let s = i % n_strategies;
+                let q = attack_distribution(&model, game, &strategies[s]);
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let mut acc = 0.0;
+                let mut target = t - 1;
+                for (j, &qj) in q.iter().enumerate() {
+                    acc += qj;
+                    if u < acc {
+                        target = j;
+                        break;
+                    }
+                }
+                Observation { strategy: s, target }
+            })
+            .collect();
+        AttackDataset { strategies, observations }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// True when the dataset holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// Average log-likelihood of the dataset under the given weights.
+    pub fn log_likelihood(&self, game: &SecurityGame, w: SuqrWeights) -> f64 {
+        let model = Suqr::new(w);
+        // Attack distributions per distinct strategy (cached).
+        let qs: Vec<Vec<f64>> = self
+            .strategies
+            .iter()
+            .map(|x| attack_distribution(&model, game, x))
+            .collect();
+        self.observations
+            .iter()
+            .map(|o| qs[o.strategy][o.target].max(1e-300).ln())
+            .sum::<f64>()
+            / self.observations.len() as f64
+    }
+}
+
+/// Options for [`fit_suqr`].
+#[derive(Debug, Clone)]
+pub struct FitOptions {
+    /// Gradient-ascent iterations.
+    pub max_iters: usize,
+    /// Initial step size (Armijo-backtracked).
+    pub step0: f64,
+    /// Convergence threshold on the parameter step.
+    pub tol: f64,
+    /// Box limits keeping the estimate in the valid SUQR sign region.
+    pub w1_range: (f64, f64),
+    /// Limits for `w2`.
+    pub w2_range: (f64, f64),
+    /// Limits for `w3`.
+    pub w3_range: (f64, f64),
+}
+
+impl Default for FitOptions {
+    fn default() -> Self {
+        Self {
+            max_iters: 400,
+            step0: 1.0,
+            tol: 1e-9,
+            w1_range: (-20.0, 0.0),
+            w2_range: (0.0, 5.0),
+            w3_range: (0.0, 5.0),
+        }
+    }
+}
+
+/// Maximum-likelihood SUQR weights for a dataset (projected gradient
+/// ascent on the average log-likelihood; the conditional-logit
+/// likelihood is concave in the weights, so this converges to the
+/// global maximum within the box).
+pub fn fit_suqr(game: &SecurityGame, data: &AttackDataset, opts: &FitOptions) -> SuqrWeights {
+    assert!(!data.is_empty(), "fit_suqr: empty dataset");
+    let clamp = |w: [f64; 3]| -> [f64; 3] {
+        [
+            w[0].clamp(opts.w1_range.0, opts.w1_range.1),
+            w[1].clamp(opts.w2_range.0, opts.w2_range.1),
+            w[2].clamp(opts.w3_range.0, opts.w3_range.1),
+        ]
+    };
+    let ll = |w: [f64; 3]| -> f64 {
+        data.log_likelihood(game, SuqrWeights::new(w[0], w[1], w[2]))
+    };
+
+    let mut w = clamp([-5.0, 0.5, 0.5]);
+    let mut f = ll(w);
+    let h = 1e-6;
+    for _ in 0..opts.max_iters {
+        // Central-difference gradient (3 params → 6 evals; each eval is
+        // O(#strategies · T + n)).
+        let mut grad = [0.0f64; 3];
+        for d in 0..3 {
+            let mut wp = w;
+            let mut wm = w;
+            wp[d] += h;
+            wm[d] -= h;
+            grad[d] = (ll(clamp(wp)) - ll(clamp(wm))) / (2.0 * h);
+        }
+        let mut step = opts.step0;
+        let mut advanced = false;
+        for _ in 0..40 {
+            let cand = clamp([
+                w[0] + step * grad[0],
+                w[1] + step * grad[1],
+                w[2] + step * grad[2],
+            ]);
+            let fc = ll(cand);
+            if fc > f + 1e-12 {
+                let delta: f64 =
+                    cand.iter().zip(&w).map(|(a, b)| (a - b).abs()).sum();
+                w = cand;
+                f = fc;
+                advanced = delta > opts.tol;
+                break;
+            }
+            step *= 0.5;
+        }
+        if !advanced {
+            break;
+        }
+    }
+    SuqrWeights::new(w[0], w[1], w[2])
+}
+
+/// Nonparametric bootstrap: refit on `resamples` resampled datasets and
+/// return the per-weight `[α/2, 1−α/2]` percentile box as a
+/// [`SuqrUncertainty`] — the uncertainty input to the robust solver.
+/// Deterministic under `seed`.
+pub fn bootstrap_box(
+    game: &SecurityGame,
+    data: &AttackDataset,
+    resamples: usize,
+    alpha: f64,
+    seed: u64,
+    opts: &FitOptions,
+) -> SuqrUncertainty {
+    assert!(resamples >= 2, "bootstrap_box: need at least 2 resamples");
+    assert!((0.0..1.0).contains(&alpha), "bootstrap_box: alpha {alpha} outside [0,1)");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = data.len();
+    let mut w1s = Vec::with_capacity(resamples);
+    let mut w2s = Vec::with_capacity(resamples);
+    let mut w3s = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let observations: Vec<Observation> =
+            (0..n).map(|_| data.observations[rng.gen_range(0..n)]).collect();
+        let resampled = AttackDataset { strategies: data.strategies.clone(), observations };
+        let w = fit_suqr(game, &resampled, opts);
+        w1s.push(w.w1);
+        w2s.push(w.w2);
+        w3s.push(w.w3);
+    }
+    let pct_interval = |v: &mut Vec<f64>| -> Interval {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let lo_idx = ((alpha / 2.0) * (v.len() - 1) as f64).round() as usize;
+        let hi_idx = ((1.0 - alpha / 2.0) * (v.len() - 1) as f64).round() as usize;
+        Interval::new(v[lo_idx], v[hi_idx])
+    };
+    let w1 = pct_interval(&mut w1s);
+    let w2 = pct_interval(&mut w2s);
+    let w3 = pct_interval(&mut w3s);
+    SuqrUncertainty {
+        w1: Interval::new(w1.lo, w1.hi.min(0.0)),
+        w2: Interval::new(w2.lo.max(0.0), w2.hi),
+        w3: Interval::new(w3.lo.max(0.0), w3.hi),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubis_game::GameGenerator;
+
+    fn setup() -> (SecurityGame, SuqrWeights) {
+        let game = GameGenerator::new(100).generate(6, 2.0);
+        (game, SuqrWeights::new(-6.0, 0.8, 0.4))
+    }
+
+    #[test]
+    fn synthetic_data_is_deterministic_and_well_formed() {
+        let (game, truth) = setup();
+        let a = AttackDataset::synthetic(&game, truth, 100, 7);
+        let b = AttackDataset::synthetic(&game, truth, 100, 7);
+        assert_eq!(a.observations, b.observations);
+        assert_eq!(a.len(), 100);
+        for o in &a.observations {
+            assert!(o.target < 6);
+            assert!(o.strategy < a.strategies.len());
+        }
+    }
+
+    #[test]
+    fn mle_recovers_truth_with_plenty_of_data() {
+        let (game, truth) = setup();
+        let data = AttackDataset::synthetic(&game, truth, 8000, 3);
+        let fit = fit_suqr(&game, &data, &FitOptions::default());
+        assert!((fit.w1 - truth.w1).abs() < 1.0, "w1 {} vs {}", fit.w1, truth.w1);
+        assert!((fit.w2 - truth.w2).abs() < 0.2, "w2 {} vs {}", fit.w2, truth.w2);
+        assert!((fit.w3 - truth.w3).abs() < 0.3, "w3 {} vs {}", fit.w3, truth.w3);
+    }
+
+    #[test]
+    fn mle_likelihood_at_least_truth_likelihood() {
+        // The MLE must fit the sample at least as well as the truth.
+        let (game, truth) = setup();
+        let data = AttackDataset::synthetic(&game, truth, 400, 5);
+        let fit = fit_suqr(&game, &data, &FitOptions::default());
+        assert!(
+            data.log_likelihood(&game, fit) >= data.log_likelihood(&game, truth) - 1e-9
+        );
+    }
+
+    #[test]
+    fn bootstrap_box_contains_point_estimate_and_shrinks() {
+        let (game, truth) = setup();
+        let small = AttackDataset::synthetic(&game, truth, 120, 11);
+        let large = AttackDataset::synthetic(&game, truth, 2400, 11);
+        let opts = FitOptions { max_iters: 120, ..Default::default() };
+        let box_small = bootstrap_box(&game, &small, 12, 0.1, 1, &opts);
+        let box_large = bootstrap_box(&game, &large, 12, 0.1, 1, &opts);
+        // More data ⇒ tighter intervals (the 1/√n shrinkage the paper
+        // gestures at), at least in aggregate.
+        let width = |b: &SuqrUncertainty| b.w1.width() + b.w2.width() + b.w3.width();
+        assert!(
+            width(&box_large) < width(&box_small),
+            "large {} vs small {}",
+            width(&box_large),
+            width(&box_small)
+        );
+        // The full-data point estimate lies in (or at the edge of) the box.
+        let fit = fit_suqr(&game, &large, &opts);
+        assert!(box_large.w1.lo - 0.5 <= fit.w1 && fit.w1 <= box_large.w1.hi + 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_rejected() {
+        let (game, _) = setup();
+        let data = AttackDataset { strategies: vec![], observations: vec![] };
+        fit_suqr(&game, &data, &FitOptions::default());
+    }
+}

@@ -1,0 +1,58 @@
+//! Attacker behavioral models for security games.
+//!
+//! Section II of the paper works with a general discrete-choice model of
+//! quantal response: the attacker picks target `i` with probability
+//!
+//! ```text
+//! q_i(x) = F_i(x_i) / Σ_j F_j(x_j)                      (4)
+//! ```
+//!
+//! where `F_i : [0,1] → ℝ⁺` is positive and decreasing in coverage.
+//! This crate provides:
+//!
+//! * [`ChoiceModel`] — the point-estimate interface (`log F_i`), with
+//!   [`Qr`] and [`Suqr`] implementations and a numerically stable
+//!   softmax ([`attack_distribution`]);
+//! * [`IntervalChoiceModel`] — the uncertainty-interval interface
+//!   `L_i(x_i) ≤ F_i(x_i) ≤ U_i(x_i)` of Section III, with
+//!   [`UncertainSuqr`] (parameter boxes + payoff intervals) and
+//!   [`FixedChoice`] (degenerate intervals, used by the midpoint
+//!   baseline);
+//! * [`Interval`] — closed-interval arithmetic used to derive the bounds.
+//!
+//! Two bound conventions are implemented (see [`BoundConvention`]): the
+//! paper's component-wise corner evaluation, and exact interval
+//! arithmetic. The worked example of the paper (Table I) uses the former.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod choice;
+pub mod interval;
+pub mod learning;
+pub mod prospect;
+pub mod qr;
+pub mod suqr;
+pub mod uncertain;
+
+pub use choice::{attack_distribution, ChoiceModel};
+pub use interval::Interval;
+pub use learning::{bootstrap_box, fit_suqr, AttackDataset, FitOptions, Observation};
+pub use prospect::{Prospect, ProspectParams, UncertainProspect};
+pub use qr::{Qr, UncertainQr};
+pub use suqr::{Suqr, SuqrWeights};
+pub use uncertain::{
+    BoundConvention, FixedChoice, IntervalChoiceModel, SuqrUncertainty, UncertainSuqr,
+};
+
+/// Exponent clamp applied before `exp` in every model, keeping
+/// attractiveness values positive, finite and within ~`e±60` of each
+/// other — far wider than any payoff scale used in the literature while
+/// still safe in `f64`.
+pub const EXPONENT_CLAMP: f64 = 60.0;
+
+/// Clamp an exponent into `[-EXPONENT_CLAMP, EXPONENT_CLAMP]`.
+#[inline]
+pub fn clamp_exponent(e: f64) -> f64 {
+    e.clamp(-EXPONENT_CLAMP, EXPONENT_CLAMP)
+}

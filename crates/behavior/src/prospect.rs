@@ -1,0 +1,277 @@
+//! Prospect-theory (PT) attacker models.
+//!
+//! The paper's robust machinery only assumes the general discrete-choice
+//! form (4) — `q_i ∝ F_i(x_i)` with positive decreasing `F_i`. This
+//! module instantiates it with the other behavioral family used in the
+//! SSG literature (Yang et al., IJCAI'11): Tversky–Kahneman prospect
+//! theory. Attacking target `i` is the prospect
+//!
+//! ```text
+//! (Ra_i with probability 1 − x_i ; Pa_i with probability x_i)
+//! ```
+//!
+//! valued as `V_i(x) = w(1−x)·v(Ra_i) + w(x)·v(Pa_i)` with the standard
+//! value function `v` (power/loss-averse) and probability weighting
+//! `w`. Choice follows a logit over `η·V_i` — so
+//! `F_i(x) = exp(η·V_i(x))`, positive and decreasing.
+//!
+//! [`UncertainProspect`] carries intervals on the loss-aversion `λ` and
+//! precision `η` (the two parameters hardest to pin down from field
+//! data); since `V_i` is monotone decreasing in `λ` and the exponent is
+//! the product `η·V_i`, exact interval bounds follow from one interval
+//! multiplication.
+
+use crate::choice::ChoiceModel;
+use crate::interval::Interval;
+use crate::uncertain::IntervalChoiceModel;
+use cubis_game::SecurityGame;
+use serde::{Deserialize, Serialize};
+
+/// Prospect-theory shape parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProspectParams {
+    /// Gain-curvature exponent `α ∈ (0, 1]` (`v(y) = y^α` for gains).
+    pub alpha: f64,
+    /// Loss-curvature exponent `β ∈ (0, 1]`.
+    pub beta: f64,
+    /// Loss aversion `λ ≥ 1` (`v(y) = −λ·(−y)^β` for losses).
+    pub lambda: f64,
+    /// Probability-weighting curvature `γ ∈ (0.28, 1]` (the
+    /// Tversky–Kahneman `w` is monotone on this range).
+    pub gamma: f64,
+    /// Logit precision `η ≥ 0` on the prospect values.
+    pub eta: f64,
+}
+
+impl ProspectParams {
+    /// The Tversky–Kahneman 1992 median estimates
+    /// (`α = β = 0.88`, `λ = 2.25`, `γ = 0.61`) with unit precision.
+    pub const TVERSKY_KAHNEMAN: ProspectParams =
+        ProspectParams { alpha: 0.88, beta: 0.88, lambda: 2.25, gamma: 0.61, eta: 1.0 };
+
+    /// Validate ranges.
+    ///
+    /// # Panics
+    /// Panics if any parameter is outside its documented range.
+    pub fn validated(self) -> Self {
+        assert!((0.0..=1.0).contains(&self.alpha) && self.alpha > 0.0, "bad alpha");
+        assert!((0.0..=1.0).contains(&self.beta) && self.beta > 0.0, "bad beta");
+        assert!(self.lambda >= 1.0, "bad lambda {}", self.lambda);
+        assert!(self.gamma > 0.28 && self.gamma <= 1.0, "bad gamma {}", self.gamma);
+        assert!(self.eta >= 0.0 && self.eta.is_finite(), "bad eta {}", self.eta);
+        self
+    }
+}
+
+/// TK probability weighting `w(p) = p^γ / (p^γ + (1−p)^γ)^{1/γ}`.
+pub fn weight_probability(p: f64, gamma: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p), "weight_probability: p = {p}");
+    let pg = p.powf(gamma);
+    let qg = (1.0 - p).powf(gamma);
+    pg / (pg + qg).powf(1.0 / gamma)
+}
+
+/// TK value function: `y^α` for gains, `−λ(−y)^β` for losses.
+pub fn value_function(y: f64, alpha: f64, beta: f64, lambda: f64) -> f64 {
+    if y >= 0.0 {
+        y.powf(alpha)
+    } else {
+        -lambda * (-y).powf(beta)
+    }
+}
+
+/// Point-estimate prospect-theory attacker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prospect {
+    /// PT parameters.
+    pub params: ProspectParams,
+}
+
+impl Prospect {
+    /// Construct (validates parameters).
+    pub fn new(params: ProspectParams) -> Self {
+        Self { params: params.validated() }
+    }
+
+    /// The prospect value `V_i(x)` of attacking target `i`, with the
+    /// given loss aversion (λ is a parameter here so the interval model
+    /// can reuse the computation at the box corners).
+    fn value_with_lambda(&self, game: &SecurityGame, i: usize, x_i: f64, lambda: f64) -> f64 {
+        let t = game.target(i);
+        let p = &self.params;
+        weight_probability(1.0 - x_i, p.gamma) * value_function(t.att_reward, p.alpha, p.beta, lambda)
+            + weight_probability(x_i, p.gamma)
+                * value_function(t.att_penalty, p.alpha, p.beta, lambda)
+    }
+
+    /// `V_i(x)` at the model's own λ.
+    pub fn prospect_value(&self, game: &SecurityGame, i: usize, x_i: f64) -> f64 {
+        self.value_with_lambda(game, i, x_i, self.params.lambda)
+    }
+}
+
+impl ChoiceModel for Prospect {
+    fn log_attractiveness(&self, game: &SecurityGame, i: usize, x_i: f64) -> f64 {
+        self.params.eta * self.prospect_value(game, i, x_i)
+    }
+}
+
+/// Prospect-theory attacker with interval-valued loss aversion `λ` and
+/// precision `η`; shape parameters `α, β, γ` are point estimates.
+///
+/// Exactness: for standard payoffs (`Ra > 0 > Pa`), `V_i` is strictly
+/// decreasing in `λ` (only the loss term carries λ), so
+/// `V_i ∈ [V_i(λ_hi), V_i(λ_lo)]`; the exponent `η·V_i` then spans the
+/// exact product interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UncertainProspect {
+    base: Prospect,
+    /// Loss-aversion interval (`≥ 1`).
+    pub lambda: Interval,
+    /// Precision interval (`≥ 0`).
+    pub eta: Interval,
+}
+
+impl UncertainProspect {
+    /// Construct from shape parameters and the two intervals.
+    ///
+    /// # Panics
+    /// Panics if the intervals leave the valid PT ranges.
+    pub fn new(shape: ProspectParams, lambda: Interval, eta: Interval) -> Self {
+        assert!(lambda.lo >= 1.0, "UncertainProspect: lambda.lo {} < 1", lambda.lo);
+        assert!(eta.lo >= 0.0, "UncertainProspect: eta.lo {} < 0", eta.lo);
+        Self { base: Prospect::new(shape), lambda, eta }
+    }
+}
+
+impl IntervalChoiceModel for UncertainProspect {
+    fn log_bounds(&self, game: &SecurityGame, i: usize, x_i: f64) -> (f64, f64) {
+        // V decreasing in λ ⇒ value interval from the λ endpoints.
+        let v_lo = self.base.value_with_lambda(game, i, x_i, self.lambda.hi);
+        let v_hi = self.base.value_with_lambda(game, i, x_i, self.lambda.lo);
+        let e = Interval::new(v_lo.min(v_hi), v_lo.max(v_hi)).mul(self.eta);
+        (e.lo, e.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::choice::attack_distribution;
+    use cubis_game::{GameGenerator, TargetPayoffs};
+
+    fn game() -> SecurityGame {
+        SecurityGame::new(
+            vec![
+                TargetPayoffs::new(5.0, -3.0, 8.0, -2.0),
+                TargetPayoffs::new(2.0, -6.0, 3.0, -4.0),
+            ],
+            1.0,
+        )
+    }
+
+    #[test]
+    fn weighting_function_shape() {
+        // Endpoints fixed; inverse-S: overweights small p.
+        for gamma in [0.4, 0.61, 1.0] {
+            assert!((weight_probability(0.0, gamma) - 0.0).abs() < 1e-12);
+            assert!((weight_probability(1.0, gamma) - 1.0).abs() < 1e-12);
+        }
+        assert!(weight_probability(0.05, 0.61) > 0.05);
+        assert!(weight_probability(0.95, 0.61) < 0.95);
+        // γ = 1 is the identity.
+        assert!((weight_probability(0.3, 1.0) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_function_loss_aversion() {
+        // Losses loom larger than gains: |v(−y)| > v(y) for λ > 1.
+        let v_gain = value_function(4.0, 0.88, 0.88, 2.25);
+        let v_loss = value_function(-4.0, 0.88, 0.88, 2.25);
+        assert!(v_loss < 0.0);
+        assert!(-v_loss > v_gain);
+    }
+
+    #[test]
+    fn attractiveness_decreases_in_coverage() {
+        let g = game();
+        let m = Prospect::new(ProspectParams::TVERSKY_KAHNEMAN);
+        let mut prev = f64::INFINITY;
+        for k in 0..=10 {
+            let x = k as f64 / 10.0;
+            let f = m.log_attractiveness(&g, 0, x);
+            assert!(f < prev + 1e-12, "not decreasing at x = {x}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn pt_attacker_overweights_longshots_vs_suqr_like() {
+        // With heavy coverage on the rich target, a PT attacker still
+        // attacks it more than an expected-value logit would, because
+        // w() overweights the small success probability.
+        let g = game();
+        let pt = Prospect::new(ProspectParams::TVERSKY_KAHNEMAN);
+        let ev = Prospect::new(
+            ProspectParams { alpha: 1.0, beta: 1.0, lambda: 1.0, gamma: 1.0, eta: 1.0 },
+        );
+        let x = [0.9, 0.1];
+        let q_pt = attack_distribution(&pt, &g, &x);
+        let q_ev = attack_distribution(&ev, &g, &x);
+        assert!(q_pt[0] > q_ev[0], "PT {q_pt:?} vs EV {q_ev:?}");
+    }
+
+    #[test]
+    fn interval_bounds_ordered_and_contain_point_models() {
+        let g = GameGenerator::new(200).generate(5, 2.0);
+        let shape = ProspectParams::TVERSKY_KAHNEMAN;
+        let um = UncertainProspect::new(
+            shape,
+            Interval::new(1.5, 3.0),
+            Interval::new(0.5, 1.5),
+        );
+        for lambda in [1.5, 2.25, 3.0] {
+            for eta in [0.5, 1.0, 1.5] {
+                let point = Prospect::new(ProspectParams { lambda, eta, ..shape });
+                for i in 0..5 {
+                    for k in 0..=4 {
+                        let x = k as f64 / 4.0;
+                        let e = point.log_attractiveness(&g, i, x);
+                        let (lo, hi) = um.log_bounds(&g, i, x);
+                        assert!(lo <= hi + 1e-12);
+                        assert!(
+                            lo - 1e-9 <= e && e <= hi + 1e-9,
+                            "λ={lambda} η={eta} target {i} x={x}: {e} ∉ [{lo}, {hi}]"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cubis_consumes_prospect_intervals() {
+        // Full-stack smoke: robust solve against a PT interval model.
+        let g = GameGenerator::new(201).generate(4, 1.0);
+        let um = UncertainProspect::new(
+            ProspectParams::TVERSKY_KAHNEMAN,
+            Interval::new(1.2, 3.5),
+            Interval::new(0.4, 1.2),
+        );
+        // The oracle path only needs IntervalChoiceModel.
+        let (lo, hi) = um.log_bounds(&g, 0, 0.5);
+        assert!(lo <= hi);
+        let (l, u) = um.bounds(&g, 0, 0.5);
+        assert!(0.0 < l && l <= u);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn rejects_sub_unit_loss_aversion() {
+        UncertainProspect::new(
+            ProspectParams::TVERSKY_KAHNEMAN,
+            Interval::new(0.5, 2.0),
+            Interval::new(0.5, 1.0),
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! The quantal response (QR) model of McKelvey & Palfrey.
+
+use crate::choice::ChoiceModel;
+use cubis_game::SecurityGame;
+use serde::{Deserialize, Serialize};
+
+/// Quantal response: `F_i(x_i) = exp(λ · Ua_i(x_i))`.
+///
+/// `λ ≥ 0` is the precision (rationality) parameter: `λ = 0` is a
+/// uniformly random attacker, `λ → ∞` approaches a perfectly rational
+/// best responder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Qr {
+    /// Precision parameter `λ`.
+    pub lambda: f64,
+}
+
+impl Qr {
+    /// Construct a QR model.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is negative or not finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda.is_finite() && lambda >= 0.0, "Qr: bad lambda {lambda}");
+        Self { lambda }
+    }
+}
+
+impl ChoiceModel for Qr {
+    fn log_attractiveness(&self, game: &SecurityGame, i: usize, x_i: f64) -> f64 {
+        self.lambda * game.attacker_utility(i, x_i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::choice::attack_distribution;
+    use cubis_game::TargetPayoffs;
+
+    fn game() -> SecurityGame {
+        SecurityGame::new(
+            vec![
+                TargetPayoffs::new(5.0, -3.0, 8.0, -2.0),
+                TargetPayoffs::new(2.0, -6.0, 3.0, -4.0),
+            ],
+            1.0,
+        )
+    }
+
+    #[test]
+    fn lambda_zero_is_uniform() {
+        let g = game();
+        let q = attack_distribution(&Qr::new(0.0), &g, &[0.5, 0.5]);
+        assert!((q[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_lambda_concentrates_on_better_target() {
+        let g = game();
+        let x = [0.5, 0.5];
+        // Target 0 has higher attacker utility at x=0.5 (3.0 vs -0.5).
+        let q1 = attack_distribution(&Qr::new(0.5), &g, &x);
+        let q2 = attack_distribution(&Qr::new(2.0), &g, &x);
+        assert!(q1[0] > 0.5);
+        assert!(q2[0] > q1[0]);
+    }
+
+    #[test]
+    fn attack_probability_decreases_with_coverage() {
+        let g = game();
+        let m = Qr::new(1.0);
+        let q_low = attack_distribution(&m, &g, &[0.2, 0.8]);
+        let q_high = attack_distribution(&m, &g, &[0.8, 0.2]);
+        assert!(q_high[0] < q_low[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad lambda")]
+    fn negative_lambda_rejected() {
+        Qr::new(-1.0);
+    }
+}
+
+/// QR with an interval-valued precision: `λ ∈ [lo, hi]`.
+///
+/// Since the exponent is `λ·Ua_i(x_i)` and `Ua` changes sign across
+/// coverage levels, the exponent extremes always sit at the λ endpoints;
+/// the bounds are exact.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct UncertainQr {
+    /// Lower precision endpoint.
+    pub lo: Qr,
+    /// Upper precision endpoint.
+    pub hi: Qr,
+}
+
+impl UncertainQr {
+    /// Construct from the precision interval `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either endpoint is invalid.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "UncertainQr: lo {lo} > hi {hi}");
+        Self { lo: Qr::new(lo), hi: Qr::new(hi) }
+    }
+
+    /// Midpoint precision as a point model.
+    pub fn midpoint_qr(&self) -> Qr {
+        Qr::new(0.5 * (self.lo.lambda + self.hi.lambda))
+    }
+}
+
+impl crate::uncertain::IntervalChoiceModel for UncertainQr {
+    fn log_bounds(&self, game: &SecurityGame, i: usize, x_i: f64) -> (f64, f64) {
+        let a = self.lo.log_attractiveness(game, i, x_i);
+        let b = self.hi.log_attractiveness(game, i, x_i);
+        (a.min(b), a.max(b))
+    }
+}
+
+#[cfg(test)]
+mod uncertain_qr_tests {
+    use super::*;
+    use crate::uncertain::IntervalChoiceModel;
+    use cubis_game::{SecurityGame, TargetPayoffs};
+
+    fn game() -> SecurityGame {
+        SecurityGame::new(
+            vec![
+                TargetPayoffs::new(5.0, -3.0, 8.0, -2.0),
+                TargetPayoffs::new(2.0, -6.0, 3.0, -4.0),
+            ],
+            1.0,
+        )
+    }
+
+    #[test]
+    fn bounds_contain_every_intermediate_lambda() {
+        let g = game();
+        let m = UncertainQr::new(0.2, 1.4);
+        for step in 0..=6 {
+            let lambda = 0.2 + 1.2 * step as f64 / 6.0;
+            let point = Qr::new(lambda);
+            for i in 0..2 {
+                for k in 0..=5 {
+                    let x = k as f64 / 5.0;
+                    let e = crate::choice::ChoiceModel::log_attractiveness(&point, &g, i, x);
+                    let (lo, hi) = m.log_bounds(&g, i, x);
+                    assert!(lo - 1e-12 <= e && e <= hi + 1e-12, "λ={lambda} i={i} x={x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_interval_is_a_point_model() {
+        let g = game();
+        let m = UncertainQr::new(0.7, 0.7);
+        let (lo, hi) = m.log_bounds(&g, 0, 0.3);
+        assert_eq!(lo, hi);
+        assert_eq!(m.midpoint_qr().lambda, 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo")]
+    fn crossing_interval_rejected() {
+        UncertainQr::new(1.0, 0.5);
+    }
+}

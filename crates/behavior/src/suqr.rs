@@ -1,0 +1,122 @@
+//! The subjective utility quantal response (SUQR) model.
+
+use crate::choice::ChoiceModel;
+use cubis_game::SecurityGame;
+use serde::{Deserialize, Serialize};
+
+/// SUQR feature weights `(w1, w2, w3)` of equation (3).
+///
+/// `w1 < 0` weights the defender's coverage (more coverage deters),
+/// `w2 > 0` weights the attacker's reward, `w3 > 0` weights the
+/// attacker's penalty (which is itself negative). The literature point
+/// estimate learned from human-subject data is
+/// [`SuqrWeights::LITERATURE`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SuqrWeights {
+    /// Coverage weight `w1` (negative).
+    pub w1: f64,
+    /// Reward weight `w2` (positive).
+    pub w2: f64,
+    /// Penalty weight `w3` (positive).
+    pub w3: f64,
+}
+
+impl SuqrWeights {
+    /// The point estimate reported by Nguyen et al. (AAAI'13) from AMT
+    /// human-subject experiments: `(−9.85, 0.37, 0.15)`.
+    pub const LITERATURE: SuqrWeights = SuqrWeights { w1: -9.85, w2: 0.37, w3: 0.15 };
+
+    /// Construct weights.
+    ///
+    /// # Panics
+    /// Panics on non-finite values or if the sign conventions are
+    /// violated (`w1 ≤ 0`, `w2 ≥ 0`, `w3 ≥ 0`).
+    pub fn new(w1: f64, w2: f64, w3: f64) -> Self {
+        assert!(w1.is_finite() && w2.is_finite() && w3.is_finite(), "SuqrWeights: non-finite");
+        assert!(w1 <= 0.0, "SuqrWeights: w1 {w1} must be <= 0");
+        assert!(w2 >= 0.0, "SuqrWeights: w2 {w2} must be >= 0");
+        assert!(w3 >= 0.0, "SuqrWeights: w3 {w3} must be >= 0");
+        Self { w1, w2, w3 }
+    }
+}
+
+/// SUQR: `F_i(x_i) = exp(w1·x_i + w2·Ra_i + w3·Pa_i)` — a special case
+/// of the general discrete-choice model (4) with the subjective utility
+/// of equation (3) as the exponent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Suqr {
+    /// Feature weights.
+    pub weights: SuqrWeights,
+}
+
+impl Suqr {
+    /// Construct from weights.
+    pub fn new(weights: SuqrWeights) -> Self {
+        Self { weights }
+    }
+
+    /// The subjective utility `ŵ·features` of equation (3).
+    pub fn subjective_utility(&self, game: &SecurityGame, i: usize, x_i: f64) -> f64 {
+        let t = game.target(i);
+        self.weights.w1 * x_i + self.weights.w2 * t.att_reward + self.weights.w3 * t.att_penalty
+    }
+}
+
+impl ChoiceModel for Suqr {
+    fn log_attractiveness(&self, game: &SecurityGame, i: usize, x_i: f64) -> f64 {
+        self.subjective_utility(game, i, x_i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::choice::attack_distribution;
+    use cubis_game::TargetPayoffs;
+
+    fn game() -> SecurityGame {
+        SecurityGame::new(
+            vec![
+                TargetPayoffs::new(5.0, -3.0, 8.0, -2.0),
+                TargetPayoffs::new(2.0, -6.0, 3.0, -4.0),
+            ],
+            1.0,
+        )
+    }
+
+    #[test]
+    fn subjective_utility_matches_formula() {
+        let g = game();
+        let m = Suqr::new(SuqrWeights::new(-2.0, 0.5, 0.4));
+        // w1·x + w2·Ra + w3·Pa = -2·0.3 + 0.5·8 + 0.4·(-2) = 2.6
+        assert!((m.subjective_utility(&g, 0, 0.3) - 2.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attractiveness_decreases_in_coverage() {
+        let g = game();
+        let m = Suqr::new(SuqrWeights::LITERATURE);
+        assert!(m.log_attractiveness(&g, 0, 0.8) < m.log_attractiveness(&g, 0, 0.2));
+    }
+
+    #[test]
+    fn richer_target_attracts_more() {
+        let g = game();
+        let m = Suqr::new(SuqrWeights::new(-5.0, 0.8, 0.3));
+        // Equal coverage: target 0 (Ra=8, Pa=-2) beats target 1 (Ra=3, Pa=-4).
+        let q = attack_distribution(&m, &g, &[0.5, 0.5]);
+        assert!(q[0] > q[1]);
+    }
+
+    #[test]
+    fn literature_weights_are_valid() {
+        let w = SuqrWeights::LITERATURE;
+        let _ = SuqrWeights::new(w.w1, w.w2, w.w3); // must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "w1")]
+    fn positive_w1_rejected() {
+        SuqrWeights::new(1.0, 0.5, 0.5);
+    }
+}

@@ -1,0 +1,404 @@
+//! Uncertainty-interval behavioral models (Section III of the paper).
+//!
+//! The defender does not know the attractiveness `F_i(x_i)` exactly —
+//! only bounds `L_i(x_i) ≤ F_i(x_i) ≤ U_i(x_i)` derived from interval
+//! estimates of the SUQR weights and the attacker payoffs.
+
+use crate::choice::ChoiceModel;
+use crate::interval::Interval;
+use cubis_game::SecurityGame;
+use serde::{Deserialize, Serialize};
+
+/// How the exponent bounds are derived from the parameter box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BoundConvention {
+    /// The paper's worked example: evaluate the exponent at the
+    /// all-lower corner `(w1ˡ, w2ˡ, w3ˡ, Raˡ, Paˡ)` and the all-upper
+    /// corner, then sort. Simple, but not the true box minimum when a
+    /// product like `w3·Pa` flips sign (the paper's own Table I example
+    /// contains exactly this slip — see DESIGN.md §2).
+    CornerComponentwise,
+    /// Exact interval arithmetic: the true min/max of
+    /// `w1·x + w2·Ra + w3·Pa` over the box (4-corner products per term).
+    /// Produces the widest *valid* interval; never narrower than the
+    /// truth.
+    ExactInterval,
+}
+
+/// Interval-valued SUQR weights.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SuqrUncertainty {
+    /// Coverage weight interval (negative values).
+    pub w1: Interval,
+    /// Reward weight interval (nonnegative values).
+    pub w2: Interval,
+    /// Penalty weight interval (nonnegative values).
+    pub w3: Interval,
+}
+
+impl SuqrUncertainty {
+    /// The parameter box used in the paper's worked example:
+    /// `w1 ∈ [−6, −2]`, `w2 ∈ [0.5, 1]`, `w3 ∈ [0.4, 0.9]`.
+    pub fn paper_example() -> Self {
+        Self {
+            w1: Interval::new(-6.0, -2.0),
+            w2: Interval::new(0.5, 1.0),
+            w3: Interval::new(0.4, 0.9),
+        }
+    }
+
+    /// A box of half-width `delta × |w|` (relative) around a point
+    /// estimate, clipped to the SUQR sign conventions.
+    pub fn around(point: crate::suqr::SuqrWeights, delta: f64) -> Self {
+        assert!((0.0..=1.0).contains(&delta), "around: delta {delta} outside [0,1]");
+        let spread = |w: f64| -> Interval {
+            let h = delta * w.abs();
+            Interval::new(w - h, w + h)
+        };
+        let mut b = Self { w1: spread(point.w1), w2: spread(point.w2), w3: spread(point.w3) };
+        // Clip to sign conventions so every sample is a valid SUQR weight.
+        b.w1 = Interval::new(b.w1.lo, b.w1.hi.min(0.0));
+        b.w2 = Interval::new(b.w2.lo.max(0.0), b.w2.hi);
+        b.w3 = Interval::new(b.w3.lo.max(0.0), b.w3.hi);
+        b
+    }
+
+    /// Scale every interval's width by `factor` around its midpoint
+    /// (the uncertainty-level sweep knob).
+    pub fn scale_width(&self, factor: f64) -> Self {
+        Self {
+            w1: self.w1.scale_width(factor),
+            w2: self.w2.scale_width(factor),
+            w3: self.w3.scale_width(factor),
+        }
+    }
+
+    /// Midpoint weights (as a point SUQR estimate).
+    pub fn midpoint(&self) -> crate::suqr::SuqrWeights {
+        crate::suqr::SuqrWeights::new(
+            self.w1.mid().min(0.0),
+            self.w2.mid().max(0.0),
+            self.w3.mid().max(0.0),
+        )
+    }
+}
+
+/// An attacker model known only up to intervals:
+/// `L_i(x_i) ≤ F_i(x_i) ≤ U_i(x_i)` with `0 < L_i ≤ U_i`.
+pub trait IntervalChoiceModel {
+    /// `(ln L_i(x_i), ln U_i(x_i))`, guaranteed ordered.
+    fn log_bounds(&self, game: &SecurityGame, i: usize, x_i: f64) -> (f64, f64);
+
+    /// `(L_i(x_i), U_i(x_i))` with the crate-wide exponent clamp applied
+    /// (both values positive and finite).
+    fn bounds(&self, game: &SecurityGame, i: usize, x_i: f64) -> (f64, f64) {
+        let (lo, hi) = self.log_bounds(game, i, x_i);
+        debug_assert!(lo <= hi + 1e-12, "log bounds out of order: {lo} > {hi}");
+        (crate::clamp_exponent(lo).exp(), crate::clamp_exponent(hi).exp())
+    }
+
+    /// Midpoint attractiveness `(L+U)/2` — the non-robust point estimate
+    /// the paper's "midpoint" defender uses.
+    fn midpoint(&self, game: &SecurityGame, i: usize, x_i: f64) -> f64 {
+        let (l, u) = self.bounds(game, i, x_i);
+        0.5 * (l + u)
+    }
+}
+
+/// SUQR with interval weights and interval attacker payoffs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UncertainSuqr {
+    /// Weight box.
+    pub weights: SuqrUncertainty,
+    /// Per-target `(Ra_i, Pa_i)` intervals.
+    pub payoffs: Vec<(Interval, Interval)>,
+    /// Bound derivation convention.
+    pub convention: BoundConvention,
+}
+
+impl UncertainSuqr {
+    /// Construct from explicit payoff intervals.
+    ///
+    /// # Panics
+    /// Panics if `payoffs` is empty.
+    pub fn new(
+        weights: SuqrUncertainty,
+        payoffs: Vec<(Interval, Interval)>,
+        convention: BoundConvention,
+    ) -> Self {
+        assert!(!payoffs.is_empty(), "UncertainSuqr: no targets");
+        Self { weights, payoffs, convention }
+    }
+
+    /// Derive payoff intervals from a game's point payoffs with absolute
+    /// half-width `payoff_delta`, and take the weight box as given.
+    pub fn from_game(
+        game: &SecurityGame,
+        weights: SuqrUncertainty,
+        payoff_delta: f64,
+        convention: BoundConvention,
+    ) -> Self {
+        assert!(payoff_delta >= 0.0, "from_game: negative payoff_delta");
+        let payoffs = game
+            .targets()
+            .iter()
+            .map(|t| {
+                (
+                    Interval::new(t.att_reward - payoff_delta, t.att_reward + payoff_delta),
+                    Interval::new(t.att_penalty - payoff_delta, t.att_penalty + payoff_delta),
+                )
+            })
+            .collect();
+        Self::new(weights, payoffs, convention)
+    }
+
+    /// Number of targets this model covers.
+    pub fn num_targets(&self) -> usize {
+        self.payoffs.len()
+    }
+
+    /// Scale all interval widths (weights and payoffs) by `factor`
+    /// around their midpoints — the δ knob of the uncertainty sweeps.
+    pub fn scale_width(&self, factor: f64) -> Self {
+        Self {
+            weights: self.weights.scale_width(factor),
+            payoffs: self
+                .payoffs
+                .iter()
+                .map(|(ra, pa)| (ra.scale_width(factor), pa.scale_width(factor)))
+                .collect(),
+            convention: self.convention,
+        }
+    }
+
+    /// Exponent interval of `w1·x + w2·Ra + w3·Pa` at coverage `x_i`.
+    fn exponent_interval(&self, i: usize, x_i: f64) -> (f64, f64) {
+        let (ra, pa) = self.payoffs[i];
+        let w = &self.weights;
+        match self.convention {
+            BoundConvention::CornerComponentwise => {
+                let lo = w.w1.lo * x_i + w.w2.lo * ra.lo + w.w3.lo * pa.lo;
+                let hi = w.w1.hi * x_i + w.w2.hi * ra.hi + w.w3.hi * pa.hi;
+                (lo.min(hi), lo.max(hi))
+            }
+            BoundConvention::ExactInterval => {
+                let e = w.w1.scale(x_i).add(w.w2.mul(ra)).add(w.w3.mul(pa));
+                (e.lo, e.hi)
+            }
+        }
+    }
+
+    /// The point-SUQR model at the weight/payoff midpoints.
+    pub fn midpoint_suqr(&self) -> crate::suqr::Suqr {
+        crate::suqr::Suqr::new(self.weights.midpoint())
+    }
+}
+
+impl IntervalChoiceModel for UncertainSuqr {
+    fn log_bounds(&self, game: &SecurityGame, i: usize, x_i: f64) -> (f64, f64) {
+        debug_assert_eq!(
+            game.num_targets(),
+            self.payoffs.len(),
+            "UncertainSuqr used with a game of different size"
+        );
+        self.exponent_interval(i, x_i)
+    }
+}
+
+/// Degenerate intervals around a point model: `L = F = U`.
+///
+/// Lets every CUBIS code path (which consumes interval models) run
+/// unchanged on a point estimate — this is exactly how the midpoint /
+/// PASAQ-style baselines are implemented.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedChoice<M>(pub M);
+
+impl<M: ChoiceModel> IntervalChoiceModel for FixedChoice<M> {
+    fn log_bounds(&self, game: &SecurityGame, i: usize, x_i: f64) -> (f64, f64) {
+        let l = self.0.log_attractiveness(game, i, x_i);
+        (l, l)
+    }
+}
+
+/// View an interval model's midpoint `(L+U)/2` as a point
+/// [`ChoiceModel`] (the paper's non-robust baseline defender).
+#[derive(Debug, Clone, Copy)]
+pub struct IntervalMidpoint<'a, M>(pub &'a M);
+
+impl<M: IntervalChoiceModel> ChoiceModel for IntervalMidpoint<'_, M> {
+    fn log_attractiveness(&self, game: &SecurityGame, i: usize, x_i: f64) -> f64 {
+        self.0.midpoint(game, i, x_i).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubis_game::TargetPayoffs;
+
+    /// The Table I game: attacker rewards [1,5] / [5,9],
+    /// penalties [−7,−3] / [−9,−5].
+    fn table1_model(convention: BoundConvention) -> UncertainSuqr {
+        UncertainSuqr::new(
+            SuqrUncertainty::paper_example(),
+            vec![
+                (Interval::new(1.0, 5.0), Interval::new(-7.0, -3.0)),
+                (Interval::new(5.0, 9.0), Interval::new(-9.0, -5.0)),
+            ],
+            convention,
+        )
+    }
+
+    fn table1_game() -> SecurityGame {
+        // Defender payoffs reconstructed zero-sum vs attacker midpoints
+        // (see DESIGN.md §2).
+        SecurityGame::new(
+            vec![
+                TargetPayoffs::new(5.0, -3.0, 3.0, -5.0),
+                TargetPayoffs::new(7.0, -7.0, 7.0, -7.0),
+            ],
+            1.0,
+        )
+    }
+
+    #[test]
+    fn paper_example_bounds_reproduced() {
+        // Paper: L1(0.3) = e^{−6·0.3 + 0.5·1 + 0.4·(−7)} = e^{−4.1},
+        //        U1(0.3) = e^{−2·0.3 + 1·5 + 0.9·(−3)} = e^{1.7}.
+        let m = table1_model(BoundConvention::CornerComponentwise);
+        let g = table1_game();
+        let (lo, hi) = m.log_bounds(&g, 0, 0.3);
+        assert!((lo - -4.1).abs() < 1e-12, "lo = {lo}");
+        assert!((hi - 1.7).abs() < 1e-12, "hi = {hi}");
+    }
+
+    #[test]
+    fn exact_interval_is_wider_on_penalty_products() {
+        // Exact min of w3·Pa over [0.4,0.9]×[−7,−3] is 0.9·(−7) = −6.3,
+        // below the componentwise corner 0.4·(−7) = −2.8: exact lower
+        // bound must be smaller.
+        let g = table1_game();
+        let corner = table1_model(BoundConvention::CornerComponentwise);
+        let exact = table1_model(BoundConvention::ExactInterval);
+        let (c_lo, c_hi) = corner.log_bounds(&g, 0, 0.3);
+        let (e_lo, e_hi) = exact.log_bounds(&g, 0, 0.3);
+        assert!(e_lo < c_lo);
+        assert!(e_hi >= c_hi - 1e-12);
+    }
+
+    #[test]
+    fn exact_bounds_contain_all_box_samples() {
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let m = table1_model(BoundConvention::ExactInterval);
+        let g = table1_game();
+        for _ in 0..500 {
+            let x = rng.gen_range(0.0..=1.0);
+            let i = rng.gen_range(0..2usize);
+            let w1 = rng.gen_range(-6.0..=-2.0);
+            let w2 = rng.gen_range(0.5..=1.0);
+            let w3 = rng.gen_range(0.4..=0.9);
+            let (ra_iv, pa_iv) = m.payoffs[i];
+            let ra = rng.gen_range(ra_iv.lo..=ra_iv.hi);
+            let pa = rng.gen_range(pa_iv.lo..=pa_iv.hi);
+            let exponent = w1 * x + w2 * ra + w3 * pa;
+            let (lo, hi) = m.log_bounds(&g, i, x);
+            assert!(
+                lo - 1e-9 <= exponent && exponent <= hi + 1e-9,
+                "sample {exponent} outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn componentwise_bounds_always_ordered() {
+        // A box where the naive corners invert; the implementation must
+        // still return ordered bounds.
+        let m = UncertainSuqr::new(
+            SuqrUncertainty {
+                w1: Interval::new(-1.0, -1.0),
+                w2: Interval::new(0.0, 0.0),
+                w3: Interval::new(0.4, 0.9),
+            },
+            vec![(Interval::point(1.0), Interval::new(-7.0, -6.0))],
+            BoundConvention::CornerComponentwise,
+        );
+        let g = SecurityGame::new(vec![TargetPayoffs::new(1.0, -1.0, 1.0, -7.0)], 1.0);
+        let (lo, hi) = m.log_bounds(&g, 0, 0.0);
+        assert!(lo <= hi);
+    }
+
+    #[test]
+    fn bounds_decrease_with_coverage() {
+        let g = table1_game();
+        for conv in [BoundConvention::CornerComponentwise, BoundConvention::ExactInterval] {
+            let m = table1_model(conv);
+            let (l0, u0) = m.bounds(&g, 0, 0.1);
+            let (l1, u1) = m.bounds(&g, 0, 0.9);
+            assert!(l1 < l0, "{conv:?}");
+            assert!(u1 < u0, "{conv:?}");
+        }
+    }
+
+    #[test]
+    fn scale_width_zero_collapses_to_point() {
+        let m = table1_model(BoundConvention::ExactInterval).scale_width(0.0);
+        let g = table1_game();
+        let (lo, hi) = m.log_bounds(&g, 0, 0.4);
+        assert!((hi - lo).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_width_monotone_in_factor() {
+        let g = table1_game();
+        let base = table1_model(BoundConvention::ExactInterval);
+        let narrow = base.scale_width(0.5);
+        let (bl, bh) = base.log_bounds(&g, 1, 0.5);
+        let (nl, nh) = narrow.log_bounds(&g, 1, 0.5);
+        assert!(nh - nl < bh - bl);
+        assert!(nl >= bl && nh <= bh);
+    }
+
+    #[test]
+    fn fixed_choice_degenerate_interval() {
+        let g = table1_game();
+        let suqr = crate::suqr::Suqr::new(crate::suqr::SuqrWeights::LITERATURE);
+        let f = FixedChoice(suqr);
+        let (l, u) = f.bounds(&g, 0, 0.3);
+        assert!((l - u).abs() < 1e-12);
+        assert!((l - suqr.attractiveness(&g, 0, 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_midpoint_matches_mean_of_bounds() {
+        let g = table1_game();
+        let m = table1_model(BoundConvention::CornerComponentwise);
+        let mid = IntervalMidpoint(&m);
+        let (l, u) = m.bounds(&g, 0, 0.3);
+        let f = crate::choice::ChoiceModel::attractiveness(&mid, &g, 0, 0.3);
+        assert!((f - 0.5 * (l + u)).abs() < 1e-9 * (l + u));
+    }
+
+    #[test]
+    fn around_clips_sign_conventions() {
+        let b = SuqrUncertainty::around(crate::suqr::SuqrWeights::new(-0.1, 0.05, 0.02), 1.0);
+        assert!(b.w1.hi <= 0.0);
+        assert!(b.w2.lo >= 0.0);
+        assert!(b.w3.lo >= 0.0);
+    }
+
+    #[test]
+    fn from_game_builds_payoff_intervals() {
+        let g = table1_game();
+        let m = UncertainSuqr::from_game(
+            &g,
+            SuqrUncertainty::paper_example(),
+            0.5,
+            BoundConvention::ExactInterval,
+        );
+        assert_eq!(m.num_targets(), 2);
+        assert_eq!(m.payoffs[0].0, Interval::new(2.5, 3.5)); // Ra=3 ± 0.5
+        assert_eq!(m.payoffs[1].1, Interval::new(-7.5, -6.5)); // Pa=−7 ± 0.5
+    }
+}

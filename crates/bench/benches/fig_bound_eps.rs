@@ -1,0 +1,34 @@
+//! **F5 bench** — binary-search cost vs ε, plus the printed convergence
+//! table (steps, gap, drift).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cubis_bench::instance;
+use cubis_core::{Cubis, DpInner, RobustProblem};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    cubis_eval::experiments::bound_eps::run(cubis_eval::experiments::Profile::Quick).print();
+
+    let mut g = c.benchmark_group("fig_bound_eps");
+    let (game, model) = instance(0, 6, 2.0, 0.5);
+    for &eps in &[1.0f64, 0.1, 0.01, 1e-3, 1e-4] {
+        g.bench_with_input(
+            BenchmarkId::new("cubis_dp200", format!("{eps:.0e}")),
+            &eps,
+            |b, &eps| {
+                b.iter(|| {
+                    let p = RobustProblem::new(black_box(&game), black_box(&model));
+                    Cubis::new(DpInner::new(200)).with_epsilon(eps).solve(&p).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(12);
+    targets = bench
+}
+criterion_main!(benches);

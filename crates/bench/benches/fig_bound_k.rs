@@ -1,0 +1,29 @@
+//! **F4 bench** — MILP cost vs K, plus the printed O(1/K) error table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cubis_bench::instance;
+use cubis_core::{Cubis, MilpInner, RobustProblem};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    cubis_eval::experiments::bound_k::run(cubis_eval::experiments::Profile::Quick).print();
+
+    let mut g = c.benchmark_group("fig_bound_k");
+    let (game, model) = instance(0, 6, 2.0, 0.5);
+    for &k in &[2usize, 4, 8, 16, 32] {
+        g.bench_with_input(BenchmarkId::new("cubis_milp", k), &k, |b, &k| {
+            b.iter(|| {
+                let p = RobustProblem::new(black_box(&game), black_box(&model));
+                Cubis::new(MilpInner::new(k)).with_epsilon(1e-3).solve(&p).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

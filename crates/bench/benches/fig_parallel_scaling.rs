@@ -1,0 +1,34 @@
+//! **A3 bench** — rayon scaling of the experiment sweep and of the
+//! parallel branch-and-bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cubis_bench::instance;
+use cubis_core::{Cubis, MilpInner, RobustProblem};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    cubis_eval::experiments::parallel_scaling::run(cubis_eval::experiments::Profile::Quick)
+        .print();
+
+    let mut g = c.benchmark_group("fig_parallel_scaling");
+    let (game, model) = instance(0, 10, 3.0, 0.5);
+    for &threads in &[1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("milp_bnb_threads", threads), &threads, |b, &n| {
+            b.iter(|| {
+                let p = RobustProblem::new(black_box(&game), black_box(&model));
+                Cubis::new(MilpInner::new(8).with_threads(n))
+                    .with_epsilon(1e-2)
+                    .solve(&p)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

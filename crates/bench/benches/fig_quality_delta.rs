@@ -1,0 +1,39 @@
+//! **F1 bench** — solver cost across the uncertainty sweep δ, plus the
+//! printed quality series (who wins at each δ).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cubis_bench::instance;
+use cubis_core::{Cubis, DpInner, RobustProblem};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    cubis_eval::experiments::quality_delta::run(cubis_eval::experiments::Profile::Quick).print();
+
+    let mut g = c.benchmark_group("fig_quality_delta");
+    for &delta in &[0.0, 0.5, 1.0] {
+        let (game, model) = instance(0, 8, 3.0, delta);
+        g.bench_with_input(BenchmarkId::new("cubis_dp60", format!("delta{delta}")), &delta, |b, _| {
+            b.iter(|| {
+                let p = RobustProblem::new(black_box(&game), black_box(&model));
+                Cubis::new(DpInner::new(60)).with_epsilon(1e-3).solve(&p).unwrap()
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("midpoint", format!("delta{delta}")),
+            &delta,
+            |b, _| {
+                b.iter(|| {
+                    cubis_solvers::solve_midpoint_params(&game, &model, 60, 1e-3).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench
+}
+criterion_main!(benches);

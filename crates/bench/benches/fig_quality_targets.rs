@@ -1,0 +1,32 @@
+//! **F2 bench** — solver cost vs number of targets, plus the printed
+//! quality-vs-T table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cubis_bench::instance;
+use cubis_core::{Cubis, DpInner, RobustProblem};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    cubis_eval::experiments::quality_targets::run(cubis_eval::experiments::Profile::Quick)
+        .print();
+
+    let mut g = c.benchmark_group("fig_quality_targets");
+    for &t in &[2usize, 5, 10, 20, 40] {
+        let r = (t as f64 / 4.0).ceil();
+        let (game, model) = instance(0, t, r, 0.5);
+        g.bench_with_input(BenchmarkId::new("cubis_dp60", t), &t, |b, _| {
+            b.iter(|| {
+                let p = RobustProblem::new(black_box(&game), black_box(&model));
+                Cubis::new(DpInner::new(60)).with_epsilon(1e-3).solve(&p).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(12);
+    targets = bench
+}
+criterion_main!(benches);

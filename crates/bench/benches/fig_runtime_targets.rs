@@ -1,0 +1,48 @@
+//! **F3 bench** — the efficiency claim: CUBIS (MILP/DP) vs the
+//! multi-start projected-gradient comparator, across game sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cubis_bench::instance;
+use cubis_core::{Cubis, DpInner, MilpInner, RobustProblem};
+use cubis_solvers::{solve_nonconvex, NonconvexOptions};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    cubis_eval::experiments::runtime_targets::run(cubis_eval::experiments::Profile::Quick)
+        .print();
+
+    let mut g = c.benchmark_group("fig_runtime_targets");
+    for &t in &[2usize, 5, 10, 20] {
+        let r = (t as f64 / 4.0).ceil();
+        let (game, model) = instance(0, t, r, 0.5);
+        g.bench_with_input(BenchmarkId::new("cubis_milp_k5", t), &t, |b, _| {
+            b.iter(|| {
+                let p = RobustProblem::new(black_box(&game), black_box(&model));
+                Cubis::new(MilpInner::new(5)).with_epsilon(1e-2).solve(&p).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("cubis_dp100", t), &t, |b, _| {
+            b.iter(|| {
+                let p = RobustProblem::new(black_box(&game), black_box(&model));
+                Cubis::new(DpInner::new(100)).with_epsilon(1e-2).solve(&p).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("multistart_pg", t), &t, |b, _| {
+            let opts = NonconvexOptions {
+                starts: 12,
+                max_iters: 150,
+                parallel: false,
+                ..Default::default()
+            };
+            b.iter(|| solve_nonconvex(black_box(&game), black_box(&model), &opts))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

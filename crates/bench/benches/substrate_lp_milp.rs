@@ -1,0 +1,38 @@
+//! Substrate micro-benchmarks: the simplex and branch-and-bound layers
+//! in isolation (not a paper figure; guards against solver regressions
+//! that would otherwise masquerade as algorithmic slowdowns in F3/F6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cubis_bench::instance;
+use cubis_core::{DpInner, InnerSolver, MilpInner, RobustProblem};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+    for &t in &[4usize, 8, 16] {
+        let (game, model) = instance(0, t, (t as f64 / 4.0).ceil(), 0.5);
+        let p = RobustProblem::new(&game, &model);
+        // One inner MILP solve at a mid-range utility value.
+        let c_val = 0.5 * (game.min_defender_utility() + game.max_defender_utility());
+        g.bench_with_input(BenchmarkId::new("inner_milp_k8", t), &t, |b, _| {
+            let inner = MilpInner::new(8);
+            b.iter(|| inner.maximize_g(black_box(&p), black_box(c_val)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("inner_dp100", t), &t, |b, _| {
+            let inner = DpInner::new(100);
+            b.iter(|| inner.maximize_g(black_box(&p), black_box(c_val)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("oracle", t), &t, |b, _| {
+            let x = cubis_game::uniform_coverage(t, game.resources());
+            b.iter(|| p.worst_case(black_box(&x)).utility)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! **T1 bench** — the Table-I worked example: time CUBIS (MILP and DP
+//! routes) and the midpoint baseline on the 2-target game, and print
+//! the reproduced table once at startup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cubis_core::{Cubis, DpInner, MilpInner, RobustProblem};
+use cubis_eval::fixtures::{table1_game, table1_model};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let game = table1_game();
+    let model = table1_model();
+
+    // Print the reproduced table once so the bench output doubles as the
+    // table regeneration.
+    cubis_eval::experiments::table1::run().print();
+
+    let mut g = c.benchmark_group("table1");
+    g.bench_function("cubis_milp_k20", |b| {
+        b.iter(|| {
+            let p = RobustProblem::new(black_box(&game), black_box(&model));
+            Cubis::new(MilpInner::new(20)).with_epsilon(1e-3).solve(&p).unwrap()
+        })
+    });
+    g.bench_function("cubis_dp_200", |b| {
+        b.iter(|| {
+            let p = RobustProblem::new(black_box(&game), black_box(&model));
+            Cubis::new(DpInner::new(200)).with_epsilon(1e-3).solve(&p).unwrap()
+        })
+    });
+    g.bench_function("midpoint", |b| {
+        b.iter(|| {
+            cubis_solvers::solve_midpoint_params(
+                black_box(&game),
+                black_box(&model),
+                200,
+                1e-3,
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("oracle_eval", |b| {
+        let p = RobustProblem::new(&game, &model);
+        let x = vec![0.46, 0.54];
+        b.iter(|| p.worst_case(black_box(&x)).utility)
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Shared helpers for the criterion benches.
+//!
+//! Each bench target regenerates one table/figure of the evaluation
+//! (DESIGN.md §4). Criterion measures the *solver* runtimes; the
+//! quality numbers for the same configurations are produced by the
+//! `cubis-eval` binaries (`exp_*`), which the benches reuse for their
+//! workloads so the two always agree on inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cubis_eval::fixtures;
+
+use cubis_behavior::UncertainSuqr;
+use cubis_game::SecurityGame;
+
+/// A deterministic workload instance for benching: `(game, model)` at
+/// the given shape, matching the eval harness's seeds.
+pub fn instance(seed: u64, t: usize, r: f64, delta: f64) -> (SecurityGame, UncertainSuqr) {
+    fixtures::workload(seed, t, r, delta)
+}

@@ -1,0 +1,256 @@
+//! Grid dynamic program for the inner maximization.
+//!
+//! Discretize coverage into `P` points per unit (`x_i = a_i / P`,
+//! `a_i ∈ {0..P}`) and the budget into `B = ⌊R·P⌉` units; then
+//! `max Σ_i g_i(a_i/P)` subject to `Σ a_i ≤ B` (or `= B`) is a bounded
+//! knapsack solved in `O(T·B·P)` time and `O(T·B)` memory (for the
+//! backtracking table).
+//!
+//! Unlike the MILP backend this evaluates the **true** `f1/f2` at every
+//! grid point — there is no linearization error, only grid granularity —
+//! which is what makes it a good reference for the Theorem-1
+//! experiments.
+
+use super::{BudgetMode, InnerResult, InnerSolver, InnerStats, SolveError};
+use crate::problem::RobustProblem;
+use crate::transform;
+use cubis_behavior::IntervalChoiceModel;
+
+/// Dynamic-programming inner maximizer.
+#[derive(Debug, Clone, Copy)]
+pub struct DpInner {
+    /// Grid points per unit coverage (the effective `K`).
+    pub points_per_unit: usize,
+    /// Budget handling.
+    pub budget: BudgetMode,
+}
+
+impl DpInner {
+    /// A DP backend with `points_per_unit = p` and the paper's `≤ R`
+    /// budget.
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0, "DpInner: points_per_unit must be positive");
+        Self { points_per_unit: p, budget: BudgetMode::AtMost }
+    }
+
+    /// Use exact budget `Σ x_i = R` instead.
+    pub fn exact_budget(mut self) -> Self {
+        self.budget = BudgetMode::Exact;
+        self
+    }
+}
+
+impl InnerSolver for DpInner {
+    fn maximize_g<M: IntervalChoiceModel>(
+        &self,
+        p: &RobustProblem<'_, M>,
+        c: f64,
+    ) -> Result<InnerResult, SolveError> {
+        let t = p.num_targets();
+        let pp = self.points_per_unit;
+        let budget = (p.resources() * pp as f64).round() as usize;
+        let budget = budget.min(t * pp);
+
+        // Per-target values at each allocation level.
+        let mut values = vec![vec![0.0f64; pp + 1]; t];
+        let mut evaluations = 0usize;
+        for (i, row) in values.iter_mut().enumerate() {
+            for (a, slot) in row.iter_mut().enumerate() {
+                *slot = transform::g(p, i, a as f64 / pp as f64, c);
+                evaluations += 1;
+            }
+        }
+
+        const NEG: f64 = f64::NEG_INFINITY;
+        // dp[b] = best value with the first `i` targets using
+        // (AtMost: at most, Exact: exactly) b units.
+        let mut dp = vec![NEG; budget + 1];
+        match self.budget {
+            BudgetMode::AtMost => dp.fill(0.0),
+            BudgetMode::Exact => dp[0] = 0.0,
+        }
+        // choice[i][b]: units given to target i in the optimum for (i, b).
+        let mut choice = vec![vec![0u32; budget + 1]; t];
+
+        for i in 0..t {
+            let mut next = vec![NEG; budget + 1];
+            for b in 0..=budget {
+                let a_max = b.min(pp);
+                let mut best = NEG;
+                let mut best_a = 0u32;
+                for a in 0..=a_max {
+                    let prev = dp[b - a];
+                    if prev == NEG {
+                        continue;
+                    }
+                    let v = prev + values[i][a];
+                    if v > best {
+                        best = v;
+                        best_a = a as u32;
+                    }
+                }
+                next[b] = best;
+                choice[i][b] = best_a;
+            }
+            dp = next;
+        }
+
+        // Pick the best budget level (AtMost: dp is already cumulative in
+        // the "at most" sense because every level allows a = 0; still
+        // scan for safety. Exact: only the full budget qualifies).
+        let (mut b, g_value) = match self.budget {
+            BudgetMode::AtMost => {
+                let mut best = (0usize, NEG);
+                for (bb, &v) in dp.iter().enumerate() {
+                    if v > best.1 {
+                        best = (bb, v);
+                    }
+                }
+                best
+            }
+            BudgetMode::Exact => (budget, dp[budget]),
+        };
+        if !g_value.is_finite() {
+            return Err(SolveError::UnexpectedInfeasible { c });
+        }
+
+        // Backtrack the allocation.
+        let mut x = vec![0.0f64; t];
+        for i in (0..t).rev() {
+            let a = choice[i][b] as usize;
+            x[i] = a as f64 / pp as f64;
+            b -= a;
+        }
+
+        Ok(InnerResult {
+            g_value,
+            x,
+            stats: InnerStats { milp_nodes: 0, lp_iterations: 0, evaluations },
+        })
+    }
+
+    fn resolution(&self) -> Option<usize> {
+        Some(self.points_per_unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubis_behavior::{BoundConvention, SuqrUncertainty, UncertainSuqr};
+    use cubis_game::{GameGenerator, SecurityGame, TargetPayoffs};
+
+    fn small() -> (SecurityGame, UncertainSuqr) {
+        let game = SecurityGame::new(
+            vec![
+                TargetPayoffs::new(5.0, -3.0, 3.0, -5.0),
+                TargetPayoffs::new(7.0, -7.0, 7.0, -7.0),
+                TargetPayoffs::new(2.0, -4.0, 4.0, -2.0),
+            ],
+            1.0,
+        );
+        let model = UncertainSuqr::from_game(
+            &game,
+            SuqrUncertainty::paper_example(),
+            0.5,
+            BoundConvention::ExactInterval,
+        );
+        (game, model)
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_grid_enumeration() {
+        let (game, model) = small();
+        let p = RobustProblem::new(&game, &model);
+        let pp = 6usize;
+        let dp = DpInner::new(pp);
+        for &c in &[-4.0, -1.0, 0.0, 1.5] {
+            let res = dp.maximize_g(&p, c).unwrap();
+            // Enumerate all (a0, a1, a2) with Σ ≤ R·pp.
+            let budget = (game.resources() * pp as f64).round() as usize;
+            let mut best = f64::NEG_INFINITY;
+            for a0 in 0..=pp.min(budget) {
+                for a1 in 0..=pp.min(budget - a0) {
+                    for a2 in 0..=pp.min(budget - a0 - a1) {
+                        let x = [
+                            a0 as f64 / pp as f64,
+                            a1 as f64 / pp as f64,
+                            a2 as f64 / pp as f64,
+                        ];
+                        best = best.max(transform::g_total(&p, &x, c));
+                    }
+                }
+            }
+            assert!(
+                (res.g_value - best).abs() < 1e-9,
+                "c={c}: dp {} vs brute {best}",
+                res.g_value
+            );
+            // The reported x must achieve the reported value.
+            assert!(
+                (transform::g_total(&p, &res.x, c) - res.g_value).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn dp_solution_is_budget_feasible() {
+        let (game, model) = small();
+        let p = RobustProblem::new(&game, &model);
+        let res = DpInner::new(10).maximize_g(&p, 0.0).unwrap();
+        let total: f64 = res.x.iter().sum();
+        assert!(total <= game.resources() + 1e-9);
+        assert!(res.x.iter().all(|&xi| (0.0..=1.0).contains(&xi)));
+    }
+
+    #[test]
+    fn exact_budget_uses_all_resources() {
+        let (game, model) = small();
+        let p = RobustProblem::new(&game, &model);
+        let res = DpInner::new(10).exact_budget().maximize_g(&p, 0.0).unwrap();
+        let total: f64 = res.x.iter().sum();
+        assert!((total - game.resources()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn at_most_is_no_worse_than_exact() {
+        let (game, model) = small();
+        let p = RobustProblem::new(&game, &model);
+        for &c in &[-3.0, 0.0, 2.0] {
+            let at_most = DpInner::new(8).maximize_g(&p, c).unwrap();
+            let exact = DpInner::new(8).exact_budget().maximize_g(&p, c).unwrap();
+            assert!(at_most.g_value >= exact.g_value - 1e-12, "c={c}");
+        }
+    }
+
+    #[test]
+    fn finer_grid_never_hurts() {
+        let (game, model) = small();
+        let p = RobustProblem::new(&game, &model);
+        for &c in &[-2.0, 0.5] {
+            let coarse = DpInner::new(4).maximize_g(&p, c).unwrap();
+            let fine = DpInner::new(8).maximize_g(&p, c).unwrap();
+            // Coarse grid points are a subset of fine grid points.
+            assert!(fine.g_value >= coarse.g_value - 1e-12, "c={c}");
+        }
+    }
+
+    #[test]
+    fn low_c_is_feasible_high_c_is_not() {
+        // G ≥ 0 at c = min Pd (Section IV); G < 0 at c = max Rd for
+        // games where no strategy achieves the best reward surely.
+        let mut gen = GameGenerator::new(2);
+        let game = gen.generate(5, 2.0);
+        let model = UncertainSuqr::from_game(
+            &game,
+            SuqrUncertainty::paper_example(),
+            0.5,
+            BoundConvention::ExactInterval,
+        );
+        let p = RobustProblem::new(&game, &model);
+        let dp = DpInner::new(20);
+        let (lo, hi) = p.utility_range();
+        assert!(dp.maximize_g(&p, lo).unwrap().g_value >= -1e-12);
+        assert!(dp.maximize_g(&p, hi).unwrap().g_value <= 1e-9);
+    }
+}

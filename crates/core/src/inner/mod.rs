@@ -1,0 +1,125 @@
+//! Inner maximizers for the per-binary-search-step problem
+//!
+//! ```text
+//! max_{x ∈ X}  G_c(x) = Σ_i min(f1_i(x_i), f2_i(x_i))
+//! ```
+//!
+//! (equations 19–21 after the Proposition-3 substitution). Two
+//! interchangeable backends:
+//!
+//! * [`MilpInner`] — the paper's route: piecewise-linearize `f1, f2`
+//!   with `K` segments and solve the MILP (33–40);
+//! * [`DpInner`] — a dynamic program exact on a coverage grid,
+//!   evaluating the *true* `f1, f2` (no linearization); used for
+//!   cross-validation, warm starts, and the high-resolution reference
+//!   in the bound experiments.
+
+mod dp;
+mod greedy;
+mod milp;
+
+pub use dp::DpInner;
+pub use greedy::GreedyInner;
+pub use milp::MilpInner;
+
+use crate::problem::RobustProblem;
+use cubis_behavior::IntervalChoiceModel;
+
+/// How the resource budget enters the inner problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BudgetMode {
+    /// `Σ x_i ≤ R` — the paper's constraint (37).
+    #[default]
+    AtMost,
+    /// `Σ x_i = R` — the strategy-set definition of Section II.
+    Exact,
+}
+
+/// Result of one inner maximization.
+#[derive(Debug, Clone)]
+pub struct InnerResult {
+    /// The achieved objective value. For [`MilpInner`] this is the
+    /// *approximated* `Ḡ_c(x)` (what the paper's feasibility check
+    /// uses); for [`DpInner`] it is the true `G_c(x)` on the grid.
+    pub g_value: f64,
+    /// The maximizing coverage vector.
+    pub x: Vec<f64>,
+    /// Backend effort counters.
+    pub stats: InnerStats,
+}
+
+/// Effort counters accumulated by the CUBIS driver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InnerStats {
+    /// Branch-and-bound nodes (0 for DP).
+    pub milp_nodes: usize,
+    /// Simplex iterations (0 for DP).
+    pub lp_iterations: usize,
+    /// Function (f1/f2) evaluations.
+    pub evaluations: usize,
+}
+
+impl InnerStats {
+    /// Accumulate another step's counters.
+    pub fn add(&mut self, other: InnerStats) {
+        self.milp_nodes += other.milp_nodes;
+        self.lp_iterations += other.lp_iterations;
+        self.evaluations += other.evaluations;
+    }
+}
+
+/// Errors from an inner solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The MILP backend failed (numerics or node budget).
+    Milp(String),
+    /// The per-step problem was reported infeasible, which contradicts
+    /// the theory (G is always finite over X) — indicates a bug or
+    /// numerical breakdown.
+    UnexpectedInfeasible {
+        /// The utility value at which it happened.
+        c: f64,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Milp(m) => write!(f, "MILP backend failure: {m}"),
+            SolveError::UnexpectedInfeasible { c } => {
+                write!(f, "inner problem unexpectedly infeasible at c = {c}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// A backend that maximizes `G_c` over the coverage polytope.
+pub trait InnerSolver {
+    /// Solve `max_x G_c(x)` for the given utility value `c`.
+    fn maximize_g<M: IntervalChoiceModel>(
+        &self,
+        p: &RobustProblem<'_, M>,
+        c: f64,
+    ) -> Result<InnerResult, SolveError>;
+
+    /// Decide the sign of `max_x G_c(x)` (Proposition 2's feasibility
+    /// test). The default fully maximizes; backends may terminate as
+    /// soon as the sign is certified — the returned `g_value` is then a
+    /// witness value (`≥ 0` iff feasible), not necessarily the optimum.
+    /// `tol` is the driver's feasibility slack around zero.
+    fn feasibility_g<M: IntervalChoiceModel>(
+        &self,
+        p: &RobustProblem<'_, M>,
+        c: f64,
+        _tol: f64,
+    ) -> Result<InnerResult, SolveError> {
+        self.maximize_g(p, c)
+    }
+
+    /// The approximation resolution (the paper's `K`), if applicable.
+    fn resolution(&self) -> Option<usize> {
+        None
+    }
+}

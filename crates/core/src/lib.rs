@@ -1,0 +1,50 @@
+//! CUBIS — Competing Uncertainty in attacker Behaviors using
+//! Interval-based maximin Solution.
+//!
+//! This crate is the paper's primary contribution: computing a defender
+//! strategy that maximizes worst-case expected utility when the
+//! attacker's quantal-response attractiveness `F_i(x_i)` is only known
+//! to lie in intervals `[L_i(x_i), U_i(x_i)]`:
+//!
+//! ```text
+//! max_{x∈X}  min_{F∈[L,U]}  Σ_i  (F_i(x_i)/Σ_j F_j(x_j)) · Ud_i(x_i)    (5)
+//! ```
+//!
+//! Pipeline (Section IV of the paper):
+//!
+//! 1. [`transform`] — dualize the inner minimization into the single
+//!    maximization (15–17) with objective `H(x, β)`; Proposition 3's
+//!    extreme-point closure `β_i = max{0, c − Ud_i}` makes the
+//!    per-step objective **separable**: `G_c(x) = Σ_i min(f1_i, f2_i)`.
+//! 2. [`solver::Cubis`] — binary search on the utility value `c`
+//!    (Propositions 1–2), each step solving `max_x G_c(x)` with a
+//!    pluggable [`inner::InnerSolver`]:
+//!    * [`inner::MilpInner`] — the paper's piecewise-linear MILP
+//!      (33–40), solved by our branch-and-bound (CPLEX stand-in);
+//!    * [`inner::DpInner`] — an exact-on-grid dynamic program used for
+//!      cross-validation and as a fast reference.
+//! 3. [`oracle`] — an *exact* worst-case evaluation of any strategy
+//!    (the unique root of `φ(c) = Σ_i min(L_i(u_i−c), U_i(u_i−c))`),
+//!    used to report true solution quality per Lemma 2, and backed by an
+//!    independent LP formulation of the inner problem (6–8) in tests.
+//!
+//! Theorem 1's `O(ε + 1/K)` guarantee is surfaced through
+//! [`solver::CubisSolution::certificate`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod inner;
+pub mod oracle;
+pub mod piecewise;
+pub mod problem;
+pub mod sensitivity;
+pub mod solver;
+pub mod transform;
+
+pub use inner::{DpInner, GreedyInner, InnerResult, InnerSolver, MilpInner};
+pub use oracle::{worst_case_inner_lp, WorstCase};
+pub use problem::RobustProblem;
+pub use sensitivity::{rank_targets, value_of_information};
+pub use inner::SolveError;
+pub use solver::{BudgetMode, Cubis, CubisOptions, CubisSolution};

@@ -1,0 +1,288 @@
+//! Exact worst-case evaluation of a fixed defender strategy.
+//!
+//! For fixed `x` write `u_i = Ud_i(x_i)`, `L_i = L_i(x_i)`,
+//! `U_i = U_i(x_i)`. The adversarial inner problem of (5),
+//!
+//! ```text
+//! min_{F ∈ [L,U]}  Σ_i F_i·u_i / Σ_i F_i ,
+//! ```
+//!
+//! is a linear-fractional program whose optimum `c*` is the unique root
+//! of the strictly decreasing function
+//!
+//! ```text
+//! φ(c) = Σ_i min( L_i·(u_i − c), U_i·(u_i − c) )
+//! ```
+//!
+//! (Dinkelbach's classic argument: at the optimum the adversary puts
+//! `F_i = U_i` on targets with `u_i < c*` — inflate where the defender
+//! suffers — and `F_i = L_i` where `u_i > c*`.) Bisection on `φ` gives
+//! `c*` to machine precision. An independent LP formulation of the inner
+//! problem ((6)–(8), in variables `y, z`) is provided for
+//! cross-validation.
+
+use crate::problem::RobustProblem;
+use crate::transform;
+use cubis_behavior::IntervalChoiceModel;
+use cubis_lp::{LpOptions, LpProblem, LpStatus, Relation, Sense};
+
+/// Result of the exact worst-case oracle.
+#[derive(Debug, Clone)]
+pub struct WorstCase {
+    /// Worst-case expected defender utility `c*`.
+    pub utility: f64,
+    /// The adversary's attractiveness choice achieving it (one `F_i` per
+    /// target; extreme: each is `L_i(x_i)` or `U_i(x_i)`).
+    pub adversarial_f: Vec<f64>,
+    /// The induced attack distribution `q_i = F_i / Σ F_j`.
+    pub attack: Vec<f64>,
+}
+
+impl<M: IntervalChoiceModel> RobustProblem<'_, M> {
+    /// Exact worst-case defender utility of strategy `x` (the value of
+    /// the inner minimization of (5)), by bisection on `φ`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cubis_behavior::{BoundConvention, SuqrUncertainty, UncertainSuqr};
+    /// use cubis_core::RobustProblem;
+    /// use cubis_game::{SecurityGame, TargetPayoffs};
+    ///
+    /// let game = SecurityGame::new(vec![
+    ///     TargetPayoffs::new(4.0, -4.0, 5.0, -5.0),
+    ///     TargetPayoffs::new(3.0, -6.0, 6.0, -3.0),
+    /// ], 1.0);
+    /// let model = UncertainSuqr::from_game(
+    ///     &game, SuqrUncertainty::paper_example(), 0.5,
+    ///     BoundConvention::ExactInterval,
+    /// );
+    /// let problem = RobustProblem::new(&game, &model);
+    /// let wc = problem.worst_case(&[0.5, 0.5]);
+    /// // The adversarial attack distribution is a probability vector…
+    /// assert!((wc.attack.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    /// // …and realizes exactly the reported utility.
+    /// let direct = game.expected_defender_utility(&[0.5, 0.5], &wc.attack);
+    /// assert!((direct - wc.utility).abs() < 1e-9);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `x.len()` mismatches the game.
+    pub fn worst_case(&self, x: &[f64]) -> WorstCase {
+        let t = self.num_targets();
+        assert_eq!(x.len(), t, "worst_case: coverage length mismatch");
+        let us: Vec<f64> = (0..t).map(|i| self.ud(i, x[i])).collect();
+        // φ(lo) ≥ 0 and φ(hi) ≤ 0 at the per-target utility extremes.
+        let mut lo = us.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mut hi = us.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if hi - lo < 1e-15 {
+            // All targets give the same utility: the adversary is
+            // indifferent; worst case is that common value.
+            let f: Vec<f64> = (0..t).map(|i| self.bounds(i, x[i]).1).collect();
+            return finish(lo, f);
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if transform::g_total(self, x, mid) >= 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let c = 0.5 * (lo + hi);
+        // Extreme adversary: U where u_i < c, L where u_i > c. On the
+        // (measure-zero) boundary pick U — both give the same value.
+        let f: Vec<f64> = (0..t)
+            .map(|i| {
+                let (l, u) = self.bounds(i, x[i]);
+                if us[i] > c {
+                    l
+                } else {
+                    u
+                }
+            })
+            .collect();
+        finish(c, f)
+    }
+}
+
+fn finish(utility: f64, f: Vec<f64>) -> WorstCase {
+    let z: f64 = f.iter().sum();
+    let attack = f.iter().map(|&fi| fi / z).collect();
+    WorstCase { utility, adversarial_f: f, attack }
+}
+
+/// Independent cross-check: solve the inner minimization as the LP
+/// (6)–(8) in `(y, z)`:
+///
+/// ```text
+/// min Σ y_i·u_i   s.t.  Σ y_i = 1,   L_i·z ≤ y_i ≤ U_i·z
+/// ```
+///
+/// Returns the optimal value, or `None` if the LP solver fails
+/// (should not happen on valid inputs; used in tests and debugging).
+pub fn worst_case_inner_lp<M: IntervalChoiceModel>(
+    p: &RobustProblem<'_, M>,
+    x: &[f64],
+) -> Option<f64> {
+    let t = p.num_targets();
+    assert_eq!(x.len(), t, "worst_case_inner_lp: coverage length mismatch");
+    let mut lp = LpProblem::new(Sense::Minimize);
+    let ys: Vec<_> = (0..t)
+        .map(|i| lp.add_var(format!("y{i}"), 0.0, 1.0, p.ud(i, x[i])))
+        .collect();
+    let z = lp.add_var("z", 0.0, f64::INFINITY, 0.0);
+    lp.add_constraint(ys.iter().map(|&y| (y, 1.0)).collect(), Relation::Eq, 1.0);
+    for i in 0..t {
+        let (l, u) = p.bounds(i, x[i]);
+        // y_i − L_i·z ≥ 0  and  y_i − U_i·z ≤ 0.
+        lp.add_constraint(vec![(ys[i], 1.0), (z, -l)], Relation::Ge, 0.0);
+        lp.add_constraint(vec![(ys[i], 1.0), (z, -u)], Relation::Le, 0.0);
+    }
+    let sol = cubis_lp::solve(&lp, &LpOptions::default()).ok()?;
+    (sol.status == LpStatus::Optimal).then_some(sol.objective)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubis_behavior::{
+        BoundConvention, FixedChoice, Interval, Suqr, SuqrUncertainty, SuqrWeights, UncertainSuqr,
+    };
+    use cubis_game::{GameGenerator, SecurityGame, TargetPayoffs};
+
+    fn fixture() -> (SecurityGame, UncertainSuqr) {
+        let game = SecurityGame::new(
+            vec![
+                TargetPayoffs::new(5.0, -3.0, 3.0, -5.0),
+                TargetPayoffs::new(7.0, -7.0, 7.0, -7.0),
+            ],
+            1.0,
+        );
+        let model = UncertainSuqr::new(
+            SuqrUncertainty::paper_example(),
+            vec![
+                (Interval::new(1.0, 5.0), Interval::new(-7.0, -3.0)),
+                (Interval::new(5.0, 9.0), Interval::new(-9.0, -5.0)),
+            ],
+            BoundConvention::CornerComponentwise,
+        );
+        (game, model)
+    }
+
+    #[test]
+    fn oracle_value_is_phi_root() {
+        let (game, model) = fixture();
+        let p = RobustProblem::new(&game, &model);
+        let x = [0.46, 0.54];
+        let wc = p.worst_case(&x);
+        let phi = crate::transform::g_total(&p, &x, wc.utility);
+        assert!(phi.abs() < 1e-6, "φ(c*) = {phi}");
+    }
+
+    #[test]
+    fn oracle_matches_direct_expected_utility() {
+        let (game, model) = fixture();
+        let p = RobustProblem::new(&game, &model);
+        let x = [0.3, 0.7];
+        let wc = p.worst_case(&x);
+        let direct = game.expected_defender_utility(&x, &wc.attack);
+        assert!(
+            (direct - wc.utility).abs() < 1e-9,
+            "direct {direct} vs oracle {}",
+            wc.utility
+        );
+    }
+
+    #[test]
+    fn oracle_no_better_than_any_box_sample() {
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let (game, model) = fixture();
+        let p = RobustProblem::new(&game, &model);
+        let x = [0.5, 0.5];
+        let wc = p.worst_case(&x);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..300 {
+            // Random F inside the box: utility must be ≥ worst case.
+            let f: Vec<f64> = (0..2)
+                .map(|i| {
+                    let (l, u) = p.bounds(i, x[i]);
+                    rng.gen_range(l..=u)
+                })
+                .collect();
+            let z: f64 = f.iter().sum();
+            let util: f64 =
+                (0..2).map(|i| f[i] / z * game.defender_utility(i, x[i])).sum();
+            assert!(util >= wc.utility - 1e-9);
+        }
+    }
+
+    #[test]
+    fn oracle_agrees_with_inner_lp_on_random_games() {
+        let mut gen = GameGenerator::new(31);
+        for trial in 0..25 {
+            let t = 2 + trial % 6;
+            let game = gen.generate(t, (t as f64 / 3.0).max(1.0));
+            let model = UncertainSuqr::from_game(
+                &game,
+                SuqrUncertainty::paper_example(),
+                0.5,
+                BoundConvention::ExactInterval,
+            );
+            let p = RobustProblem::new(&game, &model);
+            let x = cubis_game::uniform_coverage(t, game.resources());
+            let wc = p.worst_case(&x);
+            let lp = worst_case_inner_lp(&p, &x).expect("inner LP");
+            assert!(
+                (wc.utility - lp).abs() < 1e-5,
+                "trial {trial}: oracle {} vs LP {lp}",
+                wc.utility
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_interval_reduces_to_point_quantal_response() {
+        // With L = U = F the worst case *is* the point model's utility.
+        let game = GameGenerator::new(7).generate(5, 2.0);
+        let suqr = Suqr::new(SuqrWeights::LITERATURE);
+        let model = FixedChoice(suqr);
+        let p = RobustProblem::new(&game, &model);
+        let x = cubis_game::uniform_coverage(5, 2.0);
+        let q = cubis_behavior::attack_distribution(&suqr, &game, &x);
+        let point_util = game.expected_defender_utility(&x, &q);
+        let wc = p.worst_case(&x);
+        assert!((wc.utility - point_util).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identical_utilities_shortcut() {
+        // Every target same payoffs and same coverage ⇒ worst case equals
+        // the common utility.
+        let game = SecurityGame::new(
+            vec![TargetPayoffs::new(4.0, -4.0, 4.0, -4.0); 3],
+            1.5,
+        );
+        let model = UncertainSuqr::from_game(
+            &game,
+            SuqrUncertainty::paper_example(),
+            1.0,
+            BoundConvention::ExactInterval,
+        );
+        let p = RobustProblem::new(&game, &model);
+        let x = [0.5, 0.5, 0.5];
+        let wc = p.worst_case(&x);
+        assert!((wc.utility - game.defender_utility(0, 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wider_intervals_never_help_the_defender() {
+        let (game, model) = fixture();
+        let p_wide = RobustProblem::new(&game, &model);
+        let narrow = model.scale_width(0.3);
+        let p_narrow = RobustProblem::new(&game, &narrow);
+        let x = [0.4, 0.6];
+        assert!(p_wide.worst_case(&x).utility <= p_narrow.worst_case(&x).utility + 1e-9);
+    }
+}

@@ -1,0 +1,169 @@
+//! Piecewise-linear approximation over `[0, 1]` with `K` equal segments
+//! (Section IV-C, equations 31–32).
+
+/// A piecewise-linear approximation of a univariate function on `[0,1]`:
+/// `f(x) ≈ f(0) + Σ_k s_k·x_k` where `x_k` is the portion of `x` falling
+/// in segment `k` (fill order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinear {
+    /// Value at zero, `f(0)`.
+    pub f0: f64,
+    /// Segment slopes `s_k = K·[f(k/K) − f((k−1)/K)]`, `k = 1..K`.
+    pub slopes: Vec<f64>,
+}
+
+impl PiecewiseLinear {
+    /// Sample `f` at the breakpoints `k/K` and build the approximation.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `f` returns a non-finite value at a
+    /// breakpoint.
+    pub fn build(k: usize, f: impl Fn(f64) -> f64) -> Self {
+        assert!(k > 0, "PiecewiseLinear: K must be positive");
+        let kf = k as f64;
+        let mut prev = f(0.0);
+        assert!(prev.is_finite(), "PiecewiseLinear: f(0) not finite");
+        let f0 = prev;
+        let slopes = (1..=k)
+            .map(|j| {
+                let v = f(j as f64 / kf);
+                assert!(v.is_finite(), "PiecewiseLinear: f({j}/{k}) not finite");
+                let s = kf * (v - prev);
+                prev = v;
+                s
+            })
+            .collect();
+        Self { f0, slopes }
+    }
+
+    /// Number of segments `K`.
+    pub fn k(&self) -> usize {
+        self.slopes.len()
+    }
+
+    /// Fill-order segment portions of a coverage value:
+    /// `x_k = clamp(x − (k−1)/K, 0, 1/K)`, so `Σ_k x_k = x`.
+    pub fn segment_portions(k: usize, x: f64) -> Vec<f64> {
+        assert!(k > 0, "segment_portions: K must be positive");
+        assert!((-1e-12..=1.0 + 1e-12).contains(&x), "segment_portions: x {x} outside [0,1]");
+        let kf = k as f64;
+        (1..=k)
+            .map(|j| (x - (j as f64 - 1.0) / kf).clamp(0.0, 1.0 / kf))
+            .collect()
+    }
+
+    /// Evaluate the approximation at `x ∈ [0,1]`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let portions = Self::segment_portions(self.k(), x);
+        self.f0
+            + self
+                .slopes
+                .iter()
+                .zip(&portions)
+                .map(|(s, p)| s * p)
+                .sum::<f64>()
+    }
+
+    /// The worst-case approximation error bound `max|f′|/K` of Lemma 1,
+    /// estimated by sampling the derivative on a fine grid.
+    pub fn error_bound_estimate(k: usize, f: impl Fn(f64) -> f64) -> f64 {
+        let fine = 1024;
+        let h = 1.0 / fine as f64;
+        let mut max_d = 0.0f64;
+        for j in 0..fine {
+            let a = j as f64 * h;
+            let d = (f(a + h) - f(a)) / h;
+            max_d = max_d.max(d.abs());
+        }
+        max_d / k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_1_portions() {
+        // K = 5, x = 0.3 ⇒ x_1 = 1/5, x_2 = 0.1, x_3..x_5 = 0.
+        let p = PiecewiseLinear::segment_portions(5, 0.3);
+        assert!((p[0] - 0.2).abs() < 1e-12);
+        assert!((p[1] - 0.1).abs() < 1e-12);
+        assert_eq!(&p[2..], &[0.0, 0.0, 0.0]);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_on_linear_functions() {
+        let f = |x: f64| 3.0 - 2.0 * x;
+        let pw = PiecewiseLinear::build(4, f);
+        for j in 0..=20 {
+            let x = j as f64 / 20.0;
+            assert!((pw.eval(x) - f(x)).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn exact_at_breakpoints_for_any_function() {
+        let f = |x: f64| (5.0 * x).sin() + x * x;
+        let k = 7;
+        let pw = PiecewiseLinear::build(k, f);
+        for j in 0..=k {
+            let x = j as f64 / k as f64;
+            assert!((pw.eval(x) - f(x)).abs() < 1e-12, "breakpoint {j}");
+        }
+    }
+
+    #[test]
+    fn error_decays_like_one_over_k() {
+        let f = |x: f64| (-3.0 * x).exp() * (x - 0.5);
+        let err = |k: usize| {
+            let pw = PiecewiseLinear::build(k, f);
+            (0..=200)
+                .map(|j| {
+                    let x = j as f64 / 200.0;
+                    (pw.eval(x) - f(x)).abs()
+                })
+                .fold(0.0f64, f64::max)
+        };
+        let e4 = err(4);
+        let e8 = err(8);
+        let e32 = err(32);
+        assert!(e8 < e4);
+        assert!(e32 < e8);
+        // Roughly first-order (the Lemma-1 bound is O(1/K); allow slack).
+        assert!(e32 < e4 / 4.0, "e4={e4}, e32={e32}");
+    }
+
+    #[test]
+    fn error_bound_estimate_dominates_observed_error() {
+        let f = |x: f64| (-2.0 * x).exp();
+        for k in [2usize, 8, 32] {
+            let pw = PiecewiseLinear::build(k, f);
+            let observed = (0..=500)
+                .map(|j| {
+                    let x = j as f64 / 500.0;
+                    (pw.eval(x) - f(x)).abs()
+                })
+                .fold(0.0f64, f64::max);
+            let bound = PiecewiseLinear::error_bound_estimate(k, f);
+            assert!(observed <= bound * 1.01 + 1e-9, "k={k}: {observed} > {bound}");
+        }
+    }
+
+    #[test]
+    fn slopes_match_formula() {
+        let f = |x: f64| x * x;
+        let pw = PiecewiseLinear::build(2, f);
+        // s_1 = 2·(f(1/2) − f(0)) = 0.5; s_2 = 2·(f(1) − f(1/2)) = 1.5.
+        assert!((pw.slopes[0] - 0.5).abs() < 1e-12);
+        assert!((pw.slopes[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "K must be positive")]
+    fn zero_segments_rejected() {
+        PiecewiseLinear::build(0, |x| x);
+    }
+}

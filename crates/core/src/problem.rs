@@ -1,0 +1,91 @@
+//! The behavioral-robust problem instance: a game plus an interval model.
+
+use cubis_behavior::IntervalChoiceModel;
+use cubis_game::SecurityGame;
+
+/// Problem (5): the pairing of a [`SecurityGame`] with an
+/// [`IntervalChoiceModel`] giving `[L_i(x_i), U_i(x_i)]`.
+///
+/// All CUBIS machinery consumes this view; it caches nothing, so it is
+/// cheap to construct and freely shareable across threads (the borrow is
+/// immutable).
+#[derive(Debug, Clone, Copy)]
+pub struct RobustProblem<'a, M> {
+    /// The game (defender payoffs, resource budget).
+    pub game: &'a SecurityGame,
+    /// The uncertainty-interval attacker model.
+    pub model: &'a M,
+}
+
+impl<'a, M: IntervalChoiceModel> RobustProblem<'a, M> {
+    /// Pair a game with a model.
+    pub fn new(game: &'a SecurityGame, model: &'a M) -> Self {
+        Self { game, model }
+    }
+
+    /// Number of targets.
+    pub fn num_targets(&self) -> usize {
+        self.game.num_targets()
+    }
+
+    /// Resource budget `R`.
+    pub fn resources(&self) -> f64 {
+        self.game.resources()
+    }
+
+    /// Defender utility `Ud_i(x_i)` (equation 1).
+    #[inline]
+    pub fn ud(&self, i: usize, x_i: f64) -> f64 {
+        self.game.defender_utility(i, x_i)
+    }
+
+    /// Attractiveness bounds `(L_i(x_i), U_i(x_i))`, both positive.
+    #[inline]
+    pub fn bounds(&self, i: usize, x_i: f64) -> (f64, f64) {
+        self.model.bounds(self.game, i, x_i)
+    }
+
+    /// Binary-search range for the defender utility value:
+    /// `[min_i Pd_i, max_i Rd_i]`.
+    pub fn utility_range(&self) -> (f64, f64) {
+        (self.game.min_defender_utility(), self.game.max_defender_utility())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubis_behavior::{BoundConvention, Interval, SuqrUncertainty, UncertainSuqr};
+    use cubis_game::TargetPayoffs;
+
+    fn fixture() -> (SecurityGame, UncertainSuqr) {
+        let game = SecurityGame::new(
+            vec![
+                TargetPayoffs::new(5.0, -3.0, 3.0, -5.0),
+                TargetPayoffs::new(7.0, -7.0, 7.0, -7.0),
+            ],
+            1.0,
+        );
+        let model = UncertainSuqr::new(
+            SuqrUncertainty::paper_example(),
+            vec![
+                (Interval::new(1.0, 5.0), Interval::new(-7.0, -3.0)),
+                (Interval::new(5.0, 9.0), Interval::new(-9.0, -5.0)),
+            ],
+            BoundConvention::CornerComponentwise,
+        );
+        (game, model)
+    }
+
+    #[test]
+    fn view_delegates() {
+        let (game, model) = fixture();
+        let p = RobustProblem::new(&game, &model);
+        assert_eq!(p.num_targets(), 2);
+        assert_eq!(p.resources(), 1.0);
+        assert_eq!(p.ud(0, 1.0), 5.0);
+        let (l, u) = p.bounds(0, 0.3);
+        assert!(l > 0.0 && l <= u);
+        assert_eq!(p.utility_range(), (-7.0, 7.0));
+    }
+}

@@ -1,0 +1,166 @@
+//! Uncertainty attribution: which target's behavioral uncertainty hurts
+//! the defender most?
+//!
+//! The paper ties interval width to data availability; this module
+//! answers the planning question that follows — *where to spend the
+//! next data-collection effort*. For a strategy `x`, the **value of
+//! information** at target `i` is the worst-case utility gain from
+//! collapsing that one target's interval `[L_i, U_i]` to its (log-)
+//! midpoint while all other targets stay uncertain:
+//!
+//! ```text
+//! VOI_i(x) = worst-case(x | target i resolved) − worst-case(x)
+//! ```
+//!
+//! Collapsing a constraint set can only shrink the adversary's feasible
+//! region, so `VOI_i ≥ 0` always; ranking targets by it gives a
+//! data-collection priority list (used by the `uncertainty_audit`
+//! example).
+
+use crate::problem::RobustProblem;
+use cubis_behavior::IntervalChoiceModel;
+use cubis_game::SecurityGame;
+
+/// View of a model with one target's interval collapsed to its
+/// log-midpoint (the geometric mean of `L` and `U`).
+struct CollapseTarget<'m, M> {
+    inner: &'m M,
+    target: usize,
+}
+
+impl<M: IntervalChoiceModel> IntervalChoiceModel for CollapseTarget<'_, M> {
+    fn log_bounds(&self, game: &SecurityGame, i: usize, x_i: f64) -> (f64, f64) {
+        let (lo, hi) = self.inner.log_bounds(game, i, x_i);
+        if i == self.target {
+            let mid = 0.5 * (lo + hi);
+            (mid, mid)
+        } else {
+            (lo, hi)
+        }
+    }
+}
+
+/// Per-target value of information for strategy `x` (see module docs).
+///
+/// # Panics
+/// Panics if `x.len()` mismatches the game.
+pub fn value_of_information<M: IntervalChoiceModel>(
+    p: &RobustProblem<'_, M>,
+    x: &[f64],
+) -> Vec<f64> {
+    let t = p.num_targets();
+    assert_eq!(x.len(), t, "value_of_information: coverage length mismatch");
+    let base = p.worst_case(x).utility;
+    (0..t)
+        .map(|i| {
+            let collapsed = CollapseTarget { inner: p.model, target: i };
+            let cp = RobustProblem::new(p.game, &collapsed);
+            (cp.worst_case(x).utility - base).max(0.0)
+        })
+        .collect()
+}
+
+/// Targets ordered by decreasing value of information (ties keep index
+/// order). The first entries are where extra behavioral data pays most.
+pub fn rank_targets<M: IntervalChoiceModel>(p: &RobustProblem<'_, M>, x: &[f64]) -> Vec<usize> {
+    let voi = value_of_information(p, x);
+    let mut order: Vec<usize> = (0..voi.len()).collect();
+    order.sort_by(|&a, &b| {
+        voi[b].partial_cmp(&voi[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubis_behavior::{BoundConvention, Interval, SuqrUncertainty, UncertainSuqr};
+    use cubis_game::{GameGenerator, SecurityGame, TargetPayoffs};
+
+    fn fixture() -> (SecurityGame, UncertainSuqr) {
+        let game = GameGenerator::new(300).generate(5, 2.0);
+        let model = UncertainSuqr::from_game(
+            &game,
+            SuqrUncertainty::paper_example(),
+            1.0,
+            BoundConvention::ExactInterval,
+        );
+        (game, model)
+    }
+
+    #[test]
+    fn voi_is_nonnegative() {
+        let (game, model) = fixture();
+        let p = RobustProblem::new(&game, &model);
+        let x = cubis_game::uniform_coverage(5, 2.0);
+        for (i, v) in value_of_information(&p, &x).iter().enumerate() {
+            assert!(*v >= 0.0, "target {i}: VOI {v}");
+        }
+    }
+
+    #[test]
+    fn resolving_a_degenerate_interval_is_worthless() {
+        // Build a model where target 0 already has a point interval.
+        let game = SecurityGame::new(
+            vec![
+                TargetPayoffs::new(4.0, -4.0, 4.0, -4.0),
+                TargetPayoffs::new(5.0, -5.0, 5.0, -5.0),
+            ],
+            1.0,
+        );
+        let model = UncertainSuqr::new(
+            SuqrUncertainty {
+                w1: Interval::point(-4.0),
+                w2: Interval::point(0.7),
+                w3: Interval::point(0.5),
+            },
+            vec![
+                (Interval::point(4.0), Interval::point(-4.0)), // resolved
+                (Interval::new(3.0, 7.0), Interval::new(-7.0, -3.0)), // uncertain
+            ],
+            BoundConvention::ExactInterval,
+        );
+        let p = RobustProblem::new(&game, &model);
+        // Asymmetric coverage so the per-target defender utilities
+        // differ (with equal utilities the adversary's choice — and
+        // hence any information — is worthless by construction).
+        let voi = value_of_information(&p, &[0.7, 0.3]);
+        assert!(voi[0] < 1e-9, "resolved target has VOI {}", voi[0]);
+        assert!(voi[1] > 0.0, "uncertain target has VOI {}", voi[1]);
+    }
+
+    #[test]
+    fn ranking_puts_widest_intervals_first_on_symmetric_games() {
+        let game = SecurityGame::new(
+            vec![TargetPayoffs::new(4.0, -4.0, 4.0, -4.0); 3],
+            1.5,
+        );
+        // Same payoff intervals except target 2 has much wider reward
+        // uncertainty.
+        let model = UncertainSuqr::new(
+            SuqrUncertainty {
+                w1: Interval::point(-4.0),
+                w2: Interval::point(0.7),
+                w3: Interval::point(0.5),
+            },
+            vec![
+                (Interval::new(3.5, 4.5), Interval::point(-4.0)),
+                (Interval::new(3.5, 4.5), Interval::point(-4.0)),
+                (Interval::new(1.0, 7.0), Interval::point(-4.0)),
+            ],
+            BoundConvention::ExactInterval,
+        );
+        let p = RobustProblem::new(&game, &model);
+        let order = rank_targets(&p, &[0.6, 0.5, 0.4]);
+        assert_eq!(order[0], 2, "order {order:?}");
+    }
+
+    #[test]
+    fn rank_is_a_permutation() {
+        let (game, model) = fixture();
+        let p = RobustProblem::new(&game, &model);
+        let mut order = rank_targets(&p, &cubis_game::uniform_coverage(5, 2.0));
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,218 @@
+//! The CUBIS driver: binary search over the defender-utility value.
+//!
+//! Propositions 1–2 justify the search: the value-point problem **P1**
+//! ("does some `(x, β)` achieve exactly `c`?") is monotone in `c`, and
+//! its feasibility is decided by the sign of `max_x G_c(x)`. The driver
+//! therefore maintains `[lb, ub]` with **P1** feasible at `lb` and
+//! infeasible at `ub`, halving until `ub − lb ≤ ε`.
+//!
+//! Per Lemma 2, the strategy returned at the final feasible step has
+//! true worst-case utility at least `lb − O(1/K)`; the driver reports
+//! the *exact* worst-case utility of the returned strategy via the
+//! oracle, so callers never consume the approximation error blindly.
+
+use crate::inner::{InnerResult, InnerSolver, InnerStats, SolveError};
+use crate::problem::RobustProblem;
+use cubis_behavior::IntervalChoiceModel;
+
+pub use crate::inner::BudgetMode;
+
+/// Options for the binary search.
+#[derive(Debug, Clone)]
+pub struct CubisOptions {
+    /// Convergence threshold `ε` on `ub − lb`.
+    pub epsilon: f64,
+    /// Feasibility tolerance on `G ≥ 0` (absorbs solver roundoff).
+    pub g_tol: f64,
+    /// Hard cap on binary-search steps (safety; `ε` normally terminates
+    /// first).
+    pub max_steps: usize,
+}
+
+impl Default for CubisOptions {
+    fn default() -> Self {
+        Self { epsilon: 1e-3, g_tol: 1e-9, max_steps: 128 }
+    }
+}
+
+/// Theorem-1 certificate attached to a solution.
+#[derive(Debug, Clone, Copy)]
+pub struct Certificate {
+    /// Final binary-search gap `ub − lb ≤ ε`.
+    pub gap: f64,
+    /// Approximation resolution `K` of the inner solver, if applicable.
+    pub k: Option<usize>,
+}
+
+/// Result of a CUBIS solve.
+#[derive(Debug, Clone)]
+pub struct CubisSolution {
+    /// The robust defender strategy (coverage vector).
+    pub x: Vec<f64>,
+    /// Final binary-search lower bound (last feasible `c`).
+    pub lb: f64,
+    /// Final binary-search upper bound (first infeasible `c`).
+    pub ub: f64,
+    /// **Exact** worst-case expected utility of `x` (oracle-evaluated;
+    /// by Lemma 2 this is ≥ `lb − O(1/K)`).
+    pub worst_case: f64,
+    /// Number of binary-search steps performed.
+    pub binary_steps: usize,
+    /// Accumulated backend effort.
+    pub stats: InnerStats,
+    /// Inner-solver resolution (`K`), recorded for the certificate.
+    k: Option<usize>,
+}
+
+impl CubisSolution {
+    /// The Theorem-1 `O(ε + 1/K)` certificate.
+    pub fn certificate(&self) -> Certificate {
+        Certificate { gap: self.ub - self.lb, k: self.k }
+    }
+
+    fn with_k(mut self, k: Option<usize>) -> Self {
+        self.k = k;
+        self
+    }
+}
+
+/// The CUBIS solver: a binary search parameterized by an inner
+/// maximization backend (MILP per the paper, or the DP reference).
+///
+/// # Example
+///
+/// ```
+/// use cubis_behavior::{BoundConvention, SuqrUncertainty, UncertainSuqr};
+/// use cubis_core::{Cubis, MilpInner, RobustProblem};
+/// use cubis_game::{SecurityGame, TargetPayoffs};
+///
+/// let game = SecurityGame::new(vec![
+///     TargetPayoffs::new(5.0, -6.0, 3.0, -5.0),
+///     TargetPayoffs::new(6.0, -9.0, 7.0, -7.0),
+/// ], 1.0);
+/// let model = UncertainSuqr::from_game(
+///     &game, SuqrUncertainty::paper_example(), 1.0,
+///     BoundConvention::CornerComponentwise,
+/// );
+/// let problem = RobustProblem::new(&game, &model);
+/// let solution = Cubis::new(MilpInner::new(10))
+///     .with_epsilon(1e-3)
+///     .solve(&problem)
+///     .unwrap();
+/// assert!(solution.ub - solution.lb <= 1e-3 + 1e-12);
+/// assert!((solution.x.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cubis<I> {
+    /// Inner maximization backend.
+    pub inner: I,
+    /// Search options.
+    pub opts: CubisOptions,
+}
+
+impl<I: InnerSolver> Cubis<I> {
+    /// CUBIS with default options.
+    pub fn new(inner: I) -> Self {
+        Self { inner, opts: CubisOptions::default() }
+    }
+
+    /// Override the convergence threshold `ε`.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "with_epsilon: epsilon must be positive");
+        self.opts.epsilon = epsilon;
+        self
+    }
+
+    /// Compute the robust defender strategy for problem (5).
+    pub fn solve<M: IntervalChoiceModel>(
+        &self,
+        p: &RobustProblem<'_, M>,
+    ) -> Result<CubisSolution, SolveError> {
+        let (range_lo, range_hi) = p.utility_range();
+        let mut stats = InnerStats::default();
+        let mut steps = 0usize;
+
+        // Anchor: P1 is always feasible at c = min_i Pd_i (every term of
+        // G is then nonnegative), giving an initial strategy even if all
+        // midpoints turn out infeasible.
+        let first = self.inner.feasibility_g(p, range_lo, self.opts.g_tol)?;
+        stats.add(first.stats);
+        steps += 1;
+        debug_assert!(first.g_value >= -self.opts.g_tol, "P1 infeasible at range low");
+        let mut best: InnerResult = first;
+        let mut lb = range_lo;
+        let mut ub = range_hi;
+
+        while ub - lb > self.opts.epsilon && steps < self.opts.max_steps {
+            let mid = 0.5 * (lb + ub);
+            let res = self.inner.feasibility_g(p, mid, self.opts.g_tol)?;
+            stats.add(res.stats);
+            steps += 1;
+            if res.g_value >= -self.opts.g_tol {
+                lb = mid;
+                best = res;
+            } else {
+                ub = mid;
+            }
+        }
+
+        let worst_case = p.worst_case(&best.x).utility;
+        Ok(CubisSolution {
+            x: best.x,
+            lb,
+            ub,
+            worst_case,
+            binary_steps: steps,
+            stats,
+            k: None,
+        }
+        .with_k(self.inner.resolution()))
+    }
+}
+
+/// Number of binary-search steps needed for threshold `ε` over a range
+/// of width `w` (the paper's `⌈log₂(w/ε)⌉`, plus the anchor step).
+pub fn predicted_steps(w: f64, epsilon: f64) -> usize {
+    assert!(w >= 0.0 && epsilon > 0.0, "predicted_steps: bad inputs");
+    if w <= epsilon {
+        return 1;
+    }
+    (w / epsilon).log2().ceil() as usize + 1
+}
+
+// Re-export the error type at the solver level for convenience.
+pub use crate::inner::SolveError as CubisError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inner::DpInner;
+    use cubis_behavior::{BoundConvention, SuqrUncertainty, UncertainSuqr};
+    use cubis_game::GameGenerator;
+
+    #[test]
+    fn predicted_steps_formula() {
+        assert_eq!(predicted_steps(16.0, 1.0), 5);
+        assert_eq!(predicted_steps(0.5, 1.0), 1);
+        assert_eq!(predicted_steps(14.0, 0.001), 15);
+    }
+
+    #[test]
+    fn binary_step_count_matches_prediction() {
+        let mut gen = GameGenerator::new(5);
+        let game = gen.generate(4, 1.0);
+        let model = UncertainSuqr::from_game(
+            &game,
+            SuqrUncertainty::paper_example(),
+            0.5,
+            BoundConvention::ExactInterval,
+        );
+        let p = RobustProblem::new(&game, &model);
+        let eps = 0.01;
+        let solver = Cubis::new(DpInner::new(20)).with_epsilon(eps);
+        let sol = solver.solve(&p).unwrap();
+        let (lo, hi) = p.utility_range();
+        assert_eq!(sol.binary_steps, predicted_steps(hi - lo, eps));
+        assert!(sol.ub - sol.lb <= eps);
+    }
+}

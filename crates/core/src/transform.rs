@@ -1,0 +1,219 @@
+//! The dual transform of Section IV-A and the separable objective of
+//! Section IV-C.
+//!
+//! Key quantities, all for a given utility value `c`:
+//!
+//! * `f1_i(x_i) = L_i(x_i)·(Ud_i(x_i) − c)`
+//! * `f2_i(x_i) = U_i(x_i)·(Ud_i(x_i) − c)`
+//! * `β*_i = max{0, c − Ud_i(x_i)}` (Proposition 3)
+//! * `G_c(x, β*) = Σ_i f1_i − Σ_i v_i` with
+//!   `v_i = (U_i − L_i)·β*_i = max{0, f1_i − f2_i}`, so
+//!   `G_c(x) = Σ_i min(f1_i, f2_i)` — separable per target.
+//! * `H(x, β)` — equation (14), the dualized defender utility.
+
+use crate::problem::RobustProblem;
+use cubis_behavior::IntervalChoiceModel;
+
+/// `f1_i(x_i) = L_i(x_i)·(Ud_i(x_i) − c)`.
+#[inline]
+pub fn f1<M: IntervalChoiceModel>(p: &RobustProblem<'_, M>, i: usize, x_i: f64, c: f64) -> f64 {
+    let (l, _) = p.bounds(i, x_i);
+    l * (p.ud(i, x_i) - c)
+}
+
+/// `f2_i(x_i) = U_i(x_i)·(Ud_i(x_i) − c)`.
+#[inline]
+pub fn f2<M: IntervalChoiceModel>(p: &RobustProblem<'_, M>, i: usize, x_i: f64, c: f64) -> f64 {
+    let (_, u) = p.bounds(i, x_i);
+    u * (p.ud(i, x_i) - c)
+}
+
+/// The separable per-target term `g_i(x_i; c) = min(f1_i, f2_i)`.
+///
+/// Identity (proved in the crate tests): with Proposition 3's
+/// `β*_i = max{0, c − Ud_i}`, the paper's `f1_i − v_i` equals
+/// `min(f1_i, f2_i)` — the adversary uses `L_i` where the defender does
+/// well (`Ud_i ≥ c`) and `U_i` where she does poorly.
+#[inline]
+pub fn g<M: IntervalChoiceModel>(p: &RobustProblem<'_, M>, i: usize, x_i: f64, c: f64) -> f64 {
+    let (l, u) = p.bounds(i, x_i);
+    let d = p.ud(i, x_i) - c;
+    if d >= 0.0 {
+        l * d
+    } else {
+        u * d
+    }
+}
+
+/// `G_c(x) = Σ_i g_i(x_i; c)` — the numerator of `H(x, β*) − c`
+/// (equation 18 after the Proposition-3 substitution).
+pub fn g_total<M: IntervalChoiceModel>(p: &RobustProblem<'_, M>, x: &[f64], c: f64) -> f64 {
+    assert_eq!(x.len(), p.num_targets(), "g_total: coverage length mismatch");
+    x.iter().enumerate().map(|(i, &xi)| g(p, i, xi, c)).sum()
+}
+
+/// Proposition 3's extreme point: `β*_i = max{0, c − Ud_i(x_i)}`.
+pub fn beta_star<M: IntervalChoiceModel>(p: &RobustProblem<'_, M>, x: &[f64], c: f64) -> Vec<f64> {
+    assert_eq!(x.len(), p.num_targets(), "beta_star: coverage length mismatch");
+    x.iter()
+        .enumerate()
+        .map(|(i, &xi)| (c - p.ud(i, xi)).max(0.0))
+        .collect()
+}
+
+/// Equation (14): the dualized worst-case defender utility
+///
+/// ```text
+/// H(x, β) = [Σ_i L_i·Ud_i − Σ_i (U_i − L_i)·β_i] / Σ_i L_i
+/// ```
+///
+/// # Panics
+/// Panics on length mismatches.
+pub fn h<M: IntervalChoiceModel>(p: &RobustProblem<'_, M>, x: &[f64], beta: &[f64]) -> f64 {
+    let t = p.num_targets();
+    assert_eq!(x.len(), t, "h: coverage length mismatch");
+    assert_eq!(beta.len(), t, "h: beta length mismatch");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..t {
+        let (l, u) = p.bounds(i, x[i]);
+        num += l * p.ud(i, x[i]) - (u - l) * beta[i];
+        den += l;
+    }
+    num / den
+}
+
+/// Equation (13): recover the dual variable
+/// `α_i = Ud_i(x_i) + β_i − η` with `η = H(x, β)`.
+pub fn alpha<M: IntervalChoiceModel>(
+    p: &RobustProblem<'_, M>,
+    x: &[f64],
+    beta: &[f64],
+) -> Vec<f64> {
+    let eta = h(p, x, beta);
+    x.iter()
+        .zip(beta)
+        .enumerate()
+        .map(|(i, (&xi, &bi))| p.ud(i, xi) + bi - eta)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubis_behavior::{BoundConvention, SuqrUncertainty, UncertainSuqr};
+    use cubis_game::{SecurityGame, TargetPayoffs};
+
+    fn fixture() -> (SecurityGame, UncertainSuqr) {
+        let game = SecurityGame::new(
+            vec![
+                TargetPayoffs::new(5.0, -3.0, 3.0, -5.0),
+                TargetPayoffs::new(7.0, -7.0, 7.0, -7.0),
+                TargetPayoffs::new(4.0, -2.0, 2.0, -4.0),
+            ],
+            1.5,
+        );
+        let model = UncertainSuqr::from_game(
+            &game,
+            SuqrUncertainty::paper_example(),
+            1.0,
+            BoundConvention::ExactInterval,
+        );
+        (game, model)
+    }
+
+    #[test]
+    fn g_is_min_of_f1_f2() {
+        let (game, model) = fixture();
+        let p = RobustProblem::new(&game, &model);
+        for &c in &[-5.0, 0.0, 3.0, 6.9] {
+            for i in 0..3 {
+                for k in 0..=10 {
+                    let x = k as f64 / 10.0;
+                    let want = f1(&p, i, x, c).min(f2(&p, i, x, c));
+                    assert!((g(&p, i, x, c) - want).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn g_equals_f1_minus_v_with_prop3_beta() {
+        // The paper's formulation: G = Σ f1_i − Σ v_i with
+        // v_i = (U−L)·β*_i. Must equal Σ min(f1, f2).
+        let (game, model) = fixture();
+        let p = RobustProblem::new(&game, &model);
+        let x = [0.5, 0.7, 0.3];
+        for &c in &[-4.0, 0.0, 2.5] {
+            let beta = beta_star(&p, &x, c);
+            let mut g_paper = 0.0;
+            for i in 0..3 {
+                let (l, u) = p.bounds(i, x[i]);
+                let v = (u - l) * beta[i];
+                g_paper += f1(&p, i, x[i], c) - v;
+            }
+            assert!(
+                (g_paper - g_total(&p, &x, c)).abs() < 1e-9,
+                "c={c}: paper {g_paper} vs separable {}",
+                g_total(&p, &x, c)
+            );
+        }
+    }
+
+    #[test]
+    fn h_at_beta_star_is_fixed_point_iff_g_zero() {
+        // H(x, β*(c)) = c exactly when G_c(x) = 0; more generally
+        // H(x, β*(c)) − c has the sign of G_c(x).
+        let (game, model) = fixture();
+        let p = RobustProblem::new(&game, &model);
+        let x = [0.4, 0.8, 0.3];
+        for &c in &[-6.0, -1.0, 1.0, 4.0] {
+            let beta = beta_star(&p, &x, c);
+            let hv = h(&p, &x, &beta);
+            let gv = g_total(&p, &x, c);
+            assert_eq!(hv > c, gv > 0.0, "c={c}, H={hv}, G={gv}");
+        }
+    }
+
+    #[test]
+    fn g_total_is_decreasing_in_c() {
+        let (game, model) = fixture();
+        let p = RobustProblem::new(&game, &model);
+        let x = [0.5, 0.5, 0.5];
+        let mut prev = f64::INFINITY;
+        for k in 0..=20 {
+            let c = -7.0 + 14.0 * k as f64 / 20.0;
+            let gv = g_total(&p, &x, c);
+            assert!(gv < prev + 1e-12, "not decreasing at c={c}");
+            prev = gv;
+        }
+    }
+
+    #[test]
+    fn alpha_nonnegative_iff_constraint_16() {
+        // Constraint (16): Ud_i + β_i − H ≥ 0 ⇔ α_i ≥ 0.
+        let (game, model) = fixture();
+        let p = RobustProblem::new(&game, &model);
+        let x = [0.4, 0.8, 0.3];
+        let c = 0.5;
+        let beta = beta_star(&p, &x, c);
+        let a = alpha(&p, &x, &beta);
+        let hv = h(&p, &x, &beta);
+        for (i, ai) in a.iter().enumerate() {
+            let lhs = p.ud(i, x[i]) + beta[i] - hv;
+            assert!((ai - lhs).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn beta_star_zero_when_defender_satisfied() {
+        let (game, model) = fixture();
+        let p = RobustProblem::new(&game, &model);
+        // c below every Pd ⇒ all β* = 0.
+        let beta = beta_star(&p, &[0.0, 0.0, 0.0], -10.0);
+        assert!(beta.iter().all(|&b| b == 0.0));
+        // c above every Rd ⇒ all β* > 0.
+        let beta2 = beta_star(&p, &[1.0, 1.0, 1.0], 10.0);
+        assert!(beta2.iter().all(|&b| b > 0.0));
+    }
+}

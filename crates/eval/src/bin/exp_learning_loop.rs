@@ -1,0 +1,8 @@
+//! Regenerates F7 (see DESIGN.md §4). Set CUBIS_FULL=1 for the
+//! paper-scale sweep.
+
+use cubis_eval::experiments::Profile;
+
+fn main() {
+    cubis_eval::experiments::learning_loop::run(Profile::from_env()).print();
+}

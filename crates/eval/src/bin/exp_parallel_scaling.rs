@@ -1,0 +1,8 @@
+//! Regenerates A3 (see DESIGN.md §4). Set CUBIS_FULL=1 for the
+//! paper-scale sweep.
+
+use cubis_eval::experiments::Profile;
+
+fn main() {
+    cubis_eval::experiments::parallel_scaling::run(Profile::from_env()).print();
+}

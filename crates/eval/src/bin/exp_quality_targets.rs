@@ -1,0 +1,8 @@
+//! Regenerates F2 (see DESIGN.md §4). Set CUBIS_FULL=1 for the
+//! paper-scale sweep.
+
+use cubis_eval::experiments::Profile;
+
+fn main() {
+    cubis_eval::experiments::quality_targets::run(Profile::from_env()).print();
+}

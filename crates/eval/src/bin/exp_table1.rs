@@ -1,0 +1,5 @@
+//! Regenerates T1 (see DESIGN.md §4).
+
+fn main() {
+    cubis_eval::experiments::table1::run().print();
+}

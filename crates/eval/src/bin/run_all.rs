@@ -1,0 +1,31 @@
+//! Runs the full experiment suite in DESIGN.md §4 order, printing the
+//! markdown blocks EXPERIMENTS.md records and writing the same tables
+//! to `results.json`. Set CUBIS_FULL=1 for paper-scale sweeps.
+
+use cubis_eval::experiments::{self, Profile};
+use cubis_eval::report::{write_json, Report};
+
+fn main() {
+    let p = Profile::from_env();
+    eprintln!("profile: {p:?} (set CUBIS_FULL=1 for full sweeps)\n");
+    let reports: Vec<Report> = vec![
+        experiments::table1::run(),
+        experiments::quality_delta::run(p),
+        experiments::quality_targets::run(p),
+        experiments::runtime_targets::run(p),
+        experiments::bound_k::run(p),
+        experiments::bound_eps::run(p),
+        experiments::runtime_k::run(p),
+        experiments::ablate_backend::run(p),
+        experiments::ablate_convention::run(p),
+        experiments::learning_loop::run(p),
+        experiments::parallel_scaling::run(p),
+    ];
+    for r in &reports {
+        r.print();
+    }
+    match write_json(&reports, "results.json") {
+        Ok(()) => eprintln!("wrote results.json"),
+        Err(e) => eprintln!("could not write results.json: {e}"),
+    }
+}

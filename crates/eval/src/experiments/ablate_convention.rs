@@ -1,0 +1,101 @@
+//! **A2 — bound-convention ablation.**
+//!
+//! The paper's worked example derives `L/U` from component-wise
+//! parameter corners, which is *not* the true box minimum when a
+//! product flips sign (DESIGN.md §2). This ablation quantifies the
+//! difference: interval width, and how a strategy optimized under one
+//! convention fares when the world is as pessimistic as the other.
+
+use super::Profile;
+use crate::fixtures::workload_with;
+use crate::metrics::Series;
+use crate::report::Report;
+use cubis_behavior::{BoundConvention, IntervalChoiceModel};
+use cubis_core::RobustProblem;
+
+/// Run the experiment.
+pub fn run(profile: Profile) -> Report {
+    let seeds: Vec<u64> = (0..profile.seeds().min(10)).collect();
+    let mut r = Report::new(
+        "A2 — bound convention: paper corners vs exact interval arithmetic",
+        vec![
+            "metric",
+            "corner (paper)",
+            "exact",
+        ],
+    );
+    r.note(
+        "T = 6, R = 2, δ = 0.5. 'log-width' is the mean of ln U − ln L over \
+         targets at x = 0.5; 'wc under exact' evaluates each convention's \
+         optimal strategy against the exact-interval adversary (the safe \
+         pessimistic world).",
+    );
+    let mut width_c = Series::new();
+    let mut width_e = Series::new();
+    let mut wc_cc = Series::new(); // corner-optimized, corner-evaluated
+    let mut wc_ce = Series::new(); // corner-optimized, exact-evaluated
+    let mut wc_ee = Series::new(); // exact-optimized, exact-evaluated
+    for &seed in &seeds {
+        let (game, corner) =
+            workload_with(seed, 6, 2.0, 0.5, BoundConvention::CornerComponentwise);
+        let (_, exact) = workload_with(seed, 6, 2.0, 0.5, BoundConvention::ExactInterval);
+        for i in 0..6 {
+            let (lc, uc) = corner.log_bounds(&game, i, 0.5);
+            let (le, ue) = exact.log_bounds(&game, i, 0.5);
+            width_c.push(uc - lc);
+            width_e.push(ue - le);
+        }
+        let pc = RobustProblem::new(&game, &corner);
+        let pe = RobustProblem::new(&game, &exact);
+        let xc = super::cubis_dp(100, 1e-3).solve(&pc).unwrap().x;
+        let xe = super::cubis_dp(100, 1e-3).solve(&pe).unwrap().x;
+        wc_cc.push(pc.worst_case(&xc).utility);
+        wc_ce.push(pe.worst_case(&xc).utility);
+        wc_ee.push(pe.worst_case(&xe).utility);
+    }
+    r.row(vec![
+        "mean log-width of [L,U]".into(),
+        format!("{:.3}", width_c.mean()),
+        format!("{:.3}", width_e.mean()),
+    ]);
+    r.row(vec![
+        "wc under own convention".into(),
+        wc_cc.summary(),
+        wc_ee.summary(),
+    ]);
+    r.row(vec![
+        "wc under exact adversary".into(),
+        wc_ce.summary(),
+        wc_ee.summary(),
+    ]);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_intervals_are_wider_and_safer() {
+        let (game, corner) =
+            workload_with(0, 5, 2.0, 0.5, BoundConvention::CornerComponentwise);
+        let (_, exact) = workload_with(0, 5, 2.0, 0.5, BoundConvention::ExactInterval);
+        // Width: exact ⊇ corner.
+        for i in 0..5 {
+            let (lc, uc) = corner.log_bounds(&game, i, 0.3);
+            let (le, ue) = exact.log_bounds(&game, i, 0.3);
+            assert!(le <= lc + 1e-9 && ue >= uc - 1e-9, "target {i}");
+        }
+        // Optimizing under exact can only improve the exact worst case.
+        let pe = RobustProblem::new(&game, &exact);
+        let pc = RobustProblem::new(&game, &corner);
+        let xe = super::super::cubis_dp(60, 1e-2).solve(&pe).unwrap().x;
+        let xc = super::super::cubis_dp(60, 1e-2).solve(&pc).unwrap().x;
+        assert!(
+            pe.worst_case(&xe).utility >= pe.worst_case(&xc).utility - 0.05,
+            "exact-optimal {} vs corner-optimal {} under exact adversary",
+            pe.worst_case(&xe).utility,
+            pe.worst_case(&xc).utility
+        );
+    }
+}

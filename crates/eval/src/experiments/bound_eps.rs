@@ -1,0 +1,81 @@
+//! **F5 — convergence vs ε (Theorem 1's `O(ε)` term).**
+//!
+//! Binary-search iterations follow `⌈log₂(range/ε)⌉` exactly, and the
+//! final gap `ub − lb` (the ε part of the Theorem-1 certificate) shrinks
+//! linearly with ε while the returned utility stabilizes.
+
+use super::Profile;
+use crate::fixtures::workload;
+use crate::metrics::Series;
+use crate::report::Report;
+use cubis_core::solver::predicted_steps;
+
+/// The ε grid.
+pub const EPSILONS: [f64; 5] = [1.0, 0.1, 0.01, 1e-3, 1e-4];
+/// Workload shape.
+pub const T: usize = 6;
+
+/// Run the experiment.
+pub fn run(profile: Profile) -> Report {
+    let seeds: Vec<u64> = (0..profile.seeds().min(8)).collect();
+    let mut r = Report::new(
+        "F5 — binary-search behavior vs ε",
+        vec!["epsilon", "steps (measured)", "steps (predicted)", "gap ub−lb", "worst-case drift"],
+    );
+    r.note(format!(
+        "T = {T}, R = 2, δ = 0.5, DP backend at 200 pts, {} seeds. Drift is \
+         the mean |worst-case(ε) − worst-case(1e-4)|; it should fall to ~0 \
+         as ε shrinks while steps grow logarithmically.",
+        seeds.len()
+    ));
+
+    // Reference solution per seed at the tightest ε.
+    let reference: Vec<f64> = seeds
+        .iter()
+        .map(|&s| {
+            let (game, model) = workload(s, T, 2.0, 0.5);
+            let p = cubis_core::RobustProblem::new(&game, &model);
+            super::cubis_dp(200, 1e-4).solve(&p).unwrap().worst_case
+        })
+        .collect();
+
+    for &eps in &EPSILONS {
+        let mut steps = Series::new();
+        let mut gaps = Series::new();
+        let mut drift = Series::new();
+        let mut predicted = 0usize;
+        for (si, &seed) in seeds.iter().enumerate() {
+            let (game, model) = workload(seed, T, 2.0, 0.5);
+            let p = cubis_core::RobustProblem::new(&game, &model);
+            let sol = super::cubis_dp(200, eps).solve(&p).unwrap();
+            let (lo, hi) = p.utility_range();
+            predicted = predicted_steps(hi - lo, eps);
+            steps.push(sol.binary_steps as f64);
+            gaps.push(sol.ub - sol.lb);
+            drift.push((sol.worst_case - reference[si]).abs());
+        }
+        r.row(vec![
+            format!("{eps:.0e}"),
+            format!("{:.1}", steps.mean()),
+            format!("{predicted}"),
+            format!("{:.2e}", gaps.mean()),
+            format!("{:.4}", drift.mean()),
+        ]);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_tracks_epsilon() {
+        let (game, model) = workload(1, 4, 1.0, 0.5);
+        let p = cubis_core::RobustProblem::new(&game, &model);
+        for eps in [0.5, 0.05, 0.005] {
+            let sol = super::super::cubis_dp(100, eps).solve(&p).unwrap();
+            assert!(sol.ub - sol.lb <= eps + 1e-12, "eps {eps}: gap {}", sol.ub - sol.lb);
+        }
+    }
+}

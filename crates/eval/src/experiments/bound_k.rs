@@ -1,0 +1,93 @@
+//! **F4 — solution-quality error vs K (Theorem 1's `O(1/K)` term).**
+//!
+//! CUBIS(K)'s worst-case utility is compared against a high-resolution
+//! reference (DP at 512 points); the gap should shrink roughly like
+//! `1/K` as the piecewise approximation refines.
+
+use super::Profile;
+use crate::fixtures::workload;
+use crate::metrics::Series;
+use crate::report::Report;
+use rayon::prelude::*;
+
+/// The K grid (Quick profile stops at 32).
+pub const KS: [usize; 6] = [2, 4, 8, 16, 32, 64];
+/// Workload shape.
+pub const T: usize = 6;
+/// Fixed uncertainty level.
+pub const DELTA: f64 = 0.5;
+
+/// Run the experiment.
+pub fn run(profile: Profile) -> Report {
+    let (ks, seeds, eps): (&[usize], u64, f64) = match profile {
+        Profile::Quick => (&KS[..5], 5, 1e-3),
+        Profile::Full => (&KS, 10, 1e-4),
+    };
+    let seeds: Vec<u64> = (0..seeds).collect();
+
+    // Reference value per seed (computed once, shared across K).
+    let reference: Vec<f64> = seeds
+        .par_iter()
+        .map(|&seed| {
+            let (game, model) = workload(seed, T, 2.0, DELTA);
+            let p = cubis_core::RobustProblem::new(&game, &model);
+            super::cubis_dp(512, eps).solve(&p).expect("reference").worst_case
+        })
+        .collect();
+
+    let rows: Vec<(usize, Series)> = ks
+        .par_iter()
+        .map(|&k| {
+            let mut errs = Series::new();
+            for (si, &seed) in seeds.iter().enumerate() {
+                let (game, model) = workload(seed, T, 2.0, DELTA);
+                let p = cubis_core::RobustProblem::new(&game, &model);
+                let approx = super::cubis_milp(k, eps).solve(&p).expect("milp").worst_case;
+                errs.push((reference[si] - approx).abs());
+            }
+            (k, errs)
+        })
+        .collect();
+
+    let mut r = Report::new(
+        "F4 — |CUBIS(K) − reference| vs K (validates the O(1/K) bound)",
+        vec!["K", "mean abs error", "max abs error", "1/K reference curve"],
+    );
+    r.note(format!(
+        "T = {T}, R = 2, δ = {DELTA}, {} seeds, ε = {eps:.0e}; reference = \
+         CUBIS(DP, 512 pts). The last column scales the K = {} error by \
+         {}/K — the Theorem-1 shape the measured error should track.",
+        seeds.len(),
+        ks[0],
+        ks[0]
+    ));
+    let first_err = rows[0].1.mean();
+    for (k, errs) in &rows {
+        let max = errs.values().iter().cloned().fold(0.0f64, f64::max);
+        r.row(vec![
+            format!("{k}"),
+            format!("{:.4}", errs.mean()),
+            format!("{max:.4}"),
+            format!("{:.4}", first_err * KS[0] as f64 / *k as f64),
+        ]);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_shrinks_with_k() {
+        let (game, model) = workload(0, 4, 1.0, 0.5);
+        let p = cubis_core::RobustProblem::new(&game, &model);
+        let reference = super::super::cubis_dp(512, 1e-4).solve(&p).unwrap().worst_case;
+        let e = |k: usize| {
+            (super::super::cubis_milp(k, 1e-4).solve(&p).unwrap().worst_case - reference).abs()
+        };
+        let e2 = e(2);
+        let e16 = e(16);
+        assert!(e16 <= e2 + 1e-9, "e2 = {e2}, e16 = {e16}");
+    }
+}

@@ -1,0 +1,159 @@
+//! One module per table/figure (see DESIGN.md §4).
+
+pub mod ablate_backend;
+pub mod ablate_convention;
+pub mod bound_eps;
+pub mod bound_k;
+pub mod learning_loop;
+pub mod parallel_scaling;
+pub mod quality_delta;
+pub mod quality_targets;
+pub mod runtime_k;
+pub mod runtime_targets;
+pub mod table1;
+
+use cubis_behavior::UncertainSuqr;
+use cubis_core::{Cubis, DpInner, MilpInner, RobustProblem};
+use cubis_game::SecurityGame;
+use cubis_solvers as solvers;
+
+/// Effort profile: `quick` keeps every experiment in seconds-to-a-minute
+/// territory; `full` matches the paper-scale sweeps. Selected with the
+/// `CUBIS_FULL=1` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Reduced seeds/sizes (default).
+    Quick,
+    /// Paper-scale sweeps.
+    Full,
+}
+
+impl Profile {
+    /// Read the profile from the environment (`CUBIS_FULL=1` → Full).
+    pub fn from_env() -> Self {
+        if std::env::var("CUBIS_FULL").map(|v| v == "1").unwrap_or(false) {
+            Profile::Full
+        } else {
+            Profile::Quick
+        }
+    }
+
+    /// Number of seeded instances per configuration.
+    pub fn seeds(self) -> u64 {
+        match self {
+            Profile::Quick => 8,
+            Profile::Full => 30,
+        }
+    }
+}
+
+/// Default grid resolution for DP-backed CUBIS in quality sweeps.
+pub const DP_RESOLUTION: usize = 60;
+/// Default binary-search threshold.
+pub const EPSILON: f64 = 1e-3;
+/// Sampled attacker types for the worst-type / Bayesian baselines.
+pub const N_TYPES: usize = 8;
+
+/// The solver zoo compared in the quality experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Baseline {
+    /// CUBIS with the DP inner solver (same answers as the MILP route,
+    /// used in sweeps for speed; the MILP route is exercised in T1, F3,
+    /// F4, F6 and A1).
+    Cubis,
+    /// Best response to midpoint parameters (the paper's strawman).
+    Midpoint,
+    /// Worst-type robust (Brown et al. style) over sampled types.
+    WorstType,
+    /// Bayesian average over sampled types.
+    Bayesian,
+    /// Uniform coverage.
+    Uniform,
+    /// Behavior-free maximin.
+    Maximin,
+    /// SSE vs a perfectly rational attacker (ORIGAMI).
+    Origami,
+}
+
+impl Baseline {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Baseline::Cubis => "CUBIS",
+            Baseline::Midpoint => "Midpoint",
+            Baseline::WorstType => "WorstType",
+            Baseline::Bayesian => "Bayesian",
+            Baseline::Uniform => "Uniform",
+            Baseline::Maximin => "Maximin",
+            Baseline::Origami => "ORIGAMI",
+        }
+    }
+
+    /// The zoo in presentation order.
+    pub fn all() -> [Baseline; 7] {
+        [
+            Baseline::Cubis,
+            Baseline::Midpoint,
+            Baseline::WorstType,
+            Baseline::Bayesian,
+            Baseline::Uniform,
+            Baseline::Maximin,
+            Baseline::Origami,
+        ]
+    }
+
+    /// Compute this baseline's strategy on an instance. Seeds for the
+    /// type-sampling baselines derive from `seed` so instances stay
+    /// deterministic.
+    pub fn solve(self, game: &SecurityGame, model: &UncertainSuqr, seed: u64) -> Vec<f64> {
+        match self {
+            Baseline::Cubis => {
+                let p = RobustProblem::new(game, model);
+                Cubis::new(DpInner::new(DP_RESOLUTION))
+                    .with_epsilon(EPSILON)
+                    .solve(&p)
+                    .expect("CUBIS(DP) cannot fail on valid instances")
+                    .x
+            }
+            Baseline::Midpoint => {
+                solvers::solve_midpoint_params(game, model, DP_RESOLUTION, EPSILON)
+                    .expect("midpoint solve failed")
+            }
+            Baseline::WorstType => {
+                let types = solvers::sample_types(model, N_TYPES, seed ^ 0x5eed);
+                let opts = solvers::WorstTypeOptions { k: 4, epsilon: 0.05, ..Default::default() };
+                solvers::solve_worst_type(game, &types, &opts).expect("worst-type solve failed")
+            }
+            Baseline::Bayesian => {
+                let types = solvers::sample_types(model, N_TYPES, seed ^ 0x5eed);
+                let opts = solvers::NonconvexOptions {
+                    starts: 6,
+                    max_iters: 80,
+                    seed: seed ^ 0xbe5,
+                    parallel: false,
+                    ..Default::default()
+                };
+                solvers::solve_bayesian(game, &types, &opts)
+            }
+            Baseline::Uniform => solvers::solve_uniform(game),
+            Baseline::Maximin => solvers::solve_maximin(game),
+            Baseline::Origami => solvers::solve_origami(game),
+        }
+    }
+}
+
+/// Exact worst-case utility of `x` on an instance (the quality metric of
+/// every experiment).
+pub fn robust_value(game: &SecurityGame, model: &UncertainSuqr, x: &[f64]) -> f64 {
+    RobustProblem::new(game, model).worst_case(x).utility
+}
+
+/// A CUBIS solver using the paper's MILP inner route.
+pub fn cubis_milp(k: usize, epsilon: f64) -> Cubis<MilpInner> {
+    Cubis::new(MilpInner::new(k)).with_epsilon(epsilon)
+}
+
+/// A CUBIS solver using the DP inner route.
+pub fn cubis_dp(resolution: usize, epsilon: f64) -> Cubis<DpInner> {
+    Cubis::new(DpInner::new(resolution)).with_epsilon(epsilon)
+}

@@ -1,0 +1,75 @@
+//! **A3 — parallel scaling of the experiment sweep.**
+//!
+//! The harness parallelizes instance sweeps with rayon (the session's
+//! hpc-parallel idiom); this experiment measures the speedup of the F1
+//! cell grid as the thread count grows.
+
+use super::{robust_value, Baseline};
+use crate::fixtures::workload;
+use crate::metrics::timed;
+use crate::report::Report;
+use rayon::prelude::*;
+
+/// Thread counts measured.
+pub const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The work item batch timed at each thread count: CUBIS + midpoint on
+/// a seed grid.
+fn sweep(seeds: u64) -> f64 {
+    let jobs: Vec<u64> = (0..seeds).collect();
+    jobs.into_par_iter()
+        .map(|seed| {
+            let (game, model) = workload(seed, 12, 3.0, 0.5);
+            let xc = Baseline::Cubis.solve(&game, &model, seed);
+            let xm = Baseline::Midpoint.solve(&game, &model, seed);
+            let xb = Baseline::Bayesian.solve(&game, &model, seed);
+            robust_value(&game, &model, &xc)
+                - robust_value(&game, &model, &xm)
+                - robust_value(&game, &model, &xb)
+        })
+        .sum()
+}
+
+/// Run the experiment.
+pub fn run(_profile: super::Profile) -> Report {
+    let seeds = 32;
+    let mut r = Report::new(
+        "A3 — sweep wall-time vs rayon threads",
+        vec!["threads", "seconds", "speedup"],
+    );
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    r.note(format!(
+        "Workload: CUBIS + midpoint + Bayesian on {seeds} seeded games \
+         (T = 12, R = 3, δ = 0.5); each row uses a dedicated rayon pool. \
+         This host reports {cores} available core(s) — on a single-core \
+         host the expected shape is flat (the experiment then measures \
+         rayon overhead, which should stay within a few percent)."
+    ));
+    let mut base = None;
+    for &n in &THREADS {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("rayon pool");
+        let (_sum, secs) = timed(|| pool.install(|| sweep(seeds)));
+        let baseline = *base.get_or_insert(secs);
+        r.row(vec![
+            format!("{n}"),
+            format!("{secs:.3}"),
+            format!("{:.2}x", baseline / secs),
+        ]);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sweep_is_deterministic_across_pool_sizes() {
+        let pool1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool4 = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let a = pool1.install(|| super::sweep(4));
+        let b = pool4.install(|| super::sweep(4));
+        assert!((a - b).abs() < 1e-9, "parallel sweep changed results: {a} vs {b}");
+    }
+}

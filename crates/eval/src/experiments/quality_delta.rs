@@ -1,0 +1,105 @@
+//! **F1 — worst-case utility vs uncertainty level δ.**
+//!
+//! The core robustness claim: as the uncertainty grows, CUBIS degrades
+//! gracefully while non-robust defenders collapse. δ scales every
+//! interval width (weights and payoffs); δ = 0 is the point-estimate
+//! game where all informed solvers should coincide.
+
+use super::{robust_value, Baseline, Profile};
+use crate::fixtures::workload;
+use crate::metrics::Series;
+use crate::report::Report;
+use rayon::prelude::*;
+
+/// Targets in the F1 workload.
+pub const T: usize = 8;
+/// Resources in the F1 workload.
+pub const R: f64 = 3.0;
+/// The δ grid.
+pub const DELTAS: [f64; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// Run the experiment.
+pub fn run(profile: Profile) -> Report {
+    let seeds: Vec<u64> = (0..profile.seeds()).collect();
+    let zoo = Baseline::all();
+
+    // One cell job per (δ, seed, baseline): embarrassingly parallel.
+    let jobs: Vec<(usize, u64, Baseline)> = DELTAS
+        .iter()
+        .enumerate()
+        .flat_map(|(di, _)| {
+            seeds.iter().flat_map(move |&s| Baseline::all().into_iter().map(move |b| (di, s, b)))
+        })
+        .collect();
+    let cells: Vec<((usize, Baseline), f64)> = jobs
+        .into_par_iter()
+        .map(|(di, seed, b)| {
+            let (game, model) = workload(seed, T, R, DELTAS[di]);
+            let x = b.solve(&game, &model, seed);
+            ((di, b), robust_value(&game, &model, &x))
+        })
+        .collect();
+
+    let mut series: std::collections::HashMap<(usize, Baseline), Series> =
+        std::collections::HashMap::new();
+    for ((di, b), v) in cells {
+        series.entry((di, b)).or_default().push(v);
+    }
+
+    let mut header = vec!["delta".to_string()];
+    header.extend(zoo.iter().map(|b| b.name().to_string()));
+    let mut r = Report::new(
+        "F1 — worst-case defender utility vs uncertainty level δ",
+        header.iter().map(String::as_str).collect(),
+    );
+    r.note(format!(
+        "T = {T}, R = {R}, {} seeded games per δ; cells are mean ± std of the \
+         exact worst-case utility. Expected shape: CUBIS dominates at δ > 0 and \
+         the gap widens with δ; all informed solvers coincide at δ = 0.",
+        profile.seeds()
+    ));
+    for (di, d) in DELTAS.iter().enumerate() {
+        let mut row = vec![format!("{d:.1}")];
+        for b in zoo {
+            row.push(series[&(di, b)].summary());
+        }
+        r.row(row);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature version of F1's claim checked as a test: on a small
+    /// workload, CUBIS's worst case is never beaten by the midpoint
+    /// defender's by more than noise, and beats it clearly at δ = 1.
+    #[test]
+    fn cubis_dominates_midpoint_at_high_uncertainty() {
+        let mut wins = 0;
+        let n = 5;
+        for seed in 0..n {
+            let (game, model) = workload(seed, 5, 2.0, 1.0);
+            let xc = Baseline::Cubis.solve(&game, &model, seed);
+            let xm = Baseline::Midpoint.solve(&game, &model, seed);
+            let vc = robust_value(&game, &model, &xc);
+            let vm = robust_value(&game, &model, &xm);
+            assert!(vc >= vm - 1e-6, "seed {seed}: CUBIS {vc} < midpoint {vm}");
+            if vc > vm + 0.05 {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 3, "CUBIS should clearly win most instances, won {wins}/{n}");
+    }
+
+    #[test]
+    fn informed_solvers_coincide_without_uncertainty() {
+        let (game, model) = workload(3, 5, 2.0, 0.0);
+        let xc = Baseline::Cubis.solve(&game, &model, 3);
+        let xm = Baseline::Midpoint.solve(&game, &model, 3);
+        let vc = robust_value(&game, &model, &xc);
+        let vm = robust_value(&game, &model, &xm);
+        assert!((vc - vm).abs() < 0.05, "δ=0: CUBIS {vc} vs midpoint {vm}");
+    }
+}

@@ -1,0 +1,54 @@
+//! **F6 — MILP runtime vs K.**
+//!
+//! The MILP of (33–40) has `T·K` continuous variables and
+//! `T·K` binaries (`q` and `h`); its solve time grows with K while the
+//! approximation error falls (F4) — the practical K trade-off.
+
+use super::Profile;
+use crate::fixtures::workload;
+use crate::metrics::{median, timed};
+use crate::report::Report;
+
+/// The K grid.
+pub const KS: [usize; 5] = [2, 4, 8, 16, 24];
+/// Workload shape.
+pub const T: usize = 8;
+
+/// Run the experiment.
+pub fn run(profile: Profile) -> Report {
+    let reps = match profile {
+        Profile::Quick => 3,
+        Profile::Full => 7,
+    };
+    let mut r = Report::new(
+        "F6 — CUBIS(MILP) runtime and effort vs K",
+        vec!["K", "median secs", "B&B nodes", "simplex iters", "binary steps"],
+    );
+    r.note(format!(
+        "T = {T}, R = 2, δ = 0.5, ε = 1e-2, median over {reps} seeds. Effort \
+         columns are per full CUBIS solve (all binary-search steps)."
+    ));
+    for &k in &KS {
+        let mut secs = Vec::new();
+        let mut nodes = Vec::new();
+        let mut iters = Vec::new();
+        let mut bsteps = Vec::new();
+        for seed in 0..reps {
+            let (game, model) = workload(seed, T, 2.0, 0.5);
+            let p = cubis_core::RobustProblem::new(&game, &model);
+            let (sol, s) = timed(|| super::cubis_milp(k, 1e-2).solve(&p).expect("milp"));
+            secs.push(s);
+            nodes.push(sol.stats.milp_nodes as f64);
+            iters.push(sol.stats.lp_iterations as f64);
+            bsteps.push(sol.binary_steps as f64);
+        }
+        r.row(vec![
+            format!("{k}"),
+            format!("{:.3}", median(&secs)),
+            format!("{:.0}", median(&nodes)),
+            format!("{:.0}", median(&iters)),
+            format!("{:.0}", median(&bsteps)),
+        ]);
+    }
+    r
+}

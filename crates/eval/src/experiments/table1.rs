@@ -1,0 +1,84 @@
+//! **T1 — Table I / worked example** (Section III of the paper).
+//!
+//! Reproduces the 2-target, 1-resource example: the robust (CUBIS)
+//! strategy vs the midpoint strategy, and their worst-case utilities.
+//! Paper numbers: robust (0.46, 0.54) → −0.90; midpoint (0.34, 0.66) →
+//! −2.26.
+
+use crate::fixtures::{table1_game, table1_model};
+use crate::report::Report;
+use cubis_core::RobustProblem;
+use cubis_solvers::solve_midpoint_params;
+
+/// Run the experiment.
+pub fn run() -> Report {
+    let game = table1_game();
+    let model = table1_model();
+    let p = RobustProblem::new(&game, &model);
+
+    let milp = super::cubis_milp(20, 1e-3).solve(&p).expect("CUBIS(MILP)");
+    let dp = super::cubis_dp(200, 1e-3).solve(&p).expect("CUBIS(DP)");
+    let mid = solve_midpoint_params(&game, &model, 200, 1e-3).expect("midpoint");
+    let wc_mid = p.worst_case(&mid).utility;
+
+    let mut r = Report::new(
+        "T1 — Table I worked example (2 targets, 1 resource)",
+        vec!["strategy", "x1", "x2", "worst-case utility"],
+    );
+    r.note(
+        "Defender payoffs Rd=(5,6), Pd=(−6,−9) reconstructed by grid search \
+         (the paper does not state them); attacker intervals and the weight \
+         box are verbatim from Table I.",
+    );
+    r.row(vec![
+        "paper: robust".into(),
+        "0.460".into(),
+        "0.540".into(),
+        "-0.900".into(),
+    ]);
+    r.row(vec![
+        "CUBIS (MILP, K=20)".into(),
+        format!("{:.3}", milp.x[0]),
+        format!("{:.3}", milp.x[1]),
+        format!("{:+.3}", milp.worst_case),
+    ]);
+    r.row(vec![
+        "CUBIS (DP, 200 pts)".into(),
+        format!("{:.3}", dp.x[0]),
+        format!("{:.3}", dp.x[1]),
+        format!("{:+.3}", dp.worst_case),
+    ]);
+    r.row(vec![
+        "paper: midpoint".into(),
+        "0.340".into(),
+        "0.660".into(),
+        "-2.260".into(),
+    ]);
+    r.row(vec![
+        "midpoint (ours)".into(),
+        format!("{:.3}", mid[0]),
+        format!("{:.3}", mid[1]),
+        format!("{wc_mid:+.3}"),
+    ]);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reproduces_paper_strategies() {
+        let r = super::run();
+        // CUBIS (MILP) row: strategy within 0.02 of the paper's.
+        let milp_row = &r.rows[1];
+        let x1: f64 = milp_row[1].parse().unwrap();
+        assert!((x1 - 0.46).abs() < 0.02, "x1 = {x1}");
+        // Midpoint row: within 0.03.
+        let mid_row = &r.rows[4];
+        let m1: f64 = mid_row[1].parse().unwrap();
+        assert!((m1 - 0.34).abs() < 0.03, "m1 = {m1}");
+        // Robust worst case beats midpoint worst case by ≥ 1 utility.
+        let wc_rob: f64 = milp_row[3].parse().unwrap();
+        let wc_mid: f64 = mid_row[3].parse().unwrap();
+        assert!(wc_rob > wc_mid + 1.0, "rob {wc_rob} vs mid {wc_mid}");
+    }
+}

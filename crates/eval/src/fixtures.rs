@@ -1,0 +1,89 @@
+//! Canonical game/model fixtures shared by the experiments.
+
+use cubis_behavior::{BoundConvention, Interval, SuqrUncertainty, UncertainSuqr};
+use cubis_game::{GameGenerator, SecurityGame, TargetPayoffs};
+
+/// The reconstructed Table-I worked example.
+///
+/// Attacker payoff intervals and the SUQR weight box come verbatim from
+/// the paper; the defender payoffs `Rd = (5, 6)`, `Pd = (−6, −9)` were
+/// recovered by grid search (`crates/core/tests/table1_reconstruction.rs`)
+/// as the tuple reproducing the paper's reported strategies and
+/// worst-case utilities.
+pub fn table1_game() -> SecurityGame {
+    SecurityGame::new(
+        vec![
+            TargetPayoffs::new(5.0, -6.0, 3.0, -5.0),
+            TargetPayoffs::new(6.0, -9.0, 7.0, -7.0),
+        ],
+        1.0,
+    )
+}
+
+/// The Table-I uncertainty model (paper's bound convention).
+pub fn table1_model() -> UncertainSuqr {
+    UncertainSuqr::new(
+        SuqrUncertainty::paper_example(),
+        vec![
+            (Interval::new(1.0, 5.0), Interval::new(-7.0, -3.0)),
+            (Interval::new(5.0, 9.0), Interval::new(-9.0, -5.0)),
+        ],
+        BoundConvention::CornerComponentwise,
+    )
+}
+
+/// A standard random workload instance: a seeded general-sum game plus
+/// an uncertainty model whose interval widths scale with `delta ∈ [0,1]`
+/// (0 = point estimates, 1 = the paper-example box width and ±2.0
+/// payoff intervals).
+pub fn workload(seed: u64, t: usize, r: f64, delta: f64) -> (SecurityGame, UncertainSuqr) {
+    workload_with(seed, t, r, delta, BoundConvention::CornerComponentwise)
+}
+
+/// [`workload`] with an explicit bound convention.
+pub fn workload_with(
+    seed: u64,
+    t: usize,
+    r: f64,
+    delta: f64,
+    convention: BoundConvention,
+) -> (SecurityGame, UncertainSuqr) {
+    assert!((0.0..=1.0).contains(&delta), "workload: delta {delta} outside [0,1]");
+    let game = GameGenerator::new(seed).generate(t, r);
+    let weights = SuqrUncertainty::paper_example().scale_width(delta);
+    let payoff_halfwidth = 2.0 * delta;
+    let model = UncertainSuqr::from_game(&game, weights, payoff_halfwidth, convention);
+    (game, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubis_behavior::IntervalChoiceModel;
+
+    #[test]
+    fn table1_fixture_is_valid() {
+        let game = table1_game();
+        let model = table1_model();
+        assert_eq!(game.num_targets(), 2);
+        assert_eq!(model.num_targets(), 2);
+        let (l, u) = model.bounds(&game, 0, 0.3);
+        assert!((l.ln() - -4.1).abs() < 1e-9);
+        assert!((u.ln() - 1.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workload_delta_zero_is_degenerate() {
+        let (game, model) = workload(1, 5, 2.0, 0.0);
+        let (l, u) = model.bounds(&game, 2, 0.4);
+        assert!((l - u).abs() < 1e-9 * u);
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let (g1, m1) = workload(9, 6, 2.0, 0.5);
+        let (g2, m2) = workload(9, 6, 2.0, 0.5);
+        assert_eq!(g1, g2);
+        assert_eq!(m1, m2);
+    }
+}

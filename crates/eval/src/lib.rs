@@ -1,0 +1,23 @@
+//! Experiment harness for the CUBIS reproduction.
+//!
+//! Each module under [`experiments`] regenerates one table or figure of
+//! the evaluation (see DESIGN.md §4 for the experiment index), printing
+//! the same rows/series the paper reports. Binaries in `src/bin/` wrap
+//! the modules one-to-one (`exp_table1`, `exp_quality_delta`, …) and
+//! `run_all` executes the full suite, emitting the markdown consumed by
+//! EXPERIMENTS.md.
+//!
+//! Conventions:
+//! * every experiment is deterministic under its built-in seeds;
+//! * solution quality is always the **exact** worst-case utility from
+//!   the oracle (never a solver's own objective estimate);
+//! * instance sweeps run in parallel (rayon) but aggregate
+//!   deterministically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod fixtures;
+pub mod metrics;
+pub mod report;

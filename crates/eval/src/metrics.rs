@@ -1,0 +1,122 @@
+//! Aggregation and timing helpers.
+
+use std::time::Instant;
+
+/// Mean of a sample (NaN for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (0 for fewer than two points).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Median (NaN for an empty slice); averages the middle pair.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Time a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// A labelled sample accumulated across instances.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    values: Vec<f64>,
+}
+
+impl Series {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a value.
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    /// Mean of the collected values.
+    pub fn mean(&self) -> f64 {
+        mean(&self.values)
+    }
+
+    /// Sample standard deviation of the collected values.
+    pub fn std_dev(&self) -> f64 {
+        std_dev(&self.values)
+    }
+
+    /// `mean ± std` formatted for tables.
+    pub fn summary(&self) -> String {
+        format!("{:+.3} ± {:.3}", self.mean(), self.std_dev())
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no values were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Raw values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((std_dev(&[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn series_accumulates() {
+        let mut s = Series::new();
+        s.push(1.0);
+        s.push(3.0);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn timed_returns_result() {
+        let (v, secs) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Markdown and JSON report emission.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// A table destined for stdout / EXPERIMENTS.md.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Experiment id + title (e.g. "F1 — worst-case utility vs δ").
+    pub title: String,
+    /// Free-form context lines printed above the table.
+    pub notes: Vec<String>,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Table body.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Start a report.
+    pub fn new(title: impl Into<String>, header: Vec<&str>) -> Self {
+        Self {
+            title: title.into(),
+            notes: Vec::new(),
+            header: header.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Add a context line.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "report row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as column-aligned markdown.
+    pub fn to_markdown(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut s = String::new();
+        let _ = writeln!(s, "### {}\n", self.title);
+        for n in &self.notes {
+            let _ = writeln!(s, "{n}");
+        }
+        if !self.notes.is_empty() {
+            let _ = writeln!(s);
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(&widths) {
+                let _ = write!(line, " {c:<w$} |");
+            }
+            line
+        };
+        let _ = writeln!(s, "{}", fmt_row(&self.header));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(s, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(s, "{}", fmt_row(row));
+        }
+        let _ = s; // keep clippy calm about the last write!
+        debug_assert_eq!(ncols, self.header.len());
+        s
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+
+    /// Serialize as pretty JSON (machine-readable companion to the
+    /// markdown; `run_all` writes all reports to `results.json`).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+}
+
+/// Write a batch of reports as one JSON document.
+pub fn write_json(reports: &[Report], path: &str) -> std::io::Result<()> {
+    let doc = serde_json::to_string_pretty(reports).expect("serialization cannot fail");
+    std::fs::write(path, doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut r = Report::new("T — demo", vec!["name", "value"]);
+        r.note("context");
+        r.row(vec!["alpha".into(), "1".into()]);
+        r.row(vec!["b".into(), "12345".into()]);
+        let md = r.to_markdown();
+        assert!(md.contains("### T — demo"));
+        assert!(md.contains("| alpha | 1     |"));
+        assert!(md.contains("| b     | 12345 |"));
+        assert!(md.contains("context"));
+    }
+
+    #[test]
+    fn json_round_trips_titles_and_rows() {
+        let mut r = Report::new("J — json", vec!["a"]);
+        r.row(vec!["42".into()]);
+        let j = r.to_json();
+        assert!(j.contains("\"J — json\""));
+        assert!(j.contains("\"42\""));
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["rows"][0][0], "42");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut r = Report::new("x", vec!["a", "b"]);
+        r.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Coverage-vector (mixed-strategy) operations on the capped simplex
+//! `X = {x : 0 ≤ x_i ≤ 1, Σ x_i = R}`.
+
+/// Why a coverage vector is infeasible.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoverageError {
+    /// Wrong number of entries.
+    Length {
+        /// Entries supplied.
+        got: usize,
+        /// Entries expected (`T`).
+        expected: usize,
+    },
+    /// An entry escapes `[0, 1]` by more than the tolerance.
+    OutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Offending value.
+        value: f64,
+    },
+    /// The total coverage differs from `R` by more than the tolerance.
+    BudgetMismatch {
+        /// Observed Σ x_i.
+        total: f64,
+        /// Expected `R`.
+        resources: f64,
+    },
+}
+
+impl std::fmt::Display for CoverageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoverageError::Length { got, expected } => {
+                write!(f, "coverage has {got} entries, expected {expected}")
+            }
+            CoverageError::OutOfRange { index, value } => {
+                write!(f, "coverage[{index}] = {value} outside [0,1]")
+            }
+            CoverageError::BudgetMismatch { total, resources } => {
+                write!(f, "total coverage {total} != resources {resources}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoverageError {}
+
+/// Validate a coverage vector against `X`.
+pub fn check(x: &[f64], t: usize, resources: f64, tol: f64) -> Result<(), CoverageError> {
+    if x.len() != t {
+        return Err(CoverageError::Length { got: x.len(), expected: t });
+    }
+    for (i, &xi) in x.iter().enumerate() {
+        if !(-tol..=1.0 + tol).contains(&xi) || xi.is_nan() {
+            return Err(CoverageError::OutOfRange { index: i, value: xi });
+        }
+    }
+    let total: f64 = x.iter().sum();
+    if (total - resources).abs() > tol.max(1e-12) * (t as f64) {
+        return Err(CoverageError::BudgetMismatch { total, resources });
+    }
+    Ok(())
+}
+
+/// The uniform strategy `x_i = R/T` (always feasible since `R ≤ T`).
+pub fn uniform_coverage(t: usize, resources: f64) -> Vec<f64> {
+    assert!(t > 0, "uniform_coverage: no targets");
+    vec![resources / t as f64; t]
+}
+
+/// Clamp every entry into `[0, 1]`.
+pub fn clamp01(x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi = xi.clamp(0.0, 1.0);
+    }
+}
+
+/// Euclidean projection of `y` onto the capped simplex
+/// `{0 ≤ x ≤ 1, Σ x = R}`.
+///
+/// The projection is `x_i(τ) = clamp(y_i − τ, 0, 1)` for the unique `τ`
+/// making the budget hold; `Σ x(τ)` is continuous and non-increasing in
+/// `τ`, so `τ` is found by bisection to machine precision.
+///
+/// # Panics
+/// Panics if `y` is empty or `resources ∉ (0, len]`.
+pub fn project_capped_simplex(y: &[f64], resources: f64) -> Vec<f64> {
+    let n = y.len();
+    assert!(n > 0, "project_capped_simplex: empty input");
+    assert!(
+        resources > 0.0 && resources <= n as f64,
+        "project_capped_simplex: resources {resources} outside (0, {n}]"
+    );
+    let sum_at = |tau: f64| -> f64 { y.iter().map(|&yi| (yi - tau).clamp(0.0, 1.0)).sum() };
+    // Bracket τ: at τ = max(y) − 0 every term is ≤ 0 ⇒ sum 0 ≤ R;
+    // at τ = min(y) − 1 every term is 1 ⇒ sum = n ≥ R.
+    let mut lo = y.iter().cloned().fold(f64::INFINITY, f64::min) - 1.0;
+    let mut hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    debug_assert!(sum_at(lo) >= resources - 1e-12);
+    debug_assert!(sum_at(hi) <= resources + 1e-12);
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if sum_at(mid) >= resources {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let tau = 0.5 * (lo + hi);
+    let mut x: Vec<f64> = y.iter().map(|&yi| (yi - tau).clamp(0.0, 1.0)).collect();
+    // Polish the budget exactly by spreading the residual over the
+    // strictly interior coordinates (projection leaves them equal-shifted).
+    let total: f64 = x.iter().sum();
+    let interior: Vec<usize> = (0..n).filter(|&i| x[i] > 1e-9 && x[i] < 1.0 - 1e-9).collect();
+    if !interior.is_empty() {
+        let adj = (resources - total) / interior.len() as f64;
+        for i in interior {
+            x[i] = (x[i] + adj).clamp(0.0, 1.0);
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_feasible() {
+        let x = uniform_coverage(5, 2.0);
+        assert!(check(&x, 5, 2.0, 1e-9).is_ok());
+        assert_eq!(x[0], 0.4);
+    }
+
+    #[test]
+    fn check_catches_each_violation() {
+        assert!(matches!(check(&[0.5], 2, 1.0, 1e-9), Err(CoverageError::Length { .. })));
+        assert!(matches!(
+            check(&[1.5, -0.5], 2, 1.0, 1e-9),
+            Err(CoverageError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            check(&[0.2, 0.2], 2, 1.0, 1e-9),
+            Err(CoverageError::BudgetMismatch { .. })
+        ));
+        assert!(check(&[0.25, 0.75], 2, 1.0, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn projection_returns_feasible_point() {
+        let y = vec![0.9, 0.8, -0.3, 2.0];
+        let x = project_capped_simplex(&y, 2.0);
+        assert!(check(&x, 4, 2.0, 1e-7).is_ok(), "{x:?}");
+    }
+
+    #[test]
+    fn projection_of_feasible_point_is_identity() {
+        let y = vec![0.3, 0.7, 0.5, 0.5];
+        let x = project_capped_simplex(&y, 2.0);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-7, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn projection_is_distance_minimizing_vs_grid() {
+        // 2-target game: the feasible set is the segment
+        // {(t, 1−t) : t ∈ [0,1]}; grid-search the true nearest point.
+        let y = [1.4, 0.2];
+        let x = project_capped_simplex(&y, 1.0);
+        let mut best = f64::INFINITY;
+        let mut best_t = 0.0;
+        for k in 0..=10_000 {
+            let t = k as f64 / 10_000.0;
+            let d = (y[0] - t).powi(2) + (y[1] - (1.0 - t)).powi(2);
+            if d < best {
+                best = d;
+                best_t = t;
+            }
+        }
+        let d_proj = (y[0] - x[0]).powi(2) + (y[1] - x[1]).powi(2);
+        assert!(d_proj <= best + 1e-6, "proj {x:?} vs grid t={best_t}");
+    }
+
+    #[test]
+    fn projection_saturates_caps() {
+        // Budget nearly T forces every coordinate toward 1.
+        let y = vec![0.0, 0.0, 0.0];
+        let x = project_capped_simplex(&y, 3.0);
+        for xi in &x {
+            assert!((xi - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "resources")]
+    fn projection_rejects_bad_budget() {
+        project_capped_simplex(&[0.5, 0.5], 3.0);
+    }
+}

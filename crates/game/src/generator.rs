@@ -1,0 +1,186 @@
+//! Seeded random game generators.
+//!
+//! The evaluation workloads in this paper family draw attacker rewards
+//! uniformly from `[1, 10]` and penalties from `[−10, −1]`; defender
+//! payoffs are either zero-sum mirrors or independently drawn
+//! (general-sum). A `covariance` knob in `[-1, 0]` interpolates between
+//! fully adversarial (zero-sum, −1) and uncorrelated payoffs (0),
+//! mirroring the covariant-game generator of the GAMUT suite used across
+//! the SSG literature.
+
+use crate::payoff::TargetPayoffs;
+use crate::SecurityGame;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Uniform payoff ranges for the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PayoffRanges {
+    /// Attacker reward range (positive).
+    pub att_reward: (f64, f64),
+    /// Attacker penalty range (negative).
+    pub att_penalty: (f64, f64),
+    /// Defender reward range (positive), used for general-sum draws.
+    pub def_reward: (f64, f64),
+    /// Defender penalty range (negative), used for general-sum draws.
+    pub def_penalty: (f64, f64),
+}
+
+impl Default for PayoffRanges {
+    /// Literature-standard ranges: rewards in `[1, 10]`, penalties in
+    /// `[−10, −1]`.
+    fn default() -> Self {
+        Self {
+            att_reward: (1.0, 10.0),
+            att_penalty: (-10.0, -1.0),
+            def_reward: (1.0, 10.0),
+            def_penalty: (-10.0, -1.0),
+        }
+    }
+}
+
+/// Deterministic (seeded) random game generator.
+#[derive(Debug, Clone)]
+pub struct GameGenerator {
+    rng: ChaCha8Rng,
+    ranges: PayoffRanges,
+    /// `0.0` = independent defender payoffs (general-sum);
+    /// `-1.0` = exactly zero-sum. Values in between blend the two.
+    covariance: f64,
+}
+
+impl GameGenerator {
+    /// Create a generator with the default ranges and general-sum payoffs.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            ranges: PayoffRanges::default(),
+            covariance: 0.0,
+        }
+    }
+
+    /// Override the payoff ranges.
+    pub fn with_ranges(mut self, ranges: PayoffRanges) -> Self {
+        assert!(ranges.att_reward.0 <= ranges.att_reward.1, "bad att_reward range");
+        assert!(ranges.att_penalty.0 <= ranges.att_penalty.1, "bad att_penalty range");
+        assert!(ranges.def_reward.0 <= ranges.def_reward.1, "bad def_reward range");
+        assert!(ranges.def_penalty.0 <= ranges.def_penalty.1, "bad def_penalty range");
+        self.ranges = ranges;
+        self
+    }
+
+    /// Set payoff covariance in `[−1, 0]` (−1 = zero-sum, 0 = independent).
+    ///
+    /// # Panics
+    /// Panics if `c` lies outside `[−1, 0]`.
+    pub fn with_covariance(mut self, c: f64) -> Self {
+        assert!((-1.0..=0.0).contains(&c), "covariance {c} outside [-1, 0]");
+        self.covariance = c;
+        self
+    }
+
+    /// Generate a game with `t` targets and `r` resources.
+    ///
+    /// # Panics
+    /// Panics if `t == 0` or `r ∉ (0, t]`.
+    pub fn generate(&mut self, t: usize, r: f64) -> SecurityGame {
+        assert!(t > 0, "generate: no targets");
+        let lambda = -self.covariance; // 0 = independent, 1 = zero-sum
+        let targets: Vec<TargetPayoffs> = (0..t)
+            .map(|_| {
+                let ra = self.uniform(self.ranges.att_reward);
+                let pa = self.uniform(self.ranges.att_penalty);
+                let zs = TargetPayoffs::zero_sum(ra, pa);
+                let rd_ind = self.uniform(self.ranges.def_reward);
+                let pd_ind = self.uniform(self.ranges.def_penalty);
+                TargetPayoffs::new(
+                    lambda * zs.def_reward + (1.0 - lambda) * rd_ind,
+                    lambda * zs.def_penalty + (1.0 - lambda) * pd_ind,
+                    ra,
+                    pa,
+                )
+            })
+            .collect();
+        SecurityGame::new(targets, r)
+    }
+
+    fn uniform(&mut self, (lo, hi): (f64, f64)) -> f64 {
+        if lo == hi {
+            lo
+        } else {
+            self.rng.gen_range(lo..hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g1 = GameGenerator::new(99).generate(6, 2.0);
+        let g2 = GameGenerator::new(99).generate(6, 2.0);
+        assert_eq!(g1, g2);
+        let g3 = GameGenerator::new(100).generate(6, 2.0);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn payoffs_respect_ranges() {
+        let mut gen = GameGenerator::new(5);
+        let game = gen.generate(50, 10.0);
+        for t in game.targets() {
+            assert!((1.0..=10.0).contains(&t.att_reward));
+            assert!((-10.0..=-1.0).contains(&t.att_penalty));
+            assert!(t.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn zero_sum_covariance() {
+        let mut gen = GameGenerator::new(5).with_covariance(-1.0);
+        let game = gen.generate(10, 3.0);
+        for t in game.targets() {
+            assert!((t.def_reward + t.att_penalty).abs() < 1e-12);
+            assert!((t.def_penalty + t.att_reward).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn intermediate_covariance_blends() {
+        let mut gen = GameGenerator::new(5).with_covariance(-0.5);
+        let game = gen.generate(10, 3.0);
+        // Blended payoffs remain valid and sit between the two extremes in
+        // aggregate: defender rewards positive, penalties negative.
+        for t in game.targets() {
+            assert!(t.def_reward > 0.0);
+            assert!(t.def_penalty < 0.0);
+        }
+    }
+
+    #[test]
+    fn successive_games_differ() {
+        let mut gen = GameGenerator::new(1);
+        let a = gen.generate(4, 1.0);
+        let b = gen.generate(4, 1.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn degenerate_range_is_constant() {
+        let ranges = PayoffRanges {
+            att_reward: (5.0, 5.0),
+            att_penalty: (-5.0, -5.0),
+            def_reward: (2.0, 2.0),
+            def_penalty: (-2.0, -2.0),
+        };
+        let mut gen = GameGenerator::new(0).with_ranges(ranges);
+        let game = gen.generate(3, 1.0);
+        for t in game.targets() {
+            assert_eq!(t.att_reward, 5.0);
+            assert_eq!(t.def_penalty, -2.0);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Stackelberg security game (SSG) substrate.
+//!
+//! Implements the game model from Section II of the paper: a defender
+//! with `R` resources covers `T` targets with a mixed strategy
+//! `x ∈ X = {0 ≤ x_i ≤ 1, Σ x_i = R}`; expected utilities follow
+//! equations (1)–(2):
+//!
+//! ```text
+//! Ud_i(x_i) = x_i·Rd_i + (1 − x_i)·Pd_i
+//! Ua_i(x_i) = x_i·Pa_i + (1 − x_i)·Ra_i
+//! ```
+//!
+//! The crate also provides coverage-simplex operations (feasibility,
+//! projection — needed by the projected-gradient baseline) and seeded
+//! random game generators matching the payoff distributions used in the
+//! security-games literature.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod generator;
+pub mod payoff;
+pub mod schedule;
+
+pub use coverage::{clamp01, project_capped_simplex, uniform_coverage, CoverageError};
+pub use generator::{GameGenerator, PayoffRanges};
+pub use payoff::TargetPayoffs;
+pub use schedule::{empirical_coverage, sample_patrol, Patrol};
+
+use serde::{Deserialize, Serialize};
+
+/// A Stackelberg security game instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SecurityGame {
+    targets: Vec<TargetPayoffs>,
+    resources: f64,
+}
+
+impl SecurityGame {
+    /// Build a game.
+    ///
+    /// # Panics
+    /// Panics if `targets` is empty, `resources` is not in
+    /// `(0, targets.len()]`, or any payoff tuple is invalid
+    /// (see [`TargetPayoffs::validate`]).
+    pub fn new(targets: Vec<TargetPayoffs>, resources: f64) -> Self {
+        assert!(!targets.is_empty(), "SecurityGame: no targets");
+        assert!(
+            resources > 0.0 && resources <= targets.len() as f64,
+            "SecurityGame: resources {resources} outside (0, {}]",
+            targets.len()
+        );
+        for (i, t) in targets.iter().enumerate() {
+            t.validate().unwrap_or_else(|e| panic!("target {i}: {e}"));
+        }
+        Self { targets, resources }
+    }
+
+    /// Number of targets `T`.
+    pub fn num_targets(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Defender resources `R`.
+    pub fn resources(&self) -> f64 {
+        self.resources
+    }
+
+    /// Payoffs of target `i`.
+    pub fn target(&self, i: usize) -> &TargetPayoffs {
+        &self.targets[i]
+    }
+
+    /// All targets in order.
+    pub fn targets(&self) -> &[TargetPayoffs] {
+        &self.targets
+    }
+
+    /// Defender expected utility at target `i` under coverage `x_i`
+    /// (equation 1).
+    pub fn defender_utility(&self, i: usize, x_i: f64) -> f64 {
+        self.targets[i].defender_utility(x_i)
+    }
+
+    /// Attacker expected utility at target `i` under coverage `x_i`
+    /// (equation 2).
+    pub fn attacker_utility(&self, i: usize, x_i: f64) -> f64 {
+        self.targets[i].attacker_utility(x_i)
+    }
+
+    /// Defender utilities at every target for a full coverage vector.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.num_targets()`.
+    pub fn defender_utilities(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.targets.len(), "coverage length mismatch");
+        self.targets.iter().zip(x).map(|(t, &xi)| t.defender_utility(xi)).collect()
+    }
+
+    /// Expected defender utility against a given attack distribution `q`
+    /// (the objective of problem (5) for a fixed adversary response).
+    ///
+    /// # Panics
+    /// Panics if lengths mismatch.
+    pub fn expected_defender_utility(&self, x: &[f64], q: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.targets.len());
+        assert_eq!(q.len(), self.targets.len());
+        self.targets
+            .iter()
+            .zip(x)
+            .zip(q)
+            .map(|((t, &xi), &qi)| qi * t.defender_utility(xi))
+            .sum()
+    }
+
+    /// Check coverage feasibility for `X = {0 ≤ x ≤ 1, Σ x = R}` within
+    /// tolerance `tol`; returns the specific violation.
+    pub fn check_coverage(&self, x: &[f64], tol: f64) -> Result<(), CoverageError> {
+        coverage::check(x, self.targets.len(), self.resources, tol)
+    }
+
+    /// Smallest possible defender utility over all targets and coverages
+    /// (`min_i Pd_i`) — the binary-search lower edge used by CUBIS.
+    pub fn min_defender_utility(&self) -> f64 {
+        self.targets.iter().map(|t| t.def_penalty).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest possible defender utility (`max_i Rd_i`) — the
+    /// binary-search upper edge used by CUBIS.
+    pub fn max_defender_utility(&self) -> f64 {
+        self.targets.iter().map(|t| t.def_reward).fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn game2() -> SecurityGame {
+        SecurityGame::new(
+            vec![
+                TargetPayoffs::new(5.0, -3.0, 3.0, -5.0),
+                TargetPayoffs::new(7.0, -7.0, 7.0, -7.0),
+            ],
+            1.0,
+        )
+    }
+
+    #[test]
+    fn utilities_interpolate_linearly() {
+        let g = game2();
+        assert_eq!(g.defender_utility(0, 0.0), -3.0);
+        assert_eq!(g.defender_utility(0, 1.0), 5.0);
+        assert_eq!(g.defender_utility(0, 0.5), 1.0);
+        assert_eq!(g.attacker_utility(0, 0.0), 3.0);
+        assert_eq!(g.attacker_utility(0, 1.0), -5.0);
+    }
+
+    #[test]
+    fn expected_utility_weights_by_attack_distribution() {
+        let g = game2();
+        let x = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        assert_eq!(g.expected_defender_utility(&x, &q), g.defender_utility(0, 0.5));
+        let q2 = [0.5, 0.5];
+        let expect = 0.5 * g.defender_utility(0, 0.5) + 0.5 * g.defender_utility(1, 0.5);
+        assert!((g.expected_defender_utility(&x, &q2) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utility_range_edges() {
+        let g = game2();
+        assert_eq!(g.min_defender_utility(), -7.0);
+        assert_eq!(g.max_defender_utility(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resources")]
+    fn too_many_resources_rejected() {
+        SecurityGame::new(vec![TargetPayoffs::new(1.0, -1.0, 1.0, -1.0)], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no targets")]
+    fn empty_game_rejected() {
+        SecurityGame::new(vec![], 1.0);
+    }
+
+    #[test]
+    fn coverage_check_delegates() {
+        let g = game2();
+        assert!(g.check_coverage(&[0.4, 0.6], 1e-9).is_ok());
+        assert!(g.check_coverage(&[0.4, 0.4], 1e-9).is_err());
+    }
+}

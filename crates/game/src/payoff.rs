@@ -1,0 +1,167 @@
+//! Per-target payoff tuples and the linear expected utilities (1)–(2).
+
+use serde::{Deserialize, Serialize};
+
+/// Payoffs at one target.
+///
+/// Conventions follow the paper: the defender's reward `Rd` applies when
+/// she is covering an attacked target, her penalty `Pd` when she is not;
+/// the attacker's reward `Ra` applies when attacking an uncovered
+/// target, his penalty `Pa` when caught. Standard SSG sign conventions
+/// (`Rd > Pd`, `Ra > Pa`) are enforced by [`TargetPayoffs::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TargetPayoffs {
+    /// Defender reward `Rd_i` (attacked while covered).
+    pub def_reward: f64,
+    /// Defender penalty `Pd_i` (attacked while uncovered).
+    pub def_penalty: f64,
+    /// Attacker reward `Ra_i` (successful attack).
+    pub att_reward: f64,
+    /// Attacker penalty `Pa_i` (caught).
+    pub att_penalty: f64,
+}
+
+/// Why a payoff tuple was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PayoffError {
+    /// A payoff is NaN or infinite.
+    NonFinite,
+    /// `Rd <= Pd`: covering an attacked target must be better for the
+    /// defender than not covering it.
+    DefenderOrder {
+        /// Offending reward.
+        reward: f64,
+        /// Offending penalty.
+        penalty: f64,
+    },
+    /// `Ra <= Pa`: attacking uncovered must be better for the attacker.
+    AttackerOrder {
+        /// Offending reward.
+        reward: f64,
+        /// Offending penalty.
+        penalty: f64,
+    },
+}
+
+impl std::fmt::Display for PayoffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PayoffError::NonFinite => write!(f, "non-finite payoff"),
+            PayoffError::DefenderOrder { reward, penalty } => {
+                write!(f, "defender reward {reward} must exceed penalty {penalty}")
+            }
+            PayoffError::AttackerOrder { reward, penalty } => {
+                write!(f, "attacker reward {reward} must exceed penalty {penalty}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PayoffError {}
+
+impl TargetPayoffs {
+    /// Construct a payoff tuple (order: `Rd, Pd, Ra, Pa`).
+    pub fn new(def_reward: f64, def_penalty: f64, att_reward: f64, att_penalty: f64) -> Self {
+        Self { def_reward, def_penalty, att_reward, att_penalty }
+    }
+
+    /// A zero-sum tuple derived from attacker payoffs:
+    /// `Rd = −Pa`, `Pd = −Ra`.
+    pub fn zero_sum(att_reward: f64, att_penalty: f64) -> Self {
+        Self {
+            def_reward: -att_penalty,
+            def_penalty: -att_reward,
+            att_reward,
+            att_penalty,
+        }
+    }
+
+    /// Validate finiteness and ordering conventions.
+    pub fn validate(&self) -> Result<(), PayoffError> {
+        let vals = [self.def_reward, self.def_penalty, self.att_reward, self.att_penalty];
+        if vals.iter().any(|v| !v.is_finite()) {
+            return Err(PayoffError::NonFinite);
+        }
+        if self.def_reward <= self.def_penalty {
+            return Err(PayoffError::DefenderOrder {
+                reward: self.def_reward,
+                penalty: self.def_penalty,
+            });
+        }
+        if self.att_reward <= self.att_penalty {
+            return Err(PayoffError::AttackerOrder {
+                reward: self.att_reward,
+                penalty: self.att_penalty,
+            });
+        }
+        Ok(())
+    }
+
+    /// Equation (1): `Ud_i(x_i) = x_i·Rd + (1 − x_i)·Pd`.
+    #[inline]
+    pub fn defender_utility(&self, x_i: f64) -> f64 {
+        x_i * self.def_reward + (1.0 - x_i) * self.def_penalty
+    }
+
+    /// Equation (2): `Ua_i(x_i) = x_i·Pa + (1 − x_i)·Ra`.
+    #[inline]
+    pub fn attacker_utility(&self, x_i: f64) -> f64 {
+        x_i * self.att_penalty + (1.0 - x_i) * self.att_reward
+    }
+
+    /// Coverage at which the defender is indifferent to utility level `c`
+    /// (solves `Ud(x) = c`); unclamped.
+    pub fn coverage_for_defender_utility(&self, c: f64) -> f64 {
+        (c - self.def_penalty) / (self.def_reward - self.def_penalty)
+    }
+
+    /// Coverage at which the attacker's utility equals `v` (solves
+    /// `Ua(x) = v`); unclamped. Used by the ORIGAMI baseline.
+    pub fn coverage_for_attacker_utility(&self, v: f64) -> f64 {
+        (self.att_reward - v) / (self.att_reward - self.att_penalty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sum_construction() {
+        let t = TargetPayoffs::zero_sum(5.0, -3.0);
+        assert_eq!(t.def_reward, 3.0);
+        assert_eq!(t.def_penalty, -5.0);
+        assert!(t.validate().is_ok());
+        // Zero-sum identity: Ud(x) + Ua(x) = 0 for all x.
+        for &x in &[0.0, 0.3, 1.0] {
+            assert!((t.defender_utility(x) + t.attacker_utility(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_orders() {
+        assert!(matches!(
+            TargetPayoffs::new(-1.0, 1.0, 5.0, -5.0).validate(),
+            Err(PayoffError::DefenderOrder { .. })
+        ));
+        assert!(matches!(
+            TargetPayoffs::new(1.0, -1.0, -5.0, 5.0).validate(),
+            Err(PayoffError::AttackerOrder { .. })
+        ));
+        assert!(matches!(
+            TargetPayoffs::new(f64::NAN, -1.0, 5.0, -5.0).validate(),
+            Err(PayoffError::NonFinite)
+        ));
+    }
+
+    #[test]
+    fn inverse_coverage_solves() {
+        let t = TargetPayoffs::new(4.0, -6.0, 8.0, -2.0);
+        let c = 1.5;
+        let x = t.coverage_for_defender_utility(c);
+        assert!((t.defender_utility(x) - c).abs() < 1e-12);
+        let v = 3.0;
+        let x2 = t.coverage_for_attacker_utility(v);
+        assert!((t.attacker_utility(x2) - v).abs() < 1e-12);
+    }
+}

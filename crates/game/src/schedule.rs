@@ -1,0 +1,133 @@
+//! Turning a mixed strategy into implementable patrols.
+//!
+//! A coverage vector `x` (with `Σ x_i = R`) is a *marginal* — rangers
+//! need concrete daily assignments of `R` units to targets whose
+//! long-run frequencies match `x`. This module implements the classic
+//! comb-sampling decomposition (a systematic-sampling variant of the
+//! Birkhoff–von Neumann idea specialized to unit-capacity coverage):
+//! every daily patrol protects exactly `⌈R⌉` or `⌊R⌋` distinct targets,
+//! and the expected coverage of target `i` equals `x_i` exactly.
+
+use rand::Rng;
+
+/// A single day's patrol: the set of targets covered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Patrol {
+    /// Covered target indices, ascending.
+    pub targets: Vec<usize>,
+}
+
+/// Sample one patrol whose inclusion probabilities equal the coverage
+/// vector, using systematic (comb) sampling.
+///
+/// Lay the `x_i` end-to-end on a circle of circumference `R = Σ x_i`
+/// and drop `⌊R⌋`-or-so teeth spaced exactly 1 apart at a uniform random
+/// offset; target `i` is covered once per tooth landing in its arc.
+/// Since `x_i ≤ 1`, no target is hit twice, and
+/// `P[i covered] = x_i` exactly.
+///
+/// # Panics
+/// Panics if any `x_i ∉ [0, 1]` (beyond tolerance) or `x` is empty.
+pub fn sample_patrol<R: Rng>(x: &[f64], rng: &mut R) -> Patrol {
+    assert!(!x.is_empty(), "sample_patrol: empty coverage");
+    for (i, &xi) in x.iter().enumerate() {
+        assert!(
+            (-1e-9..=1.0 + 1e-9).contains(&xi),
+            "sample_patrol: x[{i}] = {xi} outside [0,1]"
+        );
+    }
+    let total: f64 = x.iter().sum();
+    let offset: f64 = rng.gen_range(0.0..1.0);
+    let mut targets = Vec::with_capacity(total.ceil() as usize);
+    // Teeth at offset, offset+1, offset+2, …; walk the arcs once.
+    let mut acc = 0.0;
+    for (i, &xi) in x.iter().enumerate() {
+        let lo = acc;
+        acc += xi.clamp(0.0, 1.0);
+        // A tooth t + k lies in [lo, acc) for integer k iff
+        // ⌈lo − offset⌉ < acc − offset + something; count directly:
+        let first = (lo - offset).ceil();
+        let tooth = offset + first;
+        if tooth >= lo - 1e-12 && tooth < acc - 1e-12 {
+            targets.push(i);
+        }
+    }
+    Patrol { targets }
+}
+
+/// Empirical coverage of `n` sampled patrols (diagnostic / tests).
+pub fn empirical_coverage<R: Rng>(x: &[f64], n: usize, rng: &mut R) -> Vec<f64> {
+    let mut counts = vec![0usize; x.len()];
+    for _ in 0..n {
+        for t in sample_patrol(x, rng).targets {
+            counts[t] += 1;
+        }
+    }
+    counts.into_iter().map(|c| c as f64 / n as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn patrol_size_matches_budget() {
+        let x = [0.5, 0.75, 0.25, 0.5]; // R = 2
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..200 {
+            let p = sample_patrol(&x, &mut rng);
+            assert_eq!(p.targets.len(), 2, "patrol {:?}", p.targets);
+            // Distinct and sorted.
+            assert!(p.targets.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn fractional_budget_gives_floor_or_ceil_sizes() {
+        let x = [0.5, 0.7, 0.3]; // R = 1.5
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..200 {
+            let n = sample_patrol(&x, &mut rng).targets.len();
+            assert!(n == 1 || n == 2, "got {n}");
+        }
+    }
+
+    #[test]
+    fn empirical_coverage_matches_marginals() {
+        let x = [0.9, 0.35, 0.45, 0.3];
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let emp = empirical_coverage(&x, 40_000, &mut rng);
+        for (e, &xi) in emp.iter().zip(&x) {
+            assert!((e - xi).abs() < 0.01, "empirical {e} vs marginal {xi}");
+        }
+    }
+
+    #[test]
+    fn full_coverage_targets_always_included() {
+        let x = [1.0, 0.5, 0.5];
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..100 {
+            let p = sample_patrol(&x, &mut rng);
+            assert!(p.targets.contains(&0));
+        }
+    }
+
+    #[test]
+    fn zero_coverage_targets_never_included() {
+        let x = [0.0, 1.0, 0.0];
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..100 {
+            let p = sample_patrol(&x, &mut rng);
+            assert_eq!(p.targets, vec![1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_out_of_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        sample_patrol(&[1.5, 0.5], &mut rng);
+    }
+}

@@ -1,0 +1,27 @@
+//! Dense linear-algebra substrate for the CUBIS workspace.
+//!
+//! This crate provides the small amount of numerical linear algebra the
+//! simplex-based LP/MILP solvers need: a dense row-major [`Matrix`],
+//! vector helpers, an LU factorization with partial pivoting ([`Lu`]),
+//! and triangular solves. Everything is `f64`; the problem sizes in this
+//! workspace (hundreds of rows/columns) do not justify blocked kernels,
+//! but the inner loops are written so the compiler can vectorize them
+//! (slice iteration, no bounds checks in hot paths beyond the slice
+//! itself).
+//!
+//! The API deliberately avoids external dependencies so the solver stack
+//! is self-contained and auditable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lu;
+pub mod matrix;
+pub mod vector;
+
+pub use lu::{Lu, LuError};
+pub use matrix::Matrix;
+pub use vector::{axpy, dot, inf_norm, norm2, scale};
+
+/// Relative tolerance used for singularity detection in factorizations.
+pub const SINGULARITY_TOL: f64 = 1e-12;

@@ -1,0 +1,251 @@
+//! LU factorization with partial pivoting, and the associated solves.
+//!
+//! Used by the LP solver to (re)factorize basis matrices and by tests as
+//! an independent path for verifying simplex arithmetic.
+
+use crate::matrix::Matrix;
+use crate::SINGULARITY_TOL;
+
+/// Errors from [`Lu::factor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LuError {
+    /// The matrix is not square.
+    NotSquare,
+    /// A pivot fell below the singularity tolerance at the given
+    /// elimination step.
+    Singular {
+        /// Elimination step at which no acceptable pivot existed.
+        step: usize,
+    },
+}
+
+impl std::fmt::Display for LuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LuError::NotSquare => write!(f, "matrix is not square"),
+            LuError::Singular { step } => {
+                write!(f, "matrix is singular to working precision (step {step})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LuError {}
+
+/// LU factorization `P·A = L·U` with partial pivoting.
+///
+/// `L` (unit lower-triangular) and `U` (upper-triangular) are stored
+/// packed in a single matrix; `perm` records the row permutation.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    packed: Matrix,
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1/−1), used by [`Lu::det`].
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Factor a square matrix.
+    pub fn factor(a: &Matrix) -> Result<Self, LuError> {
+        if a.rows() != a.cols() {
+            return Err(LuError::NotSquare);
+        }
+        let n = a.rows();
+        let mut m = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        let scale = m.max_abs().max(1.0);
+
+        for k in 0..n {
+            // Partial pivoting: largest |entry| in column k at/below row k.
+            let mut piv = k;
+            let mut piv_val = m[(k, k)].abs();
+            for r in k + 1..n {
+                let v = m[(r, k)].abs();
+                if v > piv_val {
+                    piv = r;
+                    piv_val = v;
+                }
+            }
+            if piv_val <= SINGULARITY_TOL * scale {
+                return Err(LuError::Singular { step: k });
+            }
+            if piv != k {
+                m.swap_rows(piv, k);
+                perm.swap(piv, k);
+                perm_sign = -perm_sign;
+            }
+            let pivot = m[(k, k)];
+            for r in k + 1..n {
+                let mult = m[(r, k)] / pivot;
+                m[(r, k)] = mult;
+                if mult == 0.0 {
+                    continue;
+                }
+                let (rk, rr) = m.two_rows_mut(k, r);
+                for c in k + 1..n {
+                    rr[c] -= mult * rk[c];
+                }
+            }
+        }
+        Ok(Self { packed: m, perm, perm_sign })
+    }
+
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.packed.rows()
+    }
+
+    /// Solve `A·x = b`.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != self.order()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.order();
+        assert_eq!(b.len(), n, "solve: rhs length mismatch");
+        // Apply permutation: y = P·b.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit L.
+        for r in 1..n {
+            let row = self.packed.row(r);
+            let mut s = x[r];
+            for c in 0..r {
+                s -= row[c] * x[c];
+            }
+            x[r] = s;
+        }
+        // Back substitution with U.
+        for r in (0..n).rev() {
+            let row = self.packed.row(r);
+            let mut s = x[r];
+            for c in r + 1..n {
+                s -= row[c] * x[c];
+            }
+            x[r] = s / row[r];
+        }
+        x
+    }
+
+    /// Solve `Aᵀ·x = b`.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != self.order()`.
+    pub fn solve_transposed(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.order();
+        assert_eq!(b.len(), n, "solve_transposed: rhs length mismatch");
+        let mut x = b.to_vec();
+        // Solve Uᵀ·z = b (forward, Uᵀ is lower-triangular).
+        for r in 0..n {
+            let mut s = x[r];
+            for c in 0..r {
+                s -= self.packed[(c, r)] * x[c];
+            }
+            x[r] = s / self.packed[(r, r)];
+        }
+        // Solve Lᵀ·w = z (backward, Lᵀ is unit upper-triangular).
+        for r in (0..n).rev() {
+            let mut s = x[r];
+            for c in r + 1..n {
+                s -= self.packed[(c, r)] * x[c];
+            }
+            x[r] = s;
+        }
+        // Undo permutation: x = Pᵀ·w.
+        let mut out = vec![0.0; n];
+        for (i, &p) in self.perm.iter().enumerate() {
+            out[p] = x[i];
+        }
+        out
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.order() {
+            d *= self.packed[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        let ax = a.mul_vec(x);
+        ax.iter().zip(b).map(|(l, r)| (l - r).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn solves_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[5.0, 10.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[3.0, 7.0]);
+        assert_eq!(x, vec![7.0, 3.0]);
+        assert!((lu.det() - -1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(Lu::factor(&a), Err(LuError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(Lu::factor(&a).unwrap_err(), LuError::NotSquare);
+    }
+
+    #[test]
+    fn transposed_solve_agrees_with_explicit_transpose() {
+        let a = Matrix::from_rows(&[
+            &[4.0, -2.0, 1.0],
+            &[3.0, 6.0, -4.0],
+            &[2.0, 1.0, 8.0],
+        ]);
+        let b = [1.0, -2.0, 3.0];
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve_transposed(&b);
+        let at = a.transpose();
+        assert!(residual(&at, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn det_of_identity_is_one() {
+        let lu = Lu::factor(&Matrix::identity(5)).unwrap();
+        assert!((lu.det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_systems_have_small_residual() {
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for n in [1usize, 2, 5, 12, 30] {
+            let data: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut a = Matrix::from_vec(n, n, data);
+            // Diagonal boost keeps the random matrix comfortably nonsingular.
+            for i in 0..n {
+                a[(i, i)] += n as f64;
+            }
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let lu = Lu::factor(&a).unwrap();
+            let x = lu.solve(&b);
+            assert!(residual(&a, &x, &b) < 1e-9, "n={n}");
+            let xt = lu.solve_transposed(&b);
+            assert!(residual(&a.transpose(), &xt, &b) < 1e-9, "n={n} transposed");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Vector kernels shared by the factorizations and the simplex pricing
+//! loops. All functions operate on plain `&[f64]` / `&mut [f64]` so the
+//! callers can keep their own storage layout.
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    // Manual 4-way unrolling gives the compiler independent accumulation
+    // chains; for the sizes here this is consistently faster than a naive
+    // fold and numerically no worse than sequential summation.
+    let mut acc = [0.0f64; 4];
+    let chunks = x.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc[0] += x[i] * y[i];
+        acc[1] += x[i + 1] * y[i + 1];
+        acc[2] += x[i + 2] * y[i + 2];
+        acc[3] += x[i + 3] * y[i + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..x.len() {
+        s += x[i] * y[i];
+    }
+    s
+}
+
+/// `y ← y + a·x`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    if a == 0.0 {
+        return;
+    }
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += a * xi;
+    }
+}
+
+/// `x ← a·x`.
+#[inline]
+pub fn scale(a: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// Euclidean norm `‖x‖₂`, computed with scaling to avoid overflow.
+pub fn norm2(x: &[f64]) -> f64 {
+    let m = inf_norm(x);
+    if m == 0.0 || !m.is_finite() {
+        return m;
+    }
+    let mut s = 0.0;
+    for &xi in x {
+        let r = xi / m;
+        s += r * r;
+    }
+    m * s.sqrt()
+}
+
+/// Infinity norm `max_i |x_i|` (0 for the empty slice).
+pub fn inf_norm(x: &[f64]) -> f64 {
+    x.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let x: Vec<f64> = (0..13).map(|i| i as f64 * 0.5).collect();
+        let y: Vec<f64> = (0..13).map(|i| (13 - i) as f64).collect();
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&x, &y) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn axpy_zero_alpha_is_noop() {
+        let x = [f64::NAN; 2];
+        let mut y = [1.0, 2.0];
+        axpy(0.0, &x, &mut y);
+        assert_eq!(y, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn scale_works() {
+        let mut x = [1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, [-3.0, 6.0]);
+    }
+
+    #[test]
+    fn norm2_is_scale_safe() {
+        let x = [3e200, 4e200];
+        assert!((norm2(&x) - 5e200).abs() / 5e200 < 1e-12);
+        assert_eq!(norm2(&[]), 0.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inf_norm_takes_abs() {
+        assert_eq!(inf_norm(&[-7.0, 3.0]), 7.0);
+        assert_eq!(inf_norm(&[]), 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Linear-programming substrate for the CUBIS workspace.
+//!
+//! The paper solves its per-step feasibility MILPs with CPLEX; no such
+//! solver is available here, so this crate implements the LP layer from
+//! scratch:
+//!
+//! * [`LpProblem`] — a small modeling API (variables with bounds, linear
+//!   constraints, max/min objective).
+//! * [`solve`] — a bounded-variable **two-phase primal simplex** with
+//!   Dantzig pricing and a Bland anti-cycling fallback.
+//!
+//! The solver is exact up to explicit floating-point tolerances (see
+//! [`LpOptions`]) and is validated in the test suite against hand-solved
+//! LPs, a brute-force vertex enumerator, and random problems.
+//!
+//! # Example
+//!
+//! ```
+//! use cubis_lp::{LpProblem, Sense, Relation, solve, LpOptions, LpStatus};
+//!
+//! // max x + 2y  s.t. x + y <= 4, x <= 3, 0 <= x,y <= 10
+//! let mut p = LpProblem::new(Sense::Maximize);
+//! let x = p.add_var("x", 0.0, 10.0, 1.0);
+//! let y = p.add_var("y", 0.0, 10.0, 2.0);
+//! p.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+//! p.add_constraint(vec![(x, 1.0)], Relation::Le, 3.0);
+//! let sol = solve(&p, &LpOptions::default()).unwrap();
+//! assert_eq!(sol.status, LpStatus::Optimal);
+//! assert!((sol.objective - 8.0).abs() < 1e-9); // x=0, y=4
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod parse;
+pub mod simplex;
+pub mod solution;
+
+pub use model::{ConstraintId, LpProblem, Relation, Sense, VarId};
+pub use parse::parse_dump;
+pub use simplex::{solve, LpError, LpOptions};
+pub use solution::{LpSolution, LpStatus};

@@ -1,0 +1,324 @@
+//! LP modeling API.
+//!
+//! A [`LpProblem`] is a bag of bounded variables, a linear objective and
+//! a list of linear constraints. The builder methods validate shapes
+//! eagerly so solver code can assume a well-formed problem.
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Maximize the objective.
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+/// Opaque handle to a variable of a particular [`LpProblem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Index of the variable in the problem's variable order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Opaque handle to a constraint of a particular [`LpProblem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConstraintId(pub(crate) usize);
+
+impl ConstraintId {
+    /// Index of the constraint in the problem's row order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Variable {
+    pub name: String,
+    pub lower: f64,
+    pub upper: f64,
+    pub obj: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    /// Sparse row: (variable, coefficient), at most one entry per variable.
+    pub terms: Vec<(VarId, f64)>,
+    pub relation: Relation,
+    pub rhs: f64,
+}
+
+/// A linear program.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl LpProblem {
+    /// Create an empty problem with the given optimization sense.
+    pub fn new(sense: Sense) -> Self {
+        Self { sense, vars: Vec::new(), constraints: Vec::new() }
+    }
+
+    /// Optimization sense.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Add a variable with bounds `[lower, upper]` and objective
+    /// coefficient `obj`. Use `f64::NEG_INFINITY` / `f64::INFINITY` for
+    /// unbounded sides.
+    ///
+    /// # Panics
+    /// Panics if `lower > upper` or either bound is NaN.
+    pub fn add_var(&mut self, name: impl Into<String>, lower: f64, upper: f64, obj: f64) -> VarId {
+        assert!(!lower.is_nan() && !upper.is_nan(), "add_var: NaN bound");
+        assert!(lower <= upper, "add_var: lower {lower} > upper {upper}");
+        assert!(obj.is_finite(), "add_var: non-finite objective coefficient");
+        let id = VarId(self.vars.len());
+        self.vars.push(Variable { name: name.into(), lower, upper, obj });
+        id
+    }
+
+    /// Add the linear constraint `Σ coeff·var (relation) rhs`.
+    ///
+    /// Duplicate variable entries in `terms` are summed.
+    ///
+    /// # Panics
+    /// Panics on out-of-range variables or non-finite data.
+    pub fn add_constraint(
+        &mut self,
+        terms: Vec<(VarId, f64)>,
+        relation: Relation,
+        rhs: f64,
+    ) -> ConstraintId {
+        assert!(rhs.is_finite(), "add_constraint: non-finite rhs");
+        let mut merged: Vec<(VarId, f64)> = Vec::with_capacity(terms.len());
+        for (v, c) in terms {
+            assert!(v.0 < self.vars.len(), "add_constraint: unknown variable");
+            assert!(c.is_finite(), "add_constraint: non-finite coefficient");
+            match merged.iter_mut().find(|(mv, _)| *mv == v) {
+                Some((_, mc)) => *mc += c,
+                None => merged.push((v, c)),
+            }
+        }
+        let id = ConstraintId(self.constraints.len());
+        self.constraints.push(Constraint { terms: merged, relation, rhs });
+        id
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Variable name.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.0].name
+    }
+
+    /// Variable bounds `(lower, upper)`.
+    pub fn var_bounds(&self, v: VarId) -> (f64, f64) {
+        (self.vars[v.0].lower, self.vars[v.0].upper)
+    }
+
+    /// Objective coefficient of a variable.
+    pub fn var_obj(&self, v: VarId) -> f64 {
+        self.vars[v.0].obj
+    }
+
+    /// Tighten (replace) the bounds of a variable. Used by branch-and-bound.
+    ///
+    /// # Panics
+    /// Panics if `lower > upper` after the update.
+    pub fn set_var_bounds(&mut self, v: VarId, lower: f64, upper: f64) {
+        assert!(lower <= upper, "set_var_bounds: crossing bounds {lower} > {upper}");
+        self.vars[v.0].lower = lower;
+        self.vars[v.0].upper = upper;
+    }
+
+    /// Replace the objective coefficient of a variable.
+    pub fn set_var_obj(&mut self, v: VarId, obj: f64) {
+        assert!(obj.is_finite(), "set_var_obj: non-finite coefficient");
+        self.vars[v.0].obj = obj;
+    }
+
+    /// Iterate over all variable ids in index order.
+    pub fn var_ids(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.vars.len()).map(VarId)
+    }
+
+    /// Handle for the variable at `index` (they are issued densely).
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn var_id(&self, index: usize) -> VarId {
+        assert!(index < self.vars.len(), "var_id: out of range");
+        VarId(index)
+    }
+
+    /// Sparse terms, relation and rhs of constraint `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn constraint(&self, index: usize) -> (&[(VarId, f64)], Relation, f64) {
+        let c = &self.constraints[index];
+        (&c.terms, c.relation, c.rhs)
+    }
+
+    /// Evaluate the objective at a point given in variable order.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.vars.len(), "objective_value: length mismatch");
+        self.vars.iter().zip(x).map(|(v, xi)| v.obj * xi).sum()
+    }
+
+    /// Maximum violation of constraints and bounds at `x` (0 means feasible).
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.vars.len(), "max_violation: length mismatch");
+        let mut worst = 0.0f64;
+        for (v, &xi) in self.vars.iter().zip(x) {
+            worst = worst.max(v.lower - xi).max(xi - v.upper);
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|(v, co)| co * x[v.0]).sum();
+            let viol = match c.relation {
+                Relation::Le => lhs - c.rhs,
+                Relation::Ge => c.rhs - lhs,
+                Relation::Eq => (lhs - c.rhs).abs(),
+            };
+            worst = worst.max(viol);
+        }
+        worst
+    }
+
+    /// A human-readable dump in an LP-like format, for debugging.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{}",
+            match self.sense {
+                Sense::Maximize => "Maximize",
+                Sense::Minimize => "Minimize",
+            }
+        );
+        let _ = write!(s, "  obj:");
+        for (i, v) in self.vars.iter().enumerate() {
+            if v.obj != 0.0 {
+                let _ = write!(s, " {:+}·{}", v.obj, nm(&v.name, i));
+            }
+        }
+        let _ = writeln!(s, "\nSubject To");
+        for (ci, c) in self.constraints.iter().enumerate() {
+            let _ = write!(s, "  c{ci}:");
+            for (v, co) in &c.terms {
+                let _ = write!(s, " {:+}·{}", co, nm(&self.vars[v.0].name, v.0));
+            }
+            let rel = match c.relation {
+                Relation::Le => "<=",
+                Relation::Ge => ">=",
+                Relation::Eq => "=",
+            };
+            let _ = writeln!(s, " {} {}", rel, c.rhs);
+        }
+        let _ = writeln!(s, "Bounds");
+        for (i, v) in self.vars.iter().enumerate() {
+            let _ = writeln!(s, "  {} <= {} <= {}", v.lower, nm(&v.name, i), v.upper);
+        }
+        s
+    }
+}
+
+fn nm(name: &str, idx: usize) -> String {
+    if name.is_empty() {
+        format!("v{idx}")
+    } else {
+        name.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_shapes() {
+        let mut p = LpProblem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, 1.0, 2.0);
+        let y = p.add_var("y", -1.0, f64::INFINITY, -1.0);
+        p.add_constraint(vec![(x, 1.0), (y, 2.0)], Relation::Le, 3.0);
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.num_constraints(), 1);
+        assert_eq!(p.var_bounds(y), (-1.0, f64::INFINITY));
+        assert_eq!(p.var_obj(x), 2.0);
+        assert_eq!(p.var_name(x), "x");
+    }
+
+    #[test]
+    fn duplicate_terms_are_merged() {
+        let mut p = LpProblem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 1.0, 1.0);
+        p.add_constraint(vec![(x, 1.0), (x, 2.0)], Relation::Eq, 3.0);
+        assert_eq!(p.constraints[0].terms, vec![(x, 3.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower")]
+    fn crossing_bounds_panic() {
+        let mut p = LpProblem::new(Sense::Maximize);
+        p.add_var("x", 1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn violation_measures_bounds_and_rows() {
+        let mut p = LpProblem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, 1.0, 1.0);
+        let y = p.add_var("y", 0.0, 1.0, 1.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 1.0);
+        assert_eq!(p.max_violation(&[0.5, 0.5]), 0.0);
+        assert!((p.max_violation(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((p.max_violation(&[-0.25, 0.0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objective_value_respects_sense_agnostic_coeffs() {
+        let mut p = LpProblem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 1.0, 3.0);
+        let _y = p.add_var("y", 0.0, 1.0, -1.0);
+        assert_eq!(p.objective_value(&[2.0, 4.0]), 2.0);
+        p.set_var_obj(x, 0.0);
+        assert_eq!(p.objective_value(&[2.0, 4.0]), -4.0);
+    }
+
+    #[test]
+    fn dump_is_stable_enough_for_debugging() {
+        let mut p = LpProblem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, 1.0, 1.0);
+        p.add_constraint(vec![(x, 2.0)], Relation::Ge, 1.0);
+        let d = p.dump();
+        assert!(d.contains("Maximize"));
+        assert!(d.contains(">= 1"));
+    }
+}

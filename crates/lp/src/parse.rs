@@ -1,0 +1,207 @@
+//! Parser for the `LpProblem::dump` text format.
+//!
+//! `dump` → `parse_dump` round-trips a problem, which makes it possible
+//! to capture failing instances from deep inside other solvers (the
+//! `CUBIS_LP_DUMP` hook in the simplex writes one on numerical
+//! breakdown) and replay them as focused regression tests.
+
+use crate::model::{LpProblem, Relation, Sense, VarId};
+use std::collections::HashMap;
+
+/// Errors from [`parse_dump`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description with the offending line.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dump parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(message: impl Into<String>) -> ParseError {
+    ParseError { message: message.into() }
+}
+
+/// Reconstruct an [`LpProblem`] from [`LpProblem::dump`] output.
+///
+/// Variables keep their dumped names; ids are assigned in order of first
+/// appearance in the `Bounds` section (which `dump` writes in variable
+/// order, so round-trips preserve indices).
+pub fn parse_dump(text: &str) -> Result<LpProblem, ParseError> {
+    #[derive(PartialEq)]
+    enum Section {
+        Head,
+        Objective,
+        Constraints,
+        Bounds,
+    }
+    let mut sense = None;
+    let mut section = Section::Head;
+    // (name → (lower, upper)) discovered in the Bounds section, ordered.
+    let mut bounds: Vec<(String, f64, f64)> = Vec::new();
+    let mut obj_terms: Vec<(String, f64)> = Vec::new();
+    let mut raw_rows: Vec<(Vec<(String, f64)>, Relation, f64)> = Vec::new();
+
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            "Maximize" => {
+                sense = Some(Sense::Maximize);
+                section = Section::Objective;
+                continue;
+            }
+            "Minimize" => {
+                sense = Some(Sense::Minimize);
+                section = Section::Objective;
+                continue;
+            }
+            "Subject To" => {
+                section = Section::Constraints;
+                continue;
+            }
+            "Bounds" => {
+                section = Section::Bounds;
+                continue;
+            }
+            _ => {}
+        }
+        match section {
+            Section::Head => return Err(err(format!("unexpected line before sense: {line}"))),
+            Section::Objective => {
+                let body = line.strip_prefix("obj:").unwrap_or(line);
+                obj_terms.extend(parse_terms(body)?);
+            }
+            Section::Constraints => {
+                let body = match line.split_once(':') {
+                    Some((_label, rest)) => rest.trim(),
+                    None => line,
+                };
+                let (terms_str, rel, rhs_str) = if let Some((l, r)) = body.split_once("<=") {
+                    (l, Relation::Le, r)
+                } else if let Some((l, r)) = body.split_once(">=") {
+                    (l, Relation::Ge, r)
+                } else if let Some((l, r)) = body.split_once('=') {
+                    (l, Relation::Eq, r)
+                } else {
+                    return Err(err(format!("constraint without relation: {line}")));
+                };
+                let rhs: f64 = rhs_str
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(format!("bad rhs in: {line}")))?;
+                raw_rows.push((parse_terms(terms_str)?, rel, rhs));
+            }
+            Section::Bounds => {
+                // `lo <= name <= hi`
+                let mut parts = line.split("<=");
+                let lo = parts
+                    .next()
+                    .ok_or_else(|| err(format!("bad bounds line: {line}")))?
+                    .trim();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err(format!("bad bounds line: {line}")))?
+                    .trim();
+                let hi = parts
+                    .next()
+                    .ok_or_else(|| err(format!("bad bounds line: {line}")))?
+                    .trim();
+                let lo: f64 = parse_bound(lo)?;
+                let hi: f64 = parse_bound(hi)?;
+                bounds.push((name.to_string(), lo, hi));
+            }
+        }
+    }
+
+    let sense = sense.ok_or_else(|| err("missing Maximize/Minimize header"))?;
+    let mut p = LpProblem::new(sense);
+    let mut ids: HashMap<String, VarId> = HashMap::new();
+    let obj: HashMap<&str, f64> =
+        obj_terms.iter().map(|(n, c)| (n.as_str(), *c)).collect();
+    for (name, lo, hi) in &bounds {
+        let coeff = obj.get(name.as_str()).copied().unwrap_or(0.0);
+        let id = p.add_var(name.clone(), *lo, *hi, coeff);
+        ids.insert(name.clone(), id);
+    }
+    for (terms, rel, rhs) in raw_rows {
+        let mut row = Vec::with_capacity(terms.len());
+        for (name, c) in terms {
+            let id = *ids
+                .get(&name)
+                .ok_or_else(|| err(format!("constraint uses unknown variable {name}")))?;
+            row.push((id, c));
+        }
+        p.add_constraint(row, rel, rhs);
+    }
+    Ok(p)
+}
+
+fn parse_bound(s: &str) -> Result<f64, ParseError> {
+    match s {
+        "inf" | "+inf" => Ok(f64::INFINITY),
+        "-inf" => Ok(f64::NEG_INFINITY),
+        _ => s.parse().map_err(|_| err(format!("bad bound: {s}"))),
+    }
+}
+
+/// Parse `+c·name -c·name …` term lists.
+fn parse_terms(s: &str) -> Result<Vec<(String, f64)>, ParseError> {
+    let mut out = Vec::new();
+    for tok in s.split_whitespace() {
+        let (coeff_str, name) = tok
+            .split_once('·')
+            .ok_or_else(|| err(format!("bad term: {tok}")))?;
+        let coeff: f64 = coeff_str
+            .parse()
+            .map_err(|_| err(format!("bad coefficient: {coeff_str}")))?;
+        out.push((name.to_string(), coeff));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve, LpOptions, LpStatus};
+
+    #[test]
+    fn round_trips_a_problem() {
+        let mut p = LpProblem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, 10.0, 1.5);
+        let y = p.add_var("y", -2.0, f64::INFINITY, -0.5);
+        p.add_constraint(vec![(x, 1.0), (y, 2.0)], Relation::Le, 4.0);
+        p.add_constraint(vec![(x, -1.0), (y, 1.0)], Relation::Ge, -1.0);
+        p.add_constraint(vec![(x, 1.0)], Relation::Eq, 2.0);
+        let q = parse_dump(&p.dump()).expect("parse");
+        assert_eq!(q.num_vars(), 2);
+        assert_eq!(q.num_constraints(), 3);
+        let a = solve(&p, &LpOptions::default()).unwrap();
+        let b = solve(&q, &LpOptions::default()).unwrap();
+        assert_eq!(a.status, LpStatus::Optimal);
+        assert!((a.objective - b.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infinite_bounds_round_trip() {
+        let mut p = LpProblem::new(Sense::Minimize);
+        p.add_var("f", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        let q = parse_dump(&p.dump()).expect("parse");
+        let (lo, hi) = q.var_bounds(q.var_id(0));
+        assert_eq!(lo, f64::NEG_INFINITY);
+        assert_eq!(hi, f64::INFINITY);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_dump("what is this").is_err());
+        assert!(parse_dump("Maximize\n  obj: nonsense").is_err());
+    }
+}

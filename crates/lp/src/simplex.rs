@@ -1,0 +1,866 @@
+//! Bounded-variable two-phase primal simplex.
+//!
+//! The implementation keeps a dense full tableau `T = B⁻¹·A` (row-major,
+//! so pivots stream through contiguous memory) and tracks nonbasic
+//! variables at their lower or upper bound, which is the standard way to
+//! handle variable bounds without inflating the constraint matrix. Two
+//! phases: phase 1 minimizes the sum of artificial variables to find a
+//! basic feasible solution; phase 2 optimizes the real objective.
+//!
+//! Anti-cycling: Dantzig (most-negative reduced cost) pricing by default,
+//! switching to Bland's rule after a run of degenerate steps, and back
+//! once progress resumes.
+
+use crate::model::{LpProblem, Relation, Sense};
+use crate::solution::{LpSolution, LpStatus};
+use cubis_linalg::{Lu, Matrix};
+
+/// Errors that prevent a meaningful solve (distinct from the ordinary
+/// [`LpStatus`] outcomes, which are data, not errors).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The final solution violated constraints beyond tolerance —
+    /// indicates numerical breakdown on this instance.
+    Numerical {
+        /// Largest violation observed.
+        violation: f64,
+    },
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Numerical { violation } => {
+                write!(f, "numerical breakdown: final violation {violation:.3e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// Tunable tolerances and limits for [`solve`].
+#[derive(Debug, Clone)]
+pub struct LpOptions {
+    /// Reduced-cost threshold for optimality.
+    pub opt_tol: f64,
+    /// Pivot magnitude threshold.
+    pub piv_tol: f64,
+    /// Phase-1 objective threshold for declaring feasibility.
+    pub feas_tol: f64,
+    /// Hard cap on total simplex iterations (both phases). `None` picks
+    /// `50·(rows + cols) + 1000`.
+    pub max_iterations: Option<usize>,
+    /// Consecutive degenerate pivots before switching to Bland's rule.
+    pub bland_after: usize,
+}
+
+impl Default for LpOptions {
+    fn default() -> Self {
+        Self {
+            opt_tol: 1e-9,
+            piv_tol: 1e-9,
+            feas_tol: 1e-7,
+            max_iterations: None,
+            bland_after: 64,
+        }
+    }
+}
+
+/// Where a nonbasic variable currently sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NbStatus {
+    AtLower,
+    AtUpper,
+    /// Free variable parked at 0.
+    Free,
+    /// In the basis (value tracked in `xb`).
+    Basic,
+}
+
+struct Tableau {
+    /// Dense `m × ncols` tableau, `B⁻¹·A`.
+    t: Matrix,
+    /// Right-hand side values of the basic variables, per row.
+    xb: Vec<f64>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    /// Status of every column.
+    status: Vec<NbStatus>,
+    /// Current value of every nonbasic column (bound it sits at).
+    xval: Vec<f64>,
+    /// Column bounds.
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// Phase-dependent cost vector (internal minimization sense).
+    cost: Vec<f64>,
+    /// Number of structural (user) variables.
+    n_struct: usize,
+    /// First artificial column index (artificials occupy the tail).
+    art_start: usize,
+    /// Row scaling applied at setup (±1), needed to recover duals.
+    row_scale: Vec<f64>,
+    /// Per-row slack column (if the row had one) and its coefficient in
+    /// the *original* (unscaled) row.
+    row_slack: Vec<Option<(usize, f64)>>,
+    /// Pristine copy of the (scaled, canonical) constraint matrix used
+    /// for refactorization — the working tableau accumulates roundoff
+    /// over pivots.
+    orig: Matrix,
+    /// Pristine right-hand side of the scaled canonical system.
+    orig_rhs: Vec<f64>,
+    iterations: usize,
+    /// Pivots since the last refactorization.
+    pivots_since_refactor: usize,
+    /// Tableau-entry magnitude above which we refactorize (error
+    /// amplification guard), derived from the pristine system's scale.
+    growth_limit: f64,
+    /// Refactorize unconditionally after this many pivots.
+    refactor_every: usize,
+}
+
+/// Refactorize after this many pivots to bound tableau drift.
+const REFACTOR_EVERY: usize = 100;
+
+enum StepOutcome {
+    Optimal,
+    Unbounded,
+    Progress { degenerate: bool },
+}
+
+impl Tableau {
+    /// Build the initial tableau with slack basis where possible and
+    /// artificials elsewhere.
+    fn build(p: &LpProblem) -> Self {
+        let m = p.num_constraints();
+        let n = p.num_vars();
+        let n_slack = p
+            .constraints
+            .iter()
+            .filter(|c| c.relation != Relation::Eq)
+            .count();
+
+        // Column layout: [structural | slacks | artificials].
+        let mut lower: Vec<f64> = p.vars.iter().map(|v| v.lower).collect();
+        let mut upper: Vec<f64> = p.vars.iter().map(|v| v.upper).collect();
+        lower.extend(std::iter::repeat_n(0.0, n_slack));
+        upper.extend(std::iter::repeat_n(f64::INFINITY, n_slack));
+
+        // Nonbasic starting point: finite lower bound preferred, then
+        // finite upper, else 0 (free).
+        let mut status: Vec<NbStatus> = Vec::with_capacity(n + n_slack);
+        let mut xval: Vec<f64> = Vec::with_capacity(n + n_slack);
+        for j in 0..n + n_slack {
+            if lower[j].is_finite() {
+                status.push(NbStatus::AtLower);
+                xval.push(lower[j]);
+            } else if upper[j].is_finite() {
+                status.push(NbStatus::AtUpper);
+                xval.push(upper[j]);
+            } else {
+                status.push(NbStatus::Free);
+                xval.push(0.0);
+            }
+        }
+
+        // Assemble rows in canonical form (slack coefficient +1):
+        // Le:  lhs + s = rhs
+        // Ge: -lhs + s = -rhs
+        // Eq:  lhs     = rhs
+        struct Row {
+            coeffs: Vec<(usize, f64)>,
+            rhs: f64,
+            slack: Option<(usize, f64)>,
+        }
+        let mut rows: Vec<Row> = Vec::with_capacity(m);
+        let mut next_slack = n;
+        for c in &p.constraints {
+            let sign = if c.relation == Relation::Ge { -1.0 } else { 1.0 };
+            let mut coeffs: Vec<(usize, f64)> =
+                c.terms.iter().map(|(v, co)| (v.index(), sign * co)).collect();
+            let slack = if c.relation == Relation::Eq {
+                None
+            } else {
+                let s = next_slack;
+                next_slack += 1;
+                coeffs.push((s, 1.0));
+                // Original-row slack coefficient: +1 for Le, -1 for Ge
+                // (because the Ge row was negated).
+                Some((s, sign))
+            };
+            rows.push(Row { coeffs, rhs: sign * c.rhs, slack });
+        }
+
+        // Residual of each row at the nonbasic starting point decides
+        // whether the slack can be the initial basic variable.
+        let mut need_art: Vec<bool> = vec![false; m];
+        let mut residual: Vec<f64> = vec![0.0; m];
+        for (i, row) in rows.iter().enumerate() {
+            let mut r = row.rhs;
+            for &(j, a) in &row.coeffs {
+                r -= a * xval[j];
+            }
+            residual[i] = r;
+            match row.slack {
+                // Slack becomes basic at `xval_s + r`; needs to stay >= 0.
+                Some((s, _)) => need_art[i] = xval[s] + r < 0.0,
+                None => need_art[i] = true,
+            }
+        }
+        let n_art = need_art.iter().filter(|&&b| b).count();
+        let art_start = n + n_slack;
+        let ncols = art_start + n_art;
+        lower.extend(std::iter::repeat_n(0.0, n_art));
+        upper.extend(std::iter::repeat_n(f64::INFINITY, n_art));
+        status.extend(std::iter::repeat_n(NbStatus::AtLower, n_art));
+        xval.extend(std::iter::repeat_n(0.0, n_art));
+
+        let mut t = Matrix::zeros(m, ncols);
+        let mut basis = vec![0usize; m];
+        let mut xb = vec![0.0; m];
+        let mut row_scale = vec![1.0; m];
+        let mut row_slack = vec![None; m];
+        let mut next_art = art_start;
+        for (i, row) in rows.iter().enumerate() {
+            row_slack[i] = row.slack;
+            if !need_art[i] {
+                // Slack basis; row is already canonical.
+                for &(j, a) in &row.coeffs {
+                    t[(i, j)] = a;
+                }
+                let (s, _) = row.slack.expect("slack-basic row must have a slack");
+                basis[i] = s;
+                xb[i] = xval[s] + residual[i];
+                status[s] = NbStatus::Basic;
+            } else {
+                // Scale the row so the residual is nonnegative, then give
+                // it an artificial (+1 column) basic at that residual.
+                let scale = if residual[i] < 0.0 { -1.0 } else { 1.0 };
+                row_scale[i] = scale;
+                for &(j, a) in &row.coeffs {
+                    t[(i, j)] = scale * a;
+                }
+                let a = next_art;
+                next_art += 1;
+                t[(i, a)] = 1.0;
+                basis[i] = a;
+                xb[i] = scale * residual[i];
+                status[a] = NbStatus::Basic;
+            }
+        }
+
+        let orig = t.clone();
+        let orig_rhs: Vec<f64> =
+            rows.iter().enumerate().map(|(i, row)| row_scale[i] * row.rhs).collect();
+        Self {
+            t,
+            xb,
+            basis,
+            status,
+            xval,
+            lower,
+            upper,
+            cost: vec![0.0; ncols],
+            n_struct: n,
+            art_start,
+            row_scale,
+            row_slack,
+            growth_limit: orig.max_abs().max(1.0) * 1e6,
+            orig,
+            orig_rhs,
+            iterations: 0,
+            pivots_since_refactor: 0,
+            refactor_every: REFACTOR_EVERY,
+        }
+    }
+
+    /// Switch to conservative numerics: refactorize every few pivots and
+    /// treat even mild tableau growth as a trigger. Used as a fallback
+    /// when the default path breaks down on an ill-conditioned instance
+    /// (the accuracy of the tableau is then bounded by ~16 pivots of
+    /// drift, at ~10–40x the per-pivot cost).
+    fn make_safe(&mut self) {
+        self.refactor_every = 16;
+        self.growth_limit = self.orig.max_abs().max(1.0) * 1e3;
+    }
+
+    /// Rebuild the tableau and basic values from the pristine system:
+    /// `T = B⁻¹·A`, `x_B = B⁻¹(b − N·x_N)`. Bounds the roundoff that
+    /// in-place pivoting accumulates. Returns `false` (leaving state
+    /// untouched) if the basis matrix is numerically singular.
+    fn refactorize(&mut self) -> bool {
+        let m = self.nrows();
+        if m == 0 {
+            return true;
+        }
+        let Some(lu) = self.basis_lu() else {
+            return false;
+        };
+        self.xb = lu.solve(&self.nonbasic_adjusted_rhs());
+        // T column-by-column: B⁻¹·a_j.
+        let ncols = self.ncols();
+        let mut t = Matrix::zeros(m, ncols);
+        let mut col_buf = vec![0.0; m];
+        for j in 0..ncols {
+            for r in 0..m {
+                col_buf[r] = self.orig[(r, j)];
+            }
+            let solved = lu.solve(&col_buf);
+            for r in 0..m {
+                t[(r, j)] = solved[r];
+            }
+        }
+        self.t = t;
+        self.pivots_since_refactor = 0;
+        true
+    }
+
+    /// Cheap final polish: recompute only the basic values from the
+    /// pristine system (`x_B = B⁻¹(b − N·x_N)`), leaving the working
+    /// tableau untouched. Returns the LU of the basis for reuse (duals).
+    fn refresh_basics(&mut self) -> Option<Lu> {
+        if self.nrows() == 0 {
+            return None;
+        }
+        let lu = self.basis_lu()?;
+        self.xb = lu.solve(&self.nonbasic_adjusted_rhs());
+        Some(lu)
+    }
+
+    /// LU of the current basis matrix (columns of the pristine system).
+    fn basis_lu(&self) -> Option<Lu> {
+        let m = self.nrows();
+        let mut b = Matrix::zeros(m, m);
+        for (col, &bi) in self.basis.iter().enumerate() {
+            for r in 0..m {
+                b[(r, col)] = self.orig[(r, bi)];
+            }
+        }
+        cubis_linalg::Lu::factor(&b).ok()
+    }
+
+    /// `b − Σ_{nonbasic j} a_j·x_j` over the pristine system.
+    fn nonbasic_adjusted_rhs(&self) -> Vec<f64> {
+        let m = self.nrows();
+        let mut rhs = self.orig_rhs.clone();
+        for j in 0..self.ncols() {
+            if self.status[j] == NbStatus::Basic {
+                continue;
+            }
+            let xj = self.xval[j];
+            if xj != 0.0 {
+                for r in 0..m {
+                    rhs[r] -= self.orig[(r, j)] * xj;
+                }
+            }
+        }
+        rhs
+    }
+
+    /// Exact duals of the scaled canonical system: solve `Bᵀy = c_B`.
+    fn exact_scaled_duals(&self, lu: &Lu) -> Vec<f64> {
+        let cb: Vec<f64> = self.basis.iter().map(|&bi| self.cost[bi]).collect();
+        lu.solve_transposed(&cb)
+    }
+
+    fn ncols(&self) -> usize {
+        self.t.cols()
+    }
+
+    fn nrows(&self) -> usize {
+        self.t.rows()
+    }
+
+    /// Reduced costs `d = c − c_Bᵀ·T` for every column.
+    fn reduced_costs(&self) -> Vec<f64> {
+        let mut d = self.cost.clone();
+        for (i, &bi) in self.basis.iter().enumerate() {
+            let cb = self.cost[bi];
+            if cb != 0.0 {
+                cubis_linalg::axpy(-cb, self.t.row(i), &mut d);
+            }
+        }
+        d
+    }
+
+    /// One simplex step on the current cost vector.
+    fn step(&mut self, opts: &LpOptions, bland: bool) -> StepOutcome {
+        // Column infinity-norms of the working tableau, for (a) pricing
+        // normalization (approximate steepest edge — damps columns whose
+        // tableau image is badly amplified) and (b) relative pivot
+        // tolerances in the ratio test.
+        let mut col_norm = vec![0.0f64; self.ncols()];
+        let fill_norms = |t: &Matrix, col_norm: &mut Vec<f64>| {
+            col_norm.iter_mut().for_each(|v| *v = 0.0);
+            for r in 0..t.rows() {
+                for (j, &v) in t.row(r).iter().enumerate() {
+                    let a = v.abs();
+                    if a > col_norm[j] {
+                        col_norm[j] = a;
+                    }
+                }
+            }
+        };
+        fill_norms(&self.t, &mut col_norm);
+        // Growth guard: entries far above the pristine system's scale
+        // signal error amplification — rebuild from scratch.
+        if self.pivots_since_refactor > 0
+            && col_norm.iter().cloned().fold(0.0f64, f64::max) > self.growth_limit
+            && self.refactorize()
+        {
+            fill_norms(&self.t, &mut col_norm);
+        }
+        let d = self.reduced_costs();
+
+        // Pricing: pick an entering column that can improve.
+        let mut entering: Option<(usize, f64)> = None; // (col, direction)
+        let mut best_score = 0.0;
+        for j in 0..self.ncols() {
+            let (dir, viol) = match self.status[j] {
+                NbStatus::Basic => continue,
+                NbStatus::AtLower => (1.0, -d[j]),
+                NbStatus::AtUpper => (-1.0, d[j]),
+                NbStatus::Free => {
+                    if d[j] < 0.0 {
+                        (1.0, -d[j])
+                    } else {
+                        (-1.0, d[j])
+                    }
+                }
+            };
+            if viol <= opts.opt_tol {
+                continue;
+            }
+            let score = viol / col_norm[j].max(1.0);
+            if entering.is_none() || score > best_score {
+                entering = Some((j, dir));
+                if bland {
+                    break; // Bland: first eligible (smallest index).
+                }
+                best_score = score;
+            }
+        }
+        let Some((e, dir)) = entering else {
+            return StepOutcome::Optimal;
+        };
+        // Pivot eligibility threshold for this column: absolute floor
+        // plus a relative guard against treating amplification noise as
+        // a real coefficient.
+        let piv_thresh = opts.piv_tol.max(1e-7 * col_norm[e]);
+
+        // Ratio test (Harris-style two-pass): pass 1 finds the tightest
+        // step with a small feasibility relaxation; pass 2 picks, among
+        // the rows still blocking within that relaxed step, the one with
+        // the **largest pivot magnitude**. Without this, chains of
+        // pivots on small-but-admissible elements (e.g. the 1/K
+        // fill-order coefficients of the CUBIS MILPs) amplify the
+        // tableau geometrically and destroy feasibility.
+        let width = self.upper[e] - self.lower[e]; // may be inf
+        let feas_relax = 1e-9;
+        let strict_cap = |i: usize, g: f64, relax: f64| -> Option<f64> {
+            let bi = self.basis[i];
+            // Basic value moves by −Δ·g; find the bound it hits.
+            let cap = if g > 0.0 {
+                let lb = self.lower[bi];
+                if !lb.is_finite() {
+                    return None;
+                }
+                (self.xb[i] - (lb - relax)) / g
+            } else {
+                let ub = self.upper[bi];
+                if !ub.is_finite() {
+                    return None;
+                }
+                (self.xb[i] - (ub + relax)) / g
+            };
+            Some(cap.max(0.0))
+        };
+
+        // Pass 1: relaxed limit.
+        let mut delta_limit = width;
+        for i in 0..self.nrows() {
+            let g = dir * self.t[(i, e)];
+            if g.abs() <= piv_thresh {
+                continue;
+            }
+            if let Some(cap) = strict_cap(i, g, feas_relax) {
+                delta_limit = delta_limit.min(cap);
+            }
+        }
+        if !delta_limit.is_finite() {
+            return StepOutcome::Unbounded;
+        }
+
+        // Pass 2: choose the leaving row. Bland mode keeps the exact
+        // smallest-index rule (anti-cycling); otherwise maximize |pivot|
+        // among rows blocking within the relaxed limit.
+        let mut leave: Option<(usize, f64, f64)> = None; // (row, |pivot|, cap)
+        for i in 0..self.nrows() {
+            let g = dir * self.t[(i, e)];
+            if g.abs() <= piv_thresh {
+                continue;
+            }
+            let Some(cap) = strict_cap(i, g, 0.0) else { continue };
+            if cap > delta_limit + 1e-30 {
+                continue;
+            }
+            let take = match &leave {
+                None => true,
+                Some((li, mag, lcap)) => {
+                    if bland {
+                        // Smallest basic index among minimal caps.
+                        cap < lcap - 1e-12
+                            || (cap < lcap + 1e-12 && self.basis[i] < self.basis[*li])
+                    } else {
+                        g.abs() > *mag
+                    }
+                }
+            };
+            if take {
+                leave = Some((i, g.abs(), cap));
+            }
+        }
+        let best_delta = match &leave {
+            // Entering variable hits its other bound before any basic
+            // variable blocks within the relaxed limit.
+            None => width,
+            Some((_, _, cap)) => *cap,
+        };
+        debug_assert!(best_delta.is_finite());
+        let leave = leave.map(|(i, mag, _)| (i, mag));
+
+        let degenerate = best_delta <= opts.piv_tol;
+        match leave {
+            // Bound flip: the entering variable crosses to its other
+            // bound before any basic variable hits one.
+            None => {
+                debug_assert!(width.is_finite());
+                for i in 0..self.nrows() {
+                    let g = self.t[(i, e)];
+                    self.xb[i] -= dir * best_delta * g;
+                }
+                self.status[e] = match self.status[e] {
+                    NbStatus::AtLower => NbStatus::AtUpper,
+                    NbStatus::AtUpper => NbStatus::AtLower,
+                    other => other,
+                };
+                self.xval[e] = if self.status[e] == NbStatus::AtUpper {
+                    self.upper[e]
+                } else {
+                    self.lower[e]
+                };
+                StepOutcome::Progress { degenerate }
+            }
+            Some((r, _)) => {
+                // leave == Some implies some row cap was strictly below the
+                // bound width, so best_delta is that cap.
+                let delta = best_delta;
+                let entering_value = self.xval[e] + dir * delta;
+                // Update basic values.
+                for i in 0..self.nrows() {
+                    if i != r {
+                        self.xb[i] -= dir * delta * self.t[(i, e)];
+                    }
+                }
+                // Leaving variable exits at the bound it reached.
+                let lv = self.basis[r];
+                let g = dir * self.t[(r, e)];
+                if g > 0.0 {
+                    self.status[lv] = NbStatus::AtLower;
+                    self.xval[lv] = self.lower[lv];
+                } else {
+                    self.status[lv] = NbStatus::AtUpper;
+                    self.xval[lv] = self.upper[lv];
+                }
+                // Pivot the tableau on (r, e).
+                let piv = self.t[(r, e)];
+                debug_assert!(piv.abs() > opts.piv_tol);
+                let inv = 1.0 / piv;
+                cubis_linalg::scale(inv, self.t.row_mut(r));
+                for i in 0..self.nrows() {
+                    if i == r {
+                        continue;
+                    }
+                    let factor = self.t[(i, e)];
+                    if factor != 0.0 {
+                        let (prow, irow) = self.t.two_rows_mut(r, i);
+                        cubis_linalg::axpy(-factor, prow, irow);
+                    }
+                }
+                self.basis[r] = e;
+                self.status[e] = NbStatus::Basic;
+                self.xb[r] = entering_value;
+                self.pivots_since_refactor += 1;
+                // High-amplification pivots (pivot element small relative
+                // to its column) multiply existing roundoff by up to
+                // colmax/|piv|; a single such pivot can silently corrupt
+                // the tableau beyond repair — rebuild it exactly right
+                // away so the *next* ratio test sees true coefficients.
+                if col_norm[e] / piv.abs() > 1e5 {
+                    self.refactorize();
+                }
+                StepOutcome::Progress { degenerate }
+            }
+        }
+    }
+
+    /// Residual of the pristine system at the current point plus bound
+    /// violations of basic variables (diagnostic; O(m·n)).
+    #[allow(dead_code)]
+    fn true_violation(&self) -> f64 {
+        let x = self.values();
+        let mut worst = 0.0f64;
+        for r in 0..self.nrows() {
+            let lhs = cubis_linalg::dot(self.orig.row(r), &x);
+            worst = worst.max((lhs - self.orig_rhs[r]).abs());
+        }
+        for (i, &bi) in self.basis.iter().enumerate() {
+            worst = worst.max(self.lower[bi] - self.xb[i]).max(self.xb[i] - self.upper[bi]);
+        }
+        worst
+    }
+
+    /// Run the simplex loop on the current cost vector until optimal,
+    /// unbounded, or the iteration budget is exhausted.
+    fn optimize(&mut self, opts: &LpOptions, max_iters: usize) -> LpStatus {
+        let mut degen_run = 0usize;
+        loop {
+            if self.iterations >= max_iters {
+                return LpStatus::IterationLimit;
+            }
+            self.iterations += 1;
+            let bland = degen_run >= opts.bland_after;
+            match self.step(opts, bland) {
+                StepOutcome::Optimal => return LpStatus::Optimal,
+                StepOutcome::Unbounded => return LpStatus::Unbounded,
+                StepOutcome::Progress { degenerate } => {
+                    if degenerate {
+                        degen_run += 1;
+                    } else {
+                        degen_run = 0;
+                    }
+                    if self.pivots_since_refactor >= self.refactor_every {
+                        self.refactorize();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Current value of every column (basic or at bound).
+    fn values(&self) -> Vec<f64> {
+        let mut x = self.xval.clone();
+        for (i, &bi) in self.basis.iter().enumerate() {
+            x[bi] = self.xb[i];
+        }
+        x
+    }
+
+    /// Objective value under the current cost vector.
+    fn objective(&self) -> f64 {
+        let x = self.values();
+        cubis_linalg::dot(&self.cost, &x)
+    }
+}
+
+/// Solve a linear program.
+///
+/// Returns `Err` only on numerical breakdown; infeasibility, unboundedness
+/// and iteration limits are reported through [`LpStatus`]. Instances on
+/// which the default pivoting drifts (rare, ill-conditioned bases) are
+/// retried once in a conservative mode with frequent refactorization
+/// before an error is surfaced.
+pub fn solve(p: &LpProblem, opts: &LpOptions) -> Result<LpSolution, LpError> {
+    match solve_once(p, opts, false) {
+        Err(LpError::Numerical { .. }) => solve_once(p, opts, true),
+        other => other,
+    }
+}
+
+fn solve_once(p: &LpProblem, opts: &LpOptions, safe: bool) -> Result<LpSolution, LpError> {
+    let mut tab = Tableau::build(p);
+    if safe {
+        tab.make_safe();
+    }
+    let m = tab.nrows();
+    let ncols = tab.ncols();
+    let max_iters = opts
+        .max_iterations
+        .unwrap_or(50 * (m + ncols) + 1000);
+
+    // ---- Phase 1: drive artificials to zero. ----
+    if tab.art_start < ncols {
+        for j in tab.art_start..ncols {
+            tab.cost[j] = 1.0;
+        }
+        let status = tab.optimize(opts, max_iters);
+        match status {
+            LpStatus::IterationLimit => {
+                return Ok(empty_solution(p, LpStatus::IterationLimit, tab.iterations))
+            }
+            LpStatus::Unbounded => {
+                // Phase-1 objective is bounded below by 0; unbounded here
+                // means numerical trouble.
+                return Err(LpError::Numerical { violation: f64::INFINITY });
+            }
+            LpStatus::Optimal => {}
+            LpStatus::Infeasible => unreachable!("phase 1 cannot report infeasible"),
+        }
+        if tab.objective() > opts.feas_tol {
+            return Ok(empty_solution(p, LpStatus::Infeasible, tab.iterations));
+        }
+        // Freeze artificials at zero so phase 2 cannot reuse them.
+        for j in tab.art_start..ncols {
+            tab.cost[j] = 0.0;
+            tab.lower[j] = 0.0;
+            tab.upper[j] = 0.0;
+            if tab.status[j] != NbStatus::Basic {
+                tab.status[j] = NbStatus::AtLower;
+                tab.xval[j] = 0.0;
+            }
+        }
+        // Pivot out any basic artificial (degenerate pivots); rows where
+        // that is impossible are redundant and keep a frozen artificial.
+        // Pivot choice matters numerically even here: take the largest
+        // eligible |element| in the row (a near-zero pivot amplifies the
+        // whole tableau by its reciprocal), and skip rows whose best
+        // pivot is numerically noise — the frozen artificial is harmless.
+        let mut pivoted_out = false;
+        for r in 0..m {
+            let bi = tab.basis[r];
+            if bi < tab.art_start {
+                continue;
+            }
+            let row_norm = cubis_linalg::inf_norm(tab.t.row(r)).max(1.0);
+            let mut pivot_col = None;
+            let mut best_mag = (1e-7 * row_norm).max(opts.piv_tol);
+            for j in 0..tab.art_start {
+                let mag = tab.t[(r, j)].abs();
+                if tab.status[j] != NbStatus::Basic && mag > best_mag {
+                    pivot_col = Some(j);
+                    best_mag = mag;
+                }
+            }
+            if let Some(j) = pivot_col {
+                pivoted_out = true;
+                // Degenerate pivot: basic artificial sits at ~0, so the
+                // entering variable keeps its current (bound) value.
+                let entering_value = tab.xval[j];
+                let piv = tab.t[(r, j)];
+                let inv = 1.0 / piv;
+                cubis_linalg::scale(inv, tab.t.row_mut(r));
+                for i in 0..m {
+                    if i == r {
+                        continue;
+                    }
+                    let factor = tab.t[(i, j)];
+                    if factor != 0.0 {
+                        let (prow, irow) = tab.t.two_rows_mut(r, i);
+                        cubis_linalg::axpy(-factor, prow, irow);
+                    }
+                }
+                tab.status[bi] = NbStatus::AtLower;
+                tab.xval[bi] = 0.0;
+                tab.basis[r] = j;
+                tab.status[j] = NbStatus::Basic;
+                tab.xb[r] = entering_value;
+            }
+        }
+        // The forced pivots above may be arbitrarily unbalanced; start
+        // phase 2 from an exactly rebuilt tableau.
+        if pivoted_out {
+            tab.refactorize();
+        }
+    }
+
+    // ---- Phase 2: real objective (internal minimization). ----
+    let flip = if p.sense() == Sense::Maximize { -1.0 } else { 1.0 };
+    for j in 0..ncols {
+        tab.cost[j] = 0.0;
+    }
+    for (j, v) in p.vars.iter().enumerate() {
+        tab.cost[j] = flip * v.obj;
+    }
+    let status = tab.optimize(opts, max_iters);
+    match status {
+        LpStatus::IterationLimit => {
+            return Ok(empty_solution(p, LpStatus::IterationLimit, tab.iterations))
+        }
+        LpStatus::Unbounded => {
+            return Ok(empty_solution(p, LpStatus::Unbounded, tab.iterations))
+        }
+        LpStatus::Optimal => {}
+        LpStatus::Infeasible => unreachable!("phase 2 cannot report infeasible"),
+    }
+
+    // Final polish: rebuild basic values from the pristine system so the
+    // answer does not carry accumulated pivot roundoff; reuse the basis
+    // factorization for exact duals below.
+    let final_lu = tab.refresh_basics();
+    let all = tab.values();
+    let x: Vec<f64> = all[..tab.n_struct].to_vec();
+    // Accept roundoff proportional to the instance's magnitude: a 1e-5
+    // absolute residual means something different on a row with rhs 128
+    // than on one with rhs 1.
+    let scale = problem_scale(p);
+    let violation = p.max_violation(&clamp_to_bounds(p, &x));
+    if violation > 1e-5 * scale {
+        if std::env::var("CUBIS_LP_DUMP").is_ok() {
+            let _ = std::fs::write("/tmp/fail_lp.txt", p.dump());
+        }
+        return Err(LpError::Numerical { violation });
+    }
+    let x = clamp_to_bounds(p, &x);
+    let objective = p.objective_value(&x);
+
+    // Recover duals exactly from the final basis: y′ solves Bᵀy′ = c_B
+    // over the *scaled canonical* system. Tableau row i equals
+    // ρ_i × (original row i) with ρ_i = sign_i · scale_i, where sign_i
+    // is the Ge-negation (recorded as the original slack coefficient σ)
+    // and scale_i the artificial-row normalization; the original-row
+    // dual is then y_i = ρ_i · y′_i.
+    let mut duals = vec![0.0; m];
+    if let Some(lu) = &final_lu {
+        let y_scaled = tab.exact_scaled_duals(lu);
+        for i in 0..m {
+            let sign = tab.row_slack[i].map_or(1.0, |(_, sigma)| sigma);
+            duals[i] = flip * sign * tab.row_scale[i] * y_scaled[i];
+        }
+    }
+
+    Ok(LpSolution { status: LpStatus::Optimal, objective, x, duals, iterations: tab.iterations })
+}
+
+/// Clamp a solution onto variable bounds (sub-tolerance cleanup only).
+fn clamp_to_bounds(p: &LpProblem, x: &[f64]) -> Vec<f64> {
+    x.iter()
+        .enumerate()
+        .map(|(j, &v)| {
+            let (l, u) = p.var_bounds(crate::model::VarId(j));
+            v.clamp(l.min(u), u)
+        })
+        .collect()
+}
+
+/// Magnitude of an instance: `max(1, |coefficients|, |rhs|)`.
+fn problem_scale(p: &LpProblem) -> f64 {
+    let mut scale = 1.0f64;
+    for ci in 0..p.num_constraints() {
+        let (terms, _, rhs) = p.constraint(ci);
+        scale = scale.max(rhs.abs());
+        for &(_, c) in terms {
+            scale = scale.max(c.abs());
+        }
+    }
+    scale
+}
+
+fn empty_solution(p: &LpProblem, status: LpStatus, iterations: usize) -> LpSolution {
+    LpSolution {
+        status,
+        objective: f64::NAN,
+        x: vec![f64::NAN; p.num_vars()],
+        duals: vec![f64::NAN; p.num_constraints()],
+        iterations,
+    }
+}

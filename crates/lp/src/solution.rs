@@ -1,0 +1,39 @@
+//! Solver output types.
+
+/// Termination status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// The constraints are inconsistent.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The iteration limit was hit before convergence.
+    IterationLimit,
+}
+
+/// Result of an LP solve.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Termination status. Values below are meaningful only for
+    /// [`LpStatus::Optimal`].
+    pub status: LpStatus,
+    /// Optimal objective value in the problem's own sense.
+    pub objective: f64,
+    /// Primal values in variable order.
+    pub x: Vec<f64>,
+    /// Dual values (one per constraint), in the problem's own sense:
+    /// for a maximization, `dual[i]` is the marginal objective gain per
+    /// unit of slack added to row `i`.
+    pub duals: Vec<f64>,
+    /// Simplex iterations used across both phases.
+    pub iterations: usize,
+}
+
+impl LpSolution {
+    /// Convenience accessor: value of a variable.
+    pub fn value(&self, v: crate::model::VarId) -> f64 {
+        self.x[v.index()]
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the simplex: optimality certificates via
+//! duality, feasibility of reported solutions, and status soundness on
+//! random LPs.
+
+use cubis_lp::{solve, LpOptions, LpProblem, LpStatus, Relation, Sense, VarId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomLp {
+    sense: Sense,
+    // (lower, width, obj) per variable
+    vars: Vec<(f64, f64, f64)>,
+    // (coeffs, relation index, rhs)
+    rows: Vec<(Vec<f64>, u8, f64)>,
+}
+
+fn build(lp: &RandomLp) -> LpProblem {
+    let mut p = LpProblem::new(lp.sense);
+    let ids: Vec<VarId> = lp
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(i, &(lo, w, obj))| p.add_var(format!("x{i}"), lo, lo + w, obj))
+        .collect();
+    for (coeffs, rel, rhs) in &lp.rows {
+        let rel = match rel % 3 {
+            0 => Relation::Le,
+            1 => Relation::Ge,
+            _ => Relation::Eq,
+        };
+        p.add_constraint(
+            ids.iter().zip(coeffs).map(|(&v, &c)| (v, c)).collect(),
+            rel,
+            *rhs,
+        );
+    }
+    p
+}
+
+fn arb_lp() -> impl Strategy<Value = RandomLp> {
+    (2usize..5, 1usize..5, any::<bool>()).prop_flat_map(move |(n, m, maximize)| {
+        let rows = proptest::collection::vec(
+            (proptest::collection::vec(-2.0f64..2.0, n), any::<u8>(), -3.0f64..3.0),
+            m,
+        );
+        let vars =
+            proptest::collection::vec((-3.0f64..3.0, 0.0f64..4.0, -2.0f64..2.0), n);
+        (vars, rows).prop_map(move |(vars, rows)| RandomLp {
+            sense: if maximize { Sense::Maximize } else { Sense::Minimize },
+            vars,
+            rows,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Optimal solutions are feasible and no random feasible point beats
+    /// them.
+    #[test]
+    fn optimal_is_feasible_and_undominated(lp in arb_lp(), probe_seed in any::<u64>()) {
+        let p = build(&lp);
+        let sol = solve(&p, &LpOptions::default()).expect("numerics");
+        if sol.status != LpStatus::Optimal {
+            return Ok(());
+        }
+        prop_assert!(p.max_violation(&sol.x) < 1e-6);
+        // Probe with random points projected onto the box (not the rows —
+        // most will be infeasible and skipped).
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(probe_seed);
+        for _ in 0..50 {
+            let x: Vec<f64> = lp
+                .vars
+                .iter()
+                .map(|&(lo, w, _)| rng.gen_range(lo..=lo + w.max(1e-12)))
+                .collect();
+            if p.max_violation(&x) < 1e-9 {
+                let v = p.objective_value(&x);
+                match lp.sense {
+                    Sense::Maximize => prop_assert!(v <= sol.objective + 1e-6),
+                    Sense::Minimize => prop_assert!(v >= sol.objective - 1e-6),
+                }
+            }
+        }
+    }
+
+    /// Weak duality sanity: for pure-Le maximization problems with
+    /// x ≥ 0, the reported duals certify an upper bound
+    /// `cᵀx* ≤ bᵀy*` (equality at optimum when variable upper bounds are
+    /// slack, inequality in general).
+    #[test]
+    fn dual_bound_for_le_maximization(
+        n in 2usize..5,
+        m in 1usize..4,
+        coeffs in proptest::collection::vec(0.1f64..2.0, 20),
+        objs in proptest::collection::vec(0.1f64..2.0, 5),
+        rhss in proptest::collection::vec(0.5f64..4.0, 4),
+    ) {
+        let mut p = LpProblem::new(Sense::Maximize);
+        let ids: Vec<VarId> = (0..n)
+            .map(|i| p.add_var(format!("x{i}"), 0.0, f64::INFINITY, objs[i % objs.len()]))
+            .collect();
+        for r in 0..m {
+            let terms: Vec<(VarId, f64)> = ids
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, coeffs[(r * n + i) % coeffs.len()]))
+                .collect();
+            p.add_constraint(terms, Relation::Le, rhss[r % rhss.len()]);
+        }
+        let sol = solve(&p, &LpOptions::default()).expect("numerics");
+        if sol.status != LpStatus::Optimal {
+            return Ok(());
+        }
+        let dual_obj: f64 = (0..m)
+            .map(|r| sol.duals[r] * rhss[r % rhss.len()])
+            .sum();
+        prop_assert!(sol.objective <= dual_obj + 1e-6,
+            "primal {} > dual bound {dual_obj}", sol.objective);
+        // Dual feasibility for Le-max: y ≥ 0.
+        for &y in &sol.duals {
+            prop_assert!(y >= -1e-7);
+        }
+    }
+
+    /// Equality-only systems: either infeasible, or the solution solves
+    /// the system.
+    #[test]
+    fn equality_systems_are_solved_exactly(
+        n in 2usize..4,
+        coeffs in proptest::collection::vec(-2.0f64..2.0, 12),
+        rhs in proptest::collection::vec(-2.0f64..2.0, 3),
+    ) {
+        let mut p = LpProblem::new(Sense::Minimize);
+        let ids: Vec<VarId> =
+            (0..n).map(|i| p.add_var(format!("x{i}"), -5.0, 5.0, 1.0)).collect();
+        for (r, &b) in rhs.iter().enumerate().take(n - 1) {
+            let terms: Vec<(VarId, f64)> = ids
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, coeffs[(r * n + i) % coeffs.len()]))
+                .collect();
+            p.add_constraint(terms, Relation::Eq, b);
+        }
+        let sol = solve(&p, &LpOptions::default()).expect("numerics");
+        if sol.status == LpStatus::Optimal {
+            prop_assert!(p.max_violation(&sol.x) < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Regression: a T = 6, K = 32 node LP where the phase-1→2 artificial
+//! pivot-out used to pick a near-zero pivot, amplifying the tableau by
+//! ~1e7 and corrupting phase 2. Captured via CUBIS_LP_DUMP.
+
+use cubis_lp::{parse_dump, solve, LpOptions, LpStatus};
+
+#[test]
+fn artificial_pivot_out_is_stable() {
+    let p = parse_dump(include_str!("data_fail_lp_4.txt")).expect("parse dump");
+    let sol = solve(&p, &LpOptions::default()).expect("no numerical breakdown");
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!(p.max_violation(&sol.x) < 1e-6);
+}

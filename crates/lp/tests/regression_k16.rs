@@ -1,0 +1,14 @@
+//! Regression: a CUBIS node LP (T = 4, K = 16) on which the simplex
+//! declared optimality at a point violating a fill-order row by exactly
+//! one segment width (1/16). Captured via CUBIS_LP_DUMP.
+
+use cubis_lp::{parse_dump, solve, LpOptions, LpStatus};
+
+#[test]
+fn k16_node_lp_solves_cleanly() {
+    let text = include_str!("data_fail_lp_k16.txt");
+    let p = parse_dump(text).expect("parse dump");
+    let sol = solve(&p, &LpOptions::default()).expect("no numerical breakdown");
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!(p.max_violation(&sol.x) < 1e-6, "violation {}", p.max_violation(&sol.x));
+}

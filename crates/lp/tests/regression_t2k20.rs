@@ -1,0 +1,13 @@
+//! Regression: a Table-I CUBIS node LP (T = 2, K = 20) that drove the
+//! pre-Harris ratio test into a near-singular basis (tableau entries
+//! ~1e12, final violation 0.36). Captured via CUBIS_LP_DUMP.
+
+use cubis_lp::{parse_dump, solve, LpOptions, LpStatus};
+
+#[test]
+fn t2_k20_node_lp_solves_cleanly() {
+    let p = parse_dump(include_str!("data_fail_lp_t2k20.txt")).expect("parse dump");
+    let sol = solve(&p, &LpOptions::default()).expect("no numerical breakdown");
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!(p.max_violation(&sol.x) < 1e-6);
+}

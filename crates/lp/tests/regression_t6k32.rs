@@ -1,0 +1,13 @@
+//! Regression: a T = 6, K = 32 CUBIS node LP whose default-mode solve
+//! drifts into a near-singular basis (steady tableau growth, violation
+//! exposed at refactorization). Must be rescued by the safe-mode retry.
+
+use cubis_lp::{parse_dump, solve, LpOptions, LpStatus};
+
+#[test]
+fn t6_k32_node_lp_solves_cleanly() {
+    let p = parse_dump(include_str!("data_fail_lp_3.txt")).expect("parse dump");
+    let sol = solve(&p, &LpOptions::default()).expect("no numerical breakdown");
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!(p.max_violation(&sol.x) < 1e-6);
+}

@@ -1,0 +1,25 @@
+use cubis_lp::{parse_dump, LpProblem, Relation};
+
+// Manual check: reconstruct initial point like Tableau::build does and
+// verify residuals are representable.
+#[test]
+fn check_initial_state() {
+    let p: LpProblem = parse_dump(include_str!("data_fail_lp_t8k24.txt")).expect("parse");
+    // Starting point: every var at finite lower bound (all bounds finite here?).
+    let mut n_inf = 0;
+    for i in 0..p.num_vars() {
+        let (l, u) = p.var_bounds(p.var_id(i));
+        if !l.is_finite() { n_inf += 1; }
+        let _ = u;
+    }
+    println!("vars {} constraints {} free-lower {}", p.num_vars(), p.num_constraints(), n_inf);
+    // Max |coefficient| and rhs magnitudes.
+    let mut cmax = 0.0f64; let mut rmax = 0.0f64;
+    for ci in 0..p.num_constraints() {
+        let (terms, rel, rhs) = p.constraint(ci);
+        assert!(matches!(rel, Relation::Le | Relation::Ge | Relation::Eq));
+        for (_, c) in terms { cmax = cmax.max(c.abs()); }
+        rmax = rmax.max(rhs.abs());
+    }
+    println!("cmax {cmax:.3e} rmax {rmax:.3e}");
+}

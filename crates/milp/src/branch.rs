@@ -1,0 +1,512 @@
+//! Sequential branch-and-bound core.
+
+use crate::MilpProblem;
+use cubis_lp::{solve, LpOptions, LpSolution, LpStatus, Sense};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Branching variable selection rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Branching {
+    /// Fractional part closest to 0.5 wins (ties → lowest index).
+    MostFractional,
+    /// Lowest-index fractional variable (Bland-flavored, deterministic).
+    FirstFractional,
+}
+
+/// Options for [`solve_milp`].
+#[derive(Debug, Clone)]
+pub struct MilpOptions {
+    /// Tolerances for the underlying LP solves.
+    pub lp: LpOptions,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+    /// Absolute optimality gap at which the search stops.
+    pub gap_abs: f64,
+    /// Relative optimality gap at which the search stops.
+    pub gap_rel: f64,
+    /// Node budget (pruned search reports [`MilpStatus::NodeLimit`] if hit
+    /// before the gap closes).
+    pub max_nodes: usize,
+    /// Branching rule.
+    pub branching: Branching,
+    /// Per-variable branching priority (higher first); indexed by variable
+    /// index. Empty = uniform.
+    pub priorities: Vec<i32>,
+    /// Optional warm-start incumbent: a feasible point in variable order.
+    /// The solver verifies feasibility before trusting it.
+    pub warm_start: Option<Vec<f64>>,
+    /// Early sign/threshold termination: stop as soon as an incumbent
+    /// reaches this objective (in the problem sense) or the global bound
+    /// proves no solution can. Used by feasibility-style callers (the
+    /// CUBIS binary search only consumes the sign of the optimum).
+    pub target: Option<f64>,
+    /// Run the LP-rounding heuristic at the root node.
+    pub root_heuristic: bool,
+    /// Number of rayon worker tasks (1 = fully sequential/deterministic).
+    pub threads: usize,
+}
+
+impl Default for MilpOptions {
+    fn default() -> Self {
+        Self {
+            lp: LpOptions::default(),
+            int_tol: 1e-6,
+            gap_abs: 1e-8,
+            gap_rel: 1e-9,
+            max_nodes: 1_000_000,
+            branching: Branching::MostFractional,
+            priorities: Vec::new(),
+            warm_start: None,
+            target: None,
+            root_heuristic: true,
+            threads: 1,
+        }
+    }
+}
+
+/// Termination status of a MILP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MilpStatus {
+    /// Proven optimal within the configured gap.
+    Optimal,
+    /// No integer-feasible point exists.
+    Infeasible,
+    /// The LP relaxation (and hence the MILP, if feasible) is unbounded.
+    Unbounded,
+    /// Node budget exhausted; `objective`/`x` hold the best incumbent if
+    /// one was found.
+    NodeLimit,
+    /// Early-termination mode only (`options.target`): the search proved
+    /// no solution reaches the target before finding any incumbent;
+    /// `bound` carries the certificate.
+    TargetUnreachable,
+}
+
+/// Result of a MILP solve.
+#[derive(Debug, Clone)]
+pub struct MilpSolution {
+    /// Termination status.
+    pub status: MilpStatus,
+    /// Objective of the incumbent (NaN if none).
+    pub objective: f64,
+    /// Incumbent point in variable order (NaN-filled if none).
+    pub x: Vec<f64>,
+    /// Number of branch-and-bound nodes processed.
+    pub nodes: usize,
+    /// Total simplex iterations across all node LPs.
+    pub lp_iterations: usize,
+    /// Final proven bound (best-possible objective), in the problem sense.
+    pub bound: f64,
+}
+
+/// Hard failures (numerical breakdown in a node LP).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MilpError {
+    /// The simplex reported numerical breakdown.
+    Lp(cubis_lp::LpError),
+    /// A node LP hit its iteration limit; results would be unreliable.
+    LpIterationLimit,
+}
+
+impl std::fmt::Display for MilpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MilpError::Lp(e) => write!(f, "LP failure inside branch-and-bound: {e}"),
+            MilpError::LpIterationLimit => write!(f, "node LP hit its iteration limit"),
+        }
+    }
+}
+
+impl std::error::Error for MilpError {}
+
+impl From<cubis_lp::LpError> for MilpError {
+    fn from(e: cubis_lp::LpError) -> Self {
+        MilpError::Lp(e)
+    }
+}
+
+/// A live search node: bound overrides along the path from the root.
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    /// (variable index, lower, upper) tightenings.
+    pub fixes: Vec<(usize, f64, f64)>,
+    /// Parent LP bound (in maximize-normalized space).
+    pub score: f64,
+    pub depth: usize,
+}
+
+/// Heap ordering: best bound first, then deepest (plunge).
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.depth == other.depth
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.score.partial_cmp(&other.score) {
+            Some(Ordering::Equal) | None => self.depth.cmp(&other.depth),
+            Some(ord) => ord,
+        }
+    }
+}
+
+/// Normalize objectives so "larger is better" regardless of sense.
+#[inline]
+pub(crate) fn normalize(sense: Sense, v: f64) -> f64 {
+    match sense {
+        Sense::Maximize => v,
+        Sense::Minimize => -v,
+    }
+}
+
+pub(crate) struct NodeEval {
+    pub lp_iterations: usize,
+    pub outcome: NodeOutcome,
+}
+
+pub(crate) enum NodeOutcome {
+    Pruned,
+    Infeasible,
+    Unbounded,
+    /// LP optimum is integral: candidate incumbent (objective, x).
+    Incumbent(f64, Vec<f64>),
+    /// Fractional: children to enqueue.
+    Branched(Node, Node),
+}
+
+/// Solve one node: apply fixes, run the LP, decide what happens next.
+///
+/// `cutoff` is the current incumbent score (maximize-normalized) used for
+/// pruning; pass `f64::NEG_INFINITY` when there is no incumbent.
+pub(crate) fn evaluate_node(
+    prob: &MilpProblem,
+    opts: &MilpOptions,
+    node: &Node,
+    cutoff: f64,
+) -> Result<NodeEval, MilpError> {
+    let sense = prob.lp.sense();
+    let mut lp = prob.lp.clone();
+    for &(vi, lo, hi) in &node.fixes {
+        let v = lp.var_id(vi);
+        let (l0, u0) = lp.var_bounds(v);
+        let nl = l0.max(lo);
+        let nu = u0.min(hi);
+        if nl > nu {
+            return Ok(NodeEval { lp_iterations: 0, outcome: NodeOutcome::Infeasible });
+        }
+        lp.set_var_bounds(v, nl, nu);
+    }
+    let sol = solve(&lp, &opts.lp)?;
+    let eval = |outcome| NodeEval { lp_iterations: sol.iterations, outcome };
+    match sol.status {
+        LpStatus::Infeasible => return Ok(eval(NodeOutcome::Infeasible)),
+        LpStatus::Unbounded => return Ok(eval(NodeOutcome::Unbounded)),
+        LpStatus::IterationLimit => return Err(MilpError::LpIterationLimit),
+        LpStatus::Optimal => {}
+    }
+    let score = normalize(sense, sol.objective);
+    if score <= cutoff + opts.gap_abs {
+        return Ok(eval(NodeOutcome::Pruned));
+    }
+    match pick_branch_var(prob, opts, &sol) {
+        None => {
+            // Integral LP optimum — snap integer vars exactly.
+            let mut x = sol.x.clone();
+            for v in &prob.integers {
+                x[v.index()] = x[v.index()].round();
+            }
+            let obj = prob.lp.objective_value(&x);
+            Ok(eval(NodeOutcome::Incumbent(obj, x)))
+        }
+        Some(vi) => {
+            let xv = sol.x[vi];
+            let floor = xv.floor();
+            let ceil = floor + 1.0;
+            let down = Node {
+                fixes: with_fix(&node.fixes, (vi, f64::NEG_INFINITY, floor)),
+                score,
+                depth: node.depth + 1,
+            };
+            let up = Node {
+                fixes: with_fix(&node.fixes, (vi, ceil, f64::INFINITY)),
+                score,
+                depth: node.depth + 1,
+            };
+            Ok(eval(NodeOutcome::Branched(down, up)))
+        }
+    }
+}
+
+fn with_fix(fixes: &[(usize, f64, f64)], add: (usize, f64, f64)) -> Vec<(usize, f64, f64)> {
+    let mut out = Vec::with_capacity(fixes.len() + 1);
+    out.extend_from_slice(fixes);
+    out.push(add);
+    out
+}
+
+/// Choose the branching variable, or `None` if the point is integral.
+fn pick_branch_var(prob: &MilpProblem, opts: &MilpOptions, sol: &LpSolution) -> Option<usize> {
+    let mut best: Option<(usize, f64, i32)> = None; // (index, fractionality score, priority)
+    for v in &prob.integers {
+        let vi = v.index();
+        let xv = sol.x[vi];
+        let frac = xv - xv.floor();
+        let dist = frac.min(1.0 - frac);
+        if dist <= opts.int_tol {
+            continue;
+        }
+        let prio = opts.priorities.get(vi).copied().unwrap_or(0);
+        let score = match opts.branching {
+            Branching::MostFractional => dist,
+            Branching::FirstFractional => -(vi as f64),
+        };
+        let better = match best {
+            None => true,
+            Some((_, bscore, bprio)) => {
+                prio > bprio || (prio == bprio && score > bscore)
+            }
+        };
+        if better {
+            best = Some((vi, score, prio));
+        }
+    }
+    best.map(|(vi, _, _)| vi)
+}
+
+/// LP-rounding heuristic: round integers in the relaxation optimum, fix
+/// them, re-solve the continuous rest, and check feasibility.
+fn rounding_heuristic(
+    prob: &MilpProblem,
+    opts: &MilpOptions,
+    relax: &LpSolution,
+) -> Option<(f64, Vec<f64>)> {
+    let mut lp = prob.lp.clone();
+    for v in &prob.integers {
+        let r = relax.x[v.index()].round();
+        let (l, u) = lp.var_bounds(*v);
+        let r = r.clamp(l, u).round();
+        if r < l - 1e-12 || r > u + 1e-12 {
+            return None;
+        }
+        lp.set_var_bounds(*v, r, r);
+    }
+    let sol = solve(&lp, &opts.lp).ok()?;
+    if sol.status != LpStatus::Optimal {
+        return None;
+    }
+    if prob.max_violation(&sol.x) > 1e-6 {
+        return None;
+    }
+    Some((sol.objective, sol.x.clone()))
+}
+
+/// Solve a MILP by branch-and-bound. See the crate docs for the search
+/// strategy. With `opts.threads > 1` the node loop runs on a rayon pool
+/// (results remain exact; node order becomes nondeterministic).
+pub fn solve_milp(prob: &MilpProblem, opts: &MilpOptions) -> Result<MilpSolution, MilpError> {
+    if opts.threads > 1 {
+        return crate::parallel::solve_parallel(prob, opts);
+    }
+    let sense = prob.lp.sense();
+
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    let mut inc_score = f64::NEG_INFINITY;
+    if let Some(ws) = &opts.warm_start {
+        if prob.max_violation(ws) <= 1e-7 {
+            let obj = prob.lp.objective_value(ws);
+            inc_score = normalize(sense, obj);
+            incumbent = Some((obj, ws.clone()));
+        }
+    }
+
+    let root = Node { fixes: Vec::new(), score: f64::INFINITY, depth: 0 };
+    let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+    heap.push(root);
+
+    let mut nodes = 0usize;
+    let mut lp_iters = 0usize;
+    let mut best_bound_seen = f64::NEG_INFINITY; // max-normalized proven bound
+    let mut first_node = true;
+    let mut hit_node_limit = false;
+    let target_score = opts.target.map(|t| normalize(sense, t));
+
+    if let (Some(ts), true) = (target_score, inc_score > f64::NEG_INFINITY) {
+        if inc_score >= ts {
+            // Warm start already certifies the target.
+            return finish(prob, sense, incumbent, inc_score, inc_score, 0, 0, false, true);
+        }
+    }
+
+    while let Some(node) = heap.pop() {
+        if let Some(ts) = target_score {
+            // Bound below target: no solution can reach it; the caller
+            // only needs this certificate.
+            if node.score < ts {
+                best_bound_seen = best_bound_seen.max(node.score);
+                break;
+            }
+        }
+        // The heap is bound-ordered: if the best remaining bound cannot
+        // beat the incumbent, the search is over.
+        if node.score <= inc_score + gap_threshold(opts, inc_score) {
+            best_bound_seen = best_bound_seen.max(inc_score);
+            break;
+        }
+        if nodes >= opts.max_nodes {
+            hit_node_limit = true;
+            best_bound_seen = best_bound_seen.max(node.score);
+            break;
+        }
+        nodes += 1;
+        let eval = evaluate_node(prob, opts, &node, inc_score)?;
+        lp_iters += eval.lp_iterations;
+        match eval.outcome {
+            NodeOutcome::Pruned | NodeOutcome::Infeasible => {}
+            NodeOutcome::Unbounded => {
+                if first_node {
+                    return Ok(MilpSolution {
+                        status: MilpStatus::Unbounded,
+                        objective: f64::NAN,
+                        x: vec![f64::NAN; prob.lp.num_vars()],
+                        nodes,
+                        lp_iterations: lp_iters,
+                        bound: f64::NAN,
+                    });
+                }
+                // A child LP cannot be unbounded if the root wasn't; treat
+                // defensively as an un-prunable region we cannot handle.
+                return Err(MilpError::LpIterationLimit);
+            }
+            NodeOutcome::Incumbent(obj, x) => {
+                let score = normalize(sense, obj);
+                if score > inc_score {
+                    inc_score = score;
+                    incumbent = Some((obj, x));
+                }
+                if target_score.is_some_and(|ts| inc_score >= ts) {
+                    best_bound_seen = best_bound_seen.max(inc_score);
+                    break;
+                }
+            }
+            NodeOutcome::Branched(down, up) => {
+                if first_node && opts.root_heuristic {
+                    // Root LP solution is embedded in the children's score;
+                    // re-derive a heuristic incumbent from a fresh solve.
+                    let relax = solve_root_relaxation(prob, opts)?;
+                    if let Some(r) = relax {
+                        lp_iters += r.iterations;
+                        if let Some((obj, x)) = rounding_heuristic(prob, opts, &r) {
+                            let score = normalize(sense, obj);
+                            if score > inc_score {
+                                inc_score = score;
+                                incumbent = Some((obj, x));
+                            }
+                        }
+                        if target_score.is_some_and(|ts| inc_score >= ts) {
+                            best_bound_seen = best_bound_seen.max(inc_score);
+                            break;
+                        }
+                    }
+                }
+                if down.score > inc_score + opts.gap_abs {
+                    heap.push(down);
+                } else {
+                    best_bound_seen = best_bound_seen.max(down.score);
+                }
+                if up.score > inc_score + opts.gap_abs {
+                    heap.push(up);
+                } else {
+                    best_bound_seen = best_bound_seen.max(up.score);
+                }
+            }
+        }
+        first_node = false;
+    }
+
+    finish(
+        prob,
+        sense,
+        incumbent,
+        inc_score,
+        best_bound_seen,
+        nodes,
+        lp_iters,
+        hit_node_limit,
+        opts.target.is_some(),
+    )
+}
+
+pub(crate) fn gap_threshold(opts: &MilpOptions, inc_score: f64) -> f64 {
+    if inc_score.is_finite() {
+        opts.gap_abs.max(opts.gap_rel * inc_score.abs())
+    } else {
+        opts.gap_abs
+    }
+}
+
+fn solve_root_relaxation(
+    prob: &MilpProblem,
+    opts: &MilpOptions,
+) -> Result<Option<LpSolution>, MilpError> {
+    let sol = solve(&prob.lp, &opts.lp)?;
+    Ok((sol.status == LpStatus::Optimal).then_some(sol))
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish(
+    prob: &MilpProblem,
+    sense: Sense,
+    incumbent: Option<(f64, Vec<f64>)>,
+    inc_score: f64,
+    best_bound_seen: f64,
+    nodes: usize,
+    lp_iterations: usize,
+    hit_node_limit: bool,
+    target_mode: bool,
+) -> Result<MilpSolution, MilpError> {
+    let bound_in_sense = |s: f64| match sense {
+        Sense::Maximize => s,
+        Sense::Minimize => -s,
+    };
+    match incumbent {
+        Some((obj, x)) => Ok(MilpSolution {
+            status: if hit_node_limit { MilpStatus::NodeLimit } else { MilpStatus::Optimal },
+            objective: obj,
+            x,
+            nodes,
+            lp_iterations,
+            bound: bound_in_sense(best_bound_seen.max(inc_score)),
+        }),
+        None => {
+            // With a target set, "no incumbent" normally means the bound
+            // certificate fired before any integral point was found — the
+            // instance itself may well be feasible.
+            let status = if hit_node_limit {
+                MilpStatus::NodeLimit
+            } else if target_mode && best_bound_seen.is_finite() {
+                MilpStatus::TargetUnreachable
+            } else {
+                MilpStatus::Infeasible
+            };
+            Ok(MilpSolution {
+                status,
+                objective: f64::NAN,
+                x: vec![f64::NAN; prob.lp.num_vars()],
+                nodes,
+                lp_iterations,
+                bound: if status == MilpStatus::TargetUnreachable {
+                    bound_in_sense(best_bound_seen)
+                } else {
+                    f64::NAN
+                },
+            })
+        }
+    }
+}

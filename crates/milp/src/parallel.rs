@@ -1,0 +1,229 @@
+//! Parallel branch-and-bound: a work-sharing node pool over rayon.
+//!
+//! Workers pull the best-bound node from a shared heap, evaluate it
+//! (each LP solve is independent), and push children back. A single
+//! incumbent is shared under a mutex; its score is mirrored in an atomic
+//! so pruning checks don't need the lock. Termination uses an
+//! outstanding-node counter: the search is complete when the heap is
+//! empty *and* no worker holds a node.
+//!
+//! The search is exact (same pruning rules as the sequential code) but
+//! node processing order — and therefore node counts — are
+//! nondeterministic across runs.
+
+use crate::branch::{
+    evaluate_node, finish, gap_threshold, normalize, MilpError, MilpOptions, MilpSolution,
+    MilpStatus, Node, NodeOutcome,
+};
+use crate::MilpProblem;
+use parking_lot::Mutex;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// Shared search state.
+struct Shared {
+    heap: Mutex<BinaryHeap<Node>>,
+    incumbent: Mutex<Option<(f64, Vec<f64>)>>,
+    /// Maximize-normalized incumbent score, as f64 bits (monotone CAS).
+    inc_score_bits: AtomicU64,
+    /// Nodes in the heap or currently being evaluated.
+    outstanding: AtomicUsize,
+    nodes: AtomicUsize,
+    lp_iterations: AtomicUsize,
+    node_limit_hit: AtomicBool,
+    unbounded: AtomicBool,
+    /// Target certificate reached (early sign termination).
+    target_done: AtomicBool,
+    error: Mutex<Option<MilpError>>,
+    /// Largest pruned/abandoned bound (bits of max-normalized f64), for
+    /// final gap reporting.
+    best_bound_bits: AtomicU64,
+}
+
+fn load_f64(a: &AtomicU64) -> f64 {
+    f64::from_bits(a.load(Ordering::Acquire))
+}
+
+/// Monotonically raise an atomic f64 (used for scores where larger wins).
+fn raise_f64(a: &AtomicU64, v: f64) {
+    let mut cur = a.load(Ordering::Acquire);
+    loop {
+        if f64::from_bits(cur) >= v {
+            return;
+        }
+        match a.compare_exchange_weak(cur, v.to_bits(), Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+pub(crate) fn solve_parallel(
+    prob: &MilpProblem,
+    opts: &MilpOptions,
+) -> Result<MilpSolution, MilpError> {
+    let sense = prob.lp.sense();
+    let shared = Shared {
+        heap: Mutex::new(BinaryHeap::new()),
+        incumbent: Mutex::new(None),
+        inc_score_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        outstanding: AtomicUsize::new(1),
+        nodes: AtomicUsize::new(0),
+        lp_iterations: AtomicUsize::new(0),
+        node_limit_hit: AtomicBool::new(false),
+        unbounded: AtomicBool::new(false),
+        target_done: AtomicBool::new(false),
+        error: Mutex::new(None),
+        best_bound_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+    };
+    if let Some(ws) = &opts.warm_start {
+        if prob.max_violation(ws) <= 1e-7 {
+            let obj = prob.lp.objective_value(ws);
+            raise_f64(&shared.inc_score_bits, normalize(sense, obj));
+            *shared.incumbent.lock() = Some((obj, ws.clone()));
+        }
+    }
+    shared
+        .heap
+        .lock()
+        .push(Node { fixes: Vec::new(), score: f64::INFINITY, depth: 0 });
+
+    let workers = opts.threads.max(1);
+    rayon::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| worker_loop(prob, opts, &shared));
+        }
+    });
+
+    if let Some(e) = shared.error.lock().take() {
+        return Err(e);
+    }
+    if shared.unbounded.load(Ordering::Acquire) {
+        return Ok(MilpSolution {
+            status: MilpStatus::Unbounded,
+            objective: f64::NAN,
+            x: vec![f64::NAN; prob.lp.num_vars()],
+            nodes: shared.nodes.load(Ordering::Acquire),
+            lp_iterations: shared.lp_iterations.load(Ordering::Acquire),
+            bound: f64::NAN,
+        });
+    }
+    let incumbent = shared.incumbent.lock().take();
+    let inc_score = load_f64(&shared.inc_score_bits);
+    finish(
+        prob,
+        sense,
+        incumbent,
+        inc_score,
+        load_f64(&shared.best_bound_bits),
+        shared.nodes.load(Ordering::Acquire),
+        shared.lp_iterations.load(Ordering::Acquire),
+        shared.node_limit_hit.load(Ordering::Acquire),
+        opts.target.is_some(),
+    )
+}
+
+fn worker_loop(prob: &MilpProblem, opts: &MilpOptions, shared: &Shared) {
+    let sense = prob.lp.sense();
+    let target_score = opts.target.map(|t| normalize(sense, t));
+    loop {
+        if shared.error.lock().is_some()
+            || shared.unbounded.load(Ordering::Acquire)
+            || shared.node_limit_hit.load(Ordering::Acquire)
+            || shared.target_done.load(Ordering::Acquire)
+        {
+            return;
+        }
+        // Try to take a node; `outstanding` already counts it while queued.
+        let node = shared.heap.lock().pop();
+        let Some(node) = node else {
+            if shared.outstanding.load(Ordering::Acquire) == 0 {
+                return; // search complete
+            }
+            std::thread::yield_now();
+            continue;
+        };
+
+        let inc_score = load_f64(&shared.inc_score_bits);
+        if let Some(ts) = target_score {
+            if inc_score >= ts || node.score < ts {
+                // Certificate either way: target met, or provably unmeetable.
+                raise_f64(&shared.best_bound_bits, node.score.min(inc_score.max(ts)));
+                shared.target_done.store(true, Ordering::Release);
+                shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+                return;
+            }
+        }
+        if node.score <= inc_score + gap_threshold(opts, inc_score) {
+            raise_f64(&shared.best_bound_bits, inc_score);
+            // Everything left in the heap is ≤ this bound: drain it.
+            let drained: usize = {
+                let mut h = shared.heap.lock();
+                let k = h.len();
+                h.clear();
+                k
+            };
+            shared.outstanding.fetch_sub(1 + drained, Ordering::AcqRel);
+            continue;
+        }
+        let n = shared.nodes.fetch_add(1, Ordering::AcqRel);
+        if n >= opts.max_nodes {
+            shared.node_limit_hit.store(true, Ordering::Release);
+            raise_f64(&shared.best_bound_bits, node.score);
+            shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+            return;
+        }
+
+        match evaluate_node(prob, opts, &node, inc_score) {
+            Err(e) => {
+                *shared.error.lock() = Some(e);
+                shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+                return;
+            }
+            Ok(eval) => {
+                shared.lp_iterations.fetch_add(eval.lp_iterations, Ordering::AcqRel);
+                match eval.outcome {
+                    NodeOutcome::Pruned | NodeOutcome::Infeasible => {}
+                    NodeOutcome::Unbounded => {
+                        shared.unbounded.store(true, Ordering::Release);
+                    }
+                    NodeOutcome::Incumbent(obj, x) => {
+                        let score = normalize(sense, obj);
+                        {
+                            let mut inc = shared.incumbent.lock();
+                            let current = load_f64(&shared.inc_score_bits);
+                            if score > current {
+                                raise_f64(&shared.inc_score_bits, score);
+                                *inc = Some((obj, x));
+                            }
+                        }
+                        if target_score.is_some_and(|ts| score >= ts) {
+                            shared.target_done.store(true, Ordering::Release);
+                        }
+                    }
+                    NodeOutcome::Branched(down, up) => {
+                        let inc_now = load_f64(&shared.inc_score_bits);
+                        let mut pushed = 0usize;
+                        {
+                            let mut h = shared.heap.lock();
+                            if down.score > inc_now + opts.gap_abs {
+                                h.push(down);
+                                pushed += 1;
+                            } else {
+                                raise_f64(&shared.best_bound_bits, down.score);
+                            }
+                            if up.score > inc_now + opts.gap_abs {
+                                h.push(up);
+                                pushed += 1;
+                            } else {
+                                raise_f64(&shared.best_bound_bits, up.score);
+                            }
+                        }
+                        shared.outstanding.fetch_add(pushed, Ordering::AcqRel);
+                    }
+                }
+                shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Branch-and-bound correctness: knapsacks vs exhaustive enumeration,
+//! classic MILP shapes, warm starts, and parallel/sequential agreement.
+
+use cubis_lp::{LpProblem, Relation, Sense, VarId};
+use cubis_milp::{solve_milp, MilpOptions, MilpProblem, MilpStatus};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn knapsack(values: &[f64], weights: &[f64], cap: f64) -> MilpProblem {
+    let mut lp = LpProblem::new(Sense::Maximize);
+    let vars: Vec<VarId> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| lp.add_var(format!("x{i}"), 0.0, 1.0, v))
+        .collect();
+    lp.add_constraint(
+        vars.iter().zip(weights).map(|(&v, &w)| (v, w)).collect(),
+        Relation::Le,
+        cap,
+    );
+    MilpProblem { lp, integers: vars }
+}
+
+fn brute_knapsack(values: &[f64], weights: &[f64], cap: f64) -> f64 {
+    let n = values.len();
+    let mut best = 0.0f64;
+    for mask in 0u32..(1 << n) {
+        let mut w = 0.0;
+        let mut v = 0.0;
+        for i in 0..n {
+            if mask & (1 << i) != 0 {
+                w += weights[i];
+                v += values[i];
+            }
+        }
+        if w <= cap + 1e-12 {
+            best = best.max(v);
+        }
+    }
+    best
+}
+
+#[test]
+fn tiny_binary_example() {
+    let prob = knapsack(&[1.0, 1.0], &[1.0, 1.0], 1.5);
+    let sol = solve_milp(&prob, &MilpOptions::default()).unwrap();
+    assert_eq!(sol.status, MilpStatus::Optimal);
+    assert!((sol.objective - 1.0).abs() < 1e-6);
+    assert!(prob.is_integral(&sol.x, 1e-6));
+}
+
+#[test]
+fn knapsack_matches_enumeration() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    for trial in 0..40 {
+        let n = rng.gen_range(3..=10usize);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..10.0)).collect();
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..10.0)).collect();
+        let cap = rng.gen_range(5.0..25.0);
+        let prob = knapsack(&values, &weights, cap);
+        let sol = solve_milp(&prob, &MilpOptions::default()).unwrap();
+        let brute = brute_knapsack(&values, &weights, cap);
+        assert_eq!(sol.status, MilpStatus::Optimal, "trial {trial}");
+        assert!(
+            (sol.objective - brute).abs() < 1e-6,
+            "trial {trial}: milp {} vs brute {brute}",
+            sol.objective
+        );
+        assert!(prob.max_violation(&sol.x) < 1e-6);
+    }
+}
+
+#[test]
+fn general_integers() {
+    // max 7x + 2y, 3x + y <= 10, x,y integer >= 0 → enumerate.
+    let mut lp = LpProblem::new(Sense::Maximize);
+    let x = lp.add_var("x", 0.0, 10.0, 7.0);
+    let y = lp.add_var("y", 0.0, 10.0, 2.0);
+    lp.add_constraint(vec![(x, 3.0), (y, 1.0)], Relation::Le, 10.0);
+    let prob = MilpProblem { lp, integers: vec![x, y] };
+    let sol = solve_milp(&prob, &MilpOptions::default()).unwrap();
+    // x=3,y=1 → 23  beats x=2,y=4 → 22.
+    assert!((sol.objective - 23.0).abs() < 1e-6, "got {}", sol.objective);
+}
+
+#[test]
+fn minimization_sense() {
+    // min x + y s.t. x + y >= 1.5, x,y ∈ {0,1} → 2.
+    let mut lp = LpProblem::new(Sense::Minimize);
+    let x = lp.add_var("x", 0.0, 1.0, 1.0);
+    let y = lp.add_var("y", 0.0, 1.0, 1.0);
+    lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 1.5);
+    let prob = MilpProblem { lp, integers: vec![x, y] };
+    let sol = solve_milp(&prob, &MilpOptions::default()).unwrap();
+    assert_eq!(sol.status, MilpStatus::Optimal);
+    assert!((sol.objective - 2.0).abs() < 1e-6);
+}
+
+#[test]
+fn integer_infeasible_but_lp_feasible() {
+    // 0.4 <= x <= 0.6, x binary → no integer point.
+    let mut lp = LpProblem::new(Sense::Maximize);
+    let x = lp.add_var("x", 0.4, 0.6, 1.0);
+    let prob = MilpProblem { lp, integers: vec![x] };
+    let sol = solve_milp(&prob, &MilpOptions::default()).unwrap();
+    assert_eq!(sol.status, MilpStatus::Infeasible);
+}
+
+#[test]
+fn lp_infeasible_propagates() {
+    let mut lp = LpProblem::new(Sense::Maximize);
+    let x = lp.add_var("x", 0.0, 1.0, 1.0);
+    lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0);
+    let prob = MilpProblem { lp, integers: vec![x] };
+    let sol = solve_milp(&prob, &MilpOptions::default()).unwrap();
+    assert_eq!(sol.status, MilpStatus::Infeasible);
+}
+
+#[test]
+fn unbounded_detected() {
+    let mut lp = LpProblem::new(Sense::Maximize);
+    let _x = lp.add_var("x", 0.0, f64::INFINITY, 1.0);
+    let prob = MilpProblem { lp, integers: vec![] };
+    let sol = solve_milp(&prob, &MilpOptions::default()).unwrap();
+    assert_eq!(sol.status, MilpStatus::Unbounded);
+}
+
+#[test]
+fn pure_lp_passthrough() {
+    // No integers: answer equals the LP optimum.
+    let mut lp = LpProblem::new(Sense::Maximize);
+    let x = lp.add_var("x", 0.0, 1.0, 2.0);
+    let y = lp.add_var("y", 0.0, 1.0, 1.0);
+    lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 1.5);
+    let prob = MilpProblem { lp, integers: vec![] };
+    let sol = solve_milp(&prob, &MilpOptions::default()).unwrap();
+    assert!((sol.objective - 2.5).abs() < 1e-6);
+}
+
+#[test]
+fn warm_start_is_used_and_verified() {
+    let prob = knapsack(&[5.0, 4.0, 3.0], &[4.0, 3.0, 2.0], 6.0);
+    // Feasible warm start: items 1 and 2 (weight 5, value 7).
+    let opts = MilpOptions { warm_start: Some(vec![0.0, 1.0, 1.0]), ..Default::default() };
+    let sol = solve_milp(&prob, &opts).unwrap();
+    assert_eq!(sol.status, MilpStatus::Optimal);
+    assert!((sol.objective - 8.0).abs() < 1e-6); // items 0,2
+
+    // Infeasible warm start (weight 9 > 6) must be rejected, not trusted.
+    let opts2 = MilpOptions { warm_start: Some(vec![1.0, 1.0, 1.0]), ..Default::default() };
+    let sol2 = solve_milp(&prob, &opts2).unwrap();
+    assert!((sol2.objective - 8.0).abs() < 1e-6);
+}
+
+#[test]
+fn node_limit_reports_best_incumbent() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let n = 14;
+    let values: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..10.0)).collect();
+    let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..10.0)).collect();
+    let prob = knapsack(&values, &weights, 30.0);
+    let opts = MilpOptions { max_nodes: 3, ..Default::default() };
+    let sol = solve_milp(&prob, &opts).unwrap();
+    assert_eq!(sol.status, MilpStatus::NodeLimit);
+    // Root heuristic should still have produced something feasible.
+    if !sol.objective.is_nan() {
+        assert!(prob.max_violation(&sol.x) < 1e-6);
+    }
+}
+
+#[test]
+fn parallel_matches_sequential() {
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    for trial in 0..10 {
+        let n = rng.gen_range(6..=12usize);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..10.0)).collect();
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..10.0)).collect();
+        let cap = rng.gen_range(10.0..30.0);
+        let prob = knapsack(&values, &weights, cap);
+        let seq = solve_milp(&prob, &MilpOptions::default()).unwrap();
+        let popts = MilpOptions { threads: 4, ..Default::default() };
+        let par = solve_milp(&prob, &popts).unwrap();
+        assert_eq!(seq.status, MilpStatus::Optimal);
+        assert_eq!(par.status, MilpStatus::Optimal, "trial {trial}");
+        assert!(
+            (seq.objective - par.objective).abs() < 1e-6,
+            "trial {trial}: seq {} par {}",
+            seq.objective,
+            par.objective
+        );
+    }
+}
+
+#[test]
+fn branching_rules_agree_on_optimum() {
+    let prob = knapsack(&[6.0, 5.0, 4.0, 3.0], &[5.0, 4.0, 3.0, 2.0], 9.0);
+    let a = MilpOptions {
+        branching: cubis_milp::Branching::MostFractional,
+        ..Default::default()
+    };
+    let b = MilpOptions {
+        branching: cubis_milp::Branching::FirstFractional,
+        ..Default::default()
+    };
+    let sa = solve_milp(&prob, &a).unwrap();
+    let sb = solve_milp(&prob, &b).unwrap();
+    assert!((sa.objective - sb.objective).abs() < 1e-6);
+}
+
+#[test]
+fn priorities_do_not_change_optimum() {
+    let prob = knapsack(&[6.0, 5.0, 4.0, 3.0], &[5.0, 4.0, 3.0, 2.0], 9.0);
+    let opts = MilpOptions { priorities: vec![0, 10, 0, 5], ..Default::default() };
+    let sol = solve_milp(&prob, &opts).unwrap();
+    let base = solve_milp(&prob, &MilpOptions::default()).unwrap();
+    assert!((sol.objective - base.objective).abs() < 1e-6);
+}
+
+#[test]
+fn bound_is_valid_upper_bound_for_maximization() {
+    let prob = knapsack(&[5.0, 4.0, 3.0], &[4.0, 3.0, 2.0], 6.0);
+    let sol = solve_milp(&prob, &MilpOptions::default()).unwrap();
+    assert!(sol.bound >= sol.objective - 1e-6);
+}
+
+#[test]
+fn equality_constrained_milp() {
+    // Exact cover flavor: x + y + z = 2, maximize 3x + 2y + z, binaries.
+    let mut lp = LpProblem::new(Sense::Maximize);
+    let x = lp.add_var("x", 0.0, 1.0, 3.0);
+    let y = lp.add_var("y", 0.0, 1.0, 2.0);
+    let z = lp.add_var("z", 0.0, 1.0, 1.0);
+    lp.add_constraint(vec![(x, 1.0), (y, 1.0), (z, 1.0)], Relation::Eq, 2.0);
+    let prob = MilpProblem { lp, integers: vec![x, y, z] };
+    let sol = solve_milp(&prob, &MilpOptions::default()).unwrap();
+    assert!((sol.objective - 5.0).abs() < 1e-6);
+    assert!((sol.x[0] - 1.0).abs() < 1e-6);
+    assert!((sol.x[1] - 1.0).abs() < 1e-6);
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for branch-and-bound: random knapsacks vs a DP
+//! oracle, bound validity, and warm-start/target invariants.
+
+use cubis_lp::{LpProblem, Relation, Sense, VarId};
+use cubis_milp::{solve_milp, MilpOptions, MilpProblem, MilpStatus};
+use proptest::prelude::*;
+
+fn knapsack(values: &[u16], weights: &[u16], cap: u32) -> MilpProblem {
+    let mut lp = LpProblem::new(Sense::Maximize);
+    let vars: Vec<VarId> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| lp.add_var(format!("x{i}"), 0.0, 1.0, v as f64))
+        .collect();
+    lp.add_constraint(
+        vars.iter().zip(weights).map(|(&v, &w)| (v, w as f64)).collect(),
+        Relation::Le,
+        cap as f64,
+    );
+    MilpProblem { lp, integers: vars }
+}
+
+/// Exact 0/1-knapsack DP over integer weights.
+fn dp_knapsack(values: &[u16], weights: &[u16], cap: u32) -> u32 {
+    let cap = cap as usize;
+    let mut best = vec![0u32; cap + 1];
+    for (&v, &w) in values.iter().zip(weights) {
+        let w = w as usize;
+        for b in (w..=cap).rev() {
+            best[b] = best[b].max(best[b - w] + v as u32);
+        }
+    }
+    best[cap]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// B&B equals the DP oracle on integer knapsacks.
+    #[test]
+    fn bb_matches_dp_knapsack(
+        items in proptest::collection::vec((1u16..40, 1u16..20), 2..12),
+        cap in 5u32..60,
+    ) {
+        let values: Vec<u16> = items.iter().map(|&(v, _)| v).collect();
+        let weights: Vec<u16> = items.iter().map(|&(_, w)| w).collect();
+        let prob = knapsack(&values, &weights, cap);
+        let sol = solve_milp(&prob, &MilpOptions::default()).expect("solve");
+        prop_assert_eq!(sol.status, MilpStatus::Optimal);
+        let oracle = dp_knapsack(&values, &weights, cap) as f64;
+        prop_assert!((sol.objective - oracle).abs() < 1e-6,
+            "bb {} vs dp {oracle}", sol.objective);
+        // Reported bound must dominate the optimum.
+        prop_assert!(sol.bound >= sol.objective - 1e-6);
+        // Incumbent must be feasible and integral.
+        prop_assert!(prob.max_violation(&sol.x) < 1e-6);
+    }
+
+    /// A feasible warm start never degrades the answer, and the target
+    /// option terminates with a valid certificate.
+    #[test]
+    fn warm_start_and_target_are_sound(
+        items in proptest::collection::vec((1u16..30, 1u16..15), 3..9),
+        cap in 5u32..40,
+        threshold_num in 0u32..100,
+    ) {
+        let values: Vec<u16> = items.iter().map(|&(v, _)| v).collect();
+        let weights: Vec<u16> = items.iter().map(|&(_, w)| w).collect();
+        let prob = knapsack(&values, &weights, cap);
+        let base = solve_milp(&prob, &MilpOptions::default()).expect("solve");
+        let oracle = base.objective;
+
+        // Warm start with the empty knapsack (always feasible).
+        let w_opts = MilpOptions {
+            warm_start: Some(vec![0.0; values.len()]),
+            ..Default::default()
+        };
+        let warm = solve_milp(&prob, &w_opts).expect("solve");
+        prop_assert!((warm.objective - oracle).abs() < 1e-6);
+
+        // Target: pick a threshold possibly above or below the optimum.
+        let target = oracle * (threshold_num as f64 / 50.0); // 0..2x optimum
+        let t_opts = MilpOptions { target: Some(target), ..Default::default() };
+        let t_sol = solve_milp(&prob, &t_opts).expect("solve");
+        match t_sol.status {
+            MilpStatus::Optimal => {
+                if target <= oracle + 1e-9 {
+                    // Achievable target: incumbent must certify it, or the
+                    // search simply finished (tiny instances).
+                    if !t_sol.objective.is_nan() {
+                        prop_assert!(
+                            t_sol.objective >= target.min(oracle) - 1e-6
+                                || t_sol.bound <= target + 1e-6
+                        );
+                    }
+                } else {
+                    // Unachievable target: the bound must prove it.
+                    prop_assert!(t_sol.bound <= target + 1e-6
+                        || (t_sol.objective - oracle).abs() < 1e-6,
+                        "bound {} target {target} oracle {oracle}", t_sol.bound);
+                }
+            }
+            MilpStatus::TargetUnreachable => {
+                // Only valid when the target really is above the optimum.
+                prop_assert!(t_sol.bound <= target + 1e-6,
+                    "unreachable claimed with bound {} vs target {target}", t_sol.bound);
+                prop_assert!(target > oracle - 1e-6,
+                    "target {target} ≤ optimum {oracle} declared unreachable");
+            }
+            MilpStatus::Infeasible => {
+                // Knapsack with empty set feasible: cannot be infeasible.
+                prop_assert!(false, "knapsack reported infeasible");
+            }
+            other => prop_assert!(false, "unexpected status {other:?}"),
+        }
+    }
+
+    /// Parallel solve agrees with sequential on small instances.
+    #[test]
+    fn parallel_matches_sequential_prop(
+        items in proptest::collection::vec((1u16..25, 1u16..12), 2..8),
+        cap in 4u32..30,
+    ) {
+        let values: Vec<u16> = items.iter().map(|&(v, _)| v).collect();
+        let weights: Vec<u16> = items.iter().map(|&(_, w)| w).collect();
+        let prob = knapsack(&values, &weights, cap);
+        let seq = solve_milp(&prob, &MilpOptions::default()).expect("solve");
+        let p_opts = MilpOptions { threads: 3, ..Default::default() };
+        let par = solve_milp(&prob, &p_opts).expect("solve");
+        prop_assert!((seq.objective - par.objective).abs() < 1e-6);
+    }
+}

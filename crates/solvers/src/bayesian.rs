@@ -1,0 +1,74 @@
+//! Bayesian baseline: maximize *expected* utility over sampled attacker
+//! types (Yang et al., AAMAS'14 flavor).
+//!
+//! Given types `t = 1..N` with uniform prior, the defender maximizes
+//! `(1/N) Σ_t V_t(x)` where `V_t` is the expected utility against type
+//! `t`'s quantal response. The objective is smooth but non-convex; we
+//! optimize it with the multi-start projected-gradient engine.
+
+use crate::nonconvex::{maximize_over_coverage, NonconvexOptions};
+use crate::types::SampledType;
+use cubis_game::SecurityGame;
+
+/// Maximize the uniform-prior expected utility over the given types.
+///
+/// # Panics
+/// Panics if `types` is empty.
+pub fn solve_bayesian(
+    game: &SecurityGame,
+    types: &[SampledType],
+    opts: &NonconvexOptions,
+) -> Vec<f64> {
+    assert!(!types.is_empty(), "solve_bayesian: no types");
+    let objective = |x: &[f64]| -> f64 {
+        types.iter().map(|t| t.defender_utility(game, x)).sum::<f64>() / types.len() as f64
+    };
+    maximize_over_coverage(game.num_targets(), game.resources(), objective, opts).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::sample_types;
+    use cubis_behavior::{BoundConvention, SuqrUncertainty, UncertainSuqr};
+    use cubis_game::GameGenerator;
+
+    #[test]
+    fn single_type_bayesian_approximates_point_best_response() {
+        let game = GameGenerator::new(70).generate(4, 1.0);
+        let model = UncertainSuqr::from_game(
+            &game,
+            SuqrUncertainty::paper_example(),
+            0.0,
+            BoundConvention::ExactInterval,
+        )
+        .scale_width(0.0); // collapse to the midpoint: one deterministic type
+        let types = sample_types(&model, 1, 0);
+        let opts = NonconvexOptions { starts: 6, ..Default::default() };
+        let x_bayes = solve_bayesian(&game, &types, &opts);
+        let x_point =
+            crate::midpoint::solve_point_qr(&game, &types[0], 100, 1e-4).unwrap();
+        let v = |x: &[f64]| types[0].defender_utility(&game, x);
+        assert!(
+            (v(&x_bayes) - v(&x_point)).abs() < 0.05,
+            "bayes {} vs point {}",
+            v(&x_bayes),
+            v(&x_point)
+        );
+    }
+
+    #[test]
+    fn output_feasible() {
+        let game = GameGenerator::new(71).generate(6, 2.0);
+        let model = UncertainSuqr::from_game(
+            &game,
+            SuqrUncertainty::paper_example(),
+            0.5,
+            BoundConvention::ExactInterval,
+        );
+        let types = sample_types(&model, 8, 5);
+        let opts = NonconvexOptions { starts: 4, max_iters: 60, ..Default::default() };
+        let x = solve_bayesian(&game, &types, &opts);
+        assert!(game.check_coverage(&x, 1e-5).is_ok());
+    }
+}

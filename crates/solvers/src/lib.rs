@@ -1,0 +1,44 @@
+//! Baseline defender solvers for the evaluation.
+//!
+//! The paper's experiments compare CUBIS against defenders that ignore
+//! uncertainty or handle it differently:
+//!
+//! * [`uniform`] — spread resources evenly (no model at all);
+//! * [`maximin`] — behavior-free robust: assume a fully adversarial
+//!   attacker and maximize the minimum defender utility (water-filling);
+//! * [`origami`] — strong Stackelberg equilibrium against a perfectly
+//!   rational attacker (the classic ORIGAMI algorithm);
+//! * [`midpoint`] — best response to the *midpoint* of the uncertainty
+//!   intervals (the paper's non-robust strawman; equivalent to a
+//!   PASAQ-style quantal-response best response);
+//! * [`worst_type`] — Brown et al. (GameSec'14)-style robustness against
+//!   a finite set of sampled attacker types (maximize the worst type's
+//!   utility);
+//! * [`bayesian`] — Yang et al. (AAMAS'14)-style Bayesian response:
+//!   maximize the *average* utility over sampled types;
+//! * [`nonconvex`] — multi-start projected gradient directly on the
+//!   exact worst-case objective: the "generic non-convex solver
+//!   (Fmincon)" comparator the paper mentions, built from scratch.
+//!
+//! All solvers return a coverage vector in the defender's feasible set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bayesian;
+pub mod maximin;
+pub mod midpoint;
+pub mod nonconvex;
+pub mod origami;
+pub mod types;
+pub mod uniform;
+pub mod worst_type;
+
+pub use bayesian::solve_bayesian;
+pub use maximin::solve_maximin;
+pub use midpoint::{solve_midpoint, solve_midpoint_params, solve_point_qr};
+pub use nonconvex::{solve_nonconvex, NonconvexOptions};
+pub use origami::solve_origami;
+pub use types::{sample_types, SampledType};
+pub use uniform::solve_uniform;
+pub use worst_type::{solve_worst_type, WorstTypeOptions};

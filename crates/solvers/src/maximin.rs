@@ -1,0 +1,133 @@
+//! Behavior-free robust maximin.
+//!
+//! Assume nothing about the attacker except that he attacks where it
+//! hurts most: maximize `min_i Ud_i(x_i)`. The optimum is a water-fill:
+//! for a utility level `t`, the cheapest coverage achieving
+//! `Ud_i(x_i) ≥ t` everywhere is `x_i(t) = clamp((t − Pd_i)/(Rd_i − Pd_i), 0, 1)`,
+//! and `Σ_i x_i(t)` is nondecreasing in `t`, so the largest affordable
+//! `t` is found by bisection.
+
+use cubis_game::SecurityGame;
+
+/// Maximize the minimum per-target defender utility subject to the
+/// resource budget. Returns the water-filling coverage.
+pub fn solve_maximin(game: &SecurityGame) -> Vec<f64> {
+    let t_count = game.num_targets();
+    let coverage_for = |level: f64| -> Vec<f64> {
+        (0..t_count)
+            .map(|i| game.target(i).coverage_for_defender_utility(level).clamp(0.0, 1.0))
+            .collect()
+    };
+    let total = |level: f64| -> f64 { coverage_for(level).iter().sum() };
+
+    // Bisect on the utility level. Range: worst penalty (free) up to the
+    // best achievable reward (can cost more than the budget).
+    let mut lo = game.min_defender_utility();
+    let mut hi = game.max_defender_utility();
+    // The level is capped by the smallest reward: beyond min_i Rd_i some
+    // target cannot reach the level even with full coverage.
+    let cap = game
+        .targets()
+        .iter()
+        .map(|t| t.def_reward)
+        .fold(f64::INFINITY, f64::min);
+    hi = hi.min(cap);
+    if total(hi) <= game.resources() {
+        return distribute_slack(game, coverage_for(hi));
+    }
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if total(mid) <= game.resources() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    distribute_slack(game, coverage_for(lo))
+}
+
+/// Spend any leftover budget greedily (extra coverage never hurts the
+/// worst case), keeping the vector feasible.
+fn distribute_slack(game: &SecurityGame, mut x: Vec<f64>) -> Vec<f64> {
+    let mut slack = game.resources() - x.iter().sum::<f64>();
+    if slack <= 0.0 {
+        return x;
+    }
+    for xi in x.iter_mut() {
+        let room = 1.0 - *xi;
+        let add = room.min(slack);
+        *xi += add;
+        slack -= add;
+        if slack <= 1e-15 {
+            break;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubis_game::{GameGenerator, SecurityGame, TargetPayoffs};
+
+    #[test]
+    fn equalizes_utilities_when_budget_binds() {
+        let game = SecurityGame::new(
+            vec![
+                TargetPayoffs::new(5.0, -5.0, 5.0, -5.0),
+                TargetPayoffs::new(10.0, -10.0, 10.0, -10.0),
+            ],
+            1.0,
+        );
+        let x = solve_maximin(&game);
+        let u0 = game.defender_utility(0, x[0]);
+        let u1 = game.defender_utility(1, x[1]);
+        assert!((u0 - u1).abs() < 1e-6, "u0={u0} u1={u1}");
+        assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_strategy_has_better_min_utility() {
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let game = GameGenerator::new(8).generate(5, 2.0);
+        let x = solve_maximin(&game);
+        let min_u = |xs: &[f64]| {
+            (0..5)
+                .map(|i| game.defender_utility(i, xs[i]))
+                .fold(f64::INFINITY, f64::min)
+        };
+        let base = min_u(&x);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..500 {
+            let raw: Vec<f64> = (0..5).map(|_| rng.gen_range(-0.5..1.5)).collect();
+            let cand = cubis_game::project_capped_simplex(&raw, 2.0);
+            assert!(min_u(&cand) <= base + 1e-6);
+        }
+    }
+
+    #[test]
+    fn abundant_budget_hits_reward_cap() {
+        let game = SecurityGame::new(
+            vec![
+                TargetPayoffs::new(3.0, -1.0, 1.0, -3.0),
+                TargetPayoffs::new(6.0, -2.0, 2.0, -6.0),
+            ],
+            2.0,
+        );
+        // Budget 2 of 2: full coverage reaches every reward.
+        let x = solve_maximin(&game);
+        let min_u = (0..2)
+            .map(|i| game.defender_utility(i, x[i]))
+            .fold(f64::INFINITY, f64::min);
+        assert!((min_u - 3.0).abs() < 1e-6, "min utility {min_u}");
+    }
+
+    #[test]
+    fn output_is_feasible() {
+        let game = GameGenerator::new(21).generate(9, 4.0);
+        let x = solve_maximin(&game);
+        assert!(x.iter().all(|&v| (0.0..=1.0 + 1e-9).contains(&v)));
+        assert!(x.iter().sum::<f64>() <= game.resources() + 1e-6);
+    }
+}

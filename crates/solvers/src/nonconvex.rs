@@ -1,0 +1,222 @@
+//! Multi-start projected gradient ascent over the coverage polytope —
+//! the stand-in for the "generic non-convex solver (e.g. Fmincon)" the
+//! paper compares against.
+//!
+//! The objective is any black-box function of the coverage vector; for
+//! the robust problem we plug in the *exact* worst-case oracle, so this
+//! baseline optimizes the true maximin objective directly (no
+//! dualization, no linearization) — just slowly and only to a local
+//! optimum per start. Gradients are forward differences; steps use
+//! Armijo backtracking; each start runs independently (rayon).
+
+use cubis_behavior::IntervalChoiceModel;
+use cubis_core::RobustProblem;
+use cubis_game::{project_capped_simplex, SecurityGame};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Options for the projected-gradient solver.
+#[derive(Debug, Clone)]
+pub struct NonconvexOptions {
+    /// Number of random restarts.
+    pub starts: usize,
+    /// Gradient iterations per start.
+    pub max_iters: usize,
+    /// Initial step size.
+    pub step0: f64,
+    /// Finite-difference step.
+    pub fd_step: f64,
+    /// Stop when the iterate moves less than this.
+    pub tol: f64,
+    /// RNG seed for the restarts.
+    pub seed: u64,
+    /// Run restarts on the rayon pool.
+    pub parallel: bool,
+}
+
+impl Default for NonconvexOptions {
+    fn default() -> Self {
+        Self {
+            starts: 16,
+            max_iters: 200,
+            step0: 0.5,
+            fd_step: 1e-6,
+            tol: 1e-8,
+            seed: 0,
+            parallel: true,
+        }
+    }
+}
+
+/// Maximize an arbitrary objective over
+/// `{0 ≤ x ≤ 1, Σ x = R}` by multi-start projected gradient ascent.
+/// Returns the best `(x, value)` across starts.
+pub fn maximize_over_coverage<F>(
+    t: usize,
+    resources: f64,
+    objective: F,
+    opts: &NonconvexOptions,
+) -> (Vec<f64>, f64)
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    assert!(t > 0 && opts.starts > 0, "maximize_over_coverage: empty search");
+    let run_start = |s: usize| -> (Vec<f64>, f64) {
+        let mut rng = ChaCha8Rng::seed_from_u64(opts.seed.wrapping_add(s as u64));
+        let x0: Vec<f64> = if s == 0 {
+            // First start from the uniform strategy (good neutral seed).
+            cubis_game::uniform_coverage(t, resources)
+        } else {
+            let raw: Vec<f64> = (0..t).map(|_| rng.gen_range(-0.5..1.5)).collect();
+            project_capped_simplex(&raw, resources)
+        };
+        ascend(x0, resources, &objective, opts)
+    };
+    let results: Vec<(Vec<f64>, f64)> = if opts.parallel {
+        (0..opts.starts).into_par_iter().map(run_start).collect()
+    } else {
+        (0..opts.starts).map(run_start).collect()
+    };
+    results
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("at least one start")
+}
+
+fn ascend<F: Fn(&[f64]) -> f64>(
+    mut x: Vec<f64>,
+    resources: f64,
+    objective: &F,
+    opts: &NonconvexOptions,
+) -> (Vec<f64>, f64) {
+    let t = x.len();
+    let mut fx = objective(&x);
+    for _ in 0..opts.max_iters {
+        // Forward-difference gradient (projected afterwards, so the raw
+        // coordinate gradient is fine).
+        let mut grad = vec![0.0; t];
+        for i in 0..t {
+            let mut xp = x.clone();
+            xp[i] = (xp[i] + opts.fd_step).min(1.0);
+            let h = xp[i] - x[i];
+            if h > 0.0 {
+                grad[i] = (objective(&xp) - fx) / h;
+            } else {
+                // At the cap: probe downward.
+                let mut xm = x.clone();
+                xm[i] -= opts.fd_step;
+                grad[i] = (fx - objective(&xm)) / opts.fd_step;
+            }
+        }
+        // Armijo backtracking on the projected step.
+        let mut step = opts.step0;
+        let mut moved = false;
+        for _ in 0..30 {
+            let cand: Vec<f64> =
+                x.iter().zip(&grad).map(|(xi, gi)| xi + step * gi).collect();
+            let cand = project_capped_simplex(&cand, resources);
+            let fc = objective(&cand);
+            if fc > fx + 1e-12 {
+                let delta: f64 =
+                    cand.iter().zip(&x).map(|(a, b)| (a - b).abs()).sum();
+                x = cand;
+                fx = fc;
+                moved = delta > opts.tol;
+                break;
+            }
+            step *= 0.5;
+        }
+        if !moved {
+            break;
+        }
+    }
+    (x, fx)
+}
+
+/// Maximize the exact worst-case utility of the robust problem by
+/// multi-start projected gradient — the Fmincon-style comparator.
+pub fn solve_nonconvex<M: IntervalChoiceModel + Sync>(
+    game: &SecurityGame,
+    model: &M,
+    opts: &NonconvexOptions,
+) -> Vec<f64> {
+    let prob = RobustProblem::new(game, model);
+    let (x, _) = maximize_over_coverage(
+        game.num_targets(),
+        game.resources(),
+        |xs| prob.worst_case(xs).utility,
+        opts,
+    );
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubis_behavior::{BoundConvention, SuqrUncertainty, UncertainSuqr};
+    use cubis_game::GameGenerator;
+
+    #[test]
+    fn recovers_quadratic_optimum() {
+        // max −Σ (x_i − a_i)² over the simplex with a feasible a: optimum a.
+        let a = [0.3, 0.5, 0.2];
+        let obj = |x: &[f64]| -> f64 {
+            -x.iter().zip(&a).map(|(xi, ai)| (xi - ai) * (xi - ai)).sum::<f64>()
+        };
+        let opts = NonconvexOptions { starts: 4, ..Default::default() };
+        let (x, v) = maximize_over_coverage(3, 1.0, obj, &opts);
+        assert!(v > -1e-6, "value {v}, x {x:?}");
+        for (xi, ai) in x.iter().zip(&a) {
+            assert!((xi - ai).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn respects_caps() {
+        // Optimum wants everything on coordinate 0 but x ≤ 1 caps it.
+        let obj = |x: &[f64]| x[0];
+        let opts = NonconvexOptions { starts: 2, ..Default::default() };
+        let (x, _) = maximize_over_coverage(3, 2.0, obj, &opts);
+        assert!((x[0] - 1.0).abs() < 1e-6);
+        assert!((x.iter().sum::<f64>() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_given_seed_when_sequential() {
+        let game = GameGenerator::new(60).generate(4, 1.0);
+        let model = UncertainSuqr::from_game(
+            &game,
+            SuqrUncertainty::paper_example(),
+            0.3,
+            BoundConvention::ExactInterval,
+        );
+        let opts = NonconvexOptions {
+            starts: 3,
+            max_iters: 40,
+            parallel: false,
+            ..Default::default()
+        };
+        let a = solve_nonconvex(&game, &model, &opts);
+        let b = solve_nonconvex(&game, &model, &opts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn improves_on_uniform_worst_case() {
+        let game = GameGenerator::new(61).generate(5, 2.0);
+        let model = UncertainSuqr::from_game(
+            &game,
+            SuqrUncertainty::paper_example(),
+            0.5,
+            BoundConvention::ExactInterval,
+        );
+        let prob = cubis_core::RobustProblem::new(&game, &model);
+        let uniform = cubis_game::uniform_coverage(5, 2.0);
+        let opts = NonconvexOptions { starts: 8, max_iters: 120, ..Default::default() };
+        let x = solve_nonconvex(&game, &model, &opts);
+        assert!(
+            prob.worst_case(&x).utility >= prob.worst_case(&uniform).utility - 1e-9
+        );
+    }
+}

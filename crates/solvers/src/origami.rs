@@ -1,0 +1,146 @@
+//! ORIGAMI: strong Stackelberg equilibrium against a perfectly rational
+//! attacker (Kiekintveld et al., AAMAS'09).
+//!
+//! A rational attacker picks the target with the highest expected
+//! utility `Ua_i(x_i)`; under the strong (optimistic) tie-breaking
+//! convention he breaks ties in the defender's favor. ORIGAMI grows an
+//! "attack set" of targets kept indifferent at a common attacker value
+//! `v`, lowering `v` until the budget is exhausted or every member is
+//! fully covered.
+
+use cubis_game::SecurityGame;
+
+/// Compute the SSE coverage against a perfectly rational attacker.
+pub fn solve_origami(game: &SecurityGame) -> Vec<f64> {
+    let t = game.num_targets();
+    // Sort targets by uncovered attacker utility Ua_i(0) = Ra_i, descending.
+    let mut order: Vec<usize> = (0..t).collect();
+    order.sort_by(|&a, &b| {
+        game.target(b)
+            .att_reward
+            .partial_cmp(&game.target(a).att_reward)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    // Candidate attacker values where the attack set changes: the next
+    // target's Ra, or where some member saturates (x = 1 ⇒ v = Pa_i).
+    // We simply bisect on v: coverage needed to bring every target with
+    // Ra_i > v down to utility v is monotone in v.
+    let coverage_for = |v: f64| -> Vec<f64> {
+        (0..t)
+            .map(|i| {
+                let tp = game.target(i);
+                if tp.att_reward <= v {
+                    0.0
+                } else {
+                    tp.coverage_for_attacker_utility(v).clamp(0.0, 1.0)
+                }
+            })
+            .collect()
+    };
+    let total = |v: f64| -> f64 { coverage_for(v).iter().sum() };
+
+    let mut hi = game.targets().iter().map(|tp| tp.att_reward).fold(f64::NEG_INFINITY, f64::max);
+    let mut lo = game.targets().iter().map(|tp| tp.att_penalty).fold(f64::INFINITY, f64::min);
+    if total(lo) <= game.resources() {
+        // Enough budget to push every target to its floor.
+        return coverage_for(lo);
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if total(mid) <= game.resources() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    coverage_for(hi)
+}
+
+/// Expected defender utility at the SSE under strong tie-breaking: among
+/// the attacker's best responses, the one best for the defender.
+pub fn sse_defender_utility(game: &SecurityGame, x: &[f64]) -> f64 {
+    let t = game.num_targets();
+    assert_eq!(x.len(), t, "sse_defender_utility: length mismatch");
+    let best_att = (0..t)
+        .map(|i| game.attacker_utility(i, x[i]))
+        .fold(f64::NEG_INFINITY, f64::max);
+    (0..t)
+        .filter(|&i| game.attacker_utility(i, x[i]) >= best_att - 1e-9)
+        .map(|i| game.defender_utility(i, x[i]))
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubis_game::{GameGenerator, SecurityGame, TargetPayoffs};
+
+    #[test]
+    fn symmetric_two_targets_split_evenly() {
+        let game = SecurityGame::new(
+            vec![
+                TargetPayoffs::new(5.0, -5.0, 5.0, -5.0),
+                TargetPayoffs::new(5.0, -5.0, 5.0, -5.0),
+            ],
+            1.0,
+        );
+        let x = solve_origami(&game);
+        assert!((x[0] - 0.5).abs() < 1e-6);
+        assert!((x[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn attack_set_members_are_indifferent() {
+        let game = GameGenerator::new(14).generate(6, 2.0);
+        let x = solve_origami(&game);
+        let utils: Vec<f64> = (0..6).map(|i| game.attacker_utility(i, x[i])).collect();
+        let v = utils.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for i in 0..6 {
+            if x[i] > 1e-6 && x[i] < 1.0 - 1e-9 {
+                // Interior-covered targets sit at the common value v.
+                assert!((utils[i] - v).abs() < 1e-4, "target {i}: {} vs {v}", utils[i]);
+            } else {
+                // Uncovered targets are no more attractive than v;
+                // saturated ones (x = 1) may sit strictly below it.
+                assert!(utils[i] <= v + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_is_exhausted_when_binding() {
+        let game = GameGenerator::new(15).generate(8, 3.0);
+        let x = solve_origami(&game);
+        let total: f64 = x.iter().sum();
+        assert!(total <= game.resources() + 1e-6);
+        // With R < T and positive rewards the budget should bind.
+        assert!(total >= game.resources() - 1e-3, "total {total}");
+    }
+
+    #[test]
+    fn sse_utility_uses_optimistic_tie_breaking() {
+        // Two targets, identical attacker view, different defender view:
+        // the attacker (by SSE convention) picks the defender-preferred one.
+        let game = SecurityGame::new(
+            vec![
+                TargetPayoffs::new(5.0, -1.0, 5.0, -5.0),
+                TargetPayoffs::new(1.0, -5.0, 5.0, -5.0),
+            ],
+            1.0,
+        );
+        let x = vec![0.5, 0.5];
+        let u = sse_defender_utility(&game, &x);
+        assert!((u - game.defender_utility(0, 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_budget_never_hurts() {
+        let mut gen = GameGenerator::new(16);
+        let game_small = gen.generate(6, 1.0);
+        let game_big = SecurityGame::new(game_small.targets().to_vec(), 3.0);
+        let u_small = sse_defender_utility(&game_small, &solve_origami(&game_small));
+        let u_big = sse_defender_utility(&game_big, &solve_origami(&game_big));
+        assert!(u_big >= u_small - 1e-6);
+    }
+}

@@ -1,0 +1,155 @@
+//! Sampled attacker types for the worst-type and Bayesian baselines.
+//!
+//! Prior robust/Bayesian approaches (Brown et al. GameSec'14, Yang et
+//! al. AAMAS'14) model uncertainty as a *finite set of SUQR attacker
+//! types*. To compare against them on our interval games, we sample
+//! types from the same uncertainty box the interval model uses.
+
+use cubis_behavior::{ChoiceModel, SuqrWeights, UncertainSuqr};
+use cubis_game::SecurityGame;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// One sampled SUQR attacker type: a weight vector plus per-target
+/// payoff perception sampled from the interval model's box.
+#[derive(Debug, Clone)]
+pub struct SampledType {
+    /// Sampled weights.
+    pub weights: SuqrWeights,
+    /// Sampled `(Ra_i, Pa_i)` per target.
+    pub payoffs: Vec<(f64, f64)>,
+}
+
+impl SampledType {
+    /// Log-attractiveness of this type at target `i`, coverage `x_i`
+    /// (uses the type's own payoff perception, not the game's).
+    pub fn log_attractiveness(&self, i: usize, x_i: f64) -> f64 {
+        let (ra, pa) = self.payoffs[i];
+        self.weights.w1 * x_i + self.weights.w2 * ra + self.weights.w3 * pa
+    }
+
+    /// Expected defender utility if the whole population follows this
+    /// type (softmax response).
+    pub fn defender_utility(&self, game: &SecurityGame, x: &[f64]) -> f64 {
+        let t = game.num_targets();
+        let logs: Vec<f64> = (0..t).map(|i| self.log_attractiveness(i, x[i])).collect();
+        let q = cubis_behavior::choice::softmax(&logs);
+        game.expected_defender_utility(x, &q)
+    }
+}
+
+impl ChoiceModel for SampledType {
+    fn log_attractiveness(&self, _game: &SecurityGame, i: usize, x_i: f64) -> f64 {
+        SampledType::log_attractiveness(self, i, x_i)
+    }
+}
+
+/// Sample `n` types uniformly from the box of an [`UncertainSuqr`]
+/// model. Includes the two extreme corners first (all-lower, all-upper)
+/// so small samples still bracket the box; deterministic under `seed`.
+pub fn sample_types(model: &UncertainSuqr, n: usize, seed: u64) -> Vec<SampledType> {
+    assert!(n >= 1, "sample_types: need at least one type");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let w = &model.weights;
+    let mut out = Vec::with_capacity(n);
+    let corner = |lo: bool, model: &UncertainSuqr| -> SampledType {
+        let pick = |iv: cubis_behavior::Interval| if lo { iv.lo } else { iv.hi };
+        SampledType {
+            weights: SuqrWeights::new(
+                pick(w.w1).min(0.0),
+                pick(w.w2).max(0.0),
+                pick(w.w3).max(0.0),
+            ),
+            payoffs: model.payoffs.iter().map(|&(ra, pa)| (pick(ra), pick(pa))).collect(),
+        }
+    };
+    out.push(corner(true, model));
+    if n >= 2 {
+        out.push(corner(false, model));
+    }
+    while out.len() < n {
+        let u = |iv: cubis_behavior::Interval, rng: &mut ChaCha8Rng| {
+            if iv.width() == 0.0 {
+                iv.lo
+            } else {
+                rng.gen_range(iv.lo..=iv.hi)
+            }
+        };
+        let weights = SuqrWeights::new(
+            u(w.w1, &mut rng).min(0.0),
+            u(w.w2, &mut rng).max(0.0),
+            u(w.w3, &mut rng).max(0.0),
+        );
+        let payoffs = model
+            .payoffs
+            .iter()
+            .map(|&(ra, pa)| (u(ra, &mut rng), u(pa, &mut rng)))
+            .collect();
+        out.push(SampledType { weights, payoffs });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubis_behavior::{BoundConvention, IntervalChoiceModel, SuqrUncertainty};
+    use cubis_game::GameGenerator;
+
+    fn fixture() -> (cubis_game::SecurityGame, UncertainSuqr) {
+        let game = GameGenerator::new(50).generate(4, 2.0);
+        let model = UncertainSuqr::from_game(
+            &game,
+            SuqrUncertainty::paper_example(),
+            0.5,
+            BoundConvention::ExactInterval,
+        );
+        (game, model)
+    }
+
+    #[test]
+    fn deterministic_and_correct_count() {
+        let (_, model) = fixture();
+        let a = sample_types(&model, 7, 3);
+        let b = sample_types(&model, 7, 3);
+        assert_eq!(a.len(), 7);
+        assert_eq!(a[3].weights.w1, b[3].weights.w1);
+    }
+
+    #[test]
+    fn sampled_types_lie_inside_interval_bounds() {
+        let (game, model) = fixture();
+        let types = sample_types(&model, 20, 9);
+        for ty in &types {
+            for i in 0..4 {
+                for &x in &[0.0, 0.4, 1.0] {
+                    let f = ty.log_attractiveness(i, x);
+                    let (lo, hi) = model.log_bounds(&game, i, x);
+                    assert!(
+                        f >= lo - 1e-9 && f <= hi + 1e-9,
+                        "type escapes the box: {f} vs [{lo}, {hi}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corners_come_first() {
+        let (_, model) = fixture();
+        let types = sample_types(&model, 2, 0);
+        assert_eq!(types[0].weights.w1, model.weights.w1.lo);
+        assert_eq!(types[1].weights.w1, model.weights.w1.hi.min(0.0));
+    }
+
+    #[test]
+    fn type_defender_utility_matches_manual_softmax() {
+        let (game, model) = fixture();
+        let ty = &sample_types(&model, 3, 1)[2];
+        let x = cubis_game::uniform_coverage(4, 2.0);
+        let logs: Vec<f64> = (0..4).map(|i| ty.log_attractiveness(i, x[i])).collect();
+        let q = cubis_behavior::choice::softmax(&logs);
+        let manual = game.expected_defender_utility(&x, &q);
+        assert!((ty.defender_utility(&game, &x) - manual).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,22 @@
+//! The no-model baseline: uniform coverage.
+
+use cubis_game::SecurityGame;
+
+/// Spread resources evenly: `x_i = R / T`.
+pub fn solve_uniform(game: &SecurityGame) -> Vec<f64> {
+    cubis_game::uniform_coverage(game.num_targets(), game.resources())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubis_game::GameGenerator;
+
+    #[test]
+    fn uniform_is_feasible() {
+        let game = GameGenerator::new(3).generate(7, 3.0);
+        let x = solve_uniform(&game);
+        assert!(game.check_coverage(&x, 1e-9).is_ok());
+        assert!((x[0] - 3.0 / 7.0).abs() < 1e-12);
+    }
+}

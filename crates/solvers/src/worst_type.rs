@@ -1,0 +1,234 @@
+//! Worst-type robust baseline (Brown et al., GameSec'14 flavor).
+//!
+//! Robustness against a *finite* set of attacker types: maximize
+//! `min_t V_t(x)`. Like CUBIS, the value is found by binary search on
+//! `c`: level `c` is achievable iff
+//!
+//! ```text
+//! ∃x ∈ X :  Σ_i F_{t,i}(x_i)·(Ud_i(x_i) − c) ≥ 0   for every type t
+//! ```
+//!
+//! (each `V_t(x) ≥ c` multiplied through by its positive normalizer).
+//! Each per-type function is separable in the `x_i`, so the feasibility
+//! problem is piecewise-linearized on the shared segment grid and posed
+//! as one MILP: maximize the minimum type slack `s`; the level is
+//! feasible iff `s* ≥ 0`. The only binaries are the shared fill-order
+//! indicators `h_{i,k}`.
+
+use crate::types::SampledType;
+use cubis_game::SecurityGame;
+use cubis_lp::{LpProblem, Relation, Sense, VarId};
+use cubis_milp::{solve_milp, MilpOptions, MilpProblem, MilpStatus};
+
+/// Options for [`solve_worst_type`].
+#[derive(Debug, Clone)]
+pub struct WorstTypeOptions {
+    /// Piecewise segments per target.
+    pub k: usize,
+    /// Binary-search threshold.
+    pub epsilon: f64,
+    /// Branch-and-bound options for the per-step MILP.
+    pub milp: MilpOptions,
+}
+
+impl Default for WorstTypeOptions {
+    fn default() -> Self {
+        Self { k: 5, epsilon: 1e-2, milp: MilpOptions::default() }
+    }
+}
+
+/// Errors from the worst-type solver.
+#[derive(Debug, Clone)]
+pub enum WorstTypeError {
+    /// The MILP backend failed.
+    Milp(String),
+}
+
+impl std::fmt::Display for WorstTypeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorstTypeError::Milp(m) => write!(f, "worst-type MILP failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WorstTypeError {}
+
+/// Maximize the minimum expected utility across the given attacker
+/// types. Returns the robust coverage vector.
+///
+/// # Panics
+/// Panics if `types` is empty.
+pub fn solve_worst_type(
+    game: &SecurityGame,
+    types: &[SampledType],
+    opts: &WorstTypeOptions,
+) -> Result<Vec<f64>, WorstTypeError> {
+    assert!(!types.is_empty(), "solve_worst_type: no types");
+    let mut lo = game.min_defender_utility();
+    let mut hi = game.max_defender_utility();
+    let mut best = max_min_slack(game, types, opts, lo)?.1;
+    while hi - lo > opts.epsilon {
+        let mid = 0.5 * (lo + hi);
+        let (slack, x) = max_min_slack(game, types, opts, mid)?;
+        if slack >= -1e-9 {
+            lo = mid;
+            best = x;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(best)
+}
+
+/// Solve `max_x min_t Σ_i ē_{t,i}(x_i)` for level `c`; returns the
+/// optimal (scaled) slack and the maximizing coverage.
+fn max_min_slack(
+    game: &SecurityGame,
+    types: &[SampledType],
+    opts: &WorstTypeOptions,
+    c: f64,
+) -> Result<(f64, Vec<f64>), WorstTypeError> {
+    let t_count = game.num_targets();
+    let k = opts.k;
+    let kf = k as f64;
+    let seg = 1.0 / kf;
+    let mut lp = LpProblem::new(Sense::Maximize);
+
+    // Shared coverage segments (in segment units z = K·x ∈ [0,1], for
+    // conditioning — see cubis-core's MILP builder) and fill-order
+    // binaries.
+    let xv: Vec<Vec<VarId>> = (0..t_count)
+        .map(|i| (0..k).map(|j| lp.add_var(format!("z_{i}_{j}"), 0.0, 1.0, 0.0)).collect())
+        .collect();
+    let hv: Vec<Vec<VarId>> = (0..t_count)
+        .map(|i| {
+            (0..k - 1).map(|j| lp.add_var(format!("h_{i}_{j}"), 0.0, 1.0, 0.0)).collect()
+        })
+        .collect();
+    let slack = lp.add_var("s", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+
+    for i in 0..t_count {
+        for j in 0..k - 1 {
+            lp.add_constraint(vec![(hv[i][j], 1.0), (xv[i][j], -1.0)], Relation::Le, 0.0);
+            lp.add_constraint(vec![(xv[i][j + 1], 1.0), (hv[i][j], -1.0)], Relation::Le, 0.0);
+        }
+    }
+    lp.add_constraint(
+        xv.iter().flatten().map(|&v| (v, 1.0)).collect(),
+        Relation::Le,
+        kf * game.resources(),
+    );
+
+    // One linearized constraint per type:
+    //   Σ_i [e0_{t,i} + Σ_k s_{t,i,k}·x_{i,k}] ≥ s.
+    // Each type's row is normalized (divided by its largest coefficient)
+    // so the shared slack is comparable across types and the LP is well
+    // scaled; this preserves the *sign* of the slack, which is all the
+    // binary search consumes.
+    for ty in types {
+        let e = |i: usize, x: f64| -> f64 {
+            let logf = cubis_behavior::clamp_exponent(ty.log_attractiveness(i, x));
+            logf.exp() * (game.defender_utility(i, x) - c)
+        };
+        let mut offset = 0.0;
+        let mut terms: Vec<(VarId, f64)> = Vec::with_capacity(t_count * k + 1);
+        let mut scale = 0.0f64;
+        let mut slopes = vec![vec![0.0; k]; t_count];
+        for i in 0..t_count {
+            let mut prev = e(i, 0.0);
+            offset += prev;
+            scale = scale.max(prev.abs());
+            for j in 0..k {
+                let cur = e(i, (j + 1) as f64 * seg);
+                // Slope per *segment unit* of z (= per 1/K of coverage).
+                slopes[i][j] = cur - prev;
+                scale = scale.max(cur.abs());
+                prev = cur;
+            }
+        }
+        let scale = if scale > 0.0 { scale } else { 1.0 };
+        for i in 0..t_count {
+            for j in 0..k {
+                terms.push((xv[i][j], slopes[i][j] / scale));
+            }
+        }
+        terms.push((slack, -1.0));
+        lp.add_constraint(terms, Relation::Ge, -offset / scale);
+    }
+
+    let integers: Vec<VarId> = hv.iter().flatten().copied().collect();
+    let prob = MilpProblem { lp, integers };
+    let sol = solve_milp(&prob, &opts.milp).map_err(|e| WorstTypeError::Milp(e.to_string()))?;
+    match sol.status {
+        MilpStatus::Optimal => {}
+        other => return Err(WorstTypeError::Milp(format!("status {other:?} at c = {c}"))),
+    }
+    let x: Vec<f64> = xv
+        .iter()
+        .map(|row| (row.iter().map(|&v| sol.x[v.index()]).sum::<f64>() / kf).clamp(0.0, 1.0))
+        .collect();
+    Ok((sol.objective, x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::sample_types;
+    use cubis_behavior::{BoundConvention, SuqrUncertainty, UncertainSuqr};
+    use cubis_game::GameGenerator;
+
+    fn fixture(seed: u64, t: usize, r: f64) -> (SecurityGame, Vec<SampledType>) {
+        let game = GameGenerator::new(seed).generate(t, r);
+        let model = UncertainSuqr::from_game(
+            &game,
+            SuqrUncertainty::paper_example(),
+            0.5,
+            BoundConvention::ExactInterval,
+        );
+        let types = sample_types(&model, 6, seed);
+        (game, types)
+    }
+
+    fn min_type_utility(game: &SecurityGame, types: &[SampledType], x: &[f64]) -> f64 {
+        types
+            .iter()
+            .map(|t| t.defender_utility(game, x))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn output_feasible() {
+        let (game, types) = fixture(80, 4, 2.0);
+        let x = solve_worst_type(&game, &types, &WorstTypeOptions::default()).unwrap();
+        assert!(x.iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        assert!(x.iter().sum::<f64>() <= game.resources() + 1e-6);
+    }
+
+    #[test]
+    fn beats_uniform_on_worst_type_objective() {
+        let (game, types) = fixture(81, 5, 2.0);
+        let x = solve_worst_type(&game, &types, &WorstTypeOptions::default()).unwrap();
+        let uni = cubis_game::uniform_coverage(5, 2.0);
+        // Allow a small linearization slack (K = 5 by default).
+        assert!(
+            min_type_utility(&game, &types, &x)
+                >= min_type_utility(&game, &types, &uni) - 0.15,
+            "worst-type {} vs uniform {}",
+            min_type_utility(&game, &types, &x),
+            min_type_utility(&game, &types, &uni)
+        );
+    }
+
+    #[test]
+    fn single_type_reduces_to_point_best_response() {
+        let (game, types) = fixture(82, 4, 1.0);
+        let single = &types[2..3];
+        let opts = WorstTypeOptions { k: 12, epsilon: 5e-3, ..Default::default() };
+        let x = solve_worst_type(&game, single, &opts).unwrap();
+        let x_point = crate::midpoint::solve_point_qr(&game, &single[0], 60, 1e-3).unwrap();
+        let v_wt = single[0].defender_utility(&game, &x);
+        let v_pt = single[0].defender_utility(&game, &x_point);
+        assert!((v_wt - v_pt).abs() < 0.25, "wt {v_wt} vs point {v_pt}");
+    }
+}

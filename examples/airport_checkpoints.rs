@@ -1,0 +1,68 @@
+//! Airport-checkpoint scenario (the ARMOR/LAX setting that launched
+//! deployed security games): few resources, strongly asymmetric
+//! terminals, and an adversary whose rationality level is itself
+//! uncertain.
+//!
+//! Here the uncertainty is expressed on the *QR precision* λ rather
+//! than on SUQR weights: the defender only knows `λ ∈ [λ_lo, λ_hi]`
+//! ([`UncertainQr`]), demonstrating that CUBIS consumes any
+//! interval-valued behavioral model, not just SUQR.
+//!
+//! ```sh
+//! cargo run --release --bin airport_checkpoints
+//! ```
+
+use cubis_behavior::{Qr, UncertainQr};
+use cubis_core::{Cubis, MilpInner, RobustProblem};
+use cubis_game::{SecurityGame, TargetPayoffs};
+
+fn main() {
+    // Eight terminals, two canine units. Values from the ARMOR-style
+    // setting: high-traffic terminals are worth more to both sides.
+    let game = SecurityGame::new(
+        vec![
+            TargetPayoffs::new(6.0, -9.0, 9.0, -5.0), // international hub
+            TargetPayoffs::new(5.0, -7.0, 7.0, -4.0),
+            TargetPayoffs::new(4.0, -5.0, 5.5, -4.0),
+            TargetPayoffs::new(3.0, -4.0, 4.0, -3.0),
+            TargetPayoffs::new(3.0, -3.5, 3.5, -3.0),
+            TargetPayoffs::new(2.0, -2.5, 2.5, -2.0),
+            TargetPayoffs::new(1.5, -2.0, 2.0, -2.0),
+            TargetPayoffs::new(1.0, -1.5, 1.5, -1.0), // commuter wing
+        ],
+        2.0,
+    );
+
+    println!("Airport checkpoints: 8 terminals, 2 canine units");
+    println!("attacker rationality λ known only as an interval\n");
+    println!(
+        "{:>16} | {:>10} | {:>10} | {:>10}",
+        "λ interval", "CUBIS wc", "ORIGAMI wc", "mid-λ wc"
+    );
+    println!("{}", "-".repeat(56));
+
+    for (lo, hi) in [(0.0, 2.0), (0.2, 1.2), (0.4, 0.8), (0.6, 0.6)] {
+        let model = UncertainQr::new(lo, hi);
+        let p = RobustProblem::new(&game, &model);
+        let sol = Cubis::new(MilpInner::new(24)).with_epsilon(1e-3).solve(&p).unwrap();
+
+        // Baselines evaluated against the same adversarial λ interval.
+        let origami = cubis_solvers::solve_origami(&game);
+        let mid = cubis_solvers::solve_point_qr(&game, &Qr::new(0.5 * (lo + hi)), 100, 1e-3)
+            .unwrap();
+        println!(
+            "{:>16} | {:>+10.3} | {:>+10.3} | {:>+10.3}",
+            format!("[{lo:.1}, {hi:.1}]"),
+            sol.worst_case,
+            p.worst_case(&origami).utility,
+            p.worst_case(&mid).utility,
+        );
+    }
+
+    println!(
+        "\nNote: with a degenerate interval (λ known exactly) the robust\n\
+         and midpoint rows coincide — the price of robustness vanishes\n\
+         with the uncertainty, which is the paper's selling point over\n\
+         always-worst-case approaches."
+    );
+}

@@ -1,0 +1,68 @@
+//! Closing the data loop: learn SUQR weights (and their uncertainty)
+//! from observed attacks, then patrol robustly against the learned box.
+//!
+//! The paper says interval sizes "could be specified based on the
+//! available data for learning" — this example does exactly that with
+//! a maximum-likelihood fit plus a bootstrap confidence box, and shows
+//! how the robust and point defenders converge as data accumulates.
+//!
+//! ```sh
+//! cargo run --release --bin learned_intervals
+//! ```
+
+use cubis_behavior::{
+    attack_distribution, bootstrap_box, fit_suqr, AttackDataset, BoundConvention, FitOptions,
+    Suqr, SuqrWeights, UncertainSuqr,
+};
+use cubis_core::{Cubis, DpInner, RobustProblem};
+use cubis_game::GameGenerator;
+
+fn main() {
+    let game = GameGenerator::new(7).generate(6, 2.0);
+    let truth = SuqrWeights::new(-6.0, 0.8, 0.4);
+    println!("ground-truth attacker: w = ({}, {}, {})\n", truth.w1, truth.w2, truth.w3);
+    println!(
+        "{:>7} | {:>24} | {:>10} | {:>14} | {:>13} | {:>14} | {:>13}",
+        "n obs", "fitted w (MLE)", "box width", "robust(truth)", "point(truth)", "robust(worst)", "point(worst)"
+    );
+    println!("{}", "-".repeat(118));
+
+    let fit_opts = FitOptions { max_iters: 200, ..Default::default() };
+    for n in [25usize, 100, 400, 1600] {
+        let data = AttackDataset::synthetic(&game, truth, n, 99);
+        let w_hat = fit_suqr(&game, &data, &fit_opts);
+        let weight_box = bootstrap_box(&game, &data, 12, 0.1, 5, &fit_opts);
+        let width = weight_box.w1.width() + weight_box.w2.width() + weight_box.w3.width();
+
+        // Robust plan on the learned box; point plan on the MLE.
+        let model =
+            UncertainSuqr::from_game(&game, weight_box, 0.0, BoundConvention::ExactInterval);
+        let p = RobustProblem::new(&game, &model);
+        let x_robust = Cubis::new(DpInner::new(80)).with_epsilon(1e-3).solve(&p).unwrap().x;
+        let x_point =
+            cubis_solvers::solve_point_qr(&game, &Suqr::new(w_hat), 80, 1e-3).unwrap();
+
+        // Both evaluated against the REAL attacker (which neither knows).
+        let eval = |x: &[f64]| {
+            let q = attack_distribution(&Suqr::new(truth), &game, x);
+            game.expected_defender_utility(x, &q)
+        };
+        println!(
+            "{n:>7} | ({:>6.2}, {:>5.2}, {:>5.2}) | {width:>10.2} | {:>14.3} | {:>13.3} | {:>14.3} | {:>13.3}",
+            w_hat.w1,
+            w_hat.w2,
+            w_hat.w3,
+            eval(&x_robust),
+            eval(&x_point),
+            p.worst_case(&x_robust).utility,
+            p.worst_case(&x_point).utility,
+        );
+    }
+    println!(
+        "\nAs n grows the bootstrap box tightens (~1/sqrt n) and the two plans\n\
+         converge. The guarantee robustness buys is the worst-in-box columns:\n\
+         when data is scarce the point plan can be blindsided by models its own\n\
+         confidence box still allows, while the robust plan is insured against\n\
+         all of them (see experiment F7 for the multi-seed picture)."
+    );
+}

@@ -1,0 +1,3 @@
+//! Integration-test-only crate: the tests live in `tests/tests/` and
+//! exercise cross-crate pipelines (game → behavior → CUBIS → oracle,
+//! baselines, experiment fixtures). This library target is empty.

@@ -1,0 +1,156 @@
+//! Integration tests for the beyond-the-paper modules: prospect-theory
+//! interval models through the full CUBIS stack, the learning loop,
+//! schedule sampling of robust strategies, and sensitivity analysis.
+
+use cubis_behavior::prospect::{ProspectParams, UncertainProspect};
+use cubis_behavior::{
+    AttackDataset, BoundConvention, FitOptions, Interval, SuqrWeights,
+    UncertainSuqr,
+};
+use cubis_core::{Cubis, DpInner, MilpInner, RobustProblem};
+use cubis_eval::fixtures::workload;
+use cubis_game::GameGenerator;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn cubis_milp_solves_prospect_theory_games() {
+    // The paper's machinery is model-agnostic: run the full MILP route
+    // on a prospect-theory interval adversary.
+    let game = GameGenerator::new(400).generate(5, 2.0);
+    let model = UncertainProspect::new(
+        ProspectParams::TVERSKY_KAHNEMAN,
+        Interval::new(1.2, 3.2),
+        Interval::new(0.4, 1.4),
+    );
+    let p = RobustProblem::new(&game, &model);
+    let milp = Cubis::new(MilpInner::new(8)).with_epsilon(1e-2).solve(&p).unwrap();
+    let dp = Cubis::new(DpInner::new(100)).with_epsilon(1e-2).solve(&p).unwrap();
+    assert!(
+        (milp.worst_case - dp.worst_case).abs() < 0.2,
+        "milp {} vs dp {} on a PT game",
+        milp.worst_case,
+        dp.worst_case
+    );
+    // Robustness dominance still holds on PT games.
+    let uniform = cubis_game::uniform_coverage(5, 2.0);
+    assert!(dp.worst_case >= p.worst_case(&uniform).utility - 0.05);
+}
+
+#[test]
+fn learning_to_patrol_pipeline() {
+    // data → MLE → bootstrap box → CUBIS → implementable patrols.
+    let game = GameGenerator::new(401).generate(5, 2.0);
+    let truth = SuqrWeights::new(-5.0, 0.7, 0.3);
+    let data = AttackDataset::synthetic(&game, truth, 300, 8);
+    let opts = FitOptions { max_iters: 120, ..Default::default() };
+    let weight_box = cubis_behavior::bootstrap_box(&game, &data, 8, 0.1, 2, &opts);
+    let model =
+        UncertainSuqr::from_game(&game, weight_box, 0.0, BoundConvention::ExactInterval);
+    let p = RobustProblem::new(&game, &model);
+    let sol = Cubis::new(DpInner::new(80)).with_epsilon(1e-2).solve(&p).unwrap();
+
+    // The robust plan is feasible and samples into valid daily patrols
+    // whose empirical marginals match.
+    assert!(game.check_coverage(&sol.x, 1e-6).is_ok());
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let emp = cubis_game::empirical_coverage(&sol.x, 20_000, &mut rng);
+    for (e, &xi) in emp.iter().zip(&sol.x) {
+        assert!((e - xi).abs() < 0.02, "empirical {e} vs marginal {xi}");
+    }
+}
+
+#[test]
+fn sensitivity_is_consistent_with_reoptimization() {
+    // Resolving the top-VOI target then re-solving robustly should gain
+    // at least as much as the VOI of that target under the FIXED
+    // strategy (re-optimizing can only help further).
+    let (game, model) = workload(5, 5, 2.0, 0.8);
+    let p = RobustProblem::new(&game, &model);
+    let sol = Cubis::new(DpInner::new(80)).with_epsilon(1e-2).solve(&p).unwrap();
+    let voi = cubis_core::value_of_information(&p, &sol.x);
+    let top = cubis_core::rank_targets(&p, &sol.x)[0];
+
+    // Collapse the top target's payoff interval to midpoints.
+    let mut resolved = model.clone();
+    resolved.payoffs[top] = (
+        Interval::point(resolved.payoffs[top].0.mid()),
+        Interval::point(resolved.payoffs[top].1.mid()),
+    );
+    let pr = RobustProblem::new(&game, &resolved);
+    let re_sol = Cubis::new(DpInner::new(80)).with_epsilon(1e-2).solve(&pr).unwrap();
+    // Note: VOI collapses the whole log-interval (weights included), so
+    // it is an upper bound on what payoff-resolution alone buys; assert
+    // the weaker, always-true direction: re-optimized ≥ fixed-strategy
+    // value under the resolved model minus tolerance.
+    let fixed_val = pr.worst_case(&sol.x).utility;
+    assert!(
+        re_sol.worst_case >= fixed_val - 0.05,
+        "re-optimizing lost value: {} < {fixed_val}",
+        re_sol.worst_case
+    );
+    let _ = voi; // ranking exercised above
+}
+
+#[test]
+fn suqr_uncertainty_box_scaling_consistency() {
+    // End-to-end: δ-scaled boxes give monotone worst-case values for a
+    // fixed strategy across the whole pipeline.
+    let (game, base) = workload(9, 6, 2.0, 1.0);
+    let x = cubis_game::uniform_coverage(6, 2.0);
+    let mut prev = f64::NEG_INFINITY;
+    for step in (0..=4).rev() {
+        let delta = step as f64 / 4.0;
+        let model = base.scale_width(delta);
+        let p = RobustProblem::new(&game, &model);
+        let wc = p.worst_case(&x).utility;
+        assert!(wc >= prev - 1e-9, "worst case not monotone in δ: {wc} < {prev}");
+        prev = wc;
+    }
+}
+
+#[test]
+fn greedy_backend_runs_full_binary_search() {
+    let (game, model) = workload(11, 6, 2.0, 0.5);
+    let p = RobustProblem::new(&game, &model);
+    let greedy = Cubis::new(cubis_core::GreedyInner::new(60))
+        .with_epsilon(1e-2)
+        .solve(&p)
+        .unwrap();
+    let exact = Cubis::new(DpInner::new(60)).with_epsilon(1e-2).solve(&p).unwrap();
+    // Greedy is a heuristic lower bound on the inner max, so its binary
+    // search can stall early — but never above the exact route.
+    assert!(greedy.lb <= exact.lb + 1e-6, "greedy lb {} > exact lb {}", greedy.lb, exact.lb);
+    // Budget mode is ≤ R, so only the box and budget-sum need to hold.
+    assert!(greedy.x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    assert!(greedy.x.iter().sum::<f64>() <= game.resources() + 1e-6);
+}
+
+#[test]
+fn paper_formulation_full_pipeline() {
+    // The verbatim MILP (33–40) drives the same binary search to the
+    // same answer as the reduced default.
+    let (game, model) = workload(13, 4, 1.0, 0.5);
+    let p = RobustProblem::new(&game, &model);
+    let reduced = Cubis::new(MilpInner::new(6)).with_epsilon(1e-2).solve(&p).unwrap();
+    let paper = Cubis::new(MilpInner::new(6).paper_formulation())
+        .with_epsilon(1e-2)
+        .solve(&p)
+        .unwrap();
+    // The per-step feasibility *decisions* must coincide (same linearized
+    // maximum, sign-exact early termination), so the binary-search bounds
+    // are identical; the returned witness strategies may differ slightly,
+    // so their exact worst cases agree only up to the O(1/K) slack.
+    assert!(
+        (reduced.lb - paper.lb).abs() < 1e-9,
+        "lb diverged: reduced {} vs paper {}",
+        reduced.lb,
+        paper.lb
+    );
+    assert!(
+        (reduced.worst_case - paper.worst_case).abs() < 0.05,
+        "reduced {} vs paper {}",
+        reduced.worst_case,
+        paper.worst_case
+    );
+}

@@ -1,0 +1,159 @@
+//! End-to-end pipelines: game generation → uncertainty model → CUBIS →
+//! exact oracle, cross-validated across inner backends and against every
+//! baseline.
+
+use cubis_behavior::{BoundConvention, SuqrUncertainty, UncertainSuqr};
+use cubis_core::{Cubis, DpInner, MilpInner, RobustProblem};
+use cubis_eval::fixtures::{table1_game, table1_model, workload};
+use cubis_game::GameGenerator;
+
+#[test]
+fn table1_regression_all_numbers() {
+    let game = table1_game();
+    let model = table1_model();
+    let p = RobustProblem::new(&game, &model);
+
+    // Paper: robust strategy (0.46, 0.54), worst case ≈ −0.90.
+    let sol = Cubis::new(MilpInner::new(20)).with_epsilon(1e-3).solve(&p).unwrap();
+    assert!((sol.x[0] - 0.46).abs() < 0.02, "x1 = {}", sol.x[0]);
+    assert!((sol.worst_case - -0.90).abs() < 0.15, "wc = {}", sol.worst_case);
+
+    // Paper: midpoint strategy (0.34, 0.66), worst case ≈ −2.26.
+    let mid = cubis_solvers::solve_midpoint_params(&game, &model, 200, 1e-3).unwrap();
+    assert!((mid[0] - 0.34).abs() < 0.03, "mid x1 = {}", mid[0]);
+    let wc_mid = p.worst_case(&mid).utility;
+    assert!((wc_mid - -2.26).abs() < 0.25, "mid wc = {wc_mid}");
+
+    // Lemma 2: exact worst case of the returned strategy is at least
+    // lb − O(1/K) (K = 20 here, so allow a small slack).
+    assert!(sol.worst_case >= sol.lb - 0.2);
+    // Binary search converged.
+    assert!(sol.ub - sol.lb <= 1e-3 + 1e-12);
+}
+
+#[test]
+fn milp_and_dp_backends_agree_across_seeds() {
+    for seed in 0..6 {
+        let (game, model) = workload(seed, 5, 2.0, 0.6);
+        let p = RobustProblem::new(&game, &model);
+        let m = Cubis::new(MilpInner::new(10)).with_epsilon(1e-2).solve(&p).unwrap();
+        let d = Cubis::new(DpInner::new(100)).with_epsilon(1e-2).solve(&p).unwrap();
+        assert!(
+            (m.worst_case - d.worst_case).abs() < 0.15,
+            "seed {seed}: milp {} vs dp {}",
+            m.worst_case,
+            d.worst_case
+        );
+    }
+}
+
+#[test]
+fn cubis_dominates_every_baseline_in_worst_case() {
+    // CUBIS maximizes the worst case; with a fine grid its value must be
+    // ≥ every baseline's worst case up to the approximation tolerance.
+    for seed in 0..4 {
+        let (game, model) = workload(seed, 6, 2.0, 0.8);
+        let p = RobustProblem::new(&game, &model);
+        let sol = Cubis::new(DpInner::new(150)).with_epsilon(1e-3).solve(&p).unwrap();
+        let baselines: Vec<(&str, Vec<f64>)> = vec![
+            ("uniform", cubis_solvers::solve_uniform(&game)),
+            ("maximin", cubis_solvers::solve_maximin(&game)),
+            ("origami", cubis_solvers::solve_origami(&game)),
+            (
+                "midpoint",
+                cubis_solvers::solve_midpoint_params(&game, &model, 100, 1e-3).unwrap(),
+            ),
+        ];
+        for (name, x) in baselines {
+            let v = p.worst_case(&x).utility;
+            assert!(
+                sol.worst_case >= v - 0.05,
+                "seed {seed}: {name} ({v}) beats CUBIS ({})",
+                sol.worst_case
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_consistency_full_stack() {
+    // The oracle's value must match the inner LP (6)–(8) on strategies
+    // produced by the full solver, not just on synthetic points.
+    for seed in 0..4 {
+        let (game, model) = workload(seed, 7, 3.0, 0.5);
+        let p = RobustProblem::new(&game, &model);
+        let sol = Cubis::new(DpInner::new(80)).with_epsilon(1e-2).solve(&p).unwrap();
+        let lp = cubis_core::worst_case_inner_lp(&p, &sol.x).expect("inner LP");
+        assert!(
+            (sol.worst_case - lp).abs() < 1e-5,
+            "seed {seed}: oracle {} vs LP {lp}",
+            sol.worst_case
+        );
+    }
+}
+
+#[test]
+fn convention_pipelines_are_isolated() {
+    // Same seed, different conventions: both run end-to-end and the
+    // exact convention (wider intervals) reports a weakly lower value.
+    let mut gen = GameGenerator::new(123);
+    let game = gen.generate(5, 2.0);
+    {
+        let (wide, narrow) = (BoundConvention::ExactInterval, BoundConvention::CornerComponentwise);
+        let m_wide = UncertainSuqr::from_game(
+            &game,
+            SuqrUncertainty::paper_example(),
+            1.0,
+            wide,
+        );
+        let m_narrow =
+            UncertainSuqr::from_game(&game, SuqrUncertainty::paper_example(), 1.0, narrow);
+        let pw = RobustProblem::new(&game, &m_wide);
+        let pn = RobustProblem::new(&game, &m_narrow);
+        let sw = Cubis::new(DpInner::new(80)).with_epsilon(1e-2).solve(&pw).unwrap();
+        let sn = Cubis::new(DpInner::new(80)).with_epsilon(1e-2).solve(&pn).unwrap();
+        assert!(
+            sw.worst_case <= sn.worst_case + 1e-6,
+            "wider intervals can't give a better worst case: {} vs {}",
+            sw.worst_case,
+            sn.worst_case
+        );
+    }
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let run = || {
+        let (game, model) = workload(5, 6, 2.0, 0.7);
+        let p = RobustProblem::new(&game, &model);
+        Cubis::new(MilpInner::new(8)).with_epsilon(1e-2).solve(&p).unwrap().x
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn parallel_milp_backend_matches_sequential() {
+    let (game, model) = workload(9, 6, 2.0, 0.5);
+    let p = RobustProblem::new(&game, &model);
+    let seq = Cubis::new(MilpInner::new(8)).with_epsilon(1e-2).solve(&p).unwrap();
+    let par = Cubis::new(MilpInner::new(8).with_threads(4))
+        .with_epsilon(1e-2)
+        .solve(&p)
+        .unwrap();
+    assert!(
+        (seq.worst_case - par.worst_case).abs() < 1e-6,
+        "seq {} vs par {}",
+        seq.worst_case,
+        par.worst_case
+    );
+}
+
+#[test]
+fn certificate_reflects_configuration() {
+    let (game, model) = workload(2, 4, 1.0, 0.5);
+    let p = RobustProblem::new(&game, &model);
+    let sol = Cubis::new(MilpInner::new(12)).with_epsilon(0.05).solve(&p).unwrap();
+    let cert = sol.certificate();
+    assert!(cert.gap <= 0.05 + 1e-12);
+    assert_eq!(cert.k, Some(12));
+}

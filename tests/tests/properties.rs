@@ -1,0 +1,136 @@
+//! Cross-crate property-based tests (proptest): invariants of the
+//! robust pipeline under randomized games, models and strategies.
+
+use cubis_behavior::{
+    BoundConvention, Interval, IntervalChoiceModel, SuqrUncertainty, UncertainSuqr,
+};
+use cubis_core::{transform, Cubis, DpInner, RobustProblem};
+use cubis_game::{GameGenerator, SecurityGame};
+use proptest::prelude::*;
+
+/// Strategy: a random game + exact-interval model + δ.
+fn arb_instance() -> impl Strategy<Value = (SecurityGame, UncertainSuqr)> {
+    (any::<u64>(), 2usize..7, 0.0f64..=1.0).prop_map(|(seed, t, delta)| {
+        let r = (t as f64 / 2.0).max(1.0).floor();
+        let game = GameGenerator::new(seed).generate(t, r);
+        let weights = SuqrUncertainty::paper_example().scale_width(delta);
+        let model =
+            UncertainSuqr::from_game(&game, weights, 2.0 * delta, BoundConvention::ExactInterval);
+        (game, model)
+    })
+}
+
+/// A random feasible coverage for a game (projection of a random point).
+fn arb_coverage(t: usize, r: f64) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-0.5f64..1.5, t)
+        .prop_map(move |raw| cubis_game::project_capped_simplex(&raw, r))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The oracle value always lies within the per-target utility range.
+    #[test]
+    fn oracle_within_utility_range((game, model) in arb_instance()) {
+        let p = RobustProblem::new(&game, &model);
+        let x = cubis_game::uniform_coverage(game.num_targets(), game.resources());
+        let wc = p.worst_case(&x);
+        let us: Vec<f64> = (0..game.num_targets()).map(|i| p.ud(i, x[i])).collect();
+        let lo = us.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = us.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(wc.utility >= lo - 1e-9 && wc.utility <= hi + 1e-9);
+        // Attack distribution is a distribution.
+        let s: f64 = wc.attack.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-9);
+        prop_assert!(wc.attack.iter().all(|&q| q >= -1e-12));
+    }
+
+    /// φ(c) = Σ min(f1, f2) is non-increasing in c and the oracle value
+    /// is its root.
+    #[test]
+    fn phi_monotone_and_rooted(
+        (game, model) in arb_instance(),
+        raw in proptest::collection::vec(-0.5f64..1.5, 2..7)
+    ) {
+        let t = game.num_targets();
+        let mut raw = raw;
+        raw.resize(t, 0.3);
+        let x = cubis_game::project_capped_simplex(&raw, game.resources());
+        let p = RobustProblem::new(&game, &model);
+        let wc = p.worst_case(&x);
+        prop_assert!(transform::g_total(&p, &x, wc.utility).abs() < 1e-6);
+        let (lo, hi) = p.utility_range();
+        let mut prev = f64::INFINITY;
+        for k in 0..=8 {
+            let c = lo + (hi - lo) * k as f64 / 8.0;
+            let g = transform::g_total(&p, &x, c);
+            prop_assert!(g <= prev + 1e-9);
+            prev = g;
+        }
+    }
+
+    /// The interval bounds always bracket the midpoint-parameter model.
+    #[test]
+    fn bounds_bracket_midpoint((game, model) in arb_instance(), xi in 0.0f64..=1.0) {
+        for i in 0..game.num_targets() {
+            let (l, u) = model.bounds(&game, i, xi);
+            let w = &model.weights;
+            let (ra, pa) = model.payoffs[i];
+            let mid = (w.w1.mid() * xi + w.w2.mid() * ra.mid() + w.w3.mid() * pa.mid()).exp();
+            prop_assert!(l <= mid * (1.0 + 1e-9) && mid <= u * (1.0 + 1e-9),
+                "target {i}: {l} <= {mid} <= {u}");
+        }
+    }
+
+    /// CUBIS's worst case is at least that of any sampled strategy
+    /// (up to grid resolution).
+    #[test]
+    fn cubis_at_least_sampled_strategies((game, model) in arb_instance()) {
+        let p = RobustProblem::new(&game, &model);
+        let sol = Cubis::new(DpInner::new(60)).with_epsilon(1e-2).solve(&p).unwrap();
+        // A handful of deterministic probes derived from the game.
+        let t = game.num_targets();
+        let probes = vec![
+            cubis_game::uniform_coverage(t, game.resources()),
+            cubis_solvers::solve_maximin(&game),
+            cubis_solvers::solve_origami(&game),
+        ];
+        for probe in probes {
+            let v = p.worst_case(&probe).utility;
+            prop_assert!(sol.worst_case >= v - 0.15,
+                "probe {v} beats CUBIS {}", sol.worst_case);
+        }
+    }
+
+    /// Projection onto the capped simplex: feasible, idempotent.
+    #[test]
+    fn projection_properties(
+        raw in proptest::collection::vec(-3.0f64..3.0, 1..9),
+        frac in 0.05f64..=1.0
+    ) {
+        let t = raw.len();
+        let r = (frac * t as f64).max(1e-3).min(t as f64);
+        let x = cubis_game::project_capped_simplex(&raw, r);
+        prop_assert!(x.iter().all(|&v| (-1e-9..=1.0 + 1e-9).contains(&v)));
+        prop_assert!((x.iter().sum::<f64>() - r).abs() < 1e-6);
+        let y = cubis_game::project_capped_simplex(&x, r);
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// Interval arithmetic: products always contain sampled products.
+    #[test]
+    fn interval_product_containment(
+        a_lo in -5.0f64..5.0, a_w in 0.0f64..3.0,
+        b_lo in -5.0f64..5.0, b_w in 0.0f64..3.0,
+        ta in 0.0f64..=1.0, tb in 0.0f64..=1.0
+    ) {
+        let a = Interval::new(a_lo, a_lo + a_w);
+        let b = Interval::new(b_lo, b_lo + b_w);
+        let prod = a.mul(b);
+        let va = a.lo + ta * a.width();
+        let vb = b.lo + tb * b.width();
+        prop_assert!(prod.lo - 1e-9 <= va * vb && va * vb <= prod.hi + 1e-9);
+    }
+}
