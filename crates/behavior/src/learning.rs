@@ -227,7 +227,7 @@ pub fn bootstrap_box(
         w3s.push(w.w3);
     }
     let pct_interval = |v: &mut Vec<f64>| -> Interval {
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         let lo_idx = ((alpha / 2.0) * (v.len() - 1) as f64).round() as usize;
         let hi_idx = ((1.0 - alpha / 2.0) * (v.len() - 1) as f64).round() as usize;
         Interval::new(v[lo_idx], v[hi_idx])

@@ -6,7 +6,9 @@ use cubis_core::{Cubis, MilpInner, RobustProblem};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    cubis_eval::experiments::bound_k::run(cubis_eval::experiments::Profile::Quick).print();
+    cubis_eval::experiments::bound_k::run(cubis_eval::experiments::Profile::Quick)
+        .expect("experiment failed")
+        .print();
 
     let mut g = c.benchmark_group("fig_bound_k");
     let (game, model) = instance(0, 6, 2.0, 0.5);

@@ -8,6 +8,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     cubis_eval::experiments::parallel_scaling::run(cubis_eval::experiments::Profile::Quick)
+        .expect("experiment failed")
         .print();
 
     let mut g = c.benchmark_group("fig_parallel_scaling");

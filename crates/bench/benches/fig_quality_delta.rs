@@ -7,7 +7,9 @@ use cubis_core::{Cubis, DpInner, RobustProblem};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    cubis_eval::experiments::quality_delta::run(cubis_eval::experiments::Profile::Quick).print();
+    cubis_eval::experiments::quality_delta::run(cubis_eval::experiments::Profile::Quick)
+        .expect("experiment failed")
+        .print();
 
     let mut g = c.benchmark_group("fig_quality_delta");
     for &delta in &[0.0, 0.5, 1.0] {

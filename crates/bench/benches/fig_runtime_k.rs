@@ -6,7 +6,9 @@ use cubis_core::{Cubis, MilpInner, RobustProblem};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    cubis_eval::experiments::runtime_k::run(cubis_eval::experiments::Profile::Quick).print();
+    cubis_eval::experiments::runtime_k::run(cubis_eval::experiments::Profile::Quick)
+        .expect("experiment failed")
+        .print();
 
     let mut g = c.benchmark_group("fig_runtime_k");
     let (game, model) = instance(0, 8, 2.0, 0.5);

@@ -9,6 +9,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     cubis_eval::experiments::runtime_targets::run(cubis_eval::experiments::Profile::Quick)
+        .expect("experiment failed")
         .print();
 
     let mut g = c.benchmark_group("fig_runtime_targets");

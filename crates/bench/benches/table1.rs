@@ -13,30 +13,33 @@ fn bench_table1(c: &mut Criterion) {
 
     // Print the reproduced table once so the bench output doubles as the
     // table regeneration.
-    cubis_eval::experiments::table1::run().print();
+    cubis_eval::experiments::table1::run()
+        .expect("experiment failed")
+        .print();
 
     let mut g = c.benchmark_group("table1");
     g.bench_function("cubis_milp_k20", |b| {
         b.iter(|| {
             let p = RobustProblem::new(black_box(&game), black_box(&model));
-            Cubis::new(MilpInner::new(20)).with_epsilon(1e-3).solve(&p).unwrap()
+            Cubis::new(MilpInner::new(20))
+                .with_epsilon(1e-3)
+                .solve(&p)
+                .unwrap()
         })
     });
     g.bench_function("cubis_dp_200", |b| {
         b.iter(|| {
             let p = RobustProblem::new(black_box(&game), black_box(&model));
-            Cubis::new(DpInner::new(200)).with_epsilon(1e-3).solve(&p).unwrap()
+            Cubis::new(DpInner::new(200))
+                .with_epsilon(1e-3)
+                .solve(&p)
+                .unwrap()
         })
     });
     g.bench_function("midpoint", |b| {
         b.iter(|| {
-            cubis_solvers::solve_midpoint_params(
-                black_box(&game),
-                black_box(&model),
-                200,
-                1e-3,
-            )
-            .unwrap()
+            cubis_solvers::solve_midpoint_params(black_box(&game), black_box(&model), 200, 1e-3)
+                .unwrap()
         })
     });
     g.bench_function("oracle_eval", |b| {

@@ -65,9 +65,7 @@ pub fn value_of_information<M: IntervalChoiceModel>(
 pub fn rank_targets<M: IntervalChoiceModel>(p: &RobustProblem<'_, M>, x: &[f64]) -> Vec<usize> {
     let voi = value_of_information(p, x);
     let mut order: Vec<usize> = (0..voi.len()).collect();
-    order.sort_by(|&a, &b| {
-        voi[b].partial_cmp(&voi[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| voi[b].total_cmp(&voi[a]).then(a.cmp(&b)));
     order
 }
 

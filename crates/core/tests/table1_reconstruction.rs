@@ -62,7 +62,7 @@ fn grid_search_defender_payoffs() {
             }
         }
     }
-    best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    best.sort_by(|a, b| a.0.total_cmp(&b.0));
     for (s, line) in best.iter().take(12) {
         println!("{s:.4}  {line}");
     }

@@ -4,5 +4,6 @@
 use cubis_eval::experiments::Profile;
 
 fn main() {
-    cubis_eval::experiments::bound_k::run(Profile::from_env()).print();
+    let report = cubis_eval::experiments::bound_k::run(Profile::from_env());
+    report.expect("experiment failed").print();
 }

@@ -1,5 +1,7 @@
 //! Regenerates T1 (see DESIGN.md §4).
 
 fn main() {
-    cubis_eval::experiments::table1::run().print();
+    cubis_eval::experiments::table1::run()
+        .expect("experiment failed")
+        .print();
 }

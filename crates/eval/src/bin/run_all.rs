@@ -20,7 +20,10 @@ fn main() {
         experiments::ablate_convention::run(p),
         experiments::learning_loop::run(p),
         experiments::parallel_scaling::run(p),
-    ];
+    ]
+    .into_iter()
+    .collect::<Result<_, _>>()
+    .expect("experiment failed");
     for r in &reports {
         r.print();
     }

@@ -10,12 +10,13 @@ use super::{robust_value, Profile};
 use crate::fixtures::workload;
 use crate::metrics::{mean, timed};
 use crate::report::Report;
+use cubis_core::SolveError;
 
 /// Game sizes ablated.
 pub const TARGETS: [usize; 3] = [4, 8, 12];
 
 /// Run the experiment.
-pub fn run(profile: Profile) -> Report {
+pub fn run(profile: Profile) -> Result<Report, SolveError> {
     let reps = match profile {
         Profile::Quick => 3,
         Profile::Full => 8,
@@ -44,8 +45,10 @@ pub fn run(profile: Profile) -> Report {
         for seed in 0..reps {
             let (game, model) = workload(seed, t, res, 0.5);
             let p = cubis_core::RobustProblem::new(&game, &model);
-            let (m, sm) = timed(|| super::cubis_milp(10, 1e-2).solve(&p).expect("milp"));
-            let (d, sd) = timed(|| super::cubis_dp(100, 1e-2).solve(&p).expect("dp"));
+            let (m, sm) = timed(|| super::cubis_milp(10, 1e-2).solve(&p));
+            let m = m?;
+            let (d, sd) = timed(|| super::cubis_dp(100, 1e-2).solve(&p));
+            let d = d?;
             let (px, sp) = timed(|| {
                 cubis_solvers::solve_nonconvex(
                     &game,
@@ -76,7 +79,7 @@ pub fn run(profile: Profile) -> Report {
             format!("{:.3}", mean(&s_p)),
         ]);
     }
-    r
+    Ok(r)
 }
 
 #[cfg(test)]

@@ -11,18 +11,14 @@ use crate::fixtures::workload_with;
 use crate::metrics::Series;
 use crate::report::Report;
 use cubis_behavior::{BoundConvention, IntervalChoiceModel};
-use cubis_core::RobustProblem;
+use cubis_core::{RobustProblem, SolveError};
 
 /// Run the experiment.
-pub fn run(profile: Profile) -> Report {
+pub fn run(profile: Profile) -> Result<Report, SolveError> {
     let seeds: Vec<u64> = (0..profile.seeds().min(10)).collect();
     let mut r = Report::new(
         "A2 — bound convention: paper corners vs exact interval arithmetic",
-        vec![
-            "metric",
-            "corner (paper)",
-            "exact",
-        ],
+        vec!["metric", "corner (paper)", "exact"],
     );
     r.note(
         "T = 6, R = 2, δ = 0.5. 'log-width' is the mean of ln U − ln L over \
@@ -36,8 +32,7 @@ pub fn run(profile: Profile) -> Report {
     let mut wc_ce = Series::new(); // corner-optimized, exact-evaluated
     let mut wc_ee = Series::new(); // exact-optimized, exact-evaluated
     for &seed in &seeds {
-        let (game, corner) =
-            workload_with(seed, 6, 2.0, 0.5, BoundConvention::CornerComponentwise);
+        let (game, corner) = workload_with(seed, 6, 2.0, 0.5, BoundConvention::CornerComponentwise);
         let (_, exact) = workload_with(seed, 6, 2.0, 0.5, BoundConvention::ExactInterval);
         for i in 0..6 {
             let (lc, uc) = corner.log_bounds(&game, i, 0.5);
@@ -47,8 +42,8 @@ pub fn run(profile: Profile) -> Report {
         }
         let pc = RobustProblem::new(&game, &corner);
         let pe = RobustProblem::new(&game, &exact);
-        let xc = super::cubis_dp(100, 1e-3).solve(&pc).unwrap().x;
-        let xe = super::cubis_dp(100, 1e-3).solve(&pe).unwrap().x;
+        let xc = super::cubis_dp(100, 1e-3).solve(&pc)?.x;
+        let xe = super::cubis_dp(100, 1e-3).solve(&pe)?.x;
         wc_cc.push(pc.worst_case(&xc).utility);
         wc_ce.push(pe.worst_case(&xc).utility);
         wc_ee.push(pe.worst_case(&xe).utility);
@@ -68,7 +63,7 @@ pub fn run(profile: Profile) -> Report {
         wc_ce.summary(),
         wc_ee.summary(),
     ]);
-    r
+    Ok(r)
 }
 
 #[cfg(test)]
@@ -77,8 +72,7 @@ mod tests {
 
     #[test]
     fn exact_intervals_are_wider_and_safer() {
-        let (game, corner) =
-            workload_with(0, 5, 2.0, 0.5, BoundConvention::CornerComponentwise);
+        let (game, corner) = workload_with(0, 5, 2.0, 0.5, BoundConvention::CornerComponentwise);
         let (_, exact) = workload_with(0, 5, 2.0, 0.5, BoundConvention::ExactInterval);
         // Width: exact ⊇ corner.
         for i in 0..5 {

@@ -9,6 +9,7 @@ use crate::fixtures::workload;
 use crate::metrics::Series;
 use crate::report::Report;
 use cubis_core::solver::predicted_steps;
+use cubis_core::SolveError;
 
 /// The ε grid.
 pub const EPSILONS: [f64; 5] = [1.0, 0.1, 0.01, 1e-3, 1e-4];
@@ -16,11 +17,17 @@ pub const EPSILONS: [f64; 5] = [1.0, 0.1, 0.01, 1e-3, 1e-4];
 pub const T: usize = 6;
 
 /// Run the experiment.
-pub fn run(profile: Profile) -> Report {
+pub fn run(profile: Profile) -> Result<Report, SolveError> {
     let seeds: Vec<u64> = (0..profile.seeds().min(8)).collect();
     let mut r = Report::new(
         "F5 — binary-search behavior vs ε",
-        vec!["epsilon", "steps (measured)", "steps (predicted)", "gap ub−lb", "worst-case drift"],
+        vec![
+            "epsilon",
+            "steps (measured)",
+            "steps (predicted)",
+            "gap ub−lb",
+            "worst-case drift",
+        ],
     );
     r.note(format!(
         "T = {T}, R = 2, δ = 0.5, DP backend at 200 pts, {} seeds. Drift is \
@@ -35,9 +42,9 @@ pub fn run(profile: Profile) -> Report {
         .map(|&s| {
             let (game, model) = workload(s, T, 2.0, 0.5);
             let p = cubis_core::RobustProblem::new(&game, &model);
-            super::cubis_dp(200, 1e-4).solve(&p).unwrap().worst_case
+            Ok(super::cubis_dp(200, 1e-4).solve(&p)?.worst_case)
         })
-        .collect();
+        .collect::<Result<_, SolveError>>()?;
 
     for &eps in &EPSILONS {
         let mut steps = Series::new();
@@ -47,7 +54,7 @@ pub fn run(profile: Profile) -> Report {
         for (si, &seed) in seeds.iter().enumerate() {
             let (game, model) = workload(seed, T, 2.0, 0.5);
             let p = cubis_core::RobustProblem::new(&game, &model);
-            let sol = super::cubis_dp(200, eps).solve(&p).unwrap();
+            let sol = super::cubis_dp(200, eps).solve(&p)?;
             let (lo, hi) = p.utility_range();
             predicted = predicted_steps(hi - lo, eps);
             steps.push(sol.binary_steps as f64);
@@ -62,7 +69,7 @@ pub fn run(profile: Profile) -> Report {
             format!("{:.4}", drift.mean()),
         ]);
     }
-    r
+    Ok(r)
 }
 
 #[cfg(test)]
@@ -75,7 +82,11 @@ mod tests {
         let p = cubis_core::RobustProblem::new(&game, &model);
         for eps in [0.5, 0.05, 0.005] {
             let sol = super::super::cubis_dp(100, eps).solve(&p).unwrap();
-            assert!(sol.ub - sol.lb <= eps + 1e-12, "eps {eps}: gap {}", sol.ub - sol.lb);
+            assert!(
+                sol.ub - sol.lb <= eps + 1e-12,
+                "eps {eps}: gap {}",
+                sol.ub - sol.lb
+            );
         }
     }
 }

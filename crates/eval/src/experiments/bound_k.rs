@@ -8,6 +8,7 @@ use super::Profile;
 use crate::fixtures::workload;
 use crate::metrics::Series;
 use crate::report::Report;
+use cubis_core::SolveError;
 use rayon::prelude::*;
 
 /// The K grid (Quick profile stops at 32).
@@ -18,7 +19,7 @@ pub const T: usize = 6;
 pub const DELTA: f64 = 0.5;
 
 /// Run the experiment.
-pub fn run(profile: Profile) -> Report {
+pub fn run(profile: Profile) -> Result<Report, SolveError> {
     let (ks, seeds, eps): (&[usize], u64, f64) = match profile {
         Profile::Quick => (&KS[..5], 5, 1e-3),
         Profile::Full => (&KS, 10, 1e-4),
@@ -31,9 +32,9 @@ pub fn run(profile: Profile) -> Report {
         .map(|&seed| {
             let (game, model) = workload(seed, T, 2.0, DELTA);
             let p = cubis_core::RobustProblem::new(&game, &model);
-            super::cubis_dp(512, eps).solve(&p).expect("reference").worst_case
+            Ok(super::cubis_dp(512, eps).solve(&p)?.worst_case)
         })
-        .collect();
+        .collect::<Result<_, SolveError>>()?;
 
     let rows: Vec<(usize, Series)> = ks
         .par_iter()
@@ -42,16 +43,21 @@ pub fn run(profile: Profile) -> Report {
             for (si, &seed) in seeds.iter().enumerate() {
                 let (game, model) = workload(seed, T, 2.0, DELTA);
                 let p = cubis_core::RobustProblem::new(&game, &model);
-                let approx = super::cubis_milp(k, eps).solve(&p).expect("milp").worst_case;
+                let approx = super::cubis_milp(k, eps).solve(&p)?.worst_case;
                 errs.push((reference[si] - approx).abs());
             }
-            (k, errs)
+            Ok((k, errs))
         })
-        .collect();
+        .collect::<Result<_, SolveError>>()?;
 
     let mut r = Report::new(
         "F4 — |CUBIS(K) − reference| vs K (validates the O(1/K) bound)",
-        vec!["K", "mean abs error", "max abs error", "1/K reference curve"],
+        vec![
+            "K",
+            "mean abs error",
+            "max abs error",
+            "1/K reference curve",
+        ],
     );
     r.note(format!(
         "T = {T}, R = 2, δ = {DELTA}, {} seeds, ε = {eps:.0e}; reference = \
@@ -71,7 +77,7 @@ pub fn run(profile: Profile) -> Report {
             format!("{:.4}", first_err * KS[0] as f64 / *k as f64),
         ]);
     }
-    r
+    Ok(r)
 }
 
 #[cfg(test)]
@@ -82,9 +88,17 @@ mod tests {
     fn error_shrinks_with_k() {
         let (game, model) = workload(0, 4, 1.0, 0.5);
         let p = cubis_core::RobustProblem::new(&game, &model);
-        let reference = super::super::cubis_dp(512, 1e-4).solve(&p).unwrap().worst_case;
+        let reference = super::super::cubis_dp(512, 1e-4)
+            .solve(&p)
+            .unwrap()
+            .worst_case;
         let e = |k: usize| {
-            (super::super::cubis_milp(k, 1e-4).solve(&p).unwrap().worst_case - reference).abs()
+            (super::super::cubis_milp(k, 1e-4)
+                .solve(&p)
+                .unwrap()
+                .worst_case
+                - reference)
+                .abs()
         };
         let e2 = e(2);
         let e16 = e(16);

@@ -18,16 +18,20 @@ use cubis_behavior::{
     attack_distribution, AttackDataset, BoundConvention, FitOptions, Suqr, SuqrWeights,
     UncertainSuqr,
 };
-use cubis_core::RobustProblem;
+use cubis_core::{RobustProblem, SolveError};
 use rayon::prelude::*;
 
 /// Observation counts swept.
 pub const NS: [usize; 4] = [30, 100, 300, 1000];
 /// Ground-truth attacker weights.
-pub const TRUTH: SuqrWeights = SuqrWeights { w1: -6.0, w2: 0.8, w3: 0.4 };
+pub const TRUTH: SuqrWeights = SuqrWeights {
+    w1: -6.0,
+    w2: 0.8,
+    w3: 0.4,
+};
 
 /// Run the experiment.
-pub fn run(profile: Profile) -> Report {
+pub fn run(profile: Profile) -> Result<Report, SolveError> {
     let seeds: Vec<u64> = (0..profile.seeds().min(6)).collect();
     let mut r = Report::new(
         "F7 — learn-then-robustify: utility vs observation count",
@@ -53,21 +57,17 @@ pub fn run(profile: Profile) -> Report {
             .map(|&seed| {
                 let (game, _) = fixtures::workload(seed, 6, 2.0, 0.0);
                 let data = AttackDataset::synthetic(&game, TRUTH, n, seed ^ 0xda7a);
-                let fit_opts = FitOptions { max_iters: 150, ..Default::default() };
+                let fit_opts = FitOptions {
+                    max_iters: 150,
+                    ..Default::default()
+                };
                 // (a) point defender.
                 let w_hat = cubis_behavior::fit_suqr(&game, &data, &fit_opts);
                 let point_model = Suqr::new(w_hat);
-                let x_point =
-                    cubis_solvers::solve_point_qr(&game, &point_model, 80, 1e-3).unwrap();
+                let x_point = cubis_solvers::solve_point_qr(&game, &point_model, 80, 1e-3)?;
                 // (b) robust defender on the bootstrap box.
-                let weight_box = cubis_behavior::bootstrap_box(
-                    &game,
-                    &data,
-                    12,
-                    0.1,
-                    seed ^ 0xb007,
-                    &fit_opts,
-                );
+                let weight_box =
+                    cubis_behavior::bootstrap_box(&game, &data, 12, 0.1, seed ^ 0xb007, &fit_opts);
                 let box_width =
                     weight_box.w1.width() + weight_box.w2.width() + weight_box.w3.width();
                 let model = UncertainSuqr::from_game(
@@ -77,7 +77,7 @@ pub fn run(profile: Profile) -> Report {
                     BoundConvention::ExactInterval,
                 );
                 let p = RobustProblem::new(&game, &model);
-                let x_robust = super::cubis_dp(80, 1e-3).solve(&p).unwrap().x;
+                let x_robust = super::cubis_dp(80, 1e-3).solve(&p)?.x;
                 // Evaluate vs the true attacker.
                 let truth_model = Suqr::new(TRUTH);
                 let eval_true = |x: &[f64]| {
@@ -86,16 +86,22 @@ pub fn run(profile: Profile) -> Report {
                 };
                 // Evaluate vs the worst model in the defender's own box.
                 let eval_worst = |x: &[f64]| p.worst_case(x).utility;
-                (
+                Ok((
                     eval_true(&x_robust),
                     eval_true(&x_point),
                     eval_worst(&x_robust),
                     eval_worst(&x_point),
                     box_width,
-                )
+                ))
             })
-            .collect();
-        let mut cols = [Series::new(), Series::new(), Series::new(), Series::new(), Series::new()];
+            .collect::<Result<_, SolveError>>()?;
+        let mut cols = [
+            Series::new(),
+            Series::new(),
+            Series::new(),
+            Series::new(),
+            Series::new(),
+        ];
         for (a, b, c, d, e) in cells {
             cols[0].push(a);
             cols[1].push(b);
@@ -112,7 +118,7 @@ pub fn run(profile: Profile) -> Report {
             format!("{:.2}", cols[4].mean()),
         ]);
     }
-    r
+    Ok(r)
 }
 
 #[cfg(test)]
@@ -123,15 +129,17 @@ mod tests {
     fn robust_never_loses_on_its_own_worst_case() {
         let (game, _) = fixtures::workload(0, 5, 2.0, 0.0);
         let data = AttackDataset::synthetic(&game, TRUTH, 60, 42);
-        let opts = FitOptions { max_iters: 100, ..Default::default() };
+        let opts = FitOptions {
+            max_iters: 100,
+            ..Default::default()
+        };
         let weight_box = cubis_behavior::bootstrap_box(&game, &data, 8, 0.1, 9, &opts);
         let model =
             UncertainSuqr::from_game(&game, weight_box, 0.0, BoundConvention::ExactInterval);
         let p = RobustProblem::new(&game, &model);
         let x_robust = super::super::cubis_dp(60, 1e-2).solve(&p).unwrap().x;
         let w_hat = cubis_behavior::fit_suqr(&game, &data, &opts);
-        let x_point =
-            cubis_solvers::solve_point_qr(&game, &Suqr::new(w_hat), 60, 1e-2).unwrap();
+        let x_point = cubis_solvers::solve_point_qr(&game, &Suqr::new(w_hat), 60, 1e-2).unwrap();
         assert!(
             p.worst_case(&x_robust).utility >= p.worst_case(&x_point).utility - 0.1,
             "robust {} vs point {} on the robust objective",

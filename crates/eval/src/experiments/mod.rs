@@ -13,7 +13,7 @@ pub mod runtime_targets;
 pub mod table1;
 
 use cubis_behavior::UncertainSuqr;
-use cubis_core::{Cubis, DpInner, MilpInner, RobustProblem};
+use cubis_core::{Cubis, DpInner, MilpInner, RobustProblem, SolveError};
 use cubis_game::SecurityGame;
 use cubis_solvers as solvers;
 
@@ -31,7 +31,10 @@ pub enum Profile {
 impl Profile {
     /// Read the profile from the environment (`CUBIS_FULL=1` → Full).
     pub fn from_env() -> Self {
-        if std::env::var("CUBIS_FULL").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("CUBIS_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             Profile::Full
         } else {
             Profile::Quick
@@ -104,25 +107,35 @@ impl Baseline {
 
     /// Compute this baseline's strategy on an instance. Seeds for the
     /// type-sampling baselines derive from `seed` so instances stay
-    /// deterministic.
-    pub fn solve(self, game: &SecurityGame, model: &UncertainSuqr, seed: u64) -> Vec<f64> {
-        match self {
+    /// deterministic. Solver failures (numerical breakdown, node
+    /// budgets) propagate as [`SolveError`] so a sweep can report the
+    /// instance instead of aborting the whole experiment binary.
+    pub fn solve(
+        self,
+        game: &SecurityGame,
+        model: &UncertainSuqr,
+        seed: u64,
+    ) -> Result<Vec<f64>, SolveError> {
+        Ok(match self {
             Baseline::Cubis => {
                 let p = RobustProblem::new(game, model);
                 Cubis::new(DpInner::new(DP_RESOLUTION))
                     .with_epsilon(EPSILON)
-                    .solve(&p)
-                    .expect("CUBIS(DP) cannot fail on valid instances")
+                    .solve(&p)?
                     .x
             }
             Baseline::Midpoint => {
-                solvers::solve_midpoint_params(game, model, DP_RESOLUTION, EPSILON)
-                    .expect("midpoint solve failed")
+                solvers::solve_midpoint_params(game, model, DP_RESOLUTION, EPSILON)?
             }
             Baseline::WorstType => {
                 let types = solvers::sample_types(model, N_TYPES, seed ^ 0x5eed);
-                let opts = solvers::WorstTypeOptions { k: 4, epsilon: 0.05, ..Default::default() };
-                solvers::solve_worst_type(game, &types, &opts).expect("worst-type solve failed")
+                let opts = solvers::WorstTypeOptions {
+                    k: 4,
+                    epsilon: 0.05,
+                    ..Default::default()
+                };
+                solvers::solve_worst_type(game, &types, &opts)
+                    .map_err(|e| SolveError::Milp(e.to_string()))?
             }
             Baseline::Bayesian => {
                 let types = solvers::sample_types(model, N_TYPES, seed ^ 0x5eed);
@@ -138,7 +151,7 @@ impl Baseline {
             Baseline::Uniform => solvers::solve_uniform(game),
             Baseline::Maximin => solvers::solve_maximin(game),
             Baseline::Origami => solvers::solve_origami(game),
-        }
+        })
     }
 }
 

@@ -8,6 +8,7 @@ use super::{robust_value, Baseline};
 use crate::fixtures::workload;
 use crate::metrics::timed;
 use crate::report::Report;
+use cubis_core::SolveError;
 use rayon::prelude::*;
 
 /// Thread counts measured.
@@ -15,29 +16,33 @@ pub const THREADS: [usize; 4] = [1, 2, 4, 8];
 
 /// The work item batch timed at each thread count: CUBIS + midpoint on
 /// a seed grid.
-fn sweep(seeds: u64) -> f64 {
+fn sweep(seeds: u64) -> Result<f64, SolveError> {
     let jobs: Vec<u64> = (0..seeds).collect();
-    jobs.into_par_iter()
+    let cells: Vec<f64> = jobs
+        .into_par_iter()
         .map(|seed| {
             let (game, model) = workload(seed, 12, 3.0, 0.5);
-            let xc = Baseline::Cubis.solve(&game, &model, seed);
-            let xm = Baseline::Midpoint.solve(&game, &model, seed);
-            let xb = Baseline::Bayesian.solve(&game, &model, seed);
-            robust_value(&game, &model, &xc)
+            let xc = Baseline::Cubis.solve(&game, &model, seed)?;
+            let xm = Baseline::Midpoint.solve(&game, &model, seed)?;
+            let xb = Baseline::Bayesian.solve(&game, &model, seed)?;
+            Ok(robust_value(&game, &model, &xc)
                 - robust_value(&game, &model, &xm)
-                - robust_value(&game, &model, &xb)
+                - robust_value(&game, &model, &xb))
         })
-        .sum()
+        .collect::<Result<_, SolveError>>()?;
+    Ok(cells.iter().sum())
 }
 
 /// Run the experiment.
-pub fn run(_profile: super::Profile) -> Report {
+pub fn run(_profile: super::Profile) -> Result<Report, SolveError> {
     let seeds = 32;
     let mut r = Report::new(
         "A3 — sweep wall-time vs rayon threads",
         vec!["threads", "seconds", "speedup"],
     );
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     r.note(format!(
         "Workload: CUBIS + midpoint + Bayesian on {seeds} seeded games \
          (T = 12, R = 3, δ = 0.5); each row uses a dedicated rayon pool. \
@@ -50,8 +55,11 @@ pub fn run(_profile: super::Profile) -> Report {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(n)
             .build()
+            // cubis:allow(NUM02): pool construction fails only when the
+            // OS cannot spawn threads — not a solver-recoverable state.
             .expect("rayon pool");
-        let (_sum, secs) = timed(|| pool.install(|| sweep(seeds)));
+        let (sum, secs) = timed(|| pool.install(|| sweep(seeds)));
+        sum?;
         let baseline = *base.get_or_insert(secs);
         r.row(vec![
             format!("{n}"),
@@ -59,17 +67,26 @@ pub fn run(_profile: super::Profile) -> Report {
             format!("{:.2}x", baseline / secs),
         ]);
     }
-    r
+    Ok(r)
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn sweep_is_deterministic_across_pool_sizes() {
-        let pool1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
-        let pool4 = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
-        let a = pool1.install(|| super::sweep(4));
-        let b = pool4.install(|| super::sweep(4));
-        assert!((a - b).abs() < 1e-9, "parallel sweep changed results: {a} vs {b}");
+        let pool1 = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let pool4 = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let a = pool1.install(|| super::sweep(4)).unwrap();
+        let b = pool4.install(|| super::sweep(4)).unwrap();
+        assert!(
+            (a - b).abs() < 1e-9,
+            "parallel sweep changed results: {a} vs {b}"
+        );
     }
 }

@@ -9,6 +9,7 @@ use super::{robust_value, Baseline, Profile};
 use crate::fixtures::workload;
 use crate::metrics::Series;
 use crate::report::Report;
+use cubis_core::SolveError;
 use rayon::prelude::*;
 
 /// Targets in the F1 workload.
@@ -19,7 +20,7 @@ pub const R: f64 = 3.0;
 pub const DELTAS: [f64; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
 
 /// Run the experiment.
-pub fn run(profile: Profile) -> Report {
+pub fn run(profile: Profile) -> Result<Report, SolveError> {
     let seeds: Vec<u64> = (0..profile.seeds()).collect();
     let zoo = Baseline::all();
 
@@ -28,17 +29,19 @@ pub fn run(profile: Profile) -> Report {
         .iter()
         .enumerate()
         .flat_map(|(di, _)| {
-            seeds.iter().flat_map(move |&s| Baseline::all().into_iter().map(move |b| (di, s, b)))
+            seeds
+                .iter()
+                .flat_map(move |&s| Baseline::all().into_iter().map(move |b| (di, s, b)))
         })
         .collect();
     let cells: Vec<((usize, Baseline), f64)> = jobs
         .into_par_iter()
         .map(|(di, seed, b)| {
             let (game, model) = workload(seed, T, R, DELTAS[di]);
-            let x = b.solve(&game, &model, seed);
-            ((di, b), robust_value(&game, &model, &x))
+            let x = b.solve(&game, &model, seed)?;
+            Ok(((di, b), robust_value(&game, &model, &x)))
         })
-        .collect();
+        .collect::<Result<_, SolveError>>()?;
 
     let mut series: std::collections::HashMap<(usize, Baseline), Series> =
         std::collections::HashMap::new();
@@ -65,7 +68,7 @@ pub fn run(profile: Profile) -> Report {
         }
         r.row(row);
     }
-    r
+    Ok(r)
 }
 
 #[cfg(test)]
@@ -81,8 +84,8 @@ mod tests {
         let n = 5;
         for seed in 0..n {
             let (game, model) = workload(seed, 5, 2.0, 1.0);
-            let xc = Baseline::Cubis.solve(&game, &model, seed);
-            let xm = Baseline::Midpoint.solve(&game, &model, seed);
+            let xc = Baseline::Cubis.solve(&game, &model, seed).unwrap();
+            let xm = Baseline::Midpoint.solve(&game, &model, seed).unwrap();
             let vc = robust_value(&game, &model, &xc);
             let vm = robust_value(&game, &model, &xm);
             assert!(vc >= vm - 1e-6, "seed {seed}: CUBIS {vc} < midpoint {vm}");
@@ -90,14 +93,17 @@ mod tests {
                 wins += 1;
             }
         }
-        assert!(wins >= 3, "CUBIS should clearly win most instances, won {wins}/{n}");
+        assert!(
+            wins >= 3,
+            "CUBIS should clearly win most instances, won {wins}/{n}"
+        );
     }
 
     #[test]
     fn informed_solvers_coincide_without_uncertainty() {
         let (game, model) = workload(3, 5, 2.0, 0.0);
-        let xc = Baseline::Cubis.solve(&game, &model, 3);
-        let xm = Baseline::Midpoint.solve(&game, &model, 3);
+        let xc = Baseline::Cubis.solve(&game, &model, 3).unwrap();
+        let xm = Baseline::Midpoint.solve(&game, &model, 3).unwrap();
         let vc = robust_value(&game, &model, &xc);
         let vm = robust_value(&game, &model, &xm);
         assert!((vc - vm).abs() < 0.05, "δ=0: CUBIS {vc} vs midpoint {vm}");

@@ -4,6 +4,7 @@ use super::{robust_value, Baseline, Profile};
 use crate::fixtures::workload;
 use crate::metrics::Series;
 use crate::report::Report;
+use cubis_core::SolveError;
 use rayon::prelude::*;
 
 /// The target-count grid (resources scale as ⌈T/4⌉).
@@ -12,14 +13,16 @@ pub const TARGETS: [usize; 5] = [2, 5, 10, 20, 40];
 pub const DELTA: f64 = 0.5;
 
 /// Run the experiment.
-pub fn run(profile: Profile) -> Report {
+pub fn run(profile: Profile) -> Result<Report, SolveError> {
     let seeds: Vec<u64> = (0..profile.seeds()).collect();
     let zoo = Baseline::all();
     let jobs: Vec<(usize, u64, Baseline)> = TARGETS
         .iter()
         .enumerate()
         .flat_map(|(ti, _)| {
-            seeds.iter().flat_map(move |&s| Baseline::all().into_iter().map(move |b| (ti, s, b)))
+            seeds
+                .iter()
+                .flat_map(move |&s| Baseline::all().into_iter().map(move |b| (ti, s, b)))
         })
         .collect();
     let cells: Vec<((usize, Baseline), f64)> = jobs
@@ -28,10 +31,10 @@ pub fn run(profile: Profile) -> Report {
             let t = TARGETS[ti];
             let r = (t as f64 / 4.0).ceil();
             let (game, model) = workload(seed, t, r, DELTA);
-            let x = b.solve(&game, &model, seed);
-            ((ti, b), robust_value(&game, &model, &x))
+            let x = b.solve(&game, &model, seed)?;
+            Ok(((ti, b), robust_value(&game, &model, &x)))
         })
-        .collect();
+        .collect::<Result<_, SolveError>>()?;
 
     let mut series: std::collections::HashMap<(usize, Baseline), Series> =
         std::collections::HashMap::new();
@@ -58,7 +61,7 @@ pub fn run(profile: Profile) -> Report {
         }
         r.row(row);
     }
-    r
+    Ok(r)
 }
 
 #[cfg(test)]
@@ -68,8 +71,8 @@ mod tests {
     #[test]
     fn cubis_wins_on_a_larger_game_too() {
         let (game, model) = workload(1, 12, 3.0, 0.5);
-        let xc = Baseline::Cubis.solve(&game, &model, 1);
-        let xu = Baseline::Uniform.solve(&game, &model, 1);
+        let xc = Baseline::Cubis.solve(&game, &model, 1).unwrap();
+        let xu = Baseline::Uniform.solve(&game, &model, 1).unwrap();
         let vc = robust_value(&game, &model, &xc);
         let vu = robust_value(&game, &model, &xu);
         assert!(vc >= vu - 1e-9, "CUBIS {vc} vs uniform {vu}");

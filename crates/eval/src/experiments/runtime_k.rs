@@ -8,6 +8,7 @@ use super::Profile;
 use crate::fixtures::workload;
 use crate::metrics::{median, timed};
 use crate::report::Report;
+use cubis_core::SolveError;
 
 /// The K grid.
 pub const KS: [usize; 5] = [2, 4, 8, 16, 24];
@@ -15,14 +16,20 @@ pub const KS: [usize; 5] = [2, 4, 8, 16, 24];
 pub const T: usize = 8;
 
 /// Run the experiment.
-pub fn run(profile: Profile) -> Report {
+pub fn run(profile: Profile) -> Result<Report, SolveError> {
     let reps = match profile {
         Profile::Quick => 3,
         Profile::Full => 7,
     };
     let mut r = Report::new(
         "F6 — CUBIS(MILP) runtime and effort vs K",
-        vec!["K", "median secs", "B&B nodes", "simplex iters", "binary steps"],
+        vec![
+            "K",
+            "median secs",
+            "B&B nodes",
+            "simplex iters",
+            "binary steps",
+        ],
     );
     r.note(format!(
         "T = {T}, R = 2, δ = 0.5, ε = 1e-2, median over {reps} seeds. Effort \
@@ -36,7 +43,8 @@ pub fn run(profile: Profile) -> Report {
         for seed in 0..reps {
             let (game, model) = workload(seed, T, 2.0, 0.5);
             let p = cubis_core::RobustProblem::new(&game, &model);
-            let (sol, s) = timed(|| super::cubis_milp(k, 1e-2).solve(&p).expect("milp"));
+            let (sol, s) = timed(|| super::cubis_milp(k, 1e-2).solve(&p));
+            let sol = sol?;
             secs.push(s);
             nodes.push(sol.stats.milp_nodes as f64);
             iters.push(sol.stats.lp_iterations as f64);
@@ -50,5 +58,5 @@ pub fn run(profile: Profile) -> Report {
             format!("{:.0}", median(&bsteps)),
         ]);
     }
-    r
+    Ok(r)
 }

@@ -10,6 +10,7 @@ use super::{robust_value, Profile};
 use crate::fixtures::workload;
 use crate::metrics::{median, timed};
 use crate::report::Report;
+use cubis_core::SolveError;
 
 /// Target sizes (Quick profile trims the largest).
 pub const TARGETS: [usize; 4] = [2, 5, 10, 20];
@@ -19,16 +20,25 @@ pub const DELTA: f64 = 0.5;
 pub const K: usize = 5;
 
 /// Run the experiment.
-pub fn run(profile: Profile) -> Report {
-    let sizes: &[usize] =
-        if profile == Profile::Full { &TARGETS } else { &TARGETS[..3] };
+pub fn run(profile: Profile) -> Result<Report, SolveError> {
+    let sizes: &[usize] = if profile == Profile::Full {
+        &TARGETS
+    } else {
+        &TARGETS[..3]
+    };
     let reps = match profile {
         Profile::Quick => 3,
         Profile::Full => 5,
     };
     let mut r = Report::new(
         "F3 — median runtime (seconds) vs number of targets",
-        vec!["targets", "CUBIS(MILP)", "CUBIS(DP)", "multistart-PG", "quality gap (PG − CUBIS)"],
+        vec![
+            "targets",
+            "CUBIS(MILP)",
+            "CUBIS(DP)",
+            "multistart-PG",
+            "quality gap (PG − CUBIS)",
+        ],
     );
     r.note(format!(
         "δ = {DELTA}, R = ⌈T/4⌉, K = {K}, ε = 1e-2, median over {reps} seeded \
@@ -45,10 +55,10 @@ pub fn run(profile: Profile) -> Report {
         for seed in 0..reps {
             let (game, model) = workload(seed, t, res, DELTA);
             let p = cubis_core::RobustProblem::new(&game, &model);
-            let (milp_sol, s_milp) =
-                timed(|| super::cubis_milp(K, 1e-2).solve(&p).expect("milp"));
-            let (_dp_sol, s_dp) =
-                timed(|| super::cubis_dp(100, 1e-2).solve(&p).expect("dp"));
+            let (milp_sol, s_milp) = timed(|| super::cubis_milp(K, 1e-2).solve(&p));
+            let milp_sol = milp_sol?;
+            let (dp_sol, s_dp) = timed(|| super::cubis_dp(100, 1e-2).solve(&p));
+            dp_sol?;
             let (pg_x, s_pg) = timed(|| {
                 cubis_solvers::solve_nonconvex(
                     &game,
@@ -75,7 +85,7 @@ pub fn run(profile: Profile) -> Report {
             format!("{:+.3}", median(&gaps)),
         ]);
     }
-    r
+    Ok(r)
 }
 
 #[cfg(test)]

@@ -7,18 +7,18 @@
 
 use crate::fixtures::{table1_game, table1_model};
 use crate::report::Report;
-use cubis_core::RobustProblem;
+use cubis_core::{RobustProblem, SolveError};
 use cubis_solvers::solve_midpoint_params;
 
 /// Run the experiment.
-pub fn run() -> Report {
+pub fn run() -> Result<Report, SolveError> {
     let game = table1_game();
     let model = table1_model();
     let p = RobustProblem::new(&game, &model);
 
-    let milp = super::cubis_milp(20, 1e-3).solve(&p).expect("CUBIS(MILP)");
-    let dp = super::cubis_dp(200, 1e-3).solve(&p).expect("CUBIS(DP)");
-    let mid = solve_midpoint_params(&game, &model, 200, 1e-3).expect("midpoint");
+    let milp = super::cubis_milp(20, 1e-3).solve(&p)?;
+    let dp = super::cubis_dp(200, 1e-3).solve(&p)?;
+    let mid = solve_midpoint_params(&game, &model, 200, 1e-3)?;
     let wc_mid = p.worst_case(&mid).utility;
 
     let mut r = Report::new(
@@ -60,14 +60,14 @@ pub fn run() -> Report {
         format!("{:.3}", mid[1]),
         format!("{wc_mid:+.3}"),
     ]);
-    r
+    Ok(r)
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn reproduces_paper_strategies() {
-        let r = super::run();
+        let r = super::run().unwrap();
         // CUBIS (MILP) row: strategy within 0.02 of the paper's.
         let milp_row = &r.rows[1];
         let x1: f64 = milp_row[1].parse().unwrap();

@@ -52,6 +52,8 @@ impl SecurityGame {
             targets.len()
         );
         for (i, t) in targets.iter().enumerate() {
+            // cubis:allow(NUM02): constructor precondition — the panic is
+            // part of the documented `# Panics` contract above.
             t.validate().unwrap_or_else(|e| panic!("target {i}: {e}"));
         }
         Self { targets, resources }

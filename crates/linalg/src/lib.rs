@@ -25,3 +25,57 @@ pub use vector::{axpy, dot, inf_norm, norm2, scale};
 
 /// Relative tolerance used for singularity detection in factorizations.
 pub const SINGULARITY_TOL: f64 = 1e-12;
+
+/// Default absolute tolerance for [`approx_eq`] when callers have no
+/// problem-specific scale: comfortably above f64 roundoff for the
+/// utility magnitudes in this workspace (|u| ≲ 100), far below any
+/// payoff difference that matters.
+pub const DEFAULT_EQ_TOL: f64 = 1e-9;
+
+/// Approximate equality for floating-point values: `|a − b| ≤ tol`.
+///
+/// This is the workspace's one shared answer to "are these two floats
+/// the same?" — raw `==`/`!=` on computed floats is flagged by the
+/// `cubis-xtask analyze` NUM01 rule. Semantics worth knowing:
+///
+/// * NaN is never approximately equal to anything (including NaN),
+///   matching IEEE `==`.
+/// * Equal infinities compare equal for any `tol` (their difference is
+///   NaN, so the bound check fails and the exact-bits fallback decides).
+/// * `tol = 0.0` degrades to exact comparison, so the helper is also
+///   the annotated way to spell an intentional exact compare.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol || a == b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::approx_eq;
+
+    #[test]
+    fn within_tolerance_is_equal() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(approx_eq(-3.5, -3.5, 0.0));
+        assert!(!approx_eq(1.0, 1.1, 1e-3));
+    }
+
+    #[test]
+    fn nan_is_never_equal() {
+        assert!(!approx_eq(f64::NAN, f64::NAN, f64::INFINITY));
+        assert!(!approx_eq(f64::NAN, 0.0, 1.0));
+    }
+
+    #[test]
+    fn infinities_compare_exactly() {
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY, 0.0));
+        assert!(!approx_eq(f64::INFINITY, f64::NEG_INFINITY, f64::MAX));
+        assert!(!approx_eq(f64::INFINITY, 1e308, 1e300));
+    }
+
+    #[test]
+    fn zero_tolerance_is_exact() {
+        assert!(!approx_eq(0.1 + 0.2, 0.3, 0.0));
+        assert!(approx_eq(0.1 + 0.2, 0.3, 1e-15));
+    }
+}

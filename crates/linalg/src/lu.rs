@@ -79,6 +79,8 @@ impl Lu {
             for r in k + 1..n {
                 let mult = m[(r, k)] / pivot;
                 m[(r, k)] = mult;
+                // cubis:allow(NUM01): exact-zero sparsity skip — only a
+                // bit-exact zero multiplier leaves the row untouched.
                 if mult == 0.0 {
                     continue;
                 }

@@ -146,6 +146,8 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let aik = self[(i, k)];
+                // cubis:allow(NUM01): exact-zero sparsity skip — the axpy
+                // contributes nothing only for a bit-exact zero.
                 if aik == 0.0 {
                     continue;
                 }

@@ -35,6 +35,8 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 #[inline]
 pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    // cubis:allow(NUM01): exact-zero fast path; a near-zero `a` must
+    // still accumulate (callers rely on exact axpy semantics).
     if a == 0.0 {
         return;
     }
@@ -54,6 +56,8 @@ pub fn scale(a: f64, x: &mut [f64]) {
 /// Euclidean norm `‖x‖₂`, computed with scaling to avoid overflow.
 pub fn norm2(x: &[f64]) -> f64 {
     let m = inf_norm(x);
+    // cubis:allow(NUM01): exact zero means every component is ±0 and
+    // dividing by `m` below would produce NaN; tolerance is wrong here.
     if m == 0.0 || !m.is_finite() {
         return m;
     }

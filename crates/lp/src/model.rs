@@ -226,6 +226,8 @@ impl LpProblem {
         );
         let _ = write!(s, "  obj:");
         for (i, v) in self.vars.iter().enumerate() {
+            // cubis:allow(NUM01): pretty-printer omits exactly-zero
+            // objective terms; display-only, no numeric consequence.
             if v.obj != 0.0 {
                 let _ = write!(s, " {:+}·{}", v.obj, nm(&v.name, i));
             }

@@ -175,9 +175,16 @@ impl Tableau {
         let mut rows: Vec<Row> = Vec::with_capacity(m);
         let mut next_slack = n;
         for c in &p.constraints {
-            let sign = if c.relation == Relation::Ge { -1.0 } else { 1.0 };
-            let mut coeffs: Vec<(usize, f64)> =
-                c.terms.iter().map(|(v, co)| (v.index(), sign * co)).collect();
+            let sign = if c.relation == Relation::Ge {
+                -1.0
+            } else {
+                1.0
+            };
+            let mut coeffs: Vec<(usize, f64)> = c
+                .terms
+                .iter()
+                .map(|(v, co)| (v.index(), sign * co))
+                .collect();
             let slack = if c.relation == Relation::Eq {
                 None
             } else {
@@ -188,7 +195,11 @@ impl Tableau {
                 // (because the Ge row was negated).
                 Some((s, sign))
             };
-            rows.push(Row { coeffs, rhs: sign * c.rhs, slack });
+            rows.push(Row {
+                coeffs,
+                rhs: sign * c.rhs,
+                slack,
+            });
         }
 
         // Residual of each row at the nonbasic starting point decides
@@ -228,6 +239,8 @@ impl Tableau {
                 for &(j, a) in &row.coeffs {
                     t[(i, j)] = a;
                 }
+                // cubis:allow(NUM02): infallible by construction —
+                // `need_art[i]` is false exactly when this row got a slack.
                 let (s, _) = row.slack.expect("slack-basic row must have a slack");
                 basis[i] = s;
                 xb[i] = xval[s] + residual[i];
@@ -250,8 +263,11 @@ impl Tableau {
         }
 
         let orig = t.clone();
-        let orig_rhs: Vec<f64> =
-            rows.iter().enumerate().map(|(i, row)| row_scale[i] * row.rhs).collect();
+        let orig_rhs: Vec<f64> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| row_scale[i] * row.rhs)
+            .collect();
         Self {
             t,
             xb,
@@ -348,6 +364,8 @@ impl Tableau {
                 continue;
             }
             let xj = self.xval[j];
+            // cubis:allow(NUM01): exact-zero sparsity skip in the rhs
+            // rebuild; tiny nonzeros must still be accumulated.
             if xj != 0.0 {
                 for r in 0..m {
                     rhs[r] -= self.orig[(r, j)] * xj;
@@ -376,6 +394,8 @@ impl Tableau {
         let mut d = self.cost.clone();
         for (i, &bi) in self.basis.iter().enumerate() {
             let cb = self.cost[bi];
+            // cubis:allow(NUM01): exact-zero sparsity skip over basic
+            // costs; correctness needs every bit-nonzero term.
             if cb != 0.0 {
                 cubis_linalg::axpy(-cb, self.t.row(i), &mut d);
             }
@@ -500,7 +520,9 @@ impl Tableau {
             if g.abs() <= piv_thresh {
                 continue;
             }
-            let Some(cap) = strict_cap(i, g, 0.0) else { continue };
+            let Some(cap) = strict_cap(i, g, 0.0) else {
+                continue;
+            };
             if cap > delta_limit + 1e-30 {
                 continue;
             }
@@ -582,6 +604,8 @@ impl Tableau {
                         continue;
                     }
                     let factor = self.t[(i, e)];
+                    // cubis:allow(NUM01): exact-zero pivot-column skip;
+                    // elimination must apply any bit-nonzero factor.
                     if factor != 0.0 {
                         let (prow, irow) = self.t.two_rows_mut(r, i);
                         cubis_linalg::axpy(-factor, prow, irow);
@@ -615,7 +639,9 @@ impl Tableau {
             worst = worst.max((lhs - self.orig_rhs[r]).abs());
         }
         for (i, &bi) in self.basis.iter().enumerate() {
-            worst = worst.max(self.lower[bi] - self.xb[i]).max(self.xb[i] - self.upper[bi]);
+            worst = worst
+                .max(self.lower[bi] - self.xb[i])
+                .max(self.xb[i] - self.upper[bi]);
         }
         worst
     }
@@ -684,9 +710,7 @@ fn solve_once(p: &LpProblem, opts: &LpOptions, safe: bool) -> Result<LpSolution,
     }
     let m = tab.nrows();
     let ncols = tab.ncols();
-    let max_iters = opts
-        .max_iterations
-        .unwrap_or(50 * (m + ncols) + 1000);
+    let max_iters = opts.max_iterations.unwrap_or(50 * (m + ncols) + 1000);
 
     // ---- Phase 1: drive artificials to zero. ----
     if tab.art_start < ncols {
@@ -701,10 +725,19 @@ fn solve_once(p: &LpProblem, opts: &LpOptions, safe: bool) -> Result<LpSolution,
             LpStatus::Unbounded => {
                 // Phase-1 objective is bounded below by 0; unbounded here
                 // means numerical trouble.
-                return Err(LpError::Numerical { violation: f64::INFINITY });
+                return Err(LpError::Numerical {
+                    violation: f64::INFINITY,
+                });
             }
             LpStatus::Optimal => {}
-            LpStatus::Infeasible => unreachable!("phase 1 cannot report infeasible"),
+            LpStatus::Infeasible => {
+                // The phase-1 auxiliary problem is feasible by
+                // construction (artificials give a basic point), so this
+                // status can only arise from numerical breakdown.
+                return Err(LpError::Numerical {
+                    violation: f64::INFINITY,
+                });
+            }
         }
         if tab.objective() > opts.feas_tol {
             return Ok(empty_solution(p, LpStatus::Infeasible, tab.iterations));
@@ -754,6 +787,8 @@ fn solve_once(p: &LpProblem, opts: &LpOptions, safe: bool) -> Result<LpSolution,
                         continue;
                     }
                     let factor = tab.t[(i, j)];
+                    // cubis:allow(NUM01): exact-zero pivot-column skip,
+                    // same invariant as Tableau::pivot above.
                     if factor != 0.0 {
                         let (prow, irow) = tab.t.two_rows_mut(r, i);
                         cubis_linalg::axpy(-factor, prow, irow);
@@ -774,7 +809,11 @@ fn solve_once(p: &LpProblem, opts: &LpOptions, safe: bool) -> Result<LpSolution,
     }
 
     // ---- Phase 2: real objective (internal minimization). ----
-    let flip = if p.sense() == Sense::Maximize { -1.0 } else { 1.0 };
+    let flip = if p.sense() == Sense::Maximize {
+        -1.0
+    } else {
+        1.0
+    };
     for j in 0..ncols {
         tab.cost[j] = 0.0;
     }
@@ -786,11 +825,16 @@ fn solve_once(p: &LpProblem, opts: &LpOptions, safe: bool) -> Result<LpSolution,
         LpStatus::IterationLimit => {
             return Ok(empty_solution(p, LpStatus::IterationLimit, tab.iterations))
         }
-        LpStatus::Unbounded => {
-            return Ok(empty_solution(p, LpStatus::Unbounded, tab.iterations))
-        }
+        LpStatus::Unbounded => return Ok(empty_solution(p, LpStatus::Unbounded, tab.iterations)),
         LpStatus::Optimal => {}
-        LpStatus::Infeasible => unreachable!("phase 2 cannot report infeasible"),
+        LpStatus::Infeasible => {
+            // Phase 2 starts from the feasible basis phase 1 certified;
+            // an infeasible report here means the tableau lost that
+            // invariant to roundoff.
+            return Err(LpError::Numerical {
+                violation: f64::INFINITY,
+            });
+        }
     }
 
     // Final polish: rebuild basic values from the pristine system so the
@@ -828,7 +872,13 @@ fn solve_once(p: &LpProblem, opts: &LpOptions, safe: bool) -> Result<LpSolution,
         }
     }
 
-    Ok(LpSolution { status: LpStatus::Optimal, objective, x, duals, iterations: tab.iterations })
+    Ok(LpSolution {
+        status: LpStatus::Optimal,
+        objective,
+        x,
+        duals,
+        iterations: tab.iterations,
+    })
 }
 
 /// Clamp a solution onto variable bounds (sub-tolerance cleanup only).

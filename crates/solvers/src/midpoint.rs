@@ -145,7 +145,7 @@ mod tests {
         let best = slopes
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert!(x[best] > 0.9, "x = {x:?}, slopes = {slopes:?}");

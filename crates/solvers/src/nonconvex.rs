@@ -80,7 +80,9 @@ where
     };
     results
         .into_iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        // cubis:allow(NUM02): non-empty by the `opts.starts > 0` assert
+        // at the top of this function.
         .expect("at least one start")
 }
 

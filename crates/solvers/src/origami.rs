@@ -18,8 +18,7 @@ pub fn solve_origami(game: &SecurityGame) -> Vec<f64> {
     order.sort_by(|&a, &b| {
         game.target(b)
             .att_reward
-            .partial_cmp(&game.target(a).att_reward)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&game.target(a).att_reward)
     });
 
     // Candidate attacker values where the attack set changes: the next
@@ -40,8 +39,16 @@ pub fn solve_origami(game: &SecurityGame) -> Vec<f64> {
     };
     let total = |v: f64| -> f64 { coverage_for(v).iter().sum() };
 
-    let mut hi = game.targets().iter().map(|tp| tp.att_reward).fold(f64::NEG_INFINITY, f64::max);
-    let mut lo = game.targets().iter().map(|tp| tp.att_penalty).fold(f64::INFINITY, f64::min);
+    let mut hi = game
+        .targets()
+        .iter()
+        .map(|tp| tp.att_reward)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut lo = game
+        .targets()
+        .iter()
+        .map(|tp| tp.att_penalty)
+        .fold(f64::INFINITY, f64::min);
     if total(lo) <= game.resources() {
         // Enough budget to push every target to its floor.
         return coverage_for(lo);
@@ -99,7 +106,11 @@ mod tests {
         for i in 0..6 {
             if x[i] > 1e-6 && x[i] < 1.0 - 1e-9 {
                 // Interior-covered targets sit at the common value v.
-                assert!((utils[i] - v).abs() < 1e-4, "target {i}: {} vs {v}", utils[i]);
+                assert!(
+                    (utils[i] - v).abs() < 1e-4,
+                    "target {i}: {} vs {v}",
+                    utils[i]
+                );
             } else {
                 // Uncovered targets are no more attractive than v;
                 // saturated ones (x = 1) may sit strictly below it.

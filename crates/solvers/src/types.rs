@@ -69,6 +69,9 @@ pub fn sample_types(model: &UncertainSuqr, n: usize, seed: u64) -> Vec<SampledTy
     }
     while out.len() < n {
         let u = |iv: cubis_behavior::Interval, rng: &mut ChaCha8Rng| {
+            // cubis:allow(NUM01): degenerate-interval check; width is
+            // exactly zero iff lo and hi are the same bits, and only
+            // then is `gen_range(lo..=hi)` replaced by the constant.
             if iv.width() == 0.0 {
                 iv.lo
             } else {

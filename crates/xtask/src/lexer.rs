@@ -1,0 +1,532 @@
+//! A minimal Rust token scanner for the static-analysis pass.
+//!
+//! This is *not* a full lexer for the language — it is exactly as much
+//! lexer as the lint rules need: it distinguishes identifiers, numeric
+//! literals (integer vs. float), string/char literals, lifetimes and
+//! punctuation, and it is string/char/comment-aware so that rule
+//! patterns never fire on text inside literals or comments. Raw
+//! strings (`r#"…"#`), byte strings, raw identifiers (`r#match`),
+//! nested block comments and escaped chars are all handled.
+//!
+//! Line comments are additionally scanned for the suppression syntax
+//!
+//! ```text
+//! // cubis:allow(NUM01): justification explaining why this is sound
+//! ```
+//!
+//! which the engine uses to suppress findings (see [`Allow`]).
+
+/// Kind of a scanned token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, unprefixed).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Integer literal (any base, with suffix).
+    Int,
+    /// Floating-point literal (`1.0`, `2.`, `1e-6`, `3f64`).
+    Float,
+    /// String literal of any flavor (raw, byte, C).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Punctuation; multi-char operators (`==`, `::`, `..=`) are one token.
+    Punct,
+}
+
+/// One scanned token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Source text (for `Str`, the contents are not unescaped).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True if this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+}
+
+/// A parsed `// cubis:allow(RULE[, RULE…]): justification` comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Line the comment appears on.
+    pub line: u32,
+    /// Line whose findings this comment suppresses: its own line for a
+    /// trailing comment, the next token-bearing line for a standalone
+    /// comment line (0 if it never resolved, e.g. at end of file).
+    pub applies_to: u32,
+    /// Upper-cased rule identifiers inside the parentheses.
+    pub rules: Vec<String>,
+    /// Free-text justification after the closing `):`. The engine
+    /// reports an allow with an empty justification as a finding.
+    pub justification: String,
+}
+
+/// Result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// All tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All suppression comments, in source order.
+    pub allows: Vec<Allow>,
+}
+
+/// Lex `src` into tokens and suppression comments. Never fails: on
+/// malformed input the scanner degrades to single-char punctuation,
+/// which at worst makes a rule miss — it cannot crash the pass.
+pub fn lex(src: &str) -> LexOutput {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    /// Whether a token was already emitted on the current line (used to
+    /// tell trailing `cubis:allow` comments from standalone ones).
+    line_has_token: bool,
+    out: LexOutput,
+    /// Indices into `out.allows` of standalone allows still waiting for
+    /// the next token-bearing line.
+    pending_allows: Vec<usize>,
+}
+
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            line_has_token: false,
+            out: LexOutput::default(),
+            pending_allows: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.line_has_token = false;
+            }
+        }
+        c
+    }
+
+    fn emit(&mut self, kind: TokKind, text: String, line: u32) {
+        // A standalone allow comment applies to the next line that
+        // carries any token.
+        for idx in self.pending_allows.drain(..) {
+            self.out.allows[idx].applies_to = line;
+        }
+        self.line_has_token = true;
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> LexOutput {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' || c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment();
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if c == '"' {
+                self.string(false);
+            } else if c == '\'' {
+                self.char_or_lifetime();
+            } else if c.is_ascii_digit() {
+                self.number();
+            } else if c.is_alphabetic() || c == '_' {
+                self.ident_or_prefixed_literal();
+            } else {
+                self.punct();
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let standalone = !self.line_has_token;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // Suppressions live in plain `//` comments only; doc comments
+        // (`///`, `//!`) merely *describe* the syntax.
+        if !text.starts_with("///") && !text.starts_with("//!") {
+            self.parse_allow(&text, line, standalone);
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Ordinary (escaped) or raw (verbatim) double-quoted string; the
+    /// opening quote is at the current position.
+    fn string(&mut self, raw: bool) {
+        let line = self.line;
+        let mut text = String::new();
+        self.bump(); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' && !raw {
+                text.push(c);
+                self.bump();
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+            } else if c == '"' {
+                self.bump();
+                break;
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.emit(TokKind::Str, text, line);
+    }
+
+    /// Raw string whose `r`/`br` prefix was already consumed; the
+    /// current position is at the first `#` or the opening quote.
+    fn raw_string(&mut self) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some('"') {
+            // `r#ident` was handled by the caller; anything else here is
+            // malformed — emit nothing and let punctuation lexing resume.
+            return;
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        'outer: while let Some(c) = self.peek(0) {
+            if c == '"' {
+                // Check for the closing `"####…` run without consuming on failure.
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(1 + k) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..=hashes {
+                        self.bump();
+                    }
+                    break 'outer;
+                }
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.emit(TokKind::Str, text, line);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal, e.g. '\n', '\'', '\u{1F600}'.
+                let mut text = String::from("\\");
+                self.bump();
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                    if e == 'u' && self.peek(0) == Some('{') {
+                        while let Some(c) = self.bump() {
+                            text.push(c);
+                            if c == '}' {
+                                break;
+                            }
+                        }
+                    }
+                }
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.emit(TokKind::Char, text, line);
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                let mut text = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                    self.emit(TokKind::Char, text, line);
+                } else {
+                    self.emit(TokKind::Lifetime, text, line);
+                }
+            }
+            Some(c) => {
+                // Punctuation char literal like '(' or ' '.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.emit(TokKind::Char, c.to_string(), line);
+            }
+            None => {}
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut float = false;
+        let radix_prefixed = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x' | 'X' | 'b' | 'B' | 'o' | 'O'));
+        if radix_prefixed {
+            text.push(self.bump().unwrap_or('0'));
+            text.push(self.bump().unwrap_or('x'));
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_hexdigit() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        } else {
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_digit() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            // Fractional part: `1.5`, or a trailing `2.` that is not a
+            // range (`1..n`), field access (`x.1.max(…)`) or method call.
+            if self.peek(0) == Some('.') {
+                match self.peek(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        float = true;
+                        text.push('.');
+                        self.bump();
+                        while let Some(c) = self.peek(0) {
+                            if c.is_ascii_digit() || c == '_' {
+                                text.push(c);
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    Some(d) if d == '.' || d.is_alphabetic() || d == '_' => {}
+                    _ => {
+                        float = true;
+                        text.push('.');
+                        self.bump();
+                    }
+                }
+            }
+            // Exponent: `1e6`, `2.5E-3`.
+            if matches!(self.peek(0), Some('e' | 'E')) {
+                let (a, b) = (self.peek(1), self.peek(2));
+                let has_exp = matches!(a, Some(d) if d.is_ascii_digit())
+                    || (matches!(a, Some('+' | '-')) && matches!(b, Some(d) if d.is_ascii_digit()));
+                if has_exp {
+                    float = true;
+                    text.push(self.bump().unwrap_or('e'));
+                    if matches!(self.peek(0), Some('+' | '-')) {
+                        text.push(self.bump().unwrap_or('+'));
+                    }
+                    while let Some(c) = self.peek(0) {
+                        if c.is_ascii_digit() || c == '_' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Type suffix (`f64`, `u32`, …).
+        let mut suffix = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix.starts_with('f') && !radix_prefixed {
+            float = true;
+        }
+        text.push_str(&suffix);
+        let kind = if float { TokKind::Float } else { TokKind::Int };
+        self.emit(kind, text, line);
+    }
+
+    fn ident_or_prefixed_literal(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb" | "c" | "cr");
+        match self.peek(0) {
+            Some('"') if is_str_prefix => {
+                if text.contains('r') {
+                    self.raw_string();
+                } else {
+                    self.string(false);
+                }
+            }
+            Some('#') if text == "r" => {
+                // `r#"…"#` raw string vs `r#ident` raw identifier: look
+                // past the run of hashes for a quote.
+                let mut k = 0;
+                while self.peek(k) == Some('#') {
+                    k += 1;
+                }
+                if self.peek(k) == Some('"') {
+                    self.raw_string();
+                } else {
+                    self.bump(); // single `#` of a raw identifier
+                    let mut raw = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if c.is_alphanumeric() || c == '_' {
+                            raw.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.emit(TokKind::Ident, raw, line);
+                }
+            }
+            Some('#') if is_str_prefix && text != "r" => {
+                self.raw_string();
+            }
+            Some('\'') if text == "b" => {
+                // Byte literal b'x'.
+                self.char_or_lifetime();
+            }
+            _ => self.emit(TokKind::Ident, text, line),
+        }
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        for op in MULTI_PUNCT {
+            let mut matches = true;
+            for (k, oc) in op.chars().enumerate() {
+                if self.peek(k) != Some(oc) {
+                    matches = false;
+                    break;
+                }
+            }
+            if matches {
+                for _ in 0..op.chars().count() {
+                    self.bump();
+                }
+                self.emit(TokKind::Punct, (*op).to_string(), line);
+                return;
+            }
+        }
+        if let Some(c) = self.bump() {
+            self.emit(TokKind::Punct, c.to_string(), line);
+        }
+    }
+
+    fn parse_allow(&mut self, comment: &str, line: u32, standalone: bool) {
+        let Some(start) = comment.find("cubis:allow(") else {
+            return;
+        };
+        let after = &comment[start + "cubis:allow(".len()..];
+        let Some(close) = after.find(')') else {
+            // Malformed allow: record it with no rules so the engine can
+            // flag it rather than silently ignoring the author's intent.
+            self.out.allows.push(Allow {
+                line,
+                applies_to: line,
+                rules: Vec::new(),
+                justification: String::new(),
+            });
+            return;
+        };
+        let rules: Vec<String> = after[..close]
+            .split(',')
+            .map(|r| r.trim().to_ascii_uppercase())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let rest = after[close + 1..].trim_start();
+        let justification = rest.strip_prefix(':').unwrap_or(rest).trim().to_string();
+        let idx = self.out.allows.len();
+        self.out.allows.push(Allow {
+            line,
+            applies_to: if standalone { 0 } else { line },
+            rules,
+            justification,
+        });
+        if standalone {
+            self.pending_allows.push(idx);
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! `cubis-xtask` — workspace automation for CUBIS.
+//!
+//! The centerpiece is a self-contained static-analysis pass
+//! (`cubis-xtask analyze`) enforcing the numeric-safety rules that
+//! Theorem 1's `O(ε + 1/K)` guarantee quietly assumes: no NaN-panicking
+//! comparators, no raw float equality, no panicking escape hatches on
+//! fallible numeric paths, no weakened atomic orderings in the parallel
+//! branch-and-bound, and no unseeded randomness outside the experiment
+//! binaries. The pass is wired into the tier-1 test suite via
+//! `tests/tests/static_analysis.rs`, so a violation anywhere in the
+//! workspace fails `cargo test`.
+//!
+//! Findings are suppressible only with an inline justification:
+//!
+//! ```text
+//! x == 1.0 // cubis:allow(NUM01): exact sentinel written by this module
+//! ```
+//!
+//! The analyzer is dependency-free by design — a hand-rolled lexer
+//! ([`lexer`]) plus a token-pattern rule engine ([`rules`]) — so it
+//! builds and runs even where the registry is unreachable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Execution context of a source file, derived from its workspace path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library code under some `crates/*/src` — the strictest class.
+    Library,
+    /// Integration-test code (`crates/*/tests`, the `tests` crate).
+    TestFile,
+    /// Benchmarks (`crates/bench`, any `benches/` directory).
+    Bench,
+    /// Runnable examples (`examples/`).
+    Example,
+    /// Binary entry points (`src/bin/*`, `src/main.rs`).
+    Binary,
+    /// Experiment binaries in `crates/eval/src/bin` — exempt from DET01
+    /// (they may legitimately draw wall-clock entropy).
+    EvalBinary,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`NUM01`, …, `LINT00`).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: PathBuf,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description with the suggested fix.
+    pub message: String,
+}
+
+impl Finding {
+    pub(crate) fn new(rule: &'static str, path: &Path, line: u32, message: String) -> Self {
+        Finding {
+            rule,
+            path: path.to_path_buf(),
+            line,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Classify a workspace-relative path into its execution context.
+pub fn classify(rel: &Path) -> FileClass {
+    let comps: Vec<&str> = rel.iter().filter_map(|c| c.to_str()).collect();
+    let first = comps.first().copied().unwrap_or("");
+    if first == "examples" {
+        return FileClass::Example;
+    }
+    if first == "tests" || comps.iter().skip(2).any(|&c| c == "tests") {
+        return FileClass::TestFile;
+    }
+    if comps.get(1) == Some(&"bench") || comps.contains(&"benches") {
+        return FileClass::Bench;
+    }
+    let in_bin = comps.windows(2).any(|w| w == ["src", "bin"]);
+    if in_bin || comps.last() == Some(&"main.rs") {
+        if comps.get(1) == Some(&"eval") {
+            return FileClass::EvalBinary;
+        }
+        return FileClass::Binary;
+    }
+    FileClass::Library
+}
+
+/// Analyze one file's source text. `rel` is the workspace-relative path
+/// used in findings and for classification (see [`classify`]).
+pub fn analyze_source(rel: &Path, class: FileClass, src: &str) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let in_test = rules::test_mask(&lexed.tokens);
+    let mut findings = rules::scan_tokens(rel, class, &lexed.tokens, &in_test);
+
+    // LINT00: every allow must carry a justification and name known
+    // rules. These findings are not themselves suppressible.
+    for allow in &lexed.allows {
+        if allow.rules.is_empty() {
+            findings.push(Finding::new(
+                "LINT00",
+                rel,
+                allow.line,
+                "malformed `cubis:allow` (missing or unreadable rule list)".to_string(),
+            ));
+            continue;
+        }
+        for rule in &allow.rules {
+            if !rules::ALLOWABLE_RULES.contains(&rule.as_str()) {
+                findings.push(Finding::new(
+                    "LINT00",
+                    rel,
+                    allow.line,
+                    format!("`cubis:allow({rule})` names an unknown rule"),
+                ));
+            }
+        }
+        if allow.justification.is_empty() {
+            findings.push(Finding::new(
+                "LINT00",
+                rel,
+                allow.line,
+                "`cubis:allow` without a justification string; explain why the pattern is \
+                 sound here"
+                    .to_string(),
+            ));
+        }
+    }
+
+    findings.retain(|f| {
+        f.rule == "LINT00"
+            || !lexed.allows.iter().any(|a| {
+                a.applies_to == f.line
+                    && !a.justification.is_empty()
+                    && a.rules.iter().any(|r| r == f.rule)
+            })
+    });
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Analyze every `.rs` file reachable from the workspace root
+/// (skipping `target/` and dot-directories). Findings come back sorted
+/// by path and line.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        findings.extend(analyze_source(&rel, classify(&rel), &src));
+    }
+    Ok(findings)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Locate the workspace root: walk upward from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib(src: &str) -> Vec<Finding> {
+        analyze_source(Path::new("crates/demo/src/lib.rs"), FileClass::Library, src)
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    // ---- NUM01 -------------------------------------------------------
+
+    #[test]
+    fn num01_fires_on_raw_float_equality() {
+        let f = lib("fn f(x: f64) -> bool { x == 0.0 }");
+        assert_eq!(rules_of(&f), ["NUM01"]);
+        let f = lib("fn f(x: f64) -> bool { 1.5e-3 != x }");
+        assert_eq!(rules_of(&f), ["NUM01"]);
+        let f = lib("fn f(x: f64) -> bool { x == f64::NAN }");
+        assert_eq!(rules_of(&f), ["NUM01"]);
+    }
+
+    #[test]
+    fn num01_allowlisted_hit_is_suppressed() {
+        let f =
+            lib("fn f(x: f64) -> bool {\n    x == 0.0 // cubis:allow(NUM01): exact sentinel\n}");
+        assert!(f.is_empty(), "{f:?}");
+        // Standalone allow on the preceding line also suppresses.
+        let f = lib(
+            "fn f(x: f64) -> bool {\n    // cubis:allow(NUM01): exact sentinel\n    x == 0.0\n}",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn num01_ignores_ints_tests_and_literals_in_strings() {
+        assert!(lib("fn f(n: usize) -> bool { n == 0 }").is_empty());
+        assert!(lib("const S: &str = \"x == 0.0\";").is_empty());
+        let test_mod = "#[cfg(test)]\nmod tests {\n    fn g(x: f64) -> bool { x == 0.5 }\n}";
+        assert!(lib(test_mod).is_empty());
+        let f = analyze_source(
+            Path::new("crates/demo/tests/it.rs"),
+            classify(Path::new("crates/demo/tests/it.rs")),
+            "fn f(x: f64) -> bool { x == 0.5 }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    // ---- NUM02 -------------------------------------------------------
+
+    #[test]
+    fn num02_fires_on_unwrap_expect_and_panics() {
+        let f = lib("fn f(o: Option<f64>) -> f64 { o.unwrap() }");
+        assert_eq!(rules_of(&f), ["NUM02"]);
+        let f = lib("fn f(o: Option<f64>) -> f64 { o.expect(\"set\") }");
+        assert_eq!(rules_of(&f), ["NUM02"]);
+        let f = lib("fn f() { panic!(\"boom\") }");
+        assert_eq!(rules_of(&f), ["NUM02"]);
+        let f = lib("fn f(n: u8) { match n { 0 => {} _ => unreachable!() } }");
+        assert_eq!(rules_of(&f), ["NUM02"]);
+    }
+
+    #[test]
+    fn num02_exempts_tests_and_allows_with_justification() {
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}";
+        assert!(lib(in_test).is_empty());
+        let f = lib("fn f(o: Option<f64>) -> f64 {\n    o.unwrap() // cubis:allow(NUM02): guarded by is_some above\n}");
+        assert!(f.is_empty(), "{f:?}");
+        // Doc comments mentioning unwrap never fire.
+        assert!(lib("/// Calls `.unwrap()` internally — no it does not.\nfn f() {}").is_empty());
+    }
+
+    #[test]
+    fn num02_exempts_bench_and_example_files() {
+        for rel in ["crates/bench/benches/t1.rs", "examples/quickstart.rs"] {
+            let p = Path::new(rel);
+            let f = analyze_source(p, classify(p), "fn f(o: Option<u8>) { o.unwrap(); }");
+            assert!(f.is_empty(), "{rel}: {f:?}");
+        }
+    }
+
+    // ---- NUM03 -------------------------------------------------------
+
+    #[test]
+    fn num03_fires_on_partial_cmp_unwrap_and_sort_by() {
+        let f = lib("fn f(a: f64, b: f64) { let _ = a.partial_cmp(&b).unwrap(); }");
+        assert_eq!(rules_of(&f), ["NUM03"]);
+        let f = lib("fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }");
+        assert_eq!(rules_of(&f), ["NUM03"]);
+        // unwrap_or(Equal) hides NaN instead of panicking: still a finding.
+        let f =
+            lib("fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(O::Equal)); }");
+        assert_eq!(rules_of(&f), ["NUM03"]);
+    }
+
+    #[test]
+    fn num03_applies_inside_test_code_too() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n}";
+        assert_eq!(rules_of(&lib(src)), ["NUM03"]);
+    }
+
+    #[test]
+    fn num03_accepts_total_cmp_and_bare_partial_cmp() {
+        assert!(lib("fn f(v: &mut [f64]) { v.sort_by(|a, b| a.total_cmp(b)); }").is_empty());
+        // A PartialOrd impl legitimately calls partial_cmp with no unwrap.
+        assert!(lib("fn f(a: f64, b: f64) -> Option<O> { a.partial_cmp(&b) }").is_empty());
+    }
+
+    // ---- CONC01 ------------------------------------------------------
+
+    #[test]
+    fn conc01_fires_on_relaxed_ordering() {
+        let f = lib("fn f(a: &AtomicU64) -> u64 { a.load(Ordering::Relaxed) }");
+        assert_eq!(rules_of(&f), ["CONC01"]);
+    }
+
+    #[test]
+    fn conc01_accepts_acquire_release_and_allowed_relaxed() {
+        assert!(lib("fn f(a: &AtomicU64) -> u64 { a.load(Ordering::Acquire) }").is_empty());
+        let f = lib(
+            "fn f(a: &AtomicU64) -> u64 {\n    a.load(Ordering::Relaxed) // cubis:allow(CONC01): pure statistics counter\n}",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    // ---- DET01 -------------------------------------------------------
+
+    #[test]
+    fn det01_fires_on_unseeded_rng_in_lib_and_tests() {
+        let f = lib("fn f() -> f64 { rand::thread_rng().gen() }");
+        assert_eq!(rules_of(&f), ["DET01"]);
+        let f = lib("fn f() -> StdRng { StdRng::from_entropy() }");
+        assert_eq!(rules_of(&f), ["DET01"]);
+        let p = Path::new("crates/demo/tests/it.rs");
+        let f = analyze_source(p, classify(p), "fn f() -> f64 { rand::random() }");
+        assert_eq!(rules_of(&f), ["DET01"]);
+    }
+
+    #[test]
+    fn det01_exempts_eval_binaries_and_benches() {
+        for rel in [
+            "crates/eval/src/bin/exp_table1.rs",
+            "crates/bench/benches/t1.rs",
+        ] {
+            let p = Path::new(rel);
+            let f = analyze_source(p, classify(p), "fn f() -> f64 { rand::thread_rng().gen() }");
+            assert!(f.is_empty(), "{rel}: {f:?}");
+        }
+    }
+
+    // ---- LINT00 ------------------------------------------------------
+
+    #[test]
+    fn allow_without_justification_is_itself_a_finding() {
+        let f = lib("fn f(x: f64) -> bool { x == 0.0 } // cubis:allow(NUM01)");
+        // The empty-justification allow does NOT suppress, and is reported.
+        assert_eq!(rules_of(&f), ["LINT00", "NUM01"]);
+    }
+
+    #[test]
+    fn allow_naming_unknown_rule_is_a_finding() {
+        let f = lib("fn f() {} // cubis:allow(NUM99): misremembered rule id");
+        assert_eq!(rules_of(&f), ["LINT00"]);
+    }
+
+    #[test]
+    fn doc_comments_describing_the_syntax_are_not_allows() {
+        assert!(lib("/// Suppress with `cubis:allow(NUM01)`.\nfn f() {}").is_empty());
+        assert!(lib("//! `cubis:allow(BOGUS)` syntax docs.\nfn f() {}").is_empty());
+    }
+
+    // ---- classification ---------------------------------------------
+
+    #[test]
+    fn path_classification() {
+        let cases = [
+            ("crates/core/src/solver.rs", FileClass::Library),
+            ("crates/core/src/inner/dp.rs", FileClass::Library),
+            (
+                "crates/lp/tests/simplex_correctness.rs",
+                FileClass::TestFile,
+            ),
+            ("tests/tests/pipeline.rs", FileClass::TestFile),
+            ("tests/src/lib.rs", FileClass::TestFile),
+            ("crates/bench/benches/table1.rs", FileClass::Bench),
+            ("examples/quickstart.rs", FileClass::Example),
+            ("crates/eval/src/bin/run_all.rs", FileClass::EvalBinary),
+            ("crates/xtask/src/main.rs", FileClass::Binary),
+            ("crates/eval/src/metrics.rs", FileClass::Library),
+        ];
+        for (path, expect) in cases {
+            assert_eq!(classify(Path::new(path)), expect, "{path}");
+        }
+    }
+
+    #[test]
+    fn lexer_handles_strings_chars_lifetimes_and_raw_strings() {
+        let src = r##"
+            fn f<'a>(s: &'a str) -> char {
+                let _r = r#"x.partial_cmp(y).unwrap()"#;
+                let _q = "thread_rng() == 0.0";
+                let _c = '\'';
+                let _b = b"panic!";
+                'x'
+            }
+        "##;
+        assert!(lib(src).is_empty());
+    }
+
+    #[test]
+    fn float_literal_lexing() {
+        use crate::lexer::{lex, TokKind};
+        let toks = lex("let a = 1.0 + 2. + 3e-4 + 5f64 + 6_u32 + v[0].1.min(x) + (0..9)");
+        let floats: Vec<&str> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Float)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(floats, ["1.0", "2.", "3e-4", "5f64"]);
+    }
+}

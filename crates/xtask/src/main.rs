@@ -1,0 +1,124 @@
+//! Command-line entry point: `cargo run -p cubis-xtask -- <command>`.
+//!
+//! * `analyze [--root <dir>]` — run the numeric-safety pass over the
+//!   workspace; exit 1 if any unsuppressed finding remains.
+//! * `rules` — print the rule table.
+//! * `ci [--root <dir>]` — the single local pre-merge gate: chains
+//!   `cargo fmt --check`, the analyze pass, and `cargo test -q`.
+
+use cubis_xtask::{analyze_workspace, find_workspace_root, rules::RULE_DOCS};
+use std::path::PathBuf;
+use std::process::{Command, ExitCode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("");
+    match cmd {
+        "analyze" => match resolve_root(&args) {
+            Ok(root) => analyze(&root),
+            Err(e) => usage(&e),
+        },
+        "ci" => match resolve_root(&args) {
+            Ok(root) => ci(&root),
+            Err(e) => usage(&e),
+        },
+        "rules" => {
+            for (id, doc) in RULE_DOCS {
+                println!("{id:7} {doc}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage("expected a subcommand: analyze | rules | ci"),
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("cubis-xtask: {err}");
+    eprintln!("usage: cubis-xtask <analyze|rules|ci> [--root <workspace-dir>]");
+    ExitCode::from(2)
+}
+
+/// `--root <dir>` if given, else the enclosing workspace of the current
+/// directory (falling back to this crate's own workspace when invoked
+/// via `cargo run` from elsewhere).
+fn resolve_root(args: &[String]) -> Result<PathBuf, String> {
+    if let Some(pos) = args.iter().position(|a| a == "--root") {
+        let dir = args
+            .get(pos + 1)
+            .ok_or_else(|| "--root requires a directory argument".to_string())?;
+        return Ok(PathBuf::from(dir));
+    }
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    find_workspace_root(&cwd)
+        .or_else(|| {
+            // When run via `cargo run` from outside the tree, fall back to
+            // the workspace this binary was built from.
+            option_env!("CARGO_MANIFEST_DIR")
+                .and_then(|dir| find_workspace_root(&PathBuf::from(dir)))
+        })
+        .ok_or_else(|| "no enclosing Cargo workspace found; pass --root".to_string())
+}
+
+fn analyze(root: &PathBuf) -> ExitCode {
+    if analyze_gate(root) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Run the pass and report; true when the workspace is clean.
+fn analyze_gate(root: &PathBuf) -> bool {
+    match analyze_workspace(root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("cubis-xtask analyze: workspace clean");
+            true
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("cubis-xtask analyze: {} finding(s)", findings.len());
+            false
+        }
+        Err(e) => {
+            eprintln!("cubis-xtask analyze: io error: {e}");
+            false
+        }
+    }
+}
+
+fn ci(root: &PathBuf) -> ExitCode {
+    let steps: &[(&str, &[&str])] = &[
+        ("cargo fmt --check", &["fmt", "--", "--check"]),
+        ("cargo test -q", &["test", "-q"]),
+    ];
+    println!("[1/3] cargo fmt --check");
+    if !run_cargo(root, steps[0].1) {
+        return ExitCode::FAILURE;
+    }
+    println!("[2/3] cubis-xtask analyze");
+    if !analyze_gate(root) {
+        return ExitCode::FAILURE;
+    }
+    println!("[3/3] cargo test -q");
+    if !run_cargo(root, steps[1].1) {
+        return ExitCode::FAILURE;
+    }
+    println!("ci: all gates passed");
+    ExitCode::SUCCESS
+}
+
+fn run_cargo(root: &PathBuf, args: &[&str]) -> bool {
+    match Command::new("cargo").args(args).current_dir(root).status() {
+        Ok(status) if status.success() => true,
+        Ok(status) => {
+            eprintln!("ci: `cargo {}` failed with {status}", args.join(" "));
+            false
+        }
+        Err(e) => {
+            eprintln!("ci: could not spawn cargo: {e}");
+            false
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! The numeric-safety lint rules.
+//!
+//! Every rule is a purely lexical pattern over the token stream from
+//! [`crate::lexer`], scoped by file class (library / test / bench /
+//! example / binary) and by `#[cfg(test)]` regions inside library
+//! files. See DESIGN.md §"Static analysis" for the rationale behind
+//! each rule and the `cubis:allow` escape hatch.
+
+use crate::lexer::{TokKind, Token};
+use crate::{FileClass, Finding};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Identifier and one-line summary for each rule, used by the CLI
+/// `rules` subcommand and the documentation.
+pub const RULE_DOCS: &[(&str, &str)] = &[
+    (
+        "NUM01",
+        "raw f64 `==`/`!=` against a float literal or NAN/INFINITY in library code; \
+         use cubis_linalg::approx_eq (or annotate intentional exact-bit compares)",
+    ),
+    (
+        "NUM02",
+        "`.unwrap()`/`.expect()`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in \
+         library code; route failures through SolveError/MilpError instead",
+    ),
+    (
+        "NUM03",
+        "NaN-hazardous comparator: `partial_cmp(..).unwrap()` or a \
+         `sort_by`/`max_by`/`min_by` closure built on `partial_cmp`; use f64::total_cmp",
+    ),
+    (
+        "CONC01",
+        "`Ordering::Relaxed` atomic operation in library code; the incumbent/termination \
+         protocol documents Acquire/Release — prove and annotate any relaxation",
+    ),
+    (
+        "DET01",
+        "unseeded randomness (`thread_rng`/`from_entropy`/`rand::random`/`OsRng`) outside \
+         eval binaries and benches; seed a ChaCha8Rng for reproducibility",
+    ),
+    (
+        "LINT00",
+        "malformed suppression: `cubis:allow` without a justification string or naming an \
+         unknown rule (not itself suppressible)",
+    ),
+];
+
+/// Rule identifiers that may appear inside `cubis:allow(…)`.
+pub const ALLOWABLE_RULES: &[&str] = &["NUM01", "NUM02", "NUM03", "CONC01", "DET01"];
+
+/// Run every token-level rule over one file's token stream.
+///
+/// `in_test[i]` marks tokens inside `#[cfg(test)]`/`#[test]` regions of
+/// library files; file-level classes (test files, benches, examples)
+/// come in through `class`.
+pub fn scan_tokens(
+    path: &Path,
+    class: FileClass,
+    toks: &[Token],
+    in_test: &[bool],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let lib_code = |i: usize| class == FileClass::Library && !in_test[i];
+    // NUM03 and DET01 guard every execution context: a NaN panic in a
+    // test comparator is a flaky test, unseeded randomness anywhere but
+    // the eval/bench entry points breaks reproduction runs.
+    let det_exempt = matches!(class, FileClass::Bench | FileClass::EvalBinary);
+    let mut num03_lines: BTreeSet<u32> = BTreeSet::new();
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct if t.text == "==" || t.text == "!=" => {
+                if lib_code(i) {
+                    let nan_const = |k: usize| {
+                        toks.get(k).is_some_and(|n| {
+                            n.kind == TokKind::Ident
+                                && matches!(n.text.as_str(), "NAN" | "INFINITY" | "NEG_INFINITY")
+                        })
+                    };
+                    let floaty = |k: usize| {
+                        toks.get(k).is_some_and(|n| n.kind == TokKind::Float) || nan_const(k)
+                    };
+                    // `x == f64::NAN` — the constant sits two tokens past `::`.
+                    let qualified_nan_after = toks
+                        .get(i + 1)
+                        .is_some_and(|n| n.is_ident("f64") || n.is_ident("f32"))
+                        && toks.get(i + 2).is_some_and(|n| n.is_punct("::"))
+                        && nan_const(i + 3);
+                    if (i > 0 && floaty(i - 1)) || floaty(i + 1) || qualified_nan_after {
+                        findings.push(Finding::new(
+                            "NUM01",
+                            path,
+                            t.line,
+                            format!(
+                                "raw float `{}` comparison; use cubis_linalg::approx_eq or \
+                                 annotate the intentional exact compare",
+                                t.text
+                            ),
+                        ));
+                    }
+                }
+            }
+            TokKind::Ident => {
+                let next_is = |k: usize, p: &str| toks.get(k).is_some_and(|n| n.is_punct(p));
+                // NUM02: `.unwrap()` / `.expect(`.
+                if (t.text == "unwrap" || t.text == "expect")
+                    && i > 0
+                    && toks[i - 1].is_punct(".")
+                    && next_is(i + 1, "(")
+                    && lib_code(i)
+                    && !follows_partial_cmp(toks, i)
+                {
+                    findings.push(Finding::new(
+                        "NUM02",
+                        path,
+                        t.line,
+                        format!(
+                            "`.{}()` in library code; propagate a SolveError/MilpError (or \
+                             annotate why this cannot fail)",
+                            t.text
+                        ),
+                    ));
+                }
+                // NUM02: panic-family macros.
+                if matches!(
+                    t.text.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) && next_is(i + 1, "!")
+                    && lib_code(i)
+                {
+                    findings.push(Finding::new(
+                        "NUM02",
+                        path,
+                        t.line,
+                        format!(
+                            "`{}!` in library code; return an error variant instead of aborting \
+                             the solve",
+                            t.text
+                        ),
+                    ));
+                }
+                // NUM03a: partial_cmp(..).unwrap()/.expect(..).
+                if t.text == "partial_cmp" && next_is(i + 1, "(") {
+                    if let Some(close) = matching_paren(toks, i + 1) {
+                        let panicking = toks.get(close + 1).is_some_and(|n| n.is_punct("."))
+                            && toks
+                                .get(close + 2)
+                                .is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"));
+                        if panicking {
+                            num03_lines.insert(t.line);
+                        }
+                    }
+                }
+                // NUM03b: partial_cmp anywhere inside an ordering closure.
+                if matches!(
+                    t.text.as_str(),
+                    "sort_by"
+                        | "sort_unstable_by"
+                        | "sort_by_key"
+                        | "max_by"
+                        | "min_by"
+                        | "binary_search_by"
+                ) && next_is(i + 1, "(")
+                {
+                    if let Some(close) = matching_paren(toks, i + 1) {
+                        for inner in &toks[i + 2..close] {
+                            if inner.is_ident("partial_cmp") {
+                                num03_lines.insert(inner.line);
+                            }
+                        }
+                    }
+                }
+                // CONC01: Ordering::Relaxed (std::cmp::Ordering has no
+                // Relaxed variant, so the sequence is unambiguous).
+                if t.text == "Relaxed"
+                    && i >= 2
+                    && toks[i - 1].is_punct("::")
+                    && toks[i - 2].is_ident("Ordering")
+                    && lib_code(i)
+                {
+                    findings.push(Finding::new(
+                        "CONC01",
+                        path,
+                        t.line,
+                        "`Ordering::Relaxed` is weaker than the documented incumbent/termination \
+                         protocol; use Acquire/Release/AcqRel or annotate the proof"
+                            .to_string(),
+                    ));
+                }
+                // DET01: unseeded randomness.
+                if !det_exempt {
+                    let unseeded = matches!(t.text.as_str(), "thread_rng" | "from_entropy")
+                        || t.text == "OsRng"
+                        || (t.text == "random"
+                            && i >= 2
+                            && toks[i - 1].is_punct("::")
+                            && toks[i - 2].is_ident("rand"));
+                    if unseeded {
+                        findings.push(Finding::new(
+                            "DET01",
+                            path,
+                            t.line,
+                            format!(
+                                "`{}` draws unseeded entropy; use ChaCha8Rng::seed_from_u64 so \
+                                 runs reproduce",
+                                t.text
+                            ),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for line in num03_lines {
+        findings.push(Finding::new(
+            "NUM03",
+            path,
+            line,
+            "comparator panics or misorders on NaN; use f64::total_cmp".to_string(),
+        ));
+    }
+    findings
+}
+
+/// True when the `.unwrap`/`.expect` identifier at `i` directly chains
+/// off a `partial_cmp(…)` call — that hazard is NUM03's (more specific)
+/// finding, so NUM02 stays quiet to avoid double-reporting.
+fn follows_partial_cmp(toks: &[Token], i: usize) -> bool {
+    if i < 2 || !toks[i - 2].is_punct(")") {
+        return false;
+    }
+    let mut depth = 0usize;
+    for k in (0..i - 1).rev() {
+        if toks[k].kind == TokKind::Punct {
+            match toks[k].text.as_str() {
+                ")" => depth += 1,
+                "(" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return k > 0 && toks[k - 1].is_ident("partial_cmp");
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+/// Index of the `)` matching the `(` at `open` (same nesting level), if
+/// the stream is balanced.
+fn matching_paren(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth = depth.checked_sub(1)?;
+                    if depth == 0 {
+                        return Some(k);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Compute, for each token, whether it sits inside a test-only region
+/// of a library file: a `#[cfg(test)] mod … { … }`, a `#[test]`/
+/// `#[bench]` function, or any other item carrying a test-flavored
+/// attribute. Brace-depth tracking makes the mask robust to nesting.
+pub fn test_mask(toks: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut depth: i64 = 0;
+    // Depths whose closing brace ends an active test region.
+    let mut regions: Vec<i64> = Vec::new();
+    // Depth at which a test attribute was seen, awaiting its item body.
+    let mut pending: Option<i64> = None;
+    let mut i = 0;
+    while i < toks.len() {
+        mask[i] = !regions.is_empty();
+        let t = &toks[i];
+        if t.is_punct("#") {
+            // `#[…]` outer attribute (inner `#![…]` attributes are
+            // skipped without affecting the mask).
+            let inner = toks.get(i + 1).is_some_and(|n| n.is_punct("!"));
+            let open = i + 1 + usize::from(inner);
+            if toks.get(open).is_some_and(|n| n.is_punct("[")) {
+                if let Some(close) = matching_bracket(toks, open) {
+                    if !inner {
+                        let body = &toks[open + 1..close];
+                        let has = |name: &str| body.iter().any(|b| b.is_ident(name));
+                        if (has("test") || has("bench")) && !has("not") {
+                            pending = Some(depth);
+                        }
+                    }
+                    for m in mask.iter_mut().take(close + 1).skip(i) {
+                        *m = !regions.is_empty();
+                    }
+                    i = close + 1;
+                    continue;
+                }
+            }
+        } else if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => {
+                    depth += 1;
+                    if pending.take().is_some() {
+                        regions.push(depth);
+                    }
+                }
+                "}" => {
+                    if regions.last() == Some(&depth) {
+                        regions.pop();
+                    }
+                    depth -= 1;
+                }
+                ";" => {
+                    // `#[cfg(test)] use …;` — attribute consumed by a
+                    // braceless item at the same depth.
+                    if pending == Some(depth) {
+                        pending = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Index of the `]` matching the `[` at `open`, if balanced.
+fn matching_bracket(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth = depth.checked_sub(1)?;
+                    if depth == 0 {
+                        return Some(k);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}

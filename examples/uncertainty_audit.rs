@@ -50,7 +50,7 @@ fn main() {
             .attack
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap();
         println!(
             "{delta:>6.1} | {:>+12.3} | {:>+12.3} | target {worst_target} (q = {worst_q:.2})",

@@ -1,0 +1,58 @@
+//! Tier-1 gate: the `cubis-xtask analyze` numeric-safety pass must be
+//! clean over the whole workspace.
+//!
+//! This is the enforcement half of the analyzer (its rule unit tests
+//! live in `cubis-xtask` itself): any new raw float `==`, library
+//! `unwrap`, NaN-hazardous comparator, weakened atomic ordering, or
+//! unseeded RNG fails `cargo test -q` with the exact `path:line: [RULE]`
+//! list, unless the site carries a justified `// cubis:allow(RULE): why`
+//! annotation. See DESIGN.md §"Static analysis".
+
+use cubis_xtask::analyze_workspace;
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // tests/ sits directly under the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests crate must live inside the workspace")
+}
+
+#[test]
+fn workspace_has_no_numeric_safety_findings() {
+    let findings = analyze_workspace(workspace_root()).expect("analyzer walked the workspace");
+    assert!(
+        findings.is_empty(),
+        "cubis-xtask analyze found {} unsuppressed finding(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| format!("  {f}\n"))
+            .collect::<String>()
+    );
+}
+
+#[test]
+fn analyzer_sees_the_solver_crates() {
+    // Guard against the gate silently passing because the directory walk
+    // broke or the root was mislocated.
+    let root = workspace_root();
+    assert!(
+        root.join("crates/lp/src/simplex.rs").exists(),
+        "root mislocated: {root:?}"
+    );
+    assert!(root.join("crates/xtask/src/lib.rs").exists());
+}
+
+#[test]
+fn gate_is_live() {
+    // The clean-workspace assertion above is only meaningful if the
+    // analyzer still fires on bad code; feed it a known-bad snippet.
+    let findings = cubis_xtask::analyze_source(
+        Path::new("crates/demo/src/lib.rs"),
+        cubis_xtask::FileClass::Library,
+        "pub fn f(a: f64) -> f64 { if a == 0.25 { a } else { g().unwrap() } }",
+    );
+    let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, ["NUM01", "NUM02"], "{findings:?}");
+}
