@@ -106,6 +106,37 @@ pub trait IntervalChoiceModel {
 }
 
 /// SUQR with interval weights and interval attacker payoffs.
+///
+/// # Examples
+///
+/// Build the paper's interval adversary for a 2-target game and check
+/// the defining invariant `L_i(x_i) ≤ U_i(x_i)`:
+///
+/// ```
+/// use cubis_behavior::{
+///     BoundConvention, IntervalChoiceModel, SuqrUncertainty, UncertainSuqr,
+/// };
+/// use cubis_game::{SecurityGame, TargetPayoffs};
+///
+/// let game = SecurityGame::new(vec![
+///     TargetPayoffs::new(5.0, -6.0, 3.0, -5.0),
+///     TargetPayoffs::new(6.0, -9.0, 7.0, -7.0),
+/// ], 1.0);
+/// let model = UncertainSuqr::from_game(
+///     &game,
+///     SuqrUncertainty::paper_example(), // w1∈[−6,−2], w2∈[.5,1], w3∈[.4,.9]
+///     1.0,                              // attacker payoffs known ±1
+///     BoundConvention::ExactInterval,
+/// );
+/// assert_eq!(model.num_targets(), 2);
+/// let (lo, hi) = model.bounds(&game, 0, 0.5);
+/// assert!(0.0 < lo && lo <= hi);
+///
+/// // Widening the box can only widen the attractiveness interval.
+/// let wider = model.scale_width(2.0);
+/// let (wlo, whi) = wider.bounds(&game, 0, 0.5);
+/// assert!(wlo <= lo && hi <= whi);
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UncertainSuqr {
     /// Weight box.

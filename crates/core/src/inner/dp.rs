@@ -132,6 +132,10 @@ impl InnerSolver for DpInner {
     fn resolution(&self) -> Option<usize> {
         Some(self.points_per_unit)
     }
+
+    fn name(&self) -> &'static str {
+        "dp"
+    }
 }
 
 #[cfg(test)]

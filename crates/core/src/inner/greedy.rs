@@ -85,6 +85,10 @@ impl InnerSolver for GreedyInner {
     fn resolution(&self) -> Option<usize> {
         Some(self.points_per_unit)
     }
+
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
 }
 
 #[cfg(test)]

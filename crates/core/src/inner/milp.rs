@@ -88,6 +88,16 @@ impl MilpInner {
         self.milp.threads = threads;
         self
     }
+
+    /// Route branch-and-bound (and, transitively, simplex) events to
+    /// `recorder`. Equivalent to what [`Cubis::with_recorder`] does
+    /// through [`InnerSolver::attach_recorder`].
+    ///
+    /// [`Cubis::with_recorder`]: crate::Cubis::with_recorder
+    pub fn with_recorder(mut self, recorder: cubis_trace::SharedRecorder) -> Self {
+        self.milp.recorder = recorder;
+        self
+    }
 }
 
 /// Variable layout of one assembled MILP.
@@ -360,6 +370,14 @@ impl InnerSolver for MilpInner {
 
     fn resolution(&self) -> Option<usize> {
         Some(self.k)
+    }
+
+    fn name(&self) -> &'static str {
+        "milp"
+    }
+
+    fn attach_recorder(&mut self, recorder: &cubis_trace::SharedRecorder) {
+        self.milp.recorder = recorder.clone();
     }
 }
 

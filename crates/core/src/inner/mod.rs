@@ -122,4 +122,16 @@ pub trait InnerSolver {
     fn resolution(&self) -> Option<usize> {
         None
     }
+
+    /// Short stable backend name used in recorded inner-solve events
+    /// (see [`cubis_trace::InnerSolveEvent`]).
+    fn name(&self) -> &'static str {
+        "inner"
+    }
+
+    /// Attach an observability recorder to any sub-solvers this backend
+    /// owns. The driver records its own binary-step and inner-solve
+    /// events separately, so the default (for backends without
+    /// sub-solvers, like the DP and greedy routes) does nothing.
+    fn attach_recorder(&mut self, _recorder: &cubis_trace::SharedRecorder) {}
 }

@@ -14,10 +14,21 @@
 use crate::inner::{InnerResult, InnerSolver, InnerStats, SolveError};
 use crate::problem::RobustProblem;
 use cubis_behavior::IntervalChoiceModel;
+use cubis_trace::{BinaryStepEvent, Event, InnerSolveEvent, SharedRecorder, SolveSummaryEvent};
 
 pub use crate::inner::BudgetMode;
 
 /// Options for the binary search.
+///
+/// # Examples
+///
+/// ```
+/// use cubis_core::CubisOptions;
+///
+/// let opts = CubisOptions { epsilon: 1e-4, ..Default::default() };
+/// assert!(opts.epsilon < CubisOptions::default().epsilon);
+/// assert!(!opts.recorder.enabled()); // tracing is off by default
+/// ```
 #[derive(Debug, Clone)]
 pub struct CubisOptions {
     /// Convergence threshold `ε` on `ub − lb`.
@@ -27,11 +38,20 @@ pub struct CubisOptions {
     /// Hard cap on binary-search steps (safety; `ε` normally terminates
     /// first).
     pub max_steps: usize,
+    /// Observability sink. Disabled by default; see
+    /// [`Cubis::with_recorder`] for the one-call way to attach a
+    /// recorder to the driver *and* its inner solver.
+    pub recorder: SharedRecorder,
 }
 
 impl Default for CubisOptions {
     fn default() -> Self {
-        Self { epsilon: 1e-3, g_tol: 1e-9, max_steps: 128 }
+        Self {
+            epsilon: 1e-3,
+            g_tol: 1e-9,
+            max_steps: 128,
+            recorder: SharedRecorder::null(),
+        }
     }
 }
 
@@ -123,11 +143,92 @@ impl<I: InnerSolver> Cubis<I> {
         self
     }
 
+    /// Attach an observability recorder to the driver and (via
+    /// [`InnerSolver::attach_recorder`]) to the inner solver's
+    /// branch-and-bound and simplex layers. With the default (null)
+    /// recorder all instrumentation is inert.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use cubis_behavior::{BoundConvention, SuqrUncertainty, UncertainSuqr};
+    /// use cubis_core::{Cubis, DpInner, RobustProblem};
+    /// use cubis_game::{SecurityGame, TargetPayoffs};
+    /// use cubis_trace::{JournalRecorder, SharedRecorder};
+    ///
+    /// let game = SecurityGame::new(vec![
+    ///     TargetPayoffs::new(5.0, -6.0, 3.0, -5.0),
+    ///     TargetPayoffs::new(6.0, -9.0, 7.0, -7.0),
+    /// ], 1.0);
+    /// let model = UncertainSuqr::from_game(
+    ///     &game, SuqrUncertainty::paper_example(), 1.0,
+    ///     BoundConvention::CornerComponentwise,
+    /// );
+    /// let problem = RobustProblem::new(&game, &model);
+    ///
+    /// let journal = Arc::new(JournalRecorder::new());
+    /// let solution = Cubis::new(DpInner::new(10))
+    ///     .with_epsilon(1e-2)
+    ///     .with_recorder(SharedRecorder::new(journal.clone()))
+    ///     .solve(&problem)
+    ///     .unwrap();
+    ///
+    /// // One recorded step event per binary-search step.
+    /// let journal = journal.snapshot();
+    /// assert_eq!(journal.binary_steps().len(), solution.binary_steps);
+    /// ```
+    pub fn with_recorder(mut self, recorder: SharedRecorder) -> Self {
+        self.inner.attach_recorder(&recorder);
+        self.opts.recorder = recorder;
+        self
+    }
+
+    /// One timed, recorded inner solve (Proposition 2's feasibility
+    /// probe at utility value `c`).
+    fn probe<M: IntervalChoiceModel>(
+        &self,
+        p: &RobustProblem<'_, M>,
+        c: f64,
+    ) -> Result<InnerResult, SolveError> {
+        let rec = &self.opts.recorder;
+        if !rec.enabled() {
+            return self.inner.feasibility_g(p, c, self.opts.g_tol);
+        }
+        let _span = rec.span("cubis.inner");
+        let t0 = std::time::Instant::now();
+        let res = self.inner.feasibility_g(p, c, self.opts.g_tol)?;
+        rec.record(Event::InnerSolve(InnerSolveEvent {
+            backend: self.inner.name().to_string(),
+            c,
+            k: self.inner.resolution(),
+            milp_nodes: res.stats.milp_nodes,
+            lp_iterations: res.stats.lp_iterations,
+            evaluations: res.stats.evaluations,
+            dur_ns: t0.elapsed().as_nanos() as u64,
+        }));
+        Ok(res)
+    }
+
+    fn record_step(&self, step: usize, c: f64, g_value: f64, feasible: bool, lb: f64, ub: f64) {
+        if self.opts.recorder.enabled() {
+            self.opts.recorder.record(Event::BinaryStep(BinaryStepEvent {
+                step,
+                c,
+                g_value,
+                feasible,
+                lb,
+                ub,
+            }));
+        }
+    }
+
     /// Compute the robust defender strategy for problem (5).
     pub fn solve<M: IntervalChoiceModel>(
         &self,
         p: &RobustProblem<'_, M>,
     ) -> Result<CubisSolution, SolveError> {
+        let _span = self.opts.recorder.span("cubis.solve");
         let (range_lo, range_hi) = p.utility_range();
         let mut stats = InnerStats::default();
         let mut steps = 0usize;
@@ -135,28 +236,43 @@ impl<I: InnerSolver> Cubis<I> {
         // Anchor: P1 is always feasible at c = min_i Pd_i (every term of
         // G is then nonnegative), giving an initial strategy even if all
         // midpoints turn out infeasible.
-        let first = self.inner.feasibility_g(p, range_lo, self.opts.g_tol)?;
+        let first = self.probe(p, range_lo)?;
         stats.add(first.stats);
         steps += 1;
         debug_assert!(first.g_value >= -self.opts.g_tol, "P1 infeasible at range low");
         let mut best: InnerResult = first;
         let mut lb = range_lo;
         let mut ub = range_hi;
+        self.record_step(steps, range_lo, best.g_value, true, lb, ub);
 
         while ub - lb > self.opts.epsilon && steps < self.opts.max_steps {
             let mid = 0.5 * (lb + ub);
-            let res = self.inner.feasibility_g(p, mid, self.opts.g_tol)?;
+            let res = self.probe(p, mid)?;
             stats.add(res.stats);
             steps += 1;
-            if res.g_value >= -self.opts.g_tol {
+            let g_value = res.g_value;
+            let feasible = g_value >= -self.opts.g_tol;
+            if feasible {
                 lb = mid;
                 best = res;
             } else {
                 ub = mid;
             }
+            self.record_step(steps, mid, g_value, feasible, lb, ub);
         }
 
-        let worst_case = p.worst_case(&best.x).utility;
+        let worst_case = {
+            let _oracle_span = self.opts.recorder.span("cubis.oracle");
+            p.worst_case(&best.x).utility
+        };
+        if self.opts.recorder.enabled() {
+            self.opts.recorder.record(Event::SolveSummary(SolveSummaryEvent {
+                lb,
+                ub,
+                worst_case,
+                binary_steps: steps,
+            }));
+        }
         Ok(CubisSolution {
             x: best.x,
             lb,

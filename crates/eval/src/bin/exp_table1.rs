@@ -1,7 +1,13 @@
-//! Regenerates T1 (see DESIGN.md §4).
+//! Regenerates T1 (see DESIGN.md §4). Set CUBIS_TRACE=1 (or a path)
+//! to also capture a solve journal (default `table1.trace.json`);
+//! render it with `cubis-xtask trace-report`.
+
+use cubis_eval::trace::{self, TraceSink};
 
 fn main() {
-    cubis_eval::experiments::table1::run()
+    let sink = TraceSink::from_env("table1.trace.json");
+    cubis_eval::experiments::table1::run_traced(&trace::recorder_or_null(sink.as_ref()))
         .expect("experiment failed")
         .print();
+    trace::finish(sink.as_ref());
 }

@@ -1,15 +1,21 @@
 //! Runs the full experiment suite in DESIGN.md §4 order, printing the
 //! markdown blocks EXPERIMENTS.md records and writing the same tables
-//! to `results.json`. Set CUBIS_FULL=1 for paper-scale sweeps.
+//! to `results.json`. Set CUBIS_FULL=1 for paper-scale sweeps; set
+//! CUBIS_TRACE=1 (or a path) to also capture a solve journal for the
+//! traced experiments (default `results.trace.json`, written alongside
+//! `results.json`; render with `cubis-xtask trace-report`).
 
 use cubis_eval::experiments::{self, Profile};
 use cubis_eval::report::{write_json, Report};
+use cubis_eval::trace::{self, TraceSink};
 
 fn main() {
     let p = Profile::from_env();
     eprintln!("profile: {p:?} (set CUBIS_FULL=1 for full sweeps)\n");
+    let sink = TraceSink::from_env("results.trace.json");
+    let recorder = trace::recorder_or_null(sink.as_ref());
     let reports: Vec<Report> = vec![
-        experiments::table1::run(),
+        experiments::table1::run_traced(&recorder),
         experiments::quality_delta::run(p),
         experiments::quality_targets::run(p),
         experiments::runtime_targets::run(p),
@@ -31,4 +37,5 @@ fn main() {
         Ok(()) => eprintln!("wrote results.json"),
         Err(e) => eprintln!("could not write results.json: {e}"),
     }
+    trace::finish(sink.as_ref());
 }

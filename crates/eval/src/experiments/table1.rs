@@ -9,15 +9,23 @@ use crate::fixtures::{table1_game, table1_model};
 use crate::report::Report;
 use cubis_core::{RobustProblem, SolveError};
 use cubis_solvers::solve_midpoint_params;
+use cubis_trace::SharedRecorder;
 
 /// Run the experiment.
 pub fn run() -> Result<Report, SolveError> {
+    run_traced(&SharedRecorder::null())
+}
+
+/// Run the experiment with an observability recorder attached to both
+/// CUBIS solves (see [`crate::trace`]); `run` is this with the null
+/// recorder.
+pub fn run_traced(recorder: &SharedRecorder) -> Result<Report, SolveError> {
     let game = table1_game();
     let model = table1_model();
     let p = RobustProblem::new(&game, &model);
 
-    let milp = super::cubis_milp(20, 1e-3).solve(&p)?;
-    let dp = super::cubis_dp(200, 1e-3).solve(&p)?;
+    let milp = super::cubis_milp(20, 1e-3).with_recorder(recorder.clone()).solve(&p)?;
+    let dp = super::cubis_dp(200, 1e-3).with_recorder(recorder.clone()).solve(&p)?;
     let mid = solve_midpoint_params(&game, &model, 200, 1e-3)?;
     let wc_mid = p.worst_case(&mid).utility;
 

@@ -21,3 +21,4 @@ pub mod experiments;
 pub mod fixtures;
 pub mod metrics;
 pub mod report;
+pub mod trace;

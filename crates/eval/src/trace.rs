@@ -1,0 +1,95 @@
+//! Optional solve-journal capture for the experiment binaries.
+//!
+//! Tracing is off by default so published timings are unperturbed. Set
+//! the `CUBIS_TRACE` environment variable to opt in: `CUBIS_TRACE=1`
+//! writes the journal to the experiment's default path (alongside
+//! `results.json`), any other value is used as the output path. Render
+//! a captured journal with `cargo run -p cubis-xtask -- trace-report
+//! <path>`.
+
+use std::sync::Arc;
+
+use cubis_trace::{JournalRecorder, SharedRecorder};
+
+/// A journal recorder plus the path its journal will be written to.
+///
+/// Constructed from the environment by [`TraceSink::from_env`]; the
+/// experiment attaches [`TraceSink::recorder`] to its solvers and calls
+/// [`TraceSink::write`] once the run finishes.
+#[derive(Debug)]
+pub struct TraceSink {
+    recorder: Arc<JournalRecorder>,
+    path: String,
+}
+
+impl TraceSink {
+    /// Build a sink from `CUBIS_TRACE`, or `None` when tracing is off.
+    ///
+    /// `CUBIS_TRACE=1` (or `true`) selects `default_path`; any other
+    /// non-empty value is taken as the output path verbatim.
+    pub fn from_env(default_path: &str) -> Option<TraceSink> {
+        let value = std::env::var("CUBIS_TRACE").ok()?;
+        let path = match value.as_str() {
+            "" | "0" | "false" => return None,
+            "1" | "true" => default_path.to_string(),
+            other => other.to_string(),
+        };
+        Some(TraceSink { recorder: Arc::new(JournalRecorder::new()), path })
+    }
+
+    /// The recorder handle to attach to solvers (cheap to clone).
+    pub fn recorder(&self) -> SharedRecorder {
+        SharedRecorder::new(self.recorder.clone())
+    }
+
+    /// Write the journal captured so far to the sink's path and return
+    /// that path.
+    pub fn write(&self) -> std::io::Result<&str> {
+        std::fs::write(&self.path, self.recorder.snapshot().to_json())?;
+        Ok(&self.path)
+    }
+}
+
+/// The recorder an experiment should attach: the sink's when tracing
+/// is on, the inert null recorder otherwise.
+pub fn recorder_or_null(sink: Option<&TraceSink>) -> SharedRecorder {
+    sink.map(TraceSink::recorder).unwrap_or_else(SharedRecorder::null)
+}
+
+/// Write the sink's journal (if any), reporting the outcome on stderr
+/// the same way `run_all` reports `results.json`.
+pub fn finish(sink: Option<&TraceSink>) {
+    if let Some(s) = sink {
+        match s.write() {
+            Ok(path) => eprintln!("wrote trace journal {path}"),
+            Err(e) => eprintln!("could not write trace journal: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubis_trace::Journal;
+
+    #[test]
+    fn recorder_or_null_defaults_to_inert() {
+        assert!(!recorder_or_null(None).enabled());
+    }
+
+    #[test]
+    fn sink_round_trips_a_journal_to_disk() {
+        let sink = TraceSink {
+            recorder: Arc::new(JournalRecorder::new()),
+            path: std::env::temp_dir()
+                .join("cubis_eval_trace_sink_test.json")
+                .to_string_lossy()
+                .into_owned(),
+        };
+        sink.recorder().counter("demo.counter", 3);
+        let path = sink.write().unwrap().to_string();
+        let journal = Journal::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(journal.counter_totals().get("demo.counter"), Some(&3));
+        let _ = std::fs::remove_file(&path);
+    }
+}

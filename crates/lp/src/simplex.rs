@@ -53,6 +53,11 @@ pub struct LpOptions {
     pub max_iterations: Option<usize>,
     /// Consecutive degenerate pivots before switching to Bland's rule.
     pub bland_after: usize,
+    /// Observability sink. Disabled by default; when enabled, [`solve`]
+    /// reports `lp.solves`, `lp.pivots` and `lp.refactorizations`
+    /// counters plus an `lp.solve` span per call (aggregates only — the
+    /// per-pivot hot loop is never instrumented).
+    pub recorder: cubis_trace::SharedRecorder,
 }
 
 impl Default for LpOptions {
@@ -63,6 +68,7 @@ impl Default for LpOptions {
             feas_tol: 1e-7,
             max_iterations: None,
             bland_after: 64,
+            recorder: cubis_trace::SharedRecorder::null(),
         }
     }
 }
@@ -110,6 +116,8 @@ struct Tableau {
     /// Pristine right-hand side of the scaled canonical system.
     orig_rhs: Vec<f64>,
     iterations: usize,
+    /// Successful refactorizations performed on this tableau.
+    refactorizations: usize,
     /// Pivots since the last refactorization.
     pivots_since_refactor: usize,
     /// Tableau-entry magnitude above which we refactorize (error
@@ -285,6 +293,7 @@ impl Tableau {
             orig,
             orig_rhs,
             iterations: 0,
+            refactorizations: 0,
             pivots_since_refactor: 0,
             refactor_every: REFACTOR_EVERY,
         }
@@ -328,6 +337,7 @@ impl Tableau {
         }
         self.t = t;
         self.pivots_since_refactor = 0;
+        self.refactorizations += 1;
         true
     }
 
@@ -697,10 +707,20 @@ impl Tableau {
 /// retried once in a conservative mode with frequent refactorization
 /// before an error is surfaced.
 pub fn solve(p: &LpProblem, opts: &LpOptions) -> Result<LpSolution, LpError> {
-    match solve_once(p, opts, false) {
+    let _span = opts.recorder.span("lp.solve");
+    let out = match solve_once(p, opts, false) {
         Err(LpError::Numerical { .. }) => solve_once(p, opts, true),
         other => other,
+    };
+    if opts.recorder.enabled() {
+        opts.recorder.counter("lp.solves", 1);
+        if let Ok(sol) = &out {
+            opts.recorder.counter("lp.pivots", sol.iterations as u64);
+            opts.recorder
+                .counter("lp.refactorizations", sol.refactorizations as u64);
+        }
     }
+    out
 }
 
 fn solve_once(p: &LpProblem, opts: &LpOptions, safe: bool) -> Result<LpSolution, LpError> {
@@ -720,7 +740,7 @@ fn solve_once(p: &LpProblem, opts: &LpOptions, safe: bool) -> Result<LpSolution,
         let status = tab.optimize(opts, max_iters);
         match status {
             LpStatus::IterationLimit => {
-                return Ok(empty_solution(p, LpStatus::IterationLimit, tab.iterations))
+                return Ok(empty_solution(p, LpStatus::IterationLimit, &tab))
             }
             LpStatus::Unbounded => {
                 // Phase-1 objective is bounded below by 0; unbounded here
@@ -740,7 +760,7 @@ fn solve_once(p: &LpProblem, opts: &LpOptions, safe: bool) -> Result<LpSolution,
             }
         }
         if tab.objective() > opts.feas_tol {
-            return Ok(empty_solution(p, LpStatus::Infeasible, tab.iterations));
+            return Ok(empty_solution(p, LpStatus::Infeasible, &tab));
         }
         // Freeze artificials at zero so phase 2 cannot reuse them.
         for j in tab.art_start..ncols {
@@ -823,9 +843,9 @@ fn solve_once(p: &LpProblem, opts: &LpOptions, safe: bool) -> Result<LpSolution,
     let status = tab.optimize(opts, max_iters);
     match status {
         LpStatus::IterationLimit => {
-            return Ok(empty_solution(p, LpStatus::IterationLimit, tab.iterations))
+            return Ok(empty_solution(p, LpStatus::IterationLimit, &tab))
         }
-        LpStatus::Unbounded => return Ok(empty_solution(p, LpStatus::Unbounded, tab.iterations)),
+        LpStatus::Unbounded => return Ok(empty_solution(p, LpStatus::Unbounded, &tab)),
         LpStatus::Optimal => {}
         LpStatus::Infeasible => {
             // Phase 2 starts from the feasible basis phase 1 certified;
@@ -878,6 +898,7 @@ fn solve_once(p: &LpProblem, opts: &LpOptions, safe: bool) -> Result<LpSolution,
         x,
         duals,
         iterations: tab.iterations,
+        refactorizations: tab.refactorizations,
     })
 }
 
@@ -905,12 +926,13 @@ fn problem_scale(p: &LpProblem) -> f64 {
     scale
 }
 
-fn empty_solution(p: &LpProblem, status: LpStatus, iterations: usize) -> LpSolution {
+fn empty_solution(p: &LpProblem, status: LpStatus, tab: &Tableau) -> LpSolution {
     LpSolution {
         status,
         objective: f64::NAN,
         x: vec![f64::NAN; p.num_vars()],
         duals: vec![f64::NAN; p.num_constraints()],
-        iterations,
+        iterations: tab.iterations,
+        refactorizations: tab.refactorizations,
     }
 }

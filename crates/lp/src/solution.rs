@@ -29,6 +29,10 @@ pub struct LpSolution {
     pub duals: Vec<f64>,
     /// Simplex iterations used across both phases.
     pub iterations: usize,
+    /// Basis refactorizations performed (numerical-drift repairs; see
+    /// `Tableau::refactorize` in the `simplex` module). A high count
+    /// relative to `iterations` signals an ill-conditioned instance.
+    pub refactorizations: usize,
 }
 
 impl LpSolution {

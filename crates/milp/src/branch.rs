@@ -2,8 +2,11 @@
 
 use crate::MilpProblem;
 use cubis_lp::{solve, LpOptions, LpSolution, LpStatus, Sense};
+use cubis_trace::{BbSolveEvent, Event};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::AtomicUsize;
+use std::time::Instant;
 
 /// Branching variable selection rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +48,13 @@ pub struct MilpOptions {
     pub root_heuristic: bool,
     /// Number of rayon worker tasks (1 = fully sequential/deterministic).
     pub threads: usize,
+    /// Observability sink. Disabled by default; when enabled,
+    /// [`solve_milp`] emits a `bb.solve` span, `bb.solves`/`bb.nodes`
+    /// counters and one structured branch-and-bound summary event per
+    /// call (nodes, LP iterations, incumbent improvements, per-worker
+    /// node counts). Unless `lp.recorder` was set separately, the
+    /// recorder also propagates to the node LP solves.
+    pub recorder: cubis_trace::SharedRecorder,
 }
 
 impl Default for MilpOptions {
@@ -61,8 +71,21 @@ impl Default for MilpOptions {
             target: None,
             root_heuristic: true,
             threads: 1,
+            recorder: cubis_trace::SharedRecorder::null(),
         }
     }
+}
+
+/// Per-solve observability scratch shared between the sequential and
+/// parallel search loops. Only allocated when a recorder is attached.
+#[derive(Default)]
+pub(crate) struct BbTrace {
+    /// Times the incumbent strictly improved during the search
+    /// (warm-start seeding not counted).
+    pub incumbent_updates: AtomicUsize,
+    /// Nodes processed per parallel worker; left empty by the
+    /// sequential loop.
+    pub worker_nodes: parking_lot::Mutex<Vec<u64>>,
 }
 
 /// Termination status of a MILP solve.
@@ -311,9 +334,51 @@ fn rounding_heuristic(
 /// strategy. With `opts.threads > 1` the node loop runs on a rayon pool
 /// (results remain exact; node order becomes nondeterministic).
 pub fn solve_milp(prob: &MilpProblem, opts: &MilpOptions) -> Result<MilpSolution, MilpError> {
-    if opts.threads > 1 {
-        return crate::parallel::solve_parallel(prob, opts);
+    if !opts.recorder.enabled() {
+        return dispatch(prob, opts, None);
     }
+    // Propagate the recorder into the node LPs unless the caller
+    // already routed them elsewhere.
+    let mut opts = opts.clone();
+    if !opts.lp.recorder.enabled() {
+        opts.lp.recorder = opts.recorder.clone();
+    }
+    let trace = BbTrace::default();
+    let _span = opts.recorder.span("bb.solve");
+    let t0 = Instant::now();
+    let out = dispatch(prob, &opts, Some(&trace));
+    if let Ok(sol) = &out {
+        opts.recorder.counter("bb.solves", 1);
+        opts.recorder.counter("bb.nodes", sol.nodes as u64);
+        opts.recorder.record(Event::BbSolve(BbSolveEvent {
+            nodes: sol.nodes,
+            lp_iterations: sol.lp_iterations,
+            incumbent_updates: trace
+                .incumbent_updates
+                .load(std::sync::atomic::Ordering::Acquire),
+            worker_nodes: std::mem::take(&mut *trace.worker_nodes.lock()),
+            dur_ns: t0.elapsed().as_nanos() as u64,
+        }));
+    }
+    out
+}
+
+fn dispatch(
+    prob: &MilpProblem,
+    opts: &MilpOptions,
+    trace: Option<&BbTrace>,
+) -> Result<MilpSolution, MilpError> {
+    if opts.threads > 1 {
+        return crate::parallel::solve_parallel(prob, opts, trace);
+    }
+    solve_sequential(prob, opts, trace)
+}
+
+fn solve_sequential(
+    prob: &MilpProblem,
+    opts: &MilpOptions,
+    trace: Option<&BbTrace>,
+) -> Result<MilpSolution, MilpError> {
     let sense = prob.lp.sense();
 
     let mut incumbent: Option<(f64, Vec<f64>)> = None;
@@ -389,6 +454,10 @@ pub fn solve_milp(prob: &MilpProblem, opts: &MilpOptions) -> Result<MilpSolution
                 if score > inc_score {
                     inc_score = score;
                     incumbent = Some((obj, x));
+                    if let Some(t) = trace {
+                        t.incumbent_updates
+                            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+                    }
                 }
                 if target_score.is_some_and(|ts| inc_score >= ts) {
                     best_bound_seen = best_bound_seen.max(inc_score);
@@ -407,6 +476,10 @@ pub fn solve_milp(prob: &MilpProblem, opts: &MilpOptions) -> Result<MilpSolution
                             if score > inc_score {
                                 inc_score = score;
                                 incumbent = Some((obj, x));
+                                if let Some(t) = trace {
+                                    t.incumbent_updates
+                                        .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+                                }
                             }
                         }
                         if target_score.is_some_and(|ts| inc_score >= ts) {

@@ -12,8 +12,8 @@
 //! nondeterministic across runs.
 
 use crate::branch::{
-    evaluate_node, finish, gap_threshold, normalize, MilpError, MilpOptions, MilpSolution,
-    MilpStatus, Node, NodeOutcome,
+    evaluate_node, finish, gap_threshold, normalize, BbTrace, MilpError, MilpOptions,
+    MilpSolution, MilpStatus, Node, NodeOutcome,
 };
 use crate::MilpProblem;
 use parking_lot::Mutex;
@@ -61,6 +61,7 @@ fn raise_f64(a: &AtomicU64, v: f64) {
 pub(crate) fn solve_parallel(
     prob: &MilpProblem,
     opts: &MilpOptions,
+    trace: Option<&BbTrace>,
 ) -> Result<MilpSolution, MilpError> {
     let sense = prob.lp.sense();
     let shared = Shared {
@@ -91,7 +92,7 @@ pub(crate) fn solve_parallel(
     let workers = opts.threads.max(1);
     rayon::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| worker_loop(prob, opts, &shared));
+            s.spawn(|_| worker_loop(prob, opts, &shared, trace));
         }
     });
 
@@ -123,7 +124,26 @@ pub(crate) fn solve_parallel(
     )
 }
 
-fn worker_loop(prob: &MilpProblem, opts: &MilpOptions, shared: &Shared) {
+fn worker_loop(
+    prob: &MilpProblem,
+    opts: &MilpOptions,
+    shared: &Shared,
+    trace: Option<&BbTrace>,
+) {
+    let mut my_nodes = 0u64;
+    worker_loop_inner(prob, opts, shared, trace, &mut my_nodes);
+    if let Some(t) = trace {
+        t.worker_nodes.lock().push(my_nodes);
+    }
+}
+
+fn worker_loop_inner(
+    prob: &MilpProblem,
+    opts: &MilpOptions,
+    shared: &Shared,
+    trace: Option<&BbTrace>,
+    my_nodes: &mut u64,
+) {
     let sense = prob.lp.sense();
     let target_score = opts.target.map(|t| normalize(sense, t));
     loop {
@@ -173,6 +193,7 @@ fn worker_loop(prob: &MilpProblem, opts: &MilpOptions, shared: &Shared) {
             shared.outstanding.fetch_sub(1, Ordering::AcqRel);
             return;
         }
+        *my_nodes += 1;
 
         match evaluate_node(prob, opts, &node, inc_score) {
             Err(e) => {
@@ -195,6 +216,9 @@ fn worker_loop(prob: &MilpProblem, opts: &MilpOptions, shared: &Shared) {
                             if score > current {
                                 raise_f64(&shared.inc_score_bits, score);
                                 *inc = Some((obj, x));
+                                if let Some(t) = trace {
+                                    t.incumbent_updates.fetch_add(1, Ordering::AcqRel);
+                                }
                             }
                         }
                         if target_score.is_some_and(|ts| score >= ts) {

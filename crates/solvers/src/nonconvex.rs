@@ -33,6 +33,10 @@ pub struct NonconvexOptions {
     pub seed: u64,
     /// Run restarts on the rayon pool.
     pub parallel: bool,
+    /// Observability sink. Disabled by default; when enabled,
+    /// [`maximize_over_coverage`] emits a `pg.solve` span plus
+    /// `pg.starts` and `pg.iterations` counters per call.
+    pub recorder: cubis_trace::SharedRecorder,
 }
 
 impl Default for NonconvexOptions {
@@ -45,6 +49,7 @@ impl Default for NonconvexOptions {
             tol: 1e-8,
             seed: 0,
             parallel: true,
+            recorder: cubis_trace::SharedRecorder::null(),
         }
     }
 }
@@ -62,7 +67,8 @@ where
     F: Fn(&[f64]) -> f64 + Sync,
 {
     assert!(t > 0 && opts.starts > 0, "maximize_over_coverage: empty search");
-    let run_start = |s: usize| -> (Vec<f64>, f64) {
+    let _span = opts.recorder.span("pg.solve");
+    let run_start = |s: usize| -> (Vec<f64>, f64, usize) {
         let mut rng = ChaCha8Rng::seed_from_u64(opts.seed.wrapping_add(s as u64));
         let x0: Vec<f64> = if s == 0 {
             // First start from the uniform strategy (good neutral seed).
@@ -73,28 +79,37 @@ where
         };
         ascend(x0, resources, &objective, opts)
     };
-    let results: Vec<(Vec<f64>, f64)> = if opts.parallel {
+    let results: Vec<(Vec<f64>, f64, usize)> = if opts.parallel {
         (0..opts.starts).into_par_iter().map(run_start).collect()
     } else {
         (0..opts.starts).map(run_start).collect()
     };
+    if opts.recorder.enabled() {
+        opts.recorder.counter("pg.starts", opts.starts as u64);
+        let iters: usize = results.iter().map(|r| r.2).sum();
+        opts.recorder.counter("pg.iterations", iters as u64);
+    }
     results
         .into_iter()
+        .map(|(x, v, _)| (x, v))
         .max_by(|a, b| a.1.total_cmp(&b.1))
         // cubis:allow(NUM02): non-empty by the `opts.starts > 0` assert
         // at the top of this function.
         .expect("at least one start")
 }
 
+/// One projected-gradient start; returns `(x, f(x), iterations used)`.
 fn ascend<F: Fn(&[f64]) -> f64>(
     mut x: Vec<f64>,
     resources: f64,
     objective: &F,
     opts: &NonconvexOptions,
-) -> (Vec<f64>, f64) {
+) -> (Vec<f64>, f64, usize) {
     let t = x.len();
     let mut fx = objective(&x);
+    let mut iters = 0usize;
     for _ in 0..opts.max_iters {
+        iters += 1;
         // Forward-difference gradient (projected afterwards, so the raw
         // coordinate gradient is fine).
         let mut grad = vec![0.0; t];
@@ -133,7 +148,7 @@ fn ascend<F: Fn(&[f64]) -> f64>(
             break;
         }
     }
-    (x, fx)
+    (x, fx, iters)
 }
 
 /// Maximize the exact worst-case utility of the robust problem by

@@ -29,11 +29,21 @@ pub struct WorstTypeOptions {
     pub epsilon: f64,
     /// Branch-and-bound options for the per-step MILP.
     pub milp: MilpOptions,
+    /// Observability sink. Disabled by default; when enabled,
+    /// [`solve_worst_type`] emits a `worst_type.solve` span and a
+    /// `worst_type.steps` counter, and propagates the recorder into
+    /// the per-step MILPs unless `milp.recorder` was set separately.
+    pub recorder: cubis_trace::SharedRecorder,
 }
 
 impl Default for WorstTypeOptions {
     fn default() -> Self {
-        Self { k: 5, epsilon: 1e-2, milp: MilpOptions::default() }
+        Self {
+            k: 5,
+            epsilon: 1e-2,
+            milp: MilpOptions::default(),
+            recorder: cubis_trace::SharedRecorder::null(),
+        }
     }
 }
 
@@ -65,12 +75,25 @@ pub fn solve_worst_type(
     opts: &WorstTypeOptions,
 ) -> Result<Vec<f64>, WorstTypeError> {
     assert!(!types.is_empty(), "solve_worst_type: no types");
+    let _span = opts.recorder.span("worst_type.solve");
+    // Propagate the recorder into the per-step MILPs unless the caller
+    // routed them elsewhere.
+    let mut owned;
+    let opts = if opts.recorder.enabled() && !opts.milp.recorder.enabled() {
+        owned = opts.clone();
+        owned.milp.recorder = opts.recorder.clone();
+        &owned
+    } else {
+        opts
+    };
     let mut lo = game.min_defender_utility();
     let mut hi = game.max_defender_utility();
     let mut best = max_min_slack(game, types, opts, lo)?.1;
+    opts.recorder.counter("worst_type.steps", 1);
     while hi - lo > opts.epsilon {
         let mid = 0.5 * (lo + hi);
         let (slack, x) = max_min_slack(game, types, opts, mid)?;
+        opts.recorder.counter("worst_type.steps", 1);
         if slack >= -1e-9 {
             lo = mid;
             best = x;

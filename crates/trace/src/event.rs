@@ -1,0 +1,447 @@
+//! Solve-event model: what a recorder can capture.
+//!
+//! Events are deliberately flat and self-describing so a journal can be
+//! post-processed without access to the solver that produced it. Each
+//! variant carries every number it reports inline; nothing references
+//! solver state.
+
+use crate::json::{JsonError, JsonValue};
+
+/// One step of the CUBIS binary search over the defender-utility value
+/// `c` (Propositions 1–2 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinaryStepEvent {
+    /// 1-based step index (step 1 is the feasibility anchor at the
+    /// lower end of the utility range).
+    pub step: usize,
+    /// The probed utility value `c`.
+    pub c: f64,
+    /// The inner maximization value `max_x G_c(x)` returned for this
+    /// `c`.
+    pub g_value: f64,
+    /// Whether `c` was accepted as achievable (`g_value >= -g_tol`).
+    pub feasible: bool,
+    /// Lower bound after processing this step.
+    pub lb: f64,
+    /// Upper bound after processing this step.
+    pub ub: f64,
+}
+
+/// One inner-solver invocation (`max_x G_c(x)`), with the backend's
+/// own work counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InnerSolveEvent {
+    /// Backend name as reported by `InnerSolver::name` ("milp", "dp",
+    /// "greedy", ...).
+    pub backend: String,
+    /// The utility value the inner problem was solved at.
+    pub c: f64,
+    /// Piecewise-linear resolution `K` (segment count), when the
+    /// backend has one.
+    pub k: Option<usize>,
+    /// Branch-and-bound nodes explored by this call.
+    pub milp_nodes: usize,
+    /// Simplex iterations across all LP relaxations of this call.
+    pub lp_iterations: usize,
+    /// Objective evaluations (piecewise-linear breakpoints, DP cells,
+    /// greedy probes).
+    pub evaluations: usize,
+    /// Wall-clock duration of the call in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// One branch-and-bound solve in `cubis-milp`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BbSolveEvent {
+    /// Nodes explored.
+    pub nodes: usize,
+    /// Simplex iterations summed over all node relaxations.
+    pub lp_iterations: usize,
+    /// Number of times the incumbent improved.
+    pub incumbent_updates: usize,
+    /// Nodes processed per worker (empty for a sequential solve). The
+    /// spread between entries measures parallel utilization.
+    pub worker_nodes: Vec<u64>,
+    /// Wall-clock duration of the solve in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Final outcome of a CUBIS solve, recorded once per `solve` call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveSummaryEvent {
+    /// Final binary-search lower bound.
+    pub lb: f64,
+    /// Final binary-search upper bound.
+    pub ub: f64,
+    /// Exact worst-case utility of the returned strategy.
+    pub worst_case: f64,
+    /// Number of binary-search steps taken.
+    pub binary_steps: usize,
+}
+
+/// Anything a [`crate::Recorder`] can capture.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A named timed region, emitted once when the region ends.
+    /// `dur_ns` is measured by the span guard itself, so the region
+    /// started at roughly `t_ns - dur_ns` on the journal clock.
+    Span {
+        /// Dotted phase name, e.g. `"cubis.solve"` or `"lp.solve"`.
+        name: String,
+        /// Region duration in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A monotonic counter increment.
+    Counter {
+        /// Dotted counter name, e.g. `"lp.pivots"`.
+        name: String,
+        /// Amount added.
+        delta: u64,
+    },
+    /// A binary-search step (see [`BinaryStepEvent`]).
+    BinaryStep(BinaryStepEvent),
+    /// An inner-solver call (see [`InnerSolveEvent`]).
+    InnerSolve(InnerSolveEvent),
+    /// A branch-and-bound solve (see [`BbSolveEvent`]).
+    BbSolve(BbSolveEvent),
+    /// A completed CUBIS solve (see [`SolveSummaryEvent`]).
+    SolveSummary(SolveSummaryEvent),
+}
+
+/// An [`Event`] stamped with its offset from the journal epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// Nanoseconds since the owning journal's epoch.
+    pub t_ns: u64,
+    /// The recorded event.
+    pub event: Event,
+}
+
+/// Encode a float that may be non-finite: JSON has no literal for NaN
+/// or the infinities, so those become tag strings.
+fn num(v: f64) -> JsonValue {
+    if v.is_finite() {
+        JsonValue::Num(v)
+    } else if v.is_nan() {
+        JsonValue::Str("NaN".to_string())
+    } else if v > 0.0 {
+        JsonValue::Str("Infinity".to_string())
+    } else {
+        JsonValue::Str("-Infinity".to_string())
+    }
+}
+
+fn unum(v: u64) -> JsonValue {
+    JsonValue::Num(v as f64)
+}
+
+fn schema(message: impl Into<String>) -> JsonError {
+    JsonError {
+        offset: 0,
+        message: message.into(),
+    }
+}
+
+/// Decode a float written by [`num`].
+fn read_num(v: &JsonValue, field: &str) -> Result<f64, JsonError> {
+    match v {
+        JsonValue::Num(x) => Ok(*x),
+        JsonValue::Str(s) => match s.as_str() {
+            "NaN" => Ok(f64::NAN),
+            "Infinity" => Ok(f64::INFINITY),
+            "-Infinity" => Ok(f64::NEG_INFINITY),
+            _ => Err(schema(format!("field '{field}': unknown float tag '{s}'"))),
+        },
+        _ => Err(schema(format!("field '{field}': expected a number"))),
+    }
+}
+
+fn field<'a>(obj: &'a JsonValue, name: &str) -> Result<&'a JsonValue, JsonError> {
+    obj.get(name)
+        .ok_or_else(|| schema(format!("missing field '{name}'")))
+}
+
+fn f64_field(obj: &JsonValue, name: &str) -> Result<f64, JsonError> {
+    read_num(field(obj, name)?, name)
+}
+
+fn u64_field(obj: &JsonValue, name: &str) -> Result<u64, JsonError> {
+    field(obj, name)?
+        .as_u64()
+        .ok_or_else(|| schema(format!("field '{name}': expected a non-negative integer")))
+}
+
+fn usize_field(obj: &JsonValue, name: &str) -> Result<usize, JsonError> {
+    field(obj, name)?
+        .as_usize()
+        .ok_or_else(|| schema(format!("field '{name}': expected a non-negative integer")))
+}
+
+fn bool_field(obj: &JsonValue, name: &str) -> Result<bool, JsonError> {
+    field(obj, name)?
+        .as_bool()
+        .ok_or_else(|| schema(format!("field '{name}': expected a boolean")))
+}
+
+fn str_field(obj: &JsonValue, name: &str) -> Result<String, JsonError> {
+    Ok(field(obj, name)?
+        .as_str()
+        .ok_or_else(|| schema(format!("field '{name}': expected a string")))?
+        .to_string())
+}
+
+impl TimedEvent {
+    /// Encode as a flat JSON object with a `"type"` discriminant.
+    pub fn to_value(&self) -> JsonValue {
+        let mut pairs = vec![("t".to_string(), unum(self.t_ns))];
+        match &self.event {
+            Event::Span { name, dur_ns } => {
+                pairs.push(("type".to_string(), JsonValue::Str("span".to_string())));
+                pairs.push(("name".to_string(), JsonValue::Str(name.clone())));
+                pairs.push(("dur_ns".to_string(), unum(*dur_ns)));
+            }
+            Event::Counter { name, delta } => {
+                pairs.push(("type".to_string(), JsonValue::Str("counter".to_string())));
+                pairs.push(("name".to_string(), JsonValue::Str(name.clone())));
+                pairs.push(("delta".to_string(), unum(*delta)));
+            }
+            Event::BinaryStep(e) => {
+                pairs.push(("type".to_string(), JsonValue::Str("binary_step".to_string())));
+                pairs.push(("step".to_string(), unum(e.step as u64)));
+                pairs.push(("c".to_string(), num(e.c)));
+                pairs.push(("g_value".to_string(), num(e.g_value)));
+                pairs.push(("feasible".to_string(), JsonValue::Bool(e.feasible)));
+                pairs.push(("lb".to_string(), num(e.lb)));
+                pairs.push(("ub".to_string(), num(e.ub)));
+            }
+            Event::InnerSolve(e) => {
+                pairs.push(("type".to_string(), JsonValue::Str("inner_solve".to_string())));
+                pairs.push(("backend".to_string(), JsonValue::Str(e.backend.clone())));
+                pairs.push(("c".to_string(), num(e.c)));
+                pairs.push((
+                    "k".to_string(),
+                    match e.k {
+                        Some(k) => unum(k as u64),
+                        None => JsonValue::Null,
+                    },
+                ));
+                pairs.push(("milp_nodes".to_string(), unum(e.milp_nodes as u64)));
+                pairs.push(("lp_iterations".to_string(), unum(e.lp_iterations as u64)));
+                pairs.push(("evaluations".to_string(), unum(e.evaluations as u64)));
+                pairs.push(("dur_ns".to_string(), unum(e.dur_ns)));
+            }
+            Event::BbSolve(e) => {
+                pairs.push(("type".to_string(), JsonValue::Str("bb_solve".to_string())));
+                pairs.push(("nodes".to_string(), unum(e.nodes as u64)));
+                pairs.push(("lp_iterations".to_string(), unum(e.lp_iterations as u64)));
+                pairs.push((
+                    "incumbent_updates".to_string(),
+                    unum(e.incumbent_updates as u64),
+                ));
+                pairs.push((
+                    "worker_nodes".to_string(),
+                    JsonValue::Arr(e.worker_nodes.iter().map(|&n| unum(n)).collect()),
+                ));
+                pairs.push(("dur_ns".to_string(), unum(e.dur_ns)));
+            }
+            Event::SolveSummary(e) => {
+                pairs.push((
+                    "type".to_string(),
+                    JsonValue::Str("solve_summary".to_string()),
+                ));
+                pairs.push(("lb".to_string(), num(e.lb)));
+                pairs.push(("ub".to_string(), num(e.ub)));
+                pairs.push(("worst_case".to_string(), num(e.worst_case)));
+                pairs.push(("binary_steps".to_string(), unum(e.binary_steps as u64)));
+            }
+        }
+        JsonValue::Obj(pairs)
+    }
+
+    /// Decode an object written by [`TimedEvent::to_value`].
+    pub fn from_value(v: &JsonValue) -> Result<TimedEvent, JsonError> {
+        let t_ns = u64_field(v, "t")?;
+        let kind = str_field(v, "type")?;
+        let event = match kind.as_str() {
+            "span" => Event::Span {
+                name: str_field(v, "name")?,
+                dur_ns: u64_field(v, "dur_ns")?,
+            },
+            "counter" => Event::Counter {
+                name: str_field(v, "name")?,
+                delta: u64_field(v, "delta")?,
+            },
+            "binary_step" => Event::BinaryStep(BinaryStepEvent {
+                step: usize_field(v, "step")?,
+                c: f64_field(v, "c")?,
+                g_value: f64_field(v, "g_value")?,
+                feasible: bool_field(v, "feasible")?,
+                lb: f64_field(v, "lb")?,
+                ub: f64_field(v, "ub")?,
+            }),
+            "inner_solve" => Event::InnerSolve(InnerSolveEvent {
+                backend: str_field(v, "backend")?,
+                c: f64_field(v, "c")?,
+                k: match field(v, "k")? {
+                    JsonValue::Null => None,
+                    other => Some(other.as_usize().ok_or_else(|| {
+                        schema("field 'k': expected null or a non-negative integer")
+                    })?),
+                },
+                milp_nodes: usize_field(v, "milp_nodes")?,
+                lp_iterations: usize_field(v, "lp_iterations")?,
+                evaluations: usize_field(v, "evaluations")?,
+                dur_ns: u64_field(v, "dur_ns")?,
+            }),
+            "bb_solve" => Event::BbSolve(BbSolveEvent {
+                nodes: usize_field(v, "nodes")?,
+                lp_iterations: usize_field(v, "lp_iterations")?,
+                incumbent_updates: usize_field(v, "incumbent_updates")?,
+                worker_nodes: field(v, "worker_nodes")?
+                    .as_arr()
+                    .ok_or_else(|| schema("field 'worker_nodes': expected an array"))?
+                    .iter()
+                    .map(|n| {
+                        n.as_u64().ok_or_else(|| {
+                            schema("field 'worker_nodes': expected non-negative integers")
+                        })
+                    })
+                    .collect::<Result<Vec<u64>, JsonError>>()?,
+                dur_ns: u64_field(v, "dur_ns")?,
+            }),
+            "solve_summary" => Event::SolveSummary(SolveSummaryEvent {
+                lb: f64_field(v, "lb")?,
+                ub: f64_field(v, "ub")?,
+                worst_case: f64_field(v, "worst_case")?,
+                binary_steps: usize_field(v, "binary_steps")?,
+            }),
+            other => return Err(schema(format!("unknown event type '{other}'"))),
+        };
+        Ok(TimedEvent { t_ns, event })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn round_trip(ev: TimedEvent) -> TimedEvent {
+        let text = ev.to_value().to_json_string();
+        TimedEvent::from_value(&parse(&text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let events = vec![
+            TimedEvent {
+                t_ns: 12,
+                event: Event::Span {
+                    name: "cubis.solve".to_string(),
+                    dur_ns: 99,
+                },
+            },
+            TimedEvent {
+                t_ns: 13,
+                event: Event::Counter {
+                    name: "lp.pivots".to_string(),
+                    delta: 41,
+                },
+            },
+            TimedEvent {
+                t_ns: 14,
+                event: Event::BinaryStep(BinaryStepEvent {
+                    step: 3,
+                    c: -1.25,
+                    g_value: 0.5,
+                    feasible: true,
+                    lb: -2.0,
+                    ub: -0.5,
+                }),
+            },
+            TimedEvent {
+                t_ns: 15,
+                event: Event::InnerSolve(InnerSolveEvent {
+                    backend: "milp".to_string(),
+                    c: -1.25,
+                    k: Some(20),
+                    milp_nodes: 7,
+                    lp_iterations: 120,
+                    evaluations: 336,
+                    dur_ns: 5_000,
+                }),
+            },
+            TimedEvent {
+                t_ns: 16,
+                event: Event::InnerSolve(InnerSolveEvent {
+                    backend: "dp".to_string(),
+                    c: 0.0,
+                    k: None,
+                    milp_nodes: 0,
+                    lp_iterations: 0,
+                    evaluations: 4_000,
+                    dur_ns: 800,
+                }),
+            },
+            TimedEvent {
+                t_ns: 17,
+                event: Event::BbSolve(BbSolveEvent {
+                    nodes: 31,
+                    lp_iterations: 420,
+                    incumbent_updates: 4,
+                    worker_nodes: vec![8, 9, 7, 7],
+                    dur_ns: 70_000,
+                }),
+            },
+            TimedEvent {
+                t_ns: 18,
+                event: Event::SolveSummary(SolveSummaryEvent {
+                    lb: -1.5,
+                    ub: -1.4995,
+                    worst_case: -1.4997,
+                    binary_steps: 14,
+                }),
+            },
+        ];
+        for ev in events {
+            assert_eq!(round_trip(ev.clone()), ev);
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip() {
+        let ev = TimedEvent {
+            t_ns: 0,
+            event: Event::BinaryStep(BinaryStepEvent {
+                step: 1,
+                c: f64::NEG_INFINITY,
+                g_value: f64::NAN,
+                feasible: false,
+                lb: f64::NEG_INFINITY,
+                ub: f64::INFINITY,
+            }),
+        };
+        let back = round_trip(ev);
+        match back.event {
+            Event::BinaryStep(e) => {
+                assert!(e.c == f64::NEG_INFINITY);
+                assert!(e.g_value.is_nan());
+                assert!(e.ub == f64::INFINITY);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        let v = parse(r#"{"t": 0, "type": "mystery"}"#).unwrap();
+        assert!(TimedEvent::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn missing_field_is_rejected() {
+        let v = parse(r#"{"t": 0, "type": "span", "name": "x"}"#).unwrap();
+        let err = TimedEvent::from_value(&v).unwrap_err();
+        assert!(err.message.contains("dur_ns"), "{err}");
+    }
+}

@@ -1,0 +1,316 @@
+//! The [`Journal`]: an ordered, timestamped event log with JSON export
+//! and the aggregate views the `trace-report` renderer builds on.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::event::{BinaryStepEvent, Event, TimedEvent};
+use crate::json::{self, JsonError, JsonValue};
+use crate::recorder::Recorder;
+
+/// Journal format version written by [`Journal::to_json`].
+pub const FORMAT_VERSION: u64 = 1;
+
+/// A [`Recorder`] that appends every event, stamped against a
+/// creation-time epoch, to an in-memory log.
+///
+/// Share it as `Arc<JournalRecorder>` (wrapped in
+/// [`crate::SharedRecorder`]) while solving, then call
+/// [`JournalRecorder::snapshot`] to extract the [`Journal`].
+#[derive(Debug)]
+pub struct JournalRecorder {
+    epoch: Instant,
+    events: Mutex<Vec<TimedEvent>>,
+}
+
+impl Default for JournalRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JournalRecorder {
+    /// A new, empty journal whose clock starts now.
+    pub fn new() -> Self {
+        JournalRecorder {
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Copy the events captured so far into a [`Journal`].
+    pub fn snapshot(&self) -> Journal {
+        let events = match self.events.lock() {
+            Ok(guard) => guard.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        };
+        Journal { events }
+    }
+
+    /// Number of events captured so far.
+    pub fn len(&self) -> usize {
+        match self.events.lock() {
+            Ok(guard) => guard.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    /// Whether no events have been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Recorder for JournalRecorder {
+    fn record(&self, event: Event) {
+        let t_ns = self.epoch.elapsed().as_nanos() as u64;
+        if let Ok(mut guard) = self.events.lock() {
+            guard.push(TimedEvent { t_ns, event });
+        }
+        // A poisoned lock means another recording thread panicked; the
+        // journal is best-effort diagnostics, so drop the event rather
+        // than propagate the panic.
+    }
+}
+
+/// Errors produced when decoding a journal from JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// The input was not valid JSON.
+    Parse(JsonError),
+    /// The input was JSON but not a journal (wrong shape or version).
+    Schema(String),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Parse(e) => write!(f, "invalid JSON: {e}"),
+            JournalError::Schema(msg) => write!(f, "invalid journal: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Aggregate of one span name across a journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanTotal {
+    /// The span name.
+    pub name: String,
+    /// How many times the span was recorded.
+    pub count: usize,
+    /// Sum of recorded durations in nanoseconds. Summing durations is
+    /// well-defined even when same-named spans overlap across threads.
+    pub total_ns: u64,
+}
+
+/// An immutable, ordered log of [`TimedEvent`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Journal {
+    /// Events in recording order (`t_ns` is nondecreasing for events
+    /// recorded from a single thread).
+    pub events: Vec<TimedEvent>,
+}
+
+impl Journal {
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the journal holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The latest timestamp in the journal, i.e. the observed solve
+    /// wall-clock in nanoseconds (0 for an empty journal).
+    pub fn duration_ns(&self) -> u64 {
+        self.events.iter().map(|e| e.t_ns).max().unwrap_or(0)
+    }
+
+    /// Sum of every counter, keyed by name.
+    pub fn counter_totals(&self) -> BTreeMap<String, u64> {
+        let mut totals = BTreeMap::new();
+        for ev in &self.events {
+            if let Event::Counter { name, delta } = &ev.event {
+                *totals.entry(name.clone()).or_insert(0) += delta;
+            }
+        }
+        totals
+    }
+
+    /// Per-name span aggregates, sorted by descending total time.
+    pub fn span_totals(&self) -> Vec<SpanTotal> {
+        let mut map: BTreeMap<&str, (usize, u64)> = BTreeMap::new();
+        for ev in &self.events {
+            if let Event::Span { name, dur_ns } = &ev.event {
+                let entry = map.entry(name).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += dur_ns;
+            }
+        }
+        let mut totals: Vec<SpanTotal> = map
+            .into_iter()
+            .map(|(name, (count, total_ns))| SpanTotal {
+                name: name.to_string(),
+                count,
+                total_ns,
+            })
+            .collect();
+        totals.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+        totals
+    }
+
+    /// The binary-search steps, in recording order.
+    pub fn binary_steps(&self) -> Vec<&BinaryStepEvent> {
+        self.events
+            .iter()
+            .filter_map(|ev| match &ev.event {
+                Event::BinaryStep(step) => Some(step),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Serialize to the versioned JSON journal format.
+    pub fn to_json(&self) -> String {
+        let doc = JsonValue::Obj(vec![
+            (
+                "version".to_string(),
+                JsonValue::Num(FORMAT_VERSION as f64),
+            ),
+            (
+                "events".to_string(),
+                JsonValue::Arr(self.events.iter().map(TimedEvent::to_value).collect()),
+            ),
+        ]);
+        doc.to_json_string()
+    }
+
+    /// Parse a journal written by [`Journal::to_json`].
+    pub fn from_json(src: &str) -> Result<Journal, JournalError> {
+        let doc = json::parse(src).map_err(JournalError::Parse)?;
+        let version = doc
+            .get("version")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| JournalError::Schema("missing 'version'".to_string()))?;
+        if version != FORMAT_VERSION {
+            return Err(JournalError::Schema(format!(
+                "unsupported version {version} (this reader understands {FORMAT_VERSION})"
+            )));
+        }
+        let raw = doc
+            .get("events")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| JournalError::Schema("missing 'events' array".to_string()))?;
+        let events = raw
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                TimedEvent::from_value(v)
+                    .map_err(|e| JournalError::Schema(format!("event {i}: {}", e.message)))
+            })
+            .collect::<Result<Vec<TimedEvent>, JournalError>>()?;
+        Ok(Journal { events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{InnerSolveEvent, SolveSummaryEvent};
+    use crate::recorder::SharedRecorder;
+    use std::sync::Arc;
+
+    fn sample_journal() -> Journal {
+        let rec = Arc::new(JournalRecorder::new());
+        let shared = SharedRecorder::new(rec.clone());
+        shared.counter("lp.pivots", 10);
+        shared.counter("lp.pivots", 5);
+        shared.counter("bb.nodes", 3);
+        drop(shared.span("cubis.inner"));
+        drop(shared.span("cubis.inner"));
+        drop(shared.span("cubis.solve"));
+        shared.record(Event::BinaryStep(BinaryStepEvent {
+            step: 1,
+            c: -2.0,
+            g_value: 0.3,
+            feasible: true,
+            lb: -2.0,
+            ub: -1.0,
+        }));
+        shared.record(Event::InnerSolve(InnerSolveEvent {
+            backend: "dp".to_string(),
+            c: -2.0,
+            k: None,
+            milp_nodes: 0,
+            lp_iterations: 0,
+            evaluations: 100,
+            dur_ns: 42,
+        }));
+        shared.record(Event::SolveSummary(SolveSummaryEvent {
+            lb: -2.0,
+            ub: -1.0,
+            worst_case: -1.6,
+            binary_steps: 1,
+        }));
+        rec.snapshot()
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let journal = sample_journal();
+        let text = journal.to_json();
+        let back = Journal::from_json(&text).unwrap();
+        assert_eq!(back, journal);
+    }
+
+    #[test]
+    fn counter_totals_sum_by_name() {
+        let totals = sample_journal().counter_totals();
+        assert_eq!(totals.get("lp.pivots"), Some(&15));
+        assert_eq!(totals.get("bb.nodes"), Some(&3));
+    }
+
+    #[test]
+    fn span_totals_group_and_count() {
+        let totals = sample_journal().span_totals();
+        let inner = totals.iter().find(|t| t.name == "cubis.inner").unwrap();
+        assert_eq!(inner.count, 2);
+        assert!(totals.iter().any(|t| t.name == "cubis.solve"));
+    }
+
+    #[test]
+    fn binary_steps_are_extracted_in_order() {
+        let journal = sample_journal();
+        let steps = journal.binary_steps();
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].step, 1);
+    }
+
+    #[test]
+    fn timestamps_are_nondecreasing() {
+        let journal = sample_journal();
+        let ts: Vec<u64> = journal.events.iter().map(|e| e.t_ns).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+        assert_eq!(journal.duration_ns(), *ts.iter().max().unwrap());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let err = Journal::from_json(r#"{"version": 99, "events": []}"#).unwrap_err();
+        assert!(matches!(err, JournalError::Schema(_)), "{err}");
+    }
+
+    #[test]
+    fn empty_journal_round_trips() {
+        let journal = Journal::default();
+        let back = Journal::from_json(&journal.to_json()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.duration_ns(), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Zero-dependency solver observability for the CUBIS stack.
+//!
+//! The solver crates (`cubis-core`, `cubis-lp`, `cubis-milp`,
+//! `cubis-solvers`) accept a [`SharedRecorder`] in their options
+//! structs and report:
+//!
+//! - **spans** — named timed regions (`cubis.solve`, `cubis.inner`,
+//!   `lp.solve`, `bb.solve`, ...) emitted via RAII guards,
+//! - **counters** — monotonic work counts (`lp.pivots`,
+//!   `lp.refactorizations`, `bb.nodes`, ...),
+//! - **structured solve events** — binary-search steps with their
+//!   `[lb, ub]` interval, inner-solver calls with backend/`K`/node
+//!   counts, branch-and-bound summaries with per-worker utilization,
+//!   and a final solve summary.
+//!
+//! Everything funnels through the [`Recorder`] trait. The default
+//! handle is a no-op ([`NullRecorder`] semantics): instrumentation
+//! sites check [`SharedRecorder::enabled`] before constructing an
+//! event, so the hot path pays one branch when tracing is off.
+//!
+//! # Example
+//!
+//! Capture events into a [`Journal`] and export it as JSON:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cubis_trace::{Journal, JournalRecorder, SharedRecorder};
+//!
+//! let journal = Arc::new(JournalRecorder::new());
+//! let rec = SharedRecorder::new(journal.clone());
+//!
+//! // Solver crates do this internally once a recorder is attached:
+//! {
+//!     let _span = rec.span("cubis.solve");
+//!     rec.counter("lp.pivots", 17);
+//! }
+//!
+//! let snapshot = journal.snapshot();
+//! assert_eq!(snapshot.counter_totals()["lp.pivots"], 17);
+//!
+//! // Round-trip through the on-disk format read by
+//! // `cubis-xtask trace-report`.
+//! let restored = Journal::from_json(&snapshot.to_json()).unwrap();
+//! assert_eq!(restored, snapshot);
+//! ```
+//!
+//! This crate deliberately has no dependencies (including serde): the
+//! journal codec in [`json`] is self-contained, so attaching tracing
+//! never changes the solver crates' dependency graph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+mod journal;
+mod recorder;
+
+pub use event::{
+    BbSolveEvent, BinaryStepEvent, Event, InnerSolveEvent, SolveSummaryEvent, TimedEvent,
+};
+pub use journal::{Journal, JournalError, JournalRecorder, SpanTotal, FORMAT_VERSION};
+pub use recorder::{NullRecorder, Recorder, SharedRecorder, SpanGuard};

@@ -25,6 +25,7 @@
 
 pub mod lexer;
 pub mod rules;
+pub mod trace_report;
 
 use std::fmt;
 use std::path::{Path, PathBuf};

@@ -3,8 +3,11 @@
 //! * `analyze [--root <dir>]` — run the numeric-safety pass over the
 //!   workspace; exit 1 if any unsuppressed finding remains.
 //! * `rules` — print the rule table.
+//! * `trace-report <journal.json>` — render a recorded solve journal
+//!   (see the `cubis-trace` crate) as a per-phase time/count digest.
 //! * `ci [--root <dir>]` — the single local pre-merge gate: chains
-//!   `cargo fmt --check`, the analyze pass, and `cargo test -q`.
+//!   `cargo fmt --check`, the analyze pass, `cargo test -q`,
+//!   `cargo doc --no-deps` with warnings denied, and `cargo test --doc`.
 
 use cubis_xtask::{analyze_workspace, find_workspace_root, rules::RULE_DOCS};
 use std::path::PathBuf;
@@ -28,14 +31,45 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        _ => usage("expected a subcommand: analyze | rules | ci"),
+        "trace-report" => match args.get(1) {
+            Some(path) => trace_report(path),
+            None => usage("trace-report requires a journal path"),
+        },
+        _ => usage("expected a subcommand: analyze | rules | trace-report | ci"),
     }
 }
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("cubis-xtask: {err}");
-    eprintln!("usage: cubis-xtask <analyze|rules|ci> [--root <workspace-dir>]");
+    eprintln!(
+        "usage: cubis-xtask <analyze|rules|ci> [--root <workspace-dir>]\n       \
+         cubis-xtask trace-report <journal.json>"
+    );
     ExitCode::from(2)
+}
+
+fn trace_report(path: &str) -> ExitCode {
+    let src = match std::fs::read_to_string(path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("cubis-xtask trace-report: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let journal = match cubis_trace::Journal::from_json(&src) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cubis-xtask trace-report: {path} is not a journal: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", cubis_xtask::trace_report::render_report(&journal));
+    if cubis_xtask::trace_report::check_trajectory(&journal).ok() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("cubis-xtask trace-report: trajectory checks VIOLATED");
+        ExitCode::FAILURE
+    }
 }
 
 /// `--root <dir>` if given, else the enclosing workspace of the current
@@ -89,28 +123,32 @@ fn analyze_gate(root: &PathBuf) -> bool {
 }
 
 fn ci(root: &PathBuf) -> ExitCode {
-    let steps: &[(&str, &[&str])] = &[
-        ("cargo fmt --check", &["fmt", "--", "--check"]),
-        ("cargo test -q", &["test", "-q"]),
-    ];
-    println!("[1/3] cargo fmt --check");
-    if !run_cargo(root, steps[0].1) {
+    println!("[1/5] cargo fmt --check");
+    if !run_cargo(root, &["fmt", "--", "--check"], &[]) {
         return ExitCode::FAILURE;
     }
-    println!("[2/3] cubis-xtask analyze");
+    println!("[2/5] cubis-xtask analyze");
     if !analyze_gate(root) {
         return ExitCode::FAILURE;
     }
-    println!("[3/3] cargo test -q");
-    if !run_cargo(root, steps[1].1) {
+    println!("[3/5] cargo test -q");
+    if !run_cargo(root, &["test", "-q"], &[]) {
+        return ExitCode::FAILURE;
+    }
+    println!("[4/5] cargo doc --no-deps (warnings denied)");
+    if !run_cargo(root, &["doc", "--no-deps"], &[("RUSTDOCFLAGS", "-D warnings")]) {
+        return ExitCode::FAILURE;
+    }
+    println!("[5/5] cargo test --doc");
+    if !run_cargo(root, &["test", "--doc", "-q"], &[]) {
         return ExitCode::FAILURE;
     }
     println!("ci: all gates passed");
     ExitCode::SUCCESS
 }
 
-fn run_cargo(root: &PathBuf, args: &[&str]) -> bool {
-    match Command::new("cargo").args(args).current_dir(root).status() {
+fn run_cargo(root: &PathBuf, args: &[&str], envs: &[(&str, &str)]) -> bool {
+    match Command::new("cargo").args(args).envs(envs.iter().copied()).current_dir(root).status() {
         Ok(status) if status.success() => true,
         Ok(status) => {
             eprintln!("ci: `cargo {}` failed with {status}", args.join(" "));

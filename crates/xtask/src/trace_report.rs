@@ -1,0 +1,453 @@
+//! Render a recorded solve journal (`cubis-trace` JSON) as a human
+//! digest: per-phase time and count breakdown, counter totals, the
+//! binary-search trajectory with its consistency checks, inner-solve
+//! effort per backend, and branch-and-bound worker utilization.
+//!
+//! Driven by `cubis-xtask trace-report <journal.json>`; journals come
+//! from the experiment binaries (`CUBIS_TRACE=1`) or any code that
+//! attaches a [`cubis_trace::JournalRecorder`].
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use cubis_trace::{BbSolveEvent, Event, InnerSolveEvent, Journal, SolveSummaryEvent};
+
+/// Result of checking a journal's binary-search trajectory against the
+/// driver's invariants (used by [`render_report`] and by tests).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrajectoryCheck {
+    /// Step events found in the journal.
+    pub steps: usize,
+    /// Independent solves found (a journal may hold several; each
+    /// restarts the step counter at 1).
+    pub solves: usize,
+    /// Within each solve, `lb` never decreased and `ub` never
+    /// increased.
+    pub monotone: bool,
+    /// Every recorded interval satisfied `lb ≤ ub`.
+    pub well_formed: bool,
+    /// Each solve's final `[lb, ub]` and step count match its solve
+    /// summary, in order (vacuously true when the journal has no
+    /// summaries).
+    pub matches_summary: bool,
+}
+
+impl TrajectoryCheck {
+    /// All invariants hold.
+    pub fn ok(&self) -> bool {
+        self.monotone && self.well_formed && self.matches_summary
+    }
+}
+
+/// Split a journal's step events into per-solve runs: the driver's
+/// step counter starts at 1 and increases within one solve, so a
+/// non-increasing step number marks the next solve.
+fn step_segments(journal: &Journal) -> Vec<Vec<&cubis_trace::BinaryStepEvent>> {
+    let mut segments: Vec<Vec<&cubis_trace::BinaryStepEvent>> = Vec::new();
+    for s in journal.binary_steps() {
+        let start_new = match segments.last().and_then(|seg| seg.last()) {
+            Some(prev) => s.step <= prev.step,
+            None => true,
+        };
+        if start_new {
+            segments.push(Vec::new());
+        }
+        if let Some(seg) = segments.last_mut() {
+            seg.push(s);
+        }
+    }
+    segments
+}
+
+/// Check the `[lb, ub]` trajectory of `journal` against the binary
+/// search's invariants.
+pub fn check_trajectory(journal: &Journal) -> TrajectoryCheck {
+    let segments = step_segments(journal);
+    let mut check = TrajectoryCheck {
+        steps: segments.iter().map(Vec::len).sum(),
+        solves: segments.len(),
+        monotone: true,
+        well_formed: true,
+        matches_summary: true,
+    };
+    for seg in &segments {
+        for w in seg.windows(2) {
+            if w[1].lb < w[0].lb || w[1].ub > w[0].ub {
+                check.monotone = false;
+            }
+        }
+        for s in seg {
+            if s.lb > s.ub {
+                check.well_formed = false;
+            }
+        }
+    }
+    let summaries = solve_summaries(journal);
+    if !summaries.is_empty() {
+        check.matches_summary = summaries.len() == segments.len()
+            && segments.iter().zip(&summaries).all(|(seg, summary)| {
+                // Bitwise equality is the contract: the driver records
+                // the very values it returns.
+                seg.last().is_some_and(|last| {
+                    last.lb.to_bits() == summary.lb.to_bits()
+                        && last.ub.to_bits() == summary.ub.to_bits()
+                        && seg.len() == summary.binary_steps
+                })
+            });
+    }
+    check
+}
+
+/// The journal's solve summaries, in recording order.
+fn solve_summaries(journal: &Journal) -> Vec<SolveSummaryEvent> {
+    journal
+        .events
+        .iter()
+        .filter_map(|t| match &t.event {
+            Event::SolveSummary(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Render the full text report for a journal.
+pub fn render_report(journal: &Journal) -> String {
+    let mut out = String::new();
+    let duration = journal.duration_ns();
+    let _ = writeln!(
+        out,
+        "trace report: {} event(s), {} ms observed wall-clock",
+        journal.len(),
+        fmt_ms(duration)
+    );
+
+    render_spans(&mut out, journal, duration);
+    render_counters(&mut out, journal);
+    render_trajectory(&mut out, journal);
+    render_inner(&mut out, journal);
+    render_bb(&mut out, journal);
+    out
+}
+
+/// Span table: where the time went, as a share of observed wall-clock.
+fn render_spans(out: &mut String, journal: &Journal, duration: u64) {
+    let spans = journal.span_totals();
+    if spans.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\n## Phases (span totals)\n");
+    let _ = writeln!(out, "{:<20} {:>8} {:>12} {:>7}", "span", "count", "total ms", "%");
+    for s in &spans {
+        let pct = if duration > 0 {
+            100.0 * s.total_ns as f64 / duration as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:<20} {:>8} {:>12} {:>6.1}%",
+            s.name,
+            s.count,
+            fmt_ms(s.total_ns),
+            pct
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(spans nest: e.g. lp.solve time is part of bb.solve time, \
+         so columns do not sum to 100%)"
+    );
+}
+
+/// Counter totals.
+fn render_counters(out: &mut String, journal: &Journal) {
+    let counters = journal.counter_totals();
+    if counters.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\n## Counters\n");
+    for (name, total) in &counters {
+        let _ = writeln!(out, "{name:<24} {total:>12}");
+    }
+}
+
+/// The binary-search trajectory plus its invariant checks.
+fn render_trajectory(out: &mut String, journal: &Journal) {
+    let segments = step_segments(journal);
+    if segments.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\n## Binary search\n");
+    for (i, seg) in segments.iter().enumerate() {
+        if segments.len() > 1 {
+            let _ = writeln!(out, "solve {} of {}:", i + 1, segments.len());
+        }
+        let _ = writeln!(
+            out,
+            "{:>4} {:>12} {:>12} {:>5} {:>12} {:>12} {:>12}",
+            "step", "c", "G(c)", "feas", "lb", "ub", "gap"
+        );
+        for s in seg {
+            let _ = writeln!(
+                out,
+                "{:>4} {:>12.6} {:>12.6} {:>5} {:>12.6} {:>12.6} {:>12.6}",
+                s.step,
+                s.c,
+                s.g_value,
+                if s.feasible { "yes" } else { "no" },
+                s.lb,
+                s.ub,
+                s.ub - s.lb
+            );
+        }
+    }
+    let check = check_trajectory(journal);
+    let verdict = |ok: bool| if ok { "ok" } else { "VIOLATED" };
+    let _ = writeln!(
+        out,
+        "checks ({} solve(s)): monotone [lb,ub] {}; intervals well-formed {}; \
+         final steps match summaries {}",
+        check.solves,
+        verdict(check.monotone),
+        verdict(check.well_formed),
+        verdict(check.matches_summary)
+    );
+    for summary in solve_summaries(journal) {
+        let _ = writeln!(
+            out,
+            "summary: lb {:.6}, ub {:.6} (gap {:.2e}), exact worst case {:.6}, \
+             {} step(s)",
+            summary.lb,
+            summary.ub,
+            summary.ub - summary.lb,
+            summary.worst_case,
+            summary.binary_steps
+        );
+    }
+}
+
+/// Per-backend inner-solve effort.
+fn render_inner(out: &mut String, journal: &Journal) {
+    let mut by_backend: BTreeMap<&str, Vec<&InnerSolveEvent>> = BTreeMap::new();
+    for t in &journal.events {
+        if let Event::InnerSolve(e) = &t.event {
+            by_backend.entry(e.backend.as_str()).or_default().push(e);
+        }
+    }
+    if by_backend.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\n## Inner solves\n");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>7} {:>12} {:>10} {:>10} {:>12}",
+        "backend", "solves", "total ms", "bb nodes", "lp iters", "evaluations"
+    );
+    for (backend, events) in &by_backend {
+        let dur: u64 = events.iter().map(|e| e.dur_ns).sum();
+        let nodes: usize = events.iter().map(|e| e.milp_nodes).sum();
+        let lp: usize = events.iter().map(|e| e.lp_iterations).sum();
+        let evals: usize = events.iter().map(|e| e.evaluations).sum();
+        let _ = writeln!(
+            out,
+            "{:<8} {:>7} {:>12} {:>10} {:>10} {:>12}",
+            backend,
+            events.len(),
+            fmt_ms(dur),
+            nodes,
+            lp,
+            evals
+        );
+    }
+}
+
+/// Branch-and-bound aggregate plus worker utilization.
+fn render_bb(out: &mut String, journal: &Journal) {
+    let bb: Vec<&BbSolveEvent> = journal
+        .events
+        .iter()
+        .filter_map(|t| match &t.event {
+            Event::BbSolve(e) => Some(e),
+            _ => None,
+        })
+        .collect();
+    if bb.is_empty() {
+        return;
+    }
+    let nodes: usize = bb.iter().map(|e| e.nodes).sum();
+    let incumbents: usize = bb.iter().map(|e| e.incumbent_updates).sum();
+    let _ = writeln!(out, "\n## Branch and bound\n");
+    let _ = writeln!(
+        out,
+        "{} solve(s), {} node(s), {} incumbent update(s)",
+        bb.len(),
+        nodes,
+        incumbents
+    );
+    // Worker utilization: per-solve node share of the busiest vs the
+    // average worker (1.0 = perfectly balanced; only recorded by the
+    // parallel backend).
+    let parallel: Vec<&&BbSolveEvent> =
+        bb.iter().filter(|e| !e.worker_nodes.is_empty()).collect();
+    if let Some(sample) = parallel.first() {
+        let workers = sample.worker_nodes.len();
+        let mut worst_imbalance = 1.0f64;
+        for e in &parallel {
+            let total: u64 = e.worker_nodes.iter().sum();
+            let max = e.worker_nodes.iter().copied().max().unwrap_or(0);
+            if total > 0 {
+                let mean = total as f64 / e.worker_nodes.len() as f64;
+                worst_imbalance = worst_imbalance.max(max as f64 / mean);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "parallel: {} worker(s); worst per-solve imbalance {:.2}x \
+             (busiest worker / mean)",
+            workers, worst_imbalance
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubis_trace::{BinaryStepEvent, TimedEvent};
+
+    fn step(step: usize, lb: f64, ub: f64) -> TimedEvent {
+        TimedEvent {
+            t_ns: step as u64,
+            event: Event::BinaryStep(BinaryStepEvent {
+                step,
+                c: 0.5 * (lb + ub),
+                g_value: 0.0,
+                feasible: true,
+                lb,
+                ub,
+            }),
+        }
+    }
+
+    fn summary(lb: f64, ub: f64, steps: usize) -> TimedEvent {
+        TimedEvent {
+            t_ns: 1000,
+            event: Event::SolveSummary(SolveSummaryEvent {
+                lb,
+                ub,
+                worst_case: lb,
+                binary_steps: steps,
+            }),
+        }
+    }
+
+    #[test]
+    fn consistent_trajectory_passes() {
+        let journal = Journal {
+            events: vec![step(1, 0.0, 4.0), step(2, 2.0, 4.0), summary(2.0, 4.0, 2)],
+        };
+        let check = check_trajectory(&journal);
+        assert!(check.ok(), "{check:?}");
+        assert_eq!(check.steps, 2);
+        assert_eq!(check.solves, 1);
+    }
+
+    #[test]
+    fn multi_solve_journals_are_segmented_at_step_resets() {
+        // Two back-to-back solves: the second restarts its counter, so
+        // the ub "jump" between them is not a monotonicity violation.
+        let journal = Journal {
+            events: vec![
+                step(1, 0.0, 4.0),
+                step(2, 2.0, 4.0),
+                summary(2.0, 4.0, 2),
+                step(1, -9.0, 6.0),
+                step(2, -9.0, -1.5),
+                summary(-9.0, -1.5, 2),
+            ],
+        };
+        let check = check_trajectory(&journal);
+        assert_eq!(check.solves, 2);
+        assert!(check.ok(), "{check:?}");
+    }
+
+    #[test]
+    fn summary_count_mismatch_is_flagged() {
+        let journal = Journal {
+            events: vec![step(1, 0.0, 4.0), summary(0.0, 4.0, 1), summary(0.0, 4.0, 1)],
+        };
+        assert!(!check_trajectory(&journal).matches_summary);
+    }
+
+    #[test]
+    fn regressed_bound_is_flagged() {
+        let journal = Journal { events: vec![step(1, 1.0, 4.0), step(2, 0.5, 4.0)] };
+        assert!(!check_trajectory(&journal).monotone);
+    }
+
+    #[test]
+    fn summary_mismatch_is_flagged() {
+        let journal = Journal { events: vec![step(1, 0.0, 4.0), summary(1.0, 4.0, 1)] };
+        assert!(!check_trajectory(&journal).matches_summary);
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let mut events = vec![
+            TimedEvent {
+                t_ns: 10,
+                event: Event::Span { name: "cubis.solve".into(), dur_ns: 10 },
+            },
+            TimedEvent { t_ns: 11, event: Event::Counter { name: "lp.pivots".into(), delta: 7 } },
+            TimedEvent {
+                t_ns: 12,
+                event: Event::InnerSolve(InnerSolveEvent {
+                    backend: "milp".into(),
+                    c: 1.0,
+                    k: Some(8),
+                    milp_nodes: 3,
+                    lp_iterations: 9,
+                    evaluations: 2,
+                    dur_ns: 5,
+                }),
+            },
+            TimedEvent {
+                t_ns: 13,
+                event: Event::BbSolve(BbSolveEvent {
+                    nodes: 3,
+                    lp_iterations: 9,
+                    incumbent_updates: 1,
+                    worker_nodes: vec![2, 1],
+                    dur_ns: 5,
+                }),
+            },
+        ];
+        events.push(step(1, 0.0, 2.0));
+        events.push(summary(0.0, 2.0, 1));
+        let report = render_report(&Journal { events });
+        for needle in [
+            "## Phases",
+            "cubis.solve",
+            "## Counters",
+            "lp.pivots",
+            "## Binary search",
+            "match summaries ok",
+            "## Inner solves",
+            "milp",
+            "## Branch and bound",
+            "2 worker(s)",
+        ] {
+            assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+        }
+    }
+
+    #[test]
+    fn empty_journal_renders_header_only() {
+        let report = render_report(&Journal::default());
+        assert!(report.starts_with("trace report: 0 event(s)"));
+        assert!(!report.contains("##"));
+    }
+}

@@ -1,0 +1,190 @@
+//! End-to-end tests for the cubis-trace observability layer: recording
+//! a real solve produces a journal whose binary-search step events
+//! reconstruct the driver's `[lb, ub]` trajectory, the no-op recorder
+//! perturbs nothing, and journals survive a JSON round trip.
+
+use std::sync::Arc;
+
+use cubis_behavior::{BoundConvention, SuqrUncertainty, UncertainSuqr};
+use cubis_core::{Cubis, DpInner, MilpInner, RobustProblem};
+use cubis_game::{GameGenerator, SecurityGame};
+use cubis_trace::{Event, Journal, JournalRecorder, SharedRecorder};
+
+const EPSILON: f64 = 1e-2;
+
+fn fixture(seed: u64, targets: usize, resources: f64) -> (SecurityGame, UncertainSuqr) {
+    let game = GameGenerator::new(seed).generate(targets, resources);
+    let model = UncertainSuqr::from_game(
+        &game,
+        SuqrUncertainty::paper_example(),
+        0.5,
+        BoundConvention::ExactInterval,
+    );
+    (game, model)
+}
+
+fn recorded_solve(
+    seed: u64,
+) -> (cubis_core::CubisSolution, Journal) {
+    let (game, model) = fixture(seed, 5, 2.0);
+    let p = RobustProblem::new(&game, &model);
+    let journal = Arc::new(JournalRecorder::new());
+    let sol = Cubis::new(DpInner::new(40))
+        .with_epsilon(EPSILON)
+        .with_recorder(SharedRecorder::new(journal.clone()))
+        .solve(&p)
+        .unwrap();
+    (sol, journal.snapshot())
+}
+
+#[test]
+fn null_recorder_leaves_solution_identical() {
+    let (game, model) = fixture(900, 5, 2.0);
+    let p = RobustProblem::new(&game, &model);
+    let plain = Cubis::new(DpInner::new(40)).with_epsilon(EPSILON).solve(&p).unwrap();
+    let nulled = Cubis::new(DpInner::new(40))
+        .with_epsilon(EPSILON)
+        .with_recorder(SharedRecorder::null())
+        .solve(&p)
+        .unwrap();
+    assert_eq!(plain.x, nulled.x);
+    assert_eq!(plain.lb, nulled.lb);
+    assert_eq!(plain.ub, nulled.ub);
+    assert_eq!(plain.binary_steps, nulled.binary_steps);
+}
+
+#[test]
+fn recording_does_not_change_the_answer() {
+    let (game, model) = fixture(901, 5, 2.0);
+    let p = RobustProblem::new(&game, &model);
+    let plain = Cubis::new(DpInner::new(40)).with_epsilon(EPSILON).solve(&p).unwrap();
+    let (recorded, _journal) = {
+        let journal = Arc::new(JournalRecorder::new());
+        let sol = Cubis::new(DpInner::new(40))
+            .with_epsilon(EPSILON)
+            .with_recorder(SharedRecorder::new(journal.clone()))
+            .solve(&p)
+            .unwrap();
+        (sol, journal.snapshot())
+    };
+    assert_eq!(plain.x, recorded.x);
+    assert_eq!(plain.lb, recorded.lb);
+    assert_eq!(plain.ub, recorded.ub);
+    assert_eq!(plain.binary_steps, recorded.binary_steps);
+}
+
+#[test]
+fn step_events_match_solution_and_shrink_monotonically() {
+    let (sol, journal) = recorded_solve(902);
+    let steps = journal.binary_steps();
+    assert_eq!(steps.len(), sol.binary_steps, "one event per binary-search step");
+
+    // The [lb, ub] trajectory is nested: lb nondecreasing, ub
+    // nonincreasing, and every interval is well-formed.
+    for w in steps.windows(2) {
+        assert!(w[1].lb >= w[0].lb, "lb regressed: {:?} -> {:?}", w[0], w[1]);
+        assert!(w[1].ub <= w[0].ub, "ub grew: {:?} -> {:?}", w[0], w[1]);
+    }
+    for s in &steps {
+        assert!(s.lb <= s.ub, "inverted interval {s:?}");
+        assert_eq!(s.feasible, s.g_value >= -1e-9);
+    }
+
+    // The last event agrees with the returned solution, and the final
+    // gap honors the epsilon contract.
+    let last = steps.last().unwrap();
+    assert_eq!(last.lb, sol.lb);
+    assert_eq!(last.ub, sol.ub);
+    assert!(sol.ub - sol.lb <= EPSILON + 1e-12);
+
+    // The solve summary event mirrors the solution.
+    let summary = journal
+        .events
+        .iter()
+        .find_map(|t| match &t.event {
+            Event::SolveSummary(s) => Some(s.clone()),
+            _ => None,
+        })
+        .expect("journal has a solve summary");
+    assert_eq!(summary.lb, sol.lb);
+    assert_eq!(summary.ub, sol.ub);
+    assert_eq!(summary.worst_case, sol.worst_case);
+    assert_eq!(summary.binary_steps, sol.binary_steps);
+}
+
+#[test]
+fn inner_solve_events_cover_every_step() {
+    let (sol, journal) = recorded_solve(903);
+    let inner: Vec<_> = journal
+        .events
+        .iter()
+        .filter_map(|t| match &t.event {
+            Event::InnerSolve(e) => Some(e.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(inner.len(), sol.binary_steps, "one inner solve per step");
+    for e in &inner {
+        assert_eq!(e.backend, "dp");
+        assert_eq!(e.k, Some(40));
+        assert!(e.evaluations > 0);
+    }
+    let total: usize = inner.iter().map(|e| e.evaluations).sum();
+    assert_eq!(total, sol.stats.evaluations, "journal evaluations match stats");
+}
+
+#[test]
+fn span_totals_account_for_wall_clock() {
+    let (_sol, journal) = recorded_solve(904);
+    let spans = journal.span_totals();
+    let solve = spans
+        .iter()
+        .find(|s| s.name == "cubis.solve")
+        .expect("cubis.solve span recorded");
+    assert_eq!(solve.count, 1);
+    // The outer span closes last, so it bounds the journal duration
+    // from below and every nested phase from above.
+    let duration = journal.duration_ns();
+    assert!(duration > 0);
+    assert!(
+        solve.total_ns as f64 >= 0.9 * duration as f64,
+        "cubis.solve {}ns vs journal duration {}ns",
+        solve.total_ns,
+        duration
+    );
+    for s in &spans {
+        if s.name != "cubis.solve" {
+            assert!(s.total_ns <= solve.total_ns, "nested span {s:?} exceeds outer");
+        }
+    }
+}
+
+#[test]
+fn milp_backend_records_bb_and_lp_counters() {
+    let (game, model) = fixture(905, 4, 1.0);
+    let p = RobustProblem::new(&game, &model);
+    let journal = Arc::new(JournalRecorder::new());
+    let sol = Cubis::new(MilpInner::new(6))
+        .with_epsilon(5e-2)
+        .with_recorder(SharedRecorder::new(journal.clone()))
+        .solve(&p)
+        .unwrap();
+    let journal = journal.snapshot();
+    let counters = journal.counter_totals();
+    assert!(counters.get("bb.solves").copied().unwrap_or(0) >= sol.binary_steps as u64);
+    assert!(counters.get("lp.solves").copied().unwrap_or(0) > 0);
+    assert!(counters.get("lp.pivots").copied().unwrap_or(0) > 0);
+    assert_eq!(counters.get("bb.nodes").copied().unwrap_or(0), sol.stats.milp_nodes as u64);
+}
+
+#[test]
+fn journal_round_trips_through_json() {
+    let (_sol, journal) = recorded_solve(906);
+    assert!(!journal.is_empty());
+    let json = journal.to_json();
+    let back = Journal::from_json(&json).unwrap();
+    assert_eq!(journal.events, back.events);
+    // And the derived views agree.
+    assert_eq!(journal.counter_totals(), back.counter_totals());
+    assert_eq!(journal.binary_steps().len(), back.binary_steps().len());
+}
