@@ -202,6 +202,30 @@ impl UncertainSuqr {
         }
     }
 
+    /// Reorder the per-target payoff intervals as
+    /// `new[i] = old[perm[i]]` (the weight box is target-independent
+    /// and unchanged). Pair with the same permutation of the game's
+    /// targets: robust solve results must be invariant under such a
+    /// joint relabeling, which the cubis-check metamorphic oracle
+    /// exercises.
+    ///
+    /// # Panics
+    /// Panics when `perm` is not a permutation of `0..num_targets()`.
+    pub fn permute_targets(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.payoffs.len(), "permute_targets: length mismatch");
+        let mut seen = vec![false; perm.len()];
+        for &j in perm {
+            assert!(j < self.payoffs.len(), "permute_targets: index {j} out of range");
+            assert!(!seen[j], "permute_targets: index {j} repeated");
+            seen[j] = true;
+        }
+        Self {
+            weights: self.weights,
+            payoffs: perm.iter().map(|&j| self.payoffs[j]).collect(),
+            convention: self.convention,
+        }
+    }
+
     /// Exponent interval of `w1·x + w2·Ra + w3·Pa` at coverage `x_i`.
     fn exponent_interval(&self, i: usize, x_i: f64) -> (f64, f64) {
         let (ra, pa) = self.payoffs[i];
@@ -290,6 +314,33 @@ mod tests {
             ],
             1.0,
         )
+    }
+
+    #[test]
+    fn permute_targets_relabels_bounds() {
+        let m = table1_model(BoundConvention::ExactInterval);
+        let p = m.permute_targets(&[1, 0]);
+        assert_eq!(p.payoffs[0], m.payoffs[1]);
+        assert_eq!(p.payoffs[1], m.payoffs[0]);
+        // Permuting game and model together relabels the bounds exactly.
+        let g = table1_game();
+        let pg = SecurityGame::new(
+            vec![g.targets()[1], g.targets()[0]],
+            g.resources(),
+        );
+        for x in [0.0, 0.3, 1.0] {
+            assert_eq!(m.bounds(&g, 0, x), p.bounds(&pg, 1, x));
+            assert_eq!(m.bounds(&g, 1, x), p.bounds(&pg, 0, x));
+        }
+        // Involution: applying the swap twice is the identity.
+        assert_eq!(p.permute_targets(&[1, 0]), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn permute_targets_rejects_non_permutations() {
+        let m = table1_model(BoundConvention::ExactInterval);
+        let _ = m.permute_targets(&[0, 0]);
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Replayable failing-case artifacts.
+//!
+//! When an oracle trips, the harness emits a JSON artifact carrying the
+//! violated oracle, the human-readable detail and the full shrunk
+//! instance. The artifact uses `cubis-trace`'s JSON codec — the same
+//! writer the solve journal uses — so trace tooling can parse it, and
+//! the `f64` round-trip guarantees of that codec (shortest-repr
+//! printing) make `from_json_str(to_json_string(a)) == a` exact. Seeds
+//! are stored as hex strings: they are full 64-bit values and a JSON
+//! number (an `f64`) only carries 53 bits of integer precision.
+
+use crate::instance::{format_seed, parse_seed, CheckInstance};
+use cubis_trace::json::JsonValue;
+
+/// Artifact schema version.
+pub const ARTIFACT_VERSION: f64 = 1.0;
+/// The `kind` discriminator written into every artifact.
+pub const ARTIFACT_KIND: &str = "cubis-check-case";
+
+/// A shrunk, replayable failing case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseArtifact {
+    /// The per-case seed whose generated instance (before shrinking)
+    /// exposed the failure — replay with `CUBIS_CHECK_SEED`.
+    pub case_seed: u64,
+    /// Name of the violated oracle.
+    pub oracle: String,
+    /// Violation detail from the oracle.
+    pub detail: String,
+    /// The shrunk minimal instance that still fails.
+    pub instance: CheckInstance,
+}
+
+impl CaseArtifact {
+    /// Encode as a JSON value.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("version".to_string(), JsonValue::Num(ARTIFACT_VERSION)),
+            ("kind".to_string(), JsonValue::Str(ARTIFACT_KIND.to_string())),
+            ("case_seed".to_string(), JsonValue::Str(format_seed(self.case_seed))),
+            ("oracle".to_string(), JsonValue::Str(self.oracle.clone())),
+            ("detail".to_string(), JsonValue::Str(self.detail.clone())),
+            ("instance".to_string(), self.instance.to_json()),
+        ])
+    }
+
+    /// Serialize to the JSON text written next to the fuzz run.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_json_string()
+    }
+
+    /// Decode from JSON text produced by [`Self::to_json_string`].
+    pub fn from_json_str(src: &str) -> Result<Self, String> {
+        let v = cubis_trace::json::parse(src).map_err(|e| format!("bad artifact JSON: {e}"))?;
+        Self::from_json(&v)
+    }
+
+    /// Decode from a parsed JSON value.
+    pub fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let field = |name: &str| v.get(name).ok_or_else(|| format!("missing field `{name}`"));
+        let kind =
+            field("kind")?.as_str().ok_or_else(|| "field `kind` is not a string".to_string())?;
+        if kind != ARTIFACT_KIND {
+            return Err(format!("kind `{kind}` is not `{ARTIFACT_KIND}`"));
+        }
+        let version = field("version")?
+            .as_f64()
+            .ok_or_else(|| "field `version` is not a number".to_string())?;
+        if version > ARTIFACT_VERSION {
+            return Err(format!("artifact version {version} is newer than supported"));
+        }
+        let case_seed = parse_seed(
+            field("case_seed")?
+                .as_str()
+                .ok_or_else(|| "field `case_seed` is not a string".to_string())?,
+        )?;
+        let str_field = |name: &str| -> Result<String, String> {
+            Ok(field(name)?
+                .as_str()
+                .ok_or_else(|| format!("field `{name}` is not a string"))?
+                .to_string())
+        };
+        Ok(Self {
+            case_seed,
+            oracle: str_field("oracle")?,
+            detail: str_field("detail")?,
+            instance: CheckInstance::from_json(field("instance")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CaseArtifact {
+        CaseArtifact {
+            case_seed: 0xDEAD_BEEF_0042_7777,
+            oracle: "inner-dp-vs-brute".to_string(),
+            detail: "c=0.25: DP 1.5 vs brute-force 1.25 (Δ = 2.5e-1)".to_string(),
+            instance: CheckInstance::generate(42),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let a = sample();
+        let text = a.to_json_string();
+        let back = CaseArtifact::from_json_str(&text).unwrap();
+        assert_eq!(a, back);
+        // Idempotent serialization.
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn seed_survives_above_53_bits() {
+        let mut a = sample();
+        a.case_seed = u64::MAX - 1;
+        let back = CaseArtifact::from_json_str(&a.to_json_string()).unwrap();
+        assert_eq!(back.case_seed, u64::MAX - 1);
+    }
+
+    #[test]
+    fn rejects_wrong_kind_and_future_version() {
+        let a = sample();
+        let text = a.to_json_string().replace(ARTIFACT_KIND, "not-a-case");
+        assert!(CaseArtifact::from_json_str(&text).is_err());
+        let text = a.to_json_string().replace("\"version\":1", "\"version\":99");
+        assert!(CaseArtifact::from_json_str(&text).is_err());
+    }
+}

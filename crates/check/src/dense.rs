@@ -1,0 +1,238 @@
+//! Dense reference LP solve by exhaustive vertex enumeration.
+//!
+//! The simplex in `cubis-lp` is the production solver; this module is
+//! its oracle. For a small LP whose feasible region is bounded, every
+//! optimum is attained at a vertex, and every vertex is the unique
+//! solution of `n` active hyperplanes (constraint rows held at
+//! equality, or variable bounds held at their limit). So: enumerate all
+//! `n`-subsets of hyperplanes that include every `Eq` row, solve each
+//! dense `n×n` system with [`cubis_linalg::Lu`], keep the feasible
+//! solutions and take the best objective. Exponential — which is
+//! exactly why it makes a trustworthy oracle for tiny instances and
+//! nothing else.
+
+use cubis_linalg::{Lu, Matrix};
+use cubis_lp::{LpProblem, Relation, Sense};
+
+/// Feasibility tolerance for accepting an enumerated vertex.
+pub const FEAS_TOL: f64 = 1e-7;
+
+/// Outcome of the dense reference solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DenseOutcome {
+    /// Best vertex found: optimal objective value and the point.
+    Optimal {
+        /// Objective value in the problem's own sense.
+        objective: f64,
+        /// Primal values in variable order.
+        x: Vec<f64>,
+    },
+    /// No feasible vertex among the enumerated intersections.
+    Infeasible,
+    /// The instance exceeds the enumeration work cap and was skipped.
+    TooLarge,
+}
+
+/// One hyperplane of the arrangement: `Σ coeffs·x = rhs`.
+struct Hyperplane {
+    coeffs: Vec<f64>,
+    rhs: f64,
+    /// `Eq` rows must be active at every vertex we test.
+    mandatory: bool,
+}
+
+/// Solve `p` by vertex enumeration.
+///
+/// Requires a bounded feasible region (every optimum at a vertex);
+/// unbounded problems are reported as whatever vertex is best, so only
+/// use this on LPs known to be bounded — e.g. the worst-case attacker
+/// LP, whose variables all live in `[0, 1]` except a `z` that is pinned
+/// by the mandatory simplex row. Instances needing more than
+/// `work_cap` candidate subsets return [`DenseOutcome::TooLarge`].
+pub fn solve_dense(p: &LpProblem, work_cap: u64) -> DenseOutcome {
+    let n = p.num_vars();
+    if n == 0 {
+        return DenseOutcome::Infeasible;
+    }
+    let mut planes: Vec<Hyperplane> = Vec::new();
+    for ci in 0..p.num_constraints() {
+        let (terms, rel, rhs) = p.constraint(ci);
+        let mut coeffs = vec![0.0; n];
+        for (v, c) in terms {
+            coeffs[v.index()] += c;
+        }
+        planes.push(Hyperplane { coeffs, rhs, mandatory: rel == Relation::Eq });
+    }
+    for (idx, v) in p.var_ids().enumerate() {
+        let (lo, hi) = p.var_bounds(v);
+        for bound in [lo, hi] {
+            if bound.is_finite() {
+                let mut coeffs = vec![0.0; n];
+                coeffs[idx] = 1.0;
+                planes.push(Hyperplane { coeffs, rhs: bound, mandatory: false });
+            }
+        }
+    }
+    let mandatory: Vec<usize> =
+        (0..planes.len()).filter(|&i| planes[i].mandatory).collect();
+    if mandatory.len() > n {
+        // More equalities than dimensions: still fine if consistent, but
+        // a vertex needs exactly n active planes — treat the first n as
+        // the frame and let feasibility checking reject inconsistency.
+        // In practice our LPs never hit this; bail out conservatively.
+        return DenseOutcome::TooLarge;
+    }
+    let optional: Vec<usize> =
+        (0..planes.len()).filter(|&i| !planes[i].mandatory).collect();
+    let pick = n - mandatory.len();
+    if n_choose_k(optional.len() as u64, pick as u64) > work_cap {
+        return DenseOutcome::TooLarge;
+    }
+
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    let mut subset = vec![0usize; pick];
+    let consider = |active: &[usize], best: &mut Option<(f64, Vec<f64>)>| {
+        let mut a = Matrix::zeros(n, n);
+        let mut b = vec![0.0; n];
+        for (r, &pi) in mandatory.iter().chain(active).enumerate() {
+            for c in 0..n {
+                a[(r, c)] = planes[pi].coeffs[c];
+            }
+            b[r] = planes[pi].rhs;
+        }
+        let Ok(lu) = Lu::factor(&a) else {
+            return; // Degenerate subset: planes don't meet at a point.
+        };
+        let x = lu.solve(&b);
+        if p.max_violation(&x) > FEAS_TOL {
+            return;
+        }
+        let obj = p.objective_value(&x);
+        let better = match (p.sense(), &*best) {
+            (_, None) => true,
+            (Sense::Maximize, Some((cur, _))) => obj.total_cmp(cur).is_gt(),
+            (Sense::Minimize, Some((cur, _))) => obj.total_cmp(cur).is_lt(),
+        };
+        if better {
+            *best = Some((obj, x));
+        }
+    };
+    // Iterative k-subset enumeration over `optional` (no recursion, no
+    // external combinatorics dep).
+    if pick == 0 {
+        consider(&[], &mut best);
+    } else {
+        for (slot, s) in subset.iter_mut().enumerate() {
+            *s = slot;
+        }
+        loop {
+            let active: Vec<usize> = subset.iter().map(|&j| optional[j]).collect();
+            consider(&active, &mut best);
+            // Advance to the next combination in lexicographic order.
+            let mut i = pick;
+            loop {
+                if i == 0 {
+                    // All combinations exhausted.
+                    match best {
+                        Some((objective, x)) => {
+                            return DenseOutcome::Optimal { objective, x }
+                        }
+                        None => return DenseOutcome::Infeasible,
+                    }
+                }
+                i -= 1;
+                if subset[i] < optional.len() - (pick - i) {
+                    subset[i] += 1;
+                    for j in i + 1..pick {
+                        subset[j] = subset[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    match best {
+        Some((objective, x)) => DenseOutcome::Optimal { objective, x },
+        None => DenseOutcome::Infeasible,
+    }
+}
+
+/// Binomial coefficient, saturating at `u64::MAX` (only used to decide
+/// "too large", so saturation is the right overflow behavior).
+fn n_choose_k(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u64 = 1;
+    for i in 0..k {
+        acc = match acc.checked_mul(n - i) {
+            Some(v) => v / (i + 1),
+            None => return u64::MAX,
+        };
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubis_lp::{LpOptions, LpProblem, Relation, Sense};
+
+    #[test]
+    fn binomials_are_right() {
+        assert_eq!(n_choose_k(5, 2), 10);
+        assert_eq!(n_choose_k(10, 0), 1);
+        assert_eq!(n_choose_k(4, 5), 0);
+        assert_eq!(n_choose_k(200, 100), u64::MAX); // saturates
+    }
+
+    #[test]
+    fn matches_simplex_on_textbook_lp() {
+        // max 3x + 5y  s.t.  x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18, x,y ≥ 0
+        // Optimum 36 at (2, 6).
+        let mut p = LpProblem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 5.0);
+        p.add_constraint(vec![(x, 1.0)], Relation::Le, 4.0);
+        p.add_constraint(vec![(y, 2.0)], Relation::Le, 12.0);
+        p.add_constraint(vec![(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let DenseOutcome::Optimal { objective, x: pt } = solve_dense(&p, 1_000_000) else {
+            panic!("dense solve failed");
+        };
+        assert!((objective - 36.0).abs() < 1e-9);
+        assert!((pt[0] - 2.0).abs() < 1e-9 && (pt[1] - 6.0).abs() < 1e-9);
+        let s = cubis_lp::solve(&p, &LpOptions::default()).unwrap();
+        assert!((s.objective - objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_equality_rows() {
+        // min x + y  s.t.  x + y = 1, x,y ∈ [0,1] → objective 1 anywhere
+        // on the segment; vertices are (0,1) and (1,0).
+        let mut p = LpProblem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 1.0, 1.0);
+        let y = p.add_var("y", 0.0, 1.0, 1.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 1.0);
+        let DenseOutcome::Optimal { objective, .. } = solve_dense(&p, 1_000) else {
+            panic!("dense solve failed");
+        };
+        assert!((objective - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = LpProblem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, 1.0, 1.0);
+        p.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(solve_dense(&p, 1_000), DenseOutcome::Infeasible);
+    }
+
+    #[test]
+    fn respects_work_cap() {
+        let mut p = LpProblem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..10).map(|i| p.add_var(format!("v{i}"), 0.0, 1.0, 1.0)).collect();
+        p.add_constraint(vars.iter().map(|&v| (v, 1.0)).collect(), Relation::Le, 5.0);
+        assert_eq!(solve_dense(&p, 3), DenseOutcome::TooLarge);
+    }
+}

@@ -1,0 +1,339 @@
+//! Seeded test-instance generation and the instance JSON codec.
+//!
+//! A [`CheckInstance`] is everything one fuzz case needs to rebuild the
+//! exact game + uncertainty model + solver knobs: per-target payoffs,
+//! an integer resource count, the SUQR interval parametrization
+//! (`width_factor` scales the paper's weight box, `payoff_delta` the
+//! attacker-payoff intervals) and the discretization knobs (`k`
+//! piecewise segments for the MILP, `pp` grid points per unit for
+//! DP/greedy, `epsilon` for the binary search). Every field is drawn
+//! from a [`SplitMix64`] stream, so `CheckInstance::generate(seed)` is a
+//! pure function of the seed — the replay contract of the harness.
+
+use crate::rng::SplitMix64;
+use cubis_behavior::{BoundConvention, SuqrUncertainty, UncertainSuqr};
+use cubis_game::{SecurityGame, TargetPayoffs};
+use cubis_trace::json::JsonValue;
+
+/// One self-contained fuzz case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckInstance {
+    /// The per-case seed this instance was generated from (kept for
+    /// replay hints; `0` for hand-built instances).
+    pub seed: u64,
+    /// Per-target payoff tuples `(Rd, Pd, Ra, Pa)`.
+    pub targets: Vec<TargetPayoffs>,
+    /// Defender resources (integer-valued, `1 ≤ r ≤ T`).
+    pub resources: f64,
+    /// Half-width of the attacker payoff intervals (before
+    /// `width_factor` scaling).
+    pub payoff_delta: f64,
+    /// Width scale applied to the paper's SUQR weight box *and* the
+    /// payoff intervals (`0` collapses to a point model).
+    pub width_factor: f64,
+    /// How exponent bounds are derived from the parameter box.
+    pub convention: BoundConvention,
+    /// Piecewise segments `K` for the MILP inner solver.
+    pub k: usize,
+    /// Grid points per unit for the DP/greedy inner solvers.
+    pub pp: usize,
+    /// Binary-search tolerance `ε`.
+    pub epsilon: f64,
+}
+
+/// Round to two decimals — generated data stays human-readable and the
+/// shrinker's integer snapping has a clean lattice to land on.
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+impl CheckInstance {
+    /// Deterministically generate the instance for `seed`.
+    pub fn generate(seed: u64) -> Self {
+        // Decorrelate from the harness's case-seed stream (which is
+        // itself SplitMix64 output) by burning one mixing step.
+        let mut r = SplitMix64::new(seed ^ 0xA02B_DBF7_BB3C_0A7A);
+        let t = r.range_usize(2, 6);
+        let targets = (0..t)
+            .map(|_| {
+                TargetPayoffs::new(
+                    round2(r.range_f64(1.0, 10.0)),
+                    round2(r.range_f64(-10.0, -1.0)),
+                    round2(r.range_f64(1.0, 10.0)),
+                    round2(r.range_f64(-10.0, -1.0)),
+                )
+            })
+            .collect();
+        let resources = r.range_usize(1, (t - 1).max(1)) as f64;
+        let payoff_delta = round2(r.range_f64(0.0, 1.5));
+        let width_factor = round2(r.range_f64(0.25, 1.0));
+        let convention = if r.chance(0.5) {
+            BoundConvention::ExactInterval
+        } else {
+            BoundConvention::CornerComponentwise
+        };
+        let k = r.range_usize(2, 6);
+        let pp = r.range_usize(3, 8);
+        let epsilon = if r.chance(0.5) { 0.01 } else { 0.05 };
+        Self {
+            seed,
+            targets,
+            resources,
+            payoff_delta,
+            width_factor,
+            convention,
+            k,
+            pp,
+            epsilon,
+        }
+    }
+
+    /// Number of targets.
+    pub fn num_targets(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Structural validity: the shrinker only proposes candidates that
+    /// pass this (so `game()` never panics on a shrunk instance).
+    pub fn is_valid(&self) -> bool {
+        !self.targets.is_empty()
+            && self.targets.iter().all(|t| t.validate().is_ok())
+            && self.resources >= 1.0
+            && self.resources <= self.targets.len() as f64
+            && self.payoff_delta >= 0.0
+            && self.width_factor >= 0.0
+            && self.k >= 1
+            && self.pp >= 1
+            && self.epsilon > 0.0
+    }
+
+    /// Build the [`SecurityGame`] this instance describes.
+    ///
+    /// # Panics
+    /// Panics when the instance is invalid (see [`Self::is_valid`]).
+    pub fn game(&self) -> SecurityGame {
+        SecurityGame::new(self.targets.clone(), self.resources)
+    }
+
+    /// Build the interval-SUQR uncertainty model for `game`.
+    pub fn model(&self, game: &SecurityGame) -> UncertainSuqr {
+        UncertainSuqr::from_game(
+            game,
+            SuqrUncertainty::paper_example(),
+            self.payoff_delta,
+            self.convention,
+        )
+        .scale_width(self.width_factor)
+    }
+
+    /// The instance with targets reordered as `new[i] = old[perm[i]]`.
+    ///
+    /// # Panics
+    /// Panics when `perm` is not a permutation of `0..T`.
+    pub fn permuted(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.targets.len(), "permuted: length mismatch");
+        let mut seen = vec![false; perm.len()];
+        for &j in perm {
+            assert!(!seen[j], "permuted: index {j} repeated");
+            seen[j] = true;
+        }
+        Self {
+            targets: perm.iter().map(|&j| self.targets[j]).collect(),
+            ..self.clone()
+        }
+    }
+
+    /// The instance with target `i` removed (resources clamped to stay
+    /// within `1 ≤ r ≤ T−1`); `None` when only one target remains.
+    pub fn without_target(&self, i: usize) -> Option<Self> {
+        if self.targets.len() <= 1 || i >= self.targets.len() {
+            return None;
+        }
+        let mut targets = self.targets.clone();
+        targets.remove(i);
+        let resources = self.resources.min(targets.len() as f64).max(1.0);
+        Some(Self { targets, resources, ..self.clone() })
+    }
+
+    /// Instance as a JSON value (the payload of the failure artifact).
+    pub fn to_json(&self) -> JsonValue {
+        let targets = self
+            .targets
+            .iter()
+            .map(|t| {
+                JsonValue::Arr(vec![
+                    JsonValue::Num(t.def_reward),
+                    JsonValue::Num(t.def_penalty),
+                    JsonValue::Num(t.att_reward),
+                    JsonValue::Num(t.att_penalty),
+                ])
+            })
+            .collect();
+        let convention = match self.convention {
+            BoundConvention::ExactInterval => "exact",
+            BoundConvention::CornerComponentwise => "corner",
+        };
+        JsonValue::Obj(vec![
+            // Seeds are full 64-bit values; JSON numbers (f64) lose bits
+            // above 2^53, so the seed travels as a hex string.
+            ("seed".to_string(), JsonValue::Str(format!("{:#018x}", self.seed))),
+            ("targets".to_string(), JsonValue::Arr(targets)),
+            ("resources".to_string(), JsonValue::Num(self.resources)),
+            ("payoff_delta".to_string(), JsonValue::Num(self.payoff_delta)),
+            ("width_factor".to_string(), JsonValue::Num(self.width_factor)),
+            ("convention".to_string(), JsonValue::Str(convention.to_string())),
+            ("k".to_string(), JsonValue::Num(self.k as f64)),
+            ("pp".to_string(), JsonValue::Num(self.pp as f64)),
+            ("epsilon".to_string(), JsonValue::Num(self.epsilon)),
+        ])
+    }
+
+    /// Decode an instance from its [`Self::to_json`] form.
+    pub fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let field = |name: &str| v.get(name).ok_or_else(|| format!("missing field `{name}`"));
+        let num = |name: &str| {
+            field(name)?.as_f64().ok_or_else(|| format!("field `{name}` is not a number"))
+        };
+        let seed_str =
+            field("seed")?.as_str().ok_or_else(|| "field `seed` is not a string".to_string())?;
+        let seed = parse_seed(seed_str)?;
+        let targets_json = field("targets")?
+            .as_arr()
+            .ok_or_else(|| "field `targets` is not an array".to_string())?;
+        let mut targets = Vec::with_capacity(targets_json.len());
+        for t in targets_json {
+            let tuple = t.as_arr().ok_or_else(|| "target is not an array".to_string())?;
+            if tuple.len() != 4 {
+                return Err(format!("target has {} entries, want 4", tuple.len()));
+            }
+            let mut vals = [0.0f64; 4];
+            for (slot, item) in vals.iter_mut().zip(tuple) {
+                *slot = item.as_f64().ok_or_else(|| "target entry not a number".to_string())?;
+            }
+            targets.push(TargetPayoffs::new(vals[0], vals[1], vals[2], vals[3]));
+        }
+        let convention = match field("convention")?.as_str() {
+            Some("exact") => BoundConvention::ExactInterval,
+            Some("corner") => BoundConvention::CornerComponentwise,
+            other => return Err(format!("unknown convention {other:?}")),
+        };
+        let as_usize = |name: &str| -> Result<usize, String> {
+            let raw = num(name)?;
+            if raw < 0.0 || raw.fract().abs() > 1e-9 {
+                return Err(format!("field `{name}` is not a nonnegative integer: {raw}"));
+            }
+            Ok(raw as usize)
+        };
+        Ok(Self {
+            seed,
+            targets,
+            resources: num("resources")?,
+            payoff_delta: num("payoff_delta")?,
+            width_factor: num("width_factor")?,
+            convention,
+            k: as_usize("k")?,
+            pp: as_usize("pp")?,
+            epsilon: num("epsilon")?,
+        })
+    }
+}
+
+/// Parse a seed in decimal or `0x…` hexadecimal form.
+pub fn parse_seed(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse::<u64>()
+    };
+    parsed.map_err(|e| format!("bad seed {s:?}: {e}"))
+}
+
+/// Format a seed the way replay hints print it.
+pub fn format_seed(seed: u64) -> String {
+    format!("{seed:#018x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        for seed in [0u64, 1, 42, 0xFFFF_FFFF_FFFF_FFFF] {
+            let a = CheckInstance::generate(seed);
+            let b = CheckInstance::generate(seed);
+            assert_eq!(a, b, "seed {seed:#x}");
+            assert!(a.is_valid(), "seed {seed:#x}: {a:?}");
+            assert!((2..=6).contains(&a.num_targets()));
+            assert!(a.resources >= 1.0 && a.resources < a.num_targets() as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CheckInstance::generate(1);
+        let b = CheckInstance::generate(2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        for seed in [3u64, 0xDEAD_BEEF_CAFE_F00D] {
+            let inst = CheckInstance::generate(seed);
+            let json = inst.to_json();
+            let back = CheckInstance::from_json(&json).unwrap();
+            assert_eq!(inst, back);
+            // And through the actual codec text.
+            let text = json.to_json_string();
+            let reparsed = cubis_trace::json::parse(&text).unwrap();
+            assert_eq!(CheckInstance::from_json(&reparsed).unwrap(), inst);
+        }
+    }
+
+    #[test]
+    fn seed_parsing_accepts_both_radixes() {
+        assert_eq!(parse_seed("42").unwrap(), 42);
+        assert_eq!(parse_seed("0x2a").unwrap(), 42);
+        assert_eq!(parse_seed(&format_seed(u64::MAX)).unwrap(), u64::MAX);
+        assert!(parse_seed("nope").is_err());
+    }
+
+    #[test]
+    fn permutation_reorders_targets() {
+        let inst = CheckInstance::generate(5);
+        let t = inst.num_targets();
+        let perm: Vec<usize> = (0..t).rev().collect();
+        let p = inst.permuted(&perm);
+        for i in 0..t {
+            assert_eq!(p.targets[i], inst.targets[t - 1 - i]);
+        }
+    }
+
+    #[test]
+    fn target_removal_keeps_validity() {
+        let inst = CheckInstance::generate(9);
+        let smaller = inst.without_target(0).unwrap();
+        assert_eq!(smaller.num_targets(), inst.num_targets() - 1);
+        assert!(smaller.is_valid());
+        // Shrink all the way down to one target.
+        let mut cur = inst;
+        while let Some(next) = cur.without_target(0) {
+            assert!(next.is_valid());
+            cur = next;
+        }
+        assert_eq!(cur.num_targets(), 1);
+    }
+
+    #[test]
+    fn model_builds_and_has_ordered_bounds() {
+        use cubis_behavior::IntervalChoiceModel;
+        let inst = CheckInstance::generate(11);
+        let game = inst.game();
+        let model = inst.model(&game);
+        for i in 0..inst.num_targets() {
+            let (l, u) = model.bounds(&game, i, 0.5);
+            assert!(0.0 < l && l <= u);
+        }
+    }
+}

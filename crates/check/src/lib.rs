@@ -1,0 +1,195 @@
+//! cubis-check: differential-testing and deterministic-fuzz harness.
+//!
+//! CUBIS's correctness rests on identities that can be checked
+//! mechanically: the three inner solvers agree on the separable `G_c`,
+//! the simplex agrees with a dense reference solve, full CUBIS lands
+//! within Theorem 1's tolerance of a brute-force grid search, and the
+//! robust value obeys metamorphic laws (monotone in interval width,
+//! invariant under target relabeling). This crate generates seeded
+//! random instances ([`instance::CheckInstance`]), runs them through a
+//! registry of such oracles ([`oracles::registry`]), shrinks any
+//! failure to a minimal reproducing instance ([`shrink`]) and emits a
+//! replayable artifact ([`artifact::CaseArtifact`]).
+//!
+//! Everything is deterministic: the only randomness is a hand-rolled
+//! SplitMix64 ([`rng::SplitMix64`]) and no clocks are read, so
+//!
+//! ```text
+//! CUBIS_CHECK_SEED=0x000000000000002a cargo run -p cubis-xtask -- fuzz
+//! ```
+//!
+//! re-executes a failing case bit-for-bit on any machine.
+//!
+//! # Example
+//!
+//! ```
+//! use cubis_check::{run_fuzz, FuzzConfig};
+//!
+//! let report = run_fuzz(&FuzzConfig { seed: 42, iters: 3 });
+//! assert_eq!(report.cases_run, 3);
+//! assert!(report.failure.is_none(), "oracle violation: {:?}", report.failure);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod dense;
+pub mod instance;
+pub mod oracles;
+pub mod reference;
+pub mod rng;
+pub mod shrink;
+
+pub use artifact::CaseArtifact;
+pub use instance::{format_seed, parse_seed, CheckInstance};
+pub use oracles::{OracleStatus, Violation};
+pub use rng::SplitMix64;
+
+/// Environment variable that replays a single failing case by seed.
+pub const SEED_ENV: &str = "CUBIS_CHECK_SEED";
+
+/// Configuration of a fuzz run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzConfig {
+    /// Master seed: per-case seeds are drawn from
+    /// `SplitMix64::new(seed)`.
+    pub seed: u64,
+    /// Number of generated cases.
+    pub iters: usize,
+}
+
+impl FuzzConfig {
+    /// The small fixed-seed subset `cubis-xtask ci` and tier-1 tests
+    /// run: master seed 42, 12 cases — a few seconds, deterministic.
+    pub fn smoke() -> Self {
+        Self { seed: 42, iters: 12 }
+    }
+}
+
+/// A fuzz failure: the violation plus the shrunk replayable case.
+#[derive(Debug, Clone)]
+pub struct CaseFailure {
+    /// The per-case seed that generated the failing instance.
+    pub case_seed: u64,
+    /// Name of the violated oracle.
+    pub oracle: &'static str,
+    /// Violation detail at the original (pre-shrink) instance.
+    pub detail: String,
+    /// The generated instance as it failed.
+    pub original: CheckInstance,
+    /// The shrunk minimal instance (still fails the same oracle).
+    pub shrunk: CheckInstance,
+}
+
+impl CaseFailure {
+    /// The replayable JSON artifact for this failure.
+    pub fn artifact(&self) -> CaseArtifact {
+        CaseArtifact {
+            case_seed: self.case_seed,
+            oracle: self.oracle.to_string(),
+            detail: self.detail.clone(),
+            instance: self.shrunk.clone(),
+        }
+    }
+
+    /// The shell command that replays this case.
+    pub fn replay_hint(&self) -> String {
+        format!(
+            "{SEED_ENV}={} cargo run -p cubis-xtask -- fuzz",
+            format_seed(self.case_seed)
+        )
+    }
+}
+
+/// Outcome of a fuzz run.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Cases generated and executed (stops early on the first failure).
+    pub cases_run: usize,
+    /// Total oracle checks performed (skips not counted).
+    pub oracle_checks: usize,
+    /// The first failure, if any, already shrunk.
+    pub failure: Option<CaseFailure>,
+}
+
+/// Run all oracles against the instance generated from `case_seed`;
+/// on violation, shrink and package the failure.
+pub fn run_case(case_seed: u64) -> Result<usize, CaseFailure> {
+    let inst = CheckInstance::generate(case_seed);
+    match oracles::run_all(&inst) {
+        Ok(checked) => Ok(checked),
+        Err(v) => {
+            let out = shrink::shrink_for_oracle(&inst, v.oracle);
+            Err(CaseFailure {
+                case_seed,
+                oracle: v.oracle,
+                detail: v.detail,
+                original: inst,
+                shrunk: out.instance,
+            })
+        }
+    }
+}
+
+/// Run a budgeted fuzz session: `cfg.iters` cases with per-case seeds
+/// drawn from `SplitMix64::new(cfg.seed)`, stopping at the first
+/// violation (which is shrunk before being reported).
+pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let mut seeds = SplitMix64::new(cfg.seed);
+    let mut cases_run = 0usize;
+    let mut oracle_checks = 0usize;
+    for _ in 0..cfg.iters {
+        let case_seed = seeds.next_u64();
+        cases_run += 1;
+        match run_case(case_seed) {
+            Ok(checked) => oracle_checks += checked,
+            Err(failure) => {
+                return FuzzReport { cases_run, oracle_checks, failure: Some(failure) }
+            }
+        }
+    }
+    FuzzReport { cases_run, oracle_checks, failure: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_subset_is_clean() {
+        let report = run_fuzz(&FuzzConfig::smoke());
+        assert_eq!(report.cases_run, FuzzConfig::smoke().iters);
+        assert!(report.oracle_checks > 0);
+        assert!(
+            report.failure.is_none(),
+            "smoke violation: {:?}",
+            report.failure.map(|f| (f.oracle, f.detail))
+        );
+    }
+
+    #[test]
+    fn fuzz_is_deterministic() {
+        let a = run_fuzz(&FuzzConfig { seed: 7, iters: 3 });
+        let b = run_fuzz(&FuzzConfig { seed: 7, iters: 3 });
+        assert_eq!(a.oracle_checks, b.oracle_checks);
+        assert_eq!(a.cases_run, b.cases_run);
+    }
+
+    #[test]
+    fn replay_hint_names_the_env_var() {
+        let failure = CaseFailure {
+            case_seed: 0x2a,
+            oracle: "inner-dp-vs-brute",
+            detail: "example".to_string(),
+            original: CheckInstance::generate(1),
+            shrunk: CheckInstance::generate(1),
+        };
+        let hint = failure.replay_hint();
+        assert!(hint.contains("CUBIS_CHECK_SEED=0x000000000000002a"));
+        assert!(hint.contains("fuzz"));
+        let art = failure.artifact();
+        assert_eq!(art.case_seed, 0x2a);
+        assert_eq!(art.oracle, "inner-dp-vs-brute");
+    }
+}

@@ -1,0 +1,535 @@
+//! The differential-oracle registry.
+//!
+//! Each [`Oracle`] takes a generated [`CheckInstance`], recomputes some
+//! CUBIS answer by two independent routes and demands agreement within
+//! a stated tolerance. Oracles may *skip* instances outside their gate
+//! (e.g. brute-force searches cap the grid size) — a skip is not a
+//! pass, and the fuzz report counts only performed checks.
+//!
+//! | oracle                | production route              | reference route                  |
+//! |-----------------------|-------------------------------|----------------------------------|
+//! | `lp-simplex-vs-dense` | revised simplex (`cubis-lp`)  | vertex enumeration via `linalg`  |
+//! | `worst-case-bisect-vs-lp` | φ-bisection oracle        | inner LP (6)–(8)                 |
+//! | `inner-dp-vs-brute`   | grid DP                       | exhaustive grid enumeration      |
+//! | `inner-greedy-vs-spec`| `GreedyInner`                 | executable-spec replay + DP cap  |
+//! | `inner-milp-vs-dp`    | MILP(K) via branch-and-bound  | DP on the breakpoint grid ± Lemma-1 slack |
+//! | `bb-seq-vs-par`       | 3-worker branch-and-bound     | sequential branch-and-bound      |
+//! | `cubis-vs-brute`      | full CUBIS binary search      | brute-force robust grid search   |
+//! | `meta-width-monotone` | —                             | wider `[L,U]` never helps        |
+//! | `meta-permutation`    | —                             | invariance under relabeling      |
+//! | `meta-k-refine`       | —                             | Lemma-1 error shrinks with `K`   |
+
+use crate::dense::{solve_dense, DenseOutcome};
+use crate::instance::CheckInstance;
+use crate::reference;
+use cubis_behavior::UncertainSuqr;
+use cubis_core::inner::{DpInner, GreedyInner, InnerSolver, MilpInner};
+use cubis_core::oracle::worst_case_inner_lp;
+use cubis_core::piecewise::PiecewiseLinear;
+use cubis_core::problem::RobustProblem;
+use cubis_core::transform;
+use cubis_core::Cubis;
+use cubis_game::SecurityGame;
+use cubis_lp::{LpOptions, LpProblem, LpStatus, Relation, Sense};
+
+/// Whether an oracle actually checked the instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleStatus {
+    /// The oracle's gate admitted the instance and all checks passed.
+    Checked,
+    /// The instance is outside the oracle's gate (too large, etc.).
+    Skipped,
+}
+
+/// A confirmed disagreement between two routes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Name of the violated oracle.
+    pub oracle: &'static str,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+}
+
+/// One differential oracle.
+pub struct Oracle {
+    /// Stable name (used in artifacts and `run_named`).
+    pub name: &'static str,
+    /// One-line description for docs and reports.
+    pub what: &'static str,
+    /// The check itself: `Err` carries the violation detail.
+    pub run: fn(&CheckInstance) -> Result<OracleStatus, String>,
+}
+
+/// All registered oracles, in execution order.
+pub fn registry() -> &'static [Oracle] {
+    &[
+        Oracle {
+            name: "lp-simplex-vs-dense",
+            what: "revised simplex vs dense vertex-enumeration reference on the worst-case LP",
+            run: lp_simplex_vs_dense,
+        },
+        Oracle {
+            name: "worst-case-bisect-vs-lp",
+            what: "φ-bisection worst-case oracle vs the inner LP (6)-(8)",
+            run: worst_case_bisect_vs_lp,
+        },
+        Oracle {
+            name: "inner-dp-vs-brute",
+            what: "grid DP vs exhaustive enumeration of the coverage grid",
+            run: inner_dp_vs_brute,
+        },
+        Oracle {
+            name: "inner-greedy-vs-spec",
+            what: "GreedyInner vs an executable-spec replay (identical allocations) and the DP cap",
+            run: inner_greedy_vs_spec,
+        },
+        Oracle {
+            name: "inner-milp-vs-dp",
+            what: "MILP(K) optimum vs DP on the breakpoint grid, within the Lemma-1 slack",
+            run: inner_milp_vs_dp,
+        },
+        Oracle {
+            name: "bb-seq-vs-par",
+            what: "sequential vs parallel branch-and-bound incumbents on the inner MILP",
+            run: bb_seq_vs_par,
+        },
+        Oracle {
+            name: "cubis-vs-brute",
+            what: "full CUBIS vs brute-force robust grid search within the Theorem-1 tolerance",
+            run: cubis_vs_brute,
+        },
+        Oracle {
+            name: "meta-width-monotone",
+            what: "metamorphic: widening the uncertainty intervals never helps the defender",
+            run: meta_width_monotone,
+        },
+        Oracle {
+            name: "meta-permutation",
+            what: "metamorphic: robust values are invariant under target relabeling",
+            run: meta_permutation,
+        },
+        Oracle {
+            name: "meta-k-refine",
+            what: "metamorphic: Lemma-1 linearization error is bounded and shrinks as K doubles",
+            run: meta_k_refine,
+        },
+    ]
+}
+
+/// Run every oracle; returns the number of oracles that actually
+/// checked the instance, or the first violation.
+pub fn run_all(inst: &CheckInstance) -> Result<usize, Violation> {
+    let mut checked = 0usize;
+    for oracle in registry() {
+        match (oracle.run)(inst) {
+            Ok(OracleStatus::Checked) => checked += 1,
+            Ok(OracleStatus::Skipped) => {}
+            Err(detail) => return Err(Violation { oracle: oracle.name, detail }),
+        }
+    }
+    Ok(checked)
+}
+
+/// Run a single oracle by name (the shrinker's re-check predicate).
+/// Unknown names are reported as an error, not a pass.
+pub fn run_named(name: &str, inst: &CheckInstance) -> Result<OracleStatus, String> {
+    for oracle in registry() {
+        if oracle.name == name {
+            return (oracle.run)(inst);
+        }
+    }
+    Err(format!("unknown oracle `{name}`"))
+}
+
+/// Deterministic coverage probe: uniform spread of the resources.
+fn probe_x(game: &SecurityGame) -> Vec<f64> {
+    cubis_game::uniform_coverage(game.num_targets(), game.resources())
+}
+
+/// Three `c` probes spanning the utility range.
+fn c_probes<M: cubis_behavior::IntervalChoiceModel>(p: &RobustProblem<'_, M>) -> [f64; 3] {
+    let (lo, hi) = p.utility_range();
+    [0.2, 0.5, 0.8].map(|f| lo + f * (hi - lo))
+}
+
+struct Built {
+    game: SecurityGame,
+    model: UncertainSuqr,
+}
+
+fn build(inst: &CheckInstance) -> Built {
+    let game = inst.game();
+    let model = inst.model(&game);
+    Built { game, model }
+}
+
+/// Rebuild the worst-case inner LP (6)-(8) exactly as
+/// `cubis_core::oracle::worst_case_inner_lp` assembles it.
+fn build_worst_case_lp<M: cubis_behavior::IntervalChoiceModel>(
+    p: &RobustProblem<'_, M>,
+    x: &[f64],
+) -> LpProblem {
+    let t = p.num_targets();
+    let mut lp = LpProblem::new(Sense::Minimize);
+    let ys: Vec<_> =
+        (0..t).map(|i| lp.add_var(format!("y{i}"), 0.0, 1.0, p.ud(i, x[i]))).collect();
+    // `z` is bounded above by 1/ΣL ≤ 1/L_max at feasibility; cap it with
+    // a data-driven finite bound so the vertex enumeration has a bounded
+    // polytope to walk (the simplex needs no such cap).
+    let z_cap = (0..t)
+        .map(|i| p.bounds(i, x[i]).0)
+        .fold(0.0f64, |acc, l| acc + l)
+        .recip()
+        .max(1.0);
+    let z = lp.add_var("z", 0.0, z_cap, 0.0);
+    lp.add_constraint(ys.iter().map(|&y| (y, 1.0)).collect(), Relation::Eq, 1.0);
+    for i in 0..t {
+        let (l, u) = p.bounds(i, x[i]);
+        lp.add_constraint(vec![(ys[i], 1.0), (z, -l)], Relation::Ge, 0.0);
+        lp.add_constraint(vec![(ys[i], 1.0), (z, -u)], Relation::Le, 0.0);
+    }
+    lp
+}
+
+fn lp_simplex_vs_dense(inst: &CheckInstance) -> Result<OracleStatus, String> {
+    if inst.num_targets() > 4 {
+        return Ok(OracleStatus::Skipped);
+    }
+    let b = build(inst);
+    let p = RobustProblem::new(&b.game, &b.model);
+    let x = probe_x(&b.game);
+    let lp = build_worst_case_lp(&p, &x);
+    let simplex = cubis_lp::solve(&lp, &LpOptions::default())
+        .map_err(|e| format!("simplex failed on worst-case LP: {e:?}"))?;
+    if simplex.status != LpStatus::Optimal {
+        return Err(format!("simplex status {:?} on a bounded feasible LP", simplex.status));
+    }
+    match solve_dense(&lp, 2_000_000) {
+        DenseOutcome::Optimal { objective, .. } => {
+            if (simplex.objective - objective).abs() > 1e-6 {
+                return Err(format!(
+                    "simplex {} vs dense reference {} (Δ = {:e})",
+                    simplex.objective,
+                    objective,
+                    simplex.objective - objective
+                ));
+            }
+            Ok(OracleStatus::Checked)
+        }
+        DenseOutcome::Infeasible => {
+            Err("dense reference found no feasible vertex, simplex reported optimal".into())
+        }
+        DenseOutcome::TooLarge => Ok(OracleStatus::Skipped),
+    }
+}
+
+fn worst_case_bisect_vs_lp(inst: &CheckInstance) -> Result<OracleStatus, String> {
+    let b = build(inst);
+    let p = RobustProblem::new(&b.game, &b.model);
+    let x = probe_x(&b.game);
+    let bisect = p.worst_case(&x).utility;
+    let lp = worst_case_inner_lp(&p, &x)
+        .ok_or_else(|| "inner LP unsolvable on a valid instance".to_string())?;
+    if (bisect - lp).abs() > 1e-5 {
+        return Err(format!("bisection {bisect} vs inner LP {lp} (Δ = {:e})", bisect - lp));
+    }
+    Ok(OracleStatus::Checked)
+}
+
+fn inner_dp_vs_brute(inst: &CheckInstance) -> Result<OracleStatus, String> {
+    if reference::grid_size(inst.num_targets(), inst.pp) > 20_000 {
+        return Ok(OracleStatus::Skipped);
+    }
+    let b = build(inst);
+    let p = RobustProblem::new(&b.game, &b.model);
+    let dp = DpInner::new(inst.pp);
+    for c in c_probes(&p) {
+        let res = dp.maximize_g(&p, c).map_err(|e| format!("DP failed at c={c}: {e}"))?;
+        let (brute, _) = reference::brute_force_g_max(&p, inst.pp, c);
+        if (res.g_value - brute).abs() > 1e-9 {
+            return Err(format!(
+                "c={c}: DP {} vs brute-force {} (Δ = {:e})",
+                res.g_value,
+                brute,
+                res.g_value - brute
+            ));
+        }
+        let achieved = transform::g_total(&p, &res.x, c);
+        if (achieved - res.g_value).abs() > 1e-9 {
+            return Err(format!(
+                "c={c}: DP allocation achieves {achieved}, reported {}",
+                res.g_value
+            ));
+        }
+    }
+    Ok(OracleStatus::Checked)
+}
+
+fn inner_greedy_vs_spec(inst: &CheckInstance) -> Result<OracleStatus, String> {
+    let b = build(inst);
+    let p = RobustProblem::new(&b.game, &b.model);
+    let greedy = GreedyInner::new(inst.pp);
+    let dp = DpInner::new(inst.pp);
+    for c in c_probes(&p) {
+        let got = greedy.maximize_g(&p, c).map_err(|e| format!("greedy failed at c={c}: {e}"))?;
+        let spec = reference::spec_greedy(&p, inst.pp, greedy.lookahead, c);
+        let got_alloc: Vec<usize> =
+            got.x.iter().map(|&xi| (xi * inst.pp as f64).round() as usize).collect();
+        if got_alloc != spec.alloc {
+            return Err(format!(
+                "c={c}: greedy allocation {got_alloc:?} differs from spec {:?}",
+                spec.alloc
+            ));
+        }
+        if (got.g_value - spec.g_value).abs() > 1e-12 {
+            return Err(format!(
+                "c={c}: greedy value {} vs spec {} at the same allocation",
+                got.g_value, spec.g_value
+            ));
+        }
+        let exact = dp.maximize_g(&p, c).map_err(|e| format!("DP failed at c={c}: {e}"))?;
+        if got.g_value > exact.g_value + 1e-9 {
+            return Err(format!(
+                "c={c}: greedy {} beats the exact DP {} on the same grid",
+                got.g_value, exact.g_value
+            ));
+        }
+    }
+    Ok(OracleStatus::Checked)
+}
+
+fn inner_milp_vs_dp(inst: &CheckInstance) -> Result<OracleStatus, String> {
+    if inst.num_targets() > 4 {
+        return Ok(OracleStatus::Skipped);
+    }
+    let b = build(inst);
+    let p = RobustProblem::new(&b.game, &b.model);
+    let (lo, hi) = p.utility_range();
+    let c = lo + 0.5 * (hi - lo);
+    let milp = MilpInner::new(inst.k)
+        .maximize_g(&p, c)
+        .map_err(|e| format!("MILP failed at c={c}: {e}"))?;
+    let dp = DpInner::new(inst.k)
+        .maximize_g(&p, c)
+        .map_err(|e| format!("DP failed at c={c}: {e}"))?;
+    // Every breakpoint-grid point is MILP-feasible with Ḡ = G there, so
+    // the MILP optimum can't trail the DP. It *can* legitimately exceed
+    // it: between breakpoints `min(f̄1, f̄2)` is concave and peaks at the
+    // interior crossing of the two lines, a point the grid never
+    // samples. Lemma 1 caps both that overshoot and the grid
+    // granularity by `max|f′|/K` per target, giving the upper bound.
+    let mut slack = 0.0f64;
+    for i in 0..inst.num_targets() {
+        let e1 = PiecewiseLinear::error_bound_estimate(inst.k, |x| transform::f1(&p, i, x, c));
+        let e2 = PiecewiseLinear::error_bound_estimate(inst.k, |x| transform::f2(&p, i, x, c));
+        slack += e1.max(e2);
+    }
+    if milp.g_value < dp.g_value - 1e-7 {
+        return Err(format!(
+            "c={c}: MILP(K={}) {} trails the breakpoint DP {} (Δ = {:e})",
+            inst.k,
+            milp.g_value,
+            dp.g_value,
+            dp.g_value - milp.g_value
+        ));
+    }
+    if milp.g_value > dp.g_value + 2.0 * slack + 1e-6 {
+        return Err(format!(
+            "c={c}: MILP(K={}) {} exceeds breakpoint DP {} by more than the Lemma-1 slack {:e}",
+            inst.k,
+            milp.g_value,
+            dp.g_value,
+            2.0 * slack
+        ));
+    }
+    Ok(OracleStatus::Checked)
+}
+
+fn bb_seq_vs_par(inst: &CheckInstance) -> Result<OracleStatus, String> {
+    if inst.num_targets() > 4 {
+        return Ok(OracleStatus::Skipped);
+    }
+    let b = build(inst);
+    let p = RobustProblem::new(&b.game, &b.model);
+    let (lo, hi) = p.utility_range();
+    let c = lo + 0.4 * (hi - lo);
+    // Without the DP warm start branch-and-bound has real work to do,
+    // which is what makes the sequential/parallel comparison meaningful.
+    let seq = MilpInner::new(inst.k)
+        .without_warm_start()
+        .with_threads(1)
+        .maximize_g(&p, c)
+        .map_err(|e| format!("sequential B&B failed at c={c}: {e}"))?;
+    let par = MilpInner::new(inst.k)
+        .without_warm_start()
+        .with_threads(3)
+        .maximize_g(&p, c)
+        .map_err(|e| format!("parallel B&B failed at c={c}: {e}"))?;
+    if (seq.g_value - par.g_value).abs() > 1e-9 {
+        return Err(format!(
+            "c={c}: sequential incumbent {} vs parallel {} (Δ = {:e})",
+            seq.g_value,
+            par.g_value,
+            seq.g_value - par.g_value
+        ));
+    }
+    Ok(OracleStatus::Checked)
+}
+
+fn cubis_vs_brute(inst: &CheckInstance) -> Result<OracleStatus, String> {
+    if inst.num_targets() > 4 || reference::grid_size(inst.num_targets(), inst.pp) > 2_500 {
+        return Ok(OracleStatus::Skipped);
+    }
+    let b = build(inst);
+    let p = RobustProblem::new(&b.game, &b.model);
+    let sol = Cubis::new(DpInner::new(inst.pp))
+        .with_epsilon(inst.epsilon)
+        .solve(&p)
+        .map_err(|e| format!("CUBIS solve failed: {e}"))?;
+    let (brute, _) = reference::brute_force_robust(&p, inst.pp);
+    // Same grid on both sides ⇒ Theorem 1 without the 1/K term:
+    // brute is the true grid optimum, so CUBIS can neither beat it nor
+    // trail it by more than the binary-search gap ε.
+    if sol.worst_case > brute + 1e-7 {
+        return Err(format!(
+            "CUBIS worst case {} beats the brute-force grid optimum {}",
+            sol.worst_case, brute
+        ));
+    }
+    if sol.worst_case < brute - inst.epsilon - 1e-7 {
+        return Err(format!(
+            "CUBIS worst case {} trails the grid optimum {} by more than ε = {}",
+            sol.worst_case, brute, inst.epsilon
+        ));
+    }
+    Ok(OracleStatus::Checked)
+}
+
+fn meta_width_monotone(inst: &CheckInstance) -> Result<OracleStatus, String> {
+    let b = build(inst);
+    let x = probe_x(&b.game);
+    let narrow = b.model.scale_width(0.5);
+    let wide = b.model.scale_width(1.5);
+    let base = RobustProblem::new(&b.game, &b.model).worst_case(&x).utility;
+    let narrow_wc = RobustProblem::new(&b.game, &narrow).worst_case(&x).utility;
+    let wide_wc = RobustProblem::new(&b.game, &wide).worst_case(&x).utility;
+    // Wider `[L,U]` is a superset of adversary choices: the worst case
+    // can only drop (exact inclusion, so the tolerance is pure float).
+    if wide_wc > base + 1e-9 || base > narrow_wc + 1e-9 {
+        return Err(format!(
+            "worst case not monotone in interval width: narrow {narrow_wc}, base {base}, wide {wide_wc}"
+        ));
+    }
+    Ok(OracleStatus::Checked)
+}
+
+fn meta_permutation(inst: &CheckInstance) -> Result<OracleStatus, String> {
+    let t = inst.num_targets();
+    let perm: Vec<usize> = (0..t).rev().collect();
+    let pinst = inst.permuted(&perm);
+    let b = build(inst);
+    let pb = build(&pinst);
+    // Fixed strategy: relabeling game, model and coverage together must
+    // reproduce the worst case exactly (the bisection sees the same
+    // multiset of targets; only summation order changes).
+    let x = probe_x(&b.game);
+    let px: Vec<f64> = perm.iter().map(|&j| x[j]).collect();
+    let wc = RobustProblem::new(&b.game, &b.model).worst_case(&x).utility;
+    let pwc = RobustProblem::new(&pb.game, &pb.model).worst_case(&px).utility;
+    if (wc - pwc).abs() > 1e-7 {
+        return Err(format!(
+            "fixed-x worst case changed under permutation: {wc} vs {pwc} (Δ = {:e})",
+            wc - pwc
+        ));
+    }
+    // Solved: the robust value is permutation invariant up to the
+    // binary-search tolerance (tie-breaks may pick different optima of
+    // equal value).
+    let solve = |game: &SecurityGame, model: &UncertainSuqr| {
+        let p = RobustProblem::new(game, model);
+        Cubis::new(DpInner::new(inst.pp))
+            .with_epsilon(inst.epsilon)
+            .solve(&p)
+            .map(|s| s.worst_case)
+            .map_err(|e| format!("CUBIS solve failed: {e}"))
+    };
+    let v = solve(&b.game, &b.model)?;
+    let pv = solve(&pb.game, &pb.model)?;
+    if (v - pv).abs() > inst.epsilon + 1e-6 {
+        return Err(format!(
+            "solved robust value changed under permutation: {v} vs {pv} (ε = {})",
+            inst.epsilon
+        ));
+    }
+    Ok(OracleStatus::Checked)
+}
+
+fn meta_k_refine(inst: &CheckInstance) -> Result<OracleStatus, String> {
+    let b = build(inst);
+    let p = RobustProblem::new(&b.game, &b.model);
+    let (lo, hi) = p.utility_range();
+    let c = lo + 0.5 * (hi - lo);
+    for i in 0..inst.num_targets() {
+        for which in 0..2u8 {
+            let f = |x: f64| {
+                if which == 0 {
+                    transform::f1(&p, i, x, c)
+                } else {
+                    transform::f2(&p, i, x, c)
+                }
+            };
+            for k in [inst.k, 2 * inst.k] {
+                let pw = PiecewiseLinear::build(k, f);
+                let observed = (0..=200)
+                    .map(|j| {
+                        let x = j as f64 / 200.0;
+                        (pw.eval(x) - f(x)).abs()
+                    })
+                    .fold(0.0f64, f64::max);
+                // Lemma 1: error ≤ max|f′|/K; doubling K halves the
+                // bound, so checking the bound at both K and 2K pins
+                // the shrink.
+                let bound = PiecewiseLinear::error_bound_estimate(k, f);
+                if observed > bound * 1.05 + 1e-9 {
+                    return Err(format!(
+                        "target {i} f{}: K={k} error {observed} exceeds Lemma-1 bound {bound}",
+                        which + 1
+                    ));
+                }
+            }
+        }
+    }
+    Ok(OracleStatus::Checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_documented() {
+        let names: Vec<_> = registry().iter().map(|o| o.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate oracle name");
+        assert!(registry().iter().all(|o| !o.what.is_empty()));
+    }
+
+    #[test]
+    fn run_named_rejects_unknown() {
+        let inst = CheckInstance::generate(1);
+        assert!(run_named("no-such-oracle", &inst).is_err());
+    }
+
+    #[test]
+    fn small_fixed_seeds_have_no_violations() {
+        for seed in [1u64, 2, 3] {
+            let inst = CheckInstance::generate(seed);
+            match run_all(&inst) {
+                Ok(checked) => assert!(checked >= 5, "seed {seed}: only {checked} oracles ran"),
+                Err(v) => panic!("seed {seed}: {} violated: {}", v.oracle, v.detail),
+            }
+        }
+    }
+}

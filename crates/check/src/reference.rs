@@ -1,0 +1,249 @@
+//! Executable-spec reference implementations for differential oracles.
+//!
+//! Each function here re-derives a production answer by the most
+//! obviously-correct route available: the greedy spec replays the
+//! documented selection rule float-op by float-op, and the brute-force
+//! searches enumerate the entire coverage grid. None of this shares
+//! control flow with the production solvers in `cubis-core`, which is
+//! the point — a bug has to occur twice, identically, to slip past.
+
+use cubis_behavior::IntervalChoiceModel;
+use cubis_core::problem::RobustProblem;
+use cubis_core::transform;
+
+/// Result of the spec greedy: grid allocation plus achieved `G_c`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecGreedy {
+    /// Units allocated per target (each ≤ `pp`).
+    pub alloc: Vec<usize>,
+    /// True `G_c` at the allocation.
+    pub g_value: f64,
+}
+
+/// The documented greedy selection rule, replayed independently.
+///
+/// This mirrors `GreedyInner` in `cubis-core` *exactly* — same scan
+/// order (targets outer, lookahead inner), same rate arithmetic
+/// `(g_next − g_now) / l`, same strictly-greater replacement rule — so
+/// the differential oracle can demand an **identical allocation
+/// vector**, not just a close value. A "better" spec (e.g. one fixing
+/// ties differently) would mask real divergences; see
+/// `spec_greedy_impl` for the deliberately corrupted variant used to
+/// prove the oracle has teeth.
+pub fn spec_greedy<M: IntervalChoiceModel>(
+    p: &RobustProblem<'_, M>,
+    pp: usize,
+    lookahead: usize,
+    c: f64,
+) -> SpecGreedy {
+    spec_greedy_impl(p, pp, lookahead, c, false)
+}
+
+/// Spec greedy with an optional **deliberate corruption**: when `flip`
+/// is set, the selection comparison is inverted (`rate < best` instead
+/// of `rate > best`), emulating the "flipped comparison in greedy"
+/// fault the harness must catch. Tests only — production callers use
+/// [`spec_greedy`].
+pub fn spec_greedy_impl<M: IntervalChoiceModel>(
+    p: &RobustProblem<'_, M>,
+    pp: usize,
+    lookahead: usize,
+    c: f64,
+    flip: bool,
+) -> SpecGreedy {
+    assert!(pp > 0 && lookahead > 0, "spec_greedy: pp and lookahead must be positive");
+    let t = p.num_targets();
+    let step = 1.0 / pp as f64;
+    let budget_units = (p.resources() * pp as f64).round() as usize;
+
+    let mut alloc = vec![0usize; t];
+    let mut g_now: Vec<f64> = (0..t).map(|i| transform::g(p, i, 0.0, c)).collect();
+    for _ in 0..budget_units {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..t {
+            for l in 1..=lookahead {
+                let next_units = alloc[i] + l;
+                if next_units > pp {
+                    break;
+                }
+                let g_next = transform::g(p, i, next_units as f64 * step, c);
+                let rate = (g_next - g_now[i]) / l as f64;
+                let want = if flip { std::cmp::Ordering::Less } else { std::cmp::Ordering::Greater };
+                let replaces = match best {
+                    None => true,
+                    Some((_, r)) => rate.total_cmp(&r) == want,
+                };
+                if replaces {
+                    best = Some((i, rate));
+                }
+            }
+        }
+        let Some((i, _)) = best else { break };
+        alloc[i] += 1;
+        g_now[i] = transform::g(p, i, alloc[i] as f64 * step, c);
+    }
+    let x: Vec<f64> = alloc.iter().map(|&a| a as f64 * step).collect();
+    SpecGreedy { alloc, g_value: transform::g_total(p, &x, c) }
+}
+
+/// Number of grid allocations `{a : Σ aᵢ ≤ budget, aᵢ ≤ pp}` — the
+/// work estimate callers use to gate brute-force enumeration.
+/// Saturates at `u64::MAX`.
+pub fn grid_size(t: usize, pp: usize) -> u64 {
+    let per_target = pp as u64 + 1;
+    let mut acc: u64 = 1;
+    for _ in 0..t {
+        acc = match acc.checked_mul(per_target) {
+            Some(v) => v,
+            None => return u64::MAX,
+        };
+    }
+    acc
+}
+
+/// Visit every allocation `a ∈ {0..=pp}^t` with `Σ aᵢ ≤ budget_units`,
+/// in lexicographic order.
+pub fn for_each_allocation(
+    t: usize,
+    pp: usize,
+    budget_units: usize,
+    mut visit: impl FnMut(&[usize]),
+) {
+    let mut a = vec![0usize; t];
+    let mut used = 0usize;
+    loop {
+        visit(&a);
+        // Odometer increment, skipping over-budget states wholesale by
+        // carrying as soon as the budget is exceeded.
+        let mut pos = t;
+        loop {
+            if pos == 0 {
+                return;
+            }
+            pos -= 1;
+            if a[pos] < pp && used < budget_units {
+                a[pos] += 1;
+                used += 1;
+                break;
+            }
+            used -= a[pos];
+            a[pos] = 0;
+        }
+    }
+}
+
+/// Brute-force maximum of `G_c` over the full coverage grid.
+///
+/// Exact on the same feasible set the DP searches (`Σ xᵢ ≤ R`, grid
+/// step `1/pp`), so `DpInner` must match it to float tolerance.
+pub fn brute_force_g_max<M: IntervalChoiceModel>(
+    p: &RobustProblem<'_, M>,
+    pp: usize,
+    c: f64,
+) -> (f64, Vec<f64>) {
+    let t = p.num_targets();
+    let step = 1.0 / pp as f64;
+    let budget_units = (p.resources() * pp as f64).round() as usize;
+    let mut best = f64::NEG_INFINITY;
+    let mut best_x = vec![0.0; t];
+    for_each_allocation(t, pp, budget_units, |a| {
+        let x: Vec<f64> = a.iter().map(|&u| u as f64 * step).collect();
+        let g = transform::g_total(p, &x, c);
+        if g.total_cmp(&best).is_gt() {
+            best = g;
+            best_x = x;
+        }
+    });
+    (best, best_x)
+}
+
+/// Brute-force robust defender value: maximize the exact worst-case
+/// utility over the full coverage grid. The reference answer full CUBIS
+/// must bracket within Theorem 1's `ε` tolerance (the grid resolutions
+/// are matched by the caller, so no `1/K` term is needed).
+pub fn brute_force_robust<M: IntervalChoiceModel>(
+    p: &RobustProblem<'_, M>,
+    pp: usize,
+) -> (f64, Vec<f64>) {
+    let t = p.num_targets();
+    let step = 1.0 / pp as f64;
+    let budget_units = (p.resources() * pp as f64).round() as usize;
+    let mut best = f64::NEG_INFINITY;
+    let mut best_x = vec![0.0; t];
+    for_each_allocation(t, pp, budget_units, |a| {
+        let x: Vec<f64> = a.iter().map(|&u| u as f64 * step).collect();
+        let wc = p.worst_case(&x).utility;
+        if wc.total_cmp(&best).is_gt() {
+            best = wc;
+            best_x = x;
+        }
+    });
+    (best, best_x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::CheckInstance;
+
+    #[test]
+    fn grid_sizes() {
+        assert_eq!(grid_size(3, 4), 125);
+        assert_eq!(grid_size(0, 9), 1);
+        assert_eq!(grid_size(64, usize::MAX.min(1 << 20)), u64::MAX);
+    }
+
+    #[test]
+    fn enumeration_visits_exactly_the_feasible_set() {
+        let mut seen = Vec::new();
+        for_each_allocation(3, 2, 3, |a| seen.push(a.to_vec()));
+        // All distinct, all feasible.
+        for a in &seen {
+            assert!(a.iter().all(|&v| v <= 2));
+            assert!(a.iter().sum::<usize>() <= 3);
+        }
+        let mut sorted = seen.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seen.len(), "duplicate allocation visited");
+        // Count check: #{a ∈ {0,1,2}³ : Σa ≤ 3} = 27 − #{Σa ∈ {4,5,6}}.
+        // Σ=4: 6, Σ=5: 3, Σ=6: 1 → 27 − 10 = 17.
+        assert_eq!(seen.len(), 17);
+    }
+
+    #[test]
+    fn brute_g_max_beats_every_feasible_point() {
+        let inst = CheckInstance::generate(21);
+        let game = inst.game();
+        let model = inst.model(&game);
+        let p = RobustProblem::new(&game, &model);
+        let pp = 3;
+        let c = 0.0;
+        let (best, best_x) = brute_force_g_max(&p, pp, c);
+        assert!((transform::g_total(&p, &best_x, c) - best).abs() < 1e-12);
+        let budget = (p.resources() * pp as f64).round() as usize;
+        for_each_allocation(p.num_targets(), pp, budget, |a| {
+            let x: Vec<f64> = a.iter().map(|&u| u as f64 / pp as f64).collect();
+            assert!(transform::g_total(&p, &x, c) <= best + 1e-12);
+        });
+    }
+
+    #[test]
+    fn flipped_spec_differs_from_straight_spec() {
+        // The corruption used in the detection acceptance test must
+        // actually change behavior on typical instances.
+        let mut changed = 0;
+        for seed in 0..8u64 {
+            let inst = CheckInstance::generate(seed);
+            let game = inst.game();
+            let model = inst.model(&game);
+            let p = RobustProblem::new(&game, &model);
+            let straight = spec_greedy_impl(&p, inst.pp, 2, 0.0, false);
+            let flipped = spec_greedy_impl(&p, inst.pp, 2, 0.0, true);
+            if straight.alloc != flipped.alloc {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 4, "flip changed only {changed}/8 instances");
+    }
+}

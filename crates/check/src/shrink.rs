@@ -1,0 +1,191 @@
+//! Counterexample shrinking.
+//!
+//! Given a failing instance and a "still fails?" predicate, greedily
+//! apply simplification passes — drop targets, shrink resources,
+//! coarsen `K`/`pp`, collapse the uncertainty knobs, snap payoffs to
+//! small integers — keeping a candidate only when it remains valid
+//! *and* still trips the same oracle. Passes loop to a fixpoint (or an
+//! attempt cap), so the reported counterexample is minimal with
+//! respect to every pass: no single simplification can be applied to
+//! it without losing the failure.
+
+use crate::instance::CheckInstance;
+use crate::oracles;
+
+/// Result of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimal failing instance found.
+    pub instance: CheckInstance,
+    /// Predicate evaluations spent.
+    pub attempts: usize,
+    /// Simplification steps that were accepted.
+    pub accepted: usize,
+}
+
+/// Default cap on predicate evaluations (each one may be a full oracle
+/// run, so this bounds shrink time).
+pub const DEFAULT_MAX_ATTEMPTS: usize = 400;
+
+/// All one-step simplifications of `inst`, most aggressive first.
+fn candidates(inst: &CheckInstance) -> Vec<CheckInstance> {
+    let mut out = Vec::new();
+    // Structural: fewer targets beats everything else.
+    for i in 0..inst.num_targets() {
+        if let Some(c) = inst.without_target(i) {
+            out.push(c);
+        }
+    }
+    if inst.resources > 1.0 {
+        out.push(CheckInstance { resources: inst.resources - 1.0, ..inst.clone() });
+    }
+    for k in [1usize, inst.k / 2, inst.k.saturating_sub(1)] {
+        if k >= 1 && k < inst.k {
+            out.push(CheckInstance { k, ..inst.clone() });
+        }
+    }
+    for pp in [1usize, inst.pp / 2, inst.pp.saturating_sub(1)] {
+        if pp >= 1 && pp < inst.pp {
+            out.push(CheckInstance { pp, ..inst.clone() });
+        }
+    }
+    let round2 = |v: f64| (v * 100.0).round() / 100.0;
+    for delta in [0.0, round2(inst.payoff_delta / 2.0)] {
+        if delta < inst.payoff_delta {
+            out.push(CheckInstance { payoff_delta: delta, ..inst.clone() });
+        }
+    }
+    for w in [0.0, round2(inst.width_factor / 2.0)] {
+        if w < inst.width_factor {
+            out.push(CheckInstance { width_factor: w, ..inst.clone() });
+        }
+    }
+    // Data: snap payoffs to whole numbers, then toward the unit game.
+    for (i, t) in inst.targets.iter().enumerate() {
+        let snapped = cubis_game::TargetPayoffs::new(
+            t.def_reward.round(),
+            t.def_penalty.round(),
+            t.att_reward.round(),
+            t.att_penalty.round(),
+        );
+        if snapped != *t {
+            let mut targets = inst.targets.clone();
+            targets[i] = snapped;
+            out.push(CheckInstance { targets, ..inst.clone() });
+        }
+        let unit = cubis_game::TargetPayoffs::new(1.0, -1.0, 1.0, -1.0);
+        if unit != *t {
+            let mut targets = inst.targets.clone();
+            targets[i] = unit;
+            out.push(CheckInstance { targets, ..inst.clone() });
+        }
+    }
+    out
+}
+
+/// Shrink `original` while `still_fails` holds, spending at most
+/// `max_attempts` predicate evaluations.
+///
+/// The predicate is only ever called on [`CheckInstance::is_valid`]
+/// candidates, so it may build games without panicking.
+pub fn shrink(
+    original: &CheckInstance,
+    mut still_fails: impl FnMut(&CheckInstance) -> bool,
+    max_attempts: usize,
+) -> ShrinkOutcome {
+    let mut current = original.clone();
+    let mut attempts = 0usize;
+    let mut accepted = 0usize;
+    'outer: loop {
+        for cand in candidates(&current) {
+            if !cand.is_valid() {
+                continue;
+            }
+            if attempts >= max_attempts {
+                break 'outer;
+            }
+            attempts += 1;
+            if still_fails(&cand) {
+                current = cand;
+                accepted += 1;
+                continue 'outer; // Restart passes from the smaller instance.
+            }
+        }
+        break; // Fixpoint: no candidate keeps the failure.
+    }
+    ShrinkOutcome { instance: current, attempts, accepted }
+}
+
+/// Shrink with the named oracle as the predicate: a candidate keeps
+/// the failure when the oracle *checks* it and reports a violation
+/// (skipped instances don't count as failing).
+pub fn shrink_for_oracle(original: &CheckInstance, oracle: &str) -> ShrinkOutcome {
+    shrink(
+        original,
+        |cand| oracles::run_named(oracle, cand).is_err(),
+        DEFAULT_MAX_ATTEMPTS,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_synthetic_predicate_to_exact_minimum() {
+        // Predicate: fails whenever there are ≥ 2 targets and k ≥ 2.
+        // The minimum under our passes is (2 targets, k = 2, everything
+        // else collapsed).
+        let start = CheckInstance::generate(77);
+        assert!(start.num_targets() >= 2 && start.k >= 2);
+        let out = shrink(
+            &start,
+            |c| c.num_targets() >= 2 && c.k >= 2,
+            DEFAULT_MAX_ATTEMPTS,
+        );
+        let m = &out.instance;
+        assert_eq!(m.num_targets(), 2, "targets not minimal: {m:?}");
+        assert_eq!(m.k, 2, "k not minimal: {m:?}");
+        // Every other knob collapsed to its floor.
+        assert_eq!(m.pp, 1);
+        assert!((m.resources - 1.0).abs() < 1e-12);
+        assert_eq!(m.payoff_delta, 0.0);
+        assert_eq!(m.width_factor, 0.0);
+        for t in &m.targets {
+            assert_eq!(
+                *t,
+                cubis_game::TargetPayoffs::new(1.0, -1.0, 1.0, -1.0),
+                "payoffs not collapsed: {m:?}"
+            );
+        }
+        assert!(out.accepted > 0);
+    }
+
+    #[test]
+    fn never_returns_invalid_or_passing_instance() {
+        let start = CheckInstance::generate(123);
+        let out = shrink(&start, |c| c.num_targets() >= 3, 50);
+        assert!(out.instance.is_valid());
+        assert!(out.instance.num_targets() >= 3);
+    }
+
+    #[test]
+    fn fixpoint_is_one_step_minimal() {
+        let start = CheckInstance::generate(9);
+        let pred = |c: &CheckInstance| c.num_targets() >= 2;
+        let out = shrink(&start, pred, DEFAULT_MAX_ATTEMPTS);
+        // No single further pass keeps the failure.
+        for cand in candidates(&out.instance) {
+            if cand.is_valid() {
+                assert!(!pred(&cand), "not minimal: {cand:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn attempt_cap_is_respected() {
+        let start = CheckInstance::generate(5);
+        let out = shrink(&start, |_| true, 7);
+        assert!(out.attempts <= 7);
+    }
+}

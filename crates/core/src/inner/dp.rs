@@ -84,7 +84,7 @@ impl InnerSolver for DpInner {
                         continue;
                     }
                     let v = prev + values[i][a];
-                    if v > best {
+                    if super::improves(v, best) {
                         best = v;
                         best_a = a as u32;
                     }
@@ -102,7 +102,7 @@ impl InnerSolver for DpInner {
             BudgetMode::AtMost => {
                 let mut best = (0usize, NEG);
                 for (bb, &v) in dp.iter().enumerate() {
-                    if v > best.1 {
+                    if super::improves(v, best.1) {
                         best = (bb, v);
                     }
                 }

@@ -58,7 +58,7 @@ impl InnerSolver for GreedyInner {
                     let g_next = transform::g(p, i, next_units as f64 * step, c);
                     evaluations += 1;
                     let rate = (g_next - g_now[i]) / l as f64;
-                    if best.is_none_or(|(_, _, r)| rate > r) {
+                    if best.is_none_or(|(_, _, r)| super::improves(rate, r)) {
                         best = Some((i, l, rate));
                     }
                 }

@@ -137,13 +137,22 @@ impl MilpInner {
         // breakpoint value is ~1: SUQR attractiveness spans several
         // orders of magnitude (it is an exponential), and unscaled
         // coefficients destroy the simplex's conditioning.
+        // Folded with the shared `improves` rule rather than `f64::max`:
+        // `max` quietly discards a NaN operand, which would hide a
+        // broken f1/f2 inside a plausible-looking scale factor. Under
+        // `improves` a NaN breakpoint value poisons γ and fails loudly —
+        // the same NaN semantics the DP and greedy scans use.
         let mut raw_max = 0.0f64;
         for i in 0..t {
             for j in 0..=k {
                 let xbp = j as f64 / k as f64;
-                raw_max = raw_max
-                    .max(transform::f1(p, i, xbp, c).abs())
-                    .max(transform::f2(p, i, xbp, c).abs());
+                for cand in
+                    [transform::f1(p, i, xbp, c).abs(), transform::f2(p, i, xbp, c).abs()]
+                {
+                    if super::improves(cand, raw_max) {
+                        raw_max = cand;
+                    }
+                }
             }
         }
         let gamma = if raw_max > 0.0 { 1.0 / raw_max } else { 1.0 };
@@ -158,7 +167,10 @@ impl MilpInner {
             let mut m = 0.0f64;
             for j in 0..=k {
                 let xbp = j as f64 / k as f64;
-                m = m.max((a.eval(xbp) - b.eval(xbp)).abs());
+                let cand = (a.eval(xbp) - b.eval(xbp)).abs();
+                if super::improves(cand, m) {
+                    m = cand;
+                }
             }
             big_m.push(m + 1.0);
             pw1.push(a);

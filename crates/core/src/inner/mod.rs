@@ -25,6 +25,20 @@ pub use milp::MilpInner;
 use crate::problem::RobustProblem;
 use cubis_behavior::IntervalChoiceModel;
 
+/// Shared incumbent-update rule for the inner maximizers: `candidate`
+/// replaces `incumbent` only when strictly greater under IEEE-754
+/// `total_cmp`. Every backend (DP budget/allocation scans, greedy
+/// rate selection) routes its comparisons through this so tie-breaking
+/// is bitwise identical across solvers — including the NaN cases,
+/// where the backends used to disagree: `v > best` silently skipped a
+/// NaN candidate while greedy's first-candidate path accepted one.
+/// Under `total_cmp`, a positive NaN outranks `+∞` and deterministically
+/// poisons the result (a loud failure the cubis-check oracles can
+/// catch), and a negative NaN never replaces anything.
+pub(crate) fn improves(candidate: f64, incumbent: f64) -> bool {
+    candidate.total_cmp(&incumbent) == std::cmp::Ordering::Greater
+}
+
 /// How the resource budget enters the inner problem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BudgetMode {
@@ -94,6 +108,38 @@ impl std::fmt::Display for SolveError {
 }
 
 impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod improves_tests {
+    use super::improves;
+
+    #[test]
+    fn strictly_greater_replaces() {
+        assert!(improves(2.0, 1.0));
+        assert!(!improves(1.0, 1.0));
+        assert!(!improves(1.0, 2.0));
+        assert!(improves(0.0, f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn nan_ordering_is_deterministic() {
+        // A positive NaN outranks everything (loud poisoning)…
+        assert!(improves(f64::NAN, f64::INFINITY));
+        // …and once the incumbent is NaN, nothing finite dislodges it.
+        assert!(!improves(f64::INFINITY, f64::NAN));
+        assert!(!improves(f64::NAN, f64::NAN));
+        // A negative NaN never replaces anything.
+        assert!(!improves(-f64::NAN, f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn signed_zero_tie_break_is_fixed() {
+        // total_cmp orders −0.0 < +0.0, so the rule is deterministic
+        // even on signed-zero ties (where `>` would see equality).
+        assert!(improves(0.0, -0.0));
+        assert!(!improves(-0.0, 0.0));
+    }
+}
 
 /// A backend that maximizes `G_c` over the coverage polytope.
 pub trait InnerSolver {

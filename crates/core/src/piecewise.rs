@@ -166,4 +166,127 @@ mod tests {
     fn zero_segments_rejected() {
         PiecewiseLinear::build(0, |x| x);
     }
+
+    mod f1_f2_properties {
+        //! Lemma-1 properties checked on the *actual* `f1`/`f2`
+        //! transforms the MILP linearizes, not on synthetic functions.
+
+        use super::*;
+        use crate::problem::RobustProblem;
+        use crate::transform;
+        use cubis_behavior::{BoundConvention, SuqrUncertainty, UncertainSuqr};
+        use cubis_game::{SecurityGame, TargetPayoffs};
+
+        fn fixture() -> (SecurityGame, UncertainSuqr) {
+            let game = SecurityGame::new(
+                vec![
+                    TargetPayoffs::new(5.0, -3.0, 3.0, -5.0),
+                    TargetPayoffs::new(7.0, -7.0, 7.0, -7.0),
+                    TargetPayoffs::new(2.0, -6.0, 6.0, -2.0),
+                ],
+                1.5,
+            );
+            let model = UncertainSuqr::from_game(
+                &game,
+                SuqrUncertainty::paper_example(),
+                0.5,
+                BoundConvention::ExactInterval,
+            );
+            (game, model)
+        }
+
+        /// Max error of the K-segment linearization of `f`, sampled on
+        /// a fine grid.
+        fn observed_error(k: usize, f: &dyn Fn(f64) -> f64) -> f64 {
+            let pw = PiecewiseLinear::build(k, f);
+            (0..=400)
+                .map(|j| {
+                    let x = j as f64 / 400.0;
+                    (pw.eval(x) - f(x)).abs()
+                })
+                .fold(0.0f64, f64::max)
+        }
+
+        /// Per-segment Lipschitz constant of `f` on segment `j` of `k`,
+        /// estimated by fine finite differences inside the segment.
+        fn segment_lipschitz(k: usize, j: usize, f: &dyn Fn(f64) -> f64) -> f64 {
+            let lo = j as f64 / k as f64;
+            let fine = 64;
+            let h = 1.0 / (k * fine) as f64;
+            (0..fine)
+                .map(|s| {
+                    let a = lo + s as f64 * h;
+                    ((f(a + h) - f(a)) / h).abs()
+                })
+                .fold(0.0f64, f64::max)
+        }
+
+        #[test]
+        fn f1_f2_error_within_per_segment_lipschitz_bound() {
+            // Lemma 1: on segment j, |f̄ − f| ≤ M_j/K where M_j is the
+            // segment's Lipschitz constant (the interpolant and the
+            // function agree at both endpoints). Checked per segment —
+            // a sharper claim than the global max|f′|/K bound.
+            let (game, model) = fixture();
+            let p = RobustProblem::new(&game, &model);
+            let k = 6;
+            for &c in &[-2.0, 0.0, 1.0] {
+                for i in 0..game.num_targets() {
+                    for which in 0..2 {
+                        let f: Box<dyn Fn(f64) -> f64> = if which == 0 {
+                            Box::new(|x| transform::f1(&p, i, x, c))
+                        } else {
+                            Box::new(|x| transform::f2(&p, i, x, c))
+                        };
+                        let pw = PiecewiseLinear::build(k, &*f);
+                        for j in 0..k {
+                            let m = segment_lipschitz(k, j, &*f);
+                            let bound = m / k as f64;
+                            let seg_err = (0..=50)
+                                .map(|s| {
+                                    let x = (j as f64 + s as f64 / 50.0) / k as f64;
+                                    (pw.eval(x) - f(x)).abs()
+                                })
+                                .fold(0.0f64, f64::max);
+                            assert!(
+                                seg_err <= bound * 1.05 + 1e-9,
+                                "c={c} i={i} f{} seg {j}: err {seg_err} > bound {bound}",
+                                which + 1
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn f1_f2_error_halves_when_k_doubles() {
+            // Lemma 1 gives O(1/K): doubling K must at least halve the
+            // error, up to a constant. f1/f2 are smooth (exponentials ×
+            // affine), so the observed decay is in fact quadratic; the
+            // 0.75 factor leaves generous slack over the guaranteed ½.
+            let (game, model) = fixture();
+            let p = RobustProblem::new(&game, &model);
+            for &c in &[-2.0, 0.5] {
+                for i in 0..game.num_targets() {
+                    for which in 0..2 {
+                        let f: Box<dyn Fn(f64) -> f64> = if which == 0 {
+                            Box::new(|x| transform::f1(&p, i, x, c))
+                        } else {
+                            Box::new(|x| transform::f2(&p, i, x, c))
+                        };
+                        for k in [2usize, 4, 8] {
+                            let e_k = observed_error(k, &*f);
+                            let e_2k = observed_error(2 * k, &*f);
+                            assert!(
+                                e_2k <= 0.75 * e_k + 1e-9,
+                                "c={c} i={i} f{} K={k}: err(2K)={e_2k} vs err(K)={e_k}",
+                                which + 1
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
 }

@@ -1,0 +1,126 @@
+//! Determinism: the parallel branch-and-bound must reproduce the
+//! sequential objective bit-for-bit, and repeated parallel runs of the
+//! same problem must agree with each other.
+//!
+//! Bit-identity (not `< 1e-6`) is the contract worth testing here: the
+//! shared-incumbent design accepts a candidate only on strict
+//! improvement, every node LP is solved by the same deterministic
+//! simplex, and with distinct random objective coefficients the optimal
+//! vertex is unique — so any drift between runs means a real scheduling
+//! leak into the arithmetic, exactly the bug this test exists to catch.
+
+use cubis_lp::{LpProblem, Relation, Sense, VarId};
+use cubis_milp::{solve_milp, MilpOptions, MilpProblem, MilpStatus};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn knapsack(values: &[f64], weights: &[f64], cap: f64) -> MilpProblem {
+    let mut lp = LpProblem::new(Sense::Maximize);
+    let vars: Vec<VarId> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| lp.add_var(format!("x{i}"), 0.0, 1.0, v))
+        .collect();
+    lp.add_constraint(
+        vars.iter().zip(weights).map(|(&v, &w)| (v, w)).collect(),
+        Relation::Le,
+        cap,
+    );
+    MilpProblem { lp, integers: vars }
+}
+
+fn random_knapsack(rng: &mut ChaCha8Rng) -> MilpProblem {
+    let n = rng.gen_range(6..=12usize);
+    let values: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..10.0)).collect();
+    let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..10.0)).collect();
+    let cap = rng.gen_range(10.0..30.0);
+    knapsack(&values, &weights, cap)
+}
+
+/// A mixed problem: binary selectors gating continuous flows, the shape
+/// the CUBIS inner MILP has (indicators `h` gating segments `x`).
+fn gated_flow(rng: &mut ChaCha8Rng) -> MilpProblem {
+    let n = rng.gen_range(3..=5usize);
+    let mut lp = LpProblem::new(Sense::Maximize);
+    let mut gates = Vec::new();
+    for i in 0..n {
+        let profit = rng.gen_range(1.0..6.0);
+        let open_cost = rng.gen_range(0.5..3.0);
+        let flow = lp.add_var(format!("f{i}"), 0.0, 1.0, profit);
+        let gate = lp.add_var(format!("h{i}"), 0.0, 1.0, -open_cost);
+        // Flow only when the gate is open.
+        lp.add_constraint(vec![(flow, 1.0), (gate, -1.0)], Relation::Le, 0.0);
+        gates.push(gate);
+    }
+    // At most half the gates open (rounded up).
+    lp.add_constraint(
+        gates.iter().map(|&g| (g, 1.0)).collect(),
+        Relation::Le,
+        n.div_ceil(2) as f64,
+    );
+    MilpProblem { lp, integers: gates }
+}
+
+#[test]
+fn parallel_objective_is_bit_identical_to_sequential() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5EED_D0E5);
+    for trial in 0..12 {
+        let prob = if trial % 3 == 2 { gated_flow(&mut rng) } else { random_knapsack(&mut rng) };
+        let seq = solve_milp(&prob, &MilpOptions { threads: 1, ..Default::default() }).unwrap();
+        let par = solve_milp(&prob, &MilpOptions { threads: 4, ..Default::default() }).unwrap();
+        assert_eq!(seq.status, MilpStatus::Optimal, "trial {trial}");
+        assert_eq!(par.status, MilpStatus::Optimal, "trial {trial}");
+        assert_eq!(
+            seq.objective.to_bits(),
+            par.objective.to_bits(),
+            "trial {trial}: seq {} vs par {}",
+            seq.objective,
+            par.objective
+        );
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_agree() {
+    let mut rng = ChaCha8Rng::seed_from_u64(97);
+    for trial in 0..6 {
+        let prob = if trial % 2 == 0 { random_knapsack(&mut rng) } else { gated_flow(&mut rng) };
+        let opts = MilpOptions { threads: 3, ..Default::default() };
+        let first = solve_milp(&prob, &opts).unwrap();
+        for rerun in 1..4 {
+            let again = solve_milp(&prob, &opts).unwrap();
+            assert_eq!(first.status, again.status, "trial {trial} rerun {rerun}");
+            assert_eq!(
+                first.objective.to_bits(),
+                again.objective.to_bits(),
+                "trial {trial} rerun {rerun}: {} vs {}",
+                first.objective,
+                again.objective
+            );
+            assert_eq!(first.x, again.x, "trial {trial} rerun {rerun}: incumbent point drifted");
+        }
+    }
+}
+
+#[test]
+fn warm_start_does_not_change_the_reported_optimum() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    for trial in 0..4 {
+        let prob = random_knapsack(&mut rng);
+        let cold = solve_milp(&prob, &MilpOptions::default()).unwrap();
+        assert_eq!(cold.status, MilpStatus::Optimal, "trial {trial}");
+        let warm = solve_milp(
+            &prob,
+            &MilpOptions { warm_start: Some(cold.x.clone()), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(warm.status, MilpStatus::Optimal, "trial {trial}");
+        assert_eq!(
+            cold.objective.to_bits(),
+            warm.objective.to_bits(),
+            "trial {trial}: cold {} vs warm {}",
+            cold.objective,
+            warm.objective
+        );
+    }
+}

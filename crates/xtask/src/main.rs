@@ -5,9 +5,16 @@
 //! * `rules` — print the rule table.
 //! * `trace-report <journal.json>` — render a recorded solve journal
 //!   (see the `cubis-trace` crate) as a per-phase time/count digest.
+//! * `fuzz [--iters <n>] [--seed <u64>]` — the `cubis-check`
+//!   differential-fuzz harness: seeded instances through the oracle
+//!   registry; a violation is shrunk, written as a replayable JSON
+//!   artifact and reported with the `CUBIS_CHECK_SEED=… fuzz` command
+//!   that reproduces it. Setting `CUBIS_CHECK_SEED` replays that one
+//!   case instead of fuzzing.
 //! * `ci [--root <dir>]` — the single local pre-merge gate: chains
-//!   `cargo fmt --check`, the analyze pass, `cargo test -q`,
-//!   `cargo doc --no-deps` with warnings denied, and `cargo test --doc`.
+//!   `cargo fmt --check`, the analyze pass, the fuzz smoke subset,
+//!   `cargo test -q`, `cargo doc --no-deps` with warnings denied, and
+//!   `cargo test --doc`.
 
 use cubis_xtask::{analyze_workspace, find_workspace_root, rules::RULE_DOCS};
 use std::path::PathBuf;
@@ -25,6 +32,7 @@ fn main() -> ExitCode {
             Ok(root) => ci(&root),
             Err(e) => usage(&e),
         },
+        "fuzz" => fuzz(&args),
         "rules" => {
             for (id, doc) in RULE_DOCS {
                 println!("{id:7} {doc}");
@@ -35,7 +43,7 @@ fn main() -> ExitCode {
             Some(path) => trace_report(path),
             None => usage("trace-report requires a journal path"),
         },
-        _ => usage("expected a subcommand: analyze | rules | trace-report | ci"),
+        _ => usage("expected a subcommand: analyze | rules | trace-report | fuzz | ci"),
     }
 }
 
@@ -43,9 +51,84 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("cubis-xtask: {err}");
     eprintln!(
         "usage: cubis-xtask <analyze|rules|ci> [--root <workspace-dir>]\n       \
-         cubis-xtask trace-report <journal.json>"
+         cubis-xtask trace-report <journal.json>\n       \
+         cubis-xtask fuzz [--iters <n>] [--seed <u64|0xhex>]"
     );
     ExitCode::from(2)
+}
+
+/// Parse `--iters`/`--seed`, honor `CUBIS_CHECK_SEED` replay, run the
+/// harness and — on violation — drop the shrunk artifact next to the
+/// run with the exact command line that replays it.
+fn fuzz(args: &[String]) -> ExitCode {
+    let flag = |name: &str| -> Result<Option<&String>, String> {
+        match args.iter().position(|a| a == name) {
+            Some(pos) => args
+                .get(pos + 1)
+                .map(Some)
+                .ok_or_else(|| format!("{name} requires an argument")),
+            None => Ok(None),
+        }
+    };
+    // A replay seed pinpoints one case; run exactly that and nothing else.
+    if let Ok(raw) = std::env::var(cubis_check::SEED_ENV) {
+        let seed = match cubis_check::parse_seed(&raw) {
+            Ok(s) => s,
+            Err(e) => return usage(&format!("bad {}: {e}", cubis_check::SEED_ENV)),
+        };
+        println!("fuzz: replaying case {}", cubis_check::format_seed(seed));
+        return match cubis_check::run_case(seed) {
+            Ok(checked) => {
+                println!("fuzz: case passed ({checked} oracles checked)");
+                ExitCode::SUCCESS
+            }
+            Err(failure) => report_failure(&failure),
+        };
+    }
+    let iters = match flag("--iters") {
+        Ok(Some(v)) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => return usage(&format!("--iters must be a positive integer, got `{v}`")),
+        },
+        Ok(None) => 200,
+        Err(e) => return usage(&e),
+    };
+    let seed = match flag("--seed") {
+        Ok(Some(v)) => match cubis_check::parse_seed(v) {
+            Ok(s) => s,
+            Err(e) => return usage(&e),
+        },
+        Ok(None) => 42,
+        Err(e) => return usage(&e),
+    };
+    let report = cubis_check::run_fuzz(&cubis_check::FuzzConfig { seed, iters });
+    println!(
+        "fuzz: {} case(s) from master seed {}, {} oracle check(s)",
+        report.cases_run,
+        cubis_check::format_seed(seed),
+        report.oracle_checks
+    );
+    match report.failure {
+        None => {
+            println!("fuzz: no oracle violations");
+            ExitCode::SUCCESS
+        }
+        Some(failure) => report_failure(&failure),
+    }
+}
+
+/// Print a shrunk failure, write its JSON artifact, return failure.
+fn report_failure(failure: &cubis_check::CaseFailure) -> ExitCode {
+    eprintln!("fuzz: oracle `{}` VIOLATED", failure.oracle);
+    eprintln!("fuzz: {}", failure.detail);
+    eprintln!("fuzz: shrunk to {:?}", failure.shrunk);
+    let path = format!("cubis-check-case-{}.json", cubis_check::format_seed(failure.case_seed));
+    match std::fs::write(&path, failure.artifact().to_json_string()) {
+        Ok(()) => eprintln!("fuzz: artifact written to {path}"),
+        Err(e) => eprintln!("fuzz: could not write artifact {path}: {e}"),
+    }
+    eprintln!("fuzz: replay with `{}`", failure.replay_hint());
+    ExitCode::FAILURE
 }
 
 fn trace_report(path: &str) -> ExitCode {
@@ -123,23 +206,33 @@ fn analyze_gate(root: &PathBuf) -> bool {
 }
 
 fn ci(root: &PathBuf) -> ExitCode {
-    println!("[1/5] cargo fmt --check");
+    println!("[1/6] cargo fmt --check");
     if !run_cargo(root, &["fmt", "--", "--check"], &[]) {
         return ExitCode::FAILURE;
     }
-    println!("[2/5] cubis-xtask analyze");
+    println!("[2/6] cubis-xtask analyze");
     if !analyze_gate(root) {
         return ExitCode::FAILURE;
     }
-    println!("[3/5] cargo test -q");
+    println!("[3/6] cubis-check fuzz smoke");
+    let smoke = cubis_check::run_fuzz(&cubis_check::FuzzConfig::smoke());
+    println!(
+        "ci: fuzz smoke ran {} case(s), {} oracle check(s)",
+        smoke.cases_run, smoke.oracle_checks
+    );
+    if let Some(failure) = smoke.failure {
+        report_failure(&failure);
+        return ExitCode::FAILURE;
+    }
+    println!("[4/6] cargo test -q");
     if !run_cargo(root, &["test", "-q"], &[]) {
         return ExitCode::FAILURE;
     }
-    println!("[4/5] cargo doc --no-deps (warnings denied)");
+    println!("[5/6] cargo doc --no-deps (warnings denied)");
     if !run_cargo(root, &["doc", "--no-deps"], &[("RUSTDOCFLAGS", "-D warnings")]) {
         return ExitCode::FAILURE;
     }
-    println!("[5/5] cargo test --doc");
+    println!("[6/6] cargo test --doc");
     if !run_cargo(root, &["test", "--doc", "-q"], &[]) {
         return ExitCode::FAILURE;
     }

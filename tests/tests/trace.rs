@@ -188,3 +188,25 @@ fn journal_round_trips_through_json() {
     assert_eq!(journal.counter_totals(), back.counter_totals());
     assert_eq!(journal.binary_steps().len(), back.binary_steps().len());
 }
+
+#[test]
+fn check_artifact_round_trips_through_trace_codec() {
+    // cubis-check failure artifacts ride on cubis-trace's JSON writer,
+    // so trace tooling must be able to parse one and re-emit it
+    // unchanged — including full-width u64 seeds (stored as hex
+    // strings) and shortest-repr f64 payoffs.
+    let artifact = cubis_check::CaseArtifact {
+        case_seed: 0xFEDC_BA98_7654_3210,
+        oracle: "inner-dp-vs-brute".to_string(),
+        detail: "c=0.25: DP 1.5 vs brute-force 1.25 (Δ = 2.5e-1)".to_string(),
+        instance: cubis_check::CheckInstance::generate(0xC0FFEE),
+    };
+    let text = artifact.to_json_string();
+    // Parse with the *trace* codec, not cubis-check's own reader.
+    let parsed = cubis_trace::json::parse(&text).unwrap();
+    assert_eq!(parsed.to_json_string(), text, "trace codec re-emission drifted");
+    // And the typed decode over that parse tree reproduces the value.
+    let back = cubis_check::CaseArtifact::from_json(&parsed).unwrap();
+    assert_eq!(back, artifact);
+    assert_eq!(back.case_seed, 0xFEDC_BA98_7654_3210);
+}
