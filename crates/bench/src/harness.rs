@@ -1,0 +1,430 @@
+//! The `cubis-xtask bench` regression harness.
+//!
+//! Runs seeded CUBIS workloads (from [`cubis_eval::fixtures`]) through
+//! the full MILP pipeline twice per shape — warm-started (the default
+//! engine) and cold (`warm_start = false`) — and reports per-shape wall
+//! times plus the effort counters read off a [`cubis_trace`] journal.
+//! The output, `BENCH_solve.json`, is written at the repo root and
+//! serialized with the trace crate's own JSON codec so the trajectory
+//! stays consumable without serde.
+//!
+//! Comparisons across commits read the same file from two checkouts:
+//! per shape, `warm.wall_ns_median` is the headline number, and
+//! `cold_builds`/`bb_nodes`/`lp_pivots` explain *why* it moved (fewer
+//! model evaluations vs. better pruning). Timings are medians over
+//! `reps` runs with the p95 as a noise gauge; counters are taken from
+//! the first rep — the solve is deterministic, so they are
+//! rep-invariant.
+
+use cubis_core::{Cubis, MilpInner, RobustProblem};
+use cubis_trace::json::{self, JsonValue};
+use cubis_trace::{JournalRecorder, SharedRecorder};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Version tag in `BENCH_solve.json`; bump on schema changes.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// One benchmark workload shape.
+#[derive(Debug, Clone)]
+pub struct BenchShape {
+    /// Stable shape label (the comparison key across commits).
+    pub name: &'static str,
+    /// Workload generator seed.
+    pub seed: u64,
+    /// Number of targets `T`.
+    pub targets: usize,
+    /// Defender resources `R`.
+    pub resources: f64,
+    /// Uncertainty width factor `δ`.
+    pub delta: f64,
+    /// Piecewise segments `K`.
+    pub k: usize,
+    /// Binary-search threshold `ε`.
+    pub epsilon: f64,
+    /// Timed repetitions per mode.
+    pub reps: usize,
+}
+
+/// The tiny shape used by `bench --smoke` and the `ci` gate: big enough
+/// to exercise every phase (grid build, DP seed, branch-and-bound,
+/// oracle), small enough to finish in well under a second.
+pub fn smoke_shapes() -> Vec<BenchShape> {
+    vec![BenchShape {
+        name: "smoke-t3-k4",
+        seed: 7,
+        targets: 3,
+        resources: 1.0,
+        delta: 0.5,
+        k: 4,
+        epsilon: 1e-2,
+        reps: 2,
+    }]
+}
+
+/// The full trajectory: three shapes spanning small → large. Growth is
+/// along both `T` (model evaluations per grid) and `K` (MILP size), the
+/// two axes the paper's Figure-group scales.
+pub fn full_shapes() -> Vec<BenchShape> {
+    vec![
+        BenchShape {
+            name: "small-t4-k6",
+            seed: 11,
+            targets: 4,
+            resources: 2.0,
+            delta: 0.5,
+            k: 6,
+            epsilon: 1e-3,
+            reps: 5,
+        },
+        BenchShape {
+            name: "medium-t6-k10",
+            seed: 12,
+            targets: 6,
+            resources: 2.0,
+            delta: 0.6,
+            k: 10,
+            epsilon: 1e-3,
+            reps: 5,
+        },
+        BenchShape {
+            name: "large-t10-k16",
+            seed: 13,
+            targets: 10,
+            resources: 3.0,
+            delta: 0.6,
+            k: 16,
+            epsilon: 1e-3,
+            reps: 5,
+        },
+    ]
+}
+
+/// Aggregated measurements for one (shape, mode) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeStats {
+    /// Median wall time over the reps, nanoseconds.
+    pub wall_ns_median: u64,
+    /// 95th-percentile wall time over the reps, nanoseconds.
+    pub wall_ns_p95: u64,
+    /// Binary-search steps (trace `BinaryStep` events).
+    pub binary_steps: u64,
+    /// Branch-and-bound nodes (`bb.nodes`).
+    pub bb_nodes: u64,
+    /// Simplex pivots (`lp.pivots`).
+    pub lp_pivots: u64,
+    /// Probes that sampled the model to build a grid
+    /// (`cubis.cold_builds`; on the cold path this equals
+    /// `binary_steps` by construction).
+    pub cold_builds: u64,
+    /// Probes served from a cached grid (`cubis.cached_builds`).
+    pub cached_builds: u64,
+    /// Probes seeded with the previous incumbent (`cubis.warm_seeds`).
+    pub warm_seeds: u64,
+    /// Probes pruned by a transferred bound (`cubis.bound_hints`).
+    pub bound_hints: u64,
+    /// Total time inside inner solves (`cubis.inner` span), ns.
+    pub inner_ns: u64,
+    /// Total time inside the simplex (`lp.solve` span), ns.
+    pub lp_ns: u64,
+}
+
+impl ModeStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("wall_ns_median".into(), JsonValue::Num(self.wall_ns_median as f64)),
+            ("wall_ns_p95".into(), JsonValue::Num(self.wall_ns_p95 as f64)),
+            ("binary_steps".into(), JsonValue::Num(self.binary_steps as f64)),
+            ("bb_nodes".into(), JsonValue::Num(self.bb_nodes as f64)),
+            ("lp_pivots".into(), JsonValue::Num(self.lp_pivots as f64)),
+            ("cold_builds".into(), JsonValue::Num(self.cold_builds as f64)),
+            ("cached_builds".into(), JsonValue::Num(self.cached_builds as f64)),
+            ("warm_seeds".into(), JsonValue::Num(self.warm_seeds as f64)),
+            ("bound_hints".into(), JsonValue::Num(self.bound_hints as f64)),
+            ("inner_ns".into(), JsonValue::Num(self.inner_ns as f64)),
+            ("lp_ns".into(), JsonValue::Num(self.lp_ns as f64)),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let field = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("mode stats: missing or non-integer `{name}`"))
+        };
+        Ok(Self {
+            wall_ns_median: field("wall_ns_median")?,
+            wall_ns_p95: field("wall_ns_p95")?,
+            binary_steps: field("binary_steps")?,
+            bb_nodes: field("bb_nodes")?,
+            lp_pivots: field("lp_pivots")?,
+            cold_builds: field("cold_builds")?,
+            cached_builds: field("cached_builds")?,
+            warm_seeds: field("warm_seeds")?,
+            bound_hints: field("bound_hints")?,
+            inner_ns: field("inner_ns")?,
+            lp_ns: field("lp_ns")?,
+        })
+    }
+}
+
+/// Warm-vs-cold measurements for one shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeReport {
+    /// The shape's stable label.
+    pub name: String,
+    /// Shape parameters, echoed for self-containedness.
+    pub targets: u64,
+    /// Piecewise segments `K`.
+    pub k: u64,
+    /// Timed repetitions behind the medians.
+    pub reps: u64,
+    /// The cold path (`warm_start = false`).
+    pub cold: ModeStats,
+    /// The warm-started engine (the default path).
+    pub warm: ModeStats,
+}
+
+impl ShapeReport {
+    /// `cold.wall_ns_median / warm.wall_ns_median` — above 1 means the
+    /// warm engine wins.
+    pub fn speedup(&self) -> f64 {
+        if self.warm.wall_ns_median == 0 {
+            return 1.0;
+        }
+        self.cold.wall_ns_median as f64 / self.warm.wall_ns_median as f64
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("name".into(), JsonValue::Str(self.name.clone())),
+            ("targets".into(), JsonValue::Num(self.targets as f64)),
+            ("k".into(), JsonValue::Num(self.k as f64)),
+            ("reps".into(), JsonValue::Num(self.reps as f64)),
+            ("cold".into(), self.cold.to_json()),
+            ("warm".into(), self.warm.to_json()),
+            ("speedup".into(), JsonValue::Num(self.speedup())),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let name = v
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("shape: missing `name`")?
+            .to_string();
+        let num = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("shape `{name}`: missing or non-integer `{key}`"))
+        };
+        Ok(Self {
+            targets: num("targets")?,
+            k: num("k")?,
+            reps: num("reps")?,
+            cold: ModeStats::from_json(v.get("cold").ok_or("shape: missing `cold`")?)
+                .map_err(|e| format!("shape `{name}` cold: {e}"))?,
+            warm: ModeStats::from_json(v.get("warm").ok_or("shape: missing `warm`")?)
+                .map_err(|e| format!("shape `{name}` warm: {e}"))?,
+            name,
+        })
+    }
+}
+
+/// The full `BENCH_solve.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version ([`FORMAT_VERSION`]).
+    pub format_version: u64,
+    /// One entry per benched shape.
+    pub shapes: Vec<ShapeReport>,
+}
+
+impl BenchReport {
+    /// Serialize with the trace JSON codec.
+    pub fn to_json_string(&self) -> String {
+        JsonValue::Obj(vec![
+            ("format_version".into(), JsonValue::Num(self.format_version as f64)),
+            (
+                "shapes".into(),
+                JsonValue::Arr(self.shapes.iter().map(ShapeReport::to_json).collect()),
+            ),
+        ])
+        .to_json_string()
+    }
+
+    /// Parse (with the trace JSON codec) and structurally validate.
+    pub fn from_json_str(src: &str) -> Result<Self, String> {
+        let v = json::parse(src).map_err(|e| format!("bench report: {e}"))?;
+        let format_version = v
+            .get("format_version")
+            .and_then(JsonValue::as_u64)
+            .ok_or("bench report: missing `format_version`")?;
+        let shapes = v
+            .get("shapes")
+            .and_then(JsonValue::as_arr)
+            .ok_or("bench report: missing `shapes` array")?
+            .iter()
+            .map(ShapeReport::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let report = Self { format_version, shapes };
+        report.validate()?;
+        Ok(report)
+    }
+
+    /// The invariants `cubis-xtask ci` gates on: known version, at
+    /// least one shape, nonnegative monotone timings (median ≤ p95),
+    /// and — the warm start actually working — strictly fewer warm
+    /// cold-builds than binary-search steps, while the cold path
+    /// rebuilds on every step.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.format_version != FORMAT_VERSION {
+            return Err(format!(
+                "bench report: format_version {} (expected {FORMAT_VERSION})",
+                self.format_version
+            ));
+        }
+        if self.shapes.is_empty() {
+            return Err("bench report: no shapes".into());
+        }
+        for s in &self.shapes {
+            for (mode, m) in [("cold", &s.cold), ("warm", &s.warm)] {
+                if m.wall_ns_median > m.wall_ns_p95 {
+                    return Err(format!(
+                        "shape `{}` {mode}: median {} > p95 {}",
+                        s.name, m.wall_ns_median, m.wall_ns_p95
+                    ));
+                }
+                if m.binary_steps == 0 {
+                    return Err(format!("shape `{}` {mode}: zero binary steps", s.name));
+                }
+            }
+            if s.warm.cold_builds >= s.warm.binary_steps {
+                return Err(format!(
+                    "shape `{}`: warm path built {} grids over {} steps — cache never hit",
+                    s.name, s.warm.cold_builds, s.warm.binary_steps
+                ));
+            }
+            if s.cold.cold_builds != 0 || s.cold.cached_builds != 0 {
+                return Err(format!(
+                    "shape `{}`: cold path reported warm counters ({} cold, {} cached)",
+                    s.name, s.cold.cold_builds, s.cold.cached_builds
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run one (shape, mode) cell: `reps` timed solves, counters from the
+/// first rep's journal (the solve is deterministic, so counters are
+/// rep-invariant).
+pub fn run_mode(shape: &BenchShape, warm: bool) -> Result<ModeStats, String> {
+    let (game, model) =
+        cubis_eval::fixtures::workload(shape.seed, shape.targets, shape.resources, shape.delta);
+    let p = RobustProblem::new(&game, &model);
+    let mut walls = Vec::with_capacity(shape.reps.max(1));
+    let mut counters: Option<ModeStats> = None;
+    for _ in 0..shape.reps.max(1) {
+        let journal = Arc::new(JournalRecorder::new());
+        let mut solver = Cubis::new(MilpInner::new(shape.k))
+            .with_epsilon(shape.epsilon)
+            .with_recorder(SharedRecorder::new(journal.clone()));
+        solver.opts.warm_start = warm;
+        let t0 = Instant::now();
+        let sol = solver
+            .solve(&p)
+            .map_err(|e| format!("shape `{}` ({}): {e}", shape.name, mode_name(warm)))?;
+        walls.push(t0.elapsed().as_nanos() as u64);
+        if counters.is_none() {
+            let j = journal.snapshot();
+            let totals = j.counter_totals();
+            let counter = |name: &str| totals.get(name).copied().unwrap_or(0);
+            let span_ns = |name: &str| {
+                j.span_totals()
+                    .iter()
+                    .find(|s| s.name == name)
+                    .map(|s| s.total_ns)
+                    .unwrap_or(0)
+            };
+            counters = Some(ModeStats {
+                wall_ns_median: 0,
+                wall_ns_p95: 0,
+                binary_steps: sol.binary_steps as u64,
+                bb_nodes: counter("bb.nodes"),
+                lp_pivots: counter("lp.pivots"),
+                cold_builds: counter("cubis.cold_builds"),
+                cached_builds: counter("cubis.cached_builds"),
+                warm_seeds: counter("cubis.warm_seeds"),
+                bound_hints: counter("cubis.bound_hints"),
+                inner_ns: span_ns("cubis.inner"),
+                lp_ns: span_ns("lp.solve"),
+            });
+        }
+    }
+    walls.sort_unstable();
+    let mut stats = counters.ok_or("bench: no reps ran")?;
+    stats.wall_ns_median = walls[walls.len() / 2];
+    stats.wall_ns_p95 = walls[((walls.len() - 1) as f64 * 0.95).round() as usize];
+    Ok(stats)
+}
+
+fn mode_name(warm: bool) -> &'static str {
+    if warm {
+        "warm"
+    } else {
+        "cold"
+    }
+}
+
+/// Run warm and cold for one shape.
+pub fn run_shape(shape: &BenchShape) -> Result<ShapeReport, String> {
+    let cold = run_mode(shape, false)?;
+    let warm = run_mode(shape, true)?;
+    Ok(ShapeReport {
+        name: shape.name.to_string(),
+        targets: shape.targets as u64,
+        k: shape.k as u64,
+        reps: shape.reps as u64,
+        cold,
+        warm,
+    })
+}
+
+/// Run a full shape list into a validated report.
+pub fn run(shapes: &[BenchShape]) -> Result<BenchReport, String> {
+    let shapes = shapes.iter().map(run_shape).collect::<Result<Vec<_>, _>>()?;
+    let report = BenchReport { format_version: FORMAT_VERSION, shapes };
+    report.validate()?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_round_trips_and_validates() {
+        let report = run(&smoke_shapes()).expect("smoke bench");
+        let json = report.to_json_string();
+        let back = BenchReport::from_json_str(&json).expect("parse");
+        assert_eq!(back, report);
+        assert_eq!(back.shapes.len(), 1);
+        let s = &back.shapes[0];
+        // Cache must have hit: exactly one grid build across all steps.
+        assert_eq!(s.warm.cold_builds, 1);
+        assert_eq!(s.warm.cached_builds, s.warm.binary_steps - 1);
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected() {
+        assert!(BenchReport::from_json_str("{}").is_err());
+        assert!(BenchReport::from_json_str("not json").is_err());
+        let empty = BenchReport { format_version: FORMAT_VERSION, shapes: Vec::new() };
+        assert!(empty.validate().is_err());
+        assert!(
+            BenchReport::from_json_str(&empty.to_json_string()).is_err(),
+            "empty shape list must not validate"
+        );
+    }
+}

@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 pub use cubis_eval::fixtures;
 
 use cubis_behavior::UncertainSuqr;

@@ -15,6 +15,7 @@
 //! | `inner-milp-vs-dp`    | MILP(K) via branch-and-bound  | DP on the breakpoint grid ± Lemma-1 slack |
 //! | `bb-seq-vs-par`       | 3-worker branch-and-bound     | sequential branch-and-bound      |
 //! | `cubis-vs-brute`      | full CUBIS binary search      | brute-force robust grid search   |
+//! | `cubis-warm-vs-cold`  | warm-started CUBIS engine     | cold solve (`warm_start = false`) |
 //! | `meta-width-monotone` | —                             | wider `[L,U]` never helps        |
 //! | `meta-permutation`    | —                             | invariance under relabeling      |
 //! | `meta-k-refine`       | —                             | Lemma-1 error shrinks with `K`   |
@@ -97,6 +98,11 @@ pub fn registry() -> &'static [Oracle] {
             name: "cubis-vs-brute",
             what: "full CUBIS vs brute-force robust grid search within the Theorem-1 tolerance",
             run: cubis_vs_brute,
+        },
+        Oracle {
+            name: "cubis-warm-vs-cold",
+            what: "warm-started CUBIS (grid cache, incumbent carry, bound transfer) vs a cold solve",
+            run: cubis_warm_vs_cold,
         },
         Oracle {
             name: "meta-width-monotone",
@@ -400,6 +406,67 @@ fn cubis_vs_brute(inst: &CheckInstance) -> Result<OracleStatus, String> {
         return Err(format!(
             "CUBIS worst case {} trails the grid optimum {} by more than ε = {}",
             sol.worst_case, brute, inst.epsilon
+        ));
+    }
+    Ok(OracleStatus::Checked)
+}
+
+fn cubis_warm_vs_cold(inst: &CheckInstance) -> Result<OracleStatus, String> {
+    if inst.num_targets() > 4 {
+        return Ok(OracleStatus::Skipped);
+    }
+    let b = build(inst);
+    let p = RobustProblem::new(&b.game, &b.model);
+    let mut warm_solver = Cubis::new(MilpInner::new(inst.k)).with_epsilon(inst.epsilon);
+    warm_solver.opts.warm_start = true;
+    let mut cold_solver = Cubis::new(MilpInner::new(inst.k)).with_epsilon(inst.epsilon);
+    cold_solver.opts.warm_start = false;
+    let warm = warm_solver.solve(&p).map_err(|e| format!("warm solve failed: {e}"))?;
+    let cold = cold_solver.solve(&p).map_err(|e| format!("cold solve failed: {e}"))?;
+    // Warm state only prunes: cached grids reassemble bitwise-identical
+    // tables, transferred bounds and carried incumbents cannot flip a
+    // probe's feasibility sign. The whole binary-search trajectory must
+    // therefore be *bit*-identical, not merely close.
+    if warm.lb.to_bits() != cold.lb.to_bits() || warm.ub.to_bits() != cold.ub.to_bits() {
+        return Err(format!(
+            "binary-search bounds diverge: warm [{}, {}] vs cold [{}, {}]",
+            warm.lb, warm.ub, cold.lb, cold.ub
+        ));
+    }
+    if warm.binary_steps != cold.binary_steps {
+        return Err(format!(
+            "step counts diverge: warm {} vs cold {}",
+            warm.binary_steps, cold.binary_steps
+        ));
+    }
+    if cold.warm != cubis_core::WarmStats::default() {
+        return Err(format!("cold solve reported warm effort: {:?}", cold.warm));
+    }
+    if warm.binary_steps > 0 && warm.warm.cold_builds != 1 {
+        return Err(format!(
+            "warm solve built {} grids over {} steps (expected exactly 1)",
+            warm.warm.cold_builds, warm.binary_steps
+        ));
+    }
+    // The returned strategies may differ on knife-edge ties (the carried
+    // incumbent can win the seed comparison at equal linearized value),
+    // but both are ε-optimal on the same K-segment linearization, so
+    // their exact worst cases agree within ε plus twice the Lemma-1
+    // slack at the certified level.
+    let c = warm.lb;
+    let mut slack = 0.0f64;
+    for i in 0..inst.num_targets() {
+        let e1 = PiecewiseLinear::error_bound_estimate(inst.k, |x| transform::f1(&p, i, x, c));
+        let e2 = PiecewiseLinear::error_bound_estimate(inst.k, |x| transform::f2(&p, i, x, c));
+        slack += e1.max(e2);
+    }
+    if (warm.worst_case - cold.worst_case).abs() > inst.epsilon + 2.0 * slack + 1e-6 {
+        return Err(format!(
+            "worst cases diverge beyond ε + Lemma-1 slack: warm {} vs cold {} (Δ = {:e}, band {:e})",
+            warm.worst_case,
+            cold.worst_case,
+            (warm.worst_case - cold.worst_case).abs(),
+            inst.epsilon + 2.0 * slack + 1e-6
         ));
     }
     Ok(OracleStatus::Checked)

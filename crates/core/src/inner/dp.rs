@@ -38,28 +38,24 @@ impl DpInner {
         self.budget = BudgetMode::Exact;
         self
     }
-}
 
-impl InnerSolver for DpInner {
-    fn maximize_g<M: IntervalChoiceModel>(
+    /// The knapsack over precomputed per-target value tables
+    /// `values[i][a] = g_i(a/P; c)`. Split out from
+    /// [`InnerSolver::maximize_g`] so the warm-start path can feed in
+    /// cached grid values — the tables fully determine the result, so
+    /// identical tables give a bitwise-identical solve. `evaluations`
+    /// is the fresh-model-evaluation count to report (0 on a cache hit).
+    pub(crate) fn solve_on_values<M: IntervalChoiceModel>(
         &self,
         p: &RobustProblem<'_, M>,
         c: f64,
+        values: &[Vec<f64>],
+        evaluations: usize,
     ) -> Result<InnerResult, SolveError> {
-        let t = p.num_targets();
+        let t = values.len();
         let pp = self.points_per_unit;
         let budget = (p.resources() * pp as f64).round() as usize;
         let budget = budget.min(t * pp);
-
-        // Per-target values at each allocation level.
-        let mut values = vec![vec![0.0f64; pp + 1]; t];
-        let mut evaluations = 0usize;
-        for (i, row) in values.iter_mut().enumerate() {
-            for (a, slot) in row.iter_mut().enumerate() {
-                *slot = transform::g(p, i, a as f64 / pp as f64, c);
-                evaluations += 1;
-            }
-        }
 
         const NEG: f64 = f64::NEG_INFINITY;
         // dp[b] = best value with the first `i` targets using
@@ -127,6 +123,49 @@ impl InnerSolver for DpInner {
             x,
             stats: InnerStats { milp_nodes: 0, lp_iterations: 0, evaluations },
         })
+    }
+}
+
+impl InnerSolver for DpInner {
+    fn maximize_g<M: IntervalChoiceModel>(
+        &self,
+        p: &RobustProblem<'_, M>,
+        c: f64,
+    ) -> Result<InnerResult, SolveError> {
+        let t = p.num_targets();
+        let pp = self.points_per_unit;
+
+        // Per-target values at each allocation level.
+        let mut values = vec![vec![0.0f64; pp + 1]; t];
+        let mut evaluations = 0usize;
+        for (i, row) in values.iter_mut().enumerate() {
+            for (a, slot) in row.iter_mut().enumerate() {
+                *slot = transform::g(p, i, a as f64 / pp as f64, c);
+                evaluations += 1;
+            }
+        }
+        self.solve_on_values(p, c, &values, evaluations)
+    }
+
+    /// Warm probe: the grid samples `(L, U, Ud)` are `c`-independent, so
+    /// after the first probe the value tables are reassembled from the
+    /// cache with zero model evaluations. [`crate::warm::GridSamples::g`]
+    /// uses the same branch arithmetic as [`transform::g`], so the solve
+    /// is bitwise identical to the cold path.
+    fn feasibility_g_warm<M: IntervalChoiceModel>(
+        &self,
+        p: &RobustProblem<'_, M>,
+        c: f64,
+        tol: f64,
+        warm: &mut crate::warm::WarmState,
+    ) -> Result<InnerResult, SolveError> {
+        let fresh = warm.ensure_grid(p, self.points_per_unit);
+        match warm.g_values(self.points_per_unit, c) {
+            Some(values) => self.solve_on_values(p, c, &values, fresh),
+            // Unreachable in practice (ensure_grid just built it); fall
+            // back to the cold path rather than assert.
+            None => self.feasibility_g(p, c, tol),
+        }
     }
 
     fn resolution(&self) -> Option<usize> {

@@ -27,6 +27,7 @@ use super::{BudgetMode, DpInner, InnerResult, InnerSolver, InnerStats, SolveErro
 use crate::piecewise::PiecewiseLinear;
 use crate::problem::RobustProblem;
 use crate::transform;
+use crate::warm::{BreakpointTables, WarmState};
 use cubis_behavior::IntervalChoiceModel;
 use cubis_lp::{LpProblem, Relation, Sense, VarId};
 use cubis_milp::{solve_milp, MilpOptions, MilpProblem, MilpStatus};
@@ -121,13 +122,39 @@ struct Layout {
 }
 
 impl MilpInner {
-    /// Assemble the MILP (33–40) for utility value `c`.
-    fn build<M: IntervalChoiceModel>(
+    /// Sample `f1/f2` at the `K+1` breakpoints — the cold path's model
+    /// evaluations. The warm path reassembles bitwise-identical tables
+    /// from the cached `(L, U, Ud)` grid instead (see
+    /// [`crate::warm::GridSamples`]).
+    fn fresh_tables<M: IntervalChoiceModel>(
         &self,
         p: &RobustProblem<'_, M>,
         c: f64,
-    ) -> (MilpProblem, Layout) {
+    ) -> BreakpointTables {
         let t = p.num_targets();
+        let k = self.k;
+        let mut f1 = vec![vec![0.0f64; k + 1]; t];
+        let mut f2 = vec![vec![0.0f64; k + 1]; t];
+        for i in 0..t {
+            for j in 0..=k {
+                let xbp = j as f64 / k as f64;
+                f1[i][j] = transform::f1(p, i, xbp, c);
+                f2[i][j] = transform::f2(p, i, xbp, c);
+            }
+        }
+        BreakpointTables { f1, f2 }
+    }
+
+    /// Assemble the MILP (33–40) from breakpoint tables. Everything the
+    /// formulation needs (γ, slopes, big-Ms) derives from the `f1/f2`
+    /// breakpoint values, so identical tables — fresh or cache-assembled
+    /// — give an identical MILP.
+    fn build_from_tables(
+        &self,
+        t: usize,
+        resources: f64,
+        tables: &BreakpointTables,
+    ) -> (MilpProblem, Layout) {
         let k = self.k;
         let mut lp = LpProblem::new(Sense::Maximize);
 
@@ -145,10 +172,7 @@ impl MilpInner {
         let mut raw_max = 0.0f64;
         for i in 0..t {
             for j in 0..=k {
-                let xbp = j as f64 / k as f64;
-                for cand in
-                    [transform::f1(p, i, xbp, c).abs(), transform::f2(p, i, xbp, c).abs()]
-                {
+                for cand in [tables.f1[i][j].abs(), tables.f2[i][j].abs()] {
                     if super::improves(cand, raw_max) {
                         raw_max = cand;
                     }
@@ -161,8 +185,10 @@ impl MilpInner {
         let mut pw2 = Vec::with_capacity(t);
         let mut big_m = Vec::with_capacity(t);
         for i in 0..t {
-            let a = PiecewiseLinear::build(k, |x| gamma * transform::f1(p, i, x, c));
-            let b = PiecewiseLinear::build(k, |x| gamma * transform::f2(p, i, x, c));
+            let s1: Vec<f64> = (0..=k).map(|j| gamma * tables.f1[i][j]).collect();
+            let s2: Vec<f64> = (0..=k).map(|j| gamma * tables.f2[i][j]).collect();
+            let a = PiecewiseLinear::from_samples(&s1);
+            let b = PiecewiseLinear::from_samples(&s2);
             // |f̄1 − f̄2| is piecewise linear ⇒ maximal at a breakpoint.
             let mut m = 0.0f64;
             for j in 0..=k {
@@ -253,7 +279,7 @@ impl MilpInner {
             BudgetMode::AtMost => Relation::Le,
             BudgetMode::Exact => Relation::Eq,
         };
-        lp.add_constraint(budget_terms, rel, kf * p.resources());
+        lp.add_constraint(budget_terms, rel, kf * resources);
 
         let mut integers: Vec<VarId> = q.clone();
         integers.extend(h.iter().flatten().copied());
@@ -294,21 +320,86 @@ impl MilpInner {
         p: &RobustProblem<'_, M>,
         c: f64,
         target: Option<f64>,
+        mut warm: Option<&mut WarmState>,
     ) -> Result<InnerResult, SolveError> {
-        let (prob, layout) = self.build(p, c);
+        let t = p.num_targets();
+        // Breakpoint tables: fresh on the cold path, reassembled from the
+        // cached (L, U, Ud) grid on the warm path. The grid serves both
+        // f1 and f2, so a cold grid build is charged the same
+        // 2·(K+1)·T f-evaluations as fresh sampling.
+        let mut evaluations = 2 * (self.k + 1) * t;
+        let tables = match warm.as_deref_mut() {
+            Some(w) => {
+                let fresh = w.ensure_grid(p, self.k);
+                match w.breakpoint_tables(self.k, c) {
+                    Some(tb) => {
+                        evaluations = 2 * fresh;
+                        tb
+                    }
+                    None => self.fresh_tables(p, c),
+                }
+            }
+            None => self.fresh_tables(p, c),
+        };
+        let (prob, layout) = self.build_from_tables(t, p.resources(), &tables);
         let mut opts = self.milp.clone();
         // Early sign termination: translate the caller's threshold on the
         // *unscaled* Ḡ into the LP objective space (scaled by γ, shifted
         // by the constant Σ f1_i(0)).
         opts.target = target.map(|t| t * layout.scale - layout.offset);
-        let mut evaluations = 2 * (self.k + 1) * p.num_targets();
+        // A bound certificate transferred from a previous probe prunes
+        // branch-and-bound from node zero (same γ/offset translation;
+        // γ > 0 preserves the bound's direction). The hint is applied
+        // only when it already proves *this* probe infeasible: a hint
+        // merely near the target could end the search inside the
+        // optimality gap and flip the feasibility sign relative to a
+        // cold solve, which would break the bit-identity guarantee.
+        if let (Some(w), Some(tgt)) = (warm.as_deref_mut(), opts.target) {
+            if let Some(hint) = w.transfer_hint(self.k, c) {
+                let hint_lp = hint * layout.scale - layout.offset;
+                if hint_lp < tgt {
+                    opts.bound_hint = Some(hint_lp);
+                    w.stats.bound_hints += 1;
+                }
+            }
+        }
         if self.warm_start {
             // DP on the breakpoint grid; its solution is MILP-feasible
-            // (grid points are exact for the linearization).
+            // (grid points are exact for the linearization). On the warm
+            // path the DP values come from the cache (zero fresh model
+            // evaluations, bitwise the cold seed).
             let dp = DpInner { points_per_unit: self.k, budget: self.budget };
-            if let Ok(seed) = dp.maximize_g(p, c) {
-                evaluations += seed.stats.evaluations;
-                opts.warm_start = Some(self.warm_assignment(&layout, &prob, &seed.x));
+            let seed = match warm.as_deref_mut().and_then(|w| w.g_values(self.k, c)) {
+                Some(values) => dp.solve_on_values(p, c, &values, 0),
+                None => {
+                    let s = dp.maximize_g(p, c);
+                    if let Ok(r) = &s {
+                        evaluations += r.stats.evaluations;
+                    }
+                    s
+                }
+            };
+            if let Ok(seed) = seed {
+                // Carry the previous probe's incumbent when it beats the
+                // DP seed on the *linearized* objective (an off-grid MILP
+                // optimum can outscore every grid point); ties keep the
+                // DP seed so the default trajectory matches the cold one.
+                let lin = |x: &[f64]| -> f64 {
+                    x.iter()
+                        .enumerate()
+                        .map(|(i, &xi)| layout.pw1[i].eval(xi).min(layout.pw2[i].eval(xi)))
+                        .sum()
+                };
+                let mut chosen = seed.x;
+                if let Some(w) = warm.as_deref_mut() {
+                    if let Some(prev) = &w.incumbent {
+                        if prev.len() == t && super::improves(lin(prev), lin(&chosen)) {
+                            chosen = prev.clone();
+                            w.stats.warm_seeds += 1;
+                        }
+                    }
+                }
+                opts.warm_start = Some(self.warm_assignment(&layout, &prob, &chosen));
             }
         }
         let sol = solve_milp(&prob, &opts).map_err(|e| SolveError::Milp(e.to_string()))?;
@@ -318,9 +409,16 @@ impl MilpInner {
                 // Early certificate: max Ḡ < target. Report the proven
                 // bound (negative relative to the target) with a dummy
                 // zero strategy — the binary search discards x on
-                // infeasible steps.
+                // infeasible steps. The bound is a certificate worth
+                // carrying: later probes transfer it via the Lipschitz
+                // argument in [`WarmState::transfer_hint`].
+                let g_value = (sol.bound + layout.offset) / layout.scale;
+                if let Some(w) = warm.as_deref_mut() {
+                    let gap = opts.gap_abs + opts.gap_rel * sol.bound.abs();
+                    w.record_bound(self.k, c, (sol.bound + gap + layout.offset) / layout.scale);
+                }
                 return Ok(InnerResult {
-                    g_value: (sol.bound + layout.offset) / layout.scale,
+                    g_value,
                     x: vec![0.0; p.num_targets()],
                     stats: InnerStats {
                         milp_nodes: sol.nodes,
@@ -348,6 +446,20 @@ impl MilpInner {
                 (row.iter().map(|&v| sol.x[v.index()]).sum::<f64>() / kf).clamp(0.0, 1.0)
             })
             .collect();
+        if let Some(w) = warm.as_deref_mut() {
+            // The maximizer becomes the next probe's incumbent candidate.
+            w.incumbent = Some(x.clone());
+            if let Some(tgt) = opts.target {
+                if sol.objective < tgt {
+                    // Infeasible probe that still carries an incumbent
+                    // (the DP seed guarantees one): `sol.bound` is a
+                    // proven upper bound on max Ḡ_c up to the optimality
+                    // gap, so inflate by the gap before certifying.
+                    let gap = opts.gap_abs + opts.gap_rel * sol.bound.abs();
+                    w.record_bound(self.k, c, (sol.bound + gap + layout.offset) / layout.scale);
+                }
+            }
+        }
         Ok(InnerResult {
             g_value: (sol.objective + layout.offset) / layout.scale,
             x,
@@ -366,7 +478,7 @@ impl InnerSolver for MilpInner {
         p: &RobustProblem<'_, M>,
         c: f64,
     ) -> Result<InnerResult, SolveError> {
-        self.solve_built(p, c, None)
+        self.solve_built(p, c, None, None)
     }
 
     fn feasibility_g<M: IntervalChoiceModel>(
@@ -377,7 +489,23 @@ impl InnerSolver for MilpInner {
     ) -> Result<InnerResult, SolveError> {
         // Stop branch-and-bound as soon as the sign of max Ḡ relative to
         // −tol is certified (Proposition 2 only consumes that sign).
-        self.solve_built(p, c, Some(-tol))
+        self.solve_built(p, c, Some(-tol), None)
+    }
+
+    /// Warm probe: breakpoint tables come from the cached grid, the DP
+    /// seed from cached values, the previous incumbent competes for the
+    /// warm start, and a transferred bound certificate prunes from node
+    /// zero. Feasibility *decisions* are bitwise identical to the cold
+    /// path — hints and incumbents only prune; target-mode
+    /// branch-and-bound still decides the sign exactly.
+    fn feasibility_g_warm<M: IntervalChoiceModel>(
+        &self,
+        p: &RobustProblem<'_, M>,
+        c: f64,
+        tol: f64,
+        warm: &mut WarmState,
+    ) -> Result<InnerResult, SolveError> {
+        self.solve_built(p, c, Some(-tol), Some(warm))
     }
 
     fn resolution(&self) -> Option<usize> {

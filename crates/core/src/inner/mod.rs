@@ -164,6 +164,25 @@ pub trait InnerSolver {
         self.maximize_g(p, c)
     }
 
+    /// [`InnerSolver::feasibility_g`] with a cross-probe warm state.
+    ///
+    /// Backends that can exploit the state (cached breakpoint grids,
+    /// the previous probe's incumbent, a transferred bound certificate)
+    /// override this; the warm result must be **bitwise identical** to
+    /// the cold [`InnerSolver::feasibility_g`] on the probe's decisive
+    /// outputs — a `cubis-check` oracle enforces this, so warm state may
+    /// only skip redundant model evaluations and prune search, never
+    /// change arithmetic. The default ignores the state.
+    fn feasibility_g_warm<M: IntervalChoiceModel>(
+        &self,
+        p: &RobustProblem<'_, M>,
+        c: f64,
+        tol: f64,
+        _warm: &mut crate::warm::WarmState,
+    ) -> Result<InnerResult, SolveError> {
+        self.feasibility_g(p, c, tol)
+    }
+
     /// The approximation resolution (the paper's `K`), if applicable.
     fn resolution(&self) -> Option<usize> {
         None

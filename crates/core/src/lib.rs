@@ -41,6 +41,7 @@ pub mod problem;
 pub mod sensitivity;
 pub mod solver;
 pub mod transform;
+pub mod warm;
 
 pub use inner::{DpInner, GreedyInner, InnerResult, InnerSolver, MilpInner};
 pub use oracle::{worst_case_inner_lp, WorstCase};
@@ -48,3 +49,4 @@ pub use problem::RobustProblem;
 pub use sensitivity::{rank_targets, value_of_information};
 pub use inner::SolveError;
 pub use solver::{BudgetMode, Cubis, CubisOptions, CubisSolution};
+pub use warm::{WarmState, WarmStats};

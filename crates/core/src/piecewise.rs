@@ -36,6 +36,31 @@ impl PiecewiseLinear {
         Self { f0, slopes }
     }
 
+    /// Build from precomputed breakpoint values `values[j] = f(j/K)`,
+    /// `j = 0..=K`. Uses the same arithmetic as [`PiecewiseLinear::build`]
+    /// (`s_j = K·(v_j − v_{j−1})`), so for identical samples the result
+    /// is bitwise identical — this is what lets the warm-start cache
+    /// reuse breakpoint grids across binary-search probes without
+    /// perturbing the MILP.
+    ///
+    /// # Panics
+    /// Panics if fewer than two values are given or any is non-finite.
+    pub fn from_samples(values: &[f64]) -> Self {
+        assert!(values.len() >= 2, "PiecewiseLinear: need K+1 >= 2 samples");
+        let k = values.len() - 1;
+        let kf = k as f64;
+        let f0 = values[0];
+        assert!(f0.is_finite(), "PiecewiseLinear: f(0) not finite");
+        let slopes = (1..=k)
+            .map(|j| {
+                let v = values[j];
+                assert!(v.is_finite(), "PiecewiseLinear: f({j}/{k}) not finite");
+                kf * (v - values[j - 1])
+            })
+            .collect();
+        Self { f0, slopes }
+    }
+
     /// Number of segments `K`.
     pub fn k(&self) -> usize {
         self.slopes.len()
@@ -165,6 +190,21 @@ mod tests {
     #[should_panic(expected = "K must be positive")]
     fn zero_segments_rejected() {
         PiecewiseLinear::build(0, |x| x);
+    }
+
+    #[test]
+    fn from_samples_is_bitwise_identical_to_build() {
+        let f = |x: f64| (-2.3 * x).exp() * (x - 0.37);
+        for k in [1usize, 3, 8] {
+            let samples: Vec<f64> = (0..=k).map(|j| f(j as f64 / k as f64)).collect();
+            let a = PiecewiseLinear::build(k, f);
+            let b = PiecewiseLinear::from_samples(&samples);
+            assert_eq!(a.f0.to_bits(), b.f0.to_bits(), "k={k}");
+            assert_eq!(a.slopes.len(), b.slopes.len());
+            for (j, (sa, sb)) in a.slopes.iter().zip(&b.slopes).enumerate() {
+                assert_eq!(sa.to_bits(), sb.to_bits(), "k={k} slope {j}");
+            }
+        }
     }
 
     mod f1_f2_properties {

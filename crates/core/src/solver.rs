@@ -13,8 +13,10 @@
 
 use crate::inner::{InnerResult, InnerSolver, InnerStats, SolveError};
 use crate::problem::RobustProblem;
+use crate::warm::{WarmState, WarmStats};
 use cubis_behavior::IntervalChoiceModel;
 use cubis_trace::{BinaryStepEvent, Event, InnerSolveEvent, SharedRecorder, SolveSummaryEvent};
+use rayon::prelude::*;
 
 pub use crate::inner::BudgetMode;
 
@@ -38,6 +40,13 @@ pub struct CubisOptions {
     /// Hard cap on binary-search steps (safety; `ε` normally terminates
     /// first).
     pub max_steps: usize,
+    /// Carry warm state across binary-search probes: cached breakpoint
+    /// grids (the model samples are `c`-independent per Prop. 3), the
+    /// previous probe's incumbent, and transferred bound certificates.
+    /// Feasibility decisions are bitwise identical either way (a
+    /// `cubis-check` oracle pins this); disable only to measure the
+    /// cold path.
+    pub warm_start: bool,
     /// Observability sink. Disabled by default; see
     /// [`Cubis::with_recorder`] for the one-call way to attach a
     /// recorder to the driver *and* its inner solver.
@@ -50,6 +59,7 @@ impl Default for CubisOptions {
             epsilon: 1e-3,
             g_tol: 1e-9,
             max_steps: 128,
+            warm_start: true,
             recorder: SharedRecorder::null(),
         }
     }
@@ -80,6 +90,10 @@ pub struct CubisSolution {
     pub binary_steps: usize,
     /// Accumulated backend effort.
     pub stats: InnerStats,
+    /// Warm-start effort breakdown (all zero when
+    /// [`CubisOptions::warm_start`] is off or the backend ignores warm
+    /// state).
+    pub warm: WarmStats,
     /// Inner-solver resolution (`K`), recorded for the certificate.
     k: Option<usize>,
 }
@@ -185,19 +199,26 @@ impl<I: InnerSolver> Cubis<I> {
     }
 
     /// One timed, recorded inner solve (Proposition 2's feasibility
-    /// probe at utility value `c`).
+    /// probe at utility value `c`), warm-started when a state is given.
     fn probe<M: IntervalChoiceModel>(
         &self,
         p: &RobustProblem<'_, M>,
         c: f64,
+        warm: Option<&mut WarmState>,
     ) -> Result<InnerResult, SolveError> {
         let rec = &self.opts.recorder;
         if !rec.enabled() {
-            return self.inner.feasibility_g(p, c, self.opts.g_tol);
+            return match warm {
+                Some(w) => self.inner.feasibility_g_warm(p, c, self.opts.g_tol, w),
+                None => self.inner.feasibility_g(p, c, self.opts.g_tol),
+            };
         }
         let _span = rec.span("cubis.inner");
         let t0 = std::time::Instant::now();
-        let res = self.inner.feasibility_g(p, c, self.opts.g_tol)?;
+        let res = match warm {
+            Some(w) => self.inner.feasibility_g_warm(p, c, self.opts.g_tol, w)?,
+            None => self.inner.feasibility_g(p, c, self.opts.g_tol)?,
+        };
         rec.record(Event::InnerSolve(InnerSolveEvent {
             backend: self.inner.name().to_string(),
             c,
@@ -232,11 +253,14 @@ impl<I: InnerSolver> Cubis<I> {
         let (range_lo, range_hi) = p.utility_range();
         let mut stats = InnerStats::default();
         let mut steps = 0usize;
+        // Cross-probe warm state: one per solve, never shared across
+        // instances (the cached grids are model-specific).
+        let mut warm_state = self.opts.warm_start.then(WarmState::new);
 
         // Anchor: P1 is always feasible at c = min_i Pd_i (every term of
         // G is then nonnegative), giving an initial strategy even if all
         // midpoints turn out infeasible.
-        let first = self.probe(p, range_lo)?;
+        let first = self.probe(p, range_lo, warm_state.as_mut())?;
         stats.add(first.stats);
         steps += 1;
         debug_assert!(first.g_value >= -self.opts.g_tol, "P1 infeasible at range low");
@@ -247,7 +271,7 @@ impl<I: InnerSolver> Cubis<I> {
 
         while ub - lb > self.opts.epsilon && steps < self.opts.max_steps {
             let mid = 0.5 * (lb + ub);
-            let res = self.probe(p, mid)?;
+            let res = self.probe(p, mid, warm_state.as_mut())?;
             stats.add(res.stats);
             steps += 1;
             let g_value = res.g_value;
@@ -265,8 +289,14 @@ impl<I: InnerSolver> Cubis<I> {
             let _oracle_span = self.opts.recorder.span("cubis.oracle");
             p.worst_case(&best.x).utility
         };
+        let warm = warm_state.map(|w| w.stats).unwrap_or_default();
         if self.opts.recorder.enabled() {
-            self.opts.recorder.record(Event::SolveSummary(SolveSummaryEvent {
+            let rec = &self.opts.recorder;
+            rec.counter("cubis.cold_builds", warm.cold_builds as u64);
+            rec.counter("cubis.cached_builds", warm.cached_builds as u64);
+            rec.counter("cubis.warm_seeds", warm.warm_seeds as u64);
+            rec.counter("cubis.bound_hints", warm.bound_hints as u64);
+            rec.record(Event::SolveSummary(SolveSummaryEvent {
                 lb,
                 ub,
                 worst_case,
@@ -280,9 +310,28 @@ impl<I: InnerSolver> Cubis<I> {
             worst_case,
             binary_steps: steps,
             stats,
+            warm,
             k: None,
         }
         .with_k(self.inner.resolution()))
+    }
+
+    /// Solve a batch of instances, fanned across rayon.
+    ///
+    /// Each instance gets its own warm state (grids are model-specific),
+    /// shared across that instance's binary-search probes; the solver
+    /// configuration — including the recorder — is shared by all of
+    /// them. Results come back in input order, each independently
+    /// identical to what [`Cubis::solve`] would return.
+    pub fn solve_batch<M: IntervalChoiceModel + Sync>(
+        &self,
+        problems: &[RobustProblem<'_, M>],
+    ) -> Vec<Result<CubisSolution, SolveError>>
+    where
+        I: Sync,
+    {
+        let _span = self.opts.recorder.span("cubis.batch");
+        problems.par_iter().map(|p| self.solve(p)).collect()
     }
 }
 

@@ -1,0 +1,383 @@
+//! Cross-probe warm state for the binary search.
+//!
+//! Consecutive binary-search probes differ only in the utility value
+//! `c`: per Proposition 3, `f1_i = L_i·(Ud_i − c)` and
+//! `f2_i = U_i·(Ud_i − c)` share the model samples `(L_i, U_i, Ud_i)`
+//! at every breakpoint, and only the `−c` offset moves. [`WarmState`]
+//! therefore caches the raw breakpoint samples once per resolution and
+//! reassembles `f1/f2/g` per probe with the *exact same floating-point
+//! expressions* as [`crate::transform`] — warm-started solves are
+//! bitwise identical to cold ones (a `cubis-check` oracle pins this),
+//! and the saving is the skipped model evaluations (the SUQR
+//! exponentials), not different arithmetic.
+//!
+//! Two more artifacts carry across probes:
+//!
+//! * the previous feasible probe's **incumbent** `x`, replayed as the
+//!   branch-and-bound warm start (any coverage vector with
+//!   `Σ x ≤ R` has a feasible MILP assignment via the fill-order
+//!   construction);
+//! * the previous infeasible probe's **bound certificate**, transferred
+//!   to the new `c` by a Lipschitz argument (see
+//!   [`WarmState::transfer_hint`]) and handed to branch-and-bound as
+//!   [`cubis_milp::MilpOptions::bound_hint`] so pruning starts at node
+//!   zero.
+
+use crate::problem::RobustProblem;
+use cubis_behavior::IntervalChoiceModel;
+use std::collections::BTreeMap;
+
+/// Effort counters for the warm-start machinery, reported on
+/// [`crate::CubisSolution::warm`] and as `cubis.*` trace counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmStats {
+    /// Probes that had to sample the model to build a breakpoint grid.
+    pub cold_builds: usize,
+    /// Probes served entirely from a cached breakpoint grid.
+    pub cached_builds: usize,
+    /// Probes seeded with the previous probe's incumbent strategy.
+    pub warm_seeds: usize,
+    /// Probes that received a transferred bound certificate.
+    pub bound_hints: usize,
+}
+
+/// A proven upper bound on the linearized `max_x Ḡ_c(x)` at one `c`,
+/// produced by a `TargetUnreachable` branch-and-bound certificate.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundCertificate {
+    /// Grid resolution the certificate's linearization used.
+    pub points: usize,
+    /// The utility value it was proven at.
+    pub c: f64,
+    /// The bound itself, in unscaled `Ḡ` units.
+    pub bound: f64,
+}
+
+/// Raw model samples on the uniform coverage grid `x = j/points`,
+/// `j = 0..=points`: everything `f1/f2/g` need except the probe's `c`.
+#[derive(Debug, Clone)]
+pub struct GridSamples {
+    /// Grid resolution (the MILP's `K` or the DP's points-per-unit).
+    pub points: usize,
+    /// `L_i(j/points)` per target and grid point.
+    pub l: Vec<Vec<f64>>,
+    /// `U_i(j/points)` per target and grid point.
+    pub u: Vec<Vec<f64>>,
+    /// `Ud_i(j/points)` per target and grid point.
+    pub ud: Vec<Vec<f64>>,
+    /// `Σ_i min_j L_i[j]` — the bound-transfer rate for increasing `c`.
+    pub sum_l_min: f64,
+    /// `Σ_i max_j U_i[j]` — the bound-transfer rate for decreasing `c`.
+    pub sum_u_max: f64,
+}
+
+impl GridSamples {
+    /// Sample the model on the grid. Costs `(points+1)·T` model-point
+    /// evaluations (each yielding `L`, `U` and `Ud`).
+    pub fn build<M: IntervalChoiceModel>(p: &RobustProblem<'_, M>, points: usize) -> Self {
+        assert!(points > 0, "GridSamples: points must be positive");
+        let t = p.num_targets();
+        let pf = points as f64;
+        let mut l = vec![vec![0.0f64; points + 1]; t];
+        let mut u = vec![vec![0.0f64; points + 1]; t];
+        let mut ud = vec![vec![0.0f64; points + 1]; t];
+        let mut sum_l_min = 0.0f64;
+        let mut sum_u_max = 0.0f64;
+        for i in 0..t {
+            let mut l_min = f64::INFINITY;
+            let mut u_max = f64::NEG_INFINITY;
+            for j in 0..=points {
+                let x = j as f64 / pf;
+                let (li, ui) = p.bounds(i, x);
+                l[i][j] = li;
+                u[i][j] = ui;
+                ud[i][j] = p.ud(i, x);
+                l_min = l_min.min(li);
+                u_max = u_max.max(ui);
+            }
+            sum_l_min += l_min;
+            sum_u_max += u_max;
+        }
+        Self { points, l, u, ud, sum_l_min, sum_u_max }
+    }
+
+    /// `f1_i(j/points; c)` — same expression as [`crate::transform::f1`]
+    /// (`l · (ud − c)`), so the result is bitwise identical to a fresh
+    /// evaluation.
+    #[inline]
+    pub fn f1(&self, i: usize, j: usize, c: f64) -> f64 {
+        self.l[i][j] * (self.ud[i][j] - c)
+    }
+
+    /// `f2_i(j/points; c)` — same expression as [`crate::transform::f2`].
+    #[inline]
+    pub fn f2(&self, i: usize, j: usize, c: f64) -> f64 {
+        self.u[i][j] * (self.ud[i][j] - c)
+    }
+
+    /// `g_i(j/points; c) = min(f1, f2)` with the same branch arithmetic
+    /// as [`crate::transform::g`].
+    #[inline]
+    pub fn g(&self, i: usize, j: usize, c: f64) -> f64 {
+        let d = self.ud[i][j] - c;
+        if d >= 0.0 {
+            self.l[i][j] * d
+        } else {
+            self.u[i][j] * d
+        }
+    }
+
+    fn num_targets(&self) -> usize {
+        self.l.len()
+    }
+}
+
+/// Breakpoint tables of `f1`/`f2` (unscaled) for one probe, either
+/// assembled from a cached [`GridSamples`] or sampled fresh — the two
+/// routes are bitwise identical.
+#[derive(Debug, Clone)]
+pub(crate) struct BreakpointTables {
+    /// `f1[i][j] = f1_i(j/K; c)`.
+    pub f1: Vec<Vec<f64>>,
+    /// `f2[i][j] = f2_i(j/K; c)`.
+    pub f2: Vec<Vec<f64>>,
+}
+
+/// Mutable state threaded through the probes of one binary search.
+///
+/// Created per [`crate::Cubis::solve`] call (one per instance in
+/// [`crate::Cubis::solve_batch`]); the grids it caches are
+/// model-specific and must not be shared across instances.
+#[derive(Debug, Clone, Default)]
+pub struct WarmState {
+    /// Breakpoint grids, keyed by resolution (MILP `K`, DP grid).
+    grids: BTreeMap<usize, GridSamples>,
+    /// Last feasible probe's maximizing coverage vector.
+    pub incumbent: Option<Vec<f64>>,
+    /// Last infeasible probe's proven bound on `max Ḡ`.
+    pub bound: Option<BoundCertificate>,
+    /// Effort counters.
+    pub stats: WarmStats,
+}
+
+impl WarmState {
+    /// Fresh, empty warm state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Make sure the grid at `points` exists; returns the number of
+    /// fresh model-point evaluations performed (`(points+1)·T` on a
+    /// cold build, `0` on a cache hit) and bumps the matching counter.
+    /// Call exactly once per probe.
+    pub fn ensure_grid<M: IntervalChoiceModel>(
+        &mut self,
+        p: &RobustProblem<'_, M>,
+        points: usize,
+    ) -> usize {
+        if self.grids.contains_key(&points) {
+            self.stats.cached_builds += 1;
+            return 0;
+        }
+        self.grids.insert(points, GridSamples::build(p, points));
+        self.stats.cold_builds += 1;
+        (points + 1) * p.num_targets()
+    }
+
+    /// The cached grid at `points`, if built.
+    pub fn grid(&self, points: usize) -> Option<&GridSamples> {
+        self.grids.get(&points)
+    }
+
+    /// Assemble the `f1/f2` breakpoint tables for a probe at `c` from
+    /// the cached grid. `None` if [`WarmState::ensure_grid`] was not
+    /// called for this resolution (callers then fall back to fresh
+    /// sampling).
+    pub(crate) fn breakpoint_tables(&self, points: usize, c: f64) -> Option<BreakpointTables> {
+        let grid = self.grids.get(&points)?;
+        let t = grid.num_targets();
+        let mut f1 = vec![vec![0.0f64; points + 1]; t];
+        let mut f2 = vec![vec![0.0f64; points + 1]; t];
+        for i in 0..t {
+            for j in 0..=points {
+                f1[i][j] = grid.f1(i, j, c);
+                f2[i][j] = grid.f2(i, j, c);
+            }
+        }
+        Some(BreakpointTables { f1, f2 })
+    }
+
+    /// Per-target `g` values on the grid for a probe at `c` (the DP
+    /// backend's value table), from the cached grid.
+    pub(crate) fn g_values(&self, points: usize, c: f64) -> Option<Vec<Vec<f64>>> {
+        let grid = self.grids.get(&points)?;
+        let t = grid.num_targets();
+        let mut values = vec![vec![0.0f64; points + 1]; t];
+        for (i, row) in values.iter_mut().enumerate() {
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = grid.g(i, j, c);
+            }
+        }
+        Some(values)
+    }
+
+    /// Transfer the stored bound certificate to a new utility value.
+    ///
+    /// For the linearized objective, every interpolated `L̄_i(x)`/`Ū_i(x)`
+    /// is a convex combination of the grid samples, so with
+    /// `lmin = Σ_i min_j L_i[j]` and `umax = Σ_i max_j U_i[j]`
+    /// (both nonnegative — attractiveness values are positive):
+    ///
+    /// * `c₂ ≥ c₁`: every `f̄` drops by at least `(c₂−c₁)·L̄_i ≥
+    ///   (c₂−c₁)·min_j L_i[j]` per target, so
+    ///   `bound(c₂) ≤ bound(c₁) − (c₂−c₁)·lmin`;
+    /// * `c₂ < c₁`: every `f̄` rises by at most `(c₁−c₂)·Ū_i`, so
+    ///   `bound(c₂) ≤ bound(c₁) + (c₁−c₂)·umax`.
+    ///
+    /// A small relative margin keeps the transferred bound provably
+    /// valid under floating-point rounding (a slightly loose hint only
+    /// costs pruning power; a tight one would change results).
+    pub fn transfer_hint(&self, points: usize, c: f64) -> Option<f64> {
+        let cert = self.bound.as_ref()?;
+        if cert.points != points {
+            return None;
+        }
+        let grid = self.grids.get(&points)?;
+        let raw = if c >= cert.c {
+            cert.bound - (c - cert.c) * grid.sum_l_min
+        } else {
+            cert.bound + (cert.c - c) * grid.sum_u_max
+        };
+        let hint = raw + 1e-9 * (1.0 + raw.abs());
+        hint.is_finite().then_some(hint)
+    }
+
+    /// Store a `TargetUnreachable` certificate: `max Ḡ_c ≤ bound`
+    /// (unscaled), proven at resolution `points`.
+    pub fn record_bound(&mut self, points: usize, c: f64, bound: f64) {
+        if bound.is_finite() {
+            self.bound = Some(BoundCertificate { points, c, bound });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform;
+    use cubis_behavior::{BoundConvention, SuqrUncertainty, UncertainSuqr};
+    use cubis_game::{SecurityGame, TargetPayoffs};
+
+    fn fixture() -> (SecurityGame, UncertainSuqr) {
+        let game = SecurityGame::new(
+            vec![
+                TargetPayoffs::new(5.0, -3.0, 3.0, -5.0),
+                TargetPayoffs::new(7.0, -7.0, 7.0, -7.0),
+                TargetPayoffs::new(2.0, -4.0, 4.0, -2.0),
+            ],
+            1.0,
+        );
+        let model = UncertainSuqr::from_game(
+            &game,
+            SuqrUncertainty::paper_example(),
+            0.5,
+            BoundConvention::ExactInterval,
+        );
+        (game, model)
+    }
+
+    #[test]
+    fn cached_f1_f2_g_are_bitwise_identical_to_fresh() {
+        let (game, model) = fixture();
+        let p = RobustProblem::new(&game, &model);
+        let k = 6;
+        let grid = GridSamples::build(&p, k);
+        for &c in &[-3.0, 0.0, 1.25] {
+            for i in 0..game.num_targets() {
+                for j in 0..=k {
+                    let x = j as f64 / k as f64;
+                    assert_eq!(
+                        grid.f1(i, j, c).to_bits(),
+                        transform::f1(&p, i, x, c).to_bits(),
+                        "f1 c={c} i={i} j={j}"
+                    );
+                    assert_eq!(
+                        grid.f2(i, j, c).to_bits(),
+                        transform::f2(&p, i, x, c).to_bits(),
+                        "f2 c={c} i={i} j={j}"
+                    );
+                    assert_eq!(
+                        grid.g(i, j, c).to_bits(),
+                        transform::g(&p, i, x, c).to_bits(),
+                        "g c={c} i={i} j={j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ensure_grid_counts_cold_then_cached() {
+        let (game, model) = fixture();
+        let p = RobustProblem::new(&game, &model);
+        let mut warm = WarmState::new();
+        let fresh = warm.ensure_grid(&p, 5);
+        assert_eq!(fresh, 6 * game.num_targets());
+        assert_eq!(warm.stats.cold_builds, 1);
+        assert_eq!(warm.ensure_grid(&p, 5), 0);
+        assert_eq!(warm.stats.cached_builds, 1);
+        // A different resolution is its own cold build.
+        assert!(warm.ensure_grid(&p, 8) > 0);
+        assert_eq!(warm.stats.cold_builds, 2);
+    }
+
+    /// The transferred hint must upper-bound the true linearized optimum
+    /// at the new `c` whenever the certificate was valid at the old one.
+    #[test]
+    fn transferred_bound_dominates_the_true_grid_optimum() {
+        let (game, model) = fixture();
+        let p = RobustProblem::new(&game, &model);
+        let k = 8;
+        let mut warm = WarmState::new();
+        warm.ensure_grid(&p, k);
+        // True grid maxima at a sweep of c values, via exhaustive max of
+        // Σ_i g on the (small) grid through the DP backend.
+        let dp = crate::inner::DpInner::new(k);
+        let g_max =
+            |c: f64| crate::inner::InnerSolver::maximize_g(&dp, &p, c).ok().map(|r| r.g_value);
+        let (lo, hi) = p.utility_range();
+        for f_from in [0.55, 0.7, 0.9] {
+            let c_from = lo + f_from * (hi - lo);
+            let Some(true_from) = g_max(c_from) else { continue };
+            // Pretend a solver proved the (valid) bound `true_from` there.
+            warm.record_bound(k, c_from, true_from);
+            for f_to in [0.4, 0.6, 0.8, 0.95] {
+                let c_to = lo + f_to * (hi - lo);
+                let hint = warm.transfer_hint(k, c_to).expect("hint");
+                let Some(true_to) = g_max(c_to) else { continue };
+                // The DP optimum is over grid points only; the linearized
+                // optimum can exceed it between breakpoints, but grid
+                // points are what the transfer rates were derived from,
+                // so the grid optimum must respect the transferred bound.
+                assert!(
+                    true_to <= hint + 1e-9,
+                    "c {c_from} -> {c_to}: grid optimum {true_to} exceeds hint {hint}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hint_requires_matching_resolution_and_certificate() {
+        let (game, model) = fixture();
+        let p = RobustProblem::new(&game, &model);
+        let mut warm = WarmState::new();
+        warm.ensure_grid(&p, 5);
+        assert!(warm.transfer_hint(5, 0.0).is_none(), "no certificate yet");
+        warm.record_bound(5, 0.0, -1.0);
+        assert!(warm.transfer_hint(5, 0.5).is_some());
+        assert!(warm.transfer_hint(7, 0.5).is_none(), "resolution mismatch");
+        warm.record_bound(5, 0.0, f64::NAN);
+        assert!(warm.transfer_hint(5, 0.5).is_some(), "NaN bound must not clobber");
+    }
+}

@@ -44,6 +44,15 @@ pub struct MilpOptions {
     /// proves no solution can. Used by feasibility-style callers (the
     /// CUBIS binary search only consumes the sign of the optimum).
     pub target: Option<f64>,
+    /// Externally proven bound on the optimum (in the problem sense): no
+    /// feasible point is better than this value. The search clamps every
+    /// node's parent bound against it, so pruning — in particular the
+    /// `target` certificate — can fire from node zero. Supplying an
+    /// *invalid* hint (tighter than the true optimum) silently turns the
+    /// solve into a heuristic; callers must only pass proven bounds
+    /// (CUBIS derives them from a Lipschitz transfer of the previous
+    /// binary-search probe's certificate). A NaN hint is ignored.
+    pub bound_hint: Option<f64>,
     /// Run the LP-rounding heuristic at the root node.
     pub root_heuristic: bool,
     /// Number of rayon worker tasks (1 = fully sequential/deterministic).
@@ -69,6 +78,7 @@ impl Default for MilpOptions {
             priorities: Vec::new(),
             warm_start: None,
             target: None,
+            bound_hint: None,
             root_heuristic: true,
             threads: 1,
             recorder: cubis_trace::SharedRecorder::null(),
@@ -401,6 +411,7 @@ fn solve_sequential(
     let mut first_node = true;
     let mut hit_node_limit = false;
     let target_score = opts.target.map(|t| normalize(sense, t));
+    let hint_score = opts.bound_hint.map(|b| normalize(sense, b));
 
     if let (Some(ts), true) = (target_score, inc_score > f64::NEG_INFINITY) {
         if inc_score >= ts {
@@ -409,7 +420,16 @@ fn solve_sequential(
         }
     }
 
-    while let Some(node) = heap.pop() {
+    while let Some(mut node) = heap.pop() {
+        // An externally proven bound caps every parent bound, letting
+        // the target/gap certificates below fire immediately — on the
+        // root node too (its +∞ score clamps straight to the hint).
+        // NaN hints fail the `<` and are ignored.
+        if let Some(h) = hint_score {
+            if h < node.score {
+                node.score = h;
+            }
+        }
         if let Some(ts) = target_score {
             // Bound below target: no solution can reach it; the caller
             // only needs this certificate.
@@ -581,5 +601,85 @@ pub(crate) fn finish(
                 },
             })
         }
+    }
+}
+
+#[cfg(test)]
+mod hint_tests {
+    use super::*;
+    use cubis_lp::{LpProblem, Relation};
+
+    /// max x + y, x,y ∈ {0,1}, x + y ≤ 1.5 → optimum 1.
+    fn knapsack() -> MilpProblem {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x", 0.0, 1.0, 1.0);
+        let y = lp.add_var("y", 0.0, 1.0, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 1.5);
+        MilpProblem { lp, integers: vec![x, y] }
+    }
+
+    #[test]
+    fn valid_hint_preserves_the_optimum() {
+        let prob = knapsack();
+        let plain = solve_milp(&prob, &MilpOptions::default()).unwrap();
+        for threads in [1usize, 3] {
+            let opts =
+                MilpOptions { bound_hint: Some(1.0), threads, ..Default::default() };
+            let hinted = solve_milp(&prob, &opts).unwrap();
+            assert_eq!(hinted.status, MilpStatus::Optimal);
+            assert!(
+                (hinted.objective - plain.objective).abs() < 1e-9,
+                "threads={threads}: {} vs {}",
+                hinted.objective,
+                plain.objective
+            );
+        }
+    }
+
+    #[test]
+    fn hint_below_target_certifies_unreachable_at_node_zero() {
+        let prob = knapsack();
+        for threads in [1usize, 3] {
+            let opts = MilpOptions {
+                target: Some(1.5),
+                bound_hint: Some(1.2),
+                threads,
+                ..Default::default()
+            };
+            let sol = solve_milp(&prob, &opts).unwrap();
+            assert_eq!(sol.status, MilpStatus::TargetUnreachable, "threads={threads}");
+            assert_eq!(sol.nodes, 0, "threads={threads}: pruning must fire before any LP");
+            assert!(sol.bound <= 1.2 + 1e-12, "threads={threads}: bound {}", sol.bound);
+        }
+    }
+
+    #[test]
+    fn loose_and_nan_hints_are_inert() {
+        let prob = knapsack();
+        let plain = solve_milp(&prob, &MilpOptions::default()).unwrap();
+        for hint in [f64::INFINITY, 50.0, f64::NAN] {
+            let opts = MilpOptions { bound_hint: Some(hint), ..Default::default() };
+            let sol = solve_milp(&prob, &opts).unwrap();
+            assert_eq!(sol.status, MilpStatus::Optimal, "hint={hint}");
+            assert!((sol.objective - plain.objective).abs() < 1e-9, "hint={hint}");
+            assert_eq!(sol.nodes, plain.nodes, "hint={hint}");
+        }
+    }
+
+    #[test]
+    fn hint_tightens_the_reported_bound() {
+        // Fractional LP optimum is 1.5; a proven hint of 1.25 must cap
+        // the root score so the gap certificate fires earlier, while
+        // the incumbent (1.0) is still found and proven optimal.
+        let prob = knapsack();
+        let opts = MilpOptions {
+            bound_hint: Some(1.25),
+            warm_start: Some(vec![1.0, 0.0]),
+            ..Default::default()
+        };
+        let sol = solve_milp(&prob, &opts).unwrap();
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        assert!((sol.objective - 1.0).abs() < 1e-9);
+        assert!(sol.bound <= 1.25 + 1e-12, "bound {}", sol.bound);
     }
 }

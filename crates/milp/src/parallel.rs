@@ -146,6 +146,7 @@ fn worker_loop_inner(
 ) {
     let sense = prob.lp.sense();
     let target_score = opts.target.map(|t| normalize(sense, t));
+    let hint_score = opts.bound_hint.map(|b| normalize(sense, b));
     loop {
         if shared.error.lock().is_some()
             || shared.unbounded.load(Ordering::Acquire)
@@ -156,7 +157,7 @@ fn worker_loop_inner(
         }
         // Try to take a node; `outstanding` already counts it while queued.
         let node = shared.heap.lock().pop();
-        let Some(node) = node else {
+        let Some(mut node) = node else {
             if shared.outstanding.load(Ordering::Acquire) == 0 {
                 return; // search complete
             }
@@ -164,6 +165,13 @@ fn worker_loop_inner(
             continue;
         };
 
+        // Same hint clamp as the sequential loop: a proven external
+        // bound caps every parent bound (NaN hints fail the `<`).
+        if let Some(h) = hint_score {
+            if h < node.score {
+                node.score = h;
+            }
+        }
         let inc_score = load_f64(&shared.inc_score_bits);
         if let Some(ts) = target_score {
             if inc_score >= ts || node.score < ts {

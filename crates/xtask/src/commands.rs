@@ -1,0 +1,107 @@
+//! The single source of truth for the `cubis-xtask` command set.
+//!
+//! The binary's dispatch table and its usage text are both generated
+//! from [`COMMANDS`], so adding a subcommand in one place cannot leave
+//! the other stale — the failure mode this module exists to prevent
+//! (the `bench` subcommand would otherwise have to be registered in a
+//! `match` arm *and* a hand-written usage string). The binary carries a
+//! unit test asserting its handler table covers exactly these names.
+
+/// Metadata for one subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommandSpec {
+    /// Subcommand name as typed on the command line.
+    pub name: &'static str,
+    /// Usage line, starting with the name (flags included).
+    pub usage: &'static str,
+    /// One-line description for error messages and docs.
+    pub what: &'static str,
+}
+
+/// Every `cubis-xtask` subcommand, in help-display order.
+pub const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "analyze",
+        usage: "analyze [--root <workspace-dir>]",
+        what: "run the numeric-safety pass; exit 1 on findings",
+    },
+    CommandSpec {
+        name: "rules",
+        usage: "rules",
+        what: "print the analyzer rule table",
+    },
+    CommandSpec {
+        name: "trace-report",
+        usage: "trace-report <journal.json>",
+        what: "render a recorded solve journal as a per-phase digest",
+    },
+    CommandSpec {
+        name: "fuzz",
+        usage: "fuzz [--iters <n>] [--seed <u64|0xhex>]",
+        what: "differential-fuzz the solver stack through the oracle registry",
+    },
+    CommandSpec {
+        name: "bench",
+        usage: "bench [--smoke] [--out <path>] [--root <workspace-dir>]",
+        what: "run the warm-vs-cold solve benchmark; write BENCH_solve.json",
+    },
+    CommandSpec {
+        name: "ci",
+        usage: "ci [--root <workspace-dir>]",
+        what: "the local pre-merge gate (fmt, analyze, fuzz+bench smoke, tests, docs)",
+    },
+];
+
+/// Look up a command by name.
+pub fn find(name: &str) -> Option<&'static CommandSpec> {
+    COMMANDS.iter().find(|c| c.name == name)
+}
+
+/// `analyze | rules | …` — for the unknown-subcommand error.
+pub fn names_line() -> String {
+    COMMANDS.iter().map(|c| c.name).collect::<Vec<_>>().join(" | ")
+}
+
+/// The full multi-line usage text, one line per command.
+pub fn usage_text() -> String {
+    let mut out = String::from("usage:\n");
+    for c in COMMANDS {
+        out.push_str("  cubis-xtask ");
+        out.push_str(c.usage);
+        out.push_str("\n      ");
+        out.push_str(c.what);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in COMMANDS {
+            assert!(!c.name.is_empty());
+            assert!(seen.insert(c.name), "duplicate command `{}`", c.name);
+            assert!(
+                c.usage.starts_with(c.name),
+                "usage for `{}` must start with the name",
+                c.name
+            );
+        }
+    }
+
+    #[test]
+    fn bench_is_registered() {
+        assert!(find("bench").is_some());
+        assert!(usage_text().contains("BENCH_solve.json"));
+        assert!(names_line().contains("bench"));
+    }
+
+    #[test]
+    fn unknown_names_miss() {
+        assert!(find("frobnicate").is_none());
+    }
+}

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod commands;
 pub mod lexer;
 pub mod rules;
 pub mod trace_report;

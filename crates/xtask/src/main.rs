@@ -1,5 +1,9 @@
 //! Command-line entry point: `cargo run -p cubis-xtask -- <command>`.
 //!
+//! The command set lives in [`cubis_xtask::commands`] — usage text and
+//! the dispatch table below are both generated from it, and a unit test
+//! here asserts the two stay in lockstep.
+//!
 //! * `analyze [--root <dir>]` — run the numeric-safety pass over the
 //!   workspace; exit 1 if any unsuppressed finding remains.
 //! * `rules` — print the rule table.
@@ -11,50 +15,70 @@
 //!   artifact and reported with the `CUBIS_CHECK_SEED=… fuzz` command
 //!   that reproduces it. Setting `CUBIS_CHECK_SEED` replays that one
 //!   case instead of fuzzing.
+//! * `bench [--smoke] [--out <path>]` — the warm-vs-cold solve
+//!   benchmark (`cubis_bench::harness`); writes `BENCH_solve.json` at
+//!   the workspace root (or `--out`) and prints per-shape speedups.
 //! * `ci [--root <dir>]` — the single local pre-merge gate: chains
-//!   `cargo fmt --check`, the analyze pass, the fuzz smoke subset,
-//!   `cargo test -q`, `cargo doc --no-deps` with warnings denied, and
-//!   `cargo test --doc`.
+//!   `cargo fmt --check`, the analyze pass, the fuzz smoke subset, an
+//!   in-process bench smoke (validated, not written), `cargo test -q`,
+//!   `cargo doc --no-deps` with warnings denied, and `cargo test --doc`.
 
-use cubis_xtask::{analyze_workspace, find_workspace_root, rules::RULE_DOCS};
+use cubis_xtask::{analyze_workspace, commands, find_workspace_root, rules::RULE_DOCS};
 use std::path::PathBuf;
 use std::process::{Command, ExitCode};
+
+/// Dispatch table: one handler per [`commands::COMMANDS`] entry, same
+/// order — enforced by `handler_table_matches_command_table` below.
+const HANDLERS: &[(&str, fn(&[String]) -> ExitCode)] = &[
+    ("analyze", cmd_analyze),
+    ("rules", cmd_rules),
+    ("trace-report", cmd_trace_report),
+    ("fuzz", fuzz),
+    ("bench", bench),
+    ("ci", cmd_ci),
+];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("");
-    match cmd {
-        "analyze" => match resolve_root(&args) {
-            Ok(root) => analyze(&root),
-            Err(e) => usage(&e),
-        },
-        "ci" => match resolve_root(&args) {
-            Ok(root) => ci(&root),
-            Err(e) => usage(&e),
-        },
-        "fuzz" => fuzz(&args),
-        "rules" => {
-            for (id, doc) in RULE_DOCS {
-                println!("{id:7} {doc}");
-            }
-            ExitCode::SUCCESS
-        }
-        "trace-report" => match args.get(1) {
-            Some(path) => trace_report(path),
-            None => usage("trace-report requires a journal path"),
-        },
-        _ => usage("expected a subcommand: analyze | rules | trace-report | fuzz | ci"),
+    match HANDLERS.iter().find(|(name, _)| *name == cmd) {
+        Some((_, run)) => run(&args),
+        None => usage(&format!("expected a subcommand: {}", commands::names_line())),
     }
 }
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("cubis-xtask: {err}");
-    eprintln!(
-        "usage: cubis-xtask <analyze|rules|ci> [--root <workspace-dir>]\n       \
-         cubis-xtask trace-report <journal.json>\n       \
-         cubis-xtask fuzz [--iters <n>] [--seed <u64|0xhex>]"
-    );
+    eprint!("{}", commands::usage_text());
     ExitCode::from(2)
+}
+
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    match resolve_root(args) {
+        Ok(root) => analyze(&root),
+        Err(e) => usage(&e),
+    }
+}
+
+fn cmd_rules(_args: &[String]) -> ExitCode {
+    for (id, doc) in RULE_DOCS {
+        println!("{id:7} {doc}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace_report(args: &[String]) -> ExitCode {
+    match args.get(1) {
+        Some(path) => trace_report(path),
+        None => usage("trace-report requires a journal path"),
+    }
+}
+
+fn cmd_ci(args: &[String]) -> ExitCode {
+    match resolve_root(args) {
+        Ok(root) => ci(&root),
+        Err(e) => usage(&e),
+    }
 }
 
 /// Parse `--iters`/`--seed`, honor `CUBIS_CHECK_SEED` replay, run the
@@ -114,6 +138,59 @@ fn fuzz(args: &[String]) -> ExitCode {
             ExitCode::SUCCESS
         }
         Some(failure) => report_failure(&failure),
+    }
+}
+
+/// Run the warm-vs-cold benchmark and write `BENCH_solve.json`.
+///
+/// `--smoke` swaps in the tiny single-shape workload (the ci gate);
+/// `--out <path>` overrides the default `<workspace-root>/BENCH_solve.json`.
+fn bench(args: &[String]) -> ExitCode {
+    use cubis_bench::harness;
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let shapes = if smoke { harness::smoke_shapes() } else { harness::full_shapes() };
+    println!("bench: running {} shape(s){}", shapes.len(), if smoke { " (smoke)" } else { "" });
+    let report = match harness::run(&shapes) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cubis-xtask bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for s in &report.shapes {
+        println!(
+            "bench: {:16} cold {:>9}ns  warm {:>9}ns  speedup {:.2}x  \
+             (steps {}, grid builds cold {} warm {}, bb nodes cold {} warm {})",
+            s.name,
+            s.cold.wall_ns_median,
+            s.warm.wall_ns_median,
+            s.speedup(),
+            s.warm.binary_steps,
+            s.cold.binary_steps,
+            s.warm.cold_builds,
+            s.cold.bb_nodes,
+            s.warm.bb_nodes,
+        );
+    }
+    let out = match args.iter().position(|a| a == "--out") {
+        Some(pos) => match args.get(pos + 1) {
+            Some(p) => PathBuf::from(p),
+            None => return usage("--out requires a path argument"),
+        },
+        None => match resolve_root(args) {
+            Ok(root) => root.join("BENCH_solve.json"),
+            Err(e) => return usage(&e),
+        },
+    };
+    match std::fs::write(&out, report.to_json_string()) {
+        Ok(()) => {
+            println!("bench: wrote {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cubis-xtask bench: cannot write {}: {e}", out.display());
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -206,15 +283,15 @@ fn analyze_gate(root: &PathBuf) -> bool {
 }
 
 fn ci(root: &PathBuf) -> ExitCode {
-    println!("[1/6] cargo fmt --check");
+    println!("[1/7] cargo fmt --check");
     if !run_cargo(root, &["fmt", "--", "--check"], &[]) {
         return ExitCode::FAILURE;
     }
-    println!("[2/6] cubis-xtask analyze");
+    println!("[2/7] cubis-xtask analyze");
     if !analyze_gate(root) {
         return ExitCode::FAILURE;
     }
-    println!("[3/6] cubis-check fuzz smoke");
+    println!("[3/7] cubis-check fuzz smoke");
     let smoke = cubis_check::run_fuzz(&cubis_check::FuzzConfig::smoke());
     println!(
         "ci: fuzz smoke ran {} case(s), {} oracle check(s)",
@@ -224,15 +301,40 @@ fn ci(root: &PathBuf) -> ExitCode {
         report_failure(&failure);
         return ExitCode::FAILURE;
     }
-    println!("[4/6] cargo test -q");
+    println!("[4/7] cubis-bench smoke");
+    // In-process and validated only — the repo-root BENCH_solve.json is
+    // written by an explicit `bench` run, never as a ci side effect.
+    match cubis_bench::harness::run(&cubis_bench::harness::smoke_shapes()) {
+        Ok(report) => {
+            let json = report.to_json_string();
+            match cubis_bench::harness::BenchReport::from_json_str(&json) {
+                Ok(back) if !back.shapes.is_empty() => {
+                    println!("ci: bench smoke ok ({} shape(s))", back.shapes.len());
+                }
+                Ok(_) => {
+                    eprintln!("ci: bench smoke produced an empty report");
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("ci: bench smoke output malformed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("ci: bench smoke failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("[5/7] cargo test -q");
     if !run_cargo(root, &["test", "-q"], &[]) {
         return ExitCode::FAILURE;
     }
-    println!("[5/6] cargo doc --no-deps (warnings denied)");
+    println!("[6/7] cargo doc --no-deps (warnings denied)");
     if !run_cargo(root, &["doc", "--no-deps"], &[("RUSTDOCFLAGS", "-D warnings")]) {
         return ExitCode::FAILURE;
     }
-    println!("[6/6] cargo test --doc");
+    println!("[7/7] cargo test --doc");
     if !run_cargo(root, &["test", "--doc", "-q"], &[]) {
         return ExitCode::FAILURE;
     }
@@ -251,5 +353,17 @@ fn run_cargo(root: &PathBuf, args: &[&str], envs: &[(&str, &str)]) -> bool {
             eprintln!("ci: could not spawn cargo: {e}");
             false
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handler_table_matches_command_table() {
+        let handlers: Vec<&str> = HANDLERS.iter().map(|(n, _)| *n).collect();
+        let specs: Vec<&str> = commands::COMMANDS.iter().map(|c| c.name).collect();
+        assert_eq!(handlers, specs, "dispatch table out of sync with commands::COMMANDS");
     }
 }

@@ -1,0 +1,124 @@
+//! Tier-1 gate for the `cubis-xtask bench` harness: the smoke workload
+//! runs end to end, its `BENCH_solve.json` output parses on the trace
+//! JSON codec with sane (nonnegative, median ≤ p95) timings, the warm
+//! engine demonstrably reuses its grid cache (fewer cold MILP builds
+//! than binary-search steps), and per-seed binary-search step counts
+//! stay pinned — a changed count means the probe trajectory changed,
+//! which the warm-start machinery promises never to do.
+
+use cubis_bench::harness::{self, BenchReport, BenchShape};
+use cubis_core::{Cubis, MilpInner, RobustProblem};
+use cubis_trace::json;
+
+#[test]
+fn bench_smoke_runs_and_round_trips_on_the_trace_codec() {
+    let report = harness::run(&harness::smoke_shapes()).expect("smoke bench failed");
+    let serialized = report.to_json_string();
+
+    // The document must be plain trace-codec JSON, not merely a string
+    // our own parser happens to accept.
+    let raw = json::parse(&serialized).expect("not valid trace-codec JSON");
+    assert!(raw.get("format_version").is_some());
+    assert!(!raw.get("shapes").and_then(json::JsonValue::as_arr).expect("shapes").is_empty());
+
+    let back = BenchReport::from_json_str(&serialized).expect("round-trip parse failed");
+    assert_eq!(back, report);
+
+    for s in &back.shapes {
+        for (mode, m) in [("cold", &s.cold), ("warm", &s.warm)] {
+            assert!(m.wall_ns_median > 0, "{} {mode}: zero median wall time", s.name);
+            assert!(
+                m.wall_ns_median <= m.wall_ns_p95,
+                "{} {mode}: median {} above p95 {}",
+                s.name,
+                m.wall_ns_median,
+                m.wall_ns_p95
+            );
+            assert!(m.binary_steps > 0, "{} {mode}: no binary-search steps", s.name);
+        }
+        // The tentpole claim: warm solves rebuild the inner MILP's model
+        // samples strictly less often than the search probes.
+        assert!(
+            s.warm.cold_builds < s.warm.binary_steps,
+            "{}: warm path built {} grids over {} steps",
+            s.name,
+            s.warm.cold_builds,
+            s.warm.binary_steps
+        );
+        // And in fact exactly once: one resolution, one grid.
+        assert_eq!(s.warm.cold_builds, 1, "{}", s.name);
+        assert_eq!(s.warm.cached_builds, s.warm.binary_steps - 1, "{}", s.name);
+        // The cold path never touches warm state.
+        assert_eq!(s.cold.cold_builds, 0, "{}", s.name);
+        assert_eq!(s.cold.cached_builds, 0, "{}", s.name);
+    }
+}
+
+#[test]
+fn malformed_bench_output_is_rejected() {
+    for bad in ["", "not json", "{}", r#"{"format_version": 1, "shapes": []}"#] {
+        assert!(BenchReport::from_json_str(bad).is_err(), "accepted {bad:?}");
+    }
+}
+
+/// Binary-search step counts per fixture seed. The warm engine promises
+/// a bit-identical probe trajectory, so these are exact pins, not
+/// tolerances: a drift here means either the fixtures, the ε schedule,
+/// or a probe's feasibility sign changed.
+#[test]
+fn binary_search_step_counts_are_pinned_per_seed() {
+    // (seed, targets, resources, delta, k, epsilon) -> expected steps.
+    let pins: &[(u64, usize, f64, f64, usize, f64, usize)] = &[
+        (7, 3, 1.0, 0.5, 4, 1e-2, 12),
+        (11, 4, 2.0, 0.5, 6, 1e-3, 16),
+        (12, 6, 2.0, 0.6, 10, 1e-3, 15),
+        (13, 8, 3.0, 0.6, 8, 1e-3, 16),
+    ];
+    for &(seed, t, r, delta, k, eps, expected) in pins {
+        let (game, model) = cubis_eval::fixtures::workload(seed, t, r, delta);
+        let p = RobustProblem::new(&game, &model);
+        for warm in [true, false] {
+            let mut solver = Cubis::new(MilpInner::new(k)).with_epsilon(eps);
+            solver.opts.warm_start = warm;
+            let sol = solver.solve(&p).expect("solve failed");
+            assert_eq!(
+                sol.binary_steps, expected,
+                "seed {seed} (t={t}, K={k}, warm={warm}): step count drifted"
+            );
+        }
+    }
+}
+
+/// The warm and cold engines must agree on the certified interval to
+/// the bit on the bench workloads, not just on the fuzz instances.
+#[test]
+fn warm_and_cold_bounds_are_bit_identical_on_bench_shapes() {
+    for shape in harness::smoke_shapes().iter().chain(
+        [BenchShape {
+            name: "pin-t4-k6",
+            seed: 11,
+            targets: 4,
+            resources: 2.0,
+            delta: 0.5,
+            k: 6,
+            epsilon: 1e-3,
+            reps: 1,
+        }]
+        .iter(),
+    ) {
+        let (game, model) =
+            cubis_eval::fixtures::workload(shape.seed, shape.targets, shape.resources, shape.delta);
+        let p = RobustProblem::new(&game, &model);
+        let solve = |warm: bool| {
+            let mut solver =
+                Cubis::new(MilpInner::new(shape.k)).with_epsilon(shape.epsilon);
+            solver.opts.warm_start = warm;
+            solver.solve(&p).expect("solve failed")
+        };
+        let w = solve(true);
+        let c = solve(false);
+        assert_eq!(w.lb.to_bits(), c.lb.to_bits(), "{}: lb diverged", shape.name);
+        assert_eq!(w.ub.to_bits(), c.ub.to_bits(), "{}: ub diverged", shape.name);
+        assert_eq!(w.binary_steps, c.binary_steps, "{}: steps diverged", shape.name);
+    }
+}

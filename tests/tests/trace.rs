@@ -127,10 +127,43 @@ fn inner_solve_events_cover_every_step() {
     for e in &inner {
         assert_eq!(e.backend, "dp");
         assert_eq!(e.k, Some(40));
-        assert!(e.evaluations > 0);
+    }
+    // The warm engine (the default) samples the model once — the first
+    // probe builds the (L, U, Ud) grid — and serves every later probe
+    // from the cache with zero fresh evaluations.
+    assert!(inner[0].evaluations > 0, "first probe must pay the grid build");
+    for e in &inner[1..] {
+        assert_eq!(e.evaluations, 0, "cached probe re-sampled the model");
     }
     let total: usize = inner.iter().map(|e| e.evaluations).sum();
     assert_eq!(total, sol.stats.evaluations, "journal evaluations match stats");
+
+    // With warm start off every probe re-samples, restoring the
+    // pre-cache accounting: per-step evaluations all positive and equal.
+    let (game, model) = fixture(903, 5, 2.0);
+    let p = RobustProblem::new(&game, &model);
+    let journal = Arc::new(JournalRecorder::new());
+    let mut cold_solver = Cubis::new(DpInner::new(40))
+        .with_epsilon(EPSILON)
+        .with_recorder(SharedRecorder::new(journal.clone()));
+    cold_solver.opts.warm_start = false;
+    let cold = cold_solver.solve(&p).unwrap();
+    let cold_inner: Vec<_> = journal
+        .snapshot()
+        .events
+        .iter()
+        .filter_map(|t| match &t.event {
+            Event::InnerSolve(e) => Some(e.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(cold_inner.len(), cold.binary_steps);
+    for e in &cold_inner {
+        assert!(e.evaluations > 0);
+        assert_eq!(e.evaluations, inner[0].evaluations, "cold probes all pay the full grid");
+    }
+    assert_eq!(cold.lb.to_bits(), sol.lb.to_bits(), "warm/cold lb diverged");
+    assert_eq!(cold.ub.to_bits(), sol.ub.to_bits(), "warm/cold ub diverged");
 }
 
 #[test]
