@@ -10,8 +10,10 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod serve_report;
 
 pub use cubis_eval::fixtures;
+pub use serve_report::{ServeBenchReport, SERVE_FORMAT_VERSION};
 
 use cubis_behavior::UncertainSuqr;
 use cubis_game::SecurityGame;

@@ -1,0 +1,227 @@
+//! The `cubis-xtask loadgen` report: `BENCH_serve.json`.
+//!
+//! Same discipline as the solve harness ([`crate::harness`]): a
+//! versioned document at the repo root, serialized with `cubis-trace`'s
+//! dependency-free JSON codec, with a [`validate`](ServeBenchReport::validate)
+//! gate the xtask runs after writing *and* the CI/tests run after
+//! reading — a report that parses but violates its own invariants
+//! (zero requests, a duplicate-heavy mix with no cache hits, missing
+//! quantiles) fails loudly rather than silently pinning garbage.
+//!
+//! Comparisons across commits read the same file from two checkouts:
+//! `throughput_rps` is the headline number; `hit_rate` and the
+//! latency quantiles explain *why* it moved (cache efficacy vs. raw
+//! solve latency).
+
+use cubis_trace::json::{self, JsonValue};
+
+/// Version tag in `BENCH_serve.json`; bump on schema changes.
+pub const SERVE_FORMAT_VERSION: u64 = 1;
+
+/// The full `BENCH_serve.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBenchReport {
+    /// Schema version ([`SERVE_FORMAT_VERSION`]).
+    pub format_version: u64,
+    /// Closed-loop client threads the run used.
+    pub clients: u64,
+    /// Requests issued per client.
+    pub requests_per_client: u64,
+    /// Configured probability of re-sending a pooled instance.
+    pub duplicate_rate: f64,
+    /// Master seed of the instance mix.
+    pub seed: u64,
+    /// Requests attempted in total.
+    pub requests: u64,
+    /// 200s served from the cache.
+    pub cache_hits: u64,
+    /// 200s solved fresh.
+    pub cache_misses: u64,
+    /// Non-200 responses (backpressure, deadlines).
+    pub rejected: u64,
+    /// Transport-level failures.
+    pub transport_errors: u64,
+    /// Cache hit rate over successful requests.
+    pub hit_rate: f64,
+    /// Successful requests per wall-clock second.
+    pub throughput_rps: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile request latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+}
+
+impl ServeBenchReport {
+    /// Serialize with the trace JSON codec.
+    pub fn to_json_string(&self) -> String {
+        JsonValue::Obj(vec![
+            ("format_version".into(), JsonValue::Num(self.format_version as f64)),
+            ("clients".into(), JsonValue::Num(self.clients as f64)),
+            (
+                "requests_per_client".into(),
+                JsonValue::Num(self.requests_per_client as f64),
+            ),
+            ("duplicate_rate".into(), JsonValue::Num(self.duplicate_rate)),
+            ("seed".into(), JsonValue::Num(self.seed as f64)),
+            ("requests".into(), JsonValue::Num(self.requests as f64)),
+            ("cache_hits".into(), JsonValue::Num(self.cache_hits as f64)),
+            ("cache_misses".into(), JsonValue::Num(self.cache_misses as f64)),
+            ("rejected".into(), JsonValue::Num(self.rejected as f64)),
+            ("transport_errors".into(), JsonValue::Num(self.transport_errors as f64)),
+            ("hit_rate".into(), JsonValue::Num(self.hit_rate)),
+            ("throughput_rps".into(), JsonValue::Num(self.throughput_rps)),
+            ("p50_us".into(), JsonValue::Num(self.p50_us as f64)),
+            ("p95_us".into(), JsonValue::Num(self.p95_us as f64)),
+            ("p99_us".into(), JsonValue::Num(self.p99_us as f64)),
+        ])
+        .to_json_string()
+    }
+
+    /// Parse (with the trace JSON codec) and structurally validate.
+    pub fn from_json_str(src: &str) -> Result<Self, String> {
+        let v = json::parse(src).map_err(|e| format!("serve report: {e}"))?;
+        let u = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("serve report: missing `{name}`"))
+        };
+        let f = |name: &str| -> Result<f64, String> {
+            v.get(name)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("serve report: missing `{name}`"))
+        };
+        let report = Self {
+            format_version: u("format_version")?,
+            clients: u("clients")?,
+            requests_per_client: u("requests_per_client")?,
+            duplicate_rate: f("duplicate_rate")?,
+            seed: u("seed")?,
+            requests: u("requests")?,
+            cache_hits: u("cache_hits")?,
+            cache_misses: u("cache_misses")?,
+            rejected: u("rejected")?,
+            transport_errors: u("transport_errors")?,
+            hit_rate: f("hit_rate")?,
+            throughput_rps: f("throughput_rps")?,
+            p50_us: u("p50_us")?,
+            p95_us: u("p95_us")?,
+            p99_us: u("p99_us")?,
+        };
+        report.validate()?;
+        Ok(report)
+    }
+
+    /// The invariants `cubis-xtask ci` and the tests gate on: known
+    /// version, traffic actually flowed (requests > 0, every request
+    /// accounted for), a duplicate-heavy mix produced cache hits,
+    /// positive throughput, and monotone quantiles (p50 ≤ p95 ≤ p99).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.format_version != SERVE_FORMAT_VERSION {
+            return Err(format!(
+                "serve report: format_version {} (expected {SERVE_FORMAT_VERSION})",
+                self.format_version
+            ));
+        }
+        if self.requests == 0 {
+            return Err("serve report: zero requests".into());
+        }
+        let accounted =
+            self.cache_hits + self.cache_misses + self.rejected + self.transport_errors;
+        if accounted != self.requests {
+            return Err(format!(
+                "serve report: {} requests but {accounted} accounted for",
+                self.requests
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.duplicate_rate) {
+            return Err(format!("serve report: duplicate_rate {} out of [0,1]", self.duplicate_rate));
+        }
+        if !(0.0..=1.0).contains(&self.hit_rate) {
+            return Err(format!("serve report: hit_rate {} out of [0,1]", self.hit_rate));
+        }
+        if self.duplicate_rate >= 0.3 && self.cache_hits == 0 {
+            return Err(format!(
+                "serve report: duplicate_rate {} but zero cache hits — the cache never fired",
+                self.duplicate_rate
+            ));
+        }
+        if self.cache_hits + self.cache_misses > 0 && self.throughput_rps <= 0.0 {
+            return Err("serve report: successes but non-positive throughput".into());
+        }
+        if self.p50_us > self.p95_us || self.p95_us > self.p99_us {
+            return Err(format!(
+                "serve report: quantiles not monotone: p50 {} p95 {} p99 {}",
+                self.p50_us, self.p95_us, self.p99_us
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServeBenchReport {
+        ServeBenchReport {
+            format_version: SERVE_FORMAT_VERSION,
+            clients: 4,
+            requests_per_client: 25,
+            duplicate_rate: 0.5,
+            seed: 42,
+            requests: 100,
+            cache_hits: 40,
+            cache_misses: 55,
+            rejected: 3,
+            transport_errors: 2,
+            hit_rate: 40.0 / 95.0,
+            throughput_rps: 123.4,
+            p50_us: 800,
+            p95_us: 2_000,
+            p99_us: 5_000,
+        }
+    }
+
+    #[test]
+    fn round_trips_and_validates() {
+        let report = sample();
+        report.validate().unwrap();
+        let back = ServeBenchReport::from_json_str(&report.to_json_string()).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn rejects_unaccounted_requests_and_zero_traffic() {
+        let mut report = sample();
+        report.requests = 0;
+        assert!(report.validate().is_err());
+        let mut report = sample();
+        report.rejected = 0; // 40 + 55 + 0 + 2 != 100
+        assert!(report.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_cold_cache_under_duplicate_mix() {
+        let mut report = sample();
+        report.cache_hits = 0;
+        report.cache_misses = 95;
+        report.hit_rate = 0.0;
+        assert!(report.validate().unwrap_err().contains("cache never fired"));
+        // But a no-duplicate mix with zero hits is fine.
+        report.duplicate_rate = 0.0;
+        report.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_non_monotone_quantiles_and_bad_version() {
+        let mut report = sample();
+        report.p95_us = 10_000;
+        assert!(report.validate().is_err());
+        let mut report = sample();
+        report.format_version = 99;
+        assert!(report.validate().is_err());
+        assert!(ServeBenchReport::from_json_str("{}").is_err());
+    }
+}

@@ -9,6 +9,7 @@
 //! are stored as hex strings: they are full 64-bit values and a JSON
 //! number (an `f64`) only carries 53 bits of integer precision.
 
+use crate::canon;
 use crate::instance::{format_seed, parse_seed, CheckInstance};
 use cubis_trace::json::JsonValue;
 
@@ -40,7 +41,9 @@ impl CaseArtifact {
             ("case_seed".to_string(), JsonValue::Str(format_seed(self.case_seed))),
             ("oracle".to_string(), JsonValue::Str(self.oracle.clone())),
             ("detail".to_string(), JsonValue::Str(self.detail.clone())),
-            ("instance".to_string(), self.instance.to_json()),
+            // The canonical instance codec — the same bytes the
+            // cubis-serve cache key is hashed from (modulo the seed).
+            ("instance".to_string(), canon::encode_instance(&self.instance)),
         ])
     }
 
@@ -84,7 +87,7 @@ impl CaseArtifact {
             case_seed,
             oracle: str_field("oracle")?,
             detail: str_field("detail")?,
-            instance: CheckInstance::from_json(field("instance")?)?,
+            instance: canon::decode_instance(field("instance")?)?,
         })
     }
 }

@@ -155,86 +155,23 @@ impl CheckInstance {
         Some(Self { targets, resources, ..self.clone() })
     }
 
-    /// Instance as a JSON value (the payload of the failure artifact).
+    /// Instance as the canonical JSON value (the payload of the failure
+    /// artifact). Delegates to [`crate::canon::encode_instance`] — the
+    /// single encoder shared with the `cubis-serve` cache key.
     pub fn to_json(&self) -> JsonValue {
-        let targets = self
-            .targets
-            .iter()
-            .map(|t| {
-                JsonValue::Arr(vec![
-                    JsonValue::Num(t.def_reward),
-                    JsonValue::Num(t.def_penalty),
-                    JsonValue::Num(t.att_reward),
-                    JsonValue::Num(t.att_penalty),
-                ])
-            })
-            .collect();
-        let convention = match self.convention {
-            BoundConvention::ExactInterval => "exact",
-            BoundConvention::CornerComponentwise => "corner",
-        };
-        JsonValue::Obj(vec![
-            // Seeds are full 64-bit values; JSON numbers (f64) lose bits
-            // above 2^53, so the seed travels as a hex string.
-            ("seed".to_string(), JsonValue::Str(format!("{:#018x}", self.seed))),
-            ("targets".to_string(), JsonValue::Arr(targets)),
-            ("resources".to_string(), JsonValue::Num(self.resources)),
-            ("payoff_delta".to_string(), JsonValue::Num(self.payoff_delta)),
-            ("width_factor".to_string(), JsonValue::Num(self.width_factor)),
-            ("convention".to_string(), JsonValue::Str(convention.to_string())),
-            ("k".to_string(), JsonValue::Num(self.k as f64)),
-            ("pp".to_string(), JsonValue::Num(self.pp as f64)),
-            ("epsilon".to_string(), JsonValue::Num(self.epsilon)),
-        ])
+        crate::canon::encode_instance(self)
     }
 
-    /// Decode an instance from its [`Self::to_json`] form.
+    /// Decode an instance from its [`Self::to_json`] form (the
+    /// canonical codec in [`crate::canon`]).
     pub fn from_json(v: &JsonValue) -> Result<Self, String> {
-        let field = |name: &str| v.get(name).ok_or_else(|| format!("missing field `{name}`"));
-        let num = |name: &str| {
-            field(name)?.as_f64().ok_or_else(|| format!("field `{name}` is not a number"))
-        };
-        let seed_str =
-            field("seed")?.as_str().ok_or_else(|| "field `seed` is not a string".to_string())?;
-        let seed = parse_seed(seed_str)?;
-        let targets_json = field("targets")?
-            .as_arr()
-            .ok_or_else(|| "field `targets` is not an array".to_string())?;
-        let mut targets = Vec::with_capacity(targets_json.len());
-        for t in targets_json {
-            let tuple = t.as_arr().ok_or_else(|| "target is not an array".to_string())?;
-            if tuple.len() != 4 {
-                return Err(format!("target has {} entries, want 4", tuple.len()));
-            }
-            let mut vals = [0.0f64; 4];
-            for (slot, item) in vals.iter_mut().zip(tuple) {
-                *slot = item.as_f64().ok_or_else(|| "target entry not a number".to_string())?;
-            }
-            targets.push(TargetPayoffs::new(vals[0], vals[1], vals[2], vals[3]));
-        }
-        let convention = match field("convention")?.as_str() {
-            Some("exact") => BoundConvention::ExactInterval,
-            Some("corner") => BoundConvention::CornerComponentwise,
-            other => return Err(format!("unknown convention {other:?}")),
-        };
-        let as_usize = |name: &str| -> Result<usize, String> {
-            let raw = num(name)?;
-            if raw < 0.0 || raw.fract().abs() > 1e-9 {
-                return Err(format!("field `{name}` is not a nonnegative integer: {raw}"));
-            }
-            Ok(raw as usize)
-        };
-        Ok(Self {
-            seed,
-            targets,
-            resources: num("resources")?,
-            payoff_delta: num("payoff_delta")?,
-            width_factor: num("width_factor")?,
-            convention,
-            k: as_usize("k")?,
-            pp: as_usize("pp")?,
-            epsilon: num("epsilon")?,
-        })
+        crate::canon::decode_instance(v)
+    }
+
+    /// The FNV-1a hash of this instance's canonical content encoding
+    /// (replay seed excluded) — see [`crate::canon::content_hash`].
+    pub fn content_hash(&self) -> u64 {
+        crate::canon::content_hash(self)
     }
 }
 

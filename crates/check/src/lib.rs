@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod canon;
 pub mod dense;
 pub mod instance;
 pub mod oracles;
@@ -42,8 +43,9 @@ pub mod rng;
 pub mod shrink;
 
 pub use artifact::CaseArtifact;
+pub use canon::{content_hash, fnv1a};
 pub use instance::{format_seed, parse_seed, CheckInstance};
-pub use oracles::{OracleStatus, Violation};
+pub use oracles::{Oracle, OracleStatus, Violation};
 pub use rng::SplitMix64;
 
 /// Environment variable that replays a single failing case by seed.
@@ -116,11 +118,19 @@ pub struct FuzzReport {
 /// Run all oracles against the instance generated from `case_seed`;
 /// on violation, shrink and package the failure.
 pub fn run_case(case_seed: u64) -> Result<usize, CaseFailure> {
+    run_case_with(case_seed, &[])
+}
+
+/// [`run_case`] over the built-in registry plus `extra` oracles (the
+/// extension point downstream crates like `cubis-serve` register
+/// through — see [`oracles::run_all_with`]). The shrinker resolves a
+/// violated extra oracle by name against the same extended registry.
+pub fn run_case_with(case_seed: u64, extra: &[Oracle]) -> Result<usize, CaseFailure> {
     let inst = CheckInstance::generate(case_seed);
-    match oracles::run_all(&inst) {
+    match oracles::run_all_with(&inst, extra) {
         Ok(checked) => Ok(checked),
         Err(v) => {
-            let out = shrink::shrink_for_oracle(&inst, v.oracle);
+            let out = shrink::shrink_for_oracle_with(&inst, v.oracle, extra);
             Err(CaseFailure {
                 case_seed,
                 oracle: v.oracle,
@@ -136,13 +146,19 @@ pub fn run_case(case_seed: u64) -> Result<usize, CaseFailure> {
 /// drawn from `SplitMix64::new(cfg.seed)`, stopping at the first
 /// violation (which is shrunk before being reported).
 pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    run_fuzz_with(cfg, &[])
+}
+
+/// [`run_fuzz`] with `extra` oracles appended to the registry for
+/// every case.
+pub fn run_fuzz_with(cfg: &FuzzConfig, extra: &[Oracle]) -> FuzzReport {
     let mut seeds = SplitMix64::new(cfg.seed);
     let mut cases_run = 0usize;
     let mut oracle_checks = 0usize;
     for _ in 0..cfg.iters {
         let case_seed = seeds.next_u64();
         cases_run += 1;
-        match run_case(case_seed) {
+        match run_case_with(case_seed, extra) {
             Ok(checked) => oracle_checks += checked,
             Err(failure) => {
                 return FuzzReport { cases_run, oracle_checks, failure: Some(failure) }

@@ -125,8 +125,19 @@ pub fn registry() -> &'static [Oracle] {
 /// Run every oracle; returns the number of oracles that actually
 /// checked the instance, or the first violation.
 pub fn run_all(inst: &CheckInstance) -> Result<usize, Violation> {
+    run_all_with(inst, &[])
+}
+
+/// [`run_all`] over the built-in registry **plus** `extra` oracles.
+///
+/// Downstream crates that sit above `cubis-check` in the dependency
+/// graph (e.g. `cubis-serve`'s cache-vs-fresh oracle) register through
+/// this extension point: `cubis-xtask fuzz` passes their oracles in,
+/// and they run after the built-ins under the same skip/violation
+/// contract.
+pub fn run_all_with(inst: &CheckInstance, extra: &[Oracle]) -> Result<usize, Violation> {
     let mut checked = 0usize;
-    for oracle in registry() {
+    for oracle in registry().iter().chain(extra) {
         match (oracle.run)(inst) {
             Ok(OracleStatus::Checked) => checked += 1,
             Ok(OracleStatus::Skipped) => {}
@@ -139,7 +150,16 @@ pub fn run_all(inst: &CheckInstance) -> Result<usize, Violation> {
 /// Run a single oracle by name (the shrinker's re-check predicate).
 /// Unknown names are reported as an error, not a pass.
 pub fn run_named(name: &str, inst: &CheckInstance) -> Result<OracleStatus, String> {
-    for oracle in registry() {
+    run_named_with(name, inst, &[])
+}
+
+/// [`run_named`] over the built-in registry plus `extra` oracles.
+pub fn run_named_with(
+    name: &str,
+    inst: &CheckInstance,
+    extra: &[Oracle],
+) -> Result<OracleStatus, String> {
+    for oracle in registry().iter().chain(extra) {
         if oracle.name == name {
             return (oracle.run)(inst);
         }

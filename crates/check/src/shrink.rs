@@ -120,9 +120,20 @@ pub fn shrink(
 /// the failure when the oracle *checks* it and reports a violation
 /// (skipped instances don't count as failing).
 pub fn shrink_for_oracle(original: &CheckInstance, oracle: &str) -> ShrinkOutcome {
+    shrink_for_oracle_with(original, oracle, &[])
+}
+
+/// [`shrink_for_oracle`] resolving the name against the built-in
+/// registry plus `extra` oracles (needed when the violated oracle was
+/// itself registered through the extension point).
+pub fn shrink_for_oracle_with(
+    original: &CheckInstance,
+    oracle: &str,
+    extra: &[oracles::Oracle],
+) -> ShrinkOutcome {
     shrink(
         original,
-        |cand| oracles::run_named(oracle, cand).is_err(),
+        |cand| oracles::run_named_with(oracle, cand, extra).is_err(),
         DEFAULT_MAX_ATTEMPTS,
     )
 }

@@ -1,0 +1,107 @@
+//! Cooperative per-solve deadlines.
+//!
+//! A [`Deadline`] is a wall-clock point past which a solve should stop
+//! doing new work. The CUBIS driver checks it **between** binary-search
+//! probes (never inside one — the inner MILP/DP stays uninterrupted, so
+//! every probe that ran still produced its exact, deterministic
+//! answer). On expiry [`crate::Cubis::solve`] returns
+//! [`crate::SolveError::DeadlineExceeded`] carrying the best incumbent
+//! bounds `[lb, ub]` reached so far, so callers (the `cubis-serve`
+//! request path in particular) can report partial progress instead of
+//! spinning past their budget.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::time::Duration;
+//! use cubis_core::Deadline;
+//!
+//! let unlimited = Deadline::none();
+//! assert!(unlimited.is_unlimited());
+//! assert!(!unlimited.expired());
+//!
+//! let exhausted = Deadline::after(Duration::ZERO);
+//! assert!(exhausted.expired());
+//!
+//! let generous = Deadline::after(Duration::from_secs(3600));
+//! assert!(!generous.expired());
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// A cooperative wall-clock deadline (see the module docs).
+///
+/// The default is unlimited, so existing `CubisOptions` construction
+/// sites keep their behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Deadline(Option<Instant>);
+
+impl Deadline {
+    /// No deadline: [`Deadline::expired`] is always `false`.
+    pub fn none() -> Self {
+        Self(None)
+    }
+
+    /// Expire at the given instant.
+    pub fn at(instant: Instant) -> Self {
+        Self(Some(instant))
+    }
+
+    /// Expire `budget` from now. A budget large enough to overflow the
+    /// clock's representable range is treated as unlimited.
+    pub fn after(budget: Duration) -> Self {
+        Self(Instant::now().checked_add(budget))
+    }
+
+    /// Whether this deadline can ever expire.
+    pub fn is_unlimited(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.0.is_some_and(|t| Instant::now() >= t)
+    }
+
+    /// Time left until expiry (`None` when unlimited; zero once
+    /// expired).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.0.map(|t| t.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_expires() {
+        let d = Deadline::none();
+        assert!(d.is_unlimited());
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+        assert_eq!(d, Deadline::default());
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(!d.is_unlimited());
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn far_future_does_not_expire() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.remaining().is_some_and(|r| r > Duration::from_secs(3000)));
+    }
+
+    #[test]
+    fn at_instant_in_past_is_expired() {
+        let d = Deadline::at(Instant::now());
+        // `now >= t` — an instant taken just above is already reached.
+        assert!(d.expired());
+    }
+}

@@ -94,6 +94,21 @@ pub enum SolveError {
         /// The utility value at which it happened.
         c: f64,
     },
+    /// The cooperative [`crate::Deadline`] expired between
+    /// binary-search probes. The solve stopped cleanly: the carried
+    /// bounds are the incumbent interval at expiry (every completed
+    /// probe is still exact), so callers can report partial progress
+    /// instead of spinning past their budget.
+    DeadlineExceeded {
+        /// Last feasible utility value reached before expiry (the
+        /// search-range low when the anchor probe never ran).
+        lb: f64,
+        /// First infeasible utility value (the search-range high until
+        /// some midpoint probe fails).
+        ub: f64,
+        /// Binary-search steps completed before expiry.
+        binary_steps: usize,
+    },
 }
 
 impl std::fmt::Display for SolveError {
@@ -102,6 +117,13 @@ impl std::fmt::Display for SolveError {
             SolveError::Milp(m) => write!(f, "MILP backend failure: {m}"),
             SolveError::UnexpectedInfeasible { c } => {
                 write!(f, "inner problem unexpectedly infeasible at c = {c}")
+            }
+            SolveError::DeadlineExceeded { lb, ub, binary_steps } => {
+                write!(
+                    f,
+                    "deadline exceeded after {binary_steps} binary-search step(s); \
+                     incumbent bounds [{lb}, {ub}]"
+                )
             }
         }
     }

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod deadline;
 pub mod inner;
 pub mod oracle;
 pub mod piecewise;
@@ -43,6 +44,7 @@ pub mod solver;
 pub mod transform;
 pub mod warm;
 
+pub use deadline::Deadline;
 pub use inner::{DpInner, GreedyInner, InnerResult, InnerSolver, MilpInner};
 pub use oracle::{worst_case_inner_lp, WorstCase};
 pub use problem::RobustProblem;

@@ -11,6 +11,7 @@
 //! the *exact* worst-case utility of the returned strategy via the
 //! oracle, so callers never consume the approximation error blindly.
 
+use crate::deadline::Deadline;
 use crate::inner::{InnerResult, InnerSolver, InnerStats, SolveError};
 use crate::problem::RobustProblem;
 use crate::warm::{WarmState, WarmStats};
@@ -51,6 +52,11 @@ pub struct CubisOptions {
     /// [`Cubis::with_recorder`] for the one-call way to attach a
     /// recorder to the driver *and* its inner solver.
     pub recorder: SharedRecorder,
+    /// Cooperative wall-clock budget, checked between binary-search
+    /// probes (never inside one). On expiry the solve returns
+    /// [`SolveError::DeadlineExceeded`] carrying the incumbent bounds.
+    /// Unlimited by default.
+    pub deadline: Deadline,
 }
 
 impl Default for CubisOptions {
@@ -61,6 +67,7 @@ impl Default for CubisOptions {
             max_steps: 128,
             warm_start: true,
             recorder: SharedRecorder::null(),
+            deadline: Deadline::none(),
         }
     }
 }
@@ -154,6 +161,15 @@ impl<I: InnerSolver> Cubis<I> {
     pub fn with_epsilon(mut self, epsilon: f64) -> Self {
         assert!(epsilon > 0.0, "with_epsilon: epsilon must be positive");
         self.opts.epsilon = epsilon;
+        self
+    }
+
+    /// Attach a cooperative deadline (see [`Deadline`]); the solve
+    /// checks it between binary-search probes and returns
+    /// [`SolveError::DeadlineExceeded`] with the incumbent bounds when
+    /// the budget runs out.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.opts.deadline = deadline;
         self
     }
 
@@ -257,6 +273,16 @@ impl<I: InnerSolver> Cubis<I> {
         // instances (the cached grids are model-specific).
         let mut warm_state = self.opts.warm_start.then(WarmState::new);
 
+        // Cooperative cancellation: expired before any probe ran — all
+        // we can report is the untightened search range.
+        if self.opts.deadline.expired() {
+            return Err(SolveError::DeadlineExceeded {
+                lb: range_lo,
+                ub: range_hi,
+                binary_steps: 0,
+            });
+        }
+
         // Anchor: P1 is always feasible at c = min_i Pd_i (every term of
         // G is then nonnegative), giving an initial strategy even if all
         // midpoints turn out infeasible.
@@ -270,6 +296,12 @@ impl<I: InnerSolver> Cubis<I> {
         self.record_step(steps, range_lo, best.g_value, true, lb, ub);
 
         while ub - lb > self.opts.epsilon && steps < self.opts.max_steps {
+            // Checked *between* probes: completed probes stay exact, and
+            // the returned incumbent interval is the true state of the
+            // search at expiry.
+            if self.opts.deadline.expired() {
+                return Err(SolveError::DeadlineExceeded { lb, ub, binary_steps: steps });
+            }
             let mid = 0.5 * (lb + ub);
             let res = self.probe(p, mid, warm_state.as_mut())?;
             stats.add(res.stats);
@@ -360,6 +392,41 @@ mod tests {
         assert_eq!(predicted_steps(16.0, 1.0), 5);
         assert_eq!(predicted_steps(0.5, 1.0), 1);
         assert_eq!(predicted_steps(14.0, 0.001), 15);
+    }
+
+    #[test]
+    fn expired_deadline_returns_incumbent_bounds() {
+        let mut gen = GameGenerator::new(5);
+        let game = gen.generate(4, 1.0);
+        let model = UncertainSuqr::from_game(
+            &game,
+            SuqrUncertainty::paper_example(),
+            0.5,
+            BoundConvention::ExactInterval,
+        );
+        let p = RobustProblem::new(&game, &model);
+        let solver = Cubis::new(DpInner::new(20))
+            .with_epsilon(0.01)
+            .with_deadline(Deadline::after(std::time::Duration::ZERO));
+        let err = solver.solve(&p).expect_err("zero deadline must expire");
+        let (lo, hi) = p.utility_range();
+        match err {
+            SolveError::DeadlineExceeded { lb, ub, binary_steps } => {
+                // Expired before the anchor probe: the reported bounds
+                // are the untightened search range.
+                assert_eq!(binary_steps, 0);
+                assert_eq!(lb.to_bits(), lo.to_bits());
+                assert_eq!(ub.to_bits(), hi.to_bits());
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // An unlimited deadline leaves the solve untouched.
+        let sol = Cubis::new(DpInner::new(20))
+            .with_epsilon(0.01)
+            .with_deadline(Deadline::none())
+            .solve(&p)
+            .unwrap();
+        assert!(sol.ub - sol.lb <= 0.01);
     }
 
     #[test]

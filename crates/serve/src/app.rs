@@ -1,0 +1,437 @@
+//! The transport-free request handler.
+//!
+//! [`App`] owns everything a solve needs — the LRU cache, the metrics
+//! sheet, the trace recorder — and maps decoded requests to `(status,
+//! body, cache marker)` without touching a socket. The HTTP server's
+//! workers call it, and so does the `cubis-serve-cache-vs-fresh` fuzz
+//! oracle, which is the point: the oracle exercises the *exact* code
+//! path production requests take, not a lookalike.
+//!
+//! Solves run the DP inner backend ([`cubis_core::DpInner`]) at the
+//! instance's own `pp`/`epsilon` knobs: it is deterministic (a fixed
+//! grid, no tie-breaking ambiguity), which the bit-identical cache
+//! contract depends on. The cache marker travels as the
+//! `X-Cubis-Cache` *header*, never in the body, so hit and fresh
+//! bodies can be compared byte-for-byte.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cubis_check::CheckInstance;
+use cubis_core::problem::RobustProblem;
+use cubis_core::{Cubis, CubisSolution, Deadline, DpInner, SolveError};
+use cubis_trace::{CounterSetRecorder, SharedRecorder};
+
+use crate::cache::SolutionCache;
+use crate::codec::{self, BatchRequest, SolveRequest};
+use crate::metrics::ServerMetrics;
+
+/// How a response relates to the solution cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the cache.
+    Hit,
+    /// Solved fresh (and inserted).
+    Miss,
+    /// The cache was not consulted (errors, batch envelopes).
+    NotApplicable,
+}
+
+impl CacheOutcome {
+    /// The `X-Cubis-Cache` header value.
+    pub fn header_value(&self) -> &'static str {
+        match self {
+            Self::Hit => "hit",
+            Self::Miss => "miss",
+            Self::NotApplicable => "none",
+        }
+    }
+}
+
+/// A transport-free response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApiResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body text.
+    pub body: String,
+    /// Cache disposition (drives the `X-Cubis-Cache` header).
+    pub cache: CacheOutcome,
+}
+
+impl ApiResponse {
+    fn ok(body: String, cache: CacheOutcome) -> Self {
+        Self { status: 200, body, cache }
+    }
+
+    fn error(status: u16, code: &str, detail: &str) -> Self {
+        Self {
+            status,
+            body: codec::error_body(code, detail, None),
+            cache: CacheOutcome::NotApplicable,
+        }
+    }
+}
+
+/// The solve application: cache + metrics + solver configuration.
+pub struct App {
+    cache: SolutionCache,
+    metrics: Arc<ServerMetrics>,
+    trace: Arc<CounterSetRecorder>,
+}
+
+impl App {
+    /// Build an app with a cache of `shards × per_shard_capacity`
+    /// entries and fresh metrics/trace sheets.
+    pub fn new(shards: usize, per_shard_capacity: usize) -> Self {
+        Self {
+            cache: SolutionCache::new(shards, per_shard_capacity),
+            metrics: Arc::new(ServerMetrics::default()),
+            trace: Arc::new(CounterSetRecorder::new()),
+        }
+    }
+
+    /// The shared metrics sheet (the server increments transport-level
+    /// counters on it directly).
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// The solver-side trace recorder (rendered into `/metrics`).
+    pub fn trace(&self) -> Arc<CounterSetRecorder> {
+        Arc::clone(&self.trace)
+    }
+
+    /// Render the `/metrics` text body.
+    pub fn render_metrics(&self) -> String {
+        self.metrics.render(&self.trace)
+    }
+
+    /// Entries currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn deadline_from_ms(deadline_ms: Option<u64>) -> Deadline {
+        match deadline_ms {
+            Some(ms) => Deadline::after(Duration::from_millis(ms)),
+            None => Deadline::none(),
+        }
+    }
+
+    /// Run one fresh solve (no cache involvement) and encode the body.
+    /// Public so the differential oracle can compare a from-scratch
+    /// solve against the cached handler path.
+    pub fn solve_fresh(
+        &self,
+        inst: &CheckInstance,
+        deadline: Deadline,
+    ) -> Result<String, SolveError> {
+        let game = inst.game();
+        let model = inst.model(&game);
+        let problem = RobustProblem::new(&game, &model);
+        let recorder = SharedRecorder::new(
+            Arc::clone(&self.trace) as Arc<dyn cubis_trace::Recorder>
+        );
+        let solution: CubisSolution = Cubis::new(DpInner::new(inst.pp))
+            .with_epsilon(inst.epsilon)
+            .with_deadline(deadline)
+            .with_recorder(recorder)
+            .solve(&problem)?;
+        Ok(codec::solution_to_json(inst.content_hash(), &solution).to_json_string())
+    }
+
+    fn solve_one(&self, inst: &CheckInstance, deadline_ms: Option<u64>) -> ApiResponse {
+        if !inst.is_valid() {
+            self.metrics.client_errors.fetch_add(1, Ordering::SeqCst);
+            return ApiResponse::error(422, "invalid_instance", "instance fails validity checks");
+        }
+        let hash = inst.content_hash();
+        let content = cubis_check::canon::content_bytes(inst);
+        if let Some(body) = self.cache.get(hash, &content) {
+            self.metrics.cache_hits.fetch_add(1, Ordering::SeqCst);
+            return ApiResponse::ok(body, CacheOutcome::Hit);
+        }
+        self.metrics.cache_misses.fetch_add(1, Ordering::SeqCst);
+        match self.solve_fresh(inst, Self::deadline_from_ms(deadline_ms)) {
+            Ok(body) => {
+                self.cache.insert(hash, &content, &body);
+                ApiResponse::ok(body, CacheOutcome::Miss)
+            }
+            Err(SolveError::DeadlineExceeded { lb, ub, binary_steps }) => {
+                self.metrics.deadline_exceeded.fetch_add(1, Ordering::SeqCst);
+                ApiResponse {
+                    status: 504,
+                    body: codec::error_body(
+                        "deadline_exceeded",
+                        "solve deadline expired; incumbent bounds attached",
+                        Some((lb, ub, binary_steps)),
+                    ),
+                    cache: CacheOutcome::NotApplicable,
+                }
+            }
+            Err(e) => {
+                self.metrics.server_errors.fetch_add(1, Ordering::SeqCst);
+                ApiResponse::error(500, "solve_failed", &e.to_string())
+            }
+        }
+    }
+
+    /// Handle a decoded `POST /v1/solve`.
+    pub fn handle_solve(&self, req: &SolveRequest) -> ApiResponse {
+        self.solve_one(&req.instance, req.deadline_ms)
+    }
+
+    /// Handle a raw `POST /v1/solve` body.
+    pub fn handle_solve_body(&self, body: &str) -> ApiResponse {
+        match SolveRequest::from_json_str(body) {
+            Ok(req) => self.handle_solve(&req),
+            Err(detail) => {
+                self.metrics.client_errors.fetch_add(1, Ordering::SeqCst);
+                ApiResponse::error(400, "bad_request", &detail)
+            }
+        }
+    }
+
+    /// Handle a decoded `POST /v1/solve_batch`.
+    ///
+    /// Cache hits are filled in directly; the misses are fanned into
+    /// one [`Cubis::solve_batch`] call, so a batch of fresh instances
+    /// pays one rayon fan-out rather than `n` sequential solves. Every
+    /// item's result is independently identical to what `/v1/solve`
+    /// would have returned for it.
+    pub fn handle_batch(&self, req: &BatchRequest) -> ApiResponse {
+        if req.instances.is_empty() {
+            self.metrics.client_errors.fetch_add(1, Ordering::SeqCst);
+            return ApiResponse::error(422, "empty_batch", "batch has no instances");
+        }
+        if let Some(bad) = req.instances.iter().find(|i| !i.is_valid()) {
+            self.metrics.client_errors.fetch_add(1, Ordering::SeqCst);
+            return ApiResponse::error(
+                422,
+                "invalid_instance",
+                &format!("instance with seed {:#x} fails validity checks", bad.seed),
+            );
+        }
+        let keys: Vec<(u64, String)> = req
+            .instances
+            .iter()
+            .map(|i| (i.content_hash(), cubis_check::canon::content_bytes(i)))
+            .collect();
+        let mut slots: Vec<Option<(String, CacheOutcome)>> = keys
+            .iter()
+            .map(|(hash, content)| {
+                self.cache.get(*hash, content).map(|body| (body, CacheOutcome::Hit))
+            })
+            .collect();
+
+        // Fan the misses into one solve_batch call. Grouping by `pp`
+        // keeps one solver (one inner backend resolution) per group.
+        let miss_idx: Vec<usize> =
+            (0..slots.len()).filter(|&i| slots[i].is_none()).collect();
+        self.metrics.cache_hits.fetch_add((keys.len() - miss_idx.len()) as u64, Ordering::SeqCst);
+        self.metrics.cache_misses.fetch_add(miss_idx.len() as u64, Ordering::SeqCst);
+        let deadline = Self::deadline_from_ms(req.deadline_ms);
+        let recorder = SharedRecorder::new(
+            Arc::clone(&self.trace) as Arc<dyn cubis_trace::Recorder>
+        );
+        let mut by_knobs: std::collections::BTreeMap<(usize, u64), Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for &i in &miss_idx {
+            let inst = &req.instances[i];
+            by_knobs.entry((inst.pp, inst.epsilon.to_bits())).or_default().push(i);
+        }
+        for ((pp, eps_bits), idxs) in by_knobs {
+            let built: Vec<_> = idxs
+                .iter()
+                .map(|&i| {
+                    let game = req.instances[i].game();
+                    let model = req.instances[i].model(&game);
+                    (game, model)
+                })
+                .collect();
+            let problems: Vec<_> =
+                built.iter().map(|(game, model)| RobustProblem::new(game, model)).collect();
+            let solver = Cubis::new(DpInner::new(pp))
+                .with_epsilon(f64::from_bits(eps_bits))
+                .with_deadline(deadline)
+                .with_recorder(recorder.clone());
+            for (&i, result) in idxs.iter().zip(solver.solve_batch(&problems)) {
+                let slot = match result {
+                    Ok(sol) => {
+                        let (hash, content) = &keys[i];
+                        let body = codec::solution_to_json(*hash, &sol).to_json_string();
+                        self.cache.insert(*hash, content, &body);
+                        (body, CacheOutcome::Miss)
+                    }
+                    Err(SolveError::DeadlineExceeded { lb, ub, binary_steps }) => {
+                        self.metrics.deadline_exceeded.fetch_add(1, Ordering::SeqCst);
+                        let body = codec::error_body(
+                            "deadline_exceeded",
+                            "solve deadline expired; incumbent bounds attached",
+                            Some((lb, ub, binary_steps)),
+                        );
+                        (body, CacheOutcome::NotApplicable)
+                    }
+                    Err(e) => {
+                        self.metrics.server_errors.fetch_add(1, Ordering::SeqCst);
+                        let body = codec::error_body("solve_failed", &e.to_string(), None);
+                        (body, CacheOutcome::NotApplicable)
+                    }
+                };
+                slots[i] = Some(slot);
+            }
+        }
+
+        let mut results = Vec::with_capacity(slots.len());
+        for slot in slots {
+            // Every index was either a hit or assigned by the loop
+            // above; a `None` here would be a logic error, reported as
+            // a 500 rather than a panic (NUM02: no unwraps in servers).
+            match slot {
+                Some((body, outcome)) => results.push((body, outcome)),
+                None => {
+                    self.metrics.server_errors.fetch_add(1, Ordering::SeqCst);
+                    return ApiResponse::error(500, "internal", "batch slot left unfilled");
+                }
+            }
+        }
+        let items: Vec<cubis_trace::json::JsonValue> = results
+            .iter()
+            .map(|(body, outcome)| {
+                // Bodies are our own codec output; parse failure here
+                // would mean the encoder is broken.
+                let value = cubis_trace::json::parse(body).unwrap_or_else(|_| {
+                    cubis_trace::json::JsonValue::Str("unencodable body".to_string())
+                });
+                cubis_trace::json::JsonValue::Obj(vec![
+                    (
+                        "cache".to_string(),
+                        cubis_trace::json::JsonValue::Str(outcome.header_value().to_string()),
+                    ),
+                    ("result".to_string(), value),
+                ])
+            })
+            .collect();
+        let envelope = cubis_trace::json::JsonValue::Obj(vec![
+            ("version".to_string(), cubis_trace::json::JsonValue::Num(codec::WIRE_VERSION)),
+            (
+                "kind".to_string(),
+                cubis_trace::json::JsonValue::Str(codec::KIND_BATCH.to_string()),
+            ),
+            ("results".to_string(), cubis_trace::json::JsonValue::Arr(items)),
+        ]);
+        ApiResponse::ok(envelope.to_json_string(), CacheOutcome::NotApplicable)
+    }
+
+    /// Handle a raw `POST /v1/solve_batch` body.
+    pub fn handle_batch_body(&self, body: &str) -> ApiResponse {
+        match BatchRequest::from_json_str(body) {
+            Ok(req) => self.handle_batch(&req),
+            Err(detail) => {
+                self.metrics.client_errors.fetch_add(1, Ordering::SeqCst);
+                ApiResponse::error(400, "bad_request", &detail)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_instance(seed: u64) -> CheckInstance {
+        // Clamp the generated knobs so app-level tests stay fast.
+        let mut inst = CheckInstance::generate(seed);
+        inst.pp = inst.pp.min(4);
+        inst
+    }
+
+    #[test]
+    fn second_identical_solve_is_a_bit_identical_hit() {
+        let app = App::new(4, 16);
+        let req = SolveRequest { instance: small_instance(42), deadline_ms: None };
+        let first = app.handle_solve(&req);
+        assert_eq!(first.status, 200);
+        assert_eq!(first.cache, CacheOutcome::Miss);
+        let second = app.handle_solve(&req);
+        assert_eq!(second.status, 200);
+        assert_eq!(second.cache, CacheOutcome::Hit);
+        assert_eq!(first.body, second.body, "cached body must be bit-identical");
+        assert_eq!(app.cache_len(), 1);
+    }
+
+    #[test]
+    fn invalid_instance_is_422_and_bad_json_is_400() {
+        let app = App::new(1, 4);
+        let mut inst = small_instance(1);
+        inst.resources = 99.0; // > num_targets → invalid
+        let resp = app.handle_solve(&SolveRequest { instance: inst, deadline_ms: None });
+        assert_eq!(resp.status, 422);
+        assert_eq!(codec::error_code(&resp.body).as_deref(), Some("invalid_instance"));
+        let resp = app.handle_solve_body("not json at all");
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn zero_deadline_is_504_with_incumbent() {
+        let app = App::new(1, 4);
+        let req = SolveRequest { instance: small_instance(5), deadline_ms: Some(0) };
+        let resp = app.handle_solve(&req);
+        assert_eq!(resp.status, 504);
+        assert_eq!(codec::error_code(&resp.body).as_deref(), Some("deadline_exceeded"));
+        let v = cubis_trace::json::parse(&resp.body).unwrap();
+        assert!(v.get("incumbent").is_some(), "504 body must carry incumbent bounds");
+        // A 504 must not poison the cache.
+        assert_eq!(app.cache_len(), 0);
+    }
+
+    #[test]
+    fn batch_mixes_hits_and_misses_and_matches_single_solves() {
+        let app = App::new(4, 16);
+        let a = small_instance(10);
+        let b = small_instance(11);
+        // Prime the cache with `a`.
+        let single_a =
+            app.handle_solve(&SolveRequest { instance: a.clone(), deadline_ms: None });
+        let resp = app.handle_batch(&BatchRequest {
+            instances: vec![a.clone(), b.clone(), a.clone()],
+            deadline_ms: None,
+        });
+        assert_eq!(resp.status, 200);
+        let v = cubis_trace::json::parse(&resp.body).unwrap();
+        let results = v.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].get("cache").unwrap().as_str(), Some("hit"));
+        assert_eq!(results[1].get("cache").unwrap().as_str(), Some("miss"));
+        assert_eq!(results[2].get("cache").unwrap().as_str(), Some("hit"));
+        // The batch item for `a` is the same solution the single solve
+        // produced.
+        let item_a = results[0].get("result").unwrap().to_json_string();
+        assert_eq!(item_a, single_a.body);
+        // And `b` is now cached for singles.
+        let single_b = app.handle_solve(&SolveRequest { instance: b, deadline_ms: None });
+        assert_eq!(single_b.cache, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn empty_batch_is_422() {
+        let app = App::new(1, 4);
+        let resp = app.handle_batch(&BatchRequest { instances: vec![], deadline_ms: None });
+        assert_eq!(resp.status, 422);
+    }
+
+    #[test]
+    fn metrics_reflect_traffic() {
+        let app = App::new(1, 4);
+        let req = SolveRequest { instance: small_instance(20), deadline_ms: None };
+        app.handle_solve(&req);
+        app.handle_solve(&req);
+        let text = app.render_metrics();
+        assert!(text.contains("cubis_serve_cache_hits 1"), "metrics:\n{text}");
+        assert!(text.contains("cubis_serve_cache_misses 1"), "metrics:\n{text}");
+        // Solver-side trace counters flowed through the recorder.
+        assert!(text.contains("cubis_trace_"), "metrics:\n{text}");
+    }
+}

@@ -1,0 +1,178 @@
+//! The sharded LRU solution cache.
+//!
+//! Keys are the FNV-1a content hash of the canonical instance encoding
+//! ([`cubis_check::canon::content_hash`]); values are fully rendered
+//! solution bodies, stored as the exact bytes the first solve produced
+//! so a hit is *bit-identical* to a fresh solve (the trace codec's
+//! shortest-repr `f64` printing makes re-rendering deterministic, and
+//! the `cubis-serve-cache-vs-fresh` oracle holds the service to it).
+//!
+//! Hash collisions cannot produce a wrong answer: each entry stores the
+//! canonical content bytes alongside the body, and a lookup whose bytes
+//! differ is treated as a miss. Shards are independent mutexes selected
+//! by the high bits of the key, so concurrent workers rarely contend;
+//! within a shard the LRU order is a small `VecDeque` scanned linearly
+//! — shard capacities are tens of entries, where a scan beats any
+//! pointer-chased list.
+
+use std::sync::{Mutex, PoisonError};
+
+struct Entry {
+    hash: u64,
+    /// Canonical content bytes (the preimage of `hash`) — the collision
+    /// guard.
+    content: String,
+    /// The rendered solution body served on a hit.
+    body: String,
+}
+
+struct Shard {
+    /// Most-recently-used first.
+    entries: std::collections::VecDeque<Entry>,
+}
+
+/// A sharded least-recently-used map from instance content to solution
+/// bodies.
+pub struct SolutionCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+}
+
+impl SolutionCache {
+    /// Create a cache with `shards` independent shards of
+    /// `per_shard_capacity` entries each (both clamped to ≥ 1).
+    pub fn new(shards: usize, per_shard_capacity: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard { entries: std::collections::VecDeque::new() }))
+                .collect(),
+            per_shard_capacity: per_shard_capacity.max(1),
+        }
+    }
+
+    fn shard(&self, hash: u64) -> &Mutex<Shard> {
+        // High bits: FNV-1a mixes them well, and the low bits already
+        // picked the LRU position on small tables elsewhere.
+        let idx = (hash >> 32) as usize % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// Look up the body for `(hash, content)`, refreshing its LRU
+    /// position. `content` must be the canonical bytes `hash` was
+    /// computed from; an entry with the same hash but different bytes
+    /// is a collision and reads as a miss.
+    pub fn get(&self, hash: u64, content: &str) -> Option<String> {
+        let mut shard = self.shard(hash).lock().unwrap_or_else(PoisonError::into_inner);
+        let pos = shard
+            .entries
+            .iter()
+            .position(|e| e.hash == hash && e.content == content)?;
+        let entry = shard.entries.remove(pos)?;
+        let body = entry.body.clone();
+        shard.entries.push_front(entry);
+        Some(body)
+    }
+
+    /// Insert (or refresh) the body for `(hash, content)`, evicting the
+    /// least-recently-used entry of the shard when full.
+    pub fn insert(&self, hash: u64, content: &str, body: &str) {
+        let mut shard = self.shard(hash).lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(pos) =
+            shard.entries.iter().position(|e| e.hash == hash && e.content == content)
+        {
+            shard.entries.remove(pos);
+        }
+        shard.entries.push_front(Entry {
+            hash,
+            content: content.to_string(),
+            body: body.to_string(),
+        });
+        while shard.entries.len() > self.per_shard_capacity {
+            shard.entries.pop_back();
+        }
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).entries.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_and_lru_eviction() {
+        let cache = SolutionCache::new(1, 2);
+        cache.insert(1, "a", "body-a");
+        cache.insert(2, "b", "body-b");
+        assert_eq!(cache.get(1, "a").as_deref(), Some("body-a"));
+        // `1` is now most recent, so inserting a third evicts `2`.
+        cache.insert(3, "c", "body-c");
+        assert_eq!(cache.get(2, "b"), None);
+        assert_eq!(cache.get(1, "a").as_deref(), Some("body-a"));
+        assert_eq!(cache.get(3, "c").as_deref(), Some("body-c"));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn collision_reads_as_miss_and_never_wrong_body() {
+        let cache = SolutionCache::new(4, 4);
+        cache.insert(42, "content-a", "body-a");
+        // Same hash, different canonical bytes: a forged collision.
+        assert_eq!(cache.get(42, "content-b"), None);
+        assert_eq!(cache.get(42, "content-a").as_deref(), Some("body-a"));
+    }
+
+    #[test]
+    fn reinsert_refreshes_rather_than_duplicates() {
+        let cache = SolutionCache::new(1, 8);
+        cache.insert(7, "x", "old");
+        cache.insert(7, "x", "new");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(7, "x").as_deref(), Some("new"));
+    }
+
+    #[test]
+    fn shards_partition_the_key_space() {
+        let cache = SolutionCache::new(8, 1);
+        // Per-shard capacity 1, but keys landing in distinct shards
+        // coexist.
+        for i in 0u64..8 {
+            let h = i << 32; // Distinct high bits select distinct shards.
+            cache.insert(h, "k", "v");
+        }
+        assert!(cache.len() > 1, "distinct shards must not evict each other");
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = std::sync::Arc::new(SolutionCache::new(4, 16));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let cache = std::sync::Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        let h = (t << 32) | i;
+                        cache.insert(h, "c", "b");
+                        assert_eq!(cache.get(h, "c").as_deref(), Some("b"));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("cache worker panicked");
+        }
+        assert!(!cache.is_empty());
+    }
+}

@@ -1,0 +1,302 @@
+//! The versioned wire codec for the solve service.
+//!
+//! Requests and responses are JSON on `cubis-trace`'s dependency-free
+//! codec, each with a `version` number and a `kind` discriminator —
+//! the same envelope discipline the check artifacts and bench reports
+//! use. Instances travel in the canonical `cubis-check` encoding
+//! ([`cubis_check::canon`]), which is also what the solution cache key
+//! is hashed from, so "the bytes you sent" and "the bytes that keyed
+//! the cache" are the same encoding by construction.
+//!
+//! Solution bodies are rendered once, from the solver output, through
+//! the trace codec's shortest-repr `f64` printer: two renderings of the
+//! same solution are *bit-identical*, which is what lets the cache
+//! serve stored bytes and still honor the "cached ≡ fresh" oracle.
+
+use cubis_check::instance::format_seed;
+use cubis_check::CheckInstance;
+use cubis_core::CubisSolution;
+use cubis_trace::json::JsonValue;
+
+/// Wire format version for every request/response kind below.
+pub const WIRE_VERSION: f64 = 1.0;
+/// `kind` of a single-solve request.
+pub const KIND_SOLVE: &str = "cubis-serve-solve";
+/// `kind` of a batch-solve request.
+pub const KIND_SOLVE_BATCH: &str = "cubis-serve-solve-batch";
+/// `kind` of a solution response.
+pub const KIND_SOLUTION: &str = "cubis-serve-solution";
+/// `kind` of a batch response.
+pub const KIND_BATCH: &str = "cubis-serve-batch-solution";
+/// `kind` of an error body.
+pub const KIND_ERROR: &str = "cubis-serve-error";
+
+/// A single-solve request: one instance plus an optional deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveRequest {
+    /// The instance to solve, in the canonical encoding.
+    pub instance: CheckInstance,
+    /// Per-request deadline budget in milliseconds (`None` = no limit).
+    pub deadline_ms: Option<u64>,
+}
+
+/// A batch-solve request: the instances are fanned into
+/// [`cubis_core::Cubis::solve_batch`]; the deadline applies to each
+/// item independently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRequest {
+    /// The instances to solve, in request order.
+    pub instances: Vec<CheckInstance>,
+    /// Per-item deadline budget in milliseconds (`None` = no limit).
+    pub deadline_ms: Option<u64>,
+}
+
+fn envelope(kind: &str) -> Vec<(String, JsonValue)> {
+    vec![
+        ("version".to_string(), JsonValue::Num(WIRE_VERSION)),
+        ("kind".to_string(), JsonValue::Str(kind.to_string())),
+    ]
+}
+
+/// Check the `version`/`kind` envelope, returning the value itself.
+fn expect_envelope<'v>(v: &'v JsonValue, kind: &str) -> Result<&'v JsonValue, String> {
+    let got =
+        v.get("kind").and_then(JsonValue::as_str).ok_or_else(|| "missing `kind`".to_string())?;
+    if got != kind {
+        return Err(format!("kind `{got}` is not `{kind}`"));
+    }
+    let version = v
+        .get("version")
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| "missing `version`".to_string())?;
+    if version > WIRE_VERSION {
+        return Err(format!("wire version {version} is newer than supported {WIRE_VERSION}"));
+    }
+    Ok(v)
+}
+
+fn deadline_field(v: &JsonValue) -> Result<Option<u64>, String> {
+    match v.get("deadline_ms") {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(d) => {
+            d.as_u64().map(Some).ok_or_else(|| "field `deadline_ms` is not a u64".to_string())
+        }
+    }
+}
+
+impl SolveRequest {
+    /// Encode as a JSON value.
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields = envelope(KIND_SOLVE);
+        fields.push((
+            "instance".to_string(),
+            cubis_check::canon::encode_instance(&self.instance),
+        ));
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("deadline_ms".to_string(), JsonValue::Num(ms as f64)));
+        }
+        JsonValue::Obj(fields)
+    }
+
+    /// Serialize to the request body text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_json_string()
+    }
+
+    /// Decode a request body.
+    pub fn from_json_str(src: &str) -> Result<Self, String> {
+        let v = cubis_trace::json::parse(src).map_err(|e| format!("bad JSON: {e}"))?;
+        let v = expect_envelope(&v, KIND_SOLVE)?;
+        let inst = v.get("instance").ok_or_else(|| "missing `instance`".to_string())?;
+        Ok(Self {
+            instance: cubis_check::canon::decode_instance(inst)?,
+            deadline_ms: deadline_field(v)?,
+        })
+    }
+}
+
+impl BatchRequest {
+    /// Encode as a JSON value.
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields = envelope(KIND_SOLVE_BATCH);
+        fields.push((
+            "instances".to_string(),
+            JsonValue::Arr(
+                self.instances.iter().map(cubis_check::canon::encode_instance).collect(),
+            ),
+        ));
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("deadline_ms".to_string(), JsonValue::Num(ms as f64)));
+        }
+        JsonValue::Obj(fields)
+    }
+
+    /// Serialize to the request body text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_json_string()
+    }
+
+    /// Decode a request body.
+    pub fn from_json_str(src: &str) -> Result<Self, String> {
+        let v = cubis_trace::json::parse(src).map_err(|e| format!("bad JSON: {e}"))?;
+        let v = expect_envelope(&v, KIND_SOLVE_BATCH)?;
+        let arr = v
+            .get("instances")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| "missing `instances` array".to_string())?;
+        let instances = arr
+            .iter()
+            .map(cubis_check::canon::decode_instance)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { instances, deadline_ms: deadline_field(v)? })
+    }
+}
+
+/// Encode a solution body. `instance_hash` is the FNV-1a content hash
+/// the cache is keyed by, echoed back so clients can correlate.
+pub fn solution_to_json(instance_hash: u64, sol: &CubisSolution) -> JsonValue {
+    let mut fields = envelope(KIND_SOLUTION);
+    fields.push(("instance_hash".to_string(), JsonValue::Str(format_seed(instance_hash))));
+    fields.push((
+        "x".to_string(),
+        JsonValue::Arr(sol.x.iter().map(|&v| JsonValue::Num(v)).collect()),
+    ));
+    fields.push(("lb".to_string(), JsonValue::Num(sol.lb)));
+    fields.push(("ub".to_string(), JsonValue::Num(sol.ub)));
+    fields.push(("worst_case".to_string(), JsonValue::Num(sol.worst_case)));
+    fields.push(("binary_steps".to_string(), JsonValue::Num(sol.binary_steps as f64)));
+    fields.push(("gap".to_string(), JsonValue::Num(sol.certificate().gap)));
+    JsonValue::Obj(fields)
+}
+
+/// The decoded client view of a solution body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolutionView {
+    /// FNV-1a content hash of the solved instance.
+    pub instance_hash: u64,
+    /// The robust coverage vector.
+    pub x: Vec<f64>,
+    /// Binary-search lower bound.
+    pub lb: f64,
+    /// Binary-search upper bound.
+    pub ub: f64,
+    /// Exact worst-case utility of `x`.
+    pub worst_case: f64,
+    /// Binary-search steps performed.
+    pub binary_steps: usize,
+    /// Certificate gap `ub − lb`.
+    pub gap: f64,
+}
+
+impl SolutionView {
+    /// Decode a solution body.
+    pub fn from_json_str(src: &str) -> Result<Self, String> {
+        let v = cubis_trace::json::parse(src).map_err(|e| format!("bad JSON: {e}"))?;
+        let v = expect_envelope(&v, KIND_SOLUTION)?;
+        let num = |name: &str| -> Result<f64, String> {
+            v.get(name)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("missing numeric `{name}`"))
+        };
+        let hash_text = v
+            .get("instance_hash")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "missing `instance_hash`".to_string())?;
+        let x = v
+            .get("x")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| "missing `x` array".to_string())?
+            .iter()
+            .map(|e| e.as_f64().ok_or_else(|| "non-numeric coverage entry".to_string()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            instance_hash: cubis_check::parse_seed(hash_text)?,
+            x,
+            lb: num("lb")?,
+            ub: num("ub")?,
+            worst_case: num("worst_case")?,
+            binary_steps: num("binary_steps")? as usize,
+            gap: num("gap")?,
+        })
+    }
+}
+
+/// Encode an error body: a machine-readable `code` plus human detail.
+/// 504 bodies additionally carry the incumbent bounds the solver had
+/// reached when the deadline fired (see
+/// [`cubis_core::SolveError::DeadlineExceeded`]).
+pub fn error_body(code: &str, detail: &str, bounds: Option<(f64, f64, usize)>) -> String {
+    let mut fields = envelope(KIND_ERROR);
+    fields.push(("code".to_string(), JsonValue::Str(code.to_string())));
+    fields.push(("detail".to_string(), JsonValue::Str(detail.to_string())));
+    if let Some((lb, ub, steps)) = bounds {
+        fields.push((
+            "incumbent".to_string(),
+            JsonValue::Obj(vec![
+                ("lb".to_string(), JsonValue::Num(lb)),
+                ("ub".to_string(), JsonValue::Num(ub)),
+                ("binary_steps".to_string(), JsonValue::Num(steps as f64)),
+            ]),
+        ));
+    }
+    JsonValue::Obj(fields).to_json_string()
+}
+
+/// Extract the `code` of an error body, if it parses as one.
+pub fn error_code(body: &str) -> Option<String> {
+    let v = cubis_trace::json::parse(body).ok()?;
+    if v.get("kind")?.as_str()? != KIND_ERROR {
+        return None;
+    }
+    Some(v.get("code")?.as_str()?.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_request_round_trips() {
+        let req = SolveRequest {
+            instance: CheckInstance::generate(42),
+            deadline_ms: Some(250),
+        };
+        let back = SolveRequest::from_json_str(&req.to_json_string()).unwrap();
+        assert_eq!(req, back);
+        let req = SolveRequest { instance: CheckInstance::generate(7), deadline_ms: None };
+        let back = SolveRequest::from_json_str(&req.to_json_string()).unwrap();
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn batch_request_round_trips() {
+        let req = BatchRequest {
+            instances: vec![CheckInstance::generate(1), CheckInstance::generate(2)],
+            deadline_ms: None,
+        };
+        let back = BatchRequest::from_json_str(&req.to_json_string()).unwrap();
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn wrong_kind_and_future_version_are_rejected() {
+        let req = SolveRequest { instance: CheckInstance::generate(3), deadline_ms: None };
+        let text = req.to_json_string();
+        assert!(SolveRequest::from_json_str(&text.replace(KIND_SOLVE, "nope")).is_err());
+        assert!(
+            SolveRequest::from_json_str(&text.replace("\"version\":1", "\"version\":99")).is_err()
+        );
+        assert!(BatchRequest::from_json_str(&text).is_err(), "solve body is not a batch body");
+    }
+
+    #[test]
+    fn error_body_carries_code_and_incumbent() {
+        let body = error_body("deadline_exceeded", "ran out of time", Some((1.5, 2.5, 3)));
+        assert_eq!(error_code(&body).as_deref(), Some("deadline_exceeded"));
+        let v = cubis_trace::json::parse(&body).unwrap();
+        let inc = v.get("incumbent").unwrap();
+        assert_eq!(inc.get("lb").unwrap().as_f64().unwrap(), 1.5);
+        assert_eq!(inc.get("binary_steps").unwrap().as_usize().unwrap(), 3);
+        assert_eq!(error_code("{\"kind\":\"other\"}"), None);
+    }
+}

@@ -1,0 +1,355 @@
+//! A minimal HTTP/1.1 subset over blocking streams.
+//!
+//! Just enough of RFC 9112 for the solve service and its load
+//! generator: one request per connection (`Connection: close` on every
+//! response), a request line, `\r\n`-terminated headers, and an
+//! optional `Content-Length` body. No chunked encoding, no keep-alive,
+//! no TLS — the service is an internal tool, and the parser's job is to
+//! be small, allocation-bounded, and impossible to wedge: header and
+//! body sizes are capped, and malformed input maps to a typed
+//! [`HttpError`] the caller turns into a 4xx.
+
+use std::io::{BufRead, Write};
+
+/// Cap on the request line + headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Cap on the request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (path only; no query parsing).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of the (lowercased) header `name`, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The peer closed the connection before a full request arrived.
+    ConnectionClosed,
+    /// The request line or a header was malformed.
+    Malformed(String),
+    /// Head or body exceeded the configured caps.
+    TooLarge(String),
+    /// Underlying I/O failure (includes read timeouts).
+    Io(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ConnectionClosed => write!(f, "connection closed mid-request"),
+            Self::Malformed(d) => write!(f, "malformed request: {d}"),
+            Self::TooLarge(d) => write!(f, "request too large: {d}"),
+            Self::Io(d) => write!(f, "i/o error: {d}"),
+        }
+    }
+}
+
+/// Read one line terminated by `\n`, enforcing a byte budget shared
+/// across the whole head.
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Err(HttpError::ConnectionClosed);
+                }
+                return Err(HttpError::Malformed("head truncated".to_string()));
+            }
+            Ok(_) => {}
+            Err(e) => return Err(HttpError::Io(e.to_string())),
+        }
+        if *budget == 0 {
+            return Err(HttpError::TooLarge(format!("head exceeds {MAX_HEAD_BYTES} bytes")));
+        }
+        *budget -= 1;
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map_err(|_| HttpError::Malformed("non-UTF-8 head".to_string()));
+        }
+        line.push(byte[0]);
+    }
+}
+
+/// Parse one request from `reader` (blocking until complete or error).
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = read_line(reader, &mut budget)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".to_string()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line missing target".to_string()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line missing version".to_string()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported version {version}")));
+    }
+
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(reader, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header without colon: {line:?}")))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length {value:?}")))?;
+        }
+        headers.push((name, value));
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge(format!(
+            "body of {content_length} bytes exceeds {MAX_BODY_BYTES}"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| match e.kind() {
+                std::io::ErrorKind::UnexpectedEof => HttpError::ConnectionClosed,
+                _ => HttpError::Io(e.to_string()),
+            })?;
+    }
+    Ok(Request { method, path, headers, body })
+}
+
+/// The reason phrase for the status codes the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Write a full response (status line, headers, `Content-Length`,
+/// `Connection: close`, body) and flush.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!("HTTP/1.1 {status} {}\r\n", reason(status));
+    head.push_str(&format!("content-type: {content_type}\r\n"));
+    head.push_str(&format!("content-length: {}\r\n", body.len()));
+    head.push_str("connection: close\r\n");
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A parsed response, as the load generator and tests see it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First value of the (lowercased) header `name`, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy — bodies the service writes are JSON/text).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Parse one response from `reader` (client side; blocking).
+pub fn read_response(reader: &mut impl BufRead) -> Result<Response, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let status_line = read_line(reader, &mut budget)?;
+    let mut parts = status_line.split_whitespace();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty status line".to_string()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported version {version}")));
+    }
+    let status = parts
+        .next()
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| HttpError::Malformed("status line missing code".to_string()))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(reader, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header without colon: {line:?}")))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length {value:?}")))?;
+        }
+        headers.push((name, value));
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge(format!("body of {content_length} bytes")));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+    }
+    Ok(Response { status, headers, body })
+}
+
+/// Send `request` over a fresh client connection and return the parsed
+/// response (the one-request-per-connection client the load generator
+/// and integration tests share).
+pub fn roundtrip(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    timeout: std::time::Duration,
+) -> Result<Response, HttpError> {
+    let stream = std::net::TcpStream::connect_timeout(&addr, timeout)
+        .map_err(|e| HttpError::Io(format!("connect: {e}")))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    let mut writer = stream.try_clone().map_err(|e| HttpError::Io(e.to_string()))?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nhost: cubis\r\n");
+    head.push_str(&format!("content-length: {}\r\n", body.len()));
+    head.push_str("connection: close\r\n");
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    writer.write_all(head.as_bytes()).map_err(|e| HttpError::Io(e.to_string()))?;
+    writer.write_all(body).map_err(|e| HttpError::Io(e.to_string()))?;
+    writer.flush().map_err(|e| HttpError::Io(e.to_string()))?;
+    let mut reader = std::io::BufReader::new(stream);
+    read_response(&mut reader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /v1/solve HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/solve");
+        assert_eq!(req.body, b"hello");
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_and_truncated() {
+        let raw = b"NOT-HTTP\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut BufReader::new(&raw[..])),
+            Err(HttpError::Malformed(_))
+        ));
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort";
+        assert!(matches!(
+            read_request(&mut BufReader::new(&raw[..])),
+            Err(HttpError::ConnectionClosed)
+        ));
+        let raw = b"";
+        assert!(matches!(
+            read_request(&mut BufReader::new(&raw[..])),
+            Err(HttpError::ConnectionClosed)
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(matches!(
+            read_request(&mut BufReader::new(raw.as_bytes())),
+            Err(HttpError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn response_round_trips_through_writer_and_parser() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 200, &[("x-cubis-cache", "hit")], "application/json", b"{}")
+            .unwrap();
+        let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-cubis-cache"), Some("hit"));
+        assert_eq!(resp.header("connection"), Some("close"));
+        assert_eq!(resp.body, b"{}");
+    }
+}

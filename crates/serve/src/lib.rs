@@ -1,0 +1,51 @@
+//! cubis-serve: a zero-dependency HTTP solve service.
+//!
+//! CUBIS solves are pure functions of their instance, which makes them
+//! unusually good service payloads: identical requests have identical
+//! answers, so a cache keyed by the *canonical instance encoding* can
+//! serve bit-identical responses without re-solving. This crate turns
+//! that observation into a small operational stack, std-only by
+//! design (the server is `std::net` plus threads; the wire format is
+//! `cubis-trace`'s JSON codec; the cache key is `cubis-check`'s
+//! canonical encoding under FNV-1a):
+//!
+//! | layer | module | what it owns |
+//! |---|---|---|
+//! | wire | [`http`] | minimal HTTP/1.1 parse/print, client round trip |
+//! | codec | [`codec`] | versioned solve/batch/error bodies |
+//! | cache | [`cache`] | sharded LRU over content-hashed instances |
+//! | metrics | [`metrics`] | server counters + latency histogram + trace dump |
+//! | app | [`app`] | transport-free request handling (the oracle's entry point) |
+//! | server | [`server`] | acceptor, bounded queue, workers, graceful drain |
+//! | oracle | [`oracle`] | the `cubis-serve-cache-vs-fresh` differential check |
+//! | loadgen | [`loadgen`] | closed-loop clients behind `cubis-xtask loadgen` |
+//!
+//! Operational contract, in one paragraph: `POST /v1/solve` and
+//! `POST /v1/solve_batch` go through a bounded admission queue (full →
+//! `429`, draining → `503`) to a fixed worker pool; per-request
+//! deadlines are enforced *inside* the binary search via
+//! [`cubis_core::Deadline`], so an expired request answers `504` with
+//! the incumbent bounds instead of burning a worker; `GET /healthz`
+//! and `GET /metrics` are answered by the acceptor itself and never
+//! queue behind solves; shutdown drains the queue before the workers
+//! exit, so admitted work is never dropped.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod cache;
+pub mod codec;
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+pub mod oracle;
+pub mod server;
+
+pub use app::{ApiResponse, App, CacheOutcome};
+pub use cache::SolutionCache;
+pub use codec::{BatchRequest, SolutionView, SolveRequest};
+pub use loadgen::{LoadgenConfig, LoadgenOutcome};
+pub use metrics::ServerMetrics;
+pub use oracle::cache_vs_fresh_oracle;
+pub use server::{start, ServeConfig, ServerHandle};

@@ -1,0 +1,291 @@
+//! A closed-loop load generator for the solve service.
+//!
+//! `clients` threads each issue `requests_per_client` sequential
+//! `POST /v1/solve` requests over fresh connections (closed-loop: the
+//! next request waits for the previous response, so offered load tracks
+//! service capacity instead of overrunning it). The instance mix is
+//! seeded and deterministic: with probability `duplicate_rate` a
+//! request re-sends one of a small pool of pinned instances (these are
+//! the cache's bread and butter), otherwise it sends a fresh
+//! never-repeated instance. Latencies are measured client-side around
+//! the full connect→response round trip, so the reported quantiles are
+//! what a caller would actually observe.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use cubis_check::{CheckInstance, SplitMix64};
+
+use crate::codec::SolveRequest;
+use crate::http;
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent closed-loop client threads.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Master seed for the instance mix.
+    pub seed: u64,
+    /// Probability a request re-sends a pinned pool instance.
+    pub duplicate_rate: f64,
+    /// Pinned-pool size (distinct instances shared by all clients).
+    pub pool_size: usize,
+    /// Optional per-request deadline forwarded to the server.
+    pub deadline_ms: Option<u64>,
+    /// Per-request I/O timeout.
+    pub timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            clients: 4,
+            requests_per_client: 25,
+            seed: 42,
+            duplicate_rate: 0.5,
+            pool_size: 4,
+            deadline_ms: None,
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What one request observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RequestOutcome {
+    Hit,
+    Miss,
+    Rejected(u16),
+    TransportError,
+}
+
+/// Aggregated results of a load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenOutcome {
+    /// Requests attempted.
+    pub requests: usize,
+    /// 200s served from the cache.
+    pub cache_hits: usize,
+    /// 200s solved fresh.
+    pub cache_misses: usize,
+    /// Non-200 responses (429/503/504/…), by count.
+    pub rejected: usize,
+    /// Requests that failed at the transport level.
+    pub transport_errors: usize,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Sorted per-request latencies for successful (200) requests.
+    pub latencies: Vec<Duration>,
+}
+
+impl LoadgenOutcome {
+    /// Successful requests (cache hit or fresh solve).
+    pub fn successes(&self) -> usize {
+        self.cache_hits + self.cache_misses
+    }
+
+    /// Cache hit rate over successful requests (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        if self.successes() == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / self.successes() as f64
+    }
+
+    /// Successful requests per second of wall clock.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.successes() as f64 / secs
+    }
+
+    /// Exact latency quantile over successful requests (nearest-rank),
+    /// or `None` with no successes.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.latencies.len() as f64).ceil().max(1.0) as usize;
+        self.latencies.get(rank - 1).copied()
+    }
+}
+
+/// The pinned duplicate pool for `seed`: the instances repeated
+/// requests re-send. Grids are clamped small — the load generator
+/// measures the serving layer, not DP scaling.
+pub fn duplicate_pool(seed: u64, pool_size: usize) -> Vec<CheckInstance> {
+    let mut r = SplitMix64::new(seed ^ 0x5EED_F00D_0000_0001);
+    (0..pool_size.max(1))
+        .map(|_| clamp_for_serving(CheckInstance::generate(r.next_u64())))
+        .collect()
+}
+
+fn clamp_for_serving(mut inst: CheckInstance) -> CheckInstance {
+    inst.pp = inst.pp.min(4);
+    inst
+}
+
+/// Run the load against a server at `addr`; blocks until every client
+/// finishes.
+pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> LoadgenOutcome {
+    let pool = duplicate_pool(cfg.seed, cfg.pool_size);
+    let started = Instant::now();
+    let handles: Vec<_> = (0..cfg.clients.max(1))
+        .map(|client| {
+            let pool = pool.clone();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || client_loop(addr, client as u64, &pool, &cfg))
+        })
+        .collect();
+    let mut requests = 0;
+    let mut cache_hits = 0;
+    let mut cache_misses = 0;
+    let mut rejected = 0;
+    let mut transport_errors = 0;
+    let mut latencies = Vec::new();
+    for handle in handles {
+        // cubis:allow(NUM02): a panicked client thread is a harness bug with no meaningful counts to salvage; surfacing the panic beats reporting a silently short run
+        let results = handle.join().expect("loadgen client panicked");
+        for (outcome, latency) in results {
+            requests += 1;
+            match outcome {
+                RequestOutcome::Hit => {
+                    cache_hits += 1;
+                    latencies.push(latency);
+                }
+                RequestOutcome::Miss => {
+                    cache_misses += 1;
+                    latencies.push(latency);
+                }
+                RequestOutcome::Rejected(_) => rejected += 1,
+                RequestOutcome::TransportError => transport_errors += 1,
+            }
+        }
+    }
+    latencies.sort();
+    LoadgenOutcome {
+        requests,
+        cache_hits,
+        cache_misses,
+        rejected,
+        transport_errors,
+        elapsed: started.elapsed(),
+        latencies,
+    }
+}
+
+fn client_loop(
+    addr: SocketAddr,
+    client: u64,
+    pool: &[CheckInstance],
+    cfg: &LoadgenConfig,
+) -> Vec<(RequestOutcome, Duration)> {
+    // Decorrelate the per-client streams while keeping the whole mix a
+    // pure function of (seed, client index).
+    let mut r = SplitMix64::new(cfg.seed ^ client.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut results = Vec::with_capacity(cfg.requests_per_client);
+    for _ in 0..cfg.requests_per_client {
+        let instance = if r.chance(cfg.duplicate_rate) {
+            pool[r.range_usize(0, pool.len() - 1)].clone()
+        } else {
+            clamp_for_serving(CheckInstance::generate(r.next_u64()))
+        };
+        let body =
+            SolveRequest { instance, deadline_ms: cfg.deadline_ms }.to_json_string();
+        let started = Instant::now();
+        let outcome = match http::roundtrip(
+            addr,
+            "POST",
+            "/v1/solve",
+            &[],
+            body.as_bytes(),
+            cfg.timeout,
+        ) {
+            Ok(resp) if resp.status == 200 => {
+                if resp.header("x-cubis-cache") == Some("hit") {
+                    RequestOutcome::Hit
+                } else {
+                    RequestOutcome::Miss
+                }
+            }
+            Ok(resp) => RequestOutcome::Rejected(resp.status),
+            Err(_) => RequestOutcome::TransportError,
+        };
+        results.push((outcome, started.elapsed()));
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_pool_is_deterministic_and_clamped() {
+        let a = duplicate_pool(42, 4);
+        let b = duplicate_pool(42, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|i| i.pp <= 4 && i.is_valid()));
+        assert_ne!(duplicate_pool(43, 4), a);
+    }
+
+    #[test]
+    fn outcome_quantiles_and_rates() {
+        let outcome = LoadgenOutcome {
+            requests: 10,
+            cache_hits: 4,
+            cache_misses: 4,
+            rejected: 1,
+            transport_errors: 1,
+            elapsed: Duration::from_secs(2),
+            latencies: (1..=8).map(Duration::from_millis).collect(),
+        };
+        assert_eq!(outcome.successes(), 8);
+        assert!((outcome.hit_rate() - 0.5).abs() < 1e-12);
+        assert!((outcome.throughput_rps() - 4.0).abs() < 1e-12);
+        assert_eq!(outcome.quantile(0.5), Some(Duration::from_millis(4)));
+        assert_eq!(outcome.quantile(1.0), Some(Duration::from_millis(8)));
+        let empty = LoadgenOutcome {
+            requests: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            rejected: 0,
+            transport_errors: 0,
+            elapsed: Duration::from_secs(1),
+            latencies: vec![],
+        };
+        assert_eq!(empty.quantile(0.5), None);
+        assert_eq!(empty.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn end_to_end_against_a_live_server() {
+        let handle = crate::server::start(crate::server::ServeConfig {
+            workers: 2,
+            queue_capacity: 32,
+            ..Default::default()
+        })
+        .expect("bind ephemeral port");
+        let outcome = run(
+            handle.local_addr(),
+            &LoadgenConfig {
+                clients: 2,
+                requests_per_client: 6,
+                duplicate_rate: 0.6,
+                pool_size: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(outcome.requests, 12);
+        assert_eq!(outcome.transport_errors, 0, "transport errors: {outcome:?}");
+        assert!(outcome.successes() > 0);
+        assert!(outcome.cache_hits > 0, "duplicate mix must produce hits: {outcome:?}");
+        assert!(outcome.quantile(0.99).is_some());
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,106 @@
+//! `cubis-serve` — run the solve service as a standalone process.
+//!
+//! ```sh
+//! cargo run --release -p cubis-serve -- --addr 127.0.0.1:8787
+//! ```
+//!
+//! Flags (all optional): `--addr <host:port>` (default `127.0.0.1:8787`;
+//! port 0 picks an ephemeral port and prints it), `--workers <n>`,
+//! `--queue <n>`, `--cache <entries-per-shard>`. The process serves
+//! until killed; see the crate docs and `ARCHITECTURE.md` §"The
+//! serving layer" for the routes and semantics.
+
+use std::process::ExitCode;
+
+use cubis_serve::ServeConfig;
+
+fn usage() -> String {
+    "usage: cubis-serve [--addr <host:port>] [--workers <n>] [--queue <n>] [--cache <n>]"
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
+    let mut config = ServeConfig { addr: "127.0.0.1:8787".to_string(), ..ServeConfig::default() };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next().cloned().ok_or_else(|| format!("{flag} needs {what}\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("<host:port>")?,
+            "--workers" => {
+                config.workers =
+                    value("<n>")?.parse().map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue" => {
+                config.queue_capacity =
+                    value("<n>")?.parse().map_err(|e| format!("--queue: {e}"))?;
+            }
+            "--cache" => {
+                config.cache_capacity_per_shard =
+                    value("<n>")?.parse().map_err(|e| format!("--cache: {e}"))?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    if config.workers == 0 || config.queue_capacity == 0 {
+        return Err("--workers and --queue must be at least 1".to_string());
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cubis_serve::start(config) {
+        Ok(handle) => {
+            println!("cubis-serve listening on http://{}", handle.local_addr());
+            println!("routes: POST /v1/solve, POST /v1/solve_batch, GET /healthz, GET /metrics");
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        Err(err) => {
+            eprintln!("cubis-serve: failed to start: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_and_flags_parse() {
+        let config = parse_args(&[]).expect("defaults");
+        assert_eq!(config.addr, "127.0.0.1:8787");
+        let config = parse_args(&s(&[
+            "--addr", "127.0.0.1:0", "--workers", "3", "--queue", "9", "--cache", "5",
+        ]))
+        .expect("flags");
+        assert_eq!(config.addr, "127.0.0.1:0");
+        assert_eq!(config.workers, 3);
+        assert_eq!(config.queue_capacity, 9);
+        assert_eq!(config.cache_capacity_per_shard, 5);
+    }
+
+    #[test]
+    fn bad_flags_are_rejected() {
+        assert!(parse_args(&s(&["--nope"])).is_err());
+        assert!(parse_args(&s(&["--workers"])).is_err());
+        assert!(parse_args(&s(&["--workers", "zero"])).is_err());
+        assert!(parse_args(&s(&["--workers", "0"])).is_err());
+    }
+}

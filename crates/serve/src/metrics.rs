@@ -1,0 +1,197 @@
+//! Server counters, gauges, and the latency histogram behind
+//! `GET /metrics`.
+//!
+//! Everything is a `SeqCst` atomic — scrapes race with workers by
+//! design and per-metric consistency is all the text format promises.
+//! Solver-side effort (probe counts, span timings) is not duplicated
+//! here: the server installs a [`cubis_trace::CounterSetRecorder`] as
+//! the solve recorder, and [`render`](ServerMetrics::render) appends
+//! that recorder's totals after the server's own section, so one scrape
+//! shows both layers of the system.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cubis_trace::CounterSetRecorder;
+
+/// Upper bounds (microseconds) of the latency histogram buckets; the
+/// last bucket is unbounded.
+pub const LATENCY_BUCKET_BOUNDS_US: [u64; 12] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
+];
+
+/// A fixed-bucket latency histogram (microsecond resolution).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKET_BOUNDS_US.len() + 1],
+    count: AtomicU64,
+    total_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Record one observation.
+    pub fn observe(&self, duration: std::time::Duration) {
+        let us = duration.as_micros().min(u64::MAX as u128) as u64;
+        let idx = LATENCY_BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKET_BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::SeqCst);
+        self.count.fetch_add(1, Ordering::SeqCst);
+        self.total_us.fetch_add(us, Ordering::SeqCst);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::SeqCst)
+    }
+
+    /// Upper-bound estimate of the `q`-quantile in microseconds (the
+    /// bound of the first bucket whose cumulative count reaches `q`),
+    /// or `None` with no observations.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::SeqCst);
+            if cumulative >= rank {
+                return Some(
+                    LATENCY_BUCKET_BOUNDS_US.get(i).copied().unwrap_or(u64::MAX),
+                );
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    fn render_into(&self, out: &mut String, name: &str) {
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::SeqCst);
+            let le = LATENCY_BUCKET_BOUNDS_US
+                .get(i)
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "+Inf".to_string());
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("{name}_sum_us {}\n", self.total_us.load(Ordering::SeqCst)));
+        out.push_str(&format!("{name}_count {}\n", self.count()));
+    }
+}
+
+/// All server-side metrics, shared between the acceptor, the workers,
+/// and the `/metrics` renderer.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Requests accepted and parsed, by any method/path.
+    pub requests_total: AtomicU64,
+    /// Solve requests answered 200 from the cache.
+    pub cache_hits: AtomicU64,
+    /// Solve requests that went to the solver.
+    pub cache_misses: AtomicU64,
+    /// Requests rejected 429 (admission queue full).
+    pub rejected_queue_full: AtomicU64,
+    /// Requests rejected 503 (server draining).
+    pub rejected_draining: AtomicU64,
+    /// Solves that hit their deadline (504).
+    pub deadline_exceeded: AtomicU64,
+    /// Requests rejected 4xx (malformed, unknown route, invalid
+    /// instance).
+    pub client_errors: AtomicU64,
+    /// Solver-side failures answered 500.
+    pub server_errors: AtomicU64,
+    /// Gauge: jobs currently queued.
+    pub queue_depth: AtomicU64,
+    /// Gauge: jobs currently being solved by workers.
+    pub in_flight: AtomicU64,
+    /// Gauge: 1 once graceful shutdown has begun.
+    pub draining: AtomicU64,
+    /// End-to-end solve latency (dequeue → response written).
+    pub solve_latency: LatencyHistogram,
+}
+
+impl ServerMetrics {
+    /// Render the `/metrics` text body: server counters and gauges,
+    /// the latency histogram, then the solver-side trace counters and
+    /// span aggregates from `trace`.
+    pub fn render(&self, trace: &CounterSetRecorder) -> String {
+        let mut out = String::new();
+        let counters: [(&str, &AtomicU64); 11] = [
+            ("cubis_serve_requests_total", &self.requests_total),
+            ("cubis_serve_cache_hits", &self.cache_hits),
+            ("cubis_serve_cache_misses", &self.cache_misses),
+            ("cubis_serve_rejected_queue_full", &self.rejected_queue_full),
+            ("cubis_serve_rejected_draining", &self.rejected_draining),
+            ("cubis_serve_deadline_exceeded", &self.deadline_exceeded),
+            ("cubis_serve_client_errors", &self.client_errors),
+            ("cubis_serve_server_errors", &self.server_errors),
+            ("cubis_serve_queue_depth", &self.queue_depth),
+            ("cubis_serve_in_flight", &self.in_flight),
+            ("cubis_serve_draining", &self.draining),
+        ];
+        for (name, value) in counters {
+            out.push_str(&format!("{name} {}\n", value.load(Ordering::SeqCst)));
+        }
+        self.solve_latency.render_into(&mut out, "cubis_serve_latency_us");
+        for (name, total) in trace.counter_totals() {
+            out.push_str(&format!("cubis_trace_counter{{name=\"{name}\"}} {total}\n"));
+        }
+        for (name, agg) in trace.span_aggregates() {
+            out.push_str(&format!(
+                "cubis_trace_span_ns{{name=\"{name}\"}} count {} total {}\n",
+                agg.count, agg.total_ns
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), None);
+        for us in [50u64, 200, 200, 400, 900, 20_000] {
+            h.observe(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 6);
+        // Ranks: q=0.5 → rank 3 → cumulative reaches 3 in the ≤250
+        // bucket (50, 200, 200).
+        assert_eq!(h.quantile_us(0.5), Some(250));
+        assert_eq!(h.quantile_us(1.0), Some(25_000));
+        assert_eq!(h.quantile_us(0.0), Some(100));
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let h = LatencyHistogram::default();
+        h.observe(Duration::from_secs(10));
+        assert_eq!(h.quantile_us(0.5), Some(u64::MAX));
+        let mut text = String::new();
+        h.render_into(&mut text, "lat");
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("lat_count 1"));
+    }
+
+    #[test]
+    fn render_includes_server_and_trace_sections() {
+        let m = ServerMetrics::default();
+        m.requests_total.fetch_add(3, Ordering::SeqCst);
+        m.cache_hits.fetch_add(1, Ordering::SeqCst);
+        m.solve_latency.observe(Duration::from_micros(123));
+        let trace = CounterSetRecorder::default();
+        use cubis_trace::{Event, Recorder};
+        trace.record(Event::Counter { name: "cubis.probe".to_string(), delta: 7 });
+        let text = m.render(&trace);
+        assert!(text.contains("cubis_serve_requests_total 3"));
+        assert!(text.contains("cubis_serve_cache_hits 1"));
+        assert!(text.contains("cubis_serve_latency_us_count 1"));
+        assert!(text.contains("cubis_trace_counter{name=\"cubis.probe\"} 7"));
+    }
+}

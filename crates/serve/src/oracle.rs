@@ -1,0 +1,102 @@
+//! The `cubis-serve-cache-vs-fresh` differential oracle.
+//!
+//! Property: for any valid instance, a from-scratch solve, the
+//! in-process handler's first (cache-miss) response, and its second
+//! (cache-hit) response all produce *bit-identical* solution bodies.
+//! That is the cache's correctness contract — a hit is
+//! indistinguishable from a fresh solve at the byte level — and it is
+//! checked through [`crate::app::App`], the exact code path production
+//! requests take.
+//!
+//! The oracle is registered with `cubis-check` through the extras
+//! extension point (`run_fuzz_with`), which exists precisely because
+//! the dependency arrow points serve → check: the check crate cannot
+//! name this oracle, so the xtask fuzz driver passes it in.
+
+use cubis_check::oracles::{Oracle, OracleStatus};
+use cubis_check::CheckInstance;
+use cubis_core::Deadline;
+
+use crate::app::{App, CacheOutcome};
+use crate::codec::SolveRequest;
+
+/// The registry entry for this crate's differential oracle.
+pub fn cache_vs_fresh_oracle() -> Oracle {
+    Oracle {
+        name: "cubis-serve-cache-vs-fresh",
+        what: "serve handler twice (miss then hit) vs a from-scratch solve, byte-identical bodies",
+        run: cache_vs_fresh,
+    }
+}
+
+fn cache_vs_fresh(inst: &CheckInstance) -> Result<OracleStatus, String> {
+    // Large grids make the DP solve the dominant fuzz cost; the cache
+    // property is grid-size-independent, so bound the work.
+    if inst.num_targets() > 5 || inst.pp > 6 {
+        return Ok(OracleStatus::Skipped);
+    }
+    let app = App::new(2, 8);
+    let fresh = app
+        .solve_fresh(inst, Deadline::none())
+        .map_err(|e| format!("fresh solve failed: {e}"))?;
+    let req = SolveRequest { instance: inst.clone(), deadline_ms: None };
+    let first = app.handle_solve(&req);
+    if first.status != 200 {
+        return Err(format!("first handler call: status {} body {}", first.status, first.body));
+    }
+    if first.cache != CacheOutcome::Miss {
+        return Err(format!("first handler call was not a miss: {:?}", first.cache));
+    }
+    let second = app.handle_solve(&req);
+    if second.status != 200 {
+        return Err(format!("second handler call: status {} body {}", second.status, second.body));
+    }
+    if second.cache != CacheOutcome::Hit {
+        return Err(format!("second handler call was not a hit: {:?}", second.cache));
+    }
+    if first.body != fresh {
+        return Err(format!(
+            "handler (miss) body diverges from from-scratch solve:\n  handler: {}\n  fresh:   {}",
+            first.body, fresh
+        ));
+    }
+    if second.body != first.body {
+        return Err(format!(
+            "cache hit body diverges from the miss that filled it:\n  hit:  {}\n  miss: {}",
+            second.body, first.body
+        ));
+    }
+    Ok(OracleStatus::Checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_passes_on_generated_instances() {
+        let mut checked = 0;
+        for seed in 0u64..8 {
+            let inst = CheckInstance::generate(seed);
+            match cache_vs_fresh(&inst).expect("oracle violation") {
+                OracleStatus::Checked => checked += 1,
+                OracleStatus::Skipped => {}
+            }
+        }
+        assert!(checked > 0, "every instance was skipped — bounds too tight");
+    }
+
+    #[test]
+    fn oracle_runs_inside_the_check_harness() {
+        let report = cubis_check::run_fuzz_with(
+            &cubis_check::FuzzConfig { seed: 42, iters: 3 },
+            &[cache_vs_fresh_oracle()],
+        );
+        assert_eq!(report.cases_run, 3);
+        assert!(
+            report.failure.is_none(),
+            "extras fuzz violation: {:?}",
+            report.failure.map(|f| (f.oracle, f.detail))
+        );
+    }
+}

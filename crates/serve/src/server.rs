@@ -1,0 +1,350 @@
+//! The HTTP server: acceptor, bounded admission queue, worker pool,
+//! graceful shutdown.
+//!
+//! One acceptor thread owns the listener. It parses each request
+//! itself and answers the cheap read-only endpoints (`/healthz`,
+//! `/metrics`) inline, so health and observability stay responsive
+//! even when every worker is busy — then enqueues solve work onto a
+//! bounded queue serviced by a fixed pool of worker threads. Admission
+//! control is explicit: a full queue answers `429 Too Many Requests`,
+//! a draining server answers `503 Service Unavailable`, and nothing
+//! ever blocks the acceptor on solver time.
+//!
+//! Shutdown is cooperative and drain-first: [`ServerHandle::shutdown`]
+//! flips the draining flag, wakes the acceptor with a loopback
+//! "poison" connection, and joins the workers — who keep popping until
+//! the queue is *empty*, so every request admitted before the drain
+//! began still gets its response.
+
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::app::App;
+use crate::codec;
+use crate::http::{self, HttpError, Request};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port `0` for an ephemeral port.
+    pub addr: String,
+    /// Worker threads servicing the solve queue.
+    pub workers: usize,
+    /// Bounded admission-queue capacity (beyond this: 429).
+    pub queue_capacity: usize,
+    /// Shards of the solution cache.
+    pub cache_shards: usize,
+    /// LRU capacity per cache shard.
+    pub cache_capacity_per_shard: usize,
+    /// Per-connection read/write timeout.
+    pub io_timeout: Duration,
+    /// Honor `x-cubis-test-hold-ms` (integration tests only: lets a
+    /// test pin a worker deterministically to fill the queue).
+    pub allow_test_hooks: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            cache_shards: 8,
+            cache_capacity_per_shard: 32,
+            io_timeout: Duration::from_secs(10),
+            allow_test_hooks: false,
+        }
+    }
+}
+
+/// One admitted solve job.
+struct Job {
+    stream: TcpStream,
+    request: Request,
+}
+
+struct Shared {
+    app: App,
+    queue: Mutex<VecDeque<Job>>,
+    wake: Condvar,
+    draining: AtomicBool,
+    config: ServeConfig,
+}
+
+impl Shared {
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A running server; dropping the handle without calling
+/// [`Self::shutdown`] detaches the threads (they live until process
+/// exit), so tests and the load generator should always shut down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+/// Start a server for `config`; returns once the listener is bound
+/// and the worker pool is up.
+pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        app: App::new(config.cache_shards, config.cache_capacity_per_shard),
+        queue: Mutex::new(VecDeque::new()),
+        wake: Condvar::new(),
+        draining: AtomicBool::new(false),
+        config: config.clone(),
+    });
+    let workers = (0..config.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("cubis-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+        })
+        .collect::<std::io::Result<Vec<_>>>()?;
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("cubis-serve-acceptor".to_string())
+            .spawn(move || acceptor_loop(&listener, &shared))?
+    };
+    Ok(ServerHandle { addr, acceptor: Some(acceptor), workers, shared })
+}
+
+impl ServerHandle {
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Direct access to the app (metrics, cache introspection) for
+    /// embedding callers like `cubis-xtask loadgen`.
+    pub fn app(&self) -> &App {
+        &self.shared.app
+    }
+
+    /// Graceful shutdown: refuse new work, drain the queue, join all
+    /// threads. Every request admitted before this call still gets a
+    /// response.
+    pub fn shutdown(mut self) {
+        self.begin_drain();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.app.metrics().draining.store(1, Ordering::SeqCst);
+        // Unblock the acceptor's `accept()` with a no-op connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        self.shared.wake.notify_all();
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u16, headers: &[(&str, &str)], body: &str) {
+    // The peer may already be gone; response-write failures are not
+    // server errors.
+    let _ = http::write_response(stream, status, headers, "application/json", body.as_bytes());
+}
+
+fn respond_error(stream: &mut TcpStream, status: u16, code: &str, detail: &str) {
+    respond(stream, status, &[], &codec::error_body(code, detail, None));
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.draining.load(Ordering::SeqCst) {
+            // Poison pill, or a client that raced the drain: refuse
+            // and stop accepting.
+            let mut stream = stream;
+            shared.app.metrics().rejected_draining.fetch_add(1, Ordering::SeqCst);
+            respond_error(&mut stream, 503, "draining", "server is shutting down");
+            return;
+        }
+        handle_connection(stream, shared);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let metrics = shared.app.metrics();
+    let timeout = shared.config.io_timeout;
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let mut write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let request = match http::read_request(&mut reader) {
+        Ok(req) => req,
+        Err(HttpError::ConnectionClosed) => return,
+        Err(HttpError::Io(_)) => return,
+        Err(HttpError::TooLarge(detail)) => {
+            metrics.client_errors.fetch_add(1, Ordering::SeqCst);
+            respond_error(&mut write_half, 413, "too_large", &detail);
+            return;
+        }
+        Err(HttpError::Malformed(detail)) => {
+            metrics.client_errors.fetch_add(1, Ordering::SeqCst);
+            respond_error(&mut write_half, 400, "malformed", &detail);
+            return;
+        }
+    };
+    metrics.requests_total.fetch_add(1, Ordering::SeqCst);
+
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            respond(&mut write_half, 200, &[], "{\"status\":\"ok\"}");
+        }
+        ("GET", "/metrics") => {
+            let body = shared.app.render_metrics();
+            let _ = http::write_response(
+                &mut write_half,
+                200,
+                &[],
+                "text/plain; charset=utf-8",
+                body.as_bytes(),
+            );
+        }
+        ("POST", "/v1/solve") | ("POST", "/v1/solve_batch") => {
+            let mut queue = shared.lock_queue();
+            if queue.len() >= shared.config.queue_capacity {
+                drop(queue);
+                metrics.rejected_queue_full.fetch_add(1, Ordering::SeqCst);
+                respond(
+                    &mut write_half,
+                    429,
+                    &[("retry-after", "1")],
+                    &codec::error_body("queue_full", "admission queue is full; retry later", None),
+                );
+                return;
+            }
+            queue.push_back(Job { stream: write_half, request });
+            metrics.queue_depth.store(queue.len() as u64, Ordering::SeqCst);
+            drop(queue);
+            shared.wake.notify_one();
+        }
+        ("GET", "/v1/solve") | ("GET", "/v1/solve_batch") => {
+            metrics.client_errors.fetch_add(1, Ordering::SeqCst);
+            respond_error(&mut write_half, 405, "method_not_allowed", "use POST");
+        }
+        _ => {
+            metrics.client_errors.fetch_add(1, Ordering::SeqCst);
+            respond_error(&mut write_half, 404, "not_found", "unknown route");
+        }
+    }
+}
+
+/// Pop the next job, blocking until one arrives or the drain finishes.
+fn next_job(shared: &Shared) -> Option<Job> {
+    let metrics = shared.app.metrics();
+    let mut queue = shared.lock_queue();
+    loop {
+        if let Some(job) = queue.pop_front() {
+            metrics.queue_depth.store(queue.len() as u64, Ordering::SeqCst);
+            return Some(job);
+        }
+        // Drain-first: only exit on an *empty* queue.
+        if shared.draining.load(Ordering::SeqCst) {
+            return None;
+        }
+        queue = shared
+            .wake
+            .wait_timeout(queue, Duration::from_millis(100))
+            .unwrap_or_else(PoisonError::into_inner)
+            .0;
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let metrics = shared.app.metrics();
+    while let Some(mut job) = next_job(shared) {
+        metrics.in_flight.fetch_add(1, Ordering::SeqCst);
+        let started = Instant::now();
+        if shared.config.allow_test_hooks {
+            if let Some(ms) =
+                job.request.header("x-cubis-test-hold-ms").and_then(|v| v.parse::<u64>().ok())
+            {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+        }
+        let body_text = String::from_utf8_lossy(&job.request.body).into_owned();
+        let response = match job.request.path.as_str() {
+            "/v1/solve" => shared.app.handle_solve_body(&body_text),
+            _ => shared.app.handle_batch_body(&body_text),
+        };
+        respond(
+            &mut job.stream,
+            response.status,
+            &[("x-cubis-cache", response.cache.header_value())],
+            &response.body,
+        );
+        metrics.solve_latency.observe(started.elapsed());
+        metrics.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Transport-level behavior (routing, backpressure, drain) is
+    // exercised end-to-end in `tests/tests/serve.rs`; here we keep the
+    // cheap invariants that don't need a solve.
+
+    #[test]
+    fn boots_on_ephemeral_port_and_answers_health() {
+        let handle = start(ServeConfig {
+            workers: 1,
+            queue_capacity: 4,
+            ..ServeConfig::default()
+        })
+        .expect("bind ephemeral port");
+        let addr = handle.local_addr();
+        let resp =
+            http::roundtrip(addr, "GET", "/healthz", &[], b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.body_text().contains("ok"));
+        let resp =
+            http::roundtrip(addr, "GET", "/nope", &[], b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, 404);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn refuses_after_shutdown() {
+        let handle = start(ServeConfig::default()).expect("bind ephemeral port");
+        let addr = handle.local_addr();
+        handle.shutdown();
+        // The listener is closed once the acceptor exits: either the
+        // connection is refused outright or (if it raced the close) it
+        // sees a 503.
+        let outcome = http::roundtrip(addr, "GET", "/healthz", &[], b"", Duration::from_secs(2));
+        match outcome {
+            Err(_) => {}
+            Ok(resp) => assert_eq!(resp.status, 503),
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! A counters-only recorder for long-lived processes.
+//!
+//! [`JournalRecorder`](crate::JournalRecorder) keeps every event, which
+//! is right for one solve and wrong for a server: a process that solves
+//! millions of requests must not grow a journal per request. The
+//! [`CounterSetRecorder`] here keeps **O(distinct names)** state — a
+//! running total per counter name and a `(count, total_ns)` aggregate
+//! per span name — and drops the structured per-solve events entirely.
+//! `cubis-serve` attaches one to every solver it runs and dumps the
+//! totals on `GET /metrics`.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cubis_trace::{CounterSetRecorder, SharedRecorder};
+//!
+//! let counters = Arc::new(CounterSetRecorder::new());
+//! let rec = SharedRecorder::new(counters.clone());
+//! rec.counter("lp.pivots", 3);
+//! rec.counter("lp.pivots", 4);
+//! drop(rec.span("cubis.solve"));
+//!
+//! assert_eq!(counters.counter_totals()["lp.pivots"], 7);
+//! assert_eq!(counters.span_aggregates()["cubis.solve"].count, 1);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+
+use crate::event::Event;
+use crate::recorder::Recorder;
+
+/// Aggregate for one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// Number of completed spans with this name.
+    pub count: u64,
+    /// Total nanoseconds across those spans.
+    pub total_ns: u64,
+}
+
+/// Bounded-memory [`Recorder`]: counter totals and span aggregates
+/// only; structured events are discarded (see the module docs).
+#[derive(Debug, Default)]
+pub struct CounterSetRecorder {
+    counters: Mutex<BTreeMap<String, u64>>,
+    spans: Mutex<BTreeMap<String, SpanAgg>>,
+}
+
+impl CounterSetRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of every counter's running total.
+    pub fn counter_totals(&self) -> BTreeMap<String, u64> {
+        self.counters.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// Snapshot of every span name's `(count, total_ns)` aggregate.
+    pub fn span_aggregates(&self) -> BTreeMap<String, SpanAgg> {
+        self.spans.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+}
+
+impl Recorder for CounterSetRecorder {
+    fn record(&self, event: Event) {
+        match event {
+            Event::Counter { name, delta } => {
+                let mut counters =
+                    self.counters.lock().unwrap_or_else(PoisonError::into_inner);
+                *counters.entry(name).or_insert(0) += delta;
+            }
+            Event::Span { name, dur_ns } => {
+                let mut spans = self.spans.lock().unwrap_or_else(PoisonError::into_inner);
+                let agg = spans.entry(name).or_default();
+                agg.count += 1;
+                agg.total_ns += dur_ns;
+            }
+            // Structured solve events are per-request detail; keeping
+            // them would grow without bound in a serving process.
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{BinaryStepEvent, Event};
+    use crate::recorder::SharedRecorder;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_accumulate_and_spans_aggregate() {
+        let rec = CounterSetRecorder::new();
+        rec.record(Event::Counter { name: "bb.nodes".into(), delta: 5 });
+        rec.record(Event::Counter { name: "bb.nodes".into(), delta: 2 });
+        rec.record(Event::Span { name: "cubis.inner".into(), dur_ns: 10 });
+        rec.record(Event::Span { name: "cubis.inner".into(), dur_ns: 30 });
+        assert_eq!(rec.counter_totals()["bb.nodes"], 7);
+        assert_eq!(
+            rec.span_aggregates()["cubis.inner"],
+            SpanAgg { count: 2, total_ns: 40 }
+        );
+    }
+
+    #[test]
+    fn structured_events_are_dropped() {
+        let rec = CounterSetRecorder::new();
+        rec.record(Event::BinaryStep(BinaryStepEvent {
+            step: 1,
+            c: 0.0,
+            g_value: 0.0,
+            feasible: true,
+            lb: 0.0,
+            ub: 1.0,
+        }));
+        assert!(rec.counter_totals().is_empty());
+        assert!(rec.span_aggregates().is_empty());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let counters = Arc::new(CounterSetRecorder::new());
+        let rec = SharedRecorder::new(counters.clone());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let rec = rec.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        rec.counter("lp.pivots", 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker thread panicked");
+        }
+        assert_eq!(counters.counter_totals()["lp.pivots"], 400);
+    }
+}

@@ -51,11 +51,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod counters;
 pub mod event;
 pub mod json;
 mod journal;
 mod recorder;
 
+pub use counters::{CounterSetRecorder, SpanAgg};
 pub use event::{
     BbSolveEvent, BinaryStepEvent, Event, InnerSolveEvent, SolveSummaryEvent, TimedEvent,
 };

@@ -46,9 +46,14 @@ pub const COMMANDS: &[CommandSpec] = &[
         what: "run the warm-vs-cold solve benchmark; write BENCH_solve.json",
     },
     CommandSpec {
+        name: "loadgen",
+        usage: "loadgen [--smoke] [--clients <n>] [--requests <n>] [--duplicate-rate <f>] [--seed <u64|0xhex>] [--out <path>] [--root <workspace-dir>]",
+        what: "boot an in-process solve server, drive closed-loop load; write BENCH_serve.json",
+    },
+    CommandSpec {
         name: "ci",
         usage: "ci [--root <workspace-dir>]",
-        what: "the local pre-merge gate (fmt, analyze, fuzz+bench smoke, tests, docs)",
+        what: "the local pre-merge gate (fmt, analyze, fuzz+bench+serve smoke, tests, docs)",
     },
 ];
 
@@ -98,6 +103,13 @@ mod tests {
         assert!(find("bench").is_some());
         assert!(usage_text().contains("BENCH_solve.json"));
         assert!(names_line().contains("bench"));
+    }
+
+    #[test]
+    fn loadgen_is_registered() {
+        assert!(find("loadgen").is_some());
+        assert!(usage_text().contains("BENCH_serve.json"));
+        assert!(names_line().contains("loadgen"));
     }
 
     #[test]

@@ -18,10 +18,22 @@
 //! * `bench [--smoke] [--out <path>]` — the warm-vs-cold solve
 //!   benchmark (`cubis_bench::harness`); writes `BENCH_solve.json` at
 //!   the workspace root (or `--out`) and prints per-shape speedups.
+//! * `loadgen [--smoke] [--clients <n>] [--requests <n>]
+//!   [--duplicate-rate <f>] [--seed <u64>] [--out <path>]` — boots the
+//!   `cubis-serve` server on an ephemeral port, drives it with the
+//!   closed-loop load generator, and writes `BENCH_serve.json`
+//!   (throughput, hit rate, latency quantiles), validated before the
+//!   write.
 //! * `ci [--root <dir>]` — the single local pre-merge gate: chains
 //!   `cargo fmt --check`, the analyze pass, the fuzz smoke subset, an
-//!   in-process bench smoke (validated, not written), `cargo test -q`,
+//!   in-process bench smoke (validated, not written), an in-process
+//!   serve smoke (boot + loadgen + validate), `cargo test -q`,
 //!   `cargo doc --no-deps` with warnings denied, and `cargo test --doc`.
+//!
+//! The fuzz harness runs the `cubis-check` registry *plus* the
+//! `cubis-serve-cache-vs-fresh` oracle, passed through the harness's
+//! extras extension point (the dependency arrow points serve → check,
+//! so check cannot name the oracle itself).
 
 use cubis_xtask::{analyze_workspace, commands, find_workspace_root, rules::RULE_DOCS};
 use std::path::PathBuf;
@@ -35,8 +47,15 @@ const HANDLERS: &[(&str, fn(&[String]) -> ExitCode)] = &[
     ("trace-report", cmd_trace_report),
     ("fuzz", fuzz),
     ("bench", bench),
+    ("loadgen", loadgen),
     ("ci", cmd_ci),
 ];
+
+/// Oracles registered from outside the `cubis-check` crate (see the
+/// crate docs above): currently the serve cache-vs-fresh check.
+fn extra_oracles() -> Vec<cubis_check::Oracle> {
+    vec![cubis_serve::cache_vs_fresh_oracle()]
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -101,7 +120,7 @@ fn fuzz(args: &[String]) -> ExitCode {
             Err(e) => return usage(&format!("bad {}: {e}", cubis_check::SEED_ENV)),
         };
         println!("fuzz: replaying case {}", cubis_check::format_seed(seed));
-        return match cubis_check::run_case(seed) {
+        return match cubis_check::run_case_with(seed, &extra_oracles()) {
             Ok(checked) => {
                 println!("fuzz: case passed ({checked} oracles checked)");
                 ExitCode::SUCCESS
@@ -125,7 +144,8 @@ fn fuzz(args: &[String]) -> ExitCode {
         Ok(None) => 42,
         Err(e) => return usage(&e),
     };
-    let report = cubis_check::run_fuzz(&cubis_check::FuzzConfig { seed, iters });
+    let report =
+        cubis_check::run_fuzz_with(&cubis_check::FuzzConfig { seed, iters }, &extra_oracles());
     println!(
         "fuzz: {} case(s) from master seed {}, {} oracle check(s)",
         report.cases_run,
@@ -189,6 +209,154 @@ fn bench(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("cubis-xtask bench: cannot write {}: {e}", out.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The loadgen configuration the `--smoke` preset and the ci gate use:
+/// small enough for seconds, busy enough that the duplicate mix
+/// produces cache hits.
+fn smoke_loadgen_config() -> cubis_serve::LoadgenConfig {
+    cubis_serve::LoadgenConfig {
+        clients: 2,
+        requests_per_client: 8,
+        duplicate_rate: 0.5,
+        pool_size: 2,
+        ..Default::default()
+    }
+}
+
+/// Boot an in-process server, run the closed-loop load generator
+/// against it, and distill the outcome into a validated report.
+fn run_loadgen(
+    config: &cubis_serve::LoadgenConfig,
+) -> Result<cubis_bench::ServeBenchReport, String> {
+    let server = cubis_serve::start(cubis_serve::ServeConfig {
+        workers: config.clients.max(2),
+        ..Default::default()
+    })
+    .map_err(|e| format!("cannot bind loadgen server: {e}"))?;
+    let outcome = cubis_serve::loadgen::run(server.local_addr(), config);
+    server.shutdown();
+    let q_us = |q: f64| {
+        outcome
+            .quantile(q)
+            .map(|d| d.as_micros().min(u64::MAX as u128) as u64)
+            .unwrap_or(0)
+    };
+    let report = cubis_bench::ServeBenchReport {
+        format_version: cubis_bench::SERVE_FORMAT_VERSION,
+        clients: config.clients as u64,
+        requests_per_client: config.requests_per_client as u64,
+        duplicate_rate: config.duplicate_rate,
+        seed: config.seed,
+        requests: outcome.requests as u64,
+        cache_hits: outcome.cache_hits as u64,
+        cache_misses: outcome.cache_misses as u64,
+        rejected: outcome.rejected as u64,
+        transport_errors: outcome.transport_errors as u64,
+        hit_rate: outcome.hit_rate(),
+        throughput_rps: outcome.throughput_rps(),
+        p50_us: q_us(0.50),
+        p95_us: q_us(0.95),
+        p99_us: q_us(0.99),
+    };
+    report.validate()?;
+    Ok(report)
+}
+
+/// Run the serve load benchmark and write `BENCH_serve.json`.
+fn loadgen(args: &[String]) -> ExitCode {
+    let flag = |name: &str| -> Result<Option<&String>, String> {
+        match args.iter().position(|a| a == name) {
+            Some(pos) => args
+                .get(pos + 1)
+                .map(Some)
+                .ok_or_else(|| format!("{name} requires an argument")),
+            None => Ok(None),
+        }
+    };
+    let mut config = if args.iter().any(|a| a == "--smoke") {
+        smoke_loadgen_config()
+    } else {
+        cubis_serve::LoadgenConfig::default()
+    };
+    match flag("--clients") {
+        Ok(Some(v)) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => config.clients = n,
+            _ => return usage(&format!("--clients must be a positive integer, got `{v}`")),
+        },
+        Ok(None) => {}
+        Err(e) => return usage(&e),
+    }
+    match flag("--requests") {
+        Ok(Some(v)) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => config.requests_per_client = n,
+            _ => return usage(&format!("--requests must be a positive integer, got `{v}`")),
+        },
+        Ok(None) => {}
+        Err(e) => return usage(&e),
+    }
+    match flag("--duplicate-rate") {
+        Ok(Some(v)) => match v.parse::<f64>() {
+            Ok(r) if (0.0..=1.0).contains(&r) => config.duplicate_rate = r,
+            _ => return usage(&format!("--duplicate-rate must be in [0, 1], got `{v}`")),
+        },
+        Ok(None) => {}
+        Err(e) => return usage(&e),
+    }
+    match flag("--seed") {
+        Ok(Some(v)) => match cubis_check::parse_seed(v) {
+            Ok(s) => config.seed = s,
+            Err(e) => return usage(&e),
+        },
+        Ok(None) => {}
+        Err(e) => return usage(&e),
+    }
+    println!(
+        "loadgen: {} client(s) × {} request(s), duplicate rate {}, seed {}",
+        config.clients,
+        config.requests_per_client,
+        config.duplicate_rate,
+        cubis_check::format_seed(config.seed)
+    );
+    let report = match run_loadgen(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cubis-xtask loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "loadgen: {} request(s): {} hit / {} miss / {} rejected / {} transport error(s)",
+        report.requests,
+        report.cache_hits,
+        report.cache_misses,
+        report.rejected,
+        report.transport_errors
+    );
+    println!(
+        "loadgen: {:.1} req/s, hit rate {:.2}, latency p50 {}us p95 {}us p99 {}us",
+        report.throughput_rps, report.hit_rate, report.p50_us, report.p95_us, report.p99_us
+    );
+    let out = match args.iter().position(|a| a == "--out") {
+        Some(pos) => match args.get(pos + 1) {
+            Some(p) => PathBuf::from(p),
+            None => return usage("--out requires a path argument"),
+        },
+        None => match resolve_root(args) {
+            Ok(root) => root.join("BENCH_serve.json"),
+            Err(e) => return usage(&e),
+        },
+    };
+    match std::fs::write(&out, report.to_json_string()) {
+        Ok(()) => {
+            println!("loadgen: wrote {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cubis-xtask loadgen: cannot write {}: {e}", out.display());
             ExitCode::FAILURE
         }
     }
@@ -283,16 +451,16 @@ fn analyze_gate(root: &PathBuf) -> bool {
 }
 
 fn ci(root: &PathBuf) -> ExitCode {
-    println!("[1/7] cargo fmt --check");
+    println!("[1/8] cargo fmt --check");
     if !run_cargo(root, &["fmt", "--", "--check"], &[]) {
         return ExitCode::FAILURE;
     }
-    println!("[2/7] cubis-xtask analyze");
+    println!("[2/8] cubis-xtask analyze");
     if !analyze_gate(root) {
         return ExitCode::FAILURE;
     }
-    println!("[3/7] cubis-check fuzz smoke");
-    let smoke = cubis_check::run_fuzz(&cubis_check::FuzzConfig::smoke());
+    println!("[3/8] cubis-check fuzz smoke (registry + serve oracle)");
+    let smoke = cubis_check::run_fuzz_with(&cubis_check::FuzzConfig::smoke(), &extra_oracles());
     println!(
         "ci: fuzz smoke ran {} case(s), {} oracle check(s)",
         smoke.cases_run, smoke.oracle_checks
@@ -301,7 +469,7 @@ fn ci(root: &PathBuf) -> ExitCode {
         report_failure(&failure);
         return ExitCode::FAILURE;
     }
-    println!("[4/7] cubis-bench smoke");
+    println!("[4/8] cubis-bench smoke");
     // In-process and validated only — the repo-root BENCH_solve.json is
     // written by an explicit `bench` run, never as a ci side effect.
     match cubis_bench::harness::run(&cubis_bench::harness::smoke_shapes()) {
@@ -326,15 +494,30 @@ fn ci(root: &PathBuf) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    println!("[5/7] cargo test -q");
+    println!("[5/8] cubis-serve smoke");
+    // Same discipline as the bench smoke: in-process and validated
+    // only — BENCH_serve.json is written by an explicit `loadgen` run.
+    match run_loadgen(&smoke_loadgen_config()) {
+        Ok(report) => {
+            println!(
+                "ci: serve smoke ok ({} request(s), hit rate {:.2}, p99 {}us)",
+                report.requests, report.hit_rate, report.p99_us
+            );
+        }
+        Err(e) => {
+            eprintln!("ci: serve smoke failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("[6/8] cargo test -q");
     if !run_cargo(root, &["test", "-q"], &[]) {
         return ExitCode::FAILURE;
     }
-    println!("[6/7] cargo doc --no-deps (warnings denied)");
+    println!("[7/8] cargo doc --no-deps (warnings denied)");
     if !run_cargo(root, &["doc", "--no-deps"], &[("RUSTDOCFLAGS", "-D warnings")]) {
         return ExitCode::FAILURE;
     }
-    println!("[7/7] cargo test --doc");
+    println!("[8/8] cargo test --doc");
     if !run_cargo(root, &["test", "--doc", "-q"], &[]) {
         return ExitCode::FAILURE;
     }

@@ -1,0 +1,256 @@
+//! Tier-1 gate for the cubis-serve subsystem, end to end over real
+//! sockets: boot on an ephemeral port, solve (miss then bit-identical
+//! hit), batch solve, health/metrics, backpressure (429 on a full
+//! queue), per-request deadlines (504 with incumbent bounds), and a
+//! graceful shutdown that drains admitted work.
+//!
+//! The backpressure and drain tests pin a single worker with the
+//! `x-cubis-test-hold-ms` hook (enabled only by
+//! `ServeConfig::allow_test_hooks`) and synchronize on the
+//! `/metrics` gauges instead of sleeping for "long enough" — the
+//! acceptor answers GETs inline, so metrics stay readable while the
+//! worker is deliberately wedged.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use cubis_check::CheckInstance;
+use cubis_serve::http;
+use cubis_serve::{BatchRequest, ServeConfig, SolutionView, SolveRequest};
+
+const IO: Duration = Duration::from_secs(10);
+
+fn small_instance(seed: u64) -> CheckInstance {
+    let mut inst = CheckInstance::generate(seed);
+    inst.pp = inst.pp.min(4);
+    inst
+}
+
+fn post_solve(addr: SocketAddr, body: &str, extra: &[(&str, &str)]) -> http::Response {
+    http::roundtrip(addr, "POST", "/v1/solve", extra, body.as_bytes(), IO)
+        .expect("solve round trip")
+}
+
+/// Poll `/metrics` until `line` appears (gauge synchronization).
+fn await_metric(addr: SocketAddr, line: &str) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let resp = http::roundtrip(addr, "GET", "/metrics", &[], b"", IO).expect("metrics");
+        assert_eq!(resp.status, 200);
+        if resp.body_text().contains(line) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "metric line `{line}` never appeared; metrics:\n{}",
+            resp.body_text()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn solve_misses_then_hits_bit_identically() {
+    let server = cubis_serve::start(ServeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let body =
+        SolveRequest { instance: small_instance(42), deadline_ms: None }.to_json_string();
+
+    let first = post_solve(addr, &body, &[]);
+    assert_eq!(first.status, 200, "body: {}", first.body_text());
+    assert_eq!(first.header("x-cubis-cache"), Some("miss"));
+    let view = SolutionView::from_json_str(&first.body_text()).expect("solution body");
+    assert_eq!(view.x.len(), small_instance(42).num_targets());
+    assert!(view.lb <= view.ub, "bounds out of order: {view:?}");
+    assert!(view.gap >= 0.0 && view.binary_steps > 0);
+
+    let second = post_solve(addr, &body, &[]);
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("x-cubis-cache"), Some("hit"));
+    assert_eq!(second.body, first.body, "cache hit must be bit-identical to the fresh solve");
+    server.shutdown();
+}
+
+#[test]
+fn batch_fans_out_and_agrees_with_single_solves() {
+    let server = cubis_serve::start(ServeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let a = small_instance(100);
+    let b = small_instance(101);
+
+    let single = post_solve(
+        addr,
+        &SolveRequest { instance: a.clone(), deadline_ms: None }.to_json_string(),
+        &[],
+    );
+    assert_eq!(single.status, 200);
+
+    let batch =
+        BatchRequest { instances: vec![a.clone(), b.clone(), a.clone()], deadline_ms: None };
+    let resp = http::roundtrip(
+        addr,
+        "POST",
+        "/v1/solve_batch",
+        &[],
+        batch.to_json_string().as_bytes(),
+        IO,
+    )
+    .expect("batch round trip");
+    assert_eq!(resp.status, 200, "body: {}", resp.body_text());
+    let v = cubis_trace::json::parse(&resp.body_text()).expect("batch body");
+    let results = v.get("results").and_then(|r| r.as_arr()).expect("results array");
+    assert_eq!(results.len(), 3);
+    assert_eq!(results[0].get("cache").unwrap().as_str(), Some("hit"));
+    assert_eq!(results[1].get("cache").unwrap().as_str(), Some("miss"));
+    assert_eq!(results[2].get("cache").unwrap().as_str(), Some("hit"));
+    // Item-level bit-identity with the single-solve response.
+    assert_eq!(
+        results[0].get("result").unwrap().to_json_string(),
+        single.body_text(),
+        "batch item must be byte-identical to the single solve"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn healthz_and_metrics_respond() {
+    let server = cubis_serve::start(ServeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let health = http::roundtrip(addr, "GET", "/healthz", &[], b"", IO).expect("healthz");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body_text(), "{\"status\":\"ok\"}");
+
+    post_solve(
+        addr,
+        &SolveRequest { instance: small_instance(7), deadline_ms: None }.to_json_string(),
+        &[],
+    );
+    let metrics = http::roundtrip(addr, "GET", "/metrics", &[], b"", IO).expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let text = metrics.body_text();
+    for line in [
+        "cubis_serve_requests_total",
+        "cubis_serve_cache_misses 1",
+        "cubis_serve_latency_us_count 1",
+        "cubis_serve_queue_depth",
+        "cubis_trace_counter", // solver effort flowed into the scrape
+    ] {
+        assert!(text.contains(line), "missing `{line}` in metrics:\n{text}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn unknown_routes_and_bad_bodies_are_client_errors() {
+    let server = cubis_serve::start(ServeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let resp = http::roundtrip(addr, "GET", "/nope", &[], b"", IO).expect("404");
+    assert_eq!(resp.status, 404);
+    let resp = http::roundtrip(addr, "GET", "/v1/solve", &[], b"", IO).expect("405");
+    assert_eq!(resp.status, 405);
+    let resp = post_solve(addr, "this is not json", &[]);
+    assert_eq!(resp.status, 400);
+    server.shutdown();
+}
+
+#[test]
+fn zero_deadline_times_out_with_incumbent_bounds() {
+    let server = cubis_serve::start(ServeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let body =
+        SolveRequest { instance: small_instance(9), deadline_ms: Some(0) }.to_json_string();
+    let resp = post_solve(addr, &body, &[]);
+    assert_eq!(resp.status, 504, "body: {}", resp.body_text());
+    let v = cubis_trace::json::parse(&resp.body_text()).expect("error body");
+    assert_eq!(v.get("code").unwrap().as_str(), Some("deadline_exceeded"));
+    let incumbent = v.get("incumbent").expect("504 must carry incumbent bounds");
+    let lb = incumbent.get("lb").unwrap().as_f64().unwrap();
+    let ub = incumbent.get("ub").unwrap().as_f64().unwrap();
+    assert!(lb <= ub);
+    // The expired request must not have poisoned the cache: without
+    // the deadline the same instance solves fresh (a miss, not a hit).
+    let ok = post_solve(
+        addr,
+        &SolveRequest { instance: small_instance(9), deadline_ms: None }.to_json_string(),
+        &[],
+    );
+    assert_eq!(ok.status, 200);
+    assert_eq!(ok.header("x-cubis-cache"), Some("miss"));
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_with_429() {
+    let server = cubis_serve::start(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        allow_test_hooks: true,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let body =
+        SolveRequest { instance: small_instance(1), deadline_ms: None }.to_json_string();
+
+    // Pin the single worker, then fill the single queue slot.
+    let pinned = {
+        let body = body.clone();
+        std::thread::spawn(move || post_solve(addr, &body, &[("x-cubis-test-hold-ms", "1500")]))
+    };
+    await_metric(addr, "cubis_serve_in_flight 1");
+    let queued = {
+        let body = body.clone();
+        std::thread::spawn(move || post_solve(addr, &body, &[]))
+    };
+    await_metric(addr, "cubis_serve_queue_depth 1");
+
+    // Worker pinned + queue full: the next request must bounce.
+    let rejected = post_solve(addr, &body, &[]);
+    assert_eq!(rejected.status, 429, "body: {}", rejected.body_text());
+    assert_eq!(rejected.header("retry-after"), Some("1"));
+
+    // The admitted requests still complete.
+    assert_eq!(pinned.join().expect("pinned client").status, 200);
+    assert_eq!(queued.join().expect("queued client").status, 200);
+    let metrics = http::roundtrip(addr, "GET", "/metrics", &[], b"", IO).expect("metrics");
+    assert!(metrics.body_text().contains("cubis_serve_rejected_queue_full 1"));
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_admitted_work() {
+    let server = cubis_serve::start(ServeConfig {
+        workers: 1,
+        queue_capacity: 8,
+        allow_test_hooks: true,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let body =
+        SolveRequest { instance: small_instance(2), deadline_ms: None }.to_json_string();
+
+    // Pin the worker, then queue a second request behind it.
+    let pinned = {
+        let body = body.clone();
+        std::thread::spawn(move || post_solve(addr, &body, &[("x-cubis-test-hold-ms", "800")]))
+    };
+    await_metric(addr, "cubis_serve_in_flight 1");
+    let queued = {
+        let body = body.clone();
+        std::thread::spawn(move || post_solve(addr, &body, &[]))
+    };
+    await_metric(addr, "cubis_serve_queue_depth 1");
+
+    // Shutdown must block until both admitted requests are answered.
+    server.shutdown();
+    assert_eq!(pinned.join().expect("pinned client").status, 200, "in-flight request dropped");
+    assert_eq!(queued.join().expect("queued client").status, 200, "queued request dropped");
+
+    // And the listener is gone: new connections fail (or catch a 503
+    // if they race the final accept).
+    match http::roundtrip(addr, "GET", "/healthz", &[], b"", Duration::from_secs(2)) {
+        Err(_) => {}
+        Ok(resp) => assert_eq!(resp.status, 503),
+    }
+}
