@@ -9,6 +9,7 @@
 //! that recorder's totals after the server's own section, so one scrape
 //! shows both layers of the system.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use cubis_trace::CounterSetRecorder;
@@ -58,9 +59,7 @@ impl LatencyHistogram {
         for (i, bucket) in self.buckets.iter().enumerate() {
             cumulative += bucket.load(Ordering::SeqCst);
             if cumulative >= rank {
-                return Some(
-                    LATENCY_BUCKET_BOUNDS_US.get(i).copied().unwrap_or(u64::MAX),
-                );
+                return Some(LATENCY_BUCKET_BOUNDS_US.get(i).copied().unwrap_or(u64::MAX));
             }
         }
         Some(u64::MAX)
@@ -76,7 +75,10 @@ impl LatencyHistogram {
                 .unwrap_or_else(|| "+Inf".to_string());
             out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
         }
-        out.push_str(&format!("{name}_sum_us {}\n", self.total_us.load(Ordering::SeqCst)));
+        out.push_str(&format!(
+            "{name}_sum_us {}\n",
+            self.total_us.load(Ordering::SeqCst)
+        ));
         out.push_str(&format!("{name}_count {}\n", self.count()));
     }
 }
@@ -116,6 +118,13 @@ impl ServerMetrics {
     /// Render the `/metrics` text body: server counters and gauges,
     /// the latency histogram, then the solver-side trace counters and
     /// span aggregates from `trace`.
+    ///
+    /// Every counter in [`cubis_trace::names::COUNTERS`] is emitted
+    /// even at zero, so the scrape's metric set is stable from boot —
+    /// dashboards and rate() queries never see series pop into
+    /// existence at first increment. Observed counters missing from
+    /// the registry are still rendered (hiding data would be worse
+    /// than the drift, which `cubis-xtask analyze` flags as TRC01).
     pub fn render(&self, trace: &CounterSetRecorder) -> String {
         let mut out = String::new();
         let counters: [(&str, &AtomicU64); 11] = [
@@ -134,8 +143,13 @@ impl ServerMetrics {
         for (name, value) in counters {
             out.push_str(&format!("{name} {}\n", value.load(Ordering::SeqCst)));
         }
-        self.solve_latency.render_into(&mut out, "cubis_serve_latency_us");
-        for (name, total) in trace.counter_totals() {
+        self.solve_latency
+            .render_into(&mut out, "cubis_serve_latency_us");
+        let mut totals: BTreeMap<String, u64> = trace.counter_totals().into_iter().collect();
+        for &(name, _) in cubis_trace::names::COUNTERS {
+            totals.entry(name.to_string()).or_insert(0);
+        }
+        for (name, total) in &totals {
             out.push_str(&format!("cubis_trace_counter{{name=\"{name}\"}} {total}\n"));
         }
         for (name, agg) in trace.span_aggregates() {
@@ -187,11 +201,27 @@ mod tests {
         m.solve_latency.observe(Duration::from_micros(123));
         let trace = CounterSetRecorder::default();
         use cubis_trace::{Event, Recorder};
-        trace.record(Event::Counter { name: "cubis.probe".to_string(), delta: 7 });
+        trace.record(Event::Counter {
+            name: "cubis.probe".to_string(),
+            delta: 7,
+        });
         let text = m.render(&trace);
         assert!(text.contains("cubis_serve_requests_total 3"));
         assert!(text.contains("cubis_serve_cache_hits 1"));
         assert!(text.contains("cubis_serve_latency_us_count 1"));
         assert!(text.contains("cubis_trace_counter{name=\"cubis.probe\"} 7"));
+    }
+
+    #[test]
+    fn render_pre_populates_every_registered_counter() {
+        // No solve has run, yet the full registered series set is
+        // present at zero — the scrape shape never depends on traffic.
+        let text = ServerMetrics::default().render(&CounterSetRecorder::default());
+        for &(name, _) in cubis_trace::names::COUNTERS {
+            assert!(
+                text.contains(&format!("cubis_trace_counter{{name=\"{name}\"}} 0")),
+                "registered counter {name:?} missing from a cold scrape:\n{text}"
+            );
+        }
     }
 }

@@ -56,12 +56,18 @@ impl CounterSetRecorder {
 
     /// Snapshot of every counter's running total.
     pub fn counter_totals(&self) -> BTreeMap<String, u64> {
-        self.counters.lock().unwrap_or_else(PoisonError::into_inner).clone()
+        self.counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Snapshot of every span name's `(count, total_ns)` aggregate.
     pub fn span_aggregates(&self) -> BTreeMap<String, SpanAgg> {
-        self.spans.lock().unwrap_or_else(PoisonError::into_inner).clone()
+        self.spans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 }
 
@@ -69,8 +75,7 @@ impl Recorder for CounterSetRecorder {
     fn record(&self, event: Event) {
         match event {
             Event::Counter { name, delta } => {
-                let mut counters =
-                    self.counters.lock().unwrap_or_else(PoisonError::into_inner);
+                let mut counters = self.counters.lock().unwrap_or_else(PoisonError::into_inner);
                 *counters.entry(name).or_insert(0) += delta;
             }
             Event::Span { name, dur_ns } => {
@@ -96,14 +101,29 @@ mod tests {
     #[test]
     fn counters_accumulate_and_spans_aggregate() {
         let rec = CounterSetRecorder::new();
-        rec.record(Event::Counter { name: "bb.nodes".into(), delta: 5 });
-        rec.record(Event::Counter { name: "bb.nodes".into(), delta: 2 });
-        rec.record(Event::Span { name: "cubis.inner".into(), dur_ns: 10 });
-        rec.record(Event::Span { name: "cubis.inner".into(), dur_ns: 30 });
+        rec.record(Event::Counter {
+            name: "bb.nodes".into(),
+            delta: 5,
+        });
+        rec.record(Event::Counter {
+            name: "bb.nodes".into(),
+            delta: 2,
+        });
+        rec.record(Event::Span {
+            name: "cubis.inner".into(),
+            dur_ns: 10,
+        });
+        rec.record(Event::Span {
+            name: "cubis.inner".into(),
+            dur_ns: 30,
+        });
         assert_eq!(rec.counter_totals()["bb.nodes"], 7);
         assert_eq!(
             rec.span_aggregates()["cubis.inner"],
-            SpanAgg { count: 2, total_ns: 40 }
+            SpanAgg {
+                count: 2,
+                total_ns: 40
+            }
         );
     }
 

@@ -206,7 +206,10 @@ impl TimedEvent {
                 pairs.push(("delta".to_string(), unum(*delta)));
             }
             Event::BinaryStep(e) => {
-                pairs.push(("type".to_string(), JsonValue::Str("binary_step".to_string())));
+                pairs.push((
+                    "type".to_string(),
+                    JsonValue::Str("binary_step".to_string()),
+                ));
                 pairs.push(("step".to_string(), unum(e.step as u64)));
                 pairs.push(("c".to_string(), num(e.c)));
                 pairs.push(("g_value".to_string(), num(e.g_value)));
@@ -215,7 +218,10 @@ impl TimedEvent {
                 pairs.push(("ub".to_string(), num(e.ub)));
             }
             Event::InnerSolve(e) => {
-                pairs.push(("type".to_string(), JsonValue::Str("inner_solve".to_string())));
+                pairs.push((
+                    "type".to_string(),
+                    JsonValue::Str("inner_solve".to_string()),
+                ));
                 pairs.push(("backend".to_string(), JsonValue::Str(e.backend.clone())));
                 pairs.push(("c".to_string(), num(e.c)));
                 pairs.push((

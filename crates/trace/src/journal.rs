@@ -179,10 +179,7 @@ impl Journal {
     /// Serialize to the versioned JSON journal format.
     pub fn to_json(&self) -> String {
         let doc = JsonValue::Obj(vec![
-            (
-                "version".to_string(),
-                JsonValue::Num(FORMAT_VERSION as f64),
-            ),
+            ("version".to_string(), JsonValue::Num(FORMAT_VERSION as f64)),
             (
                 "events".to_string(),
                 JsonValue::Arr(self.events.iter().map(TimedEvent::to_value).collect()),

@@ -334,9 +334,8 @@ impl<'a> Parser<'a> {
                                     self.pos += 2;
                                     let low = self.hex4()?;
                                     if (0xdc00..0xe000).contains(&low) {
-                                        let combined = 0x10000
-                                            + ((cp - 0xd800) << 10)
-                                            + (low - 0xdc00);
+                                        let combined =
+                                            0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
                                         char::from_u32(combined)
                                     } else {
                                         None
@@ -376,8 +375,7 @@ impl<'a> Parser<'a> {
         }
         let digits = std::str::from_utf8(&self.bytes[self.pos..end])
             .map_err(|_| self.err("invalid \\u escape"))?;
-        let cp =
-            u32::from_str_radix(digits, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(digits, 16).map_err(|_| self.err("invalid \\u escape"))?;
         self.pos = end;
         Ok(cp)
     }
@@ -437,7 +435,10 @@ mod tests {
     fn object_access_and_order() {
         let v = parse(r#"{"a": 1, "b": [true, null], "c": "x"}"#).unwrap();
         assert_eq!(v.get("a").and_then(JsonValue::as_u64), Some(1));
-        assert_eq!(v.get("b").and_then(JsonValue::as_arr).map(<[_]>::len), Some(2));
+        assert_eq!(
+            v.get("b").and_then(JsonValue::as_arr).map(<[_]>::len),
+            Some(2)
+        );
         assert_eq!(v.get("c").and_then(JsonValue::as_str), Some("x"));
         assert_eq!(v.get("missing"), None);
     }
@@ -465,7 +466,13 @@ mod tests {
 
     #[test]
     fn float_precision_survives() {
-        let tricky = [0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -2.2250738585072014e-308];
+        let tricky = [
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1e300,
+            -2.2250738585072014e-308,
+        ];
         for v in tricky {
             let s = JsonValue::Num(v).to_json_string();
             let back = parse(&s).unwrap().as_f64().unwrap();

@@ -53,8 +53,9 @@
 
 mod counters;
 pub mod event;
-pub mod json;
 mod journal;
+pub mod json;
+pub mod names;
 mod recorder;
 
 pub use counters::{CounterSetRecorder, SpanAgg};

@@ -1,0 +1,142 @@
+//! The workspace counter/span name registry.
+//!
+//! Every counter and span name that solver library code emits through a
+//! [`crate::SharedRecorder`] is declared here, once, with a one-line
+//! description. Three consumers read this table:
+//!
+//! - `cubis-serve`'s `/metrics` endpoint pre-populates every registered
+//!   counter at zero, so scrapes expose the full counter set even
+//!   before the first solve touches it,
+//! - `cubis-xtask trace-report` uses it to describe counters in its
+//!   digest tables and to flag journal entries with unregistered names,
+//! - `cubis-xtask analyze` rule **TRC01** statically cross-checks this
+//!   table against every `.counter("…")` / `.span("…")` call site in
+//!   library code: an emission with an unregistered name fails the
+//!   gate, and so does a registered name with no emission site (a dead
+//!   counter).
+//!
+//! To add a counter: emit it in the solver crate *and* add a row here
+//! (TRC01 will hold the door until both halves exist). To retire one:
+//! remove both halves in the same change.
+
+/// Registered counter names: `(name, what one unit of the counter means)`.
+///
+/// Sorted by name; [`names_are_sorted_and_unique`](crate::names) is
+/// enforced by unit test so lookups can binary-search.
+pub const COUNTERS: &[(&str, &str)] = &[
+    ("bb.nodes", "branch-and-bound nodes expanded"),
+    ("bb.solves", "branch-and-bound solve invocations"),
+    (
+        "cubis.bound_hints",
+        "warm-start objective bound hints applied",
+    ),
+    (
+        "cubis.cached_builds",
+        "inner-model builds served from the warm cache",
+    ),
+    (
+        "cubis.cold_builds",
+        "inner-model builds constructed from scratch",
+    ),
+    (
+        "cubis.warm_seeds",
+        "inner solves seeded from a prior basis/incumbent",
+    ),
+    ("lp.pivots", "simplex pivot steps"),
+    ("lp.refactorizations", "LU basis refactorizations"),
+    ("lp.solves", "LP solve invocations"),
+    (
+        "pg.iterations",
+        "projected-gradient iterations across all starts",
+    ),
+    ("pg.starts", "projected-gradient restart count"),
+    (
+        "worst_type.steps",
+        "worst-case attacker-type oracle evaluations",
+    ),
+];
+
+/// Registered span names: `(name, what the timed region covers)`.
+///
+/// Sorted by name, same discipline as [`COUNTERS`].
+pub const SPANS: &[(&str, &str)] = &[
+    ("bb.solve", "one branch-and-bound MILP solve"),
+    ("cubis.batch", "a solve_batch call over all its instances"),
+    ("cubis.inner", "one inner MILP/LP subproblem solve"),
+    ("cubis.oracle", "one worst-case-type oracle evaluation"),
+    ("cubis.solve", "a full CUBIS binary-search solve"),
+    ("lp.solve", "one simplex LP solve"),
+    ("pg.solve", "one projected-gradient nonconvex solve"),
+    ("worst_type.solve", "one worst-type enumeration pass"),
+];
+
+/// True iff `name` is a registered counter name.
+pub fn is_registered_counter(name: &str) -> bool {
+    COUNTERS.binary_search_by(|(n, _)| n.cmp(&name)).is_ok()
+}
+
+/// True iff `name` is a registered span name.
+pub fn is_registered_span(name: &str) -> bool {
+    SPANS.binary_search_by(|(n, _)| n.cmp(&name)).is_ok()
+}
+
+/// Description for a registered counter name, if any.
+pub fn counter_doc(name: &str) -> Option<&'static str> {
+    COUNTERS
+        .binary_search_by(|(n, _)| n.cmp(&name))
+        .ok()
+        .map(|i| COUNTERS[i].1)
+}
+
+/// Description for a registered span name, if any.
+pub fn span_doc(name: &str) -> Option<&'static str> {
+    SPANS
+        .binary_search_by(|(n, _)| n.cmp(&name))
+        .ok()
+        .map(|i| SPANS[i].1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_sorted_unique(table: &[(&str, &str)]) {
+        for pair in table.windows(2) {
+            assert!(
+                pair[0].0 < pair[1].0,
+                "registry must be sorted and duplicate-free: {:?} !< {:?}",
+                pair[0].0,
+                pair[1].0
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_sorted_and_unique() {
+        assert_sorted_unique(COUNTERS);
+        assert_sorted_unique(SPANS);
+    }
+
+    #[test]
+    fn lookups_agree_with_tables() {
+        for (name, doc) in COUNTERS {
+            assert!(is_registered_counter(name));
+            assert_eq!(counter_doc(name), Some(*doc));
+        }
+        for (name, doc) in SPANS {
+            assert!(is_registered_span(name));
+            assert_eq!(span_doc(name), Some(*doc));
+        }
+        assert!(!is_registered_counter("no.such.counter"));
+        assert!(!is_registered_span("no.such.span"));
+        assert!(counter_doc("no.such.counter").is_none());
+        assert!(span_doc("no.such.span").is_none());
+    }
+
+    #[test]
+    fn every_description_is_nonempty() {
+        for (name, doc) in COUNTERS.iter().chain(SPANS) {
+            assert!(!doc.is_empty(), "counter/span {name} lacks a description");
+        }
+    }
+}

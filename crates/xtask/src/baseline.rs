@@ -1,0 +1,326 @@
+//! Finding fingerprints and the committed `analyze-baseline.json`.
+//!
+//! A fingerprint identifies a finding *stably across edits elsewhere in
+//! the file*: it hashes `rule | path | scope-path | message` — never
+//! the line number — so inserting code above a known finding does not
+//! resurface it, while moving the offending pattern to a different
+//! function (a different scope) legitimately does. Identical findings
+//! within one scope are disambiguated with an `#2`, `#3`, … occurrence
+//! suffix in source order.
+//!
+//! The baseline is the analyzer's ratchet: [`Severity::Warn`] findings
+//! listed in the committed `analyze-baseline.json` pass the gate;
+//! anything else fails it. [`Severity::Deny`] findings are never
+//! baselineable — the escape hatch for those is an inline justified
+//! `cubis:allow`. `cubis-xtask analyze --fix-baseline` rewrites the
+//! file from the current tree (refusing if deny findings are present),
+//! which is also how stale entries get pruned.
+
+use crate::{Finding, Severity};
+use cubis_trace::json::{self, JsonValue};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Schema version written into `analyze-baseline.json`.
+pub const BASELINE_VERSION: u64 = 1;
+
+/// Default baseline file name, resolved against the workspace root.
+pub const BASELINE_FILE: &str = "analyze-baseline.json";
+
+/// 64-bit FNV-1a. Stable, dependency-free, and plenty for a few hundred
+/// findings (collisions only merge baseline entries, never hide a deny).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Assign fingerprints to an ordered finding list (callers sort by
+/// path/line first so occurrence suffixes are deterministic).
+pub fn assign_fingerprints(findings: &mut [Finding]) {
+    let mut seen: BTreeMap<String, u32> = BTreeMap::new();
+    for f in findings.iter_mut() {
+        let base = format!(
+            "{:016x}",
+            fnv1a64(
+                format!("{}|{}|{}|{}", f.rule, f.path.display(), f.scope, f.message).as_bytes()
+            )
+        );
+        let n = seen.entry(base.clone()).or_insert(0);
+        *n += 1;
+        f.fingerprint = if *n == 1 { base } else { format!("{base}#{n}") };
+    }
+}
+
+/// One recorded (baselined) finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule identifier (always a `Warn`-severity rule).
+    pub rule: String,
+    /// Workspace-relative path at record time.
+    pub path: String,
+    /// Scope path at record time (`fn price_out`, …).
+    pub scope: String,
+    /// Finding message at record time.
+    pub message: String,
+}
+
+/// The parsed `analyze-baseline.json`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Fingerprint → recorded finding, sorted for stable serialization.
+    pub entries: BTreeMap<String, BaselineEntry>,
+}
+
+impl Baseline {
+    /// Build a baseline from the current tree's findings. Fails with
+    /// the offending list if any `Deny` finding is present: those must
+    /// be fixed or `cubis:allow`ed, never baselined.
+    pub fn from_findings(findings: &[Finding]) -> Result<Baseline, Vec<Finding>> {
+        let deny: Vec<Finding> = findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .cloned()
+            .collect();
+        if !deny.is_empty() {
+            return Err(deny);
+        }
+        let mut entries = BTreeMap::new();
+        for f in findings {
+            entries.insert(
+                f.fingerprint.clone(),
+                BaselineEntry {
+                    rule: f.rule.to_string(),
+                    path: f.path.display().to_string(),
+                    scope: f.scope.clone(),
+                    message: f.message.clone(),
+                },
+            );
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Serialize to the committed JSON format (sorted, one stable
+    /// ordering so diffs stay reviewable).
+    pub fn to_json(&self) -> String {
+        let entries: Vec<JsonValue> = self
+            .entries
+            .iter()
+            .map(|(fp, e)| {
+                JsonValue::Obj(vec![
+                    ("fingerprint".into(), JsonValue::Str(fp.clone())),
+                    ("rule".into(), JsonValue::Str(e.rule.clone())),
+                    ("path".into(), JsonValue::Str(e.path.clone())),
+                    ("scope".into(), JsonValue::Str(e.scope.clone())),
+                    ("message".into(), JsonValue::Str(e.message.clone())),
+                ])
+            })
+            .collect();
+        JsonValue::Obj(vec![
+            ("version".into(), JsonValue::Num(BASELINE_VERSION as f64)),
+            ("entries".into(), JsonValue::Arr(entries)),
+        ])
+        .to_json_string()
+    }
+
+    /// Parse the committed JSON format.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let v = json::parse(text).map_err(|e| format!("baseline JSON: {e}"))?;
+        let version = v
+            .get("version")
+            .and_then(JsonValue::as_f64)
+            .ok_or("baseline missing `version`")?;
+        if version as u64 != BASELINE_VERSION {
+            return Err(format!("unsupported baseline version {version}"));
+        }
+        let arr = v
+            .get("entries")
+            .and_then(JsonValue::as_arr)
+            .ok_or("baseline missing `entries`")?;
+        let mut entries = BTreeMap::new();
+        for e in arr {
+            let field = |k: &str| -> Result<String, String> {
+                e.get(k)
+                    .and_then(JsonValue::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("baseline entry missing `{k}`"))
+            };
+            entries.insert(
+                field("fingerprint")?,
+                BaselineEntry {
+                    rule: field("rule")?,
+                    path: field("path")?,
+                    scope: field("scope")?,
+                    message: field("message")?,
+                },
+            );
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Load `analyze-baseline.json` from the workspace root. A missing
+    /// file is an empty baseline (`Ok(None)`), so fresh checkouts gate
+    /// at full strictness; a malformed file is an error.
+    pub fn load(root: &Path) -> io::Result<Option<Baseline>> {
+        let path = root.join(BASELINE_FILE);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let text = std::fs::read_to_string(&path)?;
+        Baseline::parse(&text).map(Some).map_err(io::Error::other)
+    }
+}
+
+/// The gate's verdict on a finding set, relative to a baseline.
+#[derive(Debug, Default)]
+pub struct GateOutcome {
+    /// `Deny` findings — always fatal, baseline or not.
+    pub deny: Vec<Finding>,
+    /// `Warn` findings not covered by the baseline — fatal.
+    pub new_warn: Vec<Finding>,
+    /// `Warn` findings absorbed by the baseline.
+    pub baselined: Vec<Finding>,
+    /// Baseline fingerprints that matched nothing (fixed since the
+    /// baseline was recorded). Non-fatal; `--fix-baseline` prunes them.
+    pub stale: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Whether the gate passes.
+    pub fn passes(&self) -> bool {
+        self.deny.is_empty() && self.new_warn.is_empty()
+    }
+}
+
+/// Split findings into the gate verdict against `baseline`.
+pub fn gate(findings: Vec<Finding>, baseline: &Baseline) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    let mut hit: BTreeMap<&str, bool> = baseline
+        .entries
+        .keys()
+        .map(|k| (k.as_str(), false))
+        .collect();
+    for f in findings {
+        match f.severity {
+            Severity::Deny => out.deny.push(f),
+            Severity::Warn => {
+                if let Some(used) = hit.get_mut(f.fingerprint.as_str()) {
+                    *used = true;
+                    out.baselined.push(f);
+                } else {
+                    out.new_warn.push(f);
+                }
+            }
+        }
+    }
+    out.stale = hit
+        .into_iter()
+        .filter(|(_, used)| !used)
+        .map(|(k, _)| k.to_string())
+        .collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn finding(rule: &'static str, path: &str, line: u32, scope: &str, msg: &str) -> Finding {
+        let mut f = Finding::new(rule, Path::new(path), line, msg.to_string());
+        f.scope = scope.to_string();
+        f
+    }
+
+    #[test]
+    fn fingerprints_ignore_lines_but_see_scope_and_occurrence() {
+        let mut a = vec![finding("NUM04", "crates/lp/src/x.rs", 10, "fn f", "m")];
+        let mut b = vec![finding("NUM04", "crates/lp/src/x.rs", 99, "fn f", "m")];
+        assign_fingerprints(&mut a);
+        assign_fingerprints(&mut b);
+        assert_eq!(a[0].fingerprint, b[0].fingerprint);
+
+        let mut c = vec![finding("NUM04", "crates/lp/src/x.rs", 10, "fn g", "m")];
+        assign_fingerprints(&mut c);
+        assert_ne!(a[0].fingerprint, c[0].fingerprint, "scope must matter");
+
+        let mut dup = vec![
+            finding("NUM04", "crates/lp/src/x.rs", 10, "fn f", "m"),
+            finding("NUM04", "crates/lp/src/x.rs", 20, "fn f", "m"),
+        ];
+        assign_fingerprints(&mut dup);
+        assert_eq!(dup[1].fingerprint, format!("{}#2", dup[0].fingerprint));
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let mut fs = vec![
+            finding("NUM04", "crates/lp/src/x.rs", 10, "fn f", "lossy cast"),
+            finding("PANIC01", "crates/milp/src/y.rs", 4, "fn g", "indexing"),
+        ];
+        assign_fingerprints(&mut fs);
+        let b = Baseline::from_findings(&fs).unwrap();
+        let restored = Baseline::parse(&b.to_json()).unwrap();
+        assert_eq!(b, restored);
+        assert_eq!(restored.entries.len(), 2);
+    }
+
+    #[test]
+    fn deny_findings_are_not_baselineable() {
+        let mut fs = vec![finding(
+            "NUM01",
+            "crates/lp/src/x.rs",
+            1,
+            "fn f",
+            "float eq",
+        )];
+        assign_fingerprints(&mut fs);
+        let err = Baseline::from_findings(&fs).unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert_eq!(err[0].rule, "NUM01");
+    }
+
+    #[test]
+    fn gate_splits_deny_new_baselined_and_stale() {
+        let mut fs = vec![
+            finding("NUM04", "crates/lp/src/x.rs", 10, "fn f", "old warn"),
+            finding("NUM04", "crates/lp/src/x.rs", 20, "fn g", "new warn"),
+            finding("NUM01", "crates/lp/src/x.rs", 30, "fn h", "deny"),
+        ];
+        assign_fingerprints(&mut fs);
+        let baseline = Baseline::from_findings(&fs[..1]).unwrap();
+        // A baseline entry that no longer matches anything:
+        let mut stale = baseline.clone();
+        stale.entries.insert(
+            "deadbeefdeadbeef".into(),
+            BaselineEntry {
+                rule: "NUM04".into(),
+                path: "gone.rs".into(),
+                scope: "fn gone".into(),
+                message: "fixed long ago".into(),
+            },
+        );
+        let out = gate(fs, &stale);
+        assert!(!out.passes());
+        assert_eq!(out.deny.len(), 1);
+        assert_eq!(out.new_warn.len(), 1);
+        assert_eq!(out.baselined.len(), 1);
+        assert_eq!(out.stale, vec!["deadbeefdeadbeef".to_string()]);
+        assert_eq!(out.baselined[0].path, PathBuf::from("crates/lp/src/x.rs"));
+    }
+
+    #[test]
+    fn missing_baseline_loads_as_none_and_malformed_errors() {
+        let dir = std::env::temp_dir().join("cubis_baseline_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(Baseline::load(&dir).unwrap().is_none());
+        std::fs::write(dir.join(BASELINE_FILE), "{not json").unwrap();
+        assert!(Baseline::load(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

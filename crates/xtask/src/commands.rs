@@ -22,8 +22,8 @@ pub struct CommandSpec {
 pub const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "analyze",
-        usage: "analyze [--root <workspace-dir>]",
-        what: "run the numeric-safety pass; exit 1 on findings",
+        usage: "analyze [--root <workspace-dir>] [--changed] [--json <path|->] [--sarif <path|->] [--fix-baseline]",
+        what: "run the static-analysis pass vs analyze-baseline.json; exit 1 on new findings",
     },
     CommandSpec {
         name: "rules",
@@ -53,7 +53,7 @@ pub const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "ci",
         usage: "ci [--root <workspace-dir>]",
-        what: "the local pre-merge gate (fmt, analyze, fuzz+bench+serve smoke, tests, docs)",
+        what: "the local pre-merge gate (fmt, clippy, analyze, fuzz+bench+serve smoke, tests, docs)",
     },
 ];
 
@@ -64,7 +64,11 @@ pub fn find(name: &str) -> Option<&'static CommandSpec> {
 
 /// `analyze | rules | …` — for the unknown-subcommand error.
 pub fn names_line() -> String {
-    COMMANDS.iter().map(|c| c.name).collect::<Vec<_>>().join(" | ")
+    COMMANDS
+        .iter()
+        .map(|c| c.name)
+        .collect::<Vec<_>>()
+        .join(" | ")
 }
 
 /// The full multi-line usage text, one line per command.

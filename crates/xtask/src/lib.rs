@@ -23,9 +23,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod commands;
 pub mod lexer;
+pub mod report;
 pub mod rules;
+pub mod scopes;
 pub mod trace_report;
 
 use std::fmt;
@@ -49,15 +52,34 @@ pub enum FileClass {
     EvalBinary,
 }
 
+/// How a finding gates: see [`rules::severity`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Must be fixed or justified inline with `cubis:allow`; never
+    /// absorbed by the baseline.
+    Deny,
+    /// May additionally be recorded in the committed
+    /// `analyze-baseline.json` (the ratchet for pre-existing debt).
+    Warn,
+}
+
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Rule identifier (`NUM01`, …, `LINT00`).
     pub rule: &'static str,
+    /// Gate severity, derived from the rule.
+    pub severity: Severity,
     /// Workspace-relative path of the offending file.
     pub path: PathBuf,
     /// 1-based source line.
     pub line: u32,
+    /// Scope path of the offending token (`mod tests > fn t`), `file`
+    /// at top level. Empty only before the engine annotates it.
+    pub scope: String,
+    /// Line-number-independent identity (see [`baseline`]). Empty only
+    /// before the engine annotates it.
+    pub fingerprint: String,
     /// Human-readable description with the suggested fix.
     pub message: String,
 }
@@ -66,8 +88,11 @@ impl Finding {
     pub(crate) fn new(rule: &'static str, path: &Path, line: u32, message: String) -> Self {
         Finding {
             rule,
+            severity: rules::severity(rule),
             path: path.to_path_buf(),
             line,
+            scope: String::new(),
+            fingerprint: String::new(),
             message,
         }
     }
@@ -109,17 +134,50 @@ pub fn classify(rel: &Path) -> FileClass {
     FileClass::Library
 }
 
-/// Analyze one file's source text. `rel` is the workspace-relative path
-/// used in findings and for classification (see [`classify`]).
-pub fn analyze_source(rel: &Path, class: FileClass, src: &str) -> Vec<Finding> {
+/// Everything the engine learns from one file: its surviving findings
+/// plus the cross-file facts the workspace pass aggregates.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Surviving (unsuppressed) findings, scope-annotated, sorted by
+    /// line then rule. Fingerprints are assigned by the workspace pass.
+    pub findings: Vec<Finding>,
+    /// `.counter("name", …)` emission sites in non-test code.
+    pub counters: Vec<(String, u32)>,
+    /// `.span("name")` emission sites in non-test code.
+    pub spans: Vec<(String, u32)>,
+    /// Whether the file carries `#![forbid(unsafe_code)]` (SAFE01).
+    pub has_forbid_unsafe: bool,
+    /// Parsed counter/span registry, present only for
+    /// `crates/trace/src/names.rs`.
+    pub registry: Option<(Vec<(String, u32)>, Vec<(String, u32)>)>,
+}
+
+/// Workspace-relative path of the counter/span name registry TRC01
+/// checks against.
+pub const REGISTRY_PATH: &str = "crates/trace/src/names.rs";
+
+/// Analyze one file's source text in full. `rel` is the
+/// workspace-relative path used in findings and for classification
+/// (see [`classify`]).
+pub fn analyze_file(rel: &Path, class: FileClass, src: &str) -> FileAnalysis {
     let lexed = lexer::lex(src);
     let in_test = rules::test_mask(&lexed.tokens);
+    let tree = scopes::ScopeTree::build(&lexed.tokens);
     let mut findings = rules::scan_tokens(rel, class, &lexed.tokens, &in_test);
+    findings.extend(rules::scan_scoped(
+        rel,
+        class,
+        &lexed.tokens,
+        &in_test,
+        &tree,
+    ));
 
     // LINT00: every allow must carry a justification and name known
     // rules. These findings are not themselves suppressible.
-    for allow in &lexed.allows {
+    let mut well_formed = vec![true; lexed.allows.len()];
+    for (k, allow) in lexed.allows.iter().enumerate() {
         if allow.rules.is_empty() {
+            well_formed[k] = false;
             findings.push(Finding::new(
                 "LINT00",
                 rel,
@@ -130,6 +188,7 @@ pub fn analyze_source(rel: &Path, class: FileClass, src: &str) -> Vec<Finding> {
         }
         for rule in &allow.rules {
             if !rules::ALLOWABLE_RULES.contains(&rule.as_str()) {
+                well_formed[k] = false;
                 findings.push(Finding::new(
                     "LINT00",
                     rel,
@@ -139,6 +198,7 @@ pub fn analyze_source(rel: &Path, class: FileClass, src: &str) -> Vec<Finding> {
             }
         }
         if allow.justification.is_empty() {
+            well_formed[k] = false;
             findings.push(Finding::new(
                 "LINT00",
                 rel,
@@ -150,31 +210,228 @@ pub fn analyze_source(rel: &Path, class: FileClass, src: &str) -> Vec<Finding> {
         }
     }
 
+    // Suppression, tracking which allows actually masked something so
+    // LINT01 can flag the stale ones.
+    let mut used = vec![false; lexed.allows.len()];
     findings.retain(|f| {
-        f.rule == "LINT00"
-            || !lexed.allows.iter().any(|a| {
-                a.applies_to == f.line
-                    && !a.justification.is_empty()
-                    && a.rules.iter().any(|r| r == f.rule)
-            })
+        if f.rule == "LINT00" {
+            return true;
+        }
+        let hit = lexed.allows.iter().position(|a| {
+            a.applies_to == f.line
+                && !a.justification.is_empty()
+                && a.rules.iter().any(|r| r == f.rule)
+        });
+        match hit {
+            Some(k) => {
+                used[k] = true;
+                false
+            }
+            None => true,
+        }
     });
+    for (k, allow) in lexed.allows.iter().enumerate() {
+        if well_formed[k] && !used[k] {
+            findings.push(Finding::new(
+                "LINT01",
+                rel,
+                allow.line,
+                format!(
+                    "`cubis:allow({})` masks nothing here; delete the stale suppression",
+                    allow.rules.join(",")
+                ),
+            ));
+        }
+    }
     findings.sort_by_key(|f| (f.line, f.rule));
+
+    // Scope annotation: the innermost scope of the first token on the
+    // finding's line (workspace rules annotate their own).
+    for f in &mut findings {
+        if let Some(tok) = lexed.tokens.iter().position(|t| t.line == f.line) {
+            f.scope = tree.path_at(tok);
+        } else {
+            f.scope = "file".to_string();
+        }
+    }
+
+    let (counters, spans) = if class == FileClass::Library {
+        rules::collect_emissions(&lexed.tokens, &in_test)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    let registry = if rel == Path::new(REGISTRY_PATH) {
+        Some(rules::parse_name_registry(&lexed.tokens).unwrap_or_default())
+    } else {
+        None
+    };
+    FileAnalysis {
+        findings,
+        counters,
+        spans,
+        has_forbid_unsafe: rules::has_forbid_unsafe(&lexed.tokens),
+        registry,
+    }
+}
+
+/// Analyze one file's source text and return only its findings
+/// (fingerprints assigned file-locally). The workspace gate goes
+/// through [`analyze_workspace_full`], which adds the cross-file rules.
+pub fn analyze_source(rel: &Path, class: FileClass, src: &str) -> Vec<Finding> {
+    let mut findings = analyze_file(rel, class, src).findings;
+    baseline::assign_fingerprints(&mut findings);
     findings
 }
 
+/// A whole-workspace analysis: per-file findings plus the cross-file
+/// invariant rules (TRC01, SAFE01), fingerprinted and sorted.
+#[derive(Debug, Default)]
+pub struct WorkspaceAnalysis {
+    /// All surviving findings, sorted by path, line, rule.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
 /// Analyze every `.rs` file reachable from the workspace root
-/// (skipping `target/` and dot-directories). Findings come back sorted
-/// by path and line.
-pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+/// (skipping `target/` and dot-directories), then run the cross-file
+/// invariant rules over the aggregate.
+pub fn analyze_workspace_full(root: &Path) -> std::io::Result<WorkspaceAnalysis> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
     let mut findings = Vec::new();
-    for rel in files {
-        let src = std::fs::read_to_string(root.join(&rel))?;
-        findings.extend(analyze_source(&rel, classify(&rel), &src));
+    let mut counters: Vec<(String, PathBuf, u32)> = Vec::new();
+    let mut spans: Vec<(String, PathBuf, u32)> = Vec::new();
+    let mut registry: Option<(Vec<(String, u32)>, Vec<(String, u32)>)> = None;
+    let files_scanned = files.len();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        let fa = analyze_file(rel, classify(rel), &src);
+        findings.extend(fa.findings);
+        counters.extend(fa.counters.into_iter().map(|(n, l)| (n, rel.clone(), l)));
+        spans.extend(fa.spans.into_iter().map(|(n, l)| (n, rel.clone(), l)));
+        if let Some(reg) = fa.registry {
+            registry = Some(reg);
+        }
+        // SAFE01: every library crate root must forbid unsafe code.
+        if is_crate_root(rel) && !fa.has_forbid_unsafe {
+            let mut f = Finding::new(
+                "SAFE01",
+                rel,
+                1,
+                "library crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+            );
+            f.scope = "file".to_string();
+            findings.push(f);
+        }
     }
-    Ok(findings)
+
+    findings.extend(trc01(&files, registry, &counters, &spans));
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    baseline::assign_fingerprints(&mut findings);
+    Ok(WorkspaceAnalysis {
+        findings,
+        files_scanned,
+    })
+}
+
+/// Back-compat shim: the flat finding list from
+/// [`analyze_workspace_full`].
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    Ok(analyze_workspace_full(root)?.findings)
+}
+
+fn is_crate_root(rel: &Path) -> bool {
+    let comps: Vec<&str> = rel.iter().filter_map(|c| c.to_str()).collect();
+    comps.len() == 4 && comps[0] == "crates" && comps[2] == "src" && comps[3] == "lib.rs"
+}
+
+/// TRC01: reconcile counter/span emission sites against the registry in
+/// [`REGISTRY_PATH`]. Skipped entirely (no findings) when the workspace
+/// has no trace crate — partial checkouts and unit-test fixtures.
+fn trc01(
+    files: &[PathBuf],
+    registry: Option<(Vec<(String, u32)>, Vec<(String, u32)>)>,
+    counters: &[(String, PathBuf, u32)],
+    spans: &[(String, PathBuf, u32)],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let registry_path = Path::new(REGISTRY_PATH);
+    if !files.iter().any(|f| f == registry_path) {
+        // No registry file in this tree: only meaningful for the real
+        // workspace; stay silent unless something emits counters.
+        if counters.is_empty() && spans.is_empty() {
+            return findings;
+        }
+        let (name, path, line) = counters.iter().chain(spans).next().cloned().map_or(
+            (String::new(), registry_path.to_path_buf(), 1),
+            |(n, p, l)| (n, p, l),
+        );
+        let mut f = Finding::new(
+            "TRC01",
+            &path,
+            line,
+            format!(
+                "`{name}` is emitted but {REGISTRY_PATH} is missing; add the registry so \
+                 /metrics and trace-report can table counter names"
+            ),
+        );
+        f.scope = "registry".to_string();
+        findings.push(f);
+        return findings;
+    }
+    let Some((reg_counters, reg_spans)) = registry else {
+        let mut f = Finding::new(
+            "TRC01",
+            registry_path,
+            1,
+            "COUNTERS/SPANS tables not found; keep the registry parseable (a `&[(&str, \
+             &str)]` literal per table)"
+                .to_string(),
+        );
+        f.scope = "registry".to_string();
+        findings.push(f);
+        return findings;
+    };
+    let check = |kind: &str,
+                 reg: &[(String, u32)],
+                 emitted: &[(String, PathBuf, u32)],
+                 findings: &mut Vec<Finding>| {
+        for (name, path, line) in emitted {
+            if !reg.iter().any(|(n, _)| n == name) {
+                let mut f = Finding::new(
+                    "TRC01",
+                    path,
+                    *line,
+                    format!(
+                        "{kind} `{name}` is emitted here but not registered in \
+                         cubis_trace::names; /metrics and trace-report cannot table it"
+                    ),
+                );
+                f.scope = format!("{kind}s");
+                findings.push(f);
+            }
+        }
+        for (name, line) in reg {
+            if !emitted.iter().any(|(n, _, _)| n == name) {
+                let mut f = Finding::new(
+                    "TRC01",
+                    registry_path,
+                    *line,
+                    format!(
+                        "registered {kind} `{name}` has no library emission site (dead \
+                         entry); remove it or emit it"
+                    ),
+                );
+                f.scope = format!("{kind}s");
+                findings.push(f);
+            }
+        }
+    };
+    check("counter", &reg_counters, counters, &mut findings);
+    check("span", &reg_spans, spans, &mut findings);
+    findings
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

@@ -4,8 +4,14 @@
 //! the dispatch table below are both generated from it, and a unit test
 //! here asserts the two stay in lockstep.
 //!
-//! * `analyze [--root <dir>]` — run the numeric-safety pass over the
-//!   workspace; exit 1 if any unsuppressed finding remains.
+//! * `analyze [--root <dir>] [--changed] [--json <path|->]
+//!   [--sarif <path|->] [--fix-baseline]` — run the static-analysis
+//!   pass over the workspace and gate against the committed
+//!   `analyze-baseline.json`: deny findings and unbaselined warn
+//!   findings exit 1. `--changed` restricts findings to files touched
+//!   per `git diff`/untracked; `--json`/`--sarif` write machine-readable
+//!   reports (`-` for stdout); `--fix-baseline` rewrites the baseline
+//!   from the current tree's warn findings.
 //! * `rules` — print the rule table.
 //! * `trace-report <journal.json>` — render a recorded solve journal
 //!   (see the `cubis-trace` crate) as a per-phase time/count digest.
@@ -25,18 +31,25 @@
 //!   (throughput, hit rate, latency quantiles), validated before the
 //!   write.
 //! * `ci [--root <dir>]` — the single local pre-merge gate: chains
-//!   `cargo fmt --check`, the analyze pass, the fuzz smoke subset, an
-//!   in-process bench smoke (validated, not written), an in-process
-//!   serve smoke (boot + loadgen + validate), `cargo test -q`,
-//!   `cargo doc --no-deps` with warnings denied, and `cargo test --doc`.
+//!   `cargo fmt --check`, `cargo clippy --workspace --all-targets` with
+//!   warnings denied, the analyze pass gated on the committed baseline
+//!   (its JSON report written to `analyze-report.json` beside the
+//!   `BENCH_*.json` artifacts), the fuzz smoke subset, an in-process
+//!   bench smoke (validated, not written), an in-process serve smoke
+//!   (boot + loadgen + validate), `cargo test -q`, `cargo doc
+//!   --no-deps` with warnings denied, and `cargo test --doc`.
 //!
 //! The fuzz harness runs the `cubis-check` registry *plus* the
 //! `cubis-serve-cache-vs-fresh` oracle, passed through the harness's
 //! extras extension point (the dependency arrow points serve → check,
 //! so check cannot name the oracle itself).
 
-use cubis_xtask::{analyze_workspace, commands, find_workspace_root, rules::RULE_DOCS};
-use std::path::PathBuf;
+use cubis_xtask::baseline::{self, Baseline, GateOutcome};
+use cubis_xtask::{
+    analyze_workspace_full, commands, find_workspace_root, report, rules::RULE_DOCS,
+};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
 /// Dispatch table: one handler per [`commands::COMMANDS`] entry, same
@@ -62,7 +75,10 @@ fn main() -> ExitCode {
     let cmd = args.first().map(String::as_str).unwrap_or("");
     match HANDLERS.iter().find(|(name, _)| *name == cmd) {
         Some((_, run)) => run(&args),
-        None => usage(&format!("expected a subcommand: {}", commands::names_line())),
+        None => usage(&format!(
+            "expected a subcommand: {}",
+            commands::names_line()
+        )),
     }
 }
 
@@ -73,10 +89,46 @@ fn usage(err: &str) -> ExitCode {
 }
 
 fn cmd_analyze(args: &[String]) -> ExitCode {
-    match resolve_root(args) {
-        Ok(root) => analyze(&root),
-        Err(e) => usage(&e),
+    let root = match resolve_root(args) {
+        Ok(root) => root,
+        Err(e) => return usage(&e),
+    };
+    let path_flag = |name: &str| -> Result<Option<PathBuf>, String> {
+        match args.iter().position(|a| a == name) {
+            Some(pos) => args
+                .get(pos + 1)
+                .map(|p| Some(PathBuf::from(p)))
+                .ok_or_else(|| format!("{name} requires a path argument (or `-` for stdout)")),
+            None => Ok(None),
+        }
+    };
+    let json_out = match path_flag("--json") {
+        Ok(v) => v,
+        Err(e) => return usage(&e),
+    };
+    let sarif_out = match path_flag("--sarif") {
+        Ok(v) => v,
+        Err(e) => return usage(&e),
+    };
+    let opts = AnalyzeOpts {
+        changed_only: args.iter().any(|a| a == "--changed"),
+        fix_baseline: args.iter().any(|a| a == "--fix-baseline"),
+        json_out,
+        sarif_out,
+    };
+    if opts.changed_only && opts.fix_baseline {
+        return usage("--fix-baseline must see the whole tree; drop --changed");
     }
+    analyze(&root, &opts)
+}
+
+/// Flags of one `analyze` invocation.
+#[derive(Debug, Default)]
+struct AnalyzeOpts {
+    changed_only: bool,
+    fix_baseline: bool,
+    json_out: Option<PathBuf>,
+    sarif_out: Option<PathBuf>,
 }
 
 fn cmd_rules(_args: &[String]) -> ExitCode {
@@ -168,8 +220,16 @@ fn fuzz(args: &[String]) -> ExitCode {
 fn bench(args: &[String]) -> ExitCode {
     use cubis_bench::harness;
     let smoke = args.iter().any(|a| a == "--smoke");
-    let shapes = if smoke { harness::smoke_shapes() } else { harness::full_shapes() };
-    println!("bench: running {} shape(s){}", shapes.len(), if smoke { " (smoke)" } else { "" });
+    let shapes = if smoke {
+        harness::smoke_shapes()
+    } else {
+        harness::full_shapes()
+    };
+    println!(
+        "bench: running {} shape(s){}",
+        shapes.len(),
+        if smoke { " (smoke)" } else { "" }
+    );
     let report = match harness::run(&shapes) {
         Ok(r) => r,
         Err(e) => {
@@ -367,7 +427,10 @@ fn report_failure(failure: &cubis_check::CaseFailure) -> ExitCode {
     eprintln!("fuzz: oracle `{}` VIOLATED", failure.oracle);
     eprintln!("fuzz: {}", failure.detail);
     eprintln!("fuzz: shrunk to {:?}", failure.shrunk);
-    let path = format!("cubis-check-case-{}.json", cubis_check::format_seed(failure.case_seed));
+    let path = format!(
+        "cubis-check-case-{}.json",
+        cubis_check::format_seed(failure.case_seed)
+    );
     match std::fs::write(&path, failure.artifact().to_json_string()) {
         Ok(()) => eprintln!("fuzz: artifact written to {path}"),
         Err(e) => eprintln!("fuzz: could not write artifact {path}: {e}"),
@@ -421,45 +484,226 @@ fn resolve_root(args: &[String]) -> Result<PathBuf, String> {
         .ok_or_else(|| "no enclosing Cargo workspace found; pass --root".to_string())
 }
 
-fn analyze(root: &PathBuf) -> ExitCode {
-    if analyze_gate(root) {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
+fn analyze(root: &PathBuf, opts: &AnalyzeOpts) -> ExitCode {
+    if opts.fix_baseline {
+        return fix_baseline(root);
+    }
+    match run_analyze_gate(root, opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("cubis-xtask analyze: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
-/// Run the pass and report; true when the workspace is clean.
-fn analyze_gate(root: &PathBuf) -> bool {
-    match analyze_workspace(root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("cubis-xtask analyze: workspace clean");
-            true
+/// Run the pass, gate against the committed baseline, emit the
+/// requested reports; `Ok(true)` when the gate passes.
+fn run_analyze_gate(root: &PathBuf, opts: &AnalyzeOpts) -> Result<bool, String> {
+    let analysis = analyze_workspace_full(root).map_err(|e| format!("io error: {e}"))?;
+    let mut findings = analysis.findings;
+    if opts.changed_only {
+        let changed = changed_files(root)?;
+        println!(
+            "cubis-xtask analyze: --changed restricting to {} touched file(s)",
+            changed.len()
+        );
+        findings.retain(|f| changed.contains(&f.path));
+    }
+    let baseline = Baseline::load(root)
+        .map_err(|e| format!("{}: {e}", baseline::BASELINE_FILE))?
+        .unwrap_or_default();
+    let outcome = baseline::gate(findings, &baseline);
+
+    for f in &outcome.deny {
+        println!("{f} [deny]");
+    }
+    for f in &outcome.new_warn {
+        println!("{f} [warn, not in baseline]");
+    }
+    if !outcome.baselined.is_empty() {
+        println!(
+            "cubis-xtask analyze: {} baselined warn finding(s) (see {})",
+            outcome.baselined.len(),
+            baseline::BASELINE_FILE
+        );
+    }
+    // Stale entries are only meaningful against the full tree: in
+    // --changed mode every untouched file's entry would look stale.
+    if !opts.changed_only && !outcome.stale.is_empty() {
+        println!(
+            "cubis-xtask analyze: note: {} stale baseline entr{} (fixed findings); \
+             run `analyze --fix-baseline` to prune",
+            outcome.stale.len(),
+            if outcome.stale.len() == 1 { "y" } else { "ies" }
+        );
+    }
+
+    write_reports(opts, &outcome, analysis.files_scanned)?;
+
+    if outcome.passes() {
+        println!(
+            "cubis-xtask analyze: clean ({} file(s) scanned)",
+            analysis.files_scanned
+        );
+        Ok(true)
+    } else {
+        println!(
+            "cubis-xtask analyze: {} deny / {} new warn finding(s); fix, `cubis:allow` \
+             with a justification, or (warn only) record with --fix-baseline",
+            outcome.deny.len(),
+            outcome.new_warn.len()
+        );
+        Ok(false)
+    }
+}
+
+fn write_reports(
+    opts: &AnalyzeOpts,
+    outcome: &GateOutcome,
+    files_scanned: usize,
+) -> Result<(), String> {
+    let emit = |target: &Path, body: String, label: &str| -> Result<(), String> {
+        if target == Path::new("-") {
+            println!("{body}");
+            return Ok(());
         }
-        Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
-            }
-            println!("cubis-xtask analyze: {} finding(s)", findings.len());
-            false
-        }
+        std::fs::write(target, body)
+            .map_err(|e| format!("cannot write {label} report {}: {e}", target.display()))?;
+        println!("cubis-xtask analyze: wrote {}", target.display());
+        Ok(())
+    };
+    if let Some(path) = &opts.json_out {
+        emit(
+            path,
+            report::json_report(outcome, files_scanned).to_json_string(),
+            "JSON",
+        )?;
+    }
+    if let Some(path) = &opts.sarif_out {
+        emit(
+            path,
+            report::sarif_report(outcome).to_json_string(),
+            "SARIF",
+        )?;
+    }
+    Ok(())
+}
+
+/// Rewrite `analyze-baseline.json` from the current tree's warn
+/// findings; refuses while deny findings are present.
+fn fix_baseline(root: &PathBuf) -> ExitCode {
+    let analysis = match analyze_workspace_full(root) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("cubis-xtask analyze: io error: {e}");
-            false
+            return ExitCode::FAILURE;
+        }
+    };
+    match Baseline::from_findings(&analysis.findings) {
+        Ok(b) => {
+            let path = root.join(baseline::BASELINE_FILE);
+            match std::fs::write(&path, b.to_json()) {
+                Ok(()) => {
+                    println!(
+                        "cubis-xtask analyze: wrote {} ({} entr{})",
+                        path.display(),
+                        b.entries.len(),
+                        if b.entries.len() == 1 { "y" } else { "ies" }
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cubis-xtask analyze: cannot write {}: {e}", path.display());
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Err(deny) => {
+            for f in &deny {
+                println!("{f} [deny]");
+            }
+            eprintln!(
+                "cubis-xtask analyze: refusing to baseline {} deny finding(s); fix them or \
+                 add justified `cubis:allow` annotations",
+                deny.len()
+            );
+            ExitCode::FAILURE
         }
     }
+}
+
+/// Workspace-relative paths touched per git: `git diff --name-only
+/// HEAD` plus untracked files.
+fn changed_files(root: &PathBuf) -> Result<BTreeSet<PathBuf>, String> {
+    let run = |args: &[&str]| -> Result<Vec<PathBuf>, String> {
+        let out = Command::new("git")
+            .args(args)
+            .current_dir(root)
+            .output()
+            .map_err(|e| format!("--changed requires git: {e}"))?;
+        if !out.status.success() {
+            return Err(format!(
+                "`git {}` failed: {}",
+                args.join(" "),
+                String::from_utf8_lossy(&out.stderr).trim()
+            ));
+        }
+        Ok(String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| !l.is_empty())
+            .map(PathBuf::from)
+            .collect())
+    };
+    let mut files: BTreeSet<PathBuf> = run(&["diff", "--name-only", "HEAD"])?.into_iter().collect();
+    files.extend(run(&["ls-files", "--others", "--exclude-standard"])?);
+    Ok(files)
 }
 
 fn ci(root: &PathBuf) -> ExitCode {
-    println!("[1/8] cargo fmt --check");
+    println!("[1/9] cargo fmt --check");
     if !run_cargo(root, &["fmt", "--", "--check"], &[]) {
         return ExitCode::FAILURE;
     }
-    println!("[2/8] cubis-xtask analyze");
-    if !analyze_gate(root) {
+    println!("[2/9] cargo clippy --workspace --all-targets (warnings denied)");
+    // float-cmp and unwrap-used stay advisory here: their cubis-analyze
+    // cousins (NUM01/NUM02) gate with per-site justifications clippy
+    // cannot see.
+    if !run_cargo(
+        root,
+        &[
+            "clippy",
+            "--workspace",
+            "--all-targets",
+            "--",
+            "-D",
+            "warnings",
+            "-A",
+            "clippy::float-cmp",
+            "-A",
+            "clippy::unwrap-used",
+        ],
+        &[],
+    ) {
         return ExitCode::FAILURE;
     }
-    println!("[3/8] cubis-check fuzz smoke (registry + serve oracle)");
+    println!("[3/9] cubis-xtask analyze (vs committed baseline)");
+    // The JSON report lands beside the BENCH_*.json artifacts so CI can
+    // upload it.
+    let opts = AnalyzeOpts {
+        json_out: Some(root.join("analyze-report.json")),
+        ..Default::default()
+    };
+    match run_analyze_gate(root, &opts) {
+        Ok(true) => {}
+        Ok(false) => return ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("ci: analyze failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("[4/9] cubis-check fuzz smoke (registry + serve oracle)");
     let smoke = cubis_check::run_fuzz_with(&cubis_check::FuzzConfig::smoke(), &extra_oracles());
     println!(
         "ci: fuzz smoke ran {} case(s), {} oracle check(s)",
@@ -469,7 +713,7 @@ fn ci(root: &PathBuf) -> ExitCode {
         report_failure(&failure);
         return ExitCode::FAILURE;
     }
-    println!("[4/8] cubis-bench smoke");
+    println!("[5/9] cubis-bench smoke");
     // In-process and validated only — the repo-root BENCH_solve.json is
     // written by an explicit `bench` run, never as a ci side effect.
     match cubis_bench::harness::run(&cubis_bench::harness::smoke_shapes()) {
@@ -494,7 +738,7 @@ fn ci(root: &PathBuf) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    println!("[5/8] cubis-serve smoke");
+    println!("[6/9] cubis-serve smoke");
     // Same discipline as the bench smoke: in-process and validated
     // only — BENCH_serve.json is written by an explicit `loadgen` run.
     match run_loadgen(&smoke_loadgen_config()) {
@@ -509,15 +753,19 @@ fn ci(root: &PathBuf) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    println!("[6/8] cargo test -q");
+    println!("[7/9] cargo test -q");
     if !run_cargo(root, &["test", "-q"], &[]) {
         return ExitCode::FAILURE;
     }
-    println!("[7/8] cargo doc --no-deps (warnings denied)");
-    if !run_cargo(root, &["doc", "--no-deps"], &[("RUSTDOCFLAGS", "-D warnings")]) {
+    println!("[8/9] cargo doc --no-deps (warnings denied)");
+    if !run_cargo(
+        root,
+        &["doc", "--no-deps"],
+        &[("RUSTDOCFLAGS", "-D warnings")],
+    ) {
         return ExitCode::FAILURE;
     }
-    println!("[8/8] cargo test --doc");
+    println!("[9/9] cargo test --doc");
     if !run_cargo(root, &["test", "--doc", "-q"], &[]) {
         return ExitCode::FAILURE;
     }
@@ -526,7 +774,12 @@ fn ci(root: &PathBuf) -> ExitCode {
 }
 
 fn run_cargo(root: &PathBuf, args: &[&str], envs: &[(&str, &str)]) -> bool {
-    match Command::new("cargo").args(args).envs(envs.iter().copied()).current_dir(root).status() {
+    match Command::new("cargo")
+        .args(args)
+        .envs(envs.iter().copied())
+        .current_dir(root)
+        .status()
+    {
         Ok(status) if status.success() => true,
         Ok(status) => {
             eprintln!("ci: `cargo {}` failed with {status}", args.join(" "));
@@ -547,6 +800,9 @@ mod tests {
     fn handler_table_matches_command_table() {
         let handlers: Vec<&str> = HANDLERS.iter().map(|(n, _)| *n).collect();
         let specs: Vec<&str> = commands::COMMANDS.iter().map(|c| c.name).collect();
-        assert_eq!(handlers, specs, "dispatch table out of sync with commands::COMMANDS");
+        assert_eq!(
+            handlers, specs,
+            "dispatch table out of sync with commands::COMMANDS"
+        );
     }
 }

@@ -1,0 +1,240 @@
+//! Machine-readable analyze reports: the native JSON format (on the
+//! `cubis-trace` codec, like every other artifact in this workspace)
+//! and a minimal SARIF 2.1.0 emitter for external tooling (editors, CI
+//! annotation bots).
+//!
+//! The native report is what `cubis-xtask ci` writes next to the
+//! `BENCH_*.json` artifacts; it carries the full gate verdict (deny /
+//! new-warn / baselined / stale), not just the raw finding list, so a
+//! consumer can reproduce the exit code from the artifact alone.
+
+use crate::baseline::GateOutcome;
+use crate::rules::RULE_DOCS;
+use crate::{Finding, Severity};
+use cubis_trace::json::JsonValue;
+
+/// Schema version of the native JSON report.
+pub const REPORT_VERSION: u64 = 1;
+
+fn finding_json(f: &Finding) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("rule".into(), JsonValue::Str(f.rule.to_string())),
+        (
+            "severity".into(),
+            JsonValue::Str(
+                match f.severity {
+                    Severity::Deny => "deny",
+                    Severity::Warn => "warn",
+                }
+                .to_string(),
+            ),
+        ),
+        ("path".into(), JsonValue::Str(f.path.display().to_string())),
+        ("line".into(), JsonValue::Num(f.line as f64)),
+        ("scope".into(), JsonValue::Str(f.scope.clone())),
+        ("fingerprint".into(), JsonValue::Str(f.fingerprint.clone())),
+        ("message".into(), JsonValue::Str(f.message.clone())),
+    ])
+}
+
+/// Build the native JSON report for one gate run.
+pub fn json_report(outcome: &GateOutcome, files_scanned: usize) -> JsonValue {
+    let list = |fs: &[Finding]| JsonValue::Arr(fs.iter().map(finding_json).collect());
+    JsonValue::Obj(vec![
+        ("version".into(), JsonValue::Num(REPORT_VERSION as f64)),
+        ("tool".into(), JsonValue::Str("cubis-xtask analyze".into())),
+        ("files_scanned".into(), JsonValue::Num(files_scanned as f64)),
+        ("passes".into(), JsonValue::Bool(outcome.passes())),
+        ("deny".into(), list(&outcome.deny)),
+        ("new_warn".into(), list(&outcome.new_warn)),
+        ("baselined".into(), list(&outcome.baselined)),
+        (
+            "stale_baseline".into(),
+            JsonValue::Arr(
+                outcome
+                    .stale
+                    .iter()
+                    .map(|s| JsonValue::Str(s.clone()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Build a minimal SARIF 2.1.0 log: one run, one rule table from
+/// [`RULE_DOCS`], one result per gating finding (deny + new warn;
+/// baselined findings are emitted with level `note` so viewers can
+/// still surface them).
+pub fn sarif_report(outcome: &GateOutcome) -> JsonValue {
+    let rules: Vec<JsonValue> = RULE_DOCS
+        .iter()
+        .map(|(id, doc)| {
+            JsonValue::Obj(vec![
+                ("id".into(), JsonValue::Str((*id).to_string())),
+                (
+                    "shortDescription".into(),
+                    JsonValue::Obj(vec![("text".into(), JsonValue::Str((*doc).to_string()))]),
+                ),
+            ])
+        })
+        .collect();
+    let result = |f: &Finding, level: &str| {
+        JsonValue::Obj(vec![
+            ("ruleId".into(), JsonValue::Str(f.rule.to_string())),
+            ("level".into(), JsonValue::Str(level.to_string())),
+            (
+                "message".into(),
+                JsonValue::Obj(vec![("text".into(), JsonValue::Str(f.message.clone()))]),
+            ),
+            (
+                "partialFingerprints".into(),
+                JsonValue::Obj(vec![(
+                    "cubisAnalyze/v1".into(),
+                    JsonValue::Str(f.fingerprint.clone()),
+                )]),
+            ),
+            (
+                "locations".into(),
+                JsonValue::Arr(vec![JsonValue::Obj(vec![(
+                    "physicalLocation".into(),
+                    JsonValue::Obj(vec![
+                        (
+                            "artifactLocation".into(),
+                            JsonValue::Obj(vec![(
+                                "uri".into(),
+                                JsonValue::Str(f.path.display().to_string()),
+                            )]),
+                        ),
+                        (
+                            "region".into(),
+                            JsonValue::Obj(vec![(
+                                "startLine".into(),
+                                JsonValue::Num(f.line.max(1) as f64),
+                            )]),
+                        ),
+                    ]),
+                )])]),
+            ),
+        ])
+    };
+    let mut results: Vec<JsonValue> = Vec::new();
+    for f in &outcome.deny {
+        results.push(result(f, "error"));
+    }
+    for f in &outcome.new_warn {
+        results.push(result(f, "warning"));
+    }
+    for f in &outcome.baselined {
+        results.push(result(f, "note"));
+    }
+    JsonValue::Obj(vec![
+        (
+            "$schema".into(),
+            JsonValue::Str(
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+                    .into(),
+            ),
+        ),
+        ("version".into(), JsonValue::Str("2.1.0".into())),
+        (
+            "runs".into(),
+            JsonValue::Arr(vec![JsonValue::Obj(vec![
+                (
+                    "tool".into(),
+                    JsonValue::Obj(vec![(
+                        "driver".into(),
+                        JsonValue::Obj(vec![
+                            ("name".into(), JsonValue::Str("cubis-xtask analyze".into())),
+                            ("rules".into(), JsonValue::Arr(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results".into(), JsonValue::Arr(results)),
+            ])]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn outcome() -> GateOutcome {
+        let mut f = Finding::new(
+            "NUM01",
+            Path::new("crates/lp/src/x.rs"),
+            7,
+            "raw float compare".to_string(),
+        );
+        f.scope = "fn f".into();
+        f.fingerprint = "aaaa".into();
+        let mut w = Finding::new(
+            "NUM04",
+            Path::new("crates/lp/src/x.rs"),
+            9,
+            "lossy cast".to_string(),
+        );
+        w.scope = "fn g".into();
+        w.fingerprint = "bbbb".into();
+        GateOutcome {
+            deny: vec![f],
+            new_warn: vec![w],
+            baselined: vec![],
+            stale: vec!["cccc".into()],
+        }
+    }
+
+    #[test]
+    fn json_report_round_trips_and_carries_the_verdict() {
+        let rep = json_report(&outcome(), 42);
+        let parsed = cubis_trace::json::parse(&rep.to_json_string()).unwrap();
+        assert_eq!(
+            parsed.get("passes").and_then(JsonValue::as_bool),
+            Some(false)
+        );
+        assert_eq!(
+            parsed.get("files_scanned").and_then(JsonValue::as_usize),
+            Some(42)
+        );
+        let deny = parsed.get("deny").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(
+            deny[0].get("fingerprint").and_then(JsonValue::as_str),
+            Some("aaaa")
+        );
+        assert_eq!(
+            deny[0].get("severity").and_then(JsonValue::as_str),
+            Some("deny")
+        );
+        let stale = parsed
+            .get("stale_baseline")
+            .and_then(JsonValue::as_arr)
+            .unwrap();
+        assert_eq!(stale.len(), 1);
+    }
+
+    #[test]
+    fn sarif_is_parseable_and_levels_follow_severity() {
+        let rep = sarif_report(&outcome());
+        let parsed = cubis_trace::json::parse(&rep.to_json_string()).unwrap();
+        assert_eq!(
+            parsed.get("version").and_then(JsonValue::as_str),
+            Some("2.1.0")
+        );
+        let runs = parsed.get("runs").and_then(JsonValue::as_arr).unwrap();
+        let results = runs[0].get("results").and_then(JsonValue::as_arr).unwrap();
+        let levels: Vec<&str> = results
+            .iter()
+            .map(|r| r.get("level").and_then(JsonValue::as_str).unwrap())
+            .collect();
+        assert_eq!(levels, ["error", "warning"]);
+        // Every rule in the driver table has an id.
+        let rules = runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(JsonValue::as_arr)
+            .unwrap();
+        assert_eq!(rules.len(), RULE_DOCS.len());
+    }
+}

@@ -1,14 +1,19 @@
 //! The numeric-safety lint rules.
 //!
-//! Every rule is a purely lexical pattern over the token stream from
+//! Every v1 rule is a purely lexical pattern over the token stream from
 //! [`crate::lexer`], scoped by file class (library / test / bench /
 //! example / binary) and by `#[cfg(test)]` regions inside library
-//! files. See DESIGN.md §"Static analysis" for the rationale behind
+//! files. The v2 scope-aware rules ([`scan_scoped`]) additionally see
+//! the brace-matched scope tree from [`crate::scopes`], so they can
+//! reason about function extents: a lock guard and the blocking call it
+//! overlaps, a `HashMap` iterated by the same function that serializes
+//! output. See DESIGN.md §"Static analysis" for the rationale behind
 //! each rule and the `cubis:allow` escape hatch.
 
 use crate::lexer::{TokKind, Token};
-use crate::{FileClass, Finding};
-use std::collections::BTreeSet;
+use crate::scopes::ScopeTree;
+use crate::{FileClass, Finding, Severity};
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
 /// Identifier and one-line summary for each rule, used by the CLI
@@ -40,14 +45,66 @@ pub const RULE_DOCS: &[(&str, &str)] = &[
          eval binaries and benches; seed a ChaCha8Rng for reproducibility",
     ),
     (
+        "DET02",
+        "HashMap/HashSet iteration feeding formatted or serialized output in library code; \
+         iteration order is nondeterministic — use BTreeMap/BTreeSet or sort before emitting",
+    ),
+    (
+        "CONC02",
+        "blocking call (solve/send/recv/join/write_all/…) while a Mutex/RwLock guard bound \
+         in the same scope is still live; drop the guard before blocking",
+    ),
+    (
+        "NUM04",
+        "lossy float→int (or f64→f32) `as` cast in lp/milp/core hot paths; use try_from \
+         on an integer-valued intermediate, or annotate the clamp that bounds it",
+    ),
+    (
+        "PANIC01",
+        "slice indexing inside an lp/milp loop body; pivot loops document `.get` + \
+         SolveError as the out-of-range route instead of a panicking `[]`",
+    ),
+    (
+        "TRC01",
+        "trace counter/span name drift: an emitted name missing from \
+         cubis_trace::names (so /metrics and trace-report cannot table it), or a \
+         registered name no library code emits (dead counter)",
+    ),
+    (
+        "LINT01",
+        "stale suppression: a well-formed `cubis:allow` that no longer masks any finding; \
+         delete the comment (not itself suppressible)",
+    ),
+    (
         "LINT00",
         "malformed suppression: `cubis:allow` without a justification string or naming an \
          unknown rule (not itself suppressible)",
     ),
+    (
+        "SAFE01",
+        "library crate root missing `#![forbid(unsafe_code)]`; every crates/*/src/lib.rs \
+         must carry the attribute",
+    ),
 ];
 
 /// Rule identifiers that may appear inside `cubis:allow(…)`.
-pub const ALLOWABLE_RULES: &[&str] = &["NUM01", "NUM02", "NUM03", "CONC01", "DET01"];
+///
+/// The meta rules (LINT00/LINT01), the cross-file invariants (TRC01,
+/// SAFE01) and nothing else are excluded: suppressing a stale
+/// suppression or a registry drift makes no sense — fix the drift.
+pub const ALLOWABLE_RULES: &[&str] = &[
+    "NUM01", "NUM02", "NUM03", "NUM04", "CONC01", "CONC02", "DET01", "DET02", "PANIC01",
+];
+
+/// Severity of a rule: `Deny` findings must be fixed or `cubis:allow`ed;
+/// `Warn` findings may instead be absorbed by the committed
+/// `analyze-baseline.json` (see `cubis-xtask analyze --fix-baseline`).
+pub fn severity(rule: &str) -> Severity {
+    match rule {
+        "NUM04" | "PANIC01" => Severity::Warn,
+        _ => Severity::Deny,
+    }
+}
 
 /// Run every token-level rule over one file's token stream.
 ///
@@ -335,6 +392,630 @@ pub fn test_mask(toks: &[Token]) -> Vec<bool> {
         i += 1;
     }
     mask
+}
+
+// ---------------------------------------------------------------------
+// v2 scope-aware rules
+// ---------------------------------------------------------------------
+
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Calls that park the current thread (or, for `solve*`, can run for an
+/// unbounded number of pivots) — holding a shard lock across one of
+/// these is the serve-v1 hazard CONC02 exists for.
+const BLOCKING_CALLS: &[&str] = &[
+    "accept",
+    "connect",
+    "flush",
+    "join",
+    "park",
+    "read_exact",
+    "read_to_end",
+    "recv",
+    "recv_timeout",
+    "send",
+    "sleep",
+    "solve",
+    "solve_batch",
+    "wait",
+    "write_all",
+];
+
+/// True for the lp/milp/core paths whose inner loops NUM04/PANIC01
+/// police.
+fn hot_crate(path: &Path) -> bool {
+    let p = path.to_string_lossy();
+    p.starts_with("crates/lp/") || p.starts_with("crates/milp/") || p.starts_with("crates/core/")
+}
+
+/// Run the scope-aware rules (DET02, CONC02, NUM04, PANIC01) over one
+/// file. Complements [`scan_tokens`]; the caller merges both result
+/// sets.
+pub fn scan_scoped(
+    path: &Path,
+    class: FileClass,
+    toks: &[Token],
+    in_test: &[bool],
+    tree: &ScopeTree,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if class != FileClass::Library {
+        return findings;
+    }
+    for (fid, scope) in tree.fns() {
+        if scope.is_test || in_test.get(scope.tok_start).copied().unwrap_or(false) {
+            continue;
+        }
+        // Scan from the signature, not the body brace: parameters like
+        // `m: &HashMap<…>` and `x: f64` are binding sites the rules
+        // must see.
+        let range = scope.sig_start..scope.tok_end.min(toks.len());
+        det02_in_fn(path, toks, range.clone(), &mut findings);
+        conc02_in_fn(path, toks, range.clone(), &mut findings);
+        if hot_crate(path) {
+            num04_in_fn(path, toks, range.clone(), &mut findings);
+            panic01_in_fn(path, toks, range, tree, fid, &mut findings);
+        }
+    }
+    findings
+}
+
+/// Identifiers bound to a `HashMap`/`HashSet` inside `range`:
+/// `let [mut] x: HashMap<…>`, `let [mut] x = HashMap::new()`, or a
+/// parameter `x: &HashMap<…>`.
+fn hash_bound_idents(toks: &[Token], range: std::ops::Range<usize>) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for i in range.clone() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !(t.text == "HashMap" || t.text == "HashSet") {
+            continue;
+        }
+        // Walk left over type noise (`:`, `&`, `mut`, `<`, lifetimes,
+        // `=`, path `::`) to the identifier being bound.
+        let mut k = i;
+        while k > range.start {
+            k -= 1;
+            match toks[k].kind {
+                TokKind::Punct if matches!(toks[k].text.as_str(), ":" | "&" | "=" | "<") => {}
+                TokKind::Ident if toks[k].text == "mut" => {}
+                TokKind::Lifetime => {}
+                TokKind::Ident => {
+                    out.insert(toks[k].text.clone());
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+    out
+}
+
+/// DET02: a hash-ordered collection is iterated in a function that also
+/// formats/serializes output, with no sort or BTree re-collection in
+/// sight.
+fn det02_in_fn(
+    path: &Path,
+    toks: &[Token],
+    range: std::ops::Range<usize>,
+    findings: &mut Vec<Finding>,
+) {
+    let hashed = hash_bound_idents(toks, range.clone());
+    if hashed.is_empty() {
+        return;
+    }
+    let has_ident = |name: &str| toks[range.clone()].iter().any(|t| t.is_ident(name));
+    // An explicit ordering step anywhere in the fn is the documented
+    // mitigation; a BTree re-collection likewise.
+    let mitigated = [
+        "sort",
+        "sort_by",
+        "sort_by_key",
+        "sort_unstable",
+        "sort_unstable_by",
+        "sort_unstable_by_key",
+        "BTreeMap",
+        "BTreeSet",
+    ]
+    .iter()
+    .any(|m| has_ident(m));
+    if mitigated {
+        return;
+    }
+    let sink = [
+        "format",
+        "write",
+        "writeln",
+        "push_str",
+        "to_json_string",
+        "serialize",
+        "to_string",
+    ]
+    .iter()
+    .any(|s| has_ident(s));
+    if !sink {
+        return;
+    }
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for i in range.clone() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !hashed.contains(&t.text) || seen.contains(t.text.as_str()) {
+            continue;
+        }
+        // Iteration forms: `for _ in [&mut] x`, `x.iter()`, `x.keys()`,
+        // `x.values()`, `x.into_iter()`.
+        let for_iterated = {
+            let mut k = i;
+            let mut saw_in = false;
+            while k > range.start {
+                k -= 1;
+                match toks[k].text.as_str() {
+                    "&" | "mut" => continue,
+                    "in" => saw_in = true,
+                    _ => {}
+                }
+                break;
+            }
+            saw_in
+        };
+        let method_iterated = toks.get(i + 1).is_some_and(|n| n.is_punct("."))
+            && toks.get(i + 2).is_some_and(|n| {
+                matches!(
+                    n.text.as_str(),
+                    "iter" | "iter_mut" | "into_iter" | "keys" | "values" | "values_mut"
+                )
+            });
+        if for_iterated || method_iterated {
+            seen.insert(&t.text);
+            findings.push(Finding::new(
+                "DET02",
+                path,
+                t.line,
+                format!(
+                    "iterating hash-ordered `{}` in a function that formats/serializes \
+                     output; iteration order varies per process — use BTreeMap/BTreeSet \
+                     or sort before emitting",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// CONC02: a Mutex/RwLock guard binding whose live extent contains a
+/// blocking call.
+fn conc02_in_fn(
+    path: &Path,
+    toks: &[Token],
+    range: std::ops::Range<usize>,
+    findings: &mut Vec<Finding>,
+) {
+    let mut i = range.start;
+    while i < range.end {
+        if toks[i].is_ident("let") {
+            if let Some((guard, semi)) = guard_binding(toks, i, range.end) {
+                report_blocking_in_extent(path, toks, semi + 1, range.end, &guard, findings);
+            }
+        }
+        i += 1;
+    }
+}
+
+/// If the statement starting at `let_at` is a plain lock acquisition
+/// (`let [mut] g = chain.lock()[.unwrap_or_else(…)];`, `.read()`,
+/// argless `.write()`, or a `lock_*` helper), return the guard name and
+/// the index of the terminating `;`.
+fn guard_binding(toks: &[Token], let_at: usize, end: usize) -> Option<(String, usize)> {
+    let mut k = let_at + 1;
+    if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+        k += 1;
+    }
+    let name = toks
+        .get(k)
+        .filter(|t| t.kind == TokKind::Ident)?
+        .text
+        .clone();
+    if !toks.get(k + 1).is_some_and(|t| t.is_punct("=")) {
+        return None;
+    }
+    // Walk the initializer, collecting the call chain's method names.
+    // Any `{` (match/block initializer) disqualifies: too complex to be
+    // a plain acquisition.
+    let mut methods: Vec<(String, bool)> = Vec::new(); // (name, argless)
+    let mut j = k + 2;
+    let semi;
+    loop {
+        if j >= end {
+            return None;
+        }
+        let t = &toks[j];
+        match t.kind {
+            TokKind::Punct if t.text == ";" => {
+                semi = j;
+                break;
+            }
+            TokKind::Punct if t.text == "{" => return None,
+            TokKind::Ident if toks.get(j + 1).is_some_and(|n| n.is_punct("(")) => {
+                let close = matching_paren(toks, j + 1)?;
+                methods.push((t.text.clone(), close == j + 2));
+                j = close + 1;
+                continue;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    // The chain is a guard acquisition iff the last non-adapter call is
+    // a lock primitive: `…lock() ;`, `…read().unwrap_or_else(…) ;`, etc.
+    let is_adapter = |m: &str| matches!(m, "unwrap" | "expect" | "unwrap_or_else");
+    let lockish = |m: &str, argless: bool| {
+        m == "lock" || m == "read" || m.starts_with("lock_") || (m == "write" && argless)
+    };
+    let mut saw_lock = false;
+    for (m, argless) in methods.iter().rev() {
+        if is_adapter(m) {
+            continue;
+        }
+        saw_lock = lockish(m, *argless);
+        break;
+    }
+    if saw_lock {
+        Some((name, semi))
+    } else {
+        None
+    }
+}
+
+/// Scan forward from the guard binding to the end of its enclosing
+/// block (or an explicit `drop(guard)`), flagging blocking calls.
+fn report_blocking_in_extent(
+    path: &Path,
+    toks: &[Token],
+    from: usize,
+    fn_end: usize,
+    guard: &str,
+    findings: &mut Vec<Finding>,
+) {
+    let mut depth: i64 = 0;
+    let mut i = from;
+    while i < fn_end {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return; // enclosing block closed; guard dropped
+                    }
+                }
+                _ => {}
+            }
+        } else if t.kind == TokKind::Ident {
+            // `drop(guard)` or `std::mem::drop(guard)` ends the extent.
+            if t.text == "drop"
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+                && toks.get(i + 2).is_some_and(|n| n.is_ident(guard))
+            {
+                return;
+            }
+            let is_call = toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+            let is_method = i > 0 && (toks[i - 1].is_punct(".") || toks[i - 1].is_punct("::"));
+            if is_call && is_method && BLOCKING_CALLS.contains(&t.text.as_str()) {
+                findings.push(Finding::new(
+                    "CONC02",
+                    path,
+                    t.line,
+                    format!(
+                        "`.{}(…)` can block while lock guard `{guard}` is still live; \
+                         drop the guard (or narrow its scope) before blocking",
+                        t.text
+                    ),
+                ));
+            }
+        }
+        i += 1;
+    }
+}
+
+/// NUM04: lossy float→int / f64→f32 `as` casts in hot-path crates.
+fn num04_in_fn(
+    path: &Path,
+    toks: &[Token],
+    range: std::ops::Range<usize>,
+    findings: &mut Vec<Finding>,
+) {
+    // Float-typed locals/params: `x: f64`, `let x = 1.5`, …
+    let mut floats: BTreeSet<String> = BTreeSet::new();
+    let mut f64s: BTreeSet<String> = BTreeSet::new();
+    for i in range.clone() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident && (t.text == "f64" || t.text == "f32") {
+            let mut k = i;
+            while k > range.start {
+                k -= 1;
+                match toks[k].kind {
+                    TokKind::Punct if matches!(toks[k].text.as_str(), ":" | "&" | "<") => {}
+                    TokKind::Ident if toks[k].text == "mut" => {}
+                    TokKind::Ident => {
+                        floats.insert(toks[k].text.clone());
+                        if t.text == "f64" {
+                            f64s.insert(toks[k].text.clone());
+                        }
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        if t.is_ident("let") {
+            let mut k = i + 1;
+            if toks.get(k).is_some_and(|n| n.is_ident("mut")) {
+                k += 1;
+            }
+            if toks.get(k).map(|n| n.kind) == Some(TokKind::Ident)
+                && toks.get(k + 1).is_some_and(|n| n.is_punct("="))
+                && toks.get(k + 2).map(|n| n.kind) == Some(TokKind::Float)
+            {
+                floats.insert(toks[k].text.clone());
+                if !toks[k + 2].text.ends_with("f32") {
+                    f64s.insert(toks[k].text.clone());
+                }
+            }
+        }
+    }
+    let mut lines: BTreeSet<u32> = BTreeSet::new();
+    for i in range.clone() {
+        if !toks[i].is_ident("as") || i == range.start {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else {
+            continue;
+        };
+        let to_int = target.kind == TokKind::Ident && INT_TYPES.contains(&target.text.as_str());
+        let to_f32 = target.is_ident("f32");
+        if !to_int && !to_f32 {
+            continue;
+        }
+        let prev = &toks[i - 1];
+        let lossy = if prev.kind == TokKind::Float {
+            to_int
+        } else if prev.is_punct(")") && i >= 4 && toks[i - 2].is_punct("(") {
+            // `x.floor() as usize` — a rounding result truncated into an
+            // int type with no range check.
+            to_int
+                && toks[i - 4].is_punct(".")
+                && matches!(
+                    toks[i - 3].text.as_str(),
+                    "floor" | "ceil" | "round" | "trunc"
+                )
+        } else if prev.kind == TokKind::Ident {
+            (to_int && floats.contains(&prev.text)) || (to_f32 && f64s.contains(&prev.text))
+        } else {
+            false
+        };
+        if lossy {
+            lines.insert(toks[i].line);
+        }
+    }
+    for line in lines {
+        findings.push(Finding::new(
+            "NUM04",
+            path,
+            line,
+            "lossy numeric `as` cast on a hot path; use try_from on an integer-valued \
+             intermediate, or annotate the clamp that bounds it"
+                .to_string(),
+        ));
+    }
+}
+
+/// PANIC01: panicking `[]` indexing with a variable index inside a
+/// loop body of an lp/milp/core function. Reported once per
+/// `(function, indexed identifier)` so the count stays reviewable; the
+/// line is the first offending site.
+fn panic01_in_fn(
+    path: &Path,
+    toks: &[Token],
+    range: std::ops::Range<usize>,
+    tree: &ScopeTree,
+    fid: usize,
+    findings: &mut Vec<Finding>,
+) {
+    let in_loop = loop_mask(toks, range.clone());
+    let mut first_site: BTreeMap<String, u32> = BTreeMap::new();
+    for i in range.clone() {
+        if !in_loop[i - range.start] {
+            continue;
+        }
+        let t = &toks[i];
+        // `base[expr]` where `base` is an identifier (not a macro `[`,
+        // not an attribute) and `expr` mentions at least one variable.
+        if t.kind != TokKind::Ident || !toks.get(i + 1).is_some_and(|n| n.is_punct("[")) {
+            continue;
+        }
+        let Some(close) = matching_bracket(toks, i + 1) else {
+            continue;
+        };
+        let variable_index = toks[i + 2..close]
+            .iter()
+            .any(|n| n.kind == TokKind::Ident && !INT_TYPES.contains(&n.text.as_str()));
+        if variable_index {
+            first_site.entry(t.text.clone()).or_insert(t.line);
+        }
+    }
+    for (base, line) in first_site {
+        findings.push(Finding::new(
+            "PANIC01",
+            path,
+            line,
+            format!(
+                "fn `{}` indexes `{base}[…]` with a variable index inside a loop; pivot \
+                 loops document `.get` + SolveError as the out-of-range route",
+                tree.scopes()[fid].name
+            ),
+        ));
+    }
+}
+
+/// For each token in `range`, whether it sits inside a `for`/`while`/
+/// `loop` body. `for` is only a loop when an `in` keyword precedes the
+/// body brace (rejecting `impl Trait for T {` and HRTB `for<'a>`).
+fn loop_mask(toks: &[Token], range: std::ops::Range<usize>) -> Vec<bool> {
+    let mut mask = vec![false; range.len()];
+    for i in range.clone() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !matches!(t.text.as_str(), "for" | "while" | "loop") {
+            continue;
+        }
+        // Find the body `{` at nesting level 0 relative to the keyword.
+        let mut nest = 0i64;
+        let mut saw_in = t.text != "for";
+        let mut body_open = None;
+        for (k, n) in toks.iter().enumerate().take(range.end).skip(i + 1) {
+            if n.kind == TokKind::Punct {
+                match n.text.as_str() {
+                    "(" | "[" => nest += 1,
+                    ")" | "]" => nest -= 1,
+                    "{" if nest == 0 => {
+                        body_open = Some(k);
+                        break;
+                    }
+                    ";" if nest == 0 => break,
+                    _ => {}
+                }
+            } else if n.is_ident("in") && nest == 0 {
+                saw_in = true;
+            }
+        }
+        let Some(open) = body_open else { continue };
+        if !saw_in {
+            continue;
+        }
+        // Mark the body extent via brace matching.
+        let mut depth = 0i64;
+        for (k, n) in toks.iter().enumerate().take(range.end).skip(open) {
+            if n.kind == TokKind::Punct {
+                match n.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            for m in mask
+                                .iter_mut()
+                                .take(k + 1 - range.start)
+                                .skip(open - range.start)
+                            {
+                                *m = true;
+                            }
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    mask
+}
+
+// ---------------------------------------------------------------------
+// cross-file invariant inputs (consumed by the workspace pass in lib.rs)
+// ---------------------------------------------------------------------
+
+/// Collect `.counter("name", …)` / `.span("name")` emission sites in
+/// non-test code: `(counters, spans)` as `(name, line)` lists.
+pub fn collect_emissions(
+    toks: &[Token],
+    in_test: &[bool],
+) -> (Vec<(String, u32)>, Vec<(String, u32)>) {
+    let mut counters = Vec::new();
+    let mut spans = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident
+            || in_test[i]
+            || !(t.text == "counter" || t.text == "span")
+            || i == 0
+            || !toks[i - 1].is_punct(".")
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 2).filter(|n| n.kind == TokKind::Str) else {
+            continue;
+        };
+        let Some(name) = str_literal_value(&name_tok.text) else {
+            continue;
+        };
+        if t.text == "counter" {
+            counters.push((name, name_tok.line));
+        } else {
+            spans.push((name, name_tok.line));
+        }
+    }
+    (counters, spans)
+}
+
+/// The registered counter/span names parsed out of
+/// `crates/trace/src/names.rs`: `(counters, spans)` as `(name, line)`.
+/// `None` when the `COUNTERS`/`SPANS` tables cannot be found.
+pub fn parse_name_registry(toks: &[Token]) -> Option<(Vec<(String, u32)>, Vec<(String, u32)>)> {
+    let counters = parse_registry_table(toks, "COUNTERS")?;
+    let spans = parse_registry_table(toks, "SPANS")?;
+    Some((counters, spans))
+}
+
+fn parse_registry_table(toks: &[Token], table: &str) -> Option<Vec<(String, u32)>> {
+    // `pub const TABLE: &[(&str, &str)] = &[ ("name", "doc"), … ];`
+    let at = toks.iter().position(|t| t.is_ident(table))?;
+    // Find the `[` opening the literal (the one after `=`), then take
+    // the first string of every top-level paren group.
+    let eq = (at..toks.len()).find(|&k| toks[k].is_punct("="))?;
+    let open = (eq..toks.len()).find(|&k| toks[k].is_punct("["))?;
+    let close = matching_bracket(toks, open)?;
+    let mut out = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        if toks[k].is_punct("(") {
+            let group_close = matching_paren(toks, k)?;
+            if let Some(name_tok) = toks[k + 1..group_close]
+                .iter()
+                .find(|t| t.kind == TokKind::Str)
+            {
+                out.push((str_literal_value(&name_tok.text)?, name_tok.line));
+            }
+            k = group_close + 1;
+        } else {
+            k += 1;
+        }
+    }
+    Some(out)
+}
+
+/// The value of an escape-free string literal token (the lexer stores
+/// `Str` token text without the surrounding quotes).
+fn str_literal_value(text: &str) -> Option<String> {
+    if text.contains('\\') {
+        return None;
+    }
+    Some(text.to_string())
+}
+
+/// Whether the token stream carries the crate attribute
+/// `#![forbid(unsafe_code)]` (SAFE01's witness).
+pub fn has_forbid_unsafe(toks: &[Token]) -> bool {
+    toks.windows(8).any(|w| {
+        w[0].is_punct("#")
+            && w[1].is_punct("!")
+            && w[2].is_punct("[")
+            && w[3].is_ident("forbid")
+            && w[4].is_punct("(")
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(")")
+            && w[7].is_punct("]")
+    })
 }
 
 /// Index of the `]` matching the `[` at `open`, if balanced.

@@ -1,0 +1,534 @@
+//! Brace-matched scope tree over the lexer's token stream.
+//!
+//! The v1 analyzer was purely lexical: every rule saw a flat token
+//! slice plus a `#[cfg(test)]` bitmask. The v2 scope-aware rules
+//! (DET02, CONC02, NUM04, PANIC01) need to reason about *extents* —
+//! "this guard binding and that blocking call live in the same block",
+//! "this `HashMap` is iterated inside the same function that serializes
+//! output" — and finding fingerprints need a line-number-independent
+//! location label. Both come from this pass.
+//!
+//! The tree is deliberately shallow in ambition: it tracks the item
+//! scopes that matter (`mod`, `fn`, `impl`, `trait`) plus `#[cfg(test)]`
+//! regions, brace-matched on the token stream the lexer already
+//! produced. Closures, blocks, and expressions do **not** open scopes —
+//! a token inside a closure belongs to the enclosing `fn`, which is
+//! exactly what the guard/iteration rules want.
+//!
+//! Tokens that precede any item (crate attributes, `use` lines) belong
+//! to the root [`ScopeKind::File`] scope.
+
+use crate::lexer::Token;
+
+/// What kind of item opened a scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// The implicit file-level root scope.
+    File,
+    /// A `mod name { … }` block (inline modules only; `mod name;` has
+    /// no body here and opens nothing).
+    Module,
+    /// A `fn name(…) { … }` body, including methods and default trait
+    /// methods.
+    Fn,
+    /// An `impl … { … }` block.
+    Impl,
+    /// A `trait Name { … }` block.
+    Trait,
+}
+
+impl ScopeKind {
+    fn label(self) -> &'static str {
+        match self {
+            ScopeKind::File => "file",
+            ScopeKind::Module => "mod",
+            ScopeKind::Fn => "fn",
+            ScopeKind::Impl => "impl",
+            ScopeKind::Trait => "trait",
+        }
+    }
+}
+
+/// One node of the scope tree.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    /// Item kind that opened this scope.
+    pub kind: ScopeKind,
+    /// Item name (`solve`, `tests`, `Display for Finding`, …). Empty
+    /// for the root scope.
+    pub name: String,
+    /// Index of the parent scope (the root points at itself).
+    pub parent: usize,
+    /// Token index of the item keyword (`fn`/`mod`/`impl`/`trait`)
+    /// that introduced this scope — the start of the signature, so
+    /// scope-aware rules can see parameters and return types. Equals
+    /// `tok_start` (0) for the root.
+    pub sig_start: usize,
+    /// First token index covered (the opening `{` for item scopes).
+    pub tok_start: usize,
+    /// One past the last covered token index (the closing `}`).
+    pub tok_end: usize,
+    /// True if this scope or an ancestor sits under `#[cfg(test)]` /
+    /// `#[test]` / `#[bench]`.
+    pub is_test: bool,
+}
+
+/// The scope tree plus a per-token innermost-scope map.
+#[derive(Debug)]
+pub struct ScopeTree {
+    scopes: Vec<Scope>,
+    /// `scope_of[i]` = index of the innermost scope containing token `i`.
+    scope_of: Vec<u32>,
+}
+
+impl ScopeTree {
+    /// Build the tree for one file's token stream.
+    pub fn build(toks: &[Token]) -> ScopeTree {
+        Builder::new(toks).run()
+    }
+
+    /// All scopes, root first, in source order of their opening brace.
+    pub fn scopes(&self) -> &[Scope] {
+        &self.scopes
+    }
+
+    /// Index of the innermost scope containing token `i`.
+    pub fn innermost(&self, tok: usize) -> usize {
+        self.scope_of.get(tok).map(|&s| s as usize).unwrap_or(0)
+    }
+
+    /// Innermost enclosing `fn` scope of token `i`, if any.
+    pub fn enclosing_fn(&self, tok: usize) -> Option<usize> {
+        let mut id = self.innermost(tok);
+        loop {
+            if self.scopes[id].kind == ScopeKind::Fn {
+                return Some(id);
+            }
+            if id == 0 {
+                return None;
+            }
+            id = self.scopes[id].parent;
+        }
+    }
+
+    /// Human/fingerprint path for a scope: `mod tests > fn solve_one`.
+    /// The root scope renders as `file`.
+    pub fn path(&self, id: usize) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        let mut cur = id;
+        loop {
+            let s = &self.scopes[cur];
+            if s.kind == ScopeKind::File {
+                break;
+            }
+            if s.name.is_empty() {
+                parts.push(s.kind.label().to_string());
+            } else {
+                parts.push(format!("{} {}", s.kind.label(), s.name));
+            }
+            cur = s.parent;
+        }
+        if parts.is_empty() {
+            return "file".to_string();
+        }
+        parts.reverse();
+        parts.join(" > ")
+    }
+
+    /// Path of the innermost scope containing token `i`.
+    pub fn path_at(&self, tok: usize) -> String {
+        self.path(self.innermost(tok))
+    }
+
+    /// Iterate over all `fn` scopes as `(scope_id, scope)`.
+    pub fn fns(&self) -> impl Iterator<Item = (usize, &Scope)> {
+        self.scopes
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.kind == ScopeKind::Fn)
+    }
+}
+
+struct Builder<'a> {
+    toks: &'a [Token],
+    scopes: Vec<Scope>,
+    scope_of: Vec<u32>,
+    /// Stack of `(scope_id, brace_depth_at_open)`.
+    stack: Vec<(usize, usize)>,
+    depth: usize,
+}
+
+impl<'a> Builder<'a> {
+    fn new(toks: &'a [Token]) -> Self {
+        Builder {
+            toks,
+            scopes: vec![Scope {
+                kind: ScopeKind::File,
+                name: String::new(),
+                parent: 0,
+                sig_start: 0,
+                tok_start: 0,
+                tok_end: toks.len(),
+                is_test: false,
+            }],
+            scope_of: Vec::with_capacity(toks.len()),
+            stack: vec![(0, 0)],
+            depth: 0,
+        }
+    }
+
+    fn current(&self) -> usize {
+        // The root entry never pops, so the stack is never empty.
+        self.stack.last().map_or(0, |&(id, _)| id)
+    }
+
+    fn run(mut self) -> ScopeTree {
+        // Pending item header `(kind, name, keyword_index)`: set when we
+        // see `mod`/`fn`/`impl`/`trait`, consumed at the `{` that opens
+        // its body (or cancelled by `;`).
+        let mut pending: Option<(ScopeKind, String, usize)> = None;
+        // Bracket/paren depth inside a pending header, so const-generic
+        // braces like `[u8; { N }]` don't get mistaken for the body.
+        let mut pending_nest: usize = 0;
+        // True when a test-ish attribute (`#[cfg(test)]`, `#[test]`,
+        // `#[bench]`) precedes the next item.
+        let mut pending_test = false;
+
+        let mut i = 0usize;
+        while i < self.toks.len() {
+            self.scope_of.push(self.current() as u32);
+            let t = &self.toks[i];
+            match t.kind {
+                crate::lexer::TokKind::Punct => match t.text.as_str() {
+                    "{" => {
+                        self.depth += 1;
+                        if let Some((kind, name, sig_start)) = pending.take() {
+                            if pending_nest == 0 {
+                                let parent = self.current();
+                                let is_test = pending_test || self.scopes[parent].is_test;
+                                pending_test = false;
+                                let id = self.scopes.len();
+                                self.scopes.push(Scope {
+                                    kind,
+                                    name,
+                                    parent,
+                                    sig_start,
+                                    tok_start: i,
+                                    tok_end: self.toks.len(),
+                                    is_test,
+                                });
+                                // The `{` itself belongs to the new scope.
+                                if let Some(slot) = self.scope_of.last_mut() {
+                                    *slot = id as u32;
+                                }
+                                self.stack.push((id, self.depth));
+                            } else {
+                                // `{` nested in the header (const generic):
+                                // keep waiting for the body brace.
+                                pending = Some((kind, name, sig_start));
+                                pending_nest += 1;
+                            }
+                        }
+                    }
+                    "}" => {
+                        self.depth = self.depth.saturating_sub(1);
+                        if pending.is_some() && pending_nest > 0 {
+                            pending_nest -= 1;
+                        }
+                        if let Some(&(id, open_depth)) = self.stack.get(self.stack.len() - 1) {
+                            if self.stack.len() > 1 && self.depth + 1 == open_depth {
+                                self.scopes[id].tok_end = i + 1;
+                                self.stack.pop();
+                            }
+                        }
+                    }
+                    "(" | "[" => {
+                        if pending.is_some() {
+                            pending_nest += 1;
+                        }
+                    }
+                    ")" | "]" => {
+                        if pending.is_some() {
+                            pending_nest = pending_nest.saturating_sub(1);
+                        }
+                    }
+                    ";" => {
+                        if pending_nest == 0 {
+                            // `mod name;`, trait method decl, etc.: no body.
+                            pending = None;
+                            pending_test = false;
+                        }
+                    }
+                    "#" => {
+                        if let Some(consumed) = self.attribute_is_testish(i) {
+                            if consumed.0 {
+                                pending_test = true;
+                            }
+                            // Map attribute-body tokens to the current
+                            // scope and skip past them.
+                            for _ in (i + 1)..consumed.1 {
+                                self.scope_of.push(self.current() as u32);
+                            }
+                            i = consumed.1;
+                            continue;
+                        }
+                    }
+                    _ => {}
+                },
+                crate::lexer::TokKind::Ident if pending.is_none() => match t.text.as_str() {
+                    "mod" | "fn" | "trait" => {
+                        // The name must immediately follow the keyword;
+                        // this rejects fn-*pointer types* like
+                        // `fn(&[String]) -> T`, which open no scope.
+                        if let Some(name) = self.next_ident_adjacent(i + 1) {
+                            let kind = match t.text.as_str() {
+                                "mod" => ScopeKind::Module,
+                                "fn" => ScopeKind::Fn,
+                                _ => ScopeKind::Trait,
+                            };
+                            pending = Some((kind, name, i));
+                            pending_nest = 0;
+                        }
+                    }
+                    "impl" => {
+                        pending = Some((ScopeKind::Impl, self.impl_name(i + 1), i));
+                        pending_nest = 0;
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+            i += 1;
+        }
+        ScopeTree {
+            scopes: self.scopes,
+            scope_of: self.scope_of,
+        }
+    }
+
+    /// If token `i` starts an attribute (`#[…]` or `#![…]`), return
+    /// `(is_testish, index_one_past_closing_bracket)`.
+    fn attribute_is_testish(&self, i: usize) -> Option<(bool, usize)> {
+        let mut j = i + 1;
+        if self.toks.get(j).is_some_and(|t| t.is_punct("!")) {
+            j += 1;
+        }
+        if !self.toks.get(j).is_some_and(|t| t.is_punct("[")) {
+            return None;
+        }
+        let mut depth = 0usize;
+        let mut testish = false;
+        let mut negated = false;
+        while let Some(t) = self.toks.get(j) {
+            match t.kind {
+                crate::lexer::TokKind::Punct if t.text == "[" => depth += 1,
+                crate::lexer::TokKind::Punct if t.text == "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((testish && !negated, j + 1));
+                    }
+                }
+                crate::lexer::TokKind::Ident if t.text == "test" || t.text == "bench" => {
+                    testish = true;
+                }
+                crate::lexer::TokKind::Ident if t.text == "not" => negated = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// The token at `at`, if it is an `Ident` (the item name directly
+    /// after `mod`/`fn`/`trait`).
+    fn next_ident_adjacent(&self, at: usize) -> Option<String> {
+        self.toks
+            .get(at)
+            .filter(|t| t.kind == crate::lexer::TokKind::Ident)
+            .map(|t| t.text.clone())
+    }
+
+    /// Short display name for an `impl` header: the idents between
+    /// `impl` and the body brace / `where` clause, e.g.
+    /// `Display for Finding`, capped at four idents.
+    fn impl_name(&self, from: usize) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        for t in &self.toks[from..] {
+            match t.kind {
+                crate::lexer::TokKind::Punct if t.text == "{" || t.text == ";" => break,
+                crate::lexer::TokKind::Ident => {
+                    if t.text == "where" {
+                        break;
+                    }
+                    // Skip generic-parameter noise like lifetimes and
+                    // `dyn`/`mut`; keep type path segments and `for`.
+                    if t.text != "dyn" && t.text != "mut" && t.text != "const" {
+                        parts.push(&t.text);
+                    }
+                    if parts.len() == 4 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        parts.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree(src: &str) -> ScopeTree {
+        ScopeTree::build(&lex(src).tokens)
+    }
+
+    fn find<'a>(t: &'a ScopeTree, kind: ScopeKind, name: &str) -> &'a Scope {
+        t.scopes()
+            .iter()
+            .find(|s| s.kind == kind && s.name == name)
+            .unwrap_or_else(|| panic!("no {kind:?} named {name}"))
+    }
+
+    #[test]
+    fn nests_mod_fn_impl() {
+        let src = r#"
+            mod inner {
+                struct S;
+                impl S { fn method(&self) -> u32 { 7 } }
+                fn free() {}
+            }
+            fn top() {}
+        "#;
+        let t = tree(src);
+        let inner = find(&t, ScopeKind::Module, "inner");
+        let method = find(&t, ScopeKind::Fn, "method");
+        let imp = find(&t, ScopeKind::Impl, "S");
+        assert_eq!(t.scopes()[method.parent].name, "S");
+        assert_eq!(t.scopes()[imp.parent].name, "inner");
+        assert!(method.tok_start > inner.tok_start && method.tok_end < inner.tok_end);
+        let free = find(&t, ScopeKind::Fn, "free");
+        assert_eq!(t.scopes()[free.parent].name, "inner");
+        let top = find(&t, ScopeKind::Fn, "top");
+        assert_eq!(top.parent, 0);
+    }
+
+    #[test]
+    fn paths_and_innermost() {
+        let src = "mod m { impl Display for F { fn fmt(&self) { nested_marker(); } } }";
+        let t = tree(src);
+        let toks = lex(src).tokens;
+        let marker = toks
+            .iter()
+            .position(|t| t.is_ident("nested_marker"))
+            .unwrap();
+        assert_eq!(t.path_at(marker), "mod m > impl Display for F > fn fmt");
+        assert_eq!(t.path(0), "file");
+        let fm = t.enclosing_fn(marker).unwrap();
+        assert_eq!(t.scopes()[fm].name, "fmt");
+    }
+
+    #[test]
+    fn cfg_test_marks_subtree() {
+        let src = r#"
+            fn lib_code() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t1() { assert!(true); }
+            }
+        "#;
+        let t = tree(src);
+        assert!(!find(&t, ScopeKind::Fn, "lib_code").is_test);
+        assert!(find(&t, ScopeKind::Module, "tests").is_test);
+        assert!(find(&t, ScopeKind::Fn, "t1").is_test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_testish() {
+        let t = tree("#[cfg(not(test))] mod real { fn f() {} }");
+        assert!(!find(&t, ScopeKind::Module, "real").is_test);
+    }
+
+    #[test]
+    fn mod_decl_without_body_opens_nothing() {
+        let t = tree("mod other; fn f() {}");
+        assert!(t.scopes().iter().all(|s| s.kind != ScopeKind::Module));
+        assert_eq!(find(&t, ScopeKind::Fn, "f").parent, 0);
+    }
+
+    #[test]
+    fn trait_decl_methods_and_default_bodies() {
+        let src = "trait T { fn decl(&self); fn dflt(&self) { body_marker(); } }";
+        let t = tree(src);
+        // `decl` has no body: cancelled at `;`, no Fn scope for it.
+        assert!(t
+            .scopes()
+            .iter()
+            .all(|s| !(s.kind == ScopeKind::Fn && s.name == "decl")));
+        let dflt = find(&t, ScopeKind::Fn, "dflt");
+        assert_eq!(t.scopes()[dflt.parent].kind, ScopeKind::Trait);
+    }
+
+    #[test]
+    fn signature_braces_do_not_open_the_body_early() {
+        // Const-generic braces inside the parameter list must not be
+        // taken for the fn body.
+        let src = "fn g(x: [u8; { 2 + 2 }]) { real_body(); }";
+        let t = tree(src);
+        let toks = lex(src).tokens;
+        let marker = toks.iter().position(|t| t.is_ident("real_body")).unwrap();
+        assert_eq!(t.path_at(marker), "fn g");
+        let g = find(&t, ScopeKind::Fn, "g");
+        // Body opens at the second `{`, after the bracketed type.
+        assert!(toks[g.tok_start].is_punct("{"));
+        assert!(g.tok_start > marker.saturating_sub(marker)); // non-degenerate
+        assert_eq!(t.innermost(marker), {
+            let (id, _) = t.fns().next().unwrap();
+            id
+        });
+    }
+
+    #[test]
+    fn closures_do_not_open_scopes() {
+        let src = "fn h() { let c = |x: u32| { closure_marker(x) }; c(1); }";
+        let t = tree(src);
+        let toks = lex(src).tokens;
+        let marker = toks
+            .iter()
+            .position(|t| t.is_ident("closure_marker"))
+            .unwrap();
+        assert_eq!(t.path_at(marker), "fn h");
+    }
+
+    #[test]
+    fn fn_pointer_types_open_no_scope() {
+        // The `fn(&[String]) -> u32` type must not become a pending item
+        // that swallows the next `{`.
+        let src =
+            "const H: &[(&str, fn(&[String]) -> u32)] = &[(\"a\", b)]; fn real() { marker(); }";
+        let t = tree(src);
+        let fns: Vec<_> = t.fns().collect();
+        assert_eq!(fns.len(), 1, "{:?}", t.scopes());
+        assert_eq!(fns[0].1.name, "real");
+        let toks = lex(src).tokens;
+        let marker = toks.iter().position(|t| t.is_ident("marker")).unwrap();
+        assert_eq!(t.path_at(marker), "fn real");
+    }
+
+    #[test]
+    fn attribute_with_test_in_name_only_is_not_testish() {
+        // `#[cfg(feature = "x")]` on an item must not poison it, and an
+        // unrelated attribute between `#[cfg(test)]` and the item must
+        // not lose the marker.
+        let src = r#"
+            #[cfg(test)]
+            #[allow(dead_code)]
+            mod tests { fn t() {} }
+        "#;
+        let t = tree(src);
+        assert!(find(&t, ScopeKind::Module, "tests").is_test);
+    }
+}

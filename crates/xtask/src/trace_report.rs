@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use cubis_trace::{BbSolveEvent, Event, InnerSolveEvent, Journal, SolveSummaryEvent};
+use cubis_trace::{names, BbSolveEvent, Event, InnerSolveEvent, Journal, SolveSummaryEvent};
 
 /// Result of checking a journal's binary-search trajectory against the
 /// driver's invariants (used by [`render_report`] and by tests).
@@ -140,20 +140,32 @@ fn render_spans(out: &mut String, journal: &Journal, duration: u64) {
         return;
     }
     let _ = writeln!(out, "\n## Phases (span totals)\n");
-    let _ = writeln!(out, "{:<20} {:>8} {:>12} {:>7}", "span", "count", "total ms", "%");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>8} {:>12} {:>7}",
+        "span", "count", "total ms", "%"
+    );
     for s in &spans {
         let pct = if duration > 0 {
             100.0 * s.total_ns as f64 / duration as f64
         } else {
             0.0
         };
+        // A journal recorded by an older (or patched) binary may carry
+        // names the registry has since dropped; flag rather than hide.
+        let marker = if names::is_registered_span(&s.name) {
+            ""
+        } else {
+            "  (unregistered)"
+        };
         let _ = writeln!(
             out,
-            "{:<20} {:>8} {:>12} {:>6.1}%",
+            "{:<20} {:>8} {:>12} {:>6.1}%{}",
             s.name,
             s.count,
             fmt_ms(s.total_ns),
-            pct
+            pct,
+            marker
         );
     }
     let _ = writeln!(
@@ -171,7 +183,12 @@ fn render_counters(out: &mut String, journal: &Journal) {
     }
     let _ = writeln!(out, "\n## Counters\n");
     for (name, total) in &counters {
-        let _ = writeln!(out, "{name:<24} {total:>12}");
+        let marker = if names::is_registered_counter(name) {
+            ""
+        } else {
+            "  (unregistered)"
+        };
+        let _ = writeln!(out, "{name:<24} {total:>12}{marker}");
     }
 }
 
@@ -291,8 +308,7 @@ fn render_bb(out: &mut String, journal: &Journal) {
     // Worker utilization: per-solve node share of the busiest vs the
     // average worker (1.0 = perfectly balanced; only recorded by the
     // parallel backend).
-    let parallel: Vec<&&BbSolveEvent> =
-        bb.iter().filter(|e| !e.worker_nodes.is_empty()).collect();
+    let parallel: Vec<&&BbSolveEvent> = bb.iter().filter(|e| !e.worker_nodes.is_empty()).collect();
     if let Some(sample) = parallel.first() {
         let workers = sample.worker_nodes.len();
         let mut worst_imbalance = 1.0f64;
@@ -377,20 +393,28 @@ mod tests {
     #[test]
     fn summary_count_mismatch_is_flagged() {
         let journal = Journal {
-            events: vec![step(1, 0.0, 4.0), summary(0.0, 4.0, 1), summary(0.0, 4.0, 1)],
+            events: vec![
+                step(1, 0.0, 4.0),
+                summary(0.0, 4.0, 1),
+                summary(0.0, 4.0, 1),
+            ],
         };
         assert!(!check_trajectory(&journal).matches_summary);
     }
 
     #[test]
     fn regressed_bound_is_flagged() {
-        let journal = Journal { events: vec![step(1, 1.0, 4.0), step(2, 0.5, 4.0)] };
+        let journal = Journal {
+            events: vec![step(1, 1.0, 4.0), step(2, 0.5, 4.0)],
+        };
         assert!(!check_trajectory(&journal).monotone);
     }
 
     #[test]
     fn summary_mismatch_is_flagged() {
-        let journal = Journal { events: vec![step(1, 0.0, 4.0), summary(1.0, 4.0, 1)] };
+        let journal = Journal {
+            events: vec![step(1, 0.0, 4.0), summary(1.0, 4.0, 1)],
+        };
         assert!(!check_trajectory(&journal).matches_summary);
     }
 
@@ -399,9 +423,18 @@ mod tests {
         let mut events = vec![
             TimedEvent {
                 t_ns: 10,
-                event: Event::Span { name: "cubis.solve".into(), dur_ns: 10 },
+                event: Event::Span {
+                    name: "cubis.solve".into(),
+                    dur_ns: 10,
+                },
             },
-            TimedEvent { t_ns: 11, event: Event::Counter { name: "lp.pivots".into(), delta: 7 } },
+            TimedEvent {
+                t_ns: 11,
+                event: Event::Counter {
+                    name: "lp.pivots".into(),
+                    delta: 7,
+                },
+            },
             TimedEvent {
                 t_ns: 12,
                 event: Event::InnerSolve(InnerSolveEvent {
@@ -442,6 +475,52 @@ mod tests {
         ] {
             assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
         }
+    }
+
+    #[test]
+    fn unregistered_names_are_flagged_in_the_digest() {
+        let journal = Journal {
+            events: vec![
+                TimedEvent {
+                    t_ns: 10,
+                    event: Event::Span {
+                        name: "lp.solve".into(),
+                        dur_ns: 10,
+                    },
+                },
+                TimedEvent {
+                    t_ns: 11,
+                    event: Event::Span {
+                        name: "lp.mystery_phase".into(),
+                        dur_ns: 4,
+                    },
+                },
+                TimedEvent {
+                    t_ns: 12,
+                    event: Event::Counter {
+                        name: "lp.pivots".into(),
+                        delta: 7,
+                    },
+                },
+                TimedEvent {
+                    t_ns: 13,
+                    event: Event::Counter {
+                        name: "lp.mystery_count".into(),
+                        delta: 1,
+                    },
+                },
+            ],
+        };
+        let report = render_report(&journal);
+        for line in report.lines() {
+            let flagged = line.contains("(unregistered)");
+            if line.contains("mystery") {
+                assert!(flagged, "unregistered name not flagged: {line:?}");
+            } else {
+                assert!(!flagged, "registered name wrongly flagged: {line:?}");
+            }
+        }
+        assert_eq!(report.matches("(unregistered)").count(), 2, "{report}");
     }
 
     #[test]

@@ -1,14 +1,28 @@
-//! Tier-1 gate: the `cubis-xtask analyze` numeric-safety pass must be
-//! clean over the whole workspace.
+//! Tier-1 gate: the `cubis-xtask analyze` static-analysis pass must be
+//! clean over the whole workspace, measured against the committed
+//! `analyze-baseline.json`.
 //!
 //! This is the enforcement half of the analyzer (its rule unit tests
-//! live in `cubis-xtask` itself): any new raw float `==`, library
-//! `unwrap`, NaN-hazardous comparator, weakened atomic ordering, or
-//! unseeded RNG fails `cargo test -q` with the exact `path:line: [RULE]`
-//! list, unless the site carries a justified `// cubis:allow(RULE): why`
-//! annotation. See DESIGN.md §"Static analysis".
+//! live in `cubis-xtask` itself): any new deny-severity finding — raw
+//! float `==`, library `unwrap`, NaN-hazardous comparator, weakened
+//! atomic ordering, unseeded RNG, hash-order output, a lock held
+//! across a blocking call, trace-name drift, a crate root without
+//! `#![forbid(unsafe_code)]` — fails `cargo test -q` with the exact
+//! `path:line: [RULE]` list, unless the site carries a justified
+//! `// cubis:allow(RULE): why`. Warn-severity findings (NUM04,
+//! PANIC01) fail unless their fingerprint is in the baseline.
+//!
+//! The drills below seed one violation per v2 rule (and one silent
+//! twin) so the gate cannot rot without this file noticing, and the
+//! lexer edge-case tests pin the constructs most likely to desync a
+//! hand-rolled scanner: raw strings, nested block comments, char/byte
+//! literals carrying `"` or `{`, and suppressions inside macro bodies.
 
-use cubis_xtask::analyze_workspace;
+use cubis_xtask::baseline::{gate, Baseline, BASELINE_FILE};
+use cubis_xtask::{
+    analyze_source, analyze_workspace_full, lexer, report, rules, FileClass, Severity,
+    WorkspaceAnalysis,
+};
 use std::path::Path;
 
 fn workspace_root() -> &'static Path {
@@ -18,17 +32,60 @@ fn workspace_root() -> &'static Path {
         .expect("tests crate must live inside the workspace")
 }
 
+/// Shorthand: analyze a snippet as library code at `rel`.
+fn lib_at(rel: &str, src: &str) -> Vec<cubis_xtask::Finding> {
+    analyze_source(Path::new(rel), FileClass::Library, src)
+}
+
+/// The rule ids of `findings`, in order.
+fn rule_ids(findings: &[cubis_xtask::Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------------
+// the workspace gate
+// ---------------------------------------------------------------------
+
 #[test]
-fn workspace_has_no_numeric_safety_findings() {
-    let findings = analyze_workspace(workspace_root()).expect("analyzer walked the workspace");
+fn workspace_gate_passes_against_committed_baseline() {
+    let root = workspace_root();
+    let analysis = analyze_workspace_full(root).expect("analyzer walked the workspace");
+    let baseline = Baseline::load(root)
+        .expect("analyze-baseline.json must parse")
+        .expect("analyze-baseline.json must be committed at the workspace root");
+    let outcome = gate(analysis.findings, &baseline);
     assert!(
-        findings.is_empty(),
-        "cubis-xtask analyze found {} unsuppressed finding(s):\n{}",
-        findings.len(),
-        findings
+        outcome.passes(),
+        "cubis-xtask analyze gate failed: {} deny, {} new warn finding(s):\n{}{}",
+        outcome.deny.len(),
+        outcome.new_warn.len(),
+        outcome
+            .deny
             .iter()
-            .map(|f| format!("  {f}\n"))
+            .map(|f| format!("  [deny] {f}\n"))
+            .collect::<String>(),
+        outcome
+            .new_warn
+            .iter()
+            .map(|f| format!("  [warn] {f}\n"))
             .collect::<String>()
+    );
+}
+
+#[test]
+fn workspace_has_no_deny_findings_at_all() {
+    // The baseline only ever absorbs warn-severity findings; deny
+    // findings must be absent even before gating.
+    let analysis = analyze_workspace_full(workspace_root()).expect("analysis");
+    let deny: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .collect();
+    assert!(
+        deny.is_empty(),
+        "deny-severity finding(s) in the workspace:\n{}",
+        deny.iter().map(|f| format!("  {f}\n")).collect::<String>()
     );
 }
 
@@ -42,17 +99,530 @@ fn analyzer_sees_the_solver_crates() {
         "root mislocated: {root:?}"
     );
     assert!(root.join("crates/xtask/src/lib.rs").exists());
+    let analysis = analyze_workspace_full(root).expect("analysis");
+    assert!(
+        analysis.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        analysis.files_scanned
+    );
 }
 
 #[test]
 fn gate_is_live() {
     // The clean-workspace assertion above is only meaningful if the
     // analyzer still fires on bad code; feed it a known-bad snippet.
-    let findings = cubis_xtask::analyze_source(
-        Path::new("crates/demo/src/lib.rs"),
-        cubis_xtask::FileClass::Library,
+    let findings = lib_at(
+        "crates/demo/src/lib.rs",
         "pub fn f(a: f64) -> f64 { if a == 0.25 { a } else { g().unwrap() } }",
     );
-    let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
-    assert_eq!(rules, ["NUM01", "NUM02"], "{findings:?}");
+    assert_eq!(rule_ids(&findings), ["NUM01", "NUM02"], "{findings:?}");
+}
+
+#[test]
+fn machine_readable_reports_render_for_the_real_gate() {
+    let root = workspace_root();
+    let analysis = analyze_workspace_full(root).expect("analysis");
+    let files_scanned = analysis.files_scanned;
+    let baseline = Baseline::load(root).expect("parse").expect("committed");
+    let outcome = gate(analysis.findings, &baseline);
+
+    let json = report::json_report(&outcome, files_scanned);
+    assert_eq!(
+        json.get("version").and_then(|v| v.as_u64()),
+        Some(report::REPORT_VERSION)
+    );
+    assert_eq!(json.get("passes").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(
+        json.get("files_scanned").and_then(|v| v.as_usize()),
+        Some(files_scanned)
+    );
+
+    let sarif = report::sarif_report(&outcome);
+    assert_eq!(sarif.get("version").and_then(|v| v.as_str()), Some("2.1.0"));
+    let runs = sarif
+        .get("runs")
+        .and_then(|v| v.as_arr())
+        .expect("runs array");
+    assert_eq!(runs.len(), 1);
+}
+
+// ---------------------------------------------------------------------
+// seeded-violation drills: each v2 rule fires, and its silent twin
+// stays silent
+// ---------------------------------------------------------------------
+
+#[test]
+fn det02_fires_on_hash_iteration_feeding_output() {
+    let findings = lib_at(
+        "crates/demo/src/lib.rs",
+        "use std::collections::HashMap;\n\
+         pub fn dump(m: &HashMap<String, f64>) -> String {\n\
+             let mut out = String::new();\n\
+             for (k, v) in m.iter() {\n\
+                 out.push_str(&format!(\"{k}={v};\"));\n\
+             }\n\
+             out\n\
+         }\n",
+    );
+    assert_eq!(rule_ids(&findings), ["DET02"], "{findings:?}");
+    assert_eq!(findings[0].severity, Severity::Deny);
+    assert_eq!(findings[0].scope, "fn dump");
+}
+
+#[test]
+fn det02_silent_with_btree_recollection_or_no_sink() {
+    // Re-collecting through a BTreeMap is the documented mitigation.
+    let mitigated = lib_at(
+        "crates/demo/src/lib.rs",
+        "use std::collections::{BTreeMap, HashMap};\n\
+         pub fn dump(m: &HashMap<String, f64>) -> String {\n\
+             let sorted: BTreeMap<_, _> = m.iter().collect();\n\
+             let mut out = String::new();\n\
+             for (k, v) in sorted {\n\
+                 out.push_str(&format!(\"{k}={v};\"));\n\
+             }\n\
+             out\n\
+         }\n",
+    );
+    assert!(mitigated.is_empty(), "{mitigated:?}");
+    // Iteration without any formatting/serialization sink is fine too.
+    let no_sink = lib_at(
+        "crates/demo/src/lib.rs",
+        "use std::collections::HashMap;\n\
+         pub fn total(m: &HashMap<String, f64>) -> f64 {\n\
+             let mut s = 0.0;\n\
+             for v in m.values() {\n\
+                 s += v;\n\
+             }\n\
+             s\n\
+         }\n",
+    );
+    assert!(no_sink.is_empty(), "{no_sink:?}");
+}
+
+#[test]
+fn conc02_fires_on_blocking_call_under_live_guard() {
+    let findings = lib_at(
+        "crates/demo/src/lib.rs",
+        "use std::sync::Mutex;\n\
+         pub fn drain(mu: &Mutex<Vec<u8>>, tx: &std::sync::mpsc::Sender<u8>) {\n\
+             let g = mu.lock().unwrap_or_else(|e| e.into_inner());\n\
+             tx.send(g[0]).ok();\n\
+         }\n",
+    );
+    assert!(
+        rule_ids(&findings).contains(&"CONC02"),
+        "expected CONC02 in {findings:?}"
+    );
+}
+
+#[test]
+fn conc02_silent_after_explicit_drop() {
+    let findings = lib_at(
+        "crates/demo/src/lib.rs",
+        "use std::sync::Mutex;\n\
+         pub fn drain(mu: &Mutex<Vec<u8>>, tx: &std::sync::mpsc::Sender<u8>) {\n\
+             let g = mu.lock().unwrap_or_else(|e| e.into_inner());\n\
+             let first = g.first().copied().unwrap_or(0);\n\
+             drop(g);\n\
+             tx.send(first).ok();\n\
+         }\n",
+    );
+    assert!(
+        !rule_ids(&findings).contains(&"CONC02"),
+        "CONC02 after drop(g): {findings:?}"
+    );
+}
+
+#[test]
+fn num04_fires_in_hot_crates_only() {
+    let src = "pub fn quantize(x: f64) -> usize {\n    x.floor() as usize\n}\n";
+    let hot = lib_at("crates/lp/src/quant.rs", src);
+    assert_eq!(rule_ids(&hot), ["NUM04"], "{hot:?}");
+    assert_eq!(hot[0].severity, Severity::Warn);
+    // The same cast outside lp/milp/core is not on a solver hot path.
+    let cold = lib_at("crates/serve/src/quant.rs", src);
+    assert!(cold.is_empty(), "{cold:?}");
+    // And a widening cast in a hot crate stays silent.
+    let widening = lib_at(
+        "crates/lp/src/quant.rs",
+        "pub fn widen(n: usize) -> f64 {\n    n as f64\n}\n",
+    );
+    assert!(widening.is_empty(), "{widening:?}");
+}
+
+#[test]
+fn panic01_fires_on_variable_indexing_in_loops() {
+    let findings = lib_at(
+        "crates/milp/src/sum.rs",
+        "pub fn total(v: &[f64], n: usize) -> f64 {\n\
+             let mut s = 0.0;\n\
+             for i in 0..n {\n\
+                 s += v[i];\n\
+             }\n\
+             s\n\
+         }\n",
+    );
+    assert_eq!(rule_ids(&findings), ["PANIC01"], "{findings:?}");
+    assert_eq!(findings[0].severity, Severity::Warn);
+    assert!(
+        findings[0].message.contains("fn `total`") && findings[0].message.contains("`v[…]`"),
+        "{}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn panic01_silent_on_constant_index_or_outside_loops() {
+    let constant = lib_at(
+        "crates/milp/src/sum.rs",
+        "pub fn first_n(v: &[f64], n: usize) -> f64 {\n\
+             let mut s = 0.0;\n\
+             for _ in 0..n {\n\
+                 s += v[0];\n\
+             }\n\
+             s\n\
+         }\n",
+    );
+    assert!(constant.is_empty(), "{constant:?}");
+    let straight_line = lib_at(
+        "crates/milp/src/sum.rs",
+        "pub fn pick(v: &[f64], i: usize) -> f64 {\n    v[i]\n}\n",
+    );
+    assert!(straight_line.is_empty(), "{straight_line:?}");
+}
+
+#[test]
+fn lint01_fires_on_stale_allow_and_stays_quiet_on_a_live_one() {
+    let stale = lib_at(
+        "crates/demo/src/lib.rs",
+        "// cubis:allow(NUM01): nothing on the next line compares floats\n\
+         pub fn f() -> u32 {\n    1\n}\n",
+    );
+    assert_eq!(rule_ids(&stale), ["LINT01"], "{stale:?}");
+    let live = lib_at(
+        "crates/demo/src/lib.rs",
+        "pub fn f(x: f64) -> bool {\n\
+             x == 0.5 // cubis:allow(NUM01): exact sentinel written by this module\n\
+         }\n",
+    );
+    assert!(live.is_empty(), "{live:?}");
+}
+
+// ---------------------------------------------------------------------
+// cross-file drills: TRC01 and SAFE01 need a whole (fixture) workspace
+// ---------------------------------------------------------------------
+
+/// Materialize `files` under a scratch root, analyze, clean up.
+fn analyze_fixture(name: &str, files: &[(&str, &str)]) -> WorkspaceAnalysis {
+    let root = std::env::temp_dir().join(format!("cubis-sa-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    for (rel, src) in files {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("fixture paths have parents"))
+            .expect("mkdir fixture");
+        std::fs::write(path, src).expect("write fixture");
+    }
+    let analysis = analyze_workspace_full(&root).expect("analyze fixture");
+    let _ = std::fs::remove_dir_all(&root);
+    analysis
+}
+
+const FIXTURE_REGISTRY: &str = "//! names\n\
+     /// Registered counters.\n\
+     pub const COUNTERS: &[(&str, &str)] = &[(\"lp.pivots\", \"pivot steps\")];\n\
+     /// Registered spans.\n\
+     pub const SPANS: &[(&str, &str)] = &[(\"lp.solve\", \"one LP solve\")];\n";
+
+#[test]
+fn trc01_fires_both_directions_on_name_drift() {
+    let analysis = analyze_fixture(
+        "trc01-drift",
+        &[
+            ("crates/trace/src/names.rs", FIXTURE_REGISTRY),
+            (
+                "crates/demo/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 //! demo\n\
+                 /// Emit telemetry: `lp.mystery` is not registered, and the\n\
+                 /// registered `lp.pivots`/`lp.solve` are never emitted.\n\
+                 pub fn run(t: &impl Recorder) {\n\
+                     t.counter(\"lp.mystery\", 1);\n\
+                 }\n",
+            ),
+        ],
+    );
+    let trc: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == "TRC01")
+        .collect();
+    let messages: Vec<&str> = trc.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("`lp.mystery`") && m.contains("not registered")),
+        "missing unregistered-emission finding: {messages:?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("`lp.pivots`") && m.contains("no library emission")),
+        "missing dead-counter finding: {messages:?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("`lp.solve`") && m.contains("no library emission")),
+        "missing dead-span finding: {messages:?}"
+    );
+}
+
+#[test]
+fn trc01_silent_when_registry_and_emissions_agree() {
+    let analysis = analyze_fixture(
+        "trc01-clean",
+        &[
+            ("crates/trace/src/names.rs", FIXTURE_REGISTRY),
+            (
+                "crates/demo/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 //! demo\n\
+                 /// Emit exactly the registered names.\n\
+                 pub fn run(t: &impl Recorder) {\n\
+                     t.counter(\"lp.pivots\", 1);\n\
+                     t.span(\"lp.solve\");\n\
+                 }\n",
+            ),
+        ],
+    );
+    let trc: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == "TRC01")
+        .collect();
+    assert!(trc.is_empty(), "{trc:?}");
+}
+
+#[test]
+fn safe01_fires_on_crate_root_without_forbid() {
+    let analysis = analyze_fixture(
+        "safe01",
+        &[
+            (
+                "crates/unsound/src/lib.rs",
+                "//! no forbid attribute here\npub fn f() -> u32 {\n    1\n}\n",
+            ),
+            (
+                "crates/sound/src/lib.rs",
+                "#![forbid(unsafe_code)]\n//! sound\npub fn f() -> u32 {\n    1\n}\n",
+            ),
+        ],
+    );
+    let safe: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == "SAFE01")
+        .collect();
+    assert_eq!(safe.len(), 1, "{safe:?}");
+    assert_eq!(safe[0].path, Path::new("crates/unsound/src/lib.rs"));
+    assert_eq!(safe[0].severity, Severity::Deny);
+}
+
+// ---------------------------------------------------------------------
+// lexer edge cases
+// ---------------------------------------------------------------------
+
+#[test]
+fn raw_strings_neither_hide_code_nor_smuggle_allows() {
+    // The allow-shaped text lives inside a raw string: it must not
+    // suppress the real finding two lines down.
+    let findings = lib_at(
+        "crates/demo/src/lib.rs",
+        "pub fn f(y: f64) -> bool {\n\
+             let _doc = r#\"x == 0.5 // cubis:allow(NUM01): not a comment\"#;\n\
+             y == 0.5\n\
+         }\n",
+    );
+    assert_eq!(rule_ids(&findings), ["NUM01"], "{findings:?}");
+    assert_eq!(findings[0].line, 3);
+}
+
+#[test]
+fn nested_block_comments_terminate_correctly() {
+    // Rust block comments nest; a scanner that stops at the first `*/`
+    // would treat the real comparison below as commented out — or the
+    // commented one as live.
+    let findings = lib_at(
+        "crates/demo/src/lib.rs",
+        "/* outer /* inner */ still comment: x == 0.5 */\n\
+         pub fn f(y: f64) -> bool {\n\
+             y == 0.5\n\
+         }\n",
+    );
+    assert_eq!(rule_ids(&findings), ["NUM01"], "{findings:?}");
+    assert_eq!(findings[0].line, 3);
+}
+
+#[test]
+fn char_and_byte_literals_with_quote_and_brace_do_not_desync() {
+    // A `'"'` misread as opening a string (or `'{'` as a scope brace)
+    // would both corrupt the token stream and skew the scope tree.
+    let findings = lib_at(
+        "crates/demo/src/lib.rs",
+        "pub fn f(y: f64) -> bool {\n\
+             let _q = '\"';\n\
+             let _open = '{';\n\
+             let _byte = b'{';\n\
+             y == 0.5\n\
+         }\n",
+    );
+    assert_eq!(rule_ids(&findings), ["NUM01"], "{findings:?}");
+    assert_eq!(
+        findings[0].scope, "fn f",
+        "scope tree desynced: {findings:?}"
+    );
+}
+
+#[test]
+fn allows_inside_macro_bodies_still_suppress() {
+    // macro_rules! bodies are just tokens to the lexer; a suppression
+    // comment inside one must behave exactly like ordinary code.
+    let suppressed = lib_at(
+        "crates/demo/src/lib.rs",
+        "macro_rules! exact {\n\
+             ($x:expr) => {\n\
+                 // cubis:allow(NUM01): macro expands an exact sentinel compare\n\
+                 $x == 0.5\n\
+             };\n\
+         }\n",
+    );
+    assert!(suppressed.is_empty(), "{suppressed:?}");
+    let unsuppressed = lib_at(
+        "crates/demo/src/lib.rs",
+        "macro_rules! exact {\n\
+             ($x:expr) => {\n\
+                 $x == 0.5\n\
+             };\n\
+         }\n",
+    );
+    assert_eq!(rule_ids(&unsuppressed), ["NUM01"], "{unsuppressed:?}");
+}
+
+#[test]
+fn lexer_reports_allow_rule_lists_verbatim() {
+    let lexed =
+        lexer::lex("// cubis:allow(NUM01, CONC02): two rules, one justification\nlet x = 1;\n");
+    assert_eq!(lexed.allows.len(), 1);
+    assert_eq!(lexed.allows[0].rules, ["NUM01", "CONC02"]);
+    assert_eq!(lexed.allows[0].applies_to, 2);
+    assert!(!lexed.allows[0].justification.is_empty());
+}
+
+// ---------------------------------------------------------------------
+// fingerprints and the baseline format
+// ---------------------------------------------------------------------
+
+#[test]
+fn fingerprints_survive_line_shifts_but_not_scope_changes() {
+    let src = "pub fn quantize(x: f64) -> usize {\n    x.floor() as usize\n}\n";
+    let orig = lib_at("crates/lp/src/quant.rs", src);
+    let shifted = lib_at(
+        "crates/lp/src/quant.rs",
+        &format!("//! padded with a leading doc comment\n\n\n{src}"),
+    );
+    assert_eq!(orig.len(), 1);
+    assert_eq!(shifted.len(), 1);
+    assert_ne!(orig[0].line, shifted[0].line, "the site did move");
+    assert_eq!(
+        orig[0].fingerprint, shifted[0].fingerprint,
+        "fingerprints must be line-number independent"
+    );
+    // Moving the site into a different function is a different finding.
+    let renamed = lib_at(
+        "crates/lp/src/quant.rs",
+        "pub fn requantize(x: f64) -> usize {\n    x.floor() as usize\n}\n",
+    );
+    assert_ne!(orig[0].fingerprint, renamed[0].fingerprint);
+}
+
+#[test]
+fn committed_baseline_round_trips_and_contains_only_warn_rules() {
+    let text = std::fs::read_to_string(workspace_root().join(BASELINE_FILE))
+        .expect("analyze-baseline.json is committed");
+    let baseline = Baseline::parse(&text).expect("baseline parses");
+    assert!(
+        !baseline.entries.is_empty(),
+        "baseline should carry the known debt"
+    );
+    for entry in baseline.entries.values() {
+        assert_eq!(
+            rules::severity(&entry.rule),
+            Severity::Warn,
+            "deny-severity rule {} must never be baselined",
+            entry.rule
+        );
+    }
+    // Round-trip: parse(to_json) is the identity on the entry set.
+    let reparsed = Baseline::parse(&baseline.to_json()).expect("re-parse");
+    assert_eq!(reparsed.entries.len(), baseline.entries.len());
+}
+
+// ---------------------------------------------------------------------
+// docs and registry stay in lockstep
+// ---------------------------------------------------------------------
+
+#[test]
+fn design_doc_rule_table_matches_rule_docs() {
+    let design = std::fs::read_to_string(workspace_root().join("DESIGN.md"))
+        .expect("DESIGN.md is committed");
+    // Every rule the engine knows appears as a table row...
+    for (rule, _) in rules::RULE_DOCS {
+        assert!(
+            design.contains(&format!("| {rule} |")),
+            "rule {rule} missing from the DESIGN.md rule table"
+        );
+    }
+    // ...and every rule-shaped table row names a rule the engine knows
+    // (an id is 3+ uppercase letters followed by two digits).
+    for line in design.lines() {
+        let Some(cell) = line.strip_prefix("| ") else {
+            continue;
+        };
+        let Some((id, _)) = cell.split_once(' ') else {
+            continue;
+        };
+        let looks_like_rule = id.len() >= 5
+            && id.ends_with(|c: char| c.is_ascii_digit())
+            && id
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit());
+        if looks_like_rule {
+            assert!(
+                rules::RULE_DOCS.iter().any(|(rule, _)| *rule == id),
+                "DESIGN.md documents unknown rule {id}"
+            );
+        }
+    }
+}
+
+#[test]
+fn static_registry_parse_matches_cubis_trace_names() {
+    // TRC01's statically-parsed view of crates/trace/src/names.rs must
+    // agree with what the compiled crate actually exports — otherwise
+    // the analyzer checks a phantom registry.
+    let src = std::fs::read_to_string(workspace_root().join(cubis_xtask::REGISTRY_PATH))
+        .expect("registry source readable");
+    let lexed = lexer::lex(&src);
+    let (counters, spans) =
+        rules::parse_name_registry(&lexed.tokens).expect("registry tables parse");
+    let parsed_counters: Vec<&str> = counters.iter().map(|(n, _)| n.as_str()).collect();
+    let parsed_spans: Vec<&str> = spans.iter().map(|(n, _)| n.as_str()).collect();
+    let real_counters: Vec<&str> = cubis_trace::names::COUNTERS
+        .iter()
+        .map(|&(n, _)| n)
+        .collect();
+    let real_spans: Vec<&str> = cubis_trace::names::SPANS.iter().map(|&(n, _)| n).collect();
+    assert_eq!(parsed_counters, real_counters);
+    assert_eq!(parsed_spans, real_spans);
 }
