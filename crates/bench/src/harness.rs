@@ -25,6 +25,17 @@ use std::time::Instant;
 /// Version tag in `BENCH_solve.json`; bump on schema changes.
 pub const FORMAT_VERSION: u64 = 1;
 
+/// Shape name the [`SEED_LARGE_LP_PIVOTS`] pin applies to.
+pub const PIVOT_PIN_SHAPE: &str = "large-t10-k16";
+
+/// Cold-mode `lp.pivots` total that [`PIVOT_PIN_SHAPE`] recorded at the
+/// dense-tableau seed benchmark, before the revised simplex landed.
+/// `bench --smoke` (and the tier-1 bench gate) assert the committed
+/// `BENCH_solve.json` stays strictly below this: devex pricing over the
+/// factorized basis must keep beating full-tableau Dantzig pricing, not
+/// just shift the cost per pivot.
+pub const SEED_LARGE_LP_PIVOTS: u64 = 10_958;
+
 /// One benchmark workload shape.
 #[derive(Debug, Clone)]
 pub struct BenchShape {

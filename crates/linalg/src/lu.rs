@@ -45,8 +45,22 @@ pub struct Lu {
 }
 
 impl Lu {
-    /// Factor a square matrix.
+    /// Factor a square matrix with the default [`SINGULARITY_TOL`]
+    /// relative pivot tolerance.
     pub fn factor(a: &Matrix) -> Result<Self, LuError> {
+        Self::factor_with_tol(a, SINGULARITY_TOL)
+    }
+
+    /// Factor a square matrix, declaring singularity when a pivot falls
+    /// to `tol` times the matrix's max-abs entry.
+    ///
+    /// [`factor`](Self::factor) is the right call for general use. A
+    /// caller that pairs the factors with iterative refinement against
+    /// the pristine matrix — the LP basis path, where equilibrated
+    /// bases are exactly invertible but can be conditioned worse than
+    /// `1/SINGULARITY_TOL` — may pass a smaller tolerance and rely on
+    /// its own residual checks to judge solve quality.
+    pub fn factor_with_tol(a: &Matrix, tol: f64) -> Result<Self, LuError> {
         if a.rows() != a.cols() {
             return Err(LuError::NotSquare);
         }
@@ -67,7 +81,7 @@ impl Lu {
                     piv_val = v;
                 }
             }
-            if piv_val <= SINGULARITY_TOL * scale {
+            if piv_val <= tol * scale {
                 return Err(LuError::Singular { step: k });
             }
             if piv != k {

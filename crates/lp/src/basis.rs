@@ -1,0 +1,296 @@
+//! Basis bookkeeping for the revised simplex: variable statuses, the
+//! reusable [`Basis`] handle that branch-and-bound threads between
+//! nodes, and the LU-plus-eta factorization behind FTRAN/BTRAN.
+//!
+//! The factorization is the product form of the inverse: a dense LU of
+//! the basis matrix at the last refactorization point, composed with one
+//! eta matrix per pivot since. `B_k = B_0·E_1·…·E_k`, where `E_i` is the
+//! identity with one column replaced by the pivot column
+//! `w = B_{i-1}⁻¹·a_enter`. Solves apply the LU and then the eta chain
+//! (forward for FTRAN, reversed and transposed for BTRAN); the chain is
+//! collapsed back into a fresh LU by the refactorization policy (see
+//! `docs/SOLVER.md`).
+
+use crate::sparse::SparseMat;
+use cubis_linalg::{Lu, Matrix};
+
+/// Where a column currently sits relative to its bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VarStatus {
+    /// In the basis; value tracked per row.
+    Basic,
+    /// Nonbasic at its lower bound.
+    AtLower,
+    /// Nonbasic at its upper bound.
+    AtUpper,
+    /// Free nonbasic variable parked at 0.
+    Free,
+}
+
+/// A snapshot of a simplex basis: which column is basic in each row and
+/// the bound status of every column.
+///
+/// This is the warm-restart currency of the workspace: an optimal basis
+/// returned by [`crate::SimplexEngine::solve_with`] can be handed to a
+/// later solve of the *same* engine whose bounds were tightened (the
+/// branch-and-bound child-node case), where it seeds a dual-simplex
+/// restart instead of a from-scratch two-phase solve. The handle is
+/// cheap to clone and share (`Arc<Basis>` in the MILP node queue).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    /// Basic column of each row, in row order.
+    pub(crate) basic: Vec<usize>,
+    /// Status of every column of the canonical system.
+    pub(crate) status: Vec<VarStatus>,
+}
+
+impl Basis {
+    /// Number of rows (basic columns) in the snapshot.
+    pub fn rows(&self) -> usize {
+        self.basic.len()
+    }
+
+    /// Number of columns of the canonical system the snapshot covers.
+    pub fn cols(&self) -> usize {
+        self.status.len()
+    }
+}
+
+/// One product-form update: after a pivot on basis position `row` with
+/// pivot column `w` (the FTRANed entering column), `B_new⁻¹·v` is
+/// `apply_fwd(B_old⁻¹·v)`.
+#[derive(Debug, Clone)]
+pub(crate) struct Eta {
+    pub row: usize,
+    /// Dense pivot column `w = B_old⁻¹·a_enter`; `w[row]` is the pivot.
+    pub w: Vec<f64>,
+}
+
+impl Eta {
+    /// In-place `E⁻¹·v`.
+    #[inline]
+    fn apply_fwd(&self, v: &mut [f64]) {
+        let t = v[self.row] / self.w[self.row];
+        for (vi, &wi) in v.iter_mut().zip(&self.w) {
+            // cubis:allow(NUM01): exact-zero sparsity skip over the eta
+            // column; any bit-nonzero coefficient must be applied.
+            if wi != 0.0 {
+                *vi -= wi * t;
+            }
+        }
+        v[self.row] = t;
+    }
+
+    /// In-place `E⁻ᵀ·v`.
+    #[inline]
+    fn apply_rev(&self, v: &mut [f64]) {
+        let mut s = 0.0;
+        for (i, (&vi, &wi)) in v.iter().zip(&self.w).enumerate() {
+            // cubis:allow(NUM01): exact-zero sparsity skip, as above.
+            if i != self.row && wi != 0.0 {
+                s += wi * vi;
+            }
+        }
+        v[self.row] = (v[self.row] - s) / self.w[self.row];
+    }
+}
+
+/// Reciprocal of `max` rounded to the nearest power of two, so scaling
+/// multiplies are exact in binary floating point (CUBIS coefficients are
+/// dyadic; equilibration must not perturb them). Zero maxima map to 1.0
+/// and leave the singular row/column for the LU to report.
+#[inline]
+fn pow2_recip(max: f64) -> f64 {
+    if max <= 0.0 || !max.is_finite() {
+        1.0
+    } else {
+        (-max.log2().round()).exp2()
+    }
+}
+
+/// LU-factorized basis plus the eta chain accumulated since the last
+/// refactorization.
+///
+/// The LU is computed on the *equilibrated* basis `B̂ = R·B·C`, where `R`
+/// and `C` are power-of-two diagonal scalings that bring every row and
+/// column to O(1) magnitude. CUBIS bases mix coefficients across ten
+/// orders of magnitude (attack-probability products near 1e-9 next to
+/// unit slack entries); without equilibration, partial pivoting's
+/// whole-matrix-relative singularity test misreads a legitimately tiny
+/// row as a dependent one. The scalings are applied and undone inside
+/// [`ftran`](Self::ftran)/[`btran`](Self::btran), so callers see plain
+/// `B⁻¹` semantics.
+#[derive(Debug, Clone)]
+pub(crate) struct Factorization {
+    lu: Lu,
+    /// Row equilibration `R` (power-of-two, indexed by constraint row).
+    row_scale: Vec<f64>,
+    /// Column equilibration `C` (power-of-two, indexed by basis position).
+    col_scale: Vec<f64>,
+    etas: Vec<Eta>,
+    /// The basic-column array the *composed* factorization represents
+    /// (LU basis plus all eta updates). Lets a warm restart detect that
+    /// the engine's live factorization already matches the requested
+    /// basis and skip the rebuild entirely.
+    pub basic: Vec<usize>,
+}
+
+impl Factorization {
+    /// Factor the basis `{a_j : j ∈ basic}` of the canonical matrix.
+    /// Fails if the basis matrix is singular to working precision.
+    pub fn factor(mat: &SparseMat, basic: &[usize]) -> Option<Self> {
+        let m = mat.rows();
+        debug_assert_eq!(basic.len(), m);
+        let mut b = Matrix::zeros(m, m);
+        for (pos, &j) in basic.iter().enumerate() {
+            let (rows, vals) = mat.col(j);
+            for (&r, &v) in rows.iter().zip(vals) {
+                b[(r, pos)] = v;
+            }
+        }
+        // Equilibrate: rows first, then columns of the row-scaled matrix.
+        let mut row_scale = vec![1.0; m];
+        for i in 0..m {
+            let mut mx = 0.0f64;
+            for j in 0..m {
+                mx = mx.max(b[(i, j)].abs());
+            }
+            row_scale[i] = pow2_recip(mx);
+        }
+        for i in 0..m {
+            let s = row_scale[i];
+            for j in 0..m {
+                b[(i, j)] *= s;
+            }
+        }
+        let mut col_scale = vec![1.0; m];
+        for j in 0..m {
+            let mut mx = 0.0f64;
+            for i in 0..m {
+                mx = mx.max(b[(i, j)].abs());
+            }
+            col_scale[j] = pow2_recip(mx);
+        }
+        for j in 0..m {
+            let s = col_scale[j];
+            for i in 0..m {
+                b[(i, j)] *= s;
+            }
+        }
+        // Simplex bases are exactly invertible by construction (every
+        // pivot had a nonzero FTRAN image), but degenerate CUBIS node
+        // LPs legitimately walk through bases conditioned far beyond
+        // 1/SINGULARITY_TOL. Only a structurally zero pivot aborts the
+        // factorization here; solve accuracy on an ill-conditioned but
+        // invertible basis is judged where it can actually be measured
+        // — the engine's iterative refinement against pristine columns
+        // and its post-refactorization feasibility check.
+        const BASIS_PIVOT_TOL: f64 = 1e-300;
+        let lu = Lu::factor_with_tol(&b, BASIS_PIVOT_TOL).ok()?;
+        Some(Self { lu, row_scale, col_scale, etas: Vec::new(), basic: basic.to_vec() })
+    }
+
+    /// Number of eta updates appended since the LU was computed.
+    pub fn eta_count(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// FTRAN: solve `B·x = v` in place.
+    ///
+    /// With `B̂ = R·B₀·C` factored, `B₀⁻¹·v = C·B̂⁻¹·(R·v)`; the eta
+    /// chain then lifts `B₀⁻¹` to the current basis.
+    pub fn ftran(&self, v: &mut Vec<f64>) {
+        for (vi, &s) in v.iter_mut().zip(&self.row_scale) {
+            *vi *= s;
+        }
+        *v = self.lu.solve(v);
+        for (vi, &s) in v.iter_mut().zip(&self.col_scale) {
+            *vi *= s;
+        }
+        for eta in &self.etas {
+            eta.apply_fwd(v);
+        }
+    }
+
+    /// BTRAN: solve `Bᵀ·y = v` in place.
+    ///
+    /// Transposed composition of [`ftran`](Self::ftran): etas first (in
+    /// reverse), then `B₀⁻ᵀ·u = R·B̂⁻ᵀ·(C·u)`.
+    pub fn btran(&self, v: &mut Vec<f64>) {
+        for eta in self.etas.iter().rev() {
+            eta.apply_rev(v);
+        }
+        for (vi, &s) in v.iter_mut().zip(&self.col_scale) {
+            *vi *= s;
+        }
+        *v = self.lu.solve_transposed(v);
+        for (vi, &s) in v.iter_mut().zip(&self.row_scale) {
+            *vi *= s;
+        }
+    }
+
+    /// Record a pivot: basis position `row` is replaced by the column
+    /// whose FTRANed image is `w`. The caller updates its own `basic`
+    /// array; `entering` keeps this factorization's copy in sync.
+    pub fn push_eta(&mut self, row: usize, w: Vec<f64>, entering: usize) {
+        self.basic[row] = entering;
+        self.etas.push(Eta { row, w });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_cols(m: usize, cols: &[&[(usize, f64)]]) -> SparseMat {
+        let v: Vec<Vec<(usize, f64)>> = cols.iter().map(|c| c.to_vec()).collect();
+        SparseMat::from_columns(m, &v)
+    }
+
+    #[test]
+    fn factor_and_solve_identity_like_basis() {
+        // Columns: e0, e1, [1, 2].
+        let mat = dense_cols(2, &[&[(0, 1.0)], &[(1, 1.0)], &[(0, 1.0), (1, 2.0)]]);
+        let f = Factorization::factor(&mat, &[0, 1]).unwrap();
+        let mut v = vec![3.0, 7.0];
+        f.ftran(&mut v);
+        assert_eq!(v, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn eta_update_matches_refactorization() {
+        // Basis {e0, e1}; replace position 0 with column a = [2, 1].
+        let mat = dense_cols(2, &[&[(0, 1.0)], &[(1, 1.0)], &[(0, 2.0), (1, 1.0)]]);
+        let mut f = Factorization::factor(&mat, &[0, 1]).unwrap();
+        let mut w = vec![0.0; 2];
+        mat.col_axpy(2, 1.0, &mut w);
+        f.ftran(&mut w); // w = B⁻¹·a = [2, 1]
+        f.push_eta(0, w, 2);
+        assert_eq!(f.basic, vec![2, 1]);
+        assert_eq!(f.eta_count(), 1);
+
+        let fresh = Factorization::factor(&mat, &[2, 1]).unwrap();
+        let b = vec![5.0, 4.0];
+        let mut x1 = b.clone();
+        f.ftran(&mut x1);
+        let mut x2 = b.clone();
+        fresh.ftran(&mut x2);
+        for (a, b) in x1.iter().zip(&x2) {
+            assert!((a - b).abs() < 1e-12, "{x1:?} vs {x2:?}");
+        }
+
+        let mut y1 = b.clone();
+        f.btran(&mut y1);
+        let mut y2 = b;
+        fresh.btran(&mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() < 1e-12, "{y1:?} vs {y2:?}");
+        }
+    }
+
+    #[test]
+    fn singular_basis_is_rejected() {
+        let mat = dense_cols(2, &[&[(0, 1.0)], &[(0, 2.0)]]);
+        assert!(Factorization::factor(&mat, &[0, 1]).is_none());
+    }
+}

@@ -6,12 +6,24 @@
 //!
 //! * [`LpProblem`] — a small modeling API (variables with bounds, linear
 //!   constraints, max/min objective).
-//! * [`solve`] — a bounded-variable **two-phase primal simplex** with
-//!   Dantzig pricing and a Bland anti-cycling fallback.
+//! * [`solve`] — one-shot solve via a bounded-variable **revised
+//!   simplex**: sparse column storage, an LU-factorized basis with
+//!   product-form eta updates, devex pricing with a Bland anti-cycling
+//!   fallback, and a two-phase cold start.
+//! * [`SimplexEngine`] — the reusable form of the same solver. Build it
+//!   once per problem, then call
+//!   [`solve_with`](SimplexEngine::solve_with) repeatedly under
+//!   tightened variable bounds; passing the parent's [`Basis`] back in
+//!   warm-restarts via a **dual-simplex** repair phase instead of a
+//!   from-scratch solve. This is the branch-and-bound hot path in
+//!   `cubis-milp`.
 //!
 //! The solver is exact up to explicit floating-point tolerances (see
 //! [`LpOptions`]) and is validated in the test suite against hand-solved
-//! LPs, a brute-force vertex enumerator, and random problems.
+//! LPs, a brute-force vertex enumerator, and random problems. Internals
+//! — canonical form, the basis/eta lifecycle, the refactorization
+//! policy, the dual-restart protocol and the pricing rules — are
+//! documented in `docs/SOLVER.md`.
 //!
 //! # Example
 //!
@@ -28,16 +40,21 @@
 //! assert_eq!(sol.status, LpStatus::Optimal);
 //! assert!((sol.objective - 8.0).abs() < 1e-9); // x=0, y=4
 //! ```
+//!
+//! See [`SimplexEngine`] for the warm-restart example.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod basis;
 pub mod model;
 pub mod parse;
 pub mod simplex;
 pub mod solution;
+mod sparse;
 
+pub use basis::Basis;
 pub use model::{ConstraintId, LpProblem, Relation, Sense, VarId};
 pub use parse::parse_dump;
-pub use simplex::{solve, LpError, LpOptions};
+pub use simplex::{solve, LpError, LpOptions, SimplexEngine, SolveOutcome};
 pub use solution::{LpSolution, LpStatus};

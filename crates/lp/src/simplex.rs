@@ -1,19 +1,34 @@
-//! Bounded-variable two-phase primal simplex.
+//! Revised bounded-variable simplex with factorization reuse.
 //!
-//! The implementation keeps a dense full tableau `T = B⁻¹·A` (row-major,
-//! so pivots stream through contiguous memory) and tracks nonbasic
-//! variables at their lower or upper bound, which is the standard way to
-//! handle variable bounds without inflating the constraint matrix. Two
-//! phases: phase 1 minimizes the sum of artificial variables to find a
-//! basic feasible solution; phase 2 optimizes the real objective.
+//! Where the previous implementation maintained the dense full tableau
+//! `B⁻¹·A` and paid `O(m²·n)` to rebuild it on every refactorization,
+//! this one keeps the canonical constraint matrix in sparse column form
+//! ([`crate::sparse::SparseMat`]) and represents `B⁻¹` implicitly as a
+//! dense LU factorization composed with product-form eta updates
+//! ([`crate::basis::Factorization`]). Each iteration prices reduced
+//! costs with one BTRAN plus a sparse pass over the columns, FTRANs only
+//! the entering column, and appends one eta; the eta chain is collapsed
+//! into a fresh LU by the refactorization policy (every
+//! [`REFACTOR_EVERY`] pivots, or immediately after a high-amplification
+//! pivot).
 //!
-//! Anti-cycling: Dantzig (most-negative reduced cost) pricing by default,
-//! switching to Bland's rule after a run of degenerate steps, and back
-//! once progress resumes.
+//! Pricing is devex (reference-framework weights) with two fallbacks:
+//! the weights reset to full Dantzig pricing when they grow stale, and a
+//! run of degenerate pivots switches to Bland's rule for anti-cycling,
+//! exactly as before.
+//!
+//! The second structural change is the [`SimplexEngine`]: the canonical
+//! form, bounds and factorization live across solves, so a caller that
+//! repeatedly solves the *same* rows under different variable bounds —
+//! branch-and-bound in `cubis-milp` — passes a [`Basis`] from the parent
+//! node and the engine restores primal feasibility with a **dual
+//! simplex** phase instead of a from-scratch two-phase solve. See
+//! `docs/SOLVER.md` for the full protocol.
 
+use crate::basis::{Basis, Factorization, VarStatus};
 use crate::model::{LpProblem, Relation, Sense};
 use crate::solution::{LpSolution, LpStatus};
-use cubis_linalg::{Lu, Matrix};
+use crate::sparse::SparseMat;
 
 /// Errors that prevent a meaningful solve (distinct from the ordinary
 /// [`LpStatus`] outcomes, which are data, not errors).
@@ -39,7 +54,8 @@ impl std::fmt::Display for LpError {
 
 impl std::error::Error for LpError {}
 
-/// Tunable tolerances and limits for [`solve`].
+/// Tunable tolerances and limits for [`solve`] and
+/// [`SimplexEngine::solve_with`].
 #[derive(Debug, Clone)]
 pub struct LpOptions {
     /// Reduced-cost threshold for optimality.
@@ -53,10 +69,11 @@ pub struct LpOptions {
     pub max_iterations: Option<usize>,
     /// Consecutive degenerate pivots before switching to Bland's rule.
     pub bland_after: usize,
-    /// Observability sink. Disabled by default; when enabled, [`solve`]
-    /// reports `lp.solves`, `lp.pivots` and `lp.refactorizations`
-    /// counters plus an `lp.solve` span per call (aggregates only — the
-    /// per-pivot hot loop is never instrumented).
+    /// Observability sink. Disabled by default; when enabled, each solve
+    /// reports `lp.solves`, `lp.pivots`, `lp.refactorizations`,
+    /// `lp.eta_updates` and `lp.dual_restarts` counters plus an
+    /// `lp.solve` span per call (aggregates only — the per-pivot hot
+    /// loop is never instrumented).
     pub recorder: cubis_trace::SharedRecorder,
 }
 
@@ -73,866 +90,1234 @@ impl Default for LpOptions {
     }
 }
 
-/// Where a nonbasic variable currently sits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum NbStatus {
-    AtLower,
-    AtUpper,
-    /// Free variable parked at 0.
-    Free,
-    /// In the basis (value tracked in `xb`).
-    Basic,
+/// Refactorize after this many eta updates to bound solve drift.
+const REFACTOR_EVERY: usize = 64;
+/// Conservative refactorization cadence for the safe-mode retry.
+const REFACTOR_EVERY_SAFE: usize = 2;
+/// Refactorize when the *cumulative* amplification of the eta chain
+/// (product of per-pivot `‖w‖∞/|pivot|` factors) exceeds this — one
+/// near-singular pivot or a run of moderately bad ones both trip it.
+/// Roundoff entering any eta is multiplied by up to this factor.
+const CHAIN_AMP_LIMIT: f64 = 1e5;
+/// Safe-mode chain amplification limit (refactor after any pivot whose
+/// column/pivot ratio is even mildly amplifying).
+const CHAIN_AMP_LIMIT_SAFE: f64 = 1e2;
+/// Devex weights above this trigger a reset to full (Dantzig) pricing.
+const DEVEX_RESET: f64 = 1e8;
+
+/// Result of one [`SimplexEngine::solve_with`] call.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// The LP solution (status, point, duals, effort counters).
+    pub solution: LpSolution,
+    /// Snapshot of the optimal basis, present only when
+    /// `solution.status` is [`LpStatus::Optimal`]. Feed it back to a
+    /// later `solve_with` on the same engine to warm-restart.
+    pub basis: Option<Basis>,
+    /// True when this solve warm-restarted from a supplied [`Basis`]
+    /// (the dual-simplex repair path), false for from-scratch solves.
+    pub dual_restart: bool,
 }
 
-struct Tableau {
-    /// Dense `m × ncols` tableau, `B⁻¹·A`.
-    t: Matrix,
-    /// Right-hand side values of the basic variables, per row.
-    xb: Vec<f64>,
-    /// Basic variable of each row.
-    basis: Vec<usize>,
-    /// Status of every column.
-    status: Vec<NbStatus>,
-    /// Current value of every nonbasic column (bound it sits at).
-    xval: Vec<f64>,
-    /// Column bounds.
-    lower: Vec<f64>,
-    upper: Vec<f64>,
-    /// Phase-dependent cost vector (internal minimization sense).
-    cost: Vec<f64>,
-    /// Number of structural (user) variables.
-    n_struct: usize,
-    /// First artificial column index (artificials occupy the tail).
-    art_start: usize,
-    /// Row scaling applied at setup (±1), needed to recover duals.
-    row_scale: Vec<f64>,
-    /// Per-row slack column (if the row had one) and its coefficient in
-    /// the *original* (unscaled) row.
-    row_slack: Vec<Option<(usize, f64)>>,
-    /// Pristine copy of the (scaled, canonical) constraint matrix used
-    /// for refactorization — the working tableau accumulates roundoff
-    /// over pivots.
-    orig: Matrix,
-    /// Pristine right-hand side of the scaled canonical system.
-    orig_rhs: Vec<f64>,
-    iterations: usize,
-    /// Successful refactorizations performed on this tableau.
-    refactorizations: usize,
-    /// Pivots since the last refactorization.
-    pivots_since_refactor: usize,
-    /// Tableau-entry magnitude above which we refactorize (error
-    /// amplification guard), derived from the pristine system's scale.
-    growth_limit: f64,
-    /// Refactorize unconditionally after this many pivots.
-    refactor_every: usize,
+enum RunStatus {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+    Numerical,
 }
-
-/// Refactorize after this many pivots to bound tableau drift.
-const REFACTOR_EVERY: usize = 100;
 
 enum StepOutcome {
     Optimal,
     Unbounded,
     Progress { degenerate: bool },
+    Numerical,
 }
 
-impl Tableau {
-    /// Build the initial tableau with slack basis where possible and
-    /// artificials elsewhere.
-    fn build(p: &LpProblem) -> Self {
+enum DualResult {
+    /// Primal feasibility restored (within tolerance).
+    Feasible,
+    /// Dual unbounded: the tightened problem is primal infeasible. The
+    /// engine re-confirms this with a cold solve before reporting it.
+    Infeasible,
+    /// Budget exhausted or numerical trouble; fall back to a cold solve.
+    GiveUp,
+}
+
+/// A reusable revised-simplex solver bound to one [`LpProblem`]'s rows.
+///
+/// Building the engine converts the problem to canonical form once —
+/// `[structural | slacks | artificials]` sparse columns with `Ge` rows
+/// negated — and every subsequent [`solve_with`](Self::solve_with) call
+/// reuses that storage, optionally under tightened variable bounds
+/// and/or warm-started from a previous solve's [`Basis`].
+///
+/// Branch-and-bound is the intended caller: constraint rows never
+/// change across nodes, only bounds do, which is exactly the case the
+/// dual-simplex warm restart handles.
+///
+/// # Example
+///
+/// ```
+/// use cubis_lp::{LpProblem, Sense, Relation, LpOptions, LpStatus, SimplexEngine};
+///
+/// // max x + 2y  s.t. x + y <= 4, 0 <= x,y <= 10
+/// let mut p = LpProblem::new(Sense::Maximize);
+/// let x = p.add_var("x", 0.0, 10.0, 1.0);
+/// let y = p.add_var("y", 0.0, 10.0, 2.0);
+/// p.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+///
+/// let mut engine = SimplexEngine::new(&p);
+/// let root = engine.solve_with(&[], None, &LpOptions::default()).unwrap();
+/// assert_eq!(root.solution.status, LpStatus::Optimal);
+/// assert!((root.solution.objective - 8.0).abs() < 1e-9); // x=0, y=4
+///
+/// // Tighten y <= 1 and warm-restart from the root basis: the dual
+/// // simplex repairs feasibility instead of re-solving from scratch.
+/// let child = engine
+///     .solve_with(&[(y.index(), 0.0, 1.0)], root.basis.as_ref(), &LpOptions::default())
+///     .unwrap();
+/// assert!(child.dual_restart);
+/// assert!((child.solution.objective - 5.0).abs() < 1e-9); // x=3, y=1
+/// ```
+pub struct SimplexEngine {
+    /// The source problem (kept for objective evaluation, violation
+    /// checks against original rows, and failure dumps).
+    problem: LpProblem,
+    m: usize,
+    ncols: usize,
+    n_struct: usize,
+    /// First artificial column; there is exactly one per row.
+    art_start: usize,
+    /// Canonical sparse matrix (`Ge` rows negated so slacks are `+1`).
+    mat: SparseMat,
+    /// Canonical right-hand side.
+    rhs: Vec<f64>,
+    /// `canonical row i = row_sign[i] · original row i` (−1 for `Ge`).
+    row_sign: Vec<f64>,
+    /// Slack column of each row (`None` for `Eq` rows).
+    slack_of_row: Vec<Option<usize>>,
+    /// Default column bounds (problem bounds; slacks `[0, ∞)`;
+    /// artificials `[0, 0]`).
+    base_lower: Vec<f64>,
+    base_upper: Vec<f64>,
+    /// User objective per structural column (problem sense).
+    user_obj: Vec<f64>,
+    /// −1 for maximization (internal sense is minimization).
+    flip: f64,
+    /// `max(1, |coefficients|, |rhs|)` of the instance.
+    scale: f64,
+
+    // ---- per-solve working state ----
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    cost: Vec<f64>,
+    status: Vec<VarStatus>,
+    xval: Vec<f64>,
+    basic: Vec<usize>,
+    xb: Vec<f64>,
+    fact: Option<Factorization>,
+    devex: Vec<f64>,
+    iterations: usize,
+    refactorizations: usize,
+    eta_updates: usize,
+    refactor_every: usize,
+    amp_limit: f64,
+    /// Product of `max(1, ‖w‖∞/|pivot|)` over the live eta chain — an
+    /// upper-bound estimate of how much the chain can amplify roundoff.
+    /// Reset to 1 on every refactorization.
+    chain_amp: f64,
+    chain_limit: f64,
+    /// Basic-variable bound violation revealed by the most recent exact
+    /// `recompute_xb` — the primal loop treats a large value as proof
+    /// that recent pivots ran on corrupted coefficients.
+    infeas_after_refactor: f64,
+}
+
+impl SimplexEngine {
+    /// Build an engine for `p`: canonicalize rows into sparse columns
+    /// and allocate the working state. Constraint rows are fixed for the
+    /// engine's lifetime; variable bounds can be tightened per solve.
+    pub fn new(p: &LpProblem) -> Self {
         let m = p.num_constraints();
         let n = p.num_vars();
-        let n_slack = p
-            .constraints
-            .iter()
-            .filter(|c| c.relation != Relation::Eq)
-            .count();
-
-        // Column layout: [structural | slacks | artificials].
-        let mut lower: Vec<f64> = p.vars.iter().map(|v| v.lower).collect();
-        let mut upper: Vec<f64> = p.vars.iter().map(|v| v.upper).collect();
-        lower.extend(std::iter::repeat_n(0.0, n_slack));
-        upper.extend(std::iter::repeat_n(f64::INFINITY, n_slack));
-
-        // Nonbasic starting point: finite lower bound preferred, then
-        // finite upper, else 0 (free).
-        let mut status: Vec<NbStatus> = Vec::with_capacity(n + n_slack);
-        let mut xval: Vec<f64> = Vec::with_capacity(n + n_slack);
-        for j in 0..n + n_slack {
-            if lower[j].is_finite() {
-                status.push(NbStatus::AtLower);
-                xval.push(lower[j]);
-            } else if upper[j].is_finite() {
-                status.push(NbStatus::AtUpper);
-                xval.push(upper[j]);
-            } else {
-                status.push(NbStatus::Free);
-                xval.push(0.0);
-            }
-        }
-
-        // Assemble rows in canonical form (slack coefficient +1):
-        // Le:  lhs + s = rhs
-        // Ge: -lhs + s = -rhs
-        // Eq:  lhs     = rhs
-        struct Row {
-            coeffs: Vec<(usize, f64)>,
-            rhs: f64,
-            slack: Option<(usize, f64)>,
-        }
-        let mut rows: Vec<Row> = Vec::with_capacity(m);
-        let mut next_slack = n;
-        for c in &p.constraints {
-            let sign = if c.relation == Relation::Ge {
-                -1.0
-            } else {
-                1.0
-            };
-            let mut coeffs: Vec<(usize, f64)> = c
-                .terms
-                .iter()
-                .map(|(v, co)| (v.index(), sign * co))
-                .collect();
-            let slack = if c.relation == Relation::Eq {
-                None
-            } else {
-                let s = next_slack;
-                next_slack += 1;
-                coeffs.push((s, 1.0));
-                // Original-row slack coefficient: +1 for Le, -1 for Ge
-                // (because the Ge row was negated).
-                Some((s, sign))
-            };
-            rows.push(Row {
-                coeffs,
-                rhs: sign * c.rhs,
-                slack,
-            });
-        }
-
-        // Residual of each row at the nonbasic starting point decides
-        // whether the slack can be the initial basic variable.
-        let mut need_art: Vec<bool> = vec![false; m];
-        let mut residual: Vec<f64> = vec![0.0; m];
-        for (i, row) in rows.iter().enumerate() {
-            let mut r = row.rhs;
-            for &(j, a) in &row.coeffs {
-                r -= a * xval[j];
-            }
-            residual[i] = r;
-            match row.slack {
-                // Slack becomes basic at `xval_s + r`; needs to stay >= 0.
-                Some((s, _)) => need_art[i] = xval[s] + r < 0.0,
-                None => need_art[i] = true,
-            }
-        }
-        let n_art = need_art.iter().filter(|&&b| b).count();
+        let n_slack = p.constraints.iter().filter(|c| c.relation != Relation::Eq).count();
         let art_start = n + n_slack;
-        let ncols = art_start + n_art;
-        lower.extend(std::iter::repeat_n(0.0, n_art));
-        upper.extend(std::iter::repeat_n(f64::INFINITY, n_art));
-        status.extend(std::iter::repeat_n(NbStatus::AtLower, n_art));
-        xval.extend(std::iter::repeat_n(0.0, n_art));
+        let ncols = art_start + m;
 
-        let mut t = Matrix::zeros(m, ncols);
-        let mut basis = vec![0usize; m];
-        let mut xb = vec![0.0; m];
-        let mut row_scale = vec![1.0; m];
-        let mut row_slack = vec![None; m];
-        let mut next_art = art_start;
-        for (i, row) in rows.iter().enumerate() {
-            row_slack[i] = row.slack;
-            if !need_art[i] {
-                // Slack basis; row is already canonical.
-                for &(j, a) in &row.coeffs {
-                    t[(i, j)] = a;
-                }
-                // cubis:allow(NUM02): infallible by construction —
-                // `need_art[i]` is false exactly when this row got a slack.
-                let (s, _) = row.slack.expect("slack-basic row must have a slack");
-                basis[i] = s;
-                xb[i] = xval[s] + residual[i];
-                status[s] = NbStatus::Basic;
-            } else {
-                // Scale the row so the residual is nonnegative, then give
-                // it an artificial (+1 column) basic at that residual.
-                let scale = if residual[i] < 0.0 { -1.0 } else { 1.0 };
-                row_scale[i] = scale;
-                for &(j, a) in &row.coeffs {
-                    t[(i, j)] = scale * a;
-                }
-                let a = next_art;
-                next_art += 1;
-                t[(i, a)] = 1.0;
-                basis[i] = a;
-                xb[i] = scale * residual[i];
-                status[a] = NbStatus::Basic;
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ncols];
+        let mut rhs = vec![0.0; m];
+        let mut row_sign = vec![1.0; m];
+        let mut slack_of_row: Vec<Option<usize>> = vec![None; m];
+        let mut next_slack = n;
+        let mut scale = 1.0f64;
+        for (i, c) in p.constraints.iter().enumerate() {
+            let sign = if c.relation == Relation::Ge { -1.0 } else { 1.0 };
+            row_sign[i] = sign;
+            for &(v, co) in &c.terms {
+                cols[v.index()].push((i, sign * co));
+                scale = scale.max(co.abs());
             }
+            if c.relation != Relation::Eq {
+                cols[next_slack].push((i, 1.0));
+                slack_of_row[i] = Some(next_slack);
+                next_slack += 1;
+            }
+            cols[art_start + i].push((i, 1.0));
+            rhs[i] = sign * c.rhs;
+            scale = scale.max(c.rhs.abs());
         }
+        let mat = SparseMat::from_columns(m, &cols);
 
-        let orig = t.clone();
-        let orig_rhs: Vec<f64> = rows
-            .iter()
-            .enumerate()
-            .map(|(i, row)| row_scale[i] * row.rhs)
-            .collect();
+        let mut base_lower: Vec<f64> = p.vars.iter().map(|v| v.lower).collect();
+        let mut base_upper: Vec<f64> = p.vars.iter().map(|v| v.upper).collect();
+        base_lower.extend(std::iter::repeat_n(0.0, n_slack));
+        base_upper.extend(std::iter::repeat_n(f64::INFINITY, n_slack));
+        base_lower.extend(std::iter::repeat_n(0.0, m));
+        base_upper.extend(std::iter::repeat_n(0.0, m));
+
+        let flip = if p.sense() == Sense::Maximize { -1.0 } else { 1.0 };
+        let user_obj: Vec<f64> = p.vars.iter().map(|v| v.obj).collect();
+
         Self {
-            t,
-            xb,
-            basis,
-            status,
-            xval,
-            lower,
-            upper,
-            cost: vec![0.0; ncols],
+            problem: p.clone(),
+            m,
+            ncols,
             n_struct: n,
             art_start,
-            row_scale,
-            row_slack,
-            growth_limit: orig.max_abs().max(1.0) * 1e6,
-            orig,
-            orig_rhs,
+            mat,
+            rhs,
+            row_sign,
+            slack_of_row,
+            base_lower,
+            base_upper,
+            user_obj,
+            flip,
+            scale,
+            lower: vec![0.0; ncols],
+            upper: vec![0.0; ncols],
+            cost: vec![0.0; ncols],
+            status: vec![VarStatus::AtLower; ncols],
+            xval: vec![0.0; ncols],
+            basic: Vec::with_capacity(m),
+            xb: vec![0.0; m],
+            fact: None,
+            devex: vec![1.0; ncols],
             iterations: 0,
             refactorizations: 0,
-            pivots_since_refactor: 0,
+            eta_updates: 0,
             refactor_every: REFACTOR_EVERY,
+            amp_limit: 0.0,
+            chain_amp: 1.0,
+            chain_limit: CHAIN_AMP_LIMIT,
+            infeas_after_refactor: 0.0,
         }
     }
 
-    /// Switch to conservative numerics: refactorize every few pivots and
-    /// treat even mild tableau growth as a trigger. Used as a fallback
-    /// when the default path breaks down on an ill-conditioned instance
-    /// (the accuracy of the tableau is then bounded by ~16 pivots of
-    /// drift, at ~10–40x the per-pivot cost).
-    fn make_safe(&mut self) {
-        self.refactor_every = 16;
-        self.growth_limit = self.orig.max_abs().max(1.0) * 1e3;
-    }
-
-    /// Rebuild the tableau and basic values from the pristine system:
-    /// `T = B⁻¹·A`, `x_B = B⁻¹(b − N·x_N)`. Bounds the roundoff that
-    /// in-place pivoting accumulates. Returns `false` (leaving state
-    /// untouched) if the basis matrix is numerically singular.
-    fn refactorize(&mut self) -> bool {
-        let m = self.nrows();
-        if m == 0 {
-            return true;
-        }
-        let Some(lu) = self.basis_lu() else {
-            return false;
+    /// Solve the engine's problem, optionally under tightened variable
+    /// bounds and warm-started from a previous optimal [`Basis`].
+    ///
+    /// `tighten` entries `(var_index, lower, upper)` are intersected
+    /// with the problem's own bounds in order; a crossing intersection
+    /// short-circuits to [`LpStatus::Infeasible`] without a solve. With
+    /// a warm basis whose bounds changes left it primal-infeasible, a
+    /// dual-simplex phase repairs feasibility (typically a handful of
+    /// pivots); without one, the classic two-phase primal runs.
+    ///
+    /// Returns `Err` only on numerical breakdown, after an internal
+    /// retry in a conservative mode (frequent refactorization); see
+    /// [`solve`] for the status-vs-error contract.
+    pub fn solve_with(
+        &mut self,
+        tighten: &[(usize, f64, f64)],
+        warm: Option<&Basis>,
+        opts: &LpOptions,
+    ) -> Result<SolveOutcome, LpError> {
+        let _span = opts.recorder.span("lp.solve");
+        let out = match self.attempt(tighten, warm, opts, false) {
+            Err(LpError::Numerical { .. }) => self.attempt(tighten, None, opts, true),
+            other => other,
         };
-        self.xb = lu.solve(&self.nonbasic_adjusted_rhs());
-        // T column-by-column: B⁻¹·a_j.
-        let ncols = self.ncols();
-        let mut t = Matrix::zeros(m, ncols);
-        let mut col_buf = vec![0.0; m];
-        for j in 0..ncols {
-            for r in 0..m {
-                col_buf[r] = self.orig[(r, j)];
-            }
-            let solved = lu.solve(&col_buf);
-            for r in 0..m {
-                t[(r, j)] = solved[r];
+        if opts.recorder.enabled() {
+            opts.recorder.counter("lp.solves", 1);
+            if let Ok(o) = &out {
+                opts.recorder.counter("lp.pivots", o.solution.iterations as u64);
+                opts.recorder
+                    .counter("lp.refactorizations", o.solution.refactorizations as u64);
+                opts.recorder.counter("lp.eta_updates", self.eta_updates as u64);
+                if o.dual_restart {
+                    opts.recorder.counter("lp.dual_restarts", 1);
+                }
             }
         }
-        self.t = t;
-        self.pivots_since_refactor = 0;
-        self.refactorizations += 1;
+        out
+    }
+
+    fn attempt(
+        &mut self,
+        tighten: &[(usize, f64, f64)],
+        warm: Option<&Basis>,
+        opts: &LpOptions,
+        safe: bool,
+    ) -> Result<SolveOutcome, LpError> {
+        self.iterations = 0;
+        self.refactorizations = 0;
+        self.eta_updates = 0;
+        self.refactor_every = if safe { REFACTOR_EVERY_SAFE } else { REFACTOR_EVERY };
+        self.amp_limit = self.mat.max_abs().max(1.0) * if safe { 1e3 } else { 1e6 };
+        self.chain_limit = if safe { CHAIN_AMP_LIMIT_SAFE } else { CHAIN_AMP_LIMIT };
+        self.chain_amp = 1.0;
+        self.infeas_after_refactor = 0.0;
+
+        if !self.apply_bounds(tighten) {
+            return Ok(self.outcome(LpStatus::Infeasible, false));
+        }
+        let max_iters = opts
+            .max_iterations
+            .unwrap_or(50 * (self.m + self.ncols) + 1000);
+
+        // ---- Warm path: dual-simplex restart from the parent basis. ----
+        if let Some(wb) = warm {
+            if let Some(status) = self.try_warm(wb, opts, max_iters) {
+                return match status {
+                    LpStatus::Optimal => self.extract(true),
+                    other => Ok(self.outcome(other, true)),
+                };
+            }
+        }
+
+        // ---- Cold path: two-phase primal from a slack/artificial basis. ----
+        let needs_phase1 = self.init_cold_basis();
+        if !self.refactorize() {
+            return Err(LpError::Numerical { violation: f64::INFINITY });
+        }
+        if needs_phase1 {
+            match self.optimize(opts, max_iters) {
+                RunStatus::IterationLimit => {
+                    return Ok(self.outcome(LpStatus::IterationLimit, false))
+                }
+                // Phase 1 minimizes Σ|artificial| ≥ 0: unbounded (or a
+                // broken factorization) can only mean numerical trouble.
+                RunStatus::Unbounded | RunStatus::Numerical => {
+                    return Err(LpError::Numerical { violation: f64::INFINITY })
+                }
+                RunStatus::Optimal => {}
+            }
+            if self.phase1_objective() > opts.feas_tol {
+                return Ok(self.outcome(LpStatus::Infeasible, false));
+            }
+            self.freeze_artificials();
+        }
+        self.set_phase2_costs();
+        match self.optimize(opts, max_iters) {
+            RunStatus::IterationLimit => Ok(self.outcome(LpStatus::IterationLimit, false)),
+            RunStatus::Unbounded => Ok(self.outcome(LpStatus::Unbounded, false)),
+            RunStatus::Numerical => Err(LpError::Numerical { violation: f64::INFINITY }),
+            RunStatus::Optimal => self.extract(false),
+        }
+    }
+
+    /// Attempt the warm restart; `None` means "fall back to cold".
+    fn try_warm(&mut self, wb: &Basis, opts: &LpOptions, max_iters: usize) -> Option<LpStatus> {
+        if wb.basic.len() != self.m
+            || wb.status.len() != self.ncols
+            || !wb.basic.iter().all(|&j| j < self.ncols)
+        {
+            return None;
+        }
+        // Install statuses, snapping nonbasic values onto the (possibly
+        // tightened) bounds. In branch-and-bound bounds only shrink, so
+        // a nonbasic variable keeps its side; the fallbacks below cover
+        // general callers.
+        for j in 0..self.ncols {
+            self.status[j] = match wb.status[j] {
+                VarStatus::Basic => VarStatus::Basic,
+                VarStatus::AtLower if self.lower[j].is_finite() => VarStatus::AtLower,
+                VarStatus::AtUpper if self.upper[j].is_finite() => VarStatus::AtUpper,
+                VarStatus::AtLower | VarStatus::AtUpper | VarStatus::Free => {
+                    if self.lower[j].is_finite() {
+                        VarStatus::AtLower
+                    } else if self.upper[j].is_finite() {
+                        VarStatus::AtUpper
+                    } else {
+                        VarStatus::Free
+                    }
+                }
+            };
+            self.xval[j] = match self.status[j] {
+                VarStatus::AtLower => self.lower[j],
+                VarStatus::AtUpper => self.upper[j],
+                _ => 0.0,
+            };
+        }
+        self.basic.clear();
+        self.basic.extend_from_slice(&wb.basic);
+        // Reuse the live factorization when it already represents this
+        // exact basis (the plunging child in branch-and-bound); refactor
+        // otherwise. A singular basis falls back to cold.
+        let reusable = self
+            .fact
+            .as_ref()
+            .is_some_and(|f| f.basic == self.basic && f.eta_count() == 0);
+        if !reusable && !self.refactorize() {
+            return None;
+        }
+        self.recompute_xb();
+        self.set_phase2_costs();
+        match self.dual_optimize(opts, max_iters) {
+            // Dual-unbounded means primal-infeasible, but the verdict
+            // rests on pivot tolerances; re-confirm on the cold path so
+            // warm answers never diverge from cold ones.
+            DualResult::Infeasible | DualResult::GiveUp => None,
+            DualResult::Feasible => match self.optimize(opts, max_iters) {
+                RunStatus::Optimal => Some(LpStatus::Optimal),
+                RunStatus::Unbounded => Some(LpStatus::Unbounded),
+                RunStatus::IterationLimit => Some(LpStatus::IterationLimit),
+                RunStatus::Numerical => None,
+            },
+        }
+    }
+
+    /// Reset bounds to the problem's and intersect the tightenings.
+    /// Returns false on a crossing (empty) intersection.
+    fn apply_bounds(&mut self, tighten: &[(usize, f64, f64)]) -> bool {
+        self.lower.copy_from_slice(&self.base_lower);
+        self.upper.copy_from_slice(&self.base_upper);
+        for &(vi, lo, hi) in tighten {
+            debug_assert!(vi < self.n_struct, "tighten index out of range");
+            let l = self.lower[vi].max(lo);
+            let u = self.upper[vi].min(hi);
+            if l > u {
+                return false;
+            }
+            self.lower[vi] = l;
+            self.upper[vi] = u;
+        }
         true
     }
 
-    /// Cheap final polish: recompute only the basic values from the
-    /// pristine system (`x_B = B⁻¹(b − N·x_N)`), leaving the working
-    /// tableau untouched. Returns the LU of the basis for reuse (duals).
-    fn refresh_basics(&mut self) -> Option<Lu> {
-        if self.nrows() == 0 {
-            return None;
+    /// Choose the initial basis (slack where it starts feasible,
+    /// artificial otherwise), relax the needed artificials for phase 1,
+    /// and set the phase-1 costs. Returns true iff phase 1 is needed.
+    fn init_cold_basis(&mut self) -> bool {
+        for j in 0..self.art_start {
+            self.status[j] = if self.lower[j].is_finite() {
+                VarStatus::AtLower
+            } else if self.upper[j].is_finite() {
+                VarStatus::AtUpper
+            } else {
+                VarStatus::Free
+            };
+            self.xval[j] = match self.status[j] {
+                VarStatus::AtLower => self.lower[j],
+                VarStatus::AtUpper => self.upper[j],
+                _ => 0.0,
+            };
         }
-        let lu = self.basis_lu()?;
-        self.xb = lu.solve(&self.nonbasic_adjusted_rhs());
-        Some(lu)
-    }
+        for j in self.art_start..self.ncols {
+            self.status[j] = VarStatus::AtLower;
+            self.xval[j] = 0.0;
+        }
+        self.cost.iter_mut().for_each(|c| *c = 0.0);
 
-    /// LU of the current basis matrix (columns of the pristine system).
-    fn basis_lu(&self) -> Option<Lu> {
-        let m = self.nrows();
-        let mut b = Matrix::zeros(m, m);
-        for (col, &bi) in self.basis.iter().enumerate() {
-            for r in 0..m {
-                b[(r, col)] = self.orig[(r, bi)];
+        // Residual of each row at the nonbasic starting point.
+        let mut resid = self.rhs.clone();
+        for j in 0..self.art_start {
+            let xj = self.xval[j];
+            // cubis:allow(NUM01): exact-zero sparsity skip in the
+            // residual build; tiny nonzeros must still be accumulated.
+            if xj != 0.0 {
+                self.mat.col_axpy(j, -xj, &mut resid);
             }
         }
-        cubis_linalg::Lu::factor(&b).ok()
+        self.basic.clear();
+        let mut needs_phase1 = false;
+        for i in 0..self.m {
+            let slack_ok = self.slack_of_row[i].is_some_and(|_| resid[i] >= 0.0);
+            if slack_ok {
+                // cubis:allow(NUM02): infallible — slack_ok implies Some.
+                let s = self.slack_of_row[i].expect("slack-basic row must have a slack");
+                self.basic.push(s);
+                self.status[s] = VarStatus::Basic;
+                self.xb[i] = resid[i];
+            } else {
+                // Artificial basic at the residual; relax the bound on
+                // the residual's side and charge ±1 so phase 1 minimizes
+                // Σ|aᵢ| with a static cost vector.
+                let a = self.art_start + i;
+                self.basic.push(a);
+                self.status[a] = VarStatus::Basic;
+                self.xb[i] = resid[i];
+                if resid[i] >= 0.0 {
+                    self.lower[a] = 0.0;
+                    self.upper[a] = f64::INFINITY;
+                    self.cost[a] = 1.0;
+                } else {
+                    self.lower[a] = f64::NEG_INFINITY;
+                    self.upper[a] = 0.0;
+                    self.cost[a] = -1.0;
+                }
+                needs_phase1 = true;
+            }
+        }
+        needs_phase1
     }
 
-    /// `b − Σ_{nonbasic j} a_j·x_j` over the pristine system.
-    fn nonbasic_adjusted_rhs(&self) -> Vec<f64> {
-        let m = self.nrows();
-        let mut rhs = self.orig_rhs.clone();
-        for j in 0..self.ncols() {
-            if self.status[j] == NbStatus::Basic {
+    /// Σ|artificial| at the current point (phase-1 objective).
+    fn phase1_objective(&self) -> f64 {
+        let mut obj = 0.0;
+        for (i, &bi) in self.basic.iter().enumerate() {
+            if bi >= self.art_start {
+                obj += self.cost[bi] * self.xb[i];
+            }
+        }
+        obj.max(0.0)
+    }
+
+    /// Pin every artificial back to `[0, 0]` after phase 1. Basic
+    /// artificials (redundant rows) stay basic at ~0; the ratio test
+    /// treats them as instantly blocking, which is exactly right.
+    fn freeze_artificials(&mut self) {
+        for j in self.art_start..self.ncols {
+            self.cost[j] = 0.0;
+            self.lower[j] = 0.0;
+            self.upper[j] = 0.0;
+            if self.status[j] != VarStatus::Basic {
+                self.status[j] = VarStatus::AtLower;
+                self.xval[j] = 0.0;
+            }
+        }
+    }
+
+    fn set_phase2_costs(&mut self) {
+        self.cost.iter_mut().for_each(|c| *c = 0.0);
+        for j in 0..self.n_struct {
+            self.cost[j] = self.flip * self.user_obj[j];
+        }
+    }
+
+    /// Rebuild the LU from the pristine columns of the current basis and
+    /// recompute the basic values. Returns false if the basis matrix is
+    /// numerically singular (state untouched).
+    fn refactorize(&mut self) -> bool {
+        match Factorization::factor(&self.mat, &self.basic) {
+            Some(f) => {
+                self.fact = Some(f);
+                self.refactorizations += 1;
+                self.chain_amp = 1.0;
+                self.recompute_xb();
+                self.infeas_after_refactor = self.basic_infeasibility();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Max bound violation of the basic variables (diagnostic).
+    fn basic_infeasibility(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for (i, &bi) in self.basic.iter().enumerate() {
+            worst = worst.max(self.lower[bi] - self.xb[i]).max(self.xb[i] - self.upper[bi]);
+        }
+        worst
+    }
+
+    /// Solve `B·x = b` with iterative refinement.
+    ///
+    /// A plain LU solve errs by roughly `κ(B)·ε`, and CUBIS node LPs
+    /// routinely carry κ(B) ≈ 1e10–1e12 (coefficients span 1e-9..1e1),
+    /// which would leave results wrong in the fourth decimal. Up to two
+    /// rounds of refinement against the pristine sparse columns push the
+    /// error back down to the order of the residual evaluation (~ε·‖b‖).
+    fn solve_b(&self, b: &[f64]) -> Vec<f64> {
+        // cubis:allow(NUM02): callers hold a live factorization.
+        let fact = self.fact.as_ref().expect("solve_b without factorization");
+        let mut x = b.to_vec();
+        fact.ftran(&mut x);
+        for _ in 0..2 {
+            // r = b − B·x, then solve B·d = r and correct.
+            let mut r = b.to_vec();
+            for (i, &bi) in self.basic.iter().enumerate() {
+                // cubis:allow(NUM01): exact-zero sparsity skip.
+                if x[i] != 0.0 {
+                    self.mat.col_axpy(bi, -x[i], &mut r);
+                }
+            }
+            fact.ftran(&mut r);
+            let dmax = r.iter().fold(0.0f64, |a, v| a.max(v.abs()));
+            for (xi, d) in x.iter_mut().zip(&r) {
+                *xi += d;
+            }
+            if dmax <= 1e-12 {
+                break;
+            }
+        }
+        x
+    }
+
+    /// Solve `Bᵀ·y = b` with iterative refinement (see [`Self::solve_b`]).
+    fn solve_bt(&self, b: &[f64]) -> Vec<f64> {
+        // cubis:allow(NUM02): callers hold a live factorization.
+        let fact = self.fact.as_ref().expect("solve_bt without factorization");
+        let mut y = b.to_vec();
+        fact.btran(&mut y);
+        for _ in 0..2 {
+            // r_i = b_i − a_{B(i)}·y, then solve Bᵀ·d = r and correct.
+            let mut r: Vec<f64> = self
+                .basic
+                .iter()
+                .enumerate()
+                .map(|(i, &bi)| b[i] - self.mat.col_dot(bi, &y))
+                .collect();
+            fact.btran(&mut r);
+            let dmax = r.iter().fold(0.0f64, |a, v| a.max(v.abs()));
+            for (yi, d) in y.iter_mut().zip(&r) {
+                *yi += d;
+            }
+            if dmax <= 1e-12 {
+                break;
+            }
+        }
+        y
+    }
+
+    /// `x_B = B⁻¹·(b − N·x_N)` from pristine data.
+    fn recompute_xb(&mut self) {
+        let mut rhs = self.rhs.clone();
+        for j in 0..self.ncols {
+            if self.status[j] == VarStatus::Basic {
                 continue;
             }
             let xj = self.xval[j];
             // cubis:allow(NUM01): exact-zero sparsity skip in the rhs
             // rebuild; tiny nonzeros must still be accumulated.
             if xj != 0.0 {
-                for r in 0..m {
-                    rhs[r] -= self.orig[(r, j)] * xj;
-                }
+                self.mat.col_axpy(j, -xj, &mut rhs);
             }
         }
-        rhs
+        self.xb = self.solve_b(&rhs);
     }
 
-    /// Exact duals of the scaled canonical system: solve `Bᵀy = c_B`.
-    fn exact_scaled_duals(&self, lu: &Lu) -> Vec<f64> {
-        let cb: Vec<f64> = self.basis.iter().map(|&bi| self.cost[bi]).collect();
-        lu.solve_transposed(&cb)
+    /// Dual of `c_B` under the current factorization: `Bᵀy = c_B`.
+    fn dual_prices(&self) -> Vec<f64> {
+        let cb: Vec<f64> = self.basic.iter().map(|&bi| self.cost[bi]).collect();
+        self.solve_bt(&cb)
     }
 
-    fn ncols(&self) -> usize {
-        self.t.cols()
+    /// Can column `j` move at all? Excludes fixed columns — frozen
+    /// artificials and branch-fixed binaries — from pricing.
+    #[inline]
+    fn movable(&self, j: usize) -> bool {
+        self.status[j] == VarStatus::Free || self.upper[j] > self.lower[j]
     }
 
-    fn nrows(&self) -> usize {
-        self.t.rows()
-    }
+    // ---------------------------------------------------------- primal
 
-    /// Reduced costs `d = c − c_Bᵀ·T` for every column.
-    fn reduced_costs(&self) -> Vec<f64> {
-        let mut d = self.cost.clone();
-        for (i, &bi) in self.basis.iter().enumerate() {
-            let cb = self.cost[bi];
-            // cubis:allow(NUM01): exact-zero sparsity skip over basic
-            // costs; correctness needs every bit-nonzero term.
-            if cb != 0.0 {
-                cubis_linalg::axpy(-cb, self.t.row(i), &mut d);
-            }
-        }
-        d
-    }
-
-    /// One simplex step on the current cost vector.
-    fn step(&mut self, opts: &LpOptions, bland: bool) -> StepOutcome {
-        // Column infinity-norms of the working tableau, for (a) pricing
-        // normalization (approximate steepest edge — damps columns whose
-        // tableau image is badly amplified) and (b) relative pivot
-        // tolerances in the ratio test.
-        let mut col_norm = vec![0.0f64; self.ncols()];
-        let fill_norms = |t: &Matrix, col_norm: &mut Vec<f64>| {
-            col_norm.iter_mut().for_each(|v| *v = 0.0);
-            for r in 0..t.rows() {
-                for (j, &v) in t.row(r).iter().enumerate() {
-                    let a = v.abs();
-                    if a > col_norm[j] {
-                        col_norm[j] = a;
-                    }
-                }
-            }
-        };
-        fill_norms(&self.t, &mut col_norm);
-        // Growth guard: entries far above the pristine system's scale
-        // signal error amplification — rebuild from scratch.
-        if self.pivots_since_refactor > 0
-            && col_norm.iter().cloned().fold(0.0f64, f64::max) > self.growth_limit
-            && self.refactorize()
-        {
-            fill_norms(&self.t, &mut col_norm);
-        }
-        let d = self.reduced_costs();
-
-        // Pricing: pick an entering column that can improve.
-        let mut entering: Option<(usize, f64)> = None; // (col, direction)
-        let mut best_score = 0.0;
-        for j in 0..self.ncols() {
-            let (dir, viol) = match self.status[j] {
-                NbStatus::Basic => continue,
-                NbStatus::AtLower => (1.0, -d[j]),
-                NbStatus::AtUpper => (-1.0, d[j]),
-                NbStatus::Free => {
-                    if d[j] < 0.0 {
-                        (1.0, -d[j])
-                    } else {
-                        (-1.0, d[j])
-                    }
-                }
-            };
-            if viol <= opts.opt_tol {
-                continue;
-            }
-            let score = viol / col_norm[j].max(1.0);
-            if entering.is_none() || score > best_score {
-                entering = Some((j, dir));
-                if bland {
-                    break; // Bland: first eligible (smallest index).
-                }
-                best_score = score;
-            }
-        }
-        let Some((e, dir)) = entering else {
-            return StepOutcome::Optimal;
-        };
-        // Pivot eligibility threshold for this column: absolute floor
-        // plus a relative guard against treating amplification noise as
-        // a real coefficient.
-        let piv_thresh = opts.piv_tol.max(1e-7 * col_norm[e]);
-
-        // Ratio test (Harris-style two-pass): pass 1 finds the tightest
-        // step with a small feasibility relaxation; pass 2 picks, among
-        // the rows still blocking within that relaxed step, the one with
-        // the **largest pivot magnitude**. Without this, chains of
-        // pivots on small-but-admissible elements (e.g. the 1/K
-        // fill-order coefficients of the CUBIS MILPs) amplify the
-        // tableau geometrically and destroy feasibility.
-        let width = self.upper[e] - self.lower[e]; // may be inf
-        let feas_relax = 1e-9;
-        let strict_cap = |i: usize, g: f64, relax: f64| -> Option<f64> {
-            let bi = self.basis[i];
-            // Basic value moves by −Δ·g; find the bound it hits.
-            let cap = if g > 0.0 {
-                let lb = self.lower[bi];
-                if !lb.is_finite() {
-                    return None;
-                }
-                (self.xb[i] - (lb - relax)) / g
-            } else {
-                let ub = self.upper[bi];
-                if !ub.is_finite() {
-                    return None;
-                }
-                (self.xb[i] - (ub + relax)) / g
-            };
-            Some(cap.max(0.0))
-        };
-
-        // Pass 1: relaxed limit.
-        let mut delta_limit = width;
-        for i in 0..self.nrows() {
-            let g = dir * self.t[(i, e)];
-            if g.abs() <= piv_thresh {
-                continue;
-            }
-            if let Some(cap) = strict_cap(i, g, feas_relax) {
-                delta_limit = delta_limit.min(cap);
-            }
-        }
-        if !delta_limit.is_finite() {
-            return StepOutcome::Unbounded;
-        }
-
-        // Pass 2: choose the leaving row. Bland mode keeps the exact
-        // smallest-index rule (anti-cycling); otherwise maximize |pivot|
-        // among rows blocking within the relaxed limit.
-        let mut leave: Option<(usize, f64, f64)> = None; // (row, |pivot|, cap)
-        for i in 0..self.nrows() {
-            let g = dir * self.t[(i, e)];
-            if g.abs() <= piv_thresh {
-                continue;
-            }
-            let Some(cap) = strict_cap(i, g, 0.0) else {
-                continue;
-            };
-            if cap > delta_limit + 1e-30 {
-                continue;
-            }
-            let take = match &leave {
-                None => true,
-                Some((li, mag, lcap)) => {
-                    if bland {
-                        // Smallest basic index among minimal caps.
-                        cap < lcap - 1e-12
-                            || (cap < lcap + 1e-12 && self.basis[i] < self.basis[*li])
-                    } else {
-                        g.abs() > *mag
-                    }
-                }
-            };
-            if take {
-                leave = Some((i, g.abs(), cap));
-            }
-        }
-        let best_delta = match &leave {
-            // Entering variable hits its other bound before any basic
-            // variable blocks within the relaxed limit.
-            None => width,
-            Some((_, _, cap)) => *cap,
-        };
-        debug_assert!(best_delta.is_finite());
-        let leave = leave.map(|(i, mag, _)| (i, mag));
-
-        let degenerate = best_delta <= opts.piv_tol;
-        match leave {
-            // Bound flip: the entering variable crosses to its other
-            // bound before any basic variable hits one.
-            None => {
-                debug_assert!(width.is_finite());
-                for i in 0..self.nrows() {
-                    let g = self.t[(i, e)];
-                    self.xb[i] -= dir * best_delta * g;
-                }
-                self.status[e] = match self.status[e] {
-                    NbStatus::AtLower => NbStatus::AtUpper,
-                    NbStatus::AtUpper => NbStatus::AtLower,
-                    other => other,
-                };
-                self.xval[e] = if self.status[e] == NbStatus::AtUpper {
-                    self.upper[e]
-                } else {
-                    self.lower[e]
-                };
-                StepOutcome::Progress { degenerate }
-            }
-            Some((r, _)) => {
-                // leave == Some implies some row cap was strictly below the
-                // bound width, so best_delta is that cap.
-                let delta = best_delta;
-                let entering_value = self.xval[e] + dir * delta;
-                // Update basic values.
-                for i in 0..self.nrows() {
-                    if i != r {
-                        self.xb[i] -= dir * delta * self.t[(i, e)];
-                    }
-                }
-                // Leaving variable exits at the bound it reached.
-                let lv = self.basis[r];
-                let g = dir * self.t[(r, e)];
-                if g > 0.0 {
-                    self.status[lv] = NbStatus::AtLower;
-                    self.xval[lv] = self.lower[lv];
-                } else {
-                    self.status[lv] = NbStatus::AtUpper;
-                    self.xval[lv] = self.upper[lv];
-                }
-                // Pivot the tableau on (r, e).
-                let piv = self.t[(r, e)];
-                debug_assert!(piv.abs() > opts.piv_tol);
-                let inv = 1.0 / piv;
-                cubis_linalg::scale(inv, self.t.row_mut(r));
-                for i in 0..self.nrows() {
-                    if i == r {
-                        continue;
-                    }
-                    let factor = self.t[(i, e)];
-                    // cubis:allow(NUM01): exact-zero pivot-column skip;
-                    // elimination must apply any bit-nonzero factor.
-                    if factor != 0.0 {
-                        let (prow, irow) = self.t.two_rows_mut(r, i);
-                        cubis_linalg::axpy(-factor, prow, irow);
-                    }
-                }
-                self.basis[r] = e;
-                self.status[e] = NbStatus::Basic;
-                self.xb[r] = entering_value;
-                self.pivots_since_refactor += 1;
-                // High-amplification pivots (pivot element small relative
-                // to its column) multiply existing roundoff by up to
-                // colmax/|piv|; a single such pivot can silently corrupt
-                // the tableau beyond repair — rebuild it exactly right
-                // away so the *next* ratio test sees true coefficients.
-                if col_norm[e] / piv.abs() > 1e5 {
-                    self.refactorize();
-                }
-                StepOutcome::Progress { degenerate }
-            }
-        }
-    }
-
-    /// Residual of the pristine system at the current point plus bound
-    /// violations of basic variables (diagnostic; O(m·n)).
-    #[allow(dead_code)]
-    fn true_violation(&self) -> f64 {
-        let x = self.values();
-        let mut worst = 0.0f64;
-        for r in 0..self.nrows() {
-            let lhs = cubis_linalg::dot(self.orig.row(r), &x);
-            worst = worst.max((lhs - self.orig_rhs[r]).abs());
-        }
-        for (i, &bi) in self.basis.iter().enumerate() {
-            worst = worst
-                .max(self.lower[bi] - self.xb[i])
-                .max(self.xb[i] - self.upper[bi]);
-        }
-        worst
-    }
-
-    /// Run the simplex loop on the current cost vector until optimal,
-    /// unbounded, or the iteration budget is exhausted.
-    fn optimize(&mut self, opts: &LpOptions, max_iters: usize) -> LpStatus {
+    /// Run the primal loop on the current cost vector.
+    fn optimize(&mut self, opts: &LpOptions, max_iters: usize) -> RunStatus {
         let mut degen_run = 0usize;
+        self.devex.iter_mut().for_each(|g| *g = 1.0);
+        self.infeas_after_refactor = 0.0;
         loop {
+            if self.fact.as_ref().is_some_and(|f| f.eta_count() >= self.refactor_every)
+                && !self.refactorize()
+            {
+                return RunStatus::Numerical;
+            }
+            // A refactorization recomputes xb exactly; if that exact
+            // recompute reveals bound violations well beyond tolerance,
+            // an earlier pivot was taken on eta-chain noise and the
+            // whole trajectory is suspect. Bail so the caller retries in
+            // safe mode (tiny eta chains, tight amplification cap).
+            if !(self.infeas_after_refactor <= 1e-6 * self.scale.max(1.0)) {
+                return RunStatus::Numerical;
+            }
             if self.iterations >= max_iters {
-                return LpStatus::IterationLimit;
+                return RunStatus::IterationLimit;
             }
             self.iterations += 1;
             let bland = degen_run >= opts.bland_after;
             match self.step(opts, bland) {
-                StepOutcome::Optimal => return LpStatus::Optimal,
-                StepOutcome::Unbounded => return LpStatus::Unbounded,
+                StepOutcome::Optimal => return RunStatus::Optimal,
+                StepOutcome::Unbounded => return RunStatus::Unbounded,
+                StepOutcome::Numerical => return RunStatus::Numerical,
                 StepOutcome::Progress { degenerate } => {
                     if degenerate {
                         degen_run += 1;
                     } else {
                         degen_run = 0;
                     }
-                    if self.pivots_since_refactor >= self.refactor_every {
-                        self.refactorize();
-                    }
                 }
             }
         }
     }
 
-    /// Current value of every column (basic or at bound).
-    fn values(&self) -> Vec<f64> {
-        let mut x = self.xval.clone();
-        for (i, &bi) in self.basis.iter().enumerate() {
-            x[bi] = self.xb[i];
+    /// One revised-simplex step: price, FTRAN, ratio test, update.
+    ///
+    /// Pricing and the ratio test run in a loop: a candidate column whose
+    /// only blocking rows offer an unacceptably small pivot (a nearly
+    /// parallel constraint) is rejected — pivoting on such an element
+    /// makes the basis numerically singular — and the next-best column is
+    /// priced instead.
+    fn step(&mut self, opts: &LpOptions, bland: bool) -> StepOutcome {
+        let mut y = self.dual_prices();
+        let mut rejected: Vec<usize> = Vec::new();
+        // Set once every attractive column has been rejected: the tiny
+        // pivot is then forced — real (verified against a fresh
+        // factorization), unavoidable, and survivable because the
+        // chain-amplification guard refactorizes immediately after.
+        let mut accept_tiny = false;
+
+        loop {
+            // Pricing: devex-weighted reduced costs; Bland's rule takes
+            // the first eligible index when anti-cycling is active.
+            let mut entering: Option<(usize, f64)> = None; // (col, direction)
+            let mut best_score = 0.0;
+            for j in 0..self.ncols {
+                if self.status[j] == VarStatus::Basic
+                    || !self.movable(j)
+                    || rejected.contains(&j)
+                {
+                    continue;
+                }
+                let d = self.cost[j] - self.mat.col_dot(j, &y);
+                let (dir, viol) = match self.status[j] {
+                    VarStatus::AtLower => (1.0, -d),
+                    VarStatus::AtUpper => (-1.0, d),
+                    VarStatus::Free => {
+                        if d < 0.0 {
+                            (1.0, -d)
+                        } else {
+                            (-1.0, d)
+                        }
+                    }
+                    // Basic columns were skipped above; a zero violation
+                    // keeps them out without a panic path.
+                    VarStatus::Basic => (0.0, 0.0),
+                };
+                if viol <= opts.opt_tol {
+                    continue;
+                }
+                if bland {
+                    entering = Some((j, dir));
+                    break;
+                }
+                let score = viol * viol / self.devex[j];
+                if entering.is_none() || score > best_score {
+                    entering = Some((j, dir));
+                    best_score = score;
+                }
+            }
+            let Some((e, dir)) = entering else {
+                if rejected.is_empty() {
+                    return StepOutcome::Optimal;
+                }
+                // Every attractive column was rejected for pivot
+                // quality. Collapse the eta chain first in case the tiny
+                // pivots were noise; if the factorization is already
+                // fresh they are real and a forced tiny pivot is the
+                // only way forward.
+                if self.fact.as_ref().is_some_and(|f| f.eta_count() > 0) {
+                    if !self.refactorize() {
+                        return StepOutcome::Numerical;
+                    }
+                    y = self.dual_prices();
+                } else if accept_tiny {
+                    // Already retried with tiny pivots allowed and still
+                    // found nothing: genuine numerical dead end.
+                    return StepOutcome::Numerical;
+                } else {
+                    accept_tiny = true;
+                }
+                rejected.clear();
+                continue;
+            };
+
+            // FTRAN the entering column (refined: w = B⁻¹·a_e).
+            let mut ae = vec![0.0; self.m];
+            self.mat.col_axpy(e, 1.0, &mut ae);
+            let mut w = self.solve_b(&ae);
+            let mut wmax = w.iter().fold(0.0f64, |a, v| a.max(v.abs()));
+            // Growth guard: an entering column whose FTRAN image is far
+            // above the pristine system's scale signals eta-chain error
+            // amplification — collapse the chain and redo the solve.
+            if wmax > self.amp_limit && self.fact.as_ref().is_some_and(|f| f.eta_count() > 0) {
+                if !self.refactorize() {
+                    return StepOutcome::Numerical;
+                }
+                w = self.solve_b(&ae);
+                wmax = w.iter().fold(0.0f64, |a, v| a.max(v.abs()));
+            }
+            // Rows below drop_tol are eta-chain noise (≈ machine_eps ·
+            // ‖w‖∞ · chain_amp, and chain_amp is capped); rows above it
+            // carry real coefficients and MUST participate in the ratio
+            // test — skipping them lets their basic variables drift out
+            // of bounds by |w_i|·Δ per step, which no later pivot
+            // repairs. Pivots are only *chosen* above piv_accept, the
+            // classic relative stability threshold.
+            let drop_tol = 1e-11 * wmax;
+            let piv_accept = opts.piv_tol.max(1e-7 * wmax);
+
+            // Ratio test (Harris-style two-pass): pass 1 finds the
+            // tightest step with a small feasibility relaxation; pass 2
+            // picks, among the rows still blocking within that relaxed
+            // step, the one with the largest pivot magnitude (Bland mode
+            // keeps the exact smallest-index rule instead).
+            let width = self.upper[e] - self.lower[e]; // may be inf
+            let feas_relax = 1e-9;
+            let strict_cap = |i: usize, g: f64, relax: f64| -> Option<f64> {
+                let bi = self.basic[i];
+                // Basic value moves by −Δ·g; find the bound it hits.
+                let cap = if g > 0.0 {
+                    let lb = self.lower[bi];
+                    if !lb.is_finite() {
+                        return None;
+                    }
+                    (self.xb[i] - (lb - relax)) / g
+                } else {
+                    let ub = self.upper[bi];
+                    if !ub.is_finite() {
+                        return None;
+                    }
+                    (self.xb[i] - (ub + relax)) / g
+                };
+                Some(cap.max(0.0))
+            };
+
+            // Pass 1: relaxed limit.
+            let mut delta_limit = width;
+            for i in 0..self.m {
+                let g = dir * w[i];
+                if g.abs() <= drop_tol {
+                    continue;
+                }
+                if let Some(cap) = strict_cap(i, g, feas_relax) {
+                    delta_limit = delta_limit.min(cap);
+                }
+            }
+            if !delta_limit.is_finite() {
+                return StepOutcome::Unbounded;
+            }
+
+            // Pass 2: choose the leaving row.
+            let mut leave: Option<(usize, f64, f64)> = None; // (row, |pivot|, cap)
+            for i in 0..self.m {
+                let g = dir * w[i];
+                if g.abs() <= drop_tol {
+                    continue;
+                }
+                let Some(cap) = strict_cap(i, g, 0.0) else {
+                    continue;
+                };
+                if cap > delta_limit + 1e-30 {
+                    continue;
+                }
+                let take = match &leave {
+                    None => true,
+                    Some((li, mag, lcap)) => {
+                        if bland {
+                            // Smallest basic index among minimal caps.
+                            cap < lcap - 1e-12
+                                || (cap < lcap + 1e-12 && self.basic[i] < self.basic[*li])
+                        } else {
+                            g.abs() > *mag
+                        }
+                    }
+                };
+                if take {
+                    leave = Some((i, g.abs(), cap));
+                }
+            }
+            if let Some((_, mag, _)) = &leave {
+                if *mag < piv_accept && !accept_tiny {
+                    // Every acceptable-pivot row allows a longer step than
+                    // the blocker: the entering direction runs almost
+                    // parallel to that constraint. Pick a different
+                    // entering column rather than destabilize the basis.
+                    rejected.push(e);
+                    continue;
+                }
+            }
+            let best_delta = match &leave {
+                // Entering variable hits its other bound before any basic
+                // variable blocks within the relaxed limit.
+                None => width,
+                Some((_, _, cap)) => *cap,
+            };
+            debug_assert!(best_delta.is_finite());
+            let degenerate = best_delta <= opts.piv_tol;
+
+            return match leave {
+                None => {
+                    // Bound flip across the entering variable's range.
+                    debug_assert!(width.is_finite());
+                    for i in 0..self.m {
+                        self.xb[i] -= dir * best_delta * w[i];
+                    }
+                    self.status[e] = match self.status[e] {
+                        VarStatus::AtLower => VarStatus::AtUpper,
+                        VarStatus::AtUpper => VarStatus::AtLower,
+                        other => other,
+                    };
+                    self.xval[e] = if self.status[e] == VarStatus::AtUpper {
+                        self.upper[e]
+                    } else {
+                        self.lower[e]
+                    };
+                    StepOutcome::Progress { degenerate }
+                }
+                Some((r, _, _)) => {
+                    let delta = best_delta;
+                    let entering_value = self.xval[e] + dir * delta;
+                    for i in 0..self.m {
+                        if i != r {
+                            self.xb[i] -= dir * delta * w[i];
+                        }
+                    }
+                    // Leaving variable exits at the value it actually
+                    // reached — its bound in the regular case, but a hair
+                    // past it when the Harris clamp made the step
+                    // degenerate. Snapping onto the bound here would
+                    // silently displace the true basic solution by
+                    // snap·B⁻¹a_lv, which ill-conditioned bases amplify
+                    // into real infeasibility; the residual offset is
+                    // instead carried in xval (row-space effect ~ε) and
+                    // cleaned up at extraction.
+                    let lv = self.basic[r];
+                    let g = dir * w[r];
+                    self.status[lv] = if g > 0.0 {
+                        VarStatus::AtLower
+                    } else {
+                        VarStatus::AtUpper
+                    };
+                    self.xval[lv] = self.xb[r] - delta * g;
+                    let piv = w[r];
+                    if !bland {
+                        self.update_devex(e, r, &w);
+                    }
+                    self.basic[r] = e;
+                    self.status[e] = VarStatus::Basic;
+                    self.xb[r] = entering_value;
+                    // cubis:allow(NUM02): the factorization is installed
+                    // before the primal loop and held throughout the step.
+                    let fact = self.fact.as_mut().expect("step without factorization");
+                    fact.push_eta(r, w, e);
+                    self.eta_updates += 1;
+                    // Amplifying pivots multiply existing roundoff by up
+                    // to wmax/|piv| each; once the chain's cumulative
+                    // factor is large, collapse it right away so the next
+                    // ratio test sees true coefficients.
+                    self.chain_amp *= (wmax / piv.abs()).max(1.0);
+                    if self.chain_amp > self.chain_limit && !self.refactorize() {
+                        return StepOutcome::Numerical;
+                    }
+                    StepOutcome::Progress { degenerate }
+                }
+            };
         }
-        x
     }
 
-    /// Objective value under the current cost vector.
-    fn objective(&self) -> f64 {
-        let x = self.values();
-        cubis_linalg::dot(&self.cost, &x)
-    }
-}
-
-/// Solve a linear program.
-///
-/// Returns `Err` only on numerical breakdown; infeasibility, unboundedness
-/// and iteration limits are reported through [`LpStatus`]. Instances on
-/// which the default pivoting drifts (rare, ill-conditioned bases) are
-/// retried once in a conservative mode with frequent refactorization
-/// before an error is surfaced.
-pub fn solve(p: &LpProblem, opts: &LpOptions) -> Result<LpSolution, LpError> {
-    let _span = opts.recorder.span("lp.solve");
-    let out = match solve_once(p, opts, false) {
-        Err(LpError::Numerical { .. }) => solve_once(p, opts, true),
-        other => other,
-    };
-    if opts.recorder.enabled() {
-        opts.recorder.counter("lp.solves", 1);
-        if let Ok(sol) = &out {
-            opts.recorder.counter("lp.pivots", sol.iterations as u64);
-            opts.recorder
-                .counter("lp.refactorizations", sol.refactorizations as u64);
-        }
-    }
-    out
-}
-
-fn solve_once(p: &LpProblem, opts: &LpOptions, safe: bool) -> Result<LpSolution, LpError> {
-    let mut tab = Tableau::build(p);
-    if safe {
-        tab.make_safe();
-    }
-    let m = tab.nrows();
-    let ncols = tab.ncols();
-    let max_iters = opts.max_iterations.unwrap_or(50 * (m + ncols) + 1000);
-
-    // ---- Phase 1: drive artificials to zero. ----
-    if tab.art_start < ncols {
-        for j in tab.art_start..ncols {
-            tab.cost[j] = 1.0;
-        }
-        let status = tab.optimize(opts, max_iters);
-        match status {
-            LpStatus::IterationLimit => {
-                return Ok(empty_solution(p, LpStatus::IterationLimit, &tab))
-            }
-            LpStatus::Unbounded => {
-                // Phase-1 objective is bounded below by 0; unbounded here
-                // means numerical trouble.
-                return Err(LpError::Numerical {
-                    violation: f64::INFINITY,
-                });
-            }
-            LpStatus::Optimal => {}
-            LpStatus::Infeasible => {
-                // The phase-1 auxiliary problem is feasible by
-                // construction (artificials give a basic point), so this
-                // status can only arise from numerical breakdown.
-                return Err(LpError::Numerical {
-                    violation: f64::INFINITY,
-                });
-            }
-        }
-        if tab.objective() > opts.feas_tol {
-            return Ok(empty_solution(p, LpStatus::Infeasible, &tab));
-        }
-        // Freeze artificials at zero so phase 2 cannot reuse them.
-        for j in tab.art_start..ncols {
-            tab.cost[j] = 0.0;
-            tab.lower[j] = 0.0;
-            tab.upper[j] = 0.0;
-            if tab.status[j] != NbStatus::Basic {
-                tab.status[j] = NbStatus::AtLower;
-                tab.xval[j] = 0.0;
-            }
-        }
-        // Pivot out any basic artificial (degenerate pivots); rows where
-        // that is impossible are redundant and keep a frozen artificial.
-        // Pivot choice matters numerically even here: take the largest
-        // eligible |element| in the row (a near-zero pivot amplifies the
-        // whole tableau by its reciprocal), and skip rows whose best
-        // pivot is numerically noise — the frozen artificial is harmless.
-        let mut pivoted_out = false;
-        for r in 0..m {
-            let bi = tab.basis[r];
-            if bi < tab.art_start {
+    /// Devex reference-framework update after a pivot on `(r, e)`.
+    fn update_devex(&mut self, e: usize, r: usize, w: &[f64]) {
+        let alpha_e = w[r];
+        let gamma_e = self.devex[e].max(1.0);
+        // Pivot row of the tableau: αⱼ = ρᵀ·aⱼ with ρ = B⁻ᵀ·e_r.
+        let mut rho = vec![0.0; self.m];
+        rho[r] = 1.0;
+        // cubis:allow(NUM02): callers hold a live factorization.
+        self.fact.as_ref().expect("devex without factorization").btran(&mut rho);
+        let ratio_base = gamma_e / (alpha_e * alpha_e);
+        let mut worst = 1.0f64;
+        for j in 0..self.ncols {
+            if j == e || self.status[j] == VarStatus::Basic || !self.movable(j) {
                 continue;
             }
-            let row_norm = cubis_linalg::inf_norm(tab.t.row(r)).max(1.0);
-            let mut pivot_col = None;
-            let mut best_mag = (1e-7 * row_norm).max(opts.piv_tol);
-            for j in 0..tab.art_start {
-                let mag = tab.t[(r, j)].abs();
-                if tab.status[j] != NbStatus::Basic && mag > best_mag {
-                    pivot_col = Some(j);
-                    best_mag = mag;
+            let alpha = self.mat.col_dot(j, &rho);
+            // cubis:allow(NUM01): exact-zero pivot-row skip; any
+            // bit-nonzero entry must update the weight.
+            if alpha != 0.0 {
+                let cand = alpha * alpha * ratio_base;
+                if cand > self.devex[j] {
+                    self.devex[j] = cand;
+                    worst = worst.max(cand);
                 }
             }
-            if let Some(j) = pivot_col {
-                pivoted_out = true;
-                // Degenerate pivot: basic artificial sits at ~0, so the
-                // entering variable keeps its current (bound) value.
-                let entering_value = tab.xval[j];
-                let piv = tab.t[(r, j)];
-                let inv = 1.0 / piv;
-                cubis_linalg::scale(inv, tab.t.row_mut(r));
-                for i in 0..m {
-                    if i == r {
-                        continue;
-                    }
-                    let factor = tab.t[(i, j)];
-                    // cubis:allow(NUM01): exact-zero pivot-column skip,
-                    // same invariant as Tableau::pivot above.
-                    if factor != 0.0 {
-                        let (prow, irow) = tab.t.two_rows_mut(r, i);
-                        cubis_linalg::axpy(-factor, prow, irow);
-                    }
+        }
+        // The leaving variable re-enters the nonbasic pool.
+        self.devex[self.basic[r]] = ratio_base.max(1.0);
+        // Stale reference framework: reset to full (Dantzig) pricing.
+        if worst > DEVEX_RESET {
+            self.devex.iter_mut().for_each(|g| *g = 1.0);
+        }
+    }
+
+    // ------------------------------------------------------------ dual
+
+    /// Dual-simplex loop: restore primal feasibility of the warm basis
+    /// after bound tightenings, keeping dual feasibility throughout.
+    fn dual_optimize(&mut self, opts: &LpOptions, max_iters: usize) -> DualResult {
+        let feas_eps = 1e-9;
+        let budget = (2 * self.m + 100).min(max_iters);
+        let mut dual_iters = 0usize;
+        loop {
+            if self.fact.as_ref().is_some_and(|f| f.eta_count() >= self.refactor_every)
+                && !self.refactorize()
+            {
+                return DualResult::GiveUp;
+            }
+            // Leaving row: the most-violated basic variable.
+            let mut pick: Option<(usize, bool)> = None; // (row, below-lower?)
+            let mut worst = feas_eps;
+            for i in 0..self.m {
+                let bi = self.basic[i];
+                let below = self.lower[bi] - self.xb[i];
+                let above = self.xb[i] - self.upper[bi];
+                if below > worst {
+                    worst = below;
+                    pick = Some((i, true));
                 }
-                tab.status[bi] = NbStatus::AtLower;
-                tab.xval[bi] = 0.0;
-                tab.basis[r] = j;
-                tab.status[j] = NbStatus::Basic;
-                tab.xb[r] = entering_value;
+                if above > worst {
+                    worst = above;
+                    pick = Some((i, false));
+                }
+            }
+            let Some((r, going_low)) = pick else {
+                return DualResult::Feasible;
+            };
+            if dual_iters >= budget || self.iterations >= max_iters {
+                return DualResult::GiveUp;
+            }
+            dual_iters += 1;
+            self.iterations += 1;
+
+            // Pivot row αⱼ = ρᵀ·aⱼ and reduced costs dⱼ.
+            let mut er = vec![0.0; self.m];
+            er[r] = 1.0;
+            let rho = self.solve_bt(&er);
+            let y = self.dual_prices();
+
+            // Entering column: dual ratio test. κ encodes which way the
+            // leaving row must move (+1 to raise xb[r], −1 to lower it).
+            let kappa = if going_low { 1.0 } else { -1.0 };
+            let mut best: Option<(usize, f64, f64)> = None; // (col, ratio, |alpha|)
+            for j in 0..self.ncols {
+                if self.status[j] == VarStatus::Basic || !self.movable(j) {
+                    continue;
+                }
+                let alpha = self.mat.col_dot(j, &rho);
+                if alpha.abs() <= opts.piv_tol {
+                    continue;
+                }
+                let eligible = match self.status[j] {
+                    VarStatus::AtLower => kappa * alpha < 0.0,
+                    VarStatus::AtUpper => kappa * alpha > 0.0,
+                    VarStatus::Free => true,
+                    // Basic columns never price in the dual ratio test.
+                    VarStatus::Basic => false,
+                };
+                if !eligible {
+                    continue;
+                }
+                let d = self.cost[j] - self.mat.col_dot(j, &y);
+                let dmag = match self.status[j] {
+                    VarStatus::AtLower => d.max(0.0),
+                    VarStatus::AtUpper => (-d).max(0.0),
+                    _ => d.abs(),
+                };
+                let ratio = dmag / alpha.abs();
+                let take = match &best {
+                    None => true,
+                    Some((_, bratio, bmag)) => {
+                        ratio < bratio - 1e-12
+                            || (ratio < bratio + 1e-12 && alpha.abs() > *bmag)
+                    }
+                };
+                if take {
+                    best = Some((j, ratio, alpha.abs()));
+                }
+            }
+            let Some((e, _, _)) = best else {
+                // Dual unbounded ⇒ primal infeasible.
+                return DualResult::Infeasible;
+            };
+
+            // FTRAN the entering column; its row-r entry is the pivot.
+            let mut ae = vec![0.0; self.m];
+            self.mat.col_axpy(e, 1.0, &mut ae);
+            let w = self.solve_b(&ae);
+            let piv = w[r];
+            if piv.abs() <= opts.piv_tol.max(1e-11) {
+                // The BTRAN-priced α disagrees with the FTRAN pivot:
+                // the eta chain has drifted. Collapse and retry once.
+                if self.fact.as_ref().is_some_and(|f| f.eta_count() > 0) && self.refactorize() {
+                    continue;
+                }
+                return DualResult::GiveUp;
+            }
+
+            let bi = self.basic[r];
+            let target = if going_low { self.lower[bi] } else { self.upper[bi] };
+            // Entering step (signed movement of the entering variable).
+            let s = (self.xb[r] - target) / piv;
+            let width_e = self.upper[e] - self.lower[e];
+            if width_e.is_finite() && s.abs() > width_e + 1e-12 {
+                // Bound-flipping step: the entering variable crosses its
+                // whole range before the leaving row reaches its bound.
+                // Flip it, shrink the violation, keep the basis.
+                let delta = if s > 0.0 { width_e } else { -width_e };
+                for i in 0..self.m {
+                    self.xb[i] -= delta * w[i];
+                }
+                self.status[e] = match self.status[e] {
+                    VarStatus::AtLower => VarStatus::AtUpper,
+                    VarStatus::AtUpper => VarStatus::AtLower,
+                    other => other,
+                };
+                self.xval[e] = if self.status[e] == VarStatus::AtUpper {
+                    self.upper[e]
+                } else {
+                    self.lower[e]
+                };
+                continue;
+            }
+
+            // Standard dual pivot.
+            for i in 0..self.m {
+                if i != r {
+                    self.xb[i] -= s * w[i];
+                }
+            }
+            let entering_value = self.xval[e] + s;
+            self.status[bi] = if going_low { VarStatus::AtLower } else { VarStatus::AtUpper };
+            self.xval[bi] = target;
+            self.basic[r] = e;
+            self.status[e] = VarStatus::Basic;
+            self.xb[r] = entering_value;
+            let wmax = w.iter().fold(0.0f64, |a, v| a.max(v.abs()));
+            // cubis:allow(NUM02): the factorization is installed before
+            // the dual loop and held throughout the step.
+            let fact = self.fact.as_mut().expect("dual step without factorization");
+            fact.push_eta(r, w, e);
+            self.eta_updates += 1;
+            self.chain_amp *= (wmax / piv.abs()).max(1.0);
+            if self.chain_amp > self.chain_limit && !self.refactorize() {
+                return DualResult::GiveUp;
             }
         }
-        // The forced pivots above may be arbitrarily unbalanced; start
-        // phase 2 from an exactly rebuilt tableau.
-        if pivoted_out {
-            tab.refactorize();
-        }
     }
 
-    // ---- Phase 2: real objective (internal minimization). ----
-    let flip = if p.sense() == Sense::Maximize {
-        -1.0
-    } else {
-        1.0
-    };
-    for j in 0..ncols {
-        tab.cost[j] = 0.0;
-    }
-    for (j, v) in p.vars.iter().enumerate() {
-        tab.cost[j] = flip * v.obj;
-    }
-    let status = tab.optimize(opts, max_iters);
-    match status {
-        LpStatus::IterationLimit => {
-            return Ok(empty_solution(p, LpStatus::IterationLimit, &tab))
-        }
-        LpStatus::Unbounded => return Ok(empty_solution(p, LpStatus::Unbounded, &tab)),
-        LpStatus::Optimal => {}
-        LpStatus::Infeasible => {
-            // Phase 2 starts from the feasible basis phase 1 certified;
-            // an infeasible report here means the tableau lost that
-            // invariant to roundoff.
-            return Err(LpError::Numerical {
-                violation: f64::INFINITY,
-            });
-        }
-    }
+    // ------------------------------------------------------ extraction
 
-    // Final polish: rebuild basic values from the pristine system so the
-    // answer does not carry accumulated pivot roundoff; reuse the basis
-    // factorization for exact duals below.
-    let final_lu = tab.refresh_basics();
-    let all = tab.values();
-    let x: Vec<f64> = all[..tab.n_struct].to_vec();
-    // Accept roundoff proportional to the instance's magnitude: a 1e-5
-    // absolute residual means something different on a row with rhs 128
-    // than on one with rhs 1.
-    let scale = problem_scale(p);
-    let violation = p.max_violation(&clamp_to_bounds(p, &x));
-    if violation > 1e-5 * scale {
-        if std::env::var("CUBIS_LP_DUMP").is_ok() {
-            let _ = std::fs::write("/tmp/fail_lp.txt", p.dump());
+    /// Build the final solution from the optimal basis. The basis is
+    /// always refactorized fresh first, so the reported point is a pure
+    /// function of `(basis, statuses, bounds)` — warm and cold solves
+    /// that end in the same basis return bit-identical answers.
+    fn extract(&mut self, dual_restart: bool) -> Result<SolveOutcome, LpError> {
+        let must_refresh = self
+            .fact
+            .as_ref()
+            .is_none_or(|f| f.eta_count() > 0 || f.basic != self.basic);
+        if must_refresh {
+            match Factorization::factor(&self.mat, &self.basic) {
+                Some(f) => self.fact = Some(f),
+                None => return Err(LpError::Numerical { violation: f64::INFINITY }),
+            }
         }
-        return Err(LpError::Numerical { violation });
-    }
-    let x = clamp_to_bounds(p, &x);
-    let objective = p.objective_value(&x);
+        self.recompute_xb();
 
-    // Recover duals exactly from the final basis: y′ solves Bᵀy′ = c_B
-    // over the *scaled canonical* system. Tableau row i equals
-    // ρ_i × (original row i) with ρ_i = sign_i · scale_i, where sign_i
-    // is the Ge-negation (recorded as the original slack coefficient σ)
-    // and scale_i the artificial-row normalization; the original-row
-    // dual is then y_i = ρ_i · y′_i.
-    let mut duals = vec![0.0; m];
-    if let Some(lu) = &final_lu {
-        let y_scaled = tab.exact_scaled_duals(lu);
-        for i in 0..m {
-            let sign = tab.row_slack[i].map_or(1.0, |(_, sigma)| sigma);
-            duals[i] = flip * sign * tab.row_scale[i] * y_scaled[i];
+        let mut x = vec![0.0; self.n_struct];
+        for j in 0..self.n_struct {
+            x[j] = self.xval[j];
         }
-    }
+        for (i, &bi) in self.basic.iter().enumerate() {
+            if bi < self.n_struct {
+                x[bi] = self.xb[i];
+            }
+        }
+        // Sub-tolerance cleanup onto the (possibly tightened) bounds.
+        for j in 0..self.n_struct {
+            x[j] = x[j].clamp(self.lower[j].min(self.upper[j]), self.upper[j]);
+        }
 
-    Ok(LpSolution {
-        status: LpStatus::Optimal,
-        objective,
-        x,
-        duals,
-        iterations: tab.iterations,
-        refactorizations: tab.refactorizations,
-    })
-}
+        let violation = self.current_violation(&x);
+        if violation > 1e-5 * self.scale {
+            if std::env::var("CUBIS_LP_DUMP").is_ok() {
+                let _ = std::fs::write("/tmp/fail_lp.txt", self.problem.dump());
+            }
+            return Err(LpError::Numerical { violation });
+        }
+        let objective: f64 = self.user_obj.iter().zip(&x).map(|(c, xi)| c * xi).sum();
 
-/// Clamp a solution onto variable bounds (sub-tolerance cleanup only).
-fn clamp_to_bounds(p: &LpProblem, x: &[f64]) -> Vec<f64> {
-    x.iter()
-        .enumerate()
-        .map(|(j, &v)| {
-            let (l, u) = p.var_bounds(crate::model::VarId(j));
-            v.clamp(l.min(u), u)
+        // Duals from the final basis: y′ solves Bᵀy′ = c_B over the
+        // canonical system; the original-row dual is row_sign·y′,
+        // flipped back into the problem's own sense.
+        let y = self.dual_prices();
+        let duals: Vec<f64> = (0..self.m)
+            .map(|i| self.flip * self.row_sign[i] * y[i])
+            .collect();
+
+        Ok(SolveOutcome {
+            solution: LpSolution {
+                status: LpStatus::Optimal,
+                objective,
+                x,
+                duals,
+                iterations: self.iterations,
+                refactorizations: self.refactorizations,
+            },
+            basis: Some(Basis { basic: self.basic.clone(), status: self.status.clone() }),
+            dual_restart,
         })
-        .collect()
-}
+    }
 
-/// Magnitude of an instance: `max(1, |coefficients|, |rhs|)`.
-fn problem_scale(p: &LpProblem) -> f64 {
-    let mut scale = 1.0f64;
-    for ci in 0..p.num_constraints() {
-        let (terms, _, rhs) = p.constraint(ci);
-        scale = scale.max(rhs.abs());
-        for &(_, c) in terms {
-            scale = scale.max(c.abs());
+    /// Max violation of the original rows and the current (possibly
+    /// tightened) structural bounds at `x`.
+    fn current_violation(&self, x: &[f64]) -> f64 {
+        let mut worst = 0.0f64;
+        for j in 0..self.n_struct {
+            worst = worst.max(self.lower[j] - x[j]).max(x[j] - self.upper[j]);
+        }
+        for c in &self.problem.constraints {
+            let lhs: f64 = c.terms.iter().map(|(v, co)| co * x[v.index()]).sum();
+            let viol = match c.relation {
+                Relation::Le => lhs - c.rhs,
+                Relation::Ge => c.rhs - lhs,
+                Relation::Eq => (lhs - c.rhs).abs(),
+            };
+            worst = worst.max(viol);
+        }
+        worst
+    }
+
+    /// Non-optimal terminal outcome (no meaningful point).
+    fn outcome(&self, status: LpStatus, dual_restart: bool) -> SolveOutcome {
+        SolveOutcome {
+            solution: LpSolution {
+                status,
+                objective: f64::NAN,
+                x: vec![f64::NAN; self.n_struct],
+                duals: vec![f64::NAN; self.m],
+                iterations: self.iterations,
+                refactorizations: self.refactorizations,
+            },
+            basis: None,
+            dual_restart,
         }
     }
-    scale
 }
 
-fn empty_solution(p: &LpProblem, status: LpStatus, tab: &Tableau) -> LpSolution {
-    LpSolution {
-        status,
-        objective: f64::NAN,
-        x: vec![f64::NAN; p.num_vars()],
-        duals: vec![f64::NAN; p.num_constraints()],
-        iterations: tab.iterations,
-        refactorizations: tab.refactorizations,
-    }
+/// Solve a linear program from scratch.
+///
+/// Returns `Err` only on numerical breakdown; infeasibility,
+/// unboundedness and iteration limits are reported through
+/// [`LpStatus`]. Instances on which the default pivoting drifts (rare,
+/// ill-conditioned bases) are retried once in a conservative mode with
+/// frequent refactorization before an error is surfaced.
+///
+/// This is the one-shot convenience wrapper; callers that solve the
+/// same rows repeatedly under changing bounds should hold a
+/// [`SimplexEngine`] and use [`SimplexEngine::solve_with`] to reuse the
+/// canonical form and warm-restart from a previous [`Basis`].
+pub fn solve(p: &LpProblem, opts: &LpOptions) -> Result<LpSolution, LpError> {
+    let mut engine = SimplexEngine::new(p);
+    engine.solve_with(&[], None, opts).map(|o| o.solution)
 }

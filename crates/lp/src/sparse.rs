@@ -1,0 +1,109 @@
+//! Compressed sparse column storage for the canonical constraint matrix.
+//!
+//! The CUBIS MILP relaxations are block-structured and sparse — a few
+//! nonzeros per column (a segment variable touches its expected-utility
+//! row, a fill-order pair and the budget row) — so the revised simplex
+//! prices and FTRANs against columns directly instead of materializing
+//! the dense `B⁻¹·A` tableau the previous implementation maintained.
+
+/// Immutable sparse matrix in compressed-sparse-column (CSC) layout.
+#[derive(Debug, Clone)]
+pub(crate) struct SparseMat {
+    m: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseMat {
+    /// Build from per-column `(row, value)` lists. Entries with a
+    /// bit-exact zero value are dropped; duplicate rows per column are
+    /// a caller bug (the modeling layer merges terms).
+    pub fn from_columns(m: usize, cols: &[Vec<(usize, f64)>]) -> Self {
+        let nnz: usize = cols.iter().map(Vec::len).sum();
+        let mut col_ptr = Vec::with_capacity(cols.len() + 1);
+        let mut row_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        col_ptr.push(0);
+        for col in cols {
+            for &(r, v) in col {
+                debug_assert!(r < m, "sparse entry row out of range");
+                // cubis:allow(NUM01): exact-zero entries carry no
+                // information in a sparse store; tiny nonzeros are kept.
+                if v != 0.0 {
+                    row_idx.push(r);
+                    values.push(v);
+                }
+            }
+            col_ptr.push(row_idx.len());
+        }
+        Self { m, col_ptr, row_idx, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.m
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.col_ptr.len() - 1
+    }
+
+    /// Sparse view of column `j`: parallel `(rows, values)` slices.
+    #[inline]
+    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        (&self.row_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Sparse dot product `yᵀ·a_j` against a dense vector.
+    #[inline]
+    pub fn col_dot(&self, j: usize, y: &[f64]) -> f64 {
+        let (rows, vals) = self.col(j);
+        let mut s = 0.0;
+        for (&r, &v) in rows.iter().zip(vals) {
+            s += y[r] * v;
+        }
+        s
+    }
+
+    /// `out += scale · a_j` (dense accumulate of a sparse column).
+    #[inline]
+    pub fn col_axpy(&self, j: usize, scale: f64, out: &mut [f64]) {
+        let (rows, vals) = self.col(j);
+        for (&r, &v) in rows.iter().zip(vals) {
+            out[r] += scale * v;
+        }
+    }
+
+    /// Infinity norm over all stored entries.
+    pub fn max_abs(&self) -> f64 {
+        self.values.iter().fold(0.0f64, |a, v| a.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_reads_columns() {
+        let m = SparseMat::from_columns(
+            3,
+            &[vec![(0, 1.0), (2, -2.0)], vec![], vec![(1, 0.5), (2, 0.0)]],
+        );
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.col(0), (&[0usize, 2][..], &[1.0, -2.0][..]));
+        assert_eq!(m.col(1), (&[][..], &[][..]));
+        // Exact zeros are dropped from storage.
+        assert_eq!(m.col(2), (&[1usize][..], &[0.5][..]));
+        assert_eq!(m.col_dot(0, &[3.0, 10.0, 1.0]), 1.0);
+        let mut acc = vec![0.0; 3];
+        m.col_axpy(0, 2.0, &mut acc);
+        assert_eq!(acc, vec![2.0, 0.0, -4.0]);
+        assert_eq!(m.max_abs(), 2.0);
+    }
+}

@@ -1,11 +1,12 @@
 //! Sequential branch-and-bound core.
 
 use crate::MilpProblem;
-use cubis_lp::{solve, LpOptions, LpSolution, LpStatus, Sense};
+use cubis_lp::{Basis, LpOptions, LpSolution, LpStatus, Sense, SimplexEngine};
 use cubis_trace::{BbSolveEvent, Event};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Branching variable selection rule.
@@ -55,6 +56,14 @@ pub struct MilpOptions {
     pub bound_hint: Option<f64>,
     /// Run the LP-rounding heuristic at the root node.
     pub root_heuristic: bool,
+    /// Warm-restart each child node's LP from its parent's optimal
+    /// basis (dual-simplex repair in the [`SimplexEngine`]) instead of
+    /// solving every node from scratch. On by default — this is the
+    /// branch-and-bound hot-path optimization; disable to force cold
+    /// node solves (debugging/benchmark baseline). Incumbents are
+    /// bit-identical either way: the engine extracts every solution
+    /// from a freshly refactorized basis.
+    pub reuse_basis: bool,
     /// Number of rayon worker tasks (1 = fully sequential/deterministic).
     pub threads: usize,
     /// Observability sink. Disabled by default; when enabled,
@@ -80,6 +89,7 @@ impl Default for MilpOptions {
             target: None,
             bound_hint: None,
             root_heuristic: true,
+            reuse_basis: true,
             threads: 1,
             recorder: cubis_trace::SharedRecorder::null(),
         }
@@ -167,6 +177,10 @@ pub(crate) struct Node {
     /// Parent LP bound (in maximize-normalized space).
     pub score: f64,
     pub depth: usize,
+    /// Optimal basis of the parent's LP relaxation; seeds the
+    /// dual-simplex warm restart of this node's solve. Shared between
+    /// siblings (both children differ from the parent by one bound).
+    pub basis: Option<Arc<Basis>>,
 }
 
 /// Heap ordering: best bound first, then deepest (plunge).
@@ -216,27 +230,23 @@ pub(crate) enum NodeOutcome {
 
 /// Solve one node: apply fixes, run the LP, decide what happens next.
 ///
-/// `cutoff` is the current incumbent score (maximize-normalized) used for
-/// pruning; pass `f64::NEG_INFINITY` when there is no incumbent.
+/// `cutoff` is the current incumbent score (maximize-normalized) used
+/// for pruning; pass `f64::NEG_INFINITY` when there is no incumbent.
+/// The node's bound tightenings go straight into
+/// [`SimplexEngine::solve_with`] (no per-node problem clone), and when
+/// `opts.reuse_basis` is set the parent's optimal basis seeds a
+/// dual-simplex warm restart.
 pub(crate) fn evaluate_node(
+    engine: &mut SimplexEngine,
     prob: &MilpProblem,
     opts: &MilpOptions,
     node: &Node,
     cutoff: f64,
 ) -> Result<NodeEval, MilpError> {
     let sense = prob.lp.sense();
-    let mut lp = prob.lp.clone();
-    for &(vi, lo, hi) in &node.fixes {
-        let v = lp.var_id(vi);
-        let (l0, u0) = lp.var_bounds(v);
-        let nl = l0.max(lo);
-        let nu = u0.min(hi);
-        if nl > nu {
-            return Ok(NodeEval { lp_iterations: 0, outcome: NodeOutcome::Infeasible });
-        }
-        lp.set_var_bounds(v, nl, nu);
-    }
-    let sol = solve(&lp, &opts.lp)?;
+    let warm = if opts.reuse_basis { node.basis.as_deref() } else { None };
+    let out = engine.solve_with(&node.fixes, warm, &opts.lp)?;
+    let sol = out.solution;
     let eval = |outcome| NodeEval { lp_iterations: sol.iterations, outcome };
     match sol.status {
         LpStatus::Infeasible => return Ok(eval(NodeOutcome::Infeasible)),
@@ -262,15 +272,18 @@ pub(crate) fn evaluate_node(
             let xv = sol.x[vi];
             let floor = xv.floor();
             let ceil = floor + 1.0;
+            let basis = out.basis.map(Arc::new);
             let down = Node {
                 fixes: with_fix(&node.fixes, (vi, f64::NEG_INFINITY, floor)),
                 score,
                 depth: node.depth + 1,
+                basis: basis.clone(),
             };
             let up = Node {
                 fixes: with_fix(&node.fixes, (vi, ceil, f64::INFINITY)),
                 score,
                 depth: node.depth + 1,
+                basis,
             };
             Ok(eval(NodeOutcome::Branched(down, up)))
         }
@@ -316,21 +329,22 @@ fn pick_branch_var(prob: &MilpProblem, opts: &MilpOptions, sol: &LpSolution) -> 
 /// LP-rounding heuristic: round integers in the relaxation optimum, fix
 /// them, re-solve the continuous rest, and check feasibility.
 fn rounding_heuristic(
+    engine: &mut SimplexEngine,
     prob: &MilpProblem,
     opts: &MilpOptions,
     relax: &LpSolution,
 ) -> Option<(f64, Vec<f64>)> {
-    let mut lp = prob.lp.clone();
+    let mut tighten = Vec::with_capacity(prob.integers.len());
     for v in &prob.integers {
         let r = relax.x[v.index()].round();
-        let (l, u) = lp.var_bounds(*v);
+        let (l, u) = prob.lp.var_bounds(*v);
         let r = r.clamp(l, u).round();
         if r < l - 1e-12 || r > u + 1e-12 {
             return None;
         }
-        lp.set_var_bounds(*v, r, r);
+        tighten.push((v.index(), r, r));
     }
-    let sol = solve(&lp, &opts.lp).ok()?;
+    let sol = engine.solve_with(&tighten, None, &opts.lp).ok()?.solution;
     if sol.status != LpStatus::Optimal {
         return None;
     }
@@ -390,6 +404,10 @@ fn solve_sequential(
     trace: Option<&BbTrace>,
 ) -> Result<MilpSolution, MilpError> {
     let sense = prob.lp.sense();
+    // One engine for the whole search: canonical form built once, node
+    // solves reuse its storage (and the live factorization when a child
+    // plunges straight from its parent).
+    let mut engine = SimplexEngine::new(&prob.lp);
 
     let mut incumbent: Option<(f64, Vec<f64>)> = None;
     let mut inc_score = f64::NEG_INFINITY;
@@ -401,7 +419,7 @@ fn solve_sequential(
         }
     }
 
-    let root = Node { fixes: Vec::new(), score: f64::INFINITY, depth: 0 };
+    let root = Node { fixes: Vec::new(), score: f64::INFINITY, depth: 0, basis: None };
     let mut heap: BinaryHeap<Node> = BinaryHeap::new();
     heap.push(root);
 
@@ -450,7 +468,7 @@ fn solve_sequential(
             break;
         }
         nodes += 1;
-        let eval = evaluate_node(prob, opts, &node, inc_score)?;
+        let eval = evaluate_node(&mut engine, prob, opts, &node, inc_score)?;
         lp_iters += eval.lp_iterations;
         match eval.outcome {
             NodeOutcome::Pruned | NodeOutcome::Infeasible => {}
@@ -488,10 +506,10 @@ fn solve_sequential(
                 if first_node && opts.root_heuristic {
                     // Root LP solution is embedded in the children's score;
                     // re-derive a heuristic incumbent from a fresh solve.
-                    let relax = solve_root_relaxation(prob, opts)?;
+                    let relax = solve_root_relaxation(&mut engine, opts)?;
                     if let Some(r) = relax {
                         lp_iters += r.iterations;
-                        if let Some((obj, x)) = rounding_heuristic(prob, opts, &r) {
+                        if let Some((obj, x)) = rounding_heuristic(&mut engine, prob, opts, &r) {
                             let score = normalize(sense, obj);
                             if score > inc_score {
                                 inc_score = score;
@@ -545,10 +563,10 @@ pub(crate) fn gap_threshold(opts: &MilpOptions, inc_score: f64) -> f64 {
 }
 
 fn solve_root_relaxation(
-    prob: &MilpProblem,
+    engine: &mut SimplexEngine,
     opts: &MilpOptions,
 ) -> Result<Option<LpSolution>, MilpError> {
-    let sol = solve(&prob.lp, &opts.lp)?;
+    let sol = engine.solve_with(&[], None, &opts.lp)?.solution;
     Ok((sol.status == LpStatus::Optimal).then_some(sol))
 }
 

@@ -87,7 +87,7 @@ pub(crate) fn solve_parallel(
     shared
         .heap
         .lock()
-        .push(Node { fixes: Vec::new(), score: f64::INFINITY, depth: 0 });
+        .push(Node { fixes: Vec::new(), score: f64::INFINITY, depth: 0, basis: None });
 
     let workers = opts.threads.max(1);
     rayon::scope(|s| {
@@ -145,6 +145,12 @@ fn worker_loop_inner(
     my_nodes: &mut u64,
 ) {
     let sense = prob.lp.sense();
+    // Each worker owns a simplex engine; nodes it evaluates reuse that
+    // engine's canonical form and (where the basis matches) its live
+    // factorization. Warm bases travel with the nodes themselves, so
+    // work stealing keeps its restart no matter which worker solved the
+    // parent.
+    let mut engine = cubis_lp::SimplexEngine::new(&prob.lp);
     let target_score = opts.target.map(|t| normalize(sense, t));
     let hint_score = opts.bound_hint.map(|b| normalize(sense, b));
     loop {
@@ -203,7 +209,7 @@ fn worker_loop_inner(
         }
         *my_nodes += 1;
 
-        match evaluate_node(prob, opts, &node, inc_score) {
+        match evaluate_node(&mut engine, prob, opts, &node, inc_score) {
             Err(e) => {
                 *shared.error.lock() = Some(e);
                 shared.outstanding.fetch_sub(1, Ordering::AcqRel);

@@ -1,0 +1,79 @@
+//! Basis reuse across branch-and-bound nodes: child nodes must actually
+//! warm-restart from the parent basis (the `lp.dual_restarts` counter
+//! fires), and reusing bases must not change the answer — warm and cold
+//! searches return bit-identical incumbents.
+
+use std::sync::Arc;
+
+use cubis_lp::{LpProblem, Relation, Sense, VarId};
+use cubis_milp::{solve_milp, MilpOptions, MilpProblem, MilpStatus};
+use cubis_trace::{CounterSetRecorder, SharedRecorder};
+
+/// A knapsack with clashing value/weight ratios so the LP relaxation is
+/// fractional at the root and the search branches several levels deep.
+fn branching_knapsack() -> MilpProblem {
+    let values = [9.0, 8.5, 7.0, 6.5, 5.0, 4.5, 3.0, 2.5, 2.0, 1.5];
+    let weights = [7.0, 6.5, 5.5, 5.0, 4.0, 3.5, 2.5, 2.0, 1.5, 1.0];
+    let mut lp = LpProblem::new(Sense::Maximize);
+    let vars: Vec<VarId> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| lp.add_var(format!("x{i}"), 0.0, 1.0, v))
+        .collect();
+    lp.add_constraint(
+        vars.iter().zip(&weights).map(|(&v, &w)| (v, w)).collect(),
+        Relation::Le,
+        16.0,
+    );
+    MilpProblem { lp, integers: vars }
+}
+
+#[test]
+fn child_nodes_warm_restart_from_parent_basis() {
+    let prob = branching_knapsack();
+    let counters = Arc::new(CounterSetRecorder::new());
+    let opts = MilpOptions {
+        recorder: SharedRecorder::new(counters.clone()),
+        ..Default::default()
+    };
+    assert!(opts.reuse_basis, "basis reuse must be the default");
+    let sol = solve_milp(&prob, &opts).unwrap();
+    assert_eq!(sol.status, MilpStatus::Optimal);
+    assert!(sol.nodes > 1, "instance must branch, got {} nodes", sol.nodes);
+
+    let totals = counters.counter_totals();
+    let restarts = totals.get("lp.dual_restarts").copied().unwrap_or(0);
+    assert!(
+        restarts > 0,
+        "expected at least one dual-simplex warm restart, counters: {totals:?}"
+    );
+}
+
+#[test]
+fn warm_and_cold_searches_agree_bit_for_bit() {
+    let prob = branching_knapsack();
+    let warm = solve_milp(&prob, &MilpOptions::default()).unwrap();
+    let cold = solve_milp(
+        &prob,
+        &MilpOptions { reuse_basis: false, ..Default::default() },
+    )
+    .unwrap();
+
+    assert_eq!(warm.status, MilpStatus::Optimal);
+    assert_eq!(cold.status, MilpStatus::Optimal);
+    assert_eq!(
+        warm.objective.to_bits(),
+        cold.objective.to_bits(),
+        "objectives differ: warm {} vs cold {}",
+        warm.objective,
+        cold.objective
+    );
+    assert_eq!(warm.x.len(), cold.x.len());
+    for (i, (w, c)) in warm.x.iter().zip(&cold.x).enumerate() {
+        assert_eq!(
+            w.to_bits(),
+            c.to_bits(),
+            "x[{i}] differs: warm {w} vs cold {c}"
+        );
+    }
+}

@@ -42,6 +42,14 @@ pub const COUNTERS: &[(&str, &str)] = &[
         "cubis.warm_seeds",
         "inner solves seeded from a prior basis/incumbent",
     ),
+    (
+        "lp.dual_restarts",
+        "LP solves warm-restarted via the dual simplex from a parent basis",
+    ),
+    (
+        "lp.eta_updates",
+        "product-form eta updates appended to a basis factorization",
+    ),
     ("lp.pivots", "simplex pivot steps"),
     ("lp.refactorizations", "LU basis refactorizations"),
     ("lp.solves", "LP solve invocations"),

@@ -237,6 +237,52 @@ fn bench(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The smoke gate also audits the *committed* artifact: the large
+    // shape's cold pivot count must stay below the dense-tableau seed
+    // pin, so a pricing regression can't hide behind faster pivots.
+    if smoke {
+        let root = match resolve_root(args) {
+            Ok(r) => r,
+            Err(e) => return usage(&e),
+        };
+        let committed = root.join("BENCH_solve.json");
+        match std::fs::read_to_string(&committed)
+            .map_err(|e| format!("cannot read {}: {e}", committed.display()))
+            .and_then(|s| harness::BenchReport::from_json_str(&s))
+        {
+            Ok(pinned) => {
+                let Some(shape) =
+                    pinned.shapes.iter().find(|s| s.name == harness::PIVOT_PIN_SHAPE)
+                else {
+                    eprintln!(
+                        "cubis-xtask bench: committed {} lacks shape {}",
+                        committed.display(),
+                        harness::PIVOT_PIN_SHAPE
+                    );
+                    return ExitCode::FAILURE;
+                };
+                if shape.cold.lp_pivots >= harness::SEED_LARGE_LP_PIVOTS {
+                    eprintln!(
+                        "cubis-xtask bench: {} cold lp_pivots {} has not dropped below the seed pin {}",
+                        harness::PIVOT_PIN_SHAPE,
+                        shape.cold.lp_pivots,
+                        harness::SEED_LARGE_LP_PIVOTS
+                    );
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "bench: pivot pin ok ({} cold lp_pivots {} < seed {})",
+                    harness::PIVOT_PIN_SHAPE,
+                    shape.cold.lp_pivots,
+                    harness::SEED_LARGE_LP_PIVOTS
+                );
+            }
+            Err(e) => {
+                eprintln!("cubis-xtask bench: pivot pin check failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     for s in &report.shapes {
         println!(
             "bench: {:16} cold {:>9}ns  warm {:>9}ns  speedup {:.2}x  \
@@ -257,10 +303,19 @@ fn bench(args: &[String]) -> ExitCode {
             Some(p) => PathBuf::from(p),
             None => return usage("--out requires a path argument"),
         },
-        None => match resolve_root(args) {
-            Ok(root) => root.join("BENCH_solve.json"),
-            Err(e) => return usage(&e),
-        },
+        None => {
+            // The smoke run is a gate, not a recording: without an
+            // explicit --out it must not clobber the committed
+            // full-trajectory artifact with its single-shape report.
+            if smoke {
+                println!("bench: smoke report validated (pass --out <path> to keep it)");
+                return ExitCode::SUCCESS;
+            }
+            match resolve_root(args) {
+                Ok(root) => root.join("BENCH_solve.json"),
+                Err(e) => return usage(&e),
+            }
+        }
     };
     match std::fs::write(&out, report.to_json_string()) {
         Ok(()) => {

@@ -64,14 +64,17 @@ fn malformed_bench_output_is_rejected() {
 /// Binary-search step counts per fixture seed. The warm engine promises
 /// a bit-identical probe trajectory, so these are exact pins, not
 /// tolerances: a drift here means either the fixtures, the ε schedule,
-/// or a probe's feasibility sign changed.
+/// or a probe's feasibility sign changed. (Re-pinned when the revised
+/// simplex landed: degenerate node LPs can tie-break to a different
+/// optimal vertex than the dense tableau did, flipping borderline
+/// probes.)
 #[test]
 fn binary_search_step_counts_are_pinned_per_seed() {
     // (seed, targets, resources, delta, k, epsilon) -> expected steps.
     let pins: &[(u64, usize, f64, f64, usize, f64, usize)] = &[
         (7, 3, 1.0, 0.5, 4, 1e-2, 12),
-        (11, 4, 2.0, 0.5, 6, 1e-3, 16),
-        (12, 6, 2.0, 0.6, 10, 1e-3, 15),
+        (11, 4, 2.0, 0.5, 6, 1e-3, 15),
+        (12, 6, 2.0, 0.6, 10, 1e-3, 16),
         (13, 8, 3.0, 0.6, 8, 1e-3, 16),
     ];
     for &(seed, t, r, delta, k, eps, expected) in pins {
