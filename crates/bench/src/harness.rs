@@ -16,25 +16,20 @@
 //! the first rep — the solve is deterministic, so they are
 //! rep-invariant.
 
-use cubis_core::{Cubis, MilpInner, RobustProblem};
+use cubis_core::{Cubis, InnerPolicy, RobustProblem, RoutedInner};
 use cubis_trace::json::{self, JsonValue};
 use cubis_trace::{JournalRecorder, SharedRecorder};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Version tag in `BENCH_solve.json`; bump on schema changes.
-pub const FORMAT_VERSION: u64 = 1;
+/// (v2: per-shape `engine` and per-mode `inner_gap` for the scale
+/// path's certified optimality slack.)
+pub const FORMAT_VERSION: u64 = 2;
 
-/// Shape name the [`SEED_LARGE_LP_PIVOTS`] pin applies to.
-pub const PIVOT_PIN_SHAPE: &str = "large-t10-k16";
-
-/// Cold-mode `lp.pivots` total that [`PIVOT_PIN_SHAPE`] recorded at the
-/// dense-tableau seed benchmark, before the revised simplex landed.
-/// `bench --smoke` (and the tier-1 bench gate) assert the committed
-/// `BENCH_solve.json` stays strictly below this: devex pricing over the
-/// factorized basis must keep beating full-tableau Dantzig pricing, not
-/// just shift the cost per pivot.
-pub const SEED_LARGE_LP_PIVOTS: u64 = 10_958;
+// The cold-pivot ceiling and the per-seed step pins formerly hard-coded
+// here live in the committed `bench-pins.json` (see [`crate::pins`]),
+// read by `cubis-xtask bench --smoke` and the tier-1 bench gate alike.
 
 /// One benchmark workload shape.
 #[derive(Debug, Clone)]
@@ -55,6 +50,10 @@ pub struct BenchShape {
     pub epsilon: f64,
     /// Timed repetitions per mode.
     pub reps: usize,
+    /// Inner engine: `"milp"` (the paper's route) or `"scale"` (the
+    /// certified breakpoint-grid envelope greedy). For scale shapes
+    /// `k` is the grid's points-per-unit rather than MILP segments.
+    pub engine: &'static str,
 }
 
 /// The tiny shape used by `bench --smoke` and the `ci` gate: big enough
@@ -70,6 +69,7 @@ pub fn smoke_shapes() -> Vec<BenchShape> {
         k: 4,
         epsilon: 1e-2,
         reps: 2,
+        engine: "milp",
     }]
 }
 
@@ -87,6 +87,7 @@ pub fn full_shapes() -> Vec<BenchShape> {
             k: 6,
             epsilon: 1e-3,
             reps: 5,
+            engine: "milp",
         },
         BenchShape {
             name: "medium-t6-k10",
@@ -97,6 +98,7 @@ pub fn full_shapes() -> Vec<BenchShape> {
             k: 10,
             epsilon: 1e-3,
             reps: 5,
+            engine: "milp",
         },
         BenchShape {
             name: "large-t10-k16",
@@ -107,6 +109,34 @@ pub fn full_shapes() -> Vec<BenchShape> {
             k: 16,
             epsilon: 1e-3,
             reps: 5,
+            engine: "milp",
+        },
+        // The scale tier: sizes no MILP run should ever see. Solved by
+        // `ScaleInner`; the regression gates on these are wall-clock
+        // medians (< 1 s and < 30 s) plus the certified per-probe gap
+        // (`inner_gap` ≤ 1e-6), asserted by `cubis-xtask ci`'s
+        // scale-smoke step against the committed report.
+        BenchShape {
+            name: "huge-t1000",
+            seed: 21,
+            targets: 1_000,
+            resources: 40.0,
+            delta: 0.5,
+            k: 64,
+            epsilon: 1e-3,
+            reps: 2,
+            engine: "scale",
+        },
+        BenchShape {
+            name: "huge-t100k",
+            seed: 22,
+            targets: 100_000,
+            resources: 4_000.0,
+            delta: 0.5,
+            k: 24,
+            epsilon: 1e-3,
+            reps: 2,
+            engine: "scale",
         },
     ]
 }
@@ -138,6 +168,10 @@ pub struct ModeStats {
     pub inner_ns: u64,
     /// Total time inside the simplex (`lp.solve` span), ns.
     pub lp_ns: u64,
+    /// Largest certified inner-probe optimality slack across the
+    /// solve, in utility units (`CubisSolution::inner_gap`); exactly
+    /// `0` for the MILP engine.
+    pub inner_gap: f64,
 }
 
 impl ModeStats {
@@ -154,6 +188,7 @@ impl ModeStats {
             ("bound_hints".into(), JsonValue::Num(self.bound_hints as f64)),
             ("inner_ns".into(), JsonValue::Num(self.inner_ns as f64)),
             ("lp_ns".into(), JsonValue::Num(self.lp_ns as f64)),
+            ("inner_gap".into(), JsonValue::Num(self.inner_gap)),
         ])
     }
 
@@ -175,6 +210,10 @@ impl ModeStats {
             bound_hints: field("bound_hints")?,
             inner_ns: field("inner_ns")?,
             lp_ns: field("lp_ns")?,
+            inner_gap: v
+                .get("inner_gap")
+                .and_then(JsonValue::as_f64)
+                .ok_or("mode stats: missing or non-numeric `inner_gap`")?,
         })
     }
 }
@@ -190,6 +229,8 @@ pub struct ShapeReport {
     pub k: u64,
     /// Timed repetitions behind the medians.
     pub reps: u64,
+    /// Inner engine the shape ran on (`"milp"` or `"scale"`).
+    pub engine: String,
     /// The cold path (`warm_start = false`).
     pub cold: ModeStats,
     /// The warm-started engine (the default path).
@@ -212,6 +253,7 @@ impl ShapeReport {
             ("targets".into(), JsonValue::Num(self.targets as f64)),
             ("k".into(), JsonValue::Num(self.k as f64)),
             ("reps".into(), JsonValue::Num(self.reps as f64)),
+            ("engine".into(), JsonValue::Str(self.engine.clone())),
             ("cold".into(), self.cold.to_json()),
             ("warm".into(), self.warm.to_json()),
             ("speedup".into(), JsonValue::Num(self.speedup())),
@@ -233,6 +275,11 @@ impl ShapeReport {
             targets: num("targets")?,
             k: num("k")?,
             reps: num("reps")?,
+            engine: v
+                .get("engine")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("shape `{name}`: missing `engine`"))?
+                .to_string(),
             cold: ModeStats::from_json(v.get("cold").ok_or("shape: missing `cold`")?)
                 .map_err(|e| format!("shape `{name}` cold: {e}"))?,
             warm: ModeStats::from_json(v.get("warm").ok_or("shape: missing `warm`")?)
@@ -322,6 +369,32 @@ impl BenchReport {
                     s.name, s.cold.cold_builds, s.cold.cached_builds
                 ));
             }
+            match s.engine.as_str() {
+                "milp" => {
+                    for (mode, m) in [("cold", &s.cold), ("warm", &s.warm)] {
+                        if m.inner_gap != 0.0 {
+                            return Err(format!(
+                                "shape `{}` {mode}: MILP engine reported a nonzero \
+                                 inner gap {}",
+                                s.name, m.inner_gap
+                            ));
+                        }
+                    }
+                }
+                "scale" => {
+                    for (mode, m) in [("cold", &s.cold), ("warm", &s.warm)] {
+                        if !(m.inner_gap >= 0.0 && m.inner_gap.is_finite()) {
+                            return Err(format!(
+                                "shape `{}` {mode}: malformed certified gap {}",
+                                s.name, m.inner_gap
+                            ));
+                        }
+                    }
+                }
+                other => {
+                    return Err(format!("shape `{}`: unknown engine `{other}`", s.name));
+                }
+            }
         }
         Ok(())
     }
@@ -334,11 +407,16 @@ pub fn run_mode(shape: &BenchShape, warm: bool) -> Result<ModeStats, String> {
     let (game, model) =
         cubis_eval::fixtures::workload(shape.seed, shape.targets, shape.resources, shape.delta);
     let p = RobustProblem::new(&game, &model);
+    let policy = match shape.engine {
+        "milp" => InnerPolicy::Milp,
+        "scale" => InnerPolicy::Scale,
+        other => return Err(format!("shape `{}`: unknown engine `{other}`", shape.name)),
+    };
     let mut walls = Vec::with_capacity(shape.reps.max(1));
     let mut counters: Option<ModeStats> = None;
     for _ in 0..shape.reps.max(1) {
         let journal = Arc::new(JournalRecorder::new());
-        let mut solver = Cubis::new(MilpInner::new(shape.k))
+        let mut solver = Cubis::new(RoutedInner::new(policy, shape.k))
             .with_epsilon(shape.epsilon)
             .with_recorder(SharedRecorder::new(journal.clone()));
         solver.opts.warm_start = warm;
@@ -370,6 +448,7 @@ pub fn run_mode(shape: &BenchShape, warm: bool) -> Result<ModeStats, String> {
                 bound_hints: counter("cubis.bound_hints"),
                 inner_ns: span_ns("cubis.inner"),
                 lp_ns: span_ns("lp.solve"),
+                inner_gap: sol.inner_gap,
             });
         }
     }
@@ -397,6 +476,7 @@ pub fn run_shape(shape: &BenchShape) -> Result<ShapeReport, String> {
         targets: shape.targets as u64,
         k: shape.k as u64,
         reps: shape.reps as u64,
+        engine: shape.engine.to_string(),
         cold,
         warm,
     })

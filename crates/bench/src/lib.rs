@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod pins;
 pub mod serve_report;
 
 pub use cubis_eval::fixtures;

@@ -1,0 +1,171 @@
+//! The committed benchmark pins (`bench-pins.json` at the repo root).
+//!
+//! Two families of regression pins used to live as hard-coded constants
+//! scattered between `tests/tests/bench.rs` and the harness:
+//!
+//! * the **pivot pin** — the `lp.pivots` ceiling the cold
+//!   `large-t10-k16` solve must stay strictly below (the revised
+//!   simplex's devex pricing beating the seed dense tableau), and
+//! * the **step pins** — exact binary-search step counts per fixture
+//!   seed, which the warm-start machinery promises never to change.
+//!
+//! Both now live in one reviewed JSON file read by `cubis-xtask bench
+//! --smoke` *and* the tier-1 `bench.rs` gate, so a legitimate re-pin
+//! (new fixtures, a deliberate ε change) is a single file edit with a
+//! reviewable diff instead of a constants hunt. The file is parsed with
+//! the trace JSON codec — same no-serde policy as `BENCH_solve.json`.
+
+use cubis_trace::json::{self, JsonValue};
+use std::path::{Path, PathBuf};
+
+/// Version tag in `bench-pins.json`; bump on schema changes.
+pub const PINS_FORMAT_VERSION: u64 = 1;
+
+/// The cold-path simplex-pivot ceiling for one named shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PivotPin {
+    /// The `BENCH_solve.json` shape the ceiling applies to.
+    pub shape: String,
+    /// Committed cold `lp.pivots` must stay strictly below this.
+    pub max_cold_lp_pivots: u64,
+}
+
+/// One pinned binary-search step count for a fixture workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepPin {
+    /// Workload generator seed.
+    pub seed: u64,
+    /// Number of targets `T`.
+    pub targets: usize,
+    /// Defender resources `R`.
+    pub resources: f64,
+    /// Uncertainty width factor `δ`.
+    pub delta: f64,
+    /// Piecewise segments `K`.
+    pub k: usize,
+    /// Binary-search threshold `ε`.
+    pub epsilon: f64,
+    /// The exact step count (warm and cold agree by contract).
+    pub steps: usize,
+}
+
+/// The whole pin file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPins {
+    /// Schema version ([`PINS_FORMAT_VERSION`]).
+    pub format_version: u64,
+    /// The simplex-pivot ceiling.
+    pub pivot_pin: PivotPin,
+    /// The per-seed step pins.
+    pub step_pins: Vec<StepPin>,
+}
+
+impl BenchPins {
+    /// The committed location: `<repo-root>/bench-pins.json`, resolved
+    /// relative to this crate's manifest directory.
+    pub fn default_path() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench-pins.json")
+    }
+
+    /// Load and validate pins from `path`.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::from_json_str(&src)
+    }
+
+    /// Parse (trace JSON codec) and structurally validate.
+    pub fn from_json_str(src: &str) -> Result<Self, String> {
+        let v = json::parse(src).map_err(|e| format!("bench pins: {e}"))?;
+        let format_version = v
+            .get("format_version")
+            .and_then(JsonValue::as_u64)
+            .ok_or("bench pins: missing `format_version`")?;
+        if format_version != PINS_FORMAT_VERSION {
+            return Err(format!(
+                "bench pins: format_version {format_version} (expected {PINS_FORMAT_VERSION})"
+            ));
+        }
+        let pp = v.get("pivot_pin").ok_or("bench pins: missing `pivot_pin`")?;
+        let pivot_pin = PivotPin {
+            shape: pp
+                .get("shape")
+                .and_then(JsonValue::as_str)
+                .ok_or("pivot_pin: missing `shape`")?
+                .to_string(),
+            max_cold_lp_pivots: pp
+                .get("max_cold_lp_pivots")
+                .and_then(JsonValue::as_u64)
+                .ok_or("pivot_pin: missing `max_cold_lp_pivots`")?,
+        };
+        let step_pins = v
+            .get("step_pins")
+            .and_then(JsonValue::as_arr)
+            .ok_or("bench pins: missing `step_pins` array")?
+            .iter()
+            .map(StepPin::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        if step_pins.is_empty() {
+            return Err("bench pins: empty `step_pins`".into());
+        }
+        Ok(Self { format_version, pivot_pin, step_pins })
+    }
+}
+
+impl StepPin {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let u = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("step pin: missing or non-integer `{key}`"))
+        };
+        let f = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("step pin: missing or non-numeric `{key}`"))
+        };
+        let pin = Self {
+            seed: u("seed")?,
+            targets: u("targets")? as usize,
+            resources: f("resources")?,
+            delta: f("delta")?,
+            k: u("k")? as usize,
+            epsilon: f("epsilon")?,
+            steps: u("steps")? as usize,
+        };
+        if pin.targets == 0 || pin.k == 0 || pin.epsilon <= 0.0 || pin.steps == 0 {
+            return Err(format!("step pin seed {}: degenerate parameters", pin.seed));
+        }
+        Ok(pin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committed_pins_load_and_cover_the_pivot_shape() {
+        let pins = BenchPins::load(&BenchPins::default_path()).expect("committed bench-pins.json");
+        assert_eq!(pins.format_version, PINS_FORMAT_VERSION);
+        assert_eq!(pins.pivot_pin.shape, "large-t10-k16");
+        assert!(pins.pivot_pin.max_cold_lp_pivots > 0);
+        assert!(pins.step_pins.len() >= 4);
+        // The smoke shape's seed must be pinned: the ci gate replays it.
+        assert!(pins.step_pins.iter().any(|p| p.seed == 7));
+    }
+
+    #[test]
+    fn malformed_pins_are_rejected() {
+        assert!(BenchPins::from_json_str("").is_err());
+        assert!(BenchPins::from_json_str("{}").is_err());
+        assert!(BenchPins::from_json_str(
+            r#"{"format_version": 99, "pivot_pin": {"shape": "x", "max_cold_lp_pivots": 1}, "step_pins": []}"#
+        )
+        .is_err());
+        assert!(BenchPins::from_json_str(
+            r#"{"format_version": 1, "pivot_pin": {"shape": "x", "max_cold_lp_pivots": 1}, "step_pins": []}"#
+        )
+        .is_err());
+    }
+}

@@ -19,12 +19,14 @@
 //! | `meta-width-monotone` | —                             | wider `[L,U]` never helps        |
 //! | `meta-permutation`    | —                             | invariance under relabeling      |
 //! | `meta-k-refine`       | —                             | Lemma-1 error shrinks with `K`   |
+//! | `inner-scale-vs-milp` | `ScaleInner` envelope greedy  | DP grid optimum and MILP(K=pp) within certificate + Lemma-1 slack |
+//! | `inner-scale-certificate` | `ScaleInner` at large `T` | certificate soundness vs sampled allocations; warm/cold bit-identity |
 
 use crate::dense::{solve_dense, DenseOutcome};
 use crate::instance::CheckInstance;
 use crate::reference;
 use cubis_behavior::UncertainSuqr;
-use cubis_core::inner::{DpInner, GreedyInner, InnerSolver, MilpInner};
+use cubis_core::inner::{DpInner, GreedyInner, InnerSolver, MilpInner, ScaleInner};
 use cubis_core::oracle::worst_case_inner_lp;
 use cubis_core::piecewise::PiecewiseLinear;
 use cubis_core::problem::RobustProblem;
@@ -118,6 +120,18 @@ pub fn registry() -> &'static [Oracle] {
             name: "meta-k-refine",
             what: "metamorphic: Lemma-1 linearization error is bounded and shrinks as K doubles",
             run: meta_k_refine,
+        },
+        Oracle {
+            name: "inner-scale-vs-milp",
+            what: "ScaleInner envelope greedy vs the DP grid optimum and MILP(K=pp), \
+                   within the certified gap plus Lemma-1 slack",
+            run: inner_scale_vs_milp,
+        },
+        Oracle {
+            name: "inner-scale-certificate",
+            what: "ScaleInner certificate soundness at large T: envelope dominates sampled \
+                   allocations, warm/cold solves are bit-identical, the gap is finite",
+            run: inner_scale_certificate,
         },
     ]
 }
@@ -584,6 +598,162 @@ fn meta_k_refine(inst: &CheckInstance) -> Result<OracleStatus, String> {
                     ));
                 }
             }
+        }
+    }
+    Ok(OracleStatus::Checked)
+}
+
+fn inner_scale_vs_milp(inst: &CheckInstance) -> Result<OracleStatus, String> {
+    if inst.num_targets() > 4 {
+        return Ok(OracleStatus::Skipped);
+    }
+    let b = build(inst);
+    let p = RobustProblem::new(&b.game, &b.model);
+    let (lo, hi) = p.utility_range();
+    let c = lo + 0.5 * (hi - lo);
+    // All three engines on the *same* grid (K = pp), so every grid
+    // point is MILP-feasible with Ḡ = G there and the DP is the exact
+    // grid optimum — the comparisons below need no cross-grid slack.
+    let scale = ScaleInner::new(inst.pp);
+    let (res, cert) = scale
+        .maximize_with_certificate(&p, c)
+        .map_err(|e| format!("scale failed at c={c}: {e}"))?;
+    let dp = DpInner::new(inst.pp)
+        .maximize_g(&p, c)
+        .map_err(|e| format!("DP failed at c={c}: {e}"))?;
+    let milp = MilpInner::new(inst.pp)
+        .maximize_g(&p, c)
+        .map_err(|e| format!("MILP failed at c={c}: {e}"))?;
+    // The scale allocation is grid-feasible, so it can't beat the DP…
+    if res.g_value > dp.g_value + 1e-9 {
+        return Err(format!(
+            "c={c}: scale {} beats the exact grid DP {} (Δ = {:e})",
+            res.g_value,
+            dp.g_value,
+            res.g_value - dp.g_value
+        ));
+    }
+    // …and the certificate must cover the shortfall (soundness).
+    if res.g_value + cert.gap_g < dp.g_value - 1e-9 {
+        return Err(format!(
+            "c={c}: scale {} + certified gap {:e} trails the DP {} — unsound certificate",
+            res.g_value, cert.gap_g, dp.g_value
+        ));
+    }
+    // The grid point is MILP-feasible at the true G value.
+    if res.g_value > milp.g_value + 1e-7 {
+        return Err(format!(
+            "c={c}: scale {} beats the MILP optimum {} on the same breakpoints",
+            res.g_value, milp.g_value
+        ));
+    }
+    // MILP can overshoot the grid optimum only between breakpoints, by
+    // the Lemma-1 slack (same band as `inner-milp-vs-dp`); the scale
+    // value plus its certificate must reach within that band.
+    let mut slack = 0.0f64;
+    for i in 0..inst.num_targets() {
+        let e1 = PiecewiseLinear::error_bound_estimate(inst.pp, |x| transform::f1(&p, i, x, c));
+        let e2 = PiecewiseLinear::error_bound_estimate(inst.pp, |x| transform::f2(&p, i, x, c));
+        slack += e1.max(e2);
+    }
+    if milp.g_value > res.g_value + cert.gap_g + 2.0 * slack + 1e-6 {
+        return Err(format!(
+            "c={c}: MILP {} exceeds scale {} + gap {:e} by more than the Lemma-1 slack {:e}",
+            milp.g_value,
+            res.g_value,
+            cert.gap_g,
+            2.0 * slack
+        ));
+    }
+    // Internal consistency of the returned point.
+    let sum: f64 = res.x.iter().sum();
+    if sum > b.game.resources() + 1e-9 || res.x.iter().any(|&v| !(0.0..=1.0).contains(&v)) {
+        return Err(format!("c={c}: scale allocation infeasible (Σx = {sum})"));
+    }
+    let achieved = transform::g_total(&p, &res.x, c);
+    if (achieved - res.g_value).abs() > 1e-9 {
+        return Err(format!(
+            "c={c}: scale allocation achieves {achieved}, reported {}",
+            res.g_value
+        ));
+    }
+    Ok(OracleStatus::Checked)
+}
+
+fn inner_scale_certificate(inst: &CheckInstance) -> Result<OracleStatus, String> {
+    // Exercised at the size MILP/DP references can't reach: a large
+    // game derived deterministically from the instance seed, with the
+    // instance's own uncertainty parametrization.
+    let t = 200 + (inst.seed % 5) as usize * 100;
+    let resources = (t as f64 / 25.0).max(1.0);
+    let game = cubis_game::GameGenerator::new(inst.seed ^ 0x5CA1E).generate(t, resources);
+    let model = UncertainSuqr::from_game(
+        &game,
+        cubis_behavior::SuqrUncertainty::paper_example(),
+        inst.payoff_delta,
+        inst.convention,
+    )
+    .scale_width(inst.width_factor.max(0.25));
+    let p = RobustProblem::new(&game, &model);
+    let (lo, hi) = p.utility_range();
+    let scale = ScaleInner::new(inst.pp);
+    let pp = inst.pp;
+    let budget = ((resources * pp as f64).round() as usize).min(t * pp);
+    let mut rng = crate::rng::SplitMix64::new(inst.seed ^ 0xCE27_1F1C_A7E5_0000);
+    for f in [0.1, 0.5, 0.9] {
+        let c = lo + f * (hi - lo);
+        let (res, cert) = scale
+            .maximize_with_certificate(&p, c)
+            .map_err(|e| format!("scale failed at c={c} (T={t}): {e}"))?;
+        if !(cert.gap_g >= 0.0 && cert.gap_c >= 0.0 && cert.gap_c.is_finite()) {
+            return Err(format!(
+                "c={c}: malformed certificate gap_g={} gap_c={}",
+                cert.gap_g, cert.gap_c
+            ));
+        }
+        if res.gap.to_bits() != cert.gap_c.to_bits() {
+            return Err(format!(
+                "c={c}: InnerResult.gap {} disagrees with the certificate {}",
+                res.gap, cert.gap_c
+            ));
+        }
+        let sum: f64 = res.x.iter().sum();
+        if sum > resources + 1e-9 {
+            return Err(format!("c={c}: allocation over budget (Σx = {sum} > {resources})"));
+        }
+        // Certificate soundness, sampled: no feasible grid allocation
+        // may beat the envelope bound.
+        for _ in 0..32 {
+            let mut rem = budget;
+            let mut value = 0.0f64;
+            for i in 0..t {
+                let a = rng.range_usize(0, pp.min(rem));
+                rem -= a;
+                value += transform::g(&p, i, a as f64 / pp as f64, c);
+            }
+            if value > cert.envelope + 1e-9 {
+                return Err(format!(
+                    "c={c}: sampled grid allocation {value} beats the certified envelope {}",
+                    cert.envelope
+                ));
+            }
+        }
+        // Warm state may only skip evaluations, never change bits.
+        let mut warm = cubis_core::WarmState::new();
+        let hot = scale
+            .feasibility_g_warm(&p, c, 1e-9, &mut warm)
+            .map_err(|e| format!("warm scale failed at c={c}: {e}"))?;
+        let again = scale
+            .feasibility_g_warm(&p, c, 1e-9, &mut warm)
+            .map_err(|e| format!("cached scale failed at c={c}: {e}"))?;
+        if hot.g_value.to_bits() != res.g_value.to_bits()
+            || again.g_value.to_bits() != res.g_value.to_bits()
+            || hot.gap.to_bits() != res.gap.to_bits()
+        {
+            return Err(format!(
+                "c={c}: warm/cold divergence: cold {} vs warm {} vs cached {}",
+                res.g_value, hot.g_value, again.g_value
+            ));
         }
     }
     Ok(OracleStatus::Checked)

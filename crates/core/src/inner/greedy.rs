@@ -78,6 +78,7 @@ impl InnerSolver for GreedyInner {
         Ok(InnerResult {
             g_value,
             x,
+            gap: 0.0,
             stats: InnerStats { milp_nodes: 0, lp_iterations: 0, evaluations },
         })
     }

@@ -420,6 +420,7 @@ impl MilpInner {
                 return Ok(InnerResult {
                     g_value,
                     x: vec![0.0; p.num_targets()],
+                    gap: 0.0,
                     stats: InnerStats {
                         milp_nodes: sol.nodes,
                         lp_iterations: sol.lp_iterations,
@@ -463,6 +464,7 @@ impl MilpInner {
         Ok(InnerResult {
             g_value: (sol.objective + layout.offset) / layout.scale,
             x,
+            gap: 0.0,
             stats: InnerStats {
                 milp_nodes: sol.nodes,
                 lp_iterations: sol.lp_iterations,

@@ -17,10 +17,14 @@
 mod dp;
 mod greedy;
 mod milp;
+mod route;
+mod scale;
 
 pub use dp::DpInner;
 pub use greedy::GreedyInner;
 pub use milp::MilpInner;
+pub use route::{InnerEngine, InnerPolicy, RoutedInner, AUTO_SCALE_THRESHOLD};
+pub use scale::{ScaleCertificate, ScaleInner};
 
 use crate::problem::RobustProblem;
 use cubis_behavior::IntervalChoiceModel;
@@ -58,6 +62,12 @@ pub struct InnerResult {
     pub g_value: f64,
     /// The maximizing coverage vector.
     pub x: Vec<f64>,
+    /// Certified optimality slack of this probe in utility (`c`)
+    /// units: the true grid-restricted optimum shifts the feasibility
+    /// threshold by at most this much. Exact backends ([`MilpInner`],
+    /// [`DpInner`], [`GreedyInner`]) report `0.0`; [`ScaleInner`]
+    /// derives it from its concave-envelope certificate.
+    pub gap: f64,
     /// Backend effort counters.
     pub stats: InnerStats,
 }

@@ -1,0 +1,170 @@
+//! Size-based routing between the MILP and breakpoint-grid engines.
+//!
+//! The MILP is the paper's formulation and stays the cross-check
+//! oracle, but its cost scales with branch-and-bound nodes; the
+//! [`ScaleInner`] envelope greedy scales with `T·P` and certifies its
+//! own slack. [`RoutedInner`] holds both and picks per *call*, so one
+//! solver instance (and one serve worker) handles a 3-target park and a
+//! 100 000-target park with the right engine each time.
+
+use super::scale::ScaleInner;
+use super::{InnerResult, InnerSolver, MilpInner, SolveError};
+use crate::problem::RobustProblem;
+use crate::warm::WarmState;
+use cubis_behavior::IntervalChoiceModel;
+use cubis_trace::SharedRecorder;
+
+/// Instances with more targets than this route to [`ScaleInner`] under
+/// [`InnerPolicy::Auto`]. Calibrated in `docs/SCALE.md`: below it the
+/// MILP's warm-started solves are already sub-millisecond and carry a
+/// zero gap; above it the MILP's node count starts to grow while the
+/// envelope greedy stays `O(T·P)` with a certificate that *shrinks*
+/// in `T`.
+pub const AUTO_SCALE_THRESHOLD: usize = 32;
+
+/// Which inner engine to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InnerPolicy {
+    /// Always the paper's MILP (exact on its linearization).
+    Milp,
+    /// Always the breakpoint-grid envelope greedy (certified gap).
+    Scale,
+    /// Pick by instance size: MILP up to [`AUTO_SCALE_THRESHOLD`]
+    /// targets, scale beyond.
+    #[default]
+    Auto,
+}
+
+/// The engine [`InnerPolicy`] resolves to for a concrete instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InnerEngine {
+    /// The MILP route.
+    Milp,
+    /// The breakpoint-grid route.
+    Scale,
+}
+
+impl InnerPolicy {
+    /// Resolve this policy for an instance with `targets` targets.
+    pub fn engine_for(self, targets: usize) -> InnerEngine {
+        match self {
+            InnerPolicy::Milp => InnerEngine::Milp,
+            InnerPolicy::Scale => InnerEngine::Scale,
+            InnerPolicy::Auto => {
+                if targets > AUTO_SCALE_THRESHOLD {
+                    InnerEngine::Scale
+                } else {
+                    InnerEngine::Milp
+                }
+            }
+        }
+    }
+}
+
+/// An [`InnerSolver`] that dispatches each probe to the MILP or the
+/// scale engine according to an [`InnerPolicy`].
+#[derive(Debug, Clone)]
+pub struct RoutedInner {
+    /// The routing policy (fixed per solver; resolved per call).
+    pub policy: InnerPolicy,
+    milp: MilpInner,
+    scale: ScaleInner,
+}
+
+impl RoutedInner {
+    /// A routed solver whose MILP uses `resolution` segments and whose
+    /// scale engine uses `resolution` grid points per unit — matched on
+    /// purpose so [`InnerSolver::resolution`] (the certificate's `K`)
+    /// is well-defined regardless of which engine a probe takes.
+    pub fn new(policy: InnerPolicy, resolution: usize) -> Self {
+        Self {
+            policy,
+            milp: MilpInner::new(resolution),
+            scale: ScaleInner::new(resolution),
+        }
+    }
+
+    /// The engine this solver would pick for a `targets`-target
+    /// instance.
+    pub fn engine_for(&self, targets: usize) -> InnerEngine {
+        self.policy.engine_for(targets)
+    }
+}
+
+impl InnerSolver for RoutedInner {
+    fn maximize_g<M: IntervalChoiceModel>(
+        &self,
+        p: &RobustProblem<'_, M>,
+        c: f64,
+    ) -> Result<InnerResult, SolveError> {
+        match self.engine_for(p.num_targets()) {
+            InnerEngine::Milp => self.milp.maximize_g(p, c),
+            InnerEngine::Scale => self.scale.maximize_g(p, c),
+        }
+    }
+
+    fn feasibility_g<M: IntervalChoiceModel>(
+        &self,
+        p: &RobustProblem<'_, M>,
+        c: f64,
+        tol: f64,
+    ) -> Result<InnerResult, SolveError> {
+        match self.engine_for(p.num_targets()) {
+            InnerEngine::Milp => self.milp.feasibility_g(p, c, tol),
+            InnerEngine::Scale => self.scale.feasibility_g(p, c, tol),
+        }
+    }
+
+    fn feasibility_g_warm<M: IntervalChoiceModel>(
+        &self,
+        p: &RobustProblem<'_, M>,
+        c: f64,
+        tol: f64,
+        warm: &mut WarmState,
+    ) -> Result<InnerResult, SolveError> {
+        match self.engine_for(p.num_targets()) {
+            InnerEngine::Milp => self.milp.feasibility_g_warm(p, c, tol, warm),
+            InnerEngine::Scale => self.scale.feasibility_g_warm(p, c, tol, warm),
+        }
+    }
+
+    fn resolution(&self) -> Option<usize> {
+        self.scale.resolution()
+    }
+
+    fn name(&self) -> &'static str {
+        match self.policy {
+            InnerPolicy::Milp => "milp",
+            InnerPolicy::Scale => "scale",
+            InnerPolicy::Auto => "auto",
+        }
+    }
+
+    fn attach_recorder(&mut self, recorder: &SharedRecorder) {
+        self.milp.attach_recorder(recorder);
+        self.scale.attach_recorder(recorder);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_routes_by_target_count() {
+        let auto = InnerPolicy::Auto;
+        assert_eq!(auto.engine_for(2), InnerEngine::Milp);
+        assert_eq!(auto.engine_for(AUTO_SCALE_THRESHOLD), InnerEngine::Milp);
+        assert_eq!(auto.engine_for(AUTO_SCALE_THRESHOLD + 1), InnerEngine::Scale);
+        assert_eq!(InnerPolicy::Milp.engine_for(100_000), InnerEngine::Milp);
+        assert_eq!(InnerPolicy::Scale.engine_for(2), InnerEngine::Scale);
+    }
+
+    #[test]
+    fn names_follow_the_policy() {
+        assert_eq!(RoutedInner::new(InnerPolicy::Auto, 8).name(), "auto");
+        assert_eq!(RoutedInner::new(InnerPolicy::Milp, 8).name(), "milp");
+        assert_eq!(RoutedInner::new(InnerPolicy::Scale, 8).name(), "scale");
+        assert_eq!(RoutedInner::new(InnerPolicy::Auto, 8).resolution(), Some(8));
+    }
+}

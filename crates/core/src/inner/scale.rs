@@ -1,0 +1,553 @@
+//! Breakpoint-grid inner maximizer with a certified optimality gap —
+//! the production path at wildlife-park scale.
+//!
+//! Proposition 3 makes the per-probe objective separable,
+//! `G_c(x) = Σ_i min(f1_i, f2_i)`, under the single coupling
+//! constraint `Σ x_i ≤ R`. On the coverage grid `x_i = a_i / P` that is
+//! a separable resource-allocation problem, and the classical
+//! concave-envelope greedy solves its *concavified* relaxation exactly:
+//!
+//! 1. sample `g_i` at the `P + 1` grid points (cached across probes by
+//!    [`crate::warm::WarmState`] — the samples are `c`-independent);
+//! 2. take the **upper concave hull** of each target's samples
+//!    (monotone chain, `O(P)` per target);
+//! 3. fill the budget greedily in decreasing hull-segment slope order
+//!    (a max-heap with one live segment per target).
+//!
+//! Because the hull dominates the samples pointwise, the envelope value
+//! at the greedy allocation is an *exact* upper bound on the
+//! grid-restricted optimum — no Lipschitz estimate enters. The greedy
+//! consumes whole hull segments except possibly the last one cut by
+//! budget exhaustion, so at most **one** target sits strictly inside a
+//! hull segment ("the straddler"); it alone contributes to the gap
+//! `UB − achieved`, which this backend repairs locally and then
+//! **certifies** on [`InnerResult::gap`] in utility (`c`) units: since
+//! `∂G/∂c ≤ −Σ_i min_j L_i[j]` for every grid point, an inner slack of
+//! `Δ` in `G` can shift the binary search's feasibility threshold by at
+//! most `Δ / Σ_i min_j L_i[j]` (see `docs/SCALE.md`).
+//!
+//! Complexity per probe is `O(T·P)` after the grid build — no
+//! branch-and-bound, no LP — which is what makes `T` in the hundreds of
+//! thousands routine where the MILP route scales with node counts.
+
+use super::{BudgetMode, InnerResult, InnerSolver, InnerStats, SolveError};
+use crate::problem::RobustProblem;
+use crate::warm::{GridSamples, WarmState};
+use cubis_behavior::IntervalChoiceModel;
+use cubis_trace::SharedRecorder;
+use std::collections::BinaryHeap;
+
+/// Breakpoint-grid inner maximizer with a certified gap.
+#[derive(Debug, Clone)]
+pub struct ScaleInner {
+    /// Grid points per unit coverage (the effective `K`).
+    pub points_per_unit: usize,
+    /// Budget handling.
+    pub budget: BudgetMode,
+    /// Observability sink (see [`InnerSolver::attach_recorder`]).
+    recorder: SharedRecorder,
+}
+
+/// The per-probe certificate detail behind [`InnerResult::gap`],
+/// exposed for the differential oracles and property tests.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleCertificate {
+    /// `Σ_i g_i(a_i/P)` at the returned allocation (= `g_value`).
+    pub achieved: f64,
+    /// The concave-envelope optimum `Σ_i ĝ_i(a_i/P)` — an exact upper
+    /// bound on the grid-restricted `max_x G_c(x)`.
+    pub envelope: f64,
+    /// `max(0, envelope − achieved)`, in `G` units.
+    pub gap_g: f64,
+    /// `gap_g / rate`, in utility (`c`) units — what
+    /// [`InnerResult::gap`] carries.
+    pub gap_c: f64,
+    /// The `G`-to-`c` conversion rate `Σ_i min_j L_i[j]` (the minimum
+    /// magnitude of `∂G/∂c` over the grid).
+    pub rate: f64,
+}
+
+/// One live hull segment in the greedy heap. Max-heap order: steeper
+/// slope first, ties broken toward the smaller target index (then the
+/// earlier segment, unreachable with one live segment per target) so
+/// the fill order is deterministic — the same `total_cmp` discipline as
+/// [`super::improves`], under which a NaN slope outranks everything and
+/// loudly poisons the result.
+#[derive(Debug, Clone, Copy)]
+struct SegEntry {
+    slope: f64,
+    target: u32,
+    seg: u32,
+}
+
+impl PartialEq for SegEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for SegEntry {}
+
+impl PartialOrd for SegEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SegEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.slope
+            .total_cmp(&other.slope)
+            .then_with(|| other.target.cmp(&self.target))
+            .then_with(|| other.seg.cmp(&self.seg))
+    }
+}
+
+/// Indices of the upper concave hull of `(j, row[j])`, `j = 0..row.len()`.
+///
+/// Monotone chain: a vertex is popped when it falls on or below the
+/// chord joining its neighbors, so consecutive hull slopes are strictly
+/// decreasing and collinear points keep only the endpoints. The first
+/// and last sample are always vertices.
+fn upper_hull(row: &[f64]) -> Vec<u32> {
+    let mut hull: Vec<u32> = Vec::new();
+    for (j, &v) in row.iter().enumerate() {
+        while hull.len() >= 2 {
+            let b = hull[hull.len() - 1] as usize;
+            let a = hull[hull.len() - 2] as usize;
+            // Pop `b` iff slope(a→b) ≤ slope(b→j), cross-multiplied to
+            // avoid the divisions (grid indices are exact in f64).
+            let lhs = (row[b] - row[a]) * ((j - b) as f64);
+            let rhs = (v - row[b]) * ((b - a) as f64);
+            if lhs <= rhs {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(j as u32);
+    }
+    hull
+}
+
+impl ScaleInner {
+    /// A scale backend with `points_per_unit = p` and the paper's `≤ R`
+    /// budget.
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0, "ScaleInner: points_per_unit must be positive");
+        Self {
+            points_per_unit: p,
+            budget: BudgetMode::AtMost,
+            recorder: SharedRecorder::null(),
+        }
+    }
+
+    /// Use exact budget `Σ x_i = R` instead.
+    pub fn exact_budget(mut self) -> Self {
+        self.budget = BudgetMode::Exact;
+        self
+    }
+
+    /// Maximize and return the full certificate detail alongside the
+    /// result (a fresh grid build; the solver path reuses the warm
+    /// cache instead).
+    pub fn maximize_with_certificate<M: IntervalChoiceModel>(
+        &self,
+        p: &RobustProblem<'_, M>,
+        c: f64,
+    ) -> Result<(InnerResult, ScaleCertificate), SolveError> {
+        let grid = GridSamples::build(p, self.points_per_unit);
+        let evaluations = (self.points_per_unit + 1) * p.num_targets();
+        self.solve_on_grid(&grid, p.resources(), c, evaluations)
+    }
+
+    /// The envelope greedy over a sampled grid. The grid fully
+    /// determines the result, so cached (warm) and fresh (cold) grids —
+    /// which are bitwise identical by [`GridSamples`]' contract — give
+    /// a bitwise-identical solve.
+    pub(crate) fn solve_on_grid(
+        &self,
+        grid: &GridSamples,
+        resources: f64,
+        c: f64,
+        evaluations: usize,
+    ) -> Result<(InnerResult, ScaleCertificate), SolveError> {
+        debug_assert_eq!(grid.points, self.points_per_unit);
+        let t = grid.l.len();
+        let pp = self.points_per_unit;
+        let budget = ((resources * pp as f64).round() as usize).min(t * pp);
+
+        // Per-target sample rows g_i[j] — same branch arithmetic as
+        // `transform::g`, via the shared `GridSamples::g`.
+        let values: Vec<Vec<f64>> = (0..t)
+            .map(|i| (0..=pp).map(|j| grid.g(i, j, c)).collect())
+            .collect();
+
+        // Upper concave hulls and the greedy fill.
+        let hulls: Vec<Vec<u32>> = values.iter().map(|row| upper_hull(row)).collect();
+        let segments: usize = hulls.iter().map(|h| h.len() - 1).sum();
+        let seg_slope = |i: usize, seg: usize| -> f64 {
+            let lo = hulls[i][seg] as usize;
+            let hi = hulls[i][seg + 1] as usize;
+            (values[i][hi] - values[i][lo]) / ((hi - lo) as f64)
+        };
+
+        let mut heap: BinaryHeap<SegEntry> = BinaryHeap::with_capacity(t);
+        for (i, hull) in hulls.iter().enumerate() {
+            if hull.len() >= 2 {
+                heap.push(SegEntry { slope: seg_slope(i, 0), target: i as u32, seg: 0 });
+            }
+        }
+
+        let mut alloc = vec![0u32; t];
+        let mut rem = budget;
+        // The one target (if any) whose allocation stopped strictly
+        // inside a hull segment, with the segment's vertex span.
+        let mut straddle: Option<(usize, usize, usize)> = None;
+        while rem > 0 {
+            let Some(top) = heap.pop() else { break };
+            // In ≤-budget mode a non-positive marginal gain never helps;
+            // stopping here leaves every allocation on a hull vertex.
+            // (A NaN slope compares greater and is consumed — loud.)
+            if matches!(self.budget, BudgetMode::AtMost) && top.slope <= 0.0 {
+                break;
+            }
+            let i = top.target as usize;
+            let seg = top.seg as usize;
+            let lo = hulls[i][seg] as usize;
+            let hi = hulls[i][seg + 1] as usize;
+            let take = (hi - lo).min(rem);
+            alloc[i] = (lo + take) as u32;
+            rem -= take;
+            if take == hi - lo {
+                if seg + 2 < hulls[i].len() {
+                    heap.push(SegEntry {
+                        slope: seg_slope(i, seg + 1),
+                        target: top.target,
+                        seg: (seg + 1) as u32,
+                    });
+                }
+            } else {
+                straddle = Some((i, lo, hi));
+            }
+        }
+
+        // Local repair: the straddler is the only target off a hull
+        // vertex. With every other allocation fixed it may spend up to
+        // its current units, so the best true sample at or below that
+        // level can only improve the achieved value (the envelope bound
+        // is untouched).
+        let mut repairs = 0u64;
+        if matches!(self.budget, BudgetMode::AtMost) {
+            if let Some((i, _, _)) = straddle {
+                let cap = alloc[i] as usize;
+                let mut best_a = cap;
+                for a in 0..cap {
+                    if super::improves(values[i][a], values[i][best_a]) {
+                        best_a = a;
+                    }
+                }
+                if best_a != cap {
+                    alloc[i] = best_a as u32;
+                    repairs = 1;
+                }
+            }
+        }
+
+        // Achieved value and the envelope bound. Every non-straddling
+        // target sits on a hull vertex where ĝ = g; only the straddler
+        // needs the chord interpolation (evaluated at its *pre-repair*
+        // level, where the greedy envelope optimum lives).
+        let mut achieved = 0.0f64;
+        let mut envelope = 0.0f64;
+        for i in 0..t {
+            achieved += values[i][alloc[i] as usize];
+            match straddle {
+                Some((s, lo, hi)) if s == i => {
+                    let at = (budget
+                        - alloc
+                            .iter()
+                            .enumerate()
+                            .filter(|&(j, _)| j != i)
+                            .map(|(_, &a)| a as usize)
+                            .sum::<usize>()) as f64;
+                    let slope = (values[i][hi] - values[i][lo]) / ((hi - lo) as f64);
+                    envelope += values[i][lo] + slope * (at - lo as f64);
+                }
+                _ => envelope += values[i][alloc[i] as usize],
+            }
+        }
+        if !achieved.is_finite() {
+            return Err(SolveError::UnexpectedInfeasible { c });
+        }
+
+        let gap_g = (envelope - achieved).max(0.0);
+        let rate = grid.sum_l_min;
+        let gap_c = if rate > 0.0 && rate.is_finite() { gap_g / rate } else { gap_g };
+        let x: Vec<f64> = alloc.iter().map(|&a| a as f64 / pp as f64).collect();
+
+        if self.recorder.enabled() {
+            self.recorder.counter("inner.scale_probes", 1);
+            self.recorder.counter("inner.scale_segments", segments as u64);
+            self.recorder.counter("inner.scale_repairs", repairs);
+        }
+
+        let result = InnerResult {
+            g_value: achieved,
+            x,
+            gap: gap_c,
+            stats: InnerStats { milp_nodes: 0, lp_iterations: 0, evaluations },
+        };
+        let cert = ScaleCertificate { achieved, envelope, gap_g, gap_c, rate };
+        Ok((result, cert))
+    }
+}
+
+impl InnerSolver for ScaleInner {
+    fn maximize_g<M: IntervalChoiceModel>(
+        &self,
+        p: &RobustProblem<'_, M>,
+        c: f64,
+    ) -> Result<InnerResult, SolveError> {
+        self.maximize_with_certificate(p, c).map(|(res, _)| res)
+    }
+
+    /// Warm probe: the grid samples `(L, U, Ud)` are `c`-independent,
+    /// so after the first probe the envelope greedy runs off the cache
+    /// with zero model evaluations — bitwise identical to the cold path
+    /// (the cached samples *are* the cold samples).
+    fn feasibility_g_warm<M: IntervalChoiceModel>(
+        &self,
+        p: &RobustProblem<'_, M>,
+        c: f64,
+        tol: f64,
+        warm: &mut WarmState,
+    ) -> Result<InnerResult, SolveError> {
+        let fresh = warm.ensure_grid(p, self.points_per_unit);
+        match warm.grid(self.points_per_unit) {
+            Some(grid) => {
+                self.solve_on_grid(grid, p.resources(), c, fresh).map(|(res, _)| res)
+            }
+            // Unreachable in practice (ensure_grid just built it); fall
+            // back to the cold path rather than assert.
+            None => self.feasibility_g(p, c, tol),
+        }
+    }
+
+    fn resolution(&self) -> Option<usize> {
+        Some(self.points_per_unit)
+    }
+
+    fn name(&self) -> &'static str {
+        "scale"
+    }
+
+    fn attach_recorder(&mut self, recorder: &SharedRecorder) {
+        self.recorder = recorder.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inner::DpInner;
+    use crate::transform;
+    use cubis_behavior::{BoundConvention, SuqrUncertainty, UncertainSuqr};
+    use cubis_game::{GameGenerator, SecurityGame, TargetPayoffs};
+
+    fn small() -> (SecurityGame, UncertainSuqr) {
+        let game = SecurityGame::new(
+            vec![
+                TargetPayoffs::new(5.0, -3.0, 3.0, -5.0),
+                TargetPayoffs::new(7.0, -7.0, 7.0, -7.0),
+                TargetPayoffs::new(2.0, -4.0, 4.0, -2.0),
+            ],
+            1.0,
+        );
+        let model = UncertainSuqr::from_game(
+            &game,
+            SuqrUncertainty::paper_example(),
+            0.5,
+            BoundConvention::ExactInterval,
+        );
+        (game, model)
+    }
+
+    fn generated(seed: u64, t: usize, r: f64) -> (SecurityGame, UncertainSuqr) {
+        let game = GameGenerator::new(seed).generate(t, r);
+        let model = UncertainSuqr::from_game(
+            &game,
+            SuqrUncertainty::paper_example(),
+            0.5,
+            BoundConvention::ExactInterval,
+        );
+        (game, model)
+    }
+
+    #[test]
+    fn hull_is_concave_and_dominates_samples() {
+        let rows: [&[f64]; 4] = [
+            &[0.0, 1.0, 3.0, 4.0, 4.5],
+            &[0.0, -1.0, 5.0, -2.0, 3.0],
+            &[2.0, 2.0, 2.0],
+            &[1.0, 0.0],
+        ];
+        for row in rows {
+            let hull = upper_hull(row);
+            assert_eq!(hull[0], 0);
+            assert_eq!(*hull.last().expect("nonempty hull") as usize, row.len() - 1);
+            // Strictly decreasing segment slopes.
+            let slopes: Vec<f64> = hull
+                .windows(2)
+                .map(|w| {
+                    (row[w[1] as usize] - row[w[0] as usize]) / ((w[1] - w[0]) as f64)
+                })
+                .collect();
+            for pair in slopes.windows(2) {
+                assert!(pair[0] > pair[1], "slopes not decreasing: {slopes:?}");
+            }
+            // Pointwise dominance.
+            for (j, &v) in row.iter().enumerate() {
+                let seg = hull
+                    .windows(2)
+                    .find(|w| (w[0] as usize) <= j && j <= w[1] as usize)
+                    .expect("covering segment");
+                let (lo, hi) = (seg[0] as usize, seg[1] as usize);
+                let slope = (row[hi] - row[lo]) / ((hi - lo) as f64);
+                let env = row[lo] + slope * ((j - lo) as f64);
+                assert!(env >= v - 1e-12, "hull under sample at {j}: {env} < {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_matches_dp_within_certificate() {
+        let (game, model) = small();
+        let p = RobustProblem::new(&game, &model);
+        let pp = 7;
+        let dp = DpInner::new(pp);
+        let scale = ScaleInner::new(pp);
+        for &c in &[-4.0, -1.0, 0.0, 0.5, 1.5] {
+            let exact = dp.maximize_g(&p, c).expect("dp").g_value;
+            let (res, cert) = scale.maximize_with_certificate(&p, c).expect("scale");
+            // Grid-feasible, so never above the grid optimum…
+            assert!(res.g_value <= exact + 1e-9, "c={c}: scale {} > dp {exact}", res.g_value);
+            // …and the certificate covers the shortfall.
+            assert!(
+                res.g_value + cert.gap_g >= exact - 1e-9,
+                "c={c}: achieved {} + gap {} < dp {exact}",
+                res.g_value,
+                cert.gap_g
+            );
+            assert!(cert.gap_g >= 0.0 && cert.gap_c >= 0.0);
+            assert!(cert.envelope >= exact - 1e-9, "envelope must bound the grid optimum");
+            // The reported value is the true G at the returned point.
+            assert!((transform::g_total(&p, &res.x, c) - res.g_value).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scale_is_budget_feasible() {
+        let (game, model) = generated(9, 12, 3.0);
+        let p = RobustProblem::new(&game, &model);
+        let res = ScaleInner::new(16).maximize_g(&p, 0.0).expect("solve");
+        assert!(res.x.iter().sum::<f64>() <= game.resources() + 1e-9);
+        assert!(res.x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn exact_budget_uses_all_resources() {
+        let (game, model) = small();
+        let p = RobustProblem::new(&game, &model);
+        let res = ScaleInner::new(10).exact_budget().maximize_g(&p, 0.0).expect("solve");
+        assert!((res.x.iter().sum::<f64>() - game.resources()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_is_bitwise_identical_to_cold() {
+        let (game, model) = generated(4, 30, 5.0);
+        let p = RobustProblem::new(&game, &model);
+        let scale = ScaleInner::new(12);
+        let mut warm = WarmState::new();
+        for &c in &[-2.0, 0.0, 1.0] {
+            let cold = scale.feasibility_g(&p, c, 1e-9).expect("cold");
+            let hot = scale.feasibility_g_warm(&p, c, 1e-9, &mut warm).expect("warm");
+            assert_eq!(cold.g_value.to_bits(), hot.g_value.to_bits(), "c={c}");
+            assert_eq!(cold.gap.to_bits(), hot.gap.to_bits(), "c={c}");
+            let cold_bits: Vec<u64> = cold.x.iter().map(|v| v.to_bits()).collect();
+            let hot_bits: Vec<u64> = hot.x.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(cold_bits, hot_bits, "c={c}");
+        }
+        assert_eq!(warm.stats.cold_builds, 1);
+        assert_eq!(warm.stats.cached_builds, 2);
+    }
+
+    #[test]
+    fn envelope_dominates_random_grid_allocations() {
+        let (game, model) = generated(11, 25, 6.0);
+        let p = RobustProblem::new(&game, &model);
+        let pp = 9usize;
+        let scale = ScaleInner::new(pp);
+        let budget = (game.resources() * pp as f64).round() as usize;
+        for &c in &[-3.0, 0.0, 2.0] {
+            let (_, cert) = scale.maximize_with_certificate(&p, c).expect("solve");
+            // Deterministic LCG over feasible grid allocations.
+            let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ c.to_bits();
+            for _ in 0..64 {
+                let mut rem = budget;
+                let mut value = 0.0;
+                for i in 0..game.num_targets() {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let a = (state >> 33) as usize % (pp.min(rem) + 1);
+                    rem -= a;
+                    value += transform::g(&p, i, a as f64 / pp as f64, c);
+                }
+                assert!(
+                    value <= cert.envelope + 1e-9,
+                    "c={c}: sampled grid allocation {value} beats the envelope {}",
+                    cert.envelope
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refining_the_grid_never_lowers_the_envelope() {
+        // The coarse grid's samples are a subset of the fine grid's
+        // (j/P = 2j/2P exactly in IEEE-754), so the fine hull dominates
+        // the coarse hull and the envelope optimum is monotone.
+        let (game, model) = generated(6, 15, 4.0);
+        let p = RobustProblem::new(&game, &model);
+        for &c in &[-2.0, 0.25, 1.0] {
+            let (_, coarse) = ScaleInner::new(6).maximize_with_certificate(&p, c).expect("pp=6");
+            let (_, fine) = ScaleInner::new(12).maximize_with_certificate(&p, c).expect("pp=12");
+            assert!(
+                fine.envelope >= coarse.envelope - 1e-9,
+                "c={c}: envelope dropped under refinement: {} -> {}",
+                coarse.envelope,
+                fine.envelope
+            );
+            assert!(
+                fine.achieved >= coarse.achieved - 1e-9,
+                "c={c}: achieved dropped under refinement"
+            );
+        }
+    }
+
+    #[test]
+    fn large_instance_is_fast_and_tightly_certified() {
+        let (game, model) = generated(21, 2000, 40.0);
+        let p = RobustProblem::new(&game, &model);
+        let (lo, hi) = p.utility_range();
+        let scale = ScaleInner::new(24);
+        for f in [0.0, 0.3, 0.6] {
+            let c = lo + f * (hi - lo);
+            let (res, cert) = scale.maximize_with_certificate(&p, c).expect("solve");
+            assert!(cert.gap_g >= 0.0 && cert.gap_c.is_finite());
+            assert!(res.x.iter().sum::<f64>() <= game.resources() + 1e-9);
+            // The certificate is one target's local hull slack divided
+            // by a rate that grows with T — tiny at this size.
+            assert!(cert.gap_c <= 1e-6, "c={c}: gap_c {} too large", cert.gap_c);
+        }
+    }
+}

@@ -45,7 +45,10 @@ pub mod transform;
 pub mod warm;
 
 pub use deadline::Deadline;
-pub use inner::{DpInner, GreedyInner, InnerResult, InnerSolver, MilpInner};
+pub use inner::{
+    DpInner, GreedyInner, InnerEngine, InnerPolicy, InnerResult, InnerSolver, MilpInner,
+    RoutedInner, ScaleCertificate, ScaleInner, AUTO_SCALE_THRESHOLD,
+};
 pub use oracle::{worst_case_inner_lp, WorstCase};
 pub use problem::RobustProblem;
 pub use sensitivity::{rank_targets, value_of_information};

@@ -95,6 +95,13 @@ pub struct CubisSolution {
     pub worst_case: f64,
     /// Number of binary-search steps performed.
     pub binary_steps: usize,
+    /// Largest certified inner-probe optimality slack seen during the
+    /// search, in utility (`c`) units (see [`InnerResult::gap`]). Zero
+    /// for exact backends; for [`crate::ScaleInner`] it bounds how far
+    /// an approximate probe could have moved the feasibility threshold,
+    /// so the true binary-search bounds lie within
+    /// `[lb − inner_gap, ub + inner_gap]`.
+    pub inner_gap: f64,
     /// Accumulated backend effort.
     pub stats: InnerStats,
     /// Warm-start effort breakdown (all zero when
@@ -288,6 +295,7 @@ impl<I: InnerSolver> Cubis<I> {
         // midpoints turn out infeasible.
         let first = self.probe(p, range_lo, warm_state.as_mut())?;
         stats.add(first.stats);
+        let mut inner_gap = first.gap;
         steps += 1;
         debug_assert!(first.g_value >= -self.opts.g_tol, "P1 infeasible at range low");
         let mut best: InnerResult = first;
@@ -305,6 +313,7 @@ impl<I: InnerSolver> Cubis<I> {
             let mid = 0.5 * (lb + ub);
             let res = self.probe(p, mid, warm_state.as_mut())?;
             stats.add(res.stats);
+            inner_gap = inner_gap.max(res.gap);
             steps += 1;
             let g_value = res.g_value;
             let feasible = g_value >= -self.opts.g_tol;
@@ -341,6 +350,7 @@ impl<I: InnerSolver> Cubis<I> {
             ub,
             worst_case,
             binary_steps: steps,
+            inner_gap,
             stats,
             warm,
             k: None,

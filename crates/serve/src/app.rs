@@ -7,12 +7,20 @@
 //! oracle, which is the point: the oracle exercises the *exact* code
 //! path production requests take, not a lookalike.
 //!
-//! Solves run the DP inner backend ([`cubis_core::DpInner`]) at the
-//! instance's own `pp`/`epsilon` knobs: it is deterministic (a fixed
-//! grid, no tie-breaking ambiguity), which the bit-identical cache
-//! contract depends on. The cache marker travels as the
-//! `X-Cubis-Cache` *header*, never in the body, so hit and fresh
-//! bodies can be compared byte-for-byte.
+//! Solves route between two deterministic inner backends at the
+//! instance's own `pp`/`epsilon` knobs: the exact DP grid
+//! ([`cubis_core::DpInner`]) for small instances and the certified
+//! breakpoint-grid engine ([`cubis_core::ScaleInner`]) above
+//! [`cubis_core::AUTO_SCALE_THRESHOLD`] targets. The default
+//! ([`codec::RequestPolicy::Auto`]) routes by target count; a request
+//! may force either backend, and forced requests are cached under a
+//! policy-qualified content key so the engines never share entries.
+//! Both backends are deterministic (fixed grids, no tie-breaking
+//! ambiguity), which the bit-identical cache contract depends on. The
+//! cache marker travels as the `X-Cubis-Cache` *header*, never in the
+//! body, so hit and fresh bodies can be compared byte-for-byte; the
+//! engine that produced (or would produce) a body is echoed in
+//! `X-Cubis-Inner`.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -20,11 +28,13 @@ use std::time::Duration;
 
 use cubis_check::CheckInstance;
 use cubis_core::problem::RobustProblem;
-use cubis_core::{Cubis, CubisSolution, Deadline, DpInner, SolveError};
+use cubis_core::{
+    Cubis, CubisSolution, Deadline, DpInner, ScaleInner, SolveError, AUTO_SCALE_THRESHOLD,
+};
 use cubis_trace::{CounterSetRecorder, SharedRecorder};
 
 use crate::cache::SolutionCache;
-use crate::codec::{self, BatchRequest, SolveRequest};
+use crate::codec::{self, BatchRequest, RequestPolicy, SolveRequest};
 use crate::metrics::ServerMetrics;
 
 /// How a response relates to the solution cache.
@@ -58,11 +68,15 @@ pub struct ApiResponse {
     pub body: String,
     /// Cache disposition (drives the `X-Cubis-Cache` header).
     pub cache: CacheOutcome,
+    /// The inner engine that produced the body (drives the
+    /// `X-Cubis-Inner` header; `None` on errors and batch envelopes,
+    /// whose items carry their own `inner` field).
+    pub inner: Option<&'static str>,
 }
 
 impl ApiResponse {
-    fn ok(body: String, cache: CacheOutcome) -> Self {
-        Self { status: 200, body, cache }
+    fn ok(body: String, cache: CacheOutcome, inner: Option<&'static str>) -> Self {
+        Self { status: 200, body, cache, inner }
     }
 
     fn error(status: u16, code: &str, detail: &str) -> Self {
@@ -70,6 +84,7 @@ impl ApiResponse {
             status,
             body: codec::error_body(code, detail, None),
             cache: CacheOutcome::NotApplicable,
+            inner: None,
         }
     }
 }
@@ -120,6 +135,35 @@ impl App {
         }
     }
 
+    /// The inner engine a `(policy, target count)` pair resolves to:
+    /// `"dp"` or `"scale"`. `Auto` mirrors the core's
+    /// [`cubis_core::InnerPolicy::Auto`] size threshold.
+    pub fn engine_for(policy: RequestPolicy, targets: usize) -> &'static str {
+        match policy {
+            RequestPolicy::Dp => "dp",
+            RequestPolicy::Scale => "scale",
+            RequestPolicy::Auto => {
+                if targets > AUTO_SCALE_THRESHOLD {
+                    "scale"
+                } else {
+                    "dp"
+                }
+            }
+        }
+    }
+
+    /// The cache content key for an instance under a policy: the
+    /// canonical bytes, policy-qualified when the request forces an
+    /// engine so `dp` and `scale` bodies never alias.
+    fn cache_content(inst: &CheckInstance, policy: RequestPolicy) -> String {
+        let canon = cubis_check::canon::content_bytes(inst);
+        if policy == RequestPolicy::Auto {
+            canon
+        } else {
+            format!("{canon}\npolicy={}", policy.as_str())
+        }
+    }
+
     /// Run one fresh solve (no cache involvement) and encode the body.
     /// Public so the differential oracle can compare a from-scratch
     /// solve against the cached handler path.
@@ -127,6 +171,7 @@ impl App {
         &self,
         inst: &CheckInstance,
         deadline: Deadline,
+        policy: RequestPolicy,
     ) -> Result<String, SolveError> {
         let game = inst.game();
         let model = inst.model(&game);
@@ -134,30 +179,43 @@ impl App {
         let recorder = SharedRecorder::new(
             Arc::clone(&self.trace) as Arc<dyn cubis_trace::Recorder>
         );
-        let solution: CubisSolution = Cubis::new(DpInner::new(inst.pp))
-            .with_epsilon(inst.epsilon)
-            .with_deadline(deadline)
-            .with_recorder(recorder)
-            .solve(&problem)?;
+        let solution: CubisSolution = match Self::engine_for(policy, inst.num_targets()) {
+            "scale" => Cubis::new(ScaleInner::new(inst.pp))
+                .with_epsilon(inst.epsilon)
+                .with_deadline(deadline)
+                .with_recorder(recorder)
+                .solve(&problem)?,
+            _ => Cubis::new(DpInner::new(inst.pp))
+                .with_epsilon(inst.epsilon)
+                .with_deadline(deadline)
+                .with_recorder(recorder)
+                .solve(&problem)?,
+        };
         Ok(codec::solution_to_json(inst.content_hash(), &solution).to_json_string())
     }
 
-    fn solve_one(&self, inst: &CheckInstance, deadline_ms: Option<u64>) -> ApiResponse {
+    fn solve_one(
+        &self,
+        inst: &CheckInstance,
+        deadline_ms: Option<u64>,
+        policy: RequestPolicy,
+    ) -> ApiResponse {
         if !inst.is_valid() {
             self.metrics.client_errors.fetch_add(1, Ordering::SeqCst);
             return ApiResponse::error(422, "invalid_instance", "instance fails validity checks");
         }
+        let engine = Self::engine_for(policy, inst.num_targets());
         let hash = inst.content_hash();
-        let content = cubis_check::canon::content_bytes(inst);
+        let content = Self::cache_content(inst, policy);
         if let Some(body) = self.cache.get(hash, &content) {
             self.metrics.cache_hits.fetch_add(1, Ordering::SeqCst);
-            return ApiResponse::ok(body, CacheOutcome::Hit);
+            return ApiResponse::ok(body, CacheOutcome::Hit, Some(engine));
         }
         self.metrics.cache_misses.fetch_add(1, Ordering::SeqCst);
-        match self.solve_fresh(inst, Self::deadline_from_ms(deadline_ms)) {
+        match self.solve_fresh(inst, Self::deadline_from_ms(deadline_ms), policy) {
             Ok(body) => {
                 self.cache.insert(hash, &content, &body);
-                ApiResponse::ok(body, CacheOutcome::Miss)
+                ApiResponse::ok(body, CacheOutcome::Miss, Some(engine))
             }
             Err(SolveError::DeadlineExceeded { lb, ub, binary_steps }) => {
                 self.metrics.deadline_exceeded.fetch_add(1, Ordering::SeqCst);
@@ -169,6 +227,7 @@ impl App {
                         Some((lb, ub, binary_steps)),
                     ),
                     cache: CacheOutcome::NotApplicable,
+                    inner: None,
                 }
             }
             Err(e) => {
@@ -180,7 +239,7 @@ impl App {
 
     /// Handle a decoded `POST /v1/solve`.
     pub fn handle_solve(&self, req: &SolveRequest) -> ApiResponse {
-        self.solve_one(&req.instance, req.deadline_ms)
+        self.solve_one(&req.instance, req.deadline_ms, req.policy)
     }
 
     /// Handle a raw `POST /v1/solve` body.
@@ -217,7 +276,12 @@ impl App {
         let keys: Vec<(u64, String)> = req
             .instances
             .iter()
-            .map(|i| (i.content_hash(), cubis_check::canon::content_bytes(i)))
+            .map(|i| (i.content_hash(), Self::cache_content(i, req.policy)))
+            .collect();
+        let engines: Vec<&'static str> = req
+            .instances
+            .iter()
+            .map(|i| Self::engine_for(req.policy, i.num_targets()))
             .collect();
         let mut slots: Vec<Option<(String, CacheOutcome)>> = keys
             .iter()
@@ -226,8 +290,9 @@ impl App {
             })
             .collect();
 
-        // Fan the misses into one solve_batch call. Grouping by `pp`
-        // keeps one solver (one inner backend resolution) per group.
+        // Fan the misses into one solve_batch call. Grouping by
+        // `(pp, ε, engine)` keeps one solver (one inner backend at one
+        // resolution) per group.
         let miss_idx: Vec<usize> =
             (0..slots.len()).filter(|&i| slots[i].is_none()).collect();
         self.metrics.cache_hits.fetch_add((keys.len() - miss_idx.len()) as u64, Ordering::SeqCst);
@@ -236,13 +301,13 @@ impl App {
         let recorder = SharedRecorder::new(
             Arc::clone(&self.trace) as Arc<dyn cubis_trace::Recorder>
         );
-        let mut by_knobs: std::collections::BTreeMap<(usize, u64), Vec<usize>> =
+        let mut by_knobs: std::collections::BTreeMap<(usize, u64, &'static str), Vec<usize>> =
             std::collections::BTreeMap::new();
         for &i in &miss_idx {
             let inst = &req.instances[i];
-            by_knobs.entry((inst.pp, inst.epsilon.to_bits())).or_default().push(i);
+            by_knobs.entry((inst.pp, inst.epsilon.to_bits(), engines[i])).or_default().push(i);
         }
-        for ((pp, eps_bits), idxs) in by_knobs {
+        for ((pp, eps_bits, engine), idxs) in by_knobs {
             let built: Vec<_> = idxs
                 .iter()
                 .map(|&i| {
@@ -253,11 +318,20 @@ impl App {
                 .collect();
             let problems: Vec<_> =
                 built.iter().map(|(game, model)| RobustProblem::new(game, model)).collect();
-            let solver = Cubis::new(DpInner::new(pp))
-                .with_epsilon(f64::from_bits(eps_bits))
-                .with_deadline(deadline)
-                .with_recorder(recorder.clone());
-            for (&i, result) in idxs.iter().zip(solver.solve_batch(&problems)) {
+            let results = if engine == "scale" {
+                Cubis::new(ScaleInner::new(pp))
+                    .with_epsilon(f64::from_bits(eps_bits))
+                    .with_deadline(deadline)
+                    .with_recorder(recorder.clone())
+                    .solve_batch(&problems)
+            } else {
+                Cubis::new(DpInner::new(pp))
+                    .with_epsilon(f64::from_bits(eps_bits))
+                    .with_deadline(deadline)
+                    .with_recorder(recorder.clone())
+                    .solve_batch(&problems)
+            };
+            for (&i, result) in idxs.iter().zip(results) {
                 let slot = match result {
                     Ok(sol) => {
                         let (hash, content) = &keys[i];
@@ -299,7 +373,8 @@ impl App {
         }
         let items: Vec<cubis_trace::json::JsonValue> = results
             .iter()
-            .map(|(body, outcome)| {
+            .zip(&engines)
+            .map(|((body, outcome), engine)| {
                 // Bodies are our own codec output; parse failure here
                 // would mean the encoder is broken.
                 let value = cubis_trace::json::parse(body).unwrap_or_else(|_| {
@@ -309,6 +384,10 @@ impl App {
                     (
                         "cache".to_string(),
                         cubis_trace::json::JsonValue::Str(outcome.header_value().to_string()),
+                    ),
+                    (
+                        "inner".to_string(),
+                        cubis_trace::json::JsonValue::Str((*engine).to_string()),
                     ),
                     ("result".to_string(), value),
                 ])
@@ -322,7 +401,7 @@ impl App {
             ),
             ("results".to_string(), cubis_trace::json::JsonValue::Arr(items)),
         ]);
-        ApiResponse::ok(envelope.to_json_string(), CacheOutcome::NotApplicable)
+        ApiResponse::ok(envelope.to_json_string(), CacheOutcome::NotApplicable, None)
     }
 
     /// Handle a raw `POST /v1/solve_batch` body.
@@ -351,7 +430,7 @@ mod tests {
     #[test]
     fn second_identical_solve_is_a_bit_identical_hit() {
         let app = App::new(4, 16);
-        let req = SolveRequest { instance: small_instance(42), deadline_ms: None };
+        let req = SolveRequest { instance: small_instance(42), deadline_ms: None, policy: RequestPolicy::Auto };
         let first = app.handle_solve(&req);
         assert_eq!(first.status, 200);
         assert_eq!(first.cache, CacheOutcome::Miss);
@@ -367,7 +446,7 @@ mod tests {
         let app = App::new(1, 4);
         let mut inst = small_instance(1);
         inst.resources = 99.0; // > num_targets → invalid
-        let resp = app.handle_solve(&SolveRequest { instance: inst, deadline_ms: None });
+        let resp = app.handle_solve(&SolveRequest { instance: inst, deadline_ms: None, policy: RequestPolicy::Auto });
         assert_eq!(resp.status, 422);
         assert_eq!(codec::error_code(&resp.body).as_deref(), Some("invalid_instance"));
         let resp = app.handle_solve_body("not json at all");
@@ -377,7 +456,7 @@ mod tests {
     #[test]
     fn zero_deadline_is_504_with_incumbent() {
         let app = App::new(1, 4);
-        let req = SolveRequest { instance: small_instance(5), deadline_ms: Some(0) };
+        let req = SolveRequest { instance: small_instance(5), deadline_ms: Some(0), policy: RequestPolicy::Auto };
         let resp = app.handle_solve(&req);
         assert_eq!(resp.status, 504);
         assert_eq!(codec::error_code(&resp.body).as_deref(), Some("deadline_exceeded"));
@@ -394,10 +473,11 @@ mod tests {
         let b = small_instance(11);
         // Prime the cache with `a`.
         let single_a =
-            app.handle_solve(&SolveRequest { instance: a.clone(), deadline_ms: None });
+            app.handle_solve(&SolveRequest { instance: a.clone(), deadline_ms: None, policy: RequestPolicy::Auto });
         let resp = app.handle_batch(&BatchRequest {
             instances: vec![a.clone(), b.clone(), a.clone()],
             deadline_ms: None,
+            policy: RequestPolicy::Auto,
         });
         assert_eq!(resp.status, 200);
         let v = cubis_trace::json::parse(&resp.body).unwrap();
@@ -411,21 +491,61 @@ mod tests {
         let item_a = results[0].get("result").unwrap().to_json_string();
         assert_eq!(item_a, single_a.body);
         // And `b` is now cached for singles.
-        let single_b = app.handle_solve(&SolveRequest { instance: b, deadline_ms: None });
+        let single_b = app.handle_solve(&SolveRequest { instance: b, deadline_ms: None, policy: RequestPolicy::Auto });
         assert_eq!(single_b.cache, CacheOutcome::Hit);
     }
 
     #[test]
     fn empty_batch_is_422() {
         let app = App::new(1, 4);
-        let resp = app.handle_batch(&BatchRequest { instances: vec![], deadline_ms: None });
+        let resp = app.handle_batch(&BatchRequest { instances: vec![], deadline_ms: None, policy: RequestPolicy::Auto });
         assert_eq!(resp.status, 422);
+    }
+
+    #[test]
+    fn forced_policies_route_and_cache_separately() {
+        let app = App::new(4, 16);
+        let inst = small_instance(33);
+        assert_eq!(App::engine_for(RequestPolicy::Auto, inst.num_targets()), "dp");
+        let auto = app.handle_solve(&SolveRequest {
+            instance: inst.clone(),
+            deadline_ms: None,
+            policy: RequestPolicy::Auto,
+        });
+        assert_eq!((auto.status, auto.inner), (200, Some("dp")));
+        let forced = app.handle_solve(&SolveRequest {
+            instance: inst.clone(),
+            deadline_ms: None,
+            policy: RequestPolicy::Scale,
+        });
+        assert_eq!((forced.status, forced.inner), (200, Some("scale")));
+        assert_eq!(forced.cache, CacheOutcome::Miss, "forced engine must not reuse auto's entry");
+        assert_eq!(app.cache_len(), 2, "dp and scale bodies live under distinct keys");
+        let again = app.handle_solve(&SolveRequest {
+            instance: inst,
+            deadline_ms: None,
+            policy: RequestPolicy::Scale,
+        });
+        assert_eq!(again.cache, CacheOutcome::Hit);
+        assert_eq!(again.body, forced.body, "cached scale body must be bit-identical");
+        let scale_view = codec::SolutionView::from_json_str(&forced.body).unwrap();
+        assert!(scale_view.inner_gap.is_finite() && scale_view.inner_gap >= 0.0);
+        let dp_view = codec::SolutionView::from_json_str(&auto.body).unwrap();
+        assert_eq!(dp_view.inner_gap, 0.0, "the DP backend is exact");
+    }
+
+    #[test]
+    fn auto_routes_large_instances_to_scale() {
+        assert_eq!(App::engine_for(RequestPolicy::Auto, AUTO_SCALE_THRESHOLD), "dp");
+        assert_eq!(App::engine_for(RequestPolicy::Auto, AUTO_SCALE_THRESHOLD + 1), "scale");
+        assert_eq!(App::engine_for(RequestPolicy::Dp, 10_000), "dp");
+        assert_eq!(App::engine_for(RequestPolicy::Scale, 1), "scale");
     }
 
     #[test]
     fn metrics_reflect_traffic() {
         let app = App::new(1, 4);
-        let req = SolveRequest { instance: small_instance(20), deadline_ms: None };
+        let req = SolveRequest { instance: small_instance(20), deadline_ms: None, policy: RequestPolicy::Auto };
         app.handle_solve(&req);
         app.handle_solve(&req);
         let text = app.render_metrics();

@@ -31,6 +31,45 @@ pub const KIND_BATCH: &str = "cubis-serve-batch-solution";
 /// `kind` of an error body.
 pub const KIND_ERROR: &str = "cubis-serve-error";
 
+/// Which inner engine a request asks the service to run.
+///
+/// `Auto` (the default, omitted on the wire) routes by instance size
+/// exactly like [`cubis_core::InnerPolicy::Auto`]: small instances get
+/// the exact DP backend, large ones the certified breakpoint-grid
+/// (`scale`) backend. The other two variants force a backend; forced
+/// requests are cached under a policy-qualified key so a `dp` body is
+/// never served to a `scale` request or vice versa.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RequestPolicy {
+    /// Route by target count (the service default).
+    #[default]
+    Auto,
+    /// Force the exact dynamic-programming inner backend.
+    Dp,
+    /// Force the certified breakpoint-grid inner backend.
+    Scale,
+}
+
+impl RequestPolicy {
+    /// The wire spelling (`"auto"`, `"dp"`, `"scale"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Auto => "auto",
+            Self::Dp => "dp",
+            Self::Scale => "scale",
+        }
+    }
+
+    fn from_wire(s: &str) -> Result<Self, String> {
+        match s {
+            "auto" => Ok(Self::Auto),
+            "dp" => Ok(Self::Dp),
+            "scale" => Ok(Self::Scale),
+            other => Err(format!("unknown policy `{other}` (want auto|dp|scale)")),
+        }
+    }
+}
+
 /// A single-solve request: one instance plus an optional deadline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolveRequest {
@@ -38,6 +77,8 @@ pub struct SolveRequest {
     pub instance: CheckInstance,
     /// Per-request deadline budget in milliseconds (`None` = no limit).
     pub deadline_ms: Option<u64>,
+    /// Inner-engine selection (`Auto` when omitted on the wire).
+    pub policy: RequestPolicy,
 }
 
 /// A batch-solve request: the instances are fanned into
@@ -49,6 +90,8 @@ pub struct BatchRequest {
     pub instances: Vec<CheckInstance>,
     /// Per-item deadline budget in milliseconds (`None` = no limit).
     pub deadline_ms: Option<u64>,
+    /// Inner-engine selection, applied per item (`Auto` when omitted).
+    pub policy: RequestPolicy,
 }
 
 fn envelope(kind: &str) -> Vec<(String, JsonValue)> {
@@ -84,6 +127,16 @@ fn deadline_field(v: &JsonValue) -> Result<Option<u64>, String> {
     }
 }
 
+fn policy_field(v: &JsonValue) -> Result<RequestPolicy, String> {
+    match v.get("policy") {
+        None | Some(JsonValue::Null) => Ok(RequestPolicy::Auto),
+        Some(p) => p
+            .as_str()
+            .ok_or_else(|| "field `policy` is not a string".to_string())
+            .and_then(RequestPolicy::from_wire),
+    }
+}
+
 impl SolveRequest {
     /// Encode as a JSON value.
     pub fn to_json(&self) -> JsonValue {
@@ -94,6 +147,9 @@ impl SolveRequest {
         ));
         if let Some(ms) = self.deadline_ms {
             fields.push(("deadline_ms".to_string(), JsonValue::Num(ms as f64)));
+        }
+        if self.policy != RequestPolicy::Auto {
+            fields.push(("policy".to_string(), JsonValue::Str(self.policy.as_str().to_string())));
         }
         JsonValue::Obj(fields)
     }
@@ -111,6 +167,7 @@ impl SolveRequest {
         Ok(Self {
             instance: cubis_check::canon::decode_instance(inst)?,
             deadline_ms: deadline_field(v)?,
+            policy: policy_field(v)?,
         })
     }
 }
@@ -127,6 +184,9 @@ impl BatchRequest {
         ));
         if let Some(ms) = self.deadline_ms {
             fields.push(("deadline_ms".to_string(), JsonValue::Num(ms as f64)));
+        }
+        if self.policy != RequestPolicy::Auto {
+            fields.push(("policy".to_string(), JsonValue::Str(self.policy.as_str().to_string())));
         }
         JsonValue::Obj(fields)
     }
@@ -148,7 +208,7 @@ impl BatchRequest {
             .iter()
             .map(cubis_check::canon::decode_instance)
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { instances, deadline_ms: deadline_field(v)? })
+        Ok(Self { instances, deadline_ms: deadline_field(v)?, policy: policy_field(v)? })
     }
 }
 
@@ -166,6 +226,7 @@ pub fn solution_to_json(instance_hash: u64, sol: &CubisSolution) -> JsonValue {
     fields.push(("worst_case".to_string(), JsonValue::Num(sol.worst_case)));
     fields.push(("binary_steps".to_string(), JsonValue::Num(sol.binary_steps as f64)));
     fields.push(("gap".to_string(), JsonValue::Num(sol.certificate().gap)));
+    fields.push(("inner_gap".to_string(), JsonValue::Num(sol.inner_gap)));
     JsonValue::Obj(fields)
 }
 
@@ -186,6 +247,9 @@ pub struct SolutionView {
     pub binary_steps: usize,
     /// Certificate gap `ub − lb`.
     pub gap: f64,
+    /// Certified inner-maximization slack (0 for exact backends; see
+    /// [`cubis_core::CubisSolution::inner_gap`]).
+    pub inner_gap: f64,
 }
 
 impl SolutionView {
@@ -217,6 +281,7 @@ impl SolutionView {
             worst_case: num("worst_case")?,
             binary_steps: num("binary_steps")? as usize,
             gap: num("gap")?,
+            inner_gap: num("inner_gap")?,
         })
     }
 }
@@ -260,12 +325,43 @@ mod tests {
         let req = SolveRequest {
             instance: CheckInstance::generate(42),
             deadline_ms: Some(250),
+            policy: RequestPolicy::Auto,
         };
         let back = SolveRequest::from_json_str(&req.to_json_string()).unwrap();
         assert_eq!(req, back);
-        let req = SolveRequest { instance: CheckInstance::generate(7), deadline_ms: None };
+        let req = SolveRequest {
+            instance: CheckInstance::generate(7),
+            deadline_ms: None,
+            policy: RequestPolicy::Auto,
+        };
         let back = SolveRequest::from_json_str(&req.to_json_string()).unwrap();
         assert_eq!(req, back);
+    }
+
+    #[test]
+    fn policy_round_trips_and_is_omitted_when_auto() {
+        for policy in [RequestPolicy::Dp, RequestPolicy::Scale] {
+            let req = SolveRequest {
+                instance: CheckInstance::generate(5),
+                deadline_ms: None,
+                policy,
+            };
+            let text = req.to_json_string();
+            assert!(text.contains("\"policy\""), "forced policy must travel: {text}");
+            assert_eq!(SolveRequest::from_json_str(&text).unwrap(), req);
+        }
+        let auto = SolveRequest {
+            instance: CheckInstance::generate(5),
+            deadline_ms: None,
+            policy: RequestPolicy::Auto,
+        };
+        let text = auto.to_json_string();
+        assert!(!text.contains("\"policy\""), "auto is the wire default: {text}");
+        assert!(
+            SolveRequest::from_json_str(&text.replace("\"instance\"", "\"policy\":\"wat\",\"instance\""))
+                .is_err(),
+            "unknown policies must be rejected"
+        );
     }
 
     #[test]
@@ -273,14 +369,22 @@ mod tests {
         let req = BatchRequest {
             instances: vec![CheckInstance::generate(1), CheckInstance::generate(2)],
             deadline_ms: None,
+            policy: RequestPolicy::Auto,
         };
+        let back = BatchRequest::from_json_str(&req.to_json_string()).unwrap();
+        assert_eq!(req, back);
+        let req = BatchRequest { policy: RequestPolicy::Scale, ..req };
         let back = BatchRequest::from_json_str(&req.to_json_string()).unwrap();
         assert_eq!(req, back);
     }
 
     #[test]
     fn wrong_kind_and_future_version_are_rejected() {
-        let req = SolveRequest { instance: CheckInstance::generate(3), deadline_ms: None };
+        let req = SolveRequest {
+            instance: CheckInstance::generate(3),
+            deadline_ms: None,
+            policy: RequestPolicy::Auto,
+        };
         let text = req.to_json_string();
         assert!(SolveRequest::from_json_str(&text.replace(KIND_SOLVE, "nope")).is_err());
         assert!(

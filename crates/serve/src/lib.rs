@@ -44,7 +44,7 @@ pub mod server;
 
 pub use app::{ApiResponse, App, CacheOutcome};
 pub use cache::SolutionCache;
-pub use codec::{BatchRequest, SolutionView, SolveRequest};
+pub use codec::{BatchRequest, RequestPolicy, SolutionView, SolveRequest};
 pub use loadgen::{LoadgenConfig, LoadgenOutcome};
 pub use metrics::ServerMetrics;
 pub use oracle::cache_vs_fresh_oracle;

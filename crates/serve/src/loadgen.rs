@@ -194,8 +194,12 @@ fn client_loop(
         } else {
             clamp_for_serving(CheckInstance::generate(r.next_u64()))
         };
-        let body =
-            SolveRequest { instance, deadline_ms: cfg.deadline_ms }.to_json_string();
+        let body = SolveRequest {
+            instance,
+            deadline_ms: cfg.deadline_ms,
+            policy: crate::codec::RequestPolicy::Auto,
+        }
+        .to_json_string();
         let started = Instant::now();
         let outcome = match http::roundtrip(
             addr,

@@ -18,7 +18,7 @@ use cubis_check::CheckInstance;
 use cubis_core::Deadline;
 
 use crate::app::{App, CacheOutcome};
-use crate::codec::SolveRequest;
+use crate::codec::{RequestPolicy, SolveRequest};
 
 /// The registry entry for this crate's differential oracle.
 pub fn cache_vs_fresh_oracle() -> Oracle {
@@ -37,9 +37,10 @@ fn cache_vs_fresh(inst: &CheckInstance) -> Result<OracleStatus, String> {
     }
     let app = App::new(2, 8);
     let fresh = app
-        .solve_fresh(inst, Deadline::none())
+        .solve_fresh(inst, Deadline::none(), RequestPolicy::Auto)
         .map_err(|e| format!("fresh solve failed: {e}"))?;
-    let req = SolveRequest { instance: inst.clone(), deadline_ms: None };
+    let req =
+        SolveRequest { instance: inst.clone(), deadline_ms: None, policy: RequestPolicy::Auto };
     let first = app.handle_solve(&req);
     if first.status != 200 {
         return Err(format!("first handler call: status {} body {}", first.status, first.body));

@@ -295,12 +295,11 @@ fn worker_loop(shared: &Shared) {
             "/v1/solve" => shared.app.handle_solve_body(&body_text),
             _ => shared.app.handle_batch_body(&body_text),
         };
-        respond(
-            &mut job.stream,
-            response.status,
-            &[("x-cubis-cache", response.cache.header_value())],
-            &response.body,
-        );
+        let mut headers = vec![("x-cubis-cache", response.cache.header_value())];
+        if let Some(engine) = response.inner {
+            headers.push(("x-cubis-inner", engine));
+        }
+        respond(&mut job.stream, response.status, &headers, &response.body);
         metrics.solve_latency.observe(started.elapsed());
         metrics.in_flight.fetch_sub(1, Ordering::SeqCst);
     }

@@ -43,6 +43,18 @@ pub const COUNTERS: &[(&str, &str)] = &[
         "inner solves seeded from a prior basis/incumbent",
     ),
     (
+        "inner.scale_probes",
+        "breakpoint-grid envelope-greedy inner probes",
+    ),
+    (
+        "inner.scale_repairs",
+        "scale probes whose straddling target took a local repair",
+    ),
+    (
+        "inner.scale_segments",
+        "upper-concave-hull segments built across scale probes",
+    ),
+    (
         "lp.dual_restarts",
         "LP solves warm-restarted via the dual simplex from a parent basis",
     ),

@@ -53,7 +53,7 @@ pub const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "ci",
         usage: "ci [--root <workspace-dir>]",
-        what: "the local pre-merge gate (fmt, clippy, analyze, fuzz+bench+serve smoke, tests, docs)",
+        what: "the local pre-merge gate (fmt, clippy, analyze, fuzz+scale+bench+serve smoke, tests, docs)",
     },
 ];
 

@@ -34,10 +34,15 @@
 //!   `cargo fmt --check`, `cargo clippy --workspace --all-targets` with
 //!   warnings denied, the analyze pass gated on the committed baseline
 //!   (its JSON report written to `analyze-report.json` beside the
-//!   `BENCH_*.json` artifacts), the fuzz smoke subset, an in-process
-//!   bench smoke (validated, not written), an in-process serve smoke
-//!   (boot + loadgen + validate), `cargo test -q`, `cargo doc
-//!   --no-deps` with warnings denied, and `cargo test --doc`.
+//!   `BENCH_*.json` artifacts), the fuzz smoke subset, a focused
+//!   50-case fuzz of the breakpoint-grid oracles
+//!   (`inner-scale-vs-milp`, `inner-scale-certificate`), a scale
+//!   smoke (the `huge-t1000` workload solved on the certified
+//!   breakpoint-grid engine under a wall budget with its certificate
+//!   gated), an in-process bench smoke (validated, not written), an
+//!   in-process serve smoke (boot + loadgen + validate), `cargo test
+//!   -q`, `cargo doc --no-deps` with warnings denied, and `cargo test
+//!   --doc`.
 //!
 //! The fuzz harness runs the `cubis-check` registry *plus* the
 //! `cubis-serve-cache-vs-fresh` oracle, passed through the harness's
@@ -237,13 +242,22 @@ fn bench(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // The smoke gate also audits the *committed* artifact: the large
-    // shape's cold pivot count must stay below the dense-tableau seed
-    // pin, so a pricing regression can't hide behind faster pivots.
+    // The smoke gate also audits the *committed* artifact against the
+    // committed `bench-pins.json`: the pinned shape's cold pivot count
+    // must stay below its ceiling, so a pricing regression can't hide
+    // behind faster pivots — and a legitimate re-pin is one reviewed
+    // edit of the pins file.
     if smoke {
         let root = match resolve_root(args) {
             Ok(r) => r,
             Err(e) => return usage(&e),
+        };
+        let pins = match cubis_bench::pins::BenchPins::load(&root.join("bench-pins.json")) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("cubis-xtask bench: pin file check failed: {e}");
+                return ExitCode::FAILURE;
+            }
         };
         let committed = root.join("BENCH_solve.json");
         match std::fs::read_to_string(&committed)
@@ -252,29 +266,29 @@ fn bench(args: &[String]) -> ExitCode {
         {
             Ok(pinned) => {
                 let Some(shape) =
-                    pinned.shapes.iter().find(|s| s.name == harness::PIVOT_PIN_SHAPE)
+                    pinned.shapes.iter().find(|s| s.name == pins.pivot_pin.shape)
                 else {
                     eprintln!(
                         "cubis-xtask bench: committed {} lacks shape {}",
                         committed.display(),
-                        harness::PIVOT_PIN_SHAPE
+                        pins.pivot_pin.shape
                     );
                     return ExitCode::FAILURE;
                 };
-                if shape.cold.lp_pivots >= harness::SEED_LARGE_LP_PIVOTS {
+                if shape.cold.lp_pivots >= pins.pivot_pin.max_cold_lp_pivots {
                     eprintln!(
-                        "cubis-xtask bench: {} cold lp_pivots {} has not dropped below the seed pin {}",
-                        harness::PIVOT_PIN_SHAPE,
+                        "cubis-xtask bench: {} cold lp_pivots {} has not dropped below the pinned ceiling {}",
+                        pins.pivot_pin.shape,
                         shape.cold.lp_pivots,
-                        harness::SEED_LARGE_LP_PIVOTS
+                        pins.pivot_pin.max_cold_lp_pivots
                     );
                     return ExitCode::FAILURE;
                 }
                 println!(
-                    "bench: pivot pin ok ({} cold lp_pivots {} < seed {})",
-                    harness::PIVOT_PIN_SHAPE,
+                    "bench: pivot pin ok ({} cold lp_pivots {} < pinned {})",
+                    pins.pivot_pin.shape,
                     shape.cold.lp_pivots,
-                    harness::SEED_LARGE_LP_PIVOTS
+                    pins.pivot_pin.max_cold_lp_pivots
                 );
             }
             Err(e) => {
@@ -716,12 +730,88 @@ fn changed_files(root: &PathBuf) -> Result<BTreeSet<PathBuf>, String> {
     Ok(files)
 }
 
+/// Wall budget for the ci scale smoke: one `huge-t1000` solve on the
+/// breakpoint-grid engine. The committed `BENCH_solve.json` medians
+/// sit well under a second; the budget absorbs CI-host noise without
+/// letting an accidental O(T²) regression through.
+const SCALE_SMOKE_WALL_BUDGET: std::time::Duration = std::time::Duration::from_secs(10);
+/// Ceiling on the certified inner gap for the scale smoke solve.
+const SCALE_SMOKE_MAX_GAP: f64 = 1e-6;
+/// The breakpoint-grid oracles the focused ci fuzz step targets.
+const SCALE_ORACLES: [&str; 2] = ["inner-scale-vs-milp", "inner-scale-certificate"];
+
+/// Fuzz only the scale oracles for `iters` seeded cases (the full
+/// registry already runs them in the smoke subset; this step buys
+/// depth on the new engine without re-paying for every oracle).
+fn run_scale_oracle_fuzz(seed: u64, iters: usize) -> Result<usize, String> {
+    let targeted: Vec<&cubis_check::Oracle> = cubis_check::oracles::registry()
+        .iter()
+        .filter(|o| SCALE_ORACLES.contains(&o.name))
+        .collect();
+    if targeted.len() != SCALE_ORACLES.len() {
+        return Err("scale oracles missing from the cubis-check registry".to_string());
+    }
+    let mut seeds = cubis_check::SplitMix64::new(seed);
+    let mut checks = 0usize;
+    for _ in 0..iters {
+        let inst = cubis_check::CheckInstance::generate(seeds.next_u64());
+        for o in &targeted {
+            match (o.run)(&inst) {
+                Ok(cubis_check::OracleStatus::Checked) => checks += 1,
+                Ok(cubis_check::OracleStatus::Skipped) => {}
+                Err(detail) => {
+                    return Err(format!(
+                        "oracle `{}` violated on case seed {}: {detail}",
+                        o.name,
+                        cubis_check::format_seed(inst.seed)
+                    ));
+                }
+            }
+        }
+    }
+    Ok(checks)
+}
+
+/// Solve the committed `huge-t1000` bench shape once on its production
+/// engine and gate wall time and the certified inner gap.
+fn run_scale_smoke() -> Result<(std::time::Duration, f64), String> {
+    let shape = cubis_bench::harness::full_shapes()
+        .into_iter()
+        .find(|s| s.name == "huge-t1000")
+        .ok_or_else(|| "shape `huge-t1000` missing from the bench catalog".to_string())?;
+    let (game, model) =
+        cubis_bench::fixtures::workload(shape.seed, shape.targets, shape.resources, shape.delta);
+    let p = cubis_core::RobustProblem::new(&game, &model);
+    let policy = match shape.engine {
+        "scale" => cubis_core::InnerPolicy::Scale,
+        _ => cubis_core::InnerPolicy::Milp,
+    };
+    let started = std::time::Instant::now();
+    let sol = cubis_core::Cubis::new(cubis_core::RoutedInner::new(policy, shape.k))
+        .with_epsilon(shape.epsilon)
+        .solve(&p)
+        .map_err(|e| format!("huge-t1000 solve failed: {e}"))?;
+    let wall = started.elapsed();
+    if wall > SCALE_SMOKE_WALL_BUDGET {
+        return Err(format!(
+            "huge-t1000 took {wall:?}, over the {SCALE_SMOKE_WALL_BUDGET:?} budget"
+        ));
+    }
+    if !(sol.inner_gap <= SCALE_SMOKE_MAX_GAP) {
+        return Err(format!(
+            "huge-t1000 certified inner gap {:e} exceeds the {SCALE_SMOKE_MAX_GAP:e} ceiling",
+            sol.inner_gap
+        ));
+    }
+    Ok((wall, sol.inner_gap))
+}
+
 fn ci(root: &PathBuf) -> ExitCode {
-    println!("[1/9] cargo fmt --check");
+    println!("[1/11] cargo fmt --check");
     if !run_cargo(root, &["fmt", "--", "--check"], &[]) {
         return ExitCode::FAILURE;
     }
-    println!("[2/9] cargo clippy --workspace --all-targets (warnings denied)");
+    println!("[2/11] cargo clippy --workspace --all-targets (warnings denied)");
     // float-cmp and unwrap-used stay advisory here: their cubis-analyze
     // cousins (NUM01/NUM02) gate with per-site justifications clippy
     // cannot see.
@@ -743,7 +833,7 @@ fn ci(root: &PathBuf) -> ExitCode {
     ) {
         return ExitCode::FAILURE;
     }
-    println!("[3/9] cubis-xtask analyze (vs committed baseline)");
+    println!("[3/11] cubis-xtask analyze (vs committed baseline)");
     // The JSON report lands beside the BENCH_*.json artifacts so CI can
     // upload it.
     let opts = AnalyzeOpts {
@@ -758,7 +848,7 @@ fn ci(root: &PathBuf) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    println!("[4/9] cubis-check fuzz smoke (registry + serve oracle)");
+    println!("[4/11] cubis-check fuzz smoke (registry + serve oracle)");
     let smoke = cubis_check::run_fuzz_with(&cubis_check::FuzzConfig::smoke(), &extra_oracles());
     println!(
         "ci: fuzz smoke ran {} case(s), {} oracle check(s)",
@@ -768,7 +858,25 @@ fn ci(root: &PathBuf) -> ExitCode {
         report_failure(&failure);
         return ExitCode::FAILURE;
     }
-    println!("[5/9] cubis-bench smoke");
+    println!("[5/11] scale-oracle fuzz (50 cases over the breakpoint-grid oracles)");
+    match run_scale_oracle_fuzz(0x5CA1E, 50) {
+        Ok(checks) => println!("ci: scale-oracle fuzz ok ({checks} oracle check(s))"),
+        Err(detail) => {
+            eprintln!("ci: scale-oracle fuzz failed: {detail}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("[6/11] scale smoke (huge-t1000 certified under budget)");
+    match run_scale_smoke() {
+        Ok((wall, gap)) => {
+            println!("ci: scale smoke ok (huge-t1000 in {wall:?}, certified gap {gap:e})");
+        }
+        Err(detail) => {
+            eprintln!("ci: scale smoke failed: {detail}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("[7/11] cubis-bench smoke");
     // In-process and validated only — the repo-root BENCH_solve.json is
     // written by an explicit `bench` run, never as a ci side effect.
     match cubis_bench::harness::run(&cubis_bench::harness::smoke_shapes()) {
@@ -793,7 +901,7 @@ fn ci(root: &PathBuf) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    println!("[6/9] cubis-serve smoke");
+    println!("[8/11] cubis-serve smoke");
     // Same discipline as the bench smoke: in-process and validated
     // only — BENCH_serve.json is written by an explicit `loadgen` run.
     match run_loadgen(&smoke_loadgen_config()) {
@@ -808,11 +916,11 @@ fn ci(root: &PathBuf) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    println!("[7/9] cargo test -q");
+    println!("[9/11] cargo test -q");
     if !run_cargo(root, &["test", "-q"], &[]) {
         return ExitCode::FAILURE;
     }
-    println!("[8/9] cargo doc --no-deps (warnings denied)");
+    println!("[10/11] cargo doc --no-deps (warnings denied)");
     if !run_cargo(
         root,
         &["doc", "--no-deps"],
@@ -820,7 +928,7 @@ fn ci(root: &PathBuf) -> ExitCode {
     ) {
         return ExitCode::FAILURE;
     }
-    println!("[9/9] cargo test --doc");
+    println!("[11/11] cargo test --doc");
     if !run_cargo(root, &["test", "--doc", "-q"], &[]) {
         return ExitCode::FAILURE;
     }
@@ -859,5 +967,18 @@ mod tests {
             handlers, specs,
             "dispatch table out of sync with commands::COMMANDS"
         );
+    }
+
+    #[test]
+    fn scale_oracle_fuzz_targets_exist_and_pass_a_short_run() {
+        let checks = run_scale_oracle_fuzz(7, 5).expect("scale oracle fuzz violated");
+        assert!(checks > 0, "every case skipped both scale oracles");
+    }
+
+    #[test]
+    fn scale_smoke_certifies_huge_t1000_under_budget() {
+        let (wall, gap) = run_scale_smoke().expect("scale smoke failed");
+        assert!(wall <= SCALE_SMOKE_WALL_BUDGET);
+        assert!(gap <= SCALE_SMOKE_MAX_GAP);
     }
 }

@@ -61,32 +61,29 @@ fn malformed_bench_output_is_rejected() {
     }
 }
 
-/// Binary-search step counts per fixture seed. The warm engine promises
-/// a bit-identical probe trajectory, so these are exact pins, not
-/// tolerances: a drift here means either the fixtures, the ε schedule,
-/// or a probe's feasibility sign changed. (Re-pinned when the revised
-/// simplex landed: degenerate node LPs can tie-break to a different
-/// optimal vertex than the dense tableau did, flipping borderline
-/// probes.)
+/// Binary-search step counts per fixture seed, read from the committed
+/// `bench-pins.json` (shared with `cubis-xtask bench --smoke`). The
+/// warm engine promises a bit-identical probe trajectory, so these are
+/// exact pins, not tolerances: a drift here means either the fixtures,
+/// the ε schedule, or a probe's feasibility sign changed — and a
+/// legitimate re-pin is one reviewed edit of the pins file.
 #[test]
 fn binary_search_step_counts_are_pinned_per_seed() {
-    // (seed, targets, resources, delta, k, epsilon) -> expected steps.
-    let pins: &[(u64, usize, f64, f64, usize, f64, usize)] = &[
-        (7, 3, 1.0, 0.5, 4, 1e-2, 12),
-        (11, 4, 2.0, 0.5, 6, 1e-3, 15),
-        (12, 6, 2.0, 0.6, 10, 1e-3, 16),
-        (13, 8, 3.0, 0.6, 8, 1e-3, 16),
-    ];
-    for &(seed, t, r, delta, k, eps, expected) in pins {
-        let (game, model) = cubis_eval::fixtures::workload(seed, t, r, delta);
+    let pins = cubis_bench::pins::BenchPins::load(&cubis_bench::pins::BenchPins::default_path())
+        .expect("committed bench-pins.json");
+    assert!(pins.step_pins.len() >= 4, "pin coverage shrank");
+    for pin in &pins.step_pins {
+        let (game, model) =
+            cubis_eval::fixtures::workload(pin.seed, pin.targets, pin.resources, pin.delta);
         let p = RobustProblem::new(&game, &model);
         for warm in [true, false] {
-            let mut solver = Cubis::new(MilpInner::new(k)).with_epsilon(eps);
+            let mut solver = Cubis::new(MilpInner::new(pin.k)).with_epsilon(pin.epsilon);
             solver.opts.warm_start = warm;
             let sol = solver.solve(&p).expect("solve failed");
             assert_eq!(
-                sol.binary_steps, expected,
-                "seed {seed} (t={t}, K={k}, warm={warm}): step count drifted"
+                sol.binary_steps, pin.steps,
+                "seed {} (t={}, K={}, warm={warm}): step count drifted",
+                pin.seed, pin.targets, pin.k
             );
         }
     }
@@ -106,6 +103,7 @@ fn warm_and_cold_bounds_are_bit_identical_on_bench_shapes() {
             k: 6,
             epsilon: 1e-3,
             reps: 1,
+            engine: "milp",
         }]
         .iter(),
     ) {

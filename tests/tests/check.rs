@@ -7,6 +7,7 @@
 use cubis_check::{CaseArtifact, CheckInstance, FuzzConfig};
 use cubis_core::inner::{GreedyInner, InnerSolver};
 use cubis_core::problem::RobustProblem;
+use cubis_core::ScaleInner;
 
 #[test]
 fn fuzz_smoke_has_no_violations() {
@@ -68,6 +69,83 @@ fn greedy_tie_breaks_match_spec_on_fixed_seeds() {
             spec.g_value,
             prod.g_value
         );
+    }
+}
+
+/// Metamorphic: relabeling targets is a symmetry of the inner problem
+/// (`G_c` is a sum over targets), so the breakpoint-grid engine's
+/// achieved value, envelope, and certified gap must all survive a
+/// permutation — only the allocation vector is allowed to move.
+#[test]
+fn scale_certificate_is_permutation_invariant() {
+    for seed in [3u64, 17, 23, 40, 77] {
+        let inst = CheckInstance::generate(seed);
+        let t = inst.num_targets();
+        let perm: Vec<usize> = (0..t).rev().collect();
+        let shuffled = inst.permuted(&perm);
+
+        let game = inst.game();
+        let model = inst.model(&game);
+        let p = RobustProblem::new(&game, &model);
+        let (lo, hi) = p.utility_range();
+        let c = lo + 0.5 * (hi - lo);
+        let (res, cert) = ScaleInner::new(inst.pp).maximize_with_certificate(&p, c).unwrap();
+
+        let game2 = shuffled.game();
+        let model2 = shuffled.model(&game2);
+        let p2 = RobustProblem::new(&game2, &model2);
+        let (res2, cert2) = ScaleInner::new(inst.pp).maximize_with_certificate(&p2, c).unwrap();
+
+        assert!(
+            (res.g_value - res2.g_value).abs() <= 1e-9,
+            "seed {seed}: permuted value {} vs {}",
+            res2.g_value,
+            res.g_value
+        );
+        assert!(
+            (cert.envelope - cert2.envelope).abs() <= 1e-9,
+            "seed {seed}: permuted envelope {} vs {}",
+            cert2.envelope,
+            cert.envelope
+        );
+        assert!(
+            (cert.gap_g - cert2.gap_g).abs() <= 1e-9,
+            "seed {seed}: permuted certified gap {} vs {}",
+            cert2.gap_g,
+            cert.gap_g
+        );
+    }
+}
+
+/// Metamorphic: refining the grid `pp → 2pp → 4pp` keeps every coarse
+/// sample point (`j/pp` is bitwise `2j/2pp`), so the certified
+/// envelope — the least concave majorant of the sampled points at the
+/// budget — can only grow along the chain.
+#[test]
+fn scale_certified_bound_is_monotone_under_grid_refinement() {
+    for seed in [5u64, 9, 21, 33, 48] {
+        let inst = CheckInstance::generate(seed);
+        let game = inst.game();
+        let model = inst.model(&game);
+        let p = RobustProblem::new(&game, &model);
+        let (lo, hi) = p.utility_range();
+        for f in [0.25, 0.5, 0.75] {
+            let c = lo + f * (hi - lo);
+            let mut prev: Option<f64> = None;
+            for pp in [inst.pp, 2 * inst.pp, 4 * inst.pp] {
+                let (_, cert) =
+                    ScaleInner::new(pp).maximize_with_certificate(&p, c).unwrap();
+                if let Some(coarser) = prev {
+                    assert!(
+                        cert.envelope >= coarser - 1e-9,
+                        "seed {seed} c={c}: envelope fell {} → {} at pp={pp}",
+                        coarser,
+                        cert.envelope
+                    );
+                }
+                prev = Some(cert.envelope);
+            }
+        }
     }
 }
 

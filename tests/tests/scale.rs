@@ -1,0 +1,172 @@
+//! Tier-1 property battery for the certified breakpoint-grid inner
+//! solver ([`cubis_core::ScaleInner`]).
+//!
+//! The engine's contract is a *certificate*, not a promise of
+//! exactness: every probe returns an achieved objective plus a slack
+//! `gap_g` such that no grid-feasible allocation can exceed
+//! `achieved + gap_g`. These tests hold it to that contract over 500
+//! seeded instances against the exact grid DP, cross-check the MILP
+//! on the same breakpoints (within the Lemma-1 linearization slack),
+//! and pin the refinement law: doubling the grid resolution never
+//! lowers the certified envelope and tightens the mean certificate.
+
+use cubis_check::CheckInstance;
+use cubis_core::problem::RobustProblem;
+use cubis_core::{transform, DpInner, InnerSolver, MilpInner, ScaleInner};
+use cubis_core::piecewise::PiecewiseLinear;
+
+/// The probe utility used throughout: the midpoint of the instance's
+/// utility range, matching the `inner-scale-vs-milp` fuzz oracle.
+fn mid_c<M: cubis_behavior::IntervalChoiceModel>(p: &RobustProblem<'_, M>) -> f64 {
+    let (lo, hi) = p.utility_range();
+    lo + 0.5 * (hi - lo)
+}
+
+#[test]
+fn five_hundred_seeded_instances_never_escape_their_certificate() {
+    for seed in 0u64..500 {
+        let inst = CheckInstance::generate(seed);
+        let game = inst.game();
+        let model = inst.model(&game);
+        let p = RobustProblem::new(&game, &model);
+        let c = mid_c(&p);
+        let (res, cert) = ScaleInner::new(inst.pp)
+            .maximize_with_certificate(&p, c)
+            .unwrap_or_else(|e| panic!("seed {seed}: scale failed: {e}"));
+        let dp = DpInner::new(inst.pp)
+            .maximize_g(&p, c)
+            .unwrap_or_else(|e| panic!("seed {seed}: DP failed: {e}"));
+
+        // Grid-feasible, so it can't beat the exact grid optimum…
+        assert!(
+            res.g_value <= dp.g_value + 1e-9,
+            "seed {seed}: scale {} beats the exact grid DP {}",
+            res.g_value,
+            dp.g_value
+        );
+        // …and the certificate must cover the shortfall.
+        assert!(
+            res.g_value + cert.gap_g >= dp.g_value - 1e-9,
+            "seed {seed}: scale {} + gap {:e} trails the DP {} — unsound certificate",
+            res.g_value,
+            cert.gap_g,
+            dp.g_value
+        );
+        assert!(
+            cert.gap_g >= 0.0 && cert.gap_c >= 0.0 && cert.gap_c.is_finite(),
+            "seed {seed}: malformed certificate {cert:?}"
+        );
+        assert_eq!(
+            res.gap.to_bits(),
+            cert.gap_c.to_bits(),
+            "seed {seed}: InnerResult.gap must be the certified c-unit slack"
+        );
+        // The allocation is a real strategy: within budget, in [0,1],
+        // and the reported value is the true G there.
+        let sum: f64 = res.x.iter().sum();
+        assert!(sum <= inst.resources + 1e-9, "seed {seed}: Σx = {sum} > {}", inst.resources);
+        assert!(
+            res.x.iter().all(|&v| (-1e-12..=1.0 + 1e-12).contains(&v)),
+            "seed {seed}: coverage out of [0,1]: {:?}",
+            res.x
+        );
+        let g = transform::g_total(&p, &res.x, c);
+        assert!(
+            (g - res.g_value).abs() <= 1e-9,
+            "seed {seed}: reported value {} is not the true G {}",
+            res.g_value,
+            g
+        );
+    }
+}
+
+#[test]
+fn milp_on_the_same_breakpoints_stays_within_gap_plus_linearization_slack() {
+    let mut checked = 0;
+    for seed in 0u64..400 {
+        let inst = CheckInstance::generate(seed);
+        // MILP cost grows quickly with targets; the comparison is
+        // size-independent, so bound the work like the fuzz oracle.
+        if inst.num_targets() > 4 {
+            continue;
+        }
+        let game = inst.game();
+        let model = inst.model(&game);
+        let p = RobustProblem::new(&game, &model);
+        let c = mid_c(&p);
+        let (res, cert) = ScaleInner::new(inst.pp)
+            .maximize_with_certificate(&p, c)
+            .unwrap_or_else(|e| panic!("seed {seed}: scale failed: {e}"));
+        let milp = MilpInner::new(inst.pp)
+            .maximize_g(&p, c)
+            .unwrap_or_else(|e| panic!("seed {seed}: MILP failed: {e}"));
+        // Grid points are MILP-feasible with Ḡ = G there, so the scale
+        // value is a lower bound on the MILP optimum…
+        assert!(
+            res.g_value <= milp.g_value + 1e-7,
+            "seed {seed}: scale {} beats MILP {} on the same breakpoints",
+            res.g_value,
+            milp.g_value
+        );
+        // …while between breakpoints the linearized Ḡ may exceed the
+        // true G by at most the Lemma-1 band, so the MILP optimum is
+        // covered by certificate + 2·slack.
+        let mut slack = 0.0f64;
+        for i in 0..inst.num_targets() {
+            let e1 = PiecewiseLinear::error_bound_estimate(inst.pp, |x| transform::f1(&p, i, x, c));
+            let e2 = PiecewiseLinear::error_bound_estimate(inst.pp, |x| transform::f2(&p, i, x, c));
+            slack += e1.max(e2);
+        }
+        assert!(
+            milp.g_value <= res.g_value + cert.gap_g + 2.0 * slack + 1e-6,
+            "seed {seed}: MILP {} escapes scale {} + gap {:e} + slack {:e}",
+            milp.g_value,
+            res.g_value,
+            cert.gap_g,
+            2.0 * slack
+        );
+        checked += 1;
+        if checked == 80 {
+            break;
+        }
+    }
+    assert!(checked >= 40, "only {checked} instances were small enough — generator drifted?");
+}
+
+/// The refinement law behind `Auto` routing: `2·pp` samples every
+/// `pp` grid point bitwise (`j/pp = 2j/2pp`), so the fine envelope is
+/// the least concave majorant of a *superset* of points and can never
+/// fall below the coarse one; and across the 500-instance battery the
+/// certified gap must tighten substantially in aggregate.
+#[test]
+fn doubling_the_grid_resolution_tightens_the_certificate() {
+    let mut coarse_total = 0.0f64;
+    let mut fine_total = 0.0f64;
+    for seed in 0u64..500 {
+        let inst = CheckInstance::generate(seed);
+        let game = inst.game();
+        let model = inst.model(&game);
+        let p = RobustProblem::new(&game, &model);
+        let c = mid_c(&p);
+        let (_, coarse) = ScaleInner::new(inst.pp)
+            .maximize_with_certificate(&p, c)
+            .unwrap_or_else(|e| panic!("seed {seed}: coarse scale failed: {e}"));
+        let (_, fine) = ScaleInner::new(2 * inst.pp)
+            .maximize_with_certificate(&p, c)
+            .unwrap_or_else(|e| panic!("seed {seed}: fine scale failed: {e}"));
+        // Generated resources are integral, so both budgets land on
+        // the same coverage point and the envelopes are comparable.
+        assert!(
+            fine.envelope >= coarse.envelope - 1e-9,
+            "seed {seed}: refinement lowered the envelope: {} < {}",
+            fine.envelope,
+            coarse.envelope
+        );
+        coarse_total += coarse.gap_g;
+        fine_total += fine.gap_g;
+    }
+    assert!(
+        fine_total <= 0.75 * coarse_total + 1e-9,
+        "mean certified gap did not shrink under refinement: fine {fine_total} vs coarse {coarse_total}"
+    );
+}

@@ -16,13 +16,29 @@ use std::time::{Duration, Instant};
 
 use cubis_check::CheckInstance;
 use cubis_serve::http;
-use cubis_serve::{BatchRequest, ServeConfig, SolutionView, SolveRequest};
+use cubis_serve::{BatchRequest, RequestPolicy, ServeConfig, SolutionView, SolveRequest};
 
 const IO: Duration = Duration::from_secs(10);
 
 fn small_instance(seed: u64) -> CheckInstance {
     let mut inst = CheckInstance::generate(seed);
     inst.pp = inst.pp.min(4);
+    inst
+}
+
+/// A valid instance with `t` targets — large enough to cross the
+/// `Auto` routing threshold — built by tiling a generated instance's
+/// payoff rows.
+fn large_instance(seed: u64, t: usize) -> CheckInstance {
+    let mut inst = small_instance(seed);
+    let base = inst.targets.len();
+    while inst.targets.len() < t {
+        let row = inst.targets[inst.targets.len() % base].clone();
+        inst.targets.push(row);
+    }
+    inst.targets.truncate(t);
+    inst.resources = (t / 8).max(1) as f64;
+    assert!(inst.is_valid(), "tiled instance must stay valid");
     inst
 }
 
@@ -54,7 +70,7 @@ fn solve_misses_then_hits_bit_identically() {
     let server = cubis_serve::start(ServeConfig::default()).expect("bind");
     let addr = server.local_addr();
     let body =
-        SolveRequest { instance: small_instance(42), deadline_ms: None }.to_json_string();
+        SolveRequest { instance: small_instance(42), deadline_ms: None, policy: RequestPolicy::Auto }.to_json_string();
 
     let first = post_solve(addr, &body, &[]);
     assert_eq!(first.status, 200, "body: {}", first.body_text());
@@ -80,13 +96,17 @@ fn batch_fans_out_and_agrees_with_single_solves() {
 
     let single = post_solve(
         addr,
-        &SolveRequest { instance: a.clone(), deadline_ms: None }.to_json_string(),
+        &SolveRequest { instance: a.clone(), deadline_ms: None, policy: RequestPolicy::Auto }.to_json_string(),
         &[],
     );
     assert_eq!(single.status, 200);
 
     let batch =
-        BatchRequest { instances: vec![a.clone(), b.clone(), a.clone()], deadline_ms: None };
+        BatchRequest {
+        instances: vec![a.clone(), b.clone(), a.clone()],
+        deadline_ms: None,
+        policy: RequestPolicy::Auto,
+    };
     let resp = http::roundtrip(
         addr,
         "POST",
@@ -113,6 +133,50 @@ fn batch_fans_out_and_agrees_with_single_solves() {
 }
 
 #[test]
+fn auto_policy_routes_large_instances_to_scale_and_caches_bit_identically() {
+    let server = cubis_serve::start(ServeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let inst = large_instance(77, 48);
+    let body = SolveRequest { instance: inst, deadline_ms: None, policy: RequestPolicy::Auto }
+        .to_json_string();
+
+    let first = post_solve(addr, &body, &[]);
+    assert_eq!(first.status, 200, "body: {}", first.body_text());
+    assert_eq!(first.header("x-cubis-inner"), Some("scale"), "48 targets must route to scale");
+    assert_eq!(first.header("x-cubis-cache"), Some("miss"));
+    let view = SolutionView::from_json_str(&first.body_text()).expect("solution body");
+    assert_eq!(view.x.len(), 48);
+    assert!(
+        view.inner_gap.is_finite() && view.inner_gap >= 0.0,
+        "scale body must carry its certified slack: {view:?}"
+    );
+
+    let second = post_solve(addr, &body, &[]);
+    assert_eq!(second.header("x-cubis-cache"), Some("hit"));
+    assert_eq!(second.header("x-cubis-inner"), Some("scale"));
+    assert_eq!(second.body, first.body, "cached scale body must be byte-identical");
+
+    // Small instances still answer on the exact DP engine…
+    let small_body =
+        SolveRequest { instance: small_instance(5), deadline_ms: None, policy: RequestPolicy::Auto }
+            .to_json_string();
+    let small = post_solve(addr, &small_body, &[]);
+    assert_eq!(small.header("x-cubis-inner"), Some("dp"));
+    // …and forcing `scale` on one flips the engine without reusing the
+    // dp cache entry.
+    let forced_body = SolveRequest {
+        instance: small_instance(5),
+        deadline_ms: None,
+        policy: RequestPolicy::Scale,
+    }
+    .to_json_string();
+    let forced = post_solve(addr, &forced_body, &[]);
+    assert_eq!(forced.header("x-cubis-inner"), Some("scale"));
+    assert_eq!(forced.header("x-cubis-cache"), Some("miss"));
+    server.shutdown();
+}
+
+#[test]
 fn healthz_and_metrics_respond() {
     let server = cubis_serve::start(ServeConfig::default()).expect("bind");
     let addr = server.local_addr();
@@ -122,7 +186,7 @@ fn healthz_and_metrics_respond() {
 
     post_solve(
         addr,
-        &SolveRequest { instance: small_instance(7), deadline_ms: None }.to_json_string(),
+        &SolveRequest { instance: small_instance(7), deadline_ms: None, policy: RequestPolicy::Auto }.to_json_string(),
         &[],
     );
     let metrics = http::roundtrip(addr, "GET", "/metrics", &[], b"", IO).expect("metrics");
@@ -158,7 +222,7 @@ fn zero_deadline_times_out_with_incumbent_bounds() {
     let server = cubis_serve::start(ServeConfig::default()).expect("bind");
     let addr = server.local_addr();
     let body =
-        SolveRequest { instance: small_instance(9), deadline_ms: Some(0) }.to_json_string();
+        SolveRequest { instance: small_instance(9), deadline_ms: Some(0), policy: RequestPolicy::Auto }.to_json_string();
     let resp = post_solve(addr, &body, &[]);
     assert_eq!(resp.status, 504, "body: {}", resp.body_text());
     let v = cubis_trace::json::parse(&resp.body_text()).expect("error body");
@@ -171,7 +235,7 @@ fn zero_deadline_times_out_with_incumbent_bounds() {
     // the deadline the same instance solves fresh (a miss, not a hit).
     let ok = post_solve(
         addr,
-        &SolveRequest { instance: small_instance(9), deadline_ms: None }.to_json_string(),
+        &SolveRequest { instance: small_instance(9), deadline_ms: None, policy: RequestPolicy::Auto }.to_json_string(),
         &[],
     );
     assert_eq!(ok.status, 200);
@@ -190,7 +254,7 @@ fn full_queue_rejects_with_429() {
     .expect("bind");
     let addr = server.local_addr();
     let body =
-        SolveRequest { instance: small_instance(1), deadline_ms: None }.to_json_string();
+        SolveRequest { instance: small_instance(1), deadline_ms: None, policy: RequestPolicy::Auto }.to_json_string();
 
     // Pin the single worker, then fill the single queue slot.
     let pinned = {
@@ -228,7 +292,7 @@ fn graceful_shutdown_drains_admitted_work() {
     .expect("bind");
     let addr = server.local_addr();
     let body =
-        SolveRequest { instance: small_instance(2), deadline_ms: None }.to_json_string();
+        SolveRequest { instance: small_instance(2), deadline_ms: None, policy: RequestPolicy::Auto }.to_json_string();
 
     // Pin the worker, then queue a second request behind it.
     let pinned = {
