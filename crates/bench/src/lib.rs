@@ -14,6 +14,7 @@ pub mod pins;
 pub mod serve_report;
 
 pub use cubis_eval::fixtures;
+pub use pins::{BenchPins, ServePin, PINS_FORMAT_VERSION};
 pub use serve_report::{ServeBenchReport, SERVE_FORMAT_VERSION};
 
 use cubis_behavior::UncertainSuqr;

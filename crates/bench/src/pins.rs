@@ -19,7 +19,12 @@ use cubis_trace::json::{self, JsonValue};
 use std::path::{Path, PathBuf};
 
 /// Version tag in `bench-pins.json`; bump on schema changes.
-pub const PINS_FORMAT_VERSION: u64 = 1;
+///
+/// v2 adds the **serve pin** — the regression gates on the committed
+/// `BENCH_serve.json` (latency ceiling, throughput floor, keep-alive
+/// and persistent-tier floors) that `cubis-xtask ci` replays against
+/// the reactor serving stack.
+pub const PINS_FORMAT_VERSION: u64 = 2;
 
 /// The cold-path simplex-pivot ceiling for one named shape.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +54,29 @@ pub struct StepPin {
     pub steps: usize,
 }
 
+/// The regression gates on the committed `BENCH_serve.json`.
+///
+/// The floors are deliberately loose relative to the committed run
+/// (an order of magnitude, not a few percent): they catch a *dead*
+/// subsystem — keep-alive that never reuses, a persistent tier that
+/// never answers, a p99 that exploded — not host-to-host jitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServePin {
+    /// Committed run must use at least this many clients.
+    pub min_clients: u64,
+    /// Committed run must issue at least this many requests in total.
+    pub min_requests: u64,
+    /// Committed `p99_us` must stay at or below this.
+    pub max_p99_us: u64,
+    /// Committed `throughput_rps` must stay at or above this.
+    pub min_throughput_rps: f64,
+    /// Committed `keepalive_reused` must stay at or above this.
+    pub min_keepalive_reused: u64,
+    /// Committed `tier2_hits` must stay at or above this (the
+    /// persistent tier actually answered requests).
+    pub min_tier2_hits: u64,
+}
+
 /// The whole pin file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchPins {
@@ -58,6 +86,8 @@ pub struct BenchPins {
     pub pivot_pin: PivotPin,
     /// The per-seed step pins.
     pub step_pins: Vec<StepPin>,
+    /// The serve-layer gates.
+    pub serve_pin: ServePin,
 }
 
 impl BenchPins {
@@ -108,7 +138,79 @@ impl BenchPins {
         if step_pins.is_empty() {
             return Err("bench pins: empty `step_pins`".into());
         }
-        Ok(Self { format_version, pivot_pin, step_pins })
+        let serve_pin =
+            ServePin::from_json(v.get("serve_pin").ok_or("bench pins: missing `serve_pin`")?)?;
+        Ok(Self { format_version, pivot_pin, step_pins, serve_pin })
+    }
+}
+
+impl ServePin {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let u = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("serve pin: missing or non-integer `{key}`"))
+        };
+        let pin = Self {
+            min_clients: u("min_clients")?,
+            min_requests: u("min_requests")?,
+            max_p99_us: u("max_p99_us")?,
+            min_throughput_rps: v
+                .get("min_throughput_rps")
+                .and_then(JsonValue::as_f64)
+                .ok_or("serve pin: missing or non-numeric `min_throughput_rps`")?,
+            min_keepalive_reused: u("min_keepalive_reused")?,
+            min_tier2_hits: u("min_tier2_hits")?,
+        };
+        if pin.min_clients == 0 || pin.min_requests == 0 || pin.max_p99_us == 0 {
+            return Err("serve pin: degenerate gate (a zero floor/ceiling pins nothing)".into());
+        }
+        if !(pin.min_throughput_rps > 0.0) {
+            return Err("serve pin: min_throughput_rps must be positive".into());
+        }
+        Ok(pin)
+    }
+
+    /// Gate a serve report against these pins; `Err` names the first
+    /// violated gate.
+    pub fn check(&self, report: &crate::ServeBenchReport) -> Result<(), String> {
+        if report.clients < self.min_clients {
+            return Err(format!(
+                "serve pin: {} client(s), pinned floor {}",
+                report.clients, self.min_clients
+            ));
+        }
+        if report.requests < self.min_requests {
+            return Err(format!(
+                "serve pin: {} request(s), pinned floor {}",
+                report.requests, self.min_requests
+            ));
+        }
+        if report.p99_us > self.max_p99_us {
+            return Err(format!(
+                "serve pin: p99 {}us over the pinned ceiling {}us",
+                report.p99_us, self.max_p99_us
+            ));
+        }
+        if report.throughput_rps < self.min_throughput_rps {
+            return Err(format!(
+                "serve pin: {:.1} req/s under the pinned floor {:.1}",
+                report.throughput_rps, self.min_throughput_rps
+            ));
+        }
+        if report.keepalive_reused < self.min_keepalive_reused {
+            return Err(format!(
+                "serve pin: {} keep-alive reuse(s), pinned floor {}",
+                report.keepalive_reused, self.min_keepalive_reused
+            ));
+        }
+        if report.tier2_hits < self.min_tier2_hits {
+            return Err(format!(
+                "serve pin: {} persistent-tier hit(s), pinned floor {}",
+                report.tier2_hits, self.min_tier2_hits
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -153,19 +255,92 @@ mod tests {
         assert!(pins.step_pins.len() >= 4);
         // The smoke shape's seed must be pinned: the ci gate replays it.
         assert!(pins.step_pins.iter().any(|p| p.seed == 7));
+        // The serve gates must demand the scaled run the ISSUE pinned.
+        assert!(pins.serve_pin.min_clients >= 1000);
+        assert!(pins.serve_pin.min_requests >= 50_000);
+        assert!(pins.serve_pin.min_tier2_hits >= 1);
+    }
+
+    #[test]
+    fn committed_serve_pin_accepts_the_committed_serve_report() {
+        let pins = BenchPins::load(&BenchPins::default_path()).expect("committed bench-pins.json");
+        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+        let report = crate::ServeBenchReport::from_json_str(
+            &std::fs::read_to_string(&path).expect("committed BENCH_serve.json"),
+        )
+        .expect("committed serve report parses");
+        pins.serve_pin.check(&report).expect("committed report passes its own pins");
+    }
+
+    #[test]
+    fn serve_pin_gates_fire_on_regressions() {
+        let pin = ServePin {
+            min_clients: 1000,
+            min_requests: 50_000,
+            max_p99_us: 500_000,
+            min_throughput_rps: 100.0,
+            min_keepalive_reused: 10_000,
+            min_tier2_hits: 1,
+        };
+        let good = crate::ServeBenchReport {
+            format_version: crate::SERVE_FORMAT_VERSION,
+            clients: 1000,
+            requests_per_client: 50,
+            duplicate_rate: 0.6,
+            seed: 42,
+            requests: 50_000,
+            cache_hits: 30_000,
+            tier1_hits: 29_000,
+            tier2_hits: 1_000,
+            cache_misses: 19_000,
+            rejected: 900,
+            transport_errors: 100,
+            retries_429: 400,
+            keepalive_reused: 48_000,
+            hit_rate: 30_000.0 / 49_000.0,
+            throughput_rps: 2_000.0,
+            p50_us: 900,
+            p95_us: 40_000,
+            p99_us: 120_000,
+        };
+        pin.check(&good).unwrap();
+        let mut bad = good.clone();
+        bad.p99_us = 600_000;
+        assert!(pin.check(&bad).unwrap_err().contains("p99"));
+        let mut bad = good.clone();
+        bad.throughput_rps = 50.0;
+        assert!(pin.check(&bad).unwrap_err().contains("req/s"));
+        let mut bad = good.clone();
+        bad.tier2_hits = 0;
+        assert!(pin.check(&bad).unwrap_err().contains("persistent-tier"));
+        let mut bad = good;
+        bad.keepalive_reused = 0;
+        assert!(pin.check(&bad).unwrap_err().contains("keep-alive"));
     }
 
     #[test]
     fn malformed_pins_are_rejected() {
         assert!(BenchPins::from_json_str("").is_err());
         assert!(BenchPins::from_json_str("{}").is_err());
-        assert!(BenchPins::from_json_str(
-            r#"{"format_version": 99, "pivot_pin": {"shape": "x", "max_cold_lp_pivots": 1}, "step_pins": []}"#
-        )
+        let serve =
+            r#""serve_pin": {"min_clients": 1000, "min_requests": 50000, "max_p99_us": 500000,
+                "min_throughput_rps": 100.0, "min_keepalive_reused": 1, "min_tier2_hits": 1}"#;
+        // Wrong version.
+        assert!(BenchPins::from_json_str(&format!(
+            r#"{{"format_version": 99, "pivot_pin": {{"shape": "x", "max_cold_lp_pivots": 1}}, "step_pins": [], {serve}}}"#
+        ))
         .is_err());
-        assert!(BenchPins::from_json_str(
-            r#"{"format_version": 1, "pivot_pin": {"shape": "x", "max_cold_lp_pivots": 1}, "step_pins": []}"#
-        )
+        // Empty step pins.
+        assert!(BenchPins::from_json_str(&format!(
+            r#"{{"format_version": 2, "pivot_pin": {{"shape": "x", "max_cold_lp_pivots": 1}}, "step_pins": [], {serve}}}"#
+        ))
         .is_err());
+        // Missing serve pin entirely.
+        let step = r#"{"seed": 7, "targets": 3, "resources": 1.0, "delta": 0.1, "k": 8, "epsilon": 0.001, "steps": 11}"#;
+        assert!(BenchPins::from_json_str(&format!(
+            r#"{{"format_version": 2, "pivot_pin": {{"shape": "x", "max_cold_lp_pivots": 1}}, "step_pins": [{step}]}}"#
+        ))
+        .unwrap_err()
+        .contains("serve_pin"));
     }
 }

@@ -16,7 +16,14 @@
 use cubis_trace::json::{self, JsonValue};
 
 /// Version tag in `BENCH_serve.json`; bump on schema changes.
-pub const SERVE_FORMAT_VERSION: u64 = 1;
+///
+/// v2 (the reactor serve layer): splits `cache_hits` by tier
+/// (`tier1_hits` hot LRU, `tier2_hits` persistent log), and records the
+/// transport's keep-alive efficacy (`keepalive_reused`,
+/// `retries_429`). A v1 document no longer parses — the per-tier split
+/// is what the regression gates pin, so silently defaulting it to zero
+/// would let a dead persistent tier look healthy.
+pub const SERVE_FORMAT_VERSION: u64 = 2;
 
 /// The full `BENCH_serve.json` document.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,14 +40,22 @@ pub struct ServeBenchReport {
     pub seed: u64,
     /// Requests attempted in total.
     pub requests: u64,
-    /// 200s served from the cache.
+    /// 200s served from the cache (either tier).
     pub cache_hits: u64,
+    /// Cache hits answered by the hot in-memory LRU tier.
+    pub tier1_hits: u64,
+    /// Cache hits answered by the persistent append-only tier.
+    pub tier2_hits: u64,
     /// 200s solved fresh.
     pub cache_misses: u64,
     /// Non-200 responses (backpressure, deadlines).
     pub rejected: u64,
     /// Transport-level failures.
     pub transport_errors: u64,
+    /// 429 responses that were retried after a jittered backoff.
+    pub retries_429: u64,
+    /// Requests that reused an already-established connection.
+    pub keepalive_reused: u64,
     /// Cache hit rate over successful requests.
     pub hit_rate: f64,
     /// Successful requests per wall-clock second.
@@ -67,9 +82,13 @@ impl ServeBenchReport {
             ("seed".into(), JsonValue::Num(self.seed as f64)),
             ("requests".into(), JsonValue::Num(self.requests as f64)),
             ("cache_hits".into(), JsonValue::Num(self.cache_hits as f64)),
+            ("tier1_hits".into(), JsonValue::Num(self.tier1_hits as f64)),
+            ("tier2_hits".into(), JsonValue::Num(self.tier2_hits as f64)),
             ("cache_misses".into(), JsonValue::Num(self.cache_misses as f64)),
             ("rejected".into(), JsonValue::Num(self.rejected as f64)),
             ("transport_errors".into(), JsonValue::Num(self.transport_errors as f64)),
+            ("retries_429".into(), JsonValue::Num(self.retries_429 as f64)),
+            ("keepalive_reused".into(), JsonValue::Num(self.keepalive_reused as f64)),
             ("hit_rate".into(), JsonValue::Num(self.hit_rate)),
             ("throughput_rps".into(), JsonValue::Num(self.throughput_rps)),
             ("p50_us".into(), JsonValue::Num(self.p50_us as f64)),
@@ -100,9 +119,13 @@ impl ServeBenchReport {
             seed: u("seed")?,
             requests: u("requests")?,
             cache_hits: u("cache_hits")?,
+            tier1_hits: u("tier1_hits")?,
+            tier2_hits: u("tier2_hits")?,
             cache_misses: u("cache_misses")?,
             rejected: u("rejected")?,
             transport_errors: u("transport_errors")?,
+            retries_429: u("retries_429")?,
+            keepalive_reused: u("keepalive_reused")?,
             hit_rate: f("hit_rate")?,
             throughput_rps: f("throughput_rps")?,
             p50_us: u("p50_us")?,
@@ -147,6 +170,27 @@ impl ServeBenchReport {
                 self.duplicate_rate
             ));
         }
+        if self.tier1_hits + self.tier2_hits != self.cache_hits {
+            return Err(format!(
+                "serve report: cache_hits {} but tiers account for {} (tier1 {} + tier2 {})",
+                self.cache_hits,
+                self.tier1_hits + self.tier2_hits,
+                self.tier1_hits,
+                self.tier2_hits
+            ));
+        }
+        if self.keepalive_reused > self.requests {
+            return Err(format!(
+                "serve report: keepalive_reused {} exceeds {} requests",
+                self.keepalive_reused, self.requests
+            ));
+        }
+        if self.clients > 1 && self.requests_per_client > 1 && self.keepalive_reused == 0 {
+            return Err(
+                "serve report: a multi-request run never reused a connection — keep-alive is dead"
+                    .into(),
+            );
+        }
         if self.cache_hits + self.cache_misses > 0 && self.throughput_rps <= 0.0 {
             return Err("serve report: successes but non-positive throughput".into());
         }
@@ -173,9 +217,13 @@ mod tests {
             seed: 42,
             requests: 100,
             cache_hits: 40,
+            tier1_hits: 35,
+            tier2_hits: 5,
             cache_misses: 55,
             rejected: 3,
             transport_errors: 2,
+            retries_429: 3,
+            keepalive_reused: 90,
             hit_rate: 40.0 / 95.0,
             throughput_rps: 123.4,
             p50_us: 800,
@@ -206,12 +254,27 @@ mod tests {
     fn rejects_cold_cache_under_duplicate_mix() {
         let mut report = sample();
         report.cache_hits = 0;
+        report.tier1_hits = 0;
+        report.tier2_hits = 0;
         report.cache_misses = 95;
         report.hit_rate = 0.0;
         assert!(report.validate().unwrap_err().contains("cache never fired"));
         // But a no-duplicate mix with zero hits is fine.
         report.duplicate_rate = 0.0;
         report.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_tier_splits_that_do_not_sum_and_dead_keepalive() {
+        let mut report = sample();
+        report.tier2_hits = 0; // 35 + 0 != 40
+        assert!(report.validate().unwrap_err().contains("tiers account for"));
+        let mut report = sample();
+        report.keepalive_reused = 0;
+        assert!(report.validate().unwrap_err().contains("keep-alive is dead"));
+        let mut report = sample();
+        report.keepalive_reused = report.requests + 1;
+        assert!(report.validate().is_err());
     }
 
     #[test]

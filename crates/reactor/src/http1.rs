@@ -1,0 +1,421 @@
+//! Incremental (resumable) HTTP/1.1 request parsing and response
+//! encoding.
+//!
+//! The blocking one-shot parser in `cubis-serve::http` pulls bytes
+//! until a request completes; an event loop cannot afford that — bytes
+//! arrive in whatever fragments the kernel delivers, and a connection
+//! may carry many requests back-to-back (keep-alive) or even several
+//! requests in one segment (pipelining). [`RequestParser`] is the
+//! resumable equivalent: push bytes as they arrive, pull zero or more
+//! complete requests out, and the unconsumed tail stays buffered for
+//! the next round.
+//!
+//! The grammar is deliberately the same subset the one-shot parser
+//! accepts — request line split on whitespace, `HTTP/1.x` only,
+//! `\n`-terminated lines with optional `\r`, lowercased header names,
+//! `Content-Length` bodies, no chunked encoding — and the
+//! `serve-parser-incremental-vs-oneshot` differential oracle holds the
+//! two implementations byte-for-byte equal on every split of every
+//! valid request.
+
+/// Default cap on the request line + headers, in bytes (matches the
+/// one-shot parser's cap).
+pub const DEFAULT_MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Default cap on the request body, in bytes.
+pub const DEFAULT_MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A complete parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedRequest {
+    /// Request method as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (path only; no query parsing).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased, both trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether HTTP semantics keep the connection open after the
+    /// response: HTTP/1.1 unless `Connection: close`, HTTP/1.0 only
+    /// with `Connection: keep-alive`.
+    pub keep_alive: bool,
+}
+
+impl ParsedRequest {
+    /// First value of the (lowercased) header `name`, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why parsing failed. The connection is unrecoverable afterwards —
+/// framing is lost — so the caller writes one error response and
+/// closes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The request line or a header was malformed.
+    Malformed(String),
+    /// The head outgrew the cap before its terminating blank line
+    /// (maps to `431 Request Header Fields Too Large`).
+    HeadTooLarge(String),
+    /// `Content-Length` exceeds the body cap (maps to `413`).
+    BodyTooLarge(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Malformed(d) => write!(f, "malformed request: {d}"),
+            Self::HeadTooLarge(d) => write!(f, "request head too large: {d}"),
+            Self::BodyTooLarge(d) => write!(f, "request body too large: {d}"),
+        }
+    }
+}
+
+/// One step of the pull loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseStep {
+    /// No complete request buffered; push more bytes.
+    NeedMore,
+    /// One complete request, consumed from the buffer.
+    Ready(ParsedRequest),
+    /// The stream is unparseable from here on.
+    Bad(ParseError),
+}
+
+/// The resumable request parser: one per connection.
+#[derive(Debug)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted lazily).
+    start: usize,
+    max_head: usize,
+    max_body: usize,
+    poisoned: bool,
+}
+
+impl RequestParser {
+    /// A parser with explicit head/body caps.
+    pub fn new(max_head: usize, max_body: usize) -> Self {
+        Self { buf: Vec::new(), start: 0, max_head, max_body, poisoned: false }
+    }
+
+    /// Append bytes received from the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True when nothing is buffered — the connection is between
+    /// requests (idle) rather than mid-request (reading).
+    pub fn is_idle(&self) -> bool {
+        self.buffered() == 0
+    }
+
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Try to pull the next complete request out of the buffer.
+    pub fn next_request(&mut self) -> ParseStep {
+        if self.poisoned {
+            return ParseStep::Bad(ParseError::Malformed("stream already failed".to_string()));
+        }
+        let bytes = &self.buf[self.start..];
+        // Locate the head terminator: the first empty line. Lines are
+        // `\n`-terminated with an optional `\r`, so the head ends at
+        // the first `\n` followed by `\n` or `\r\n`.
+        let mut head_end = None;
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'\n' {
+                if bytes.get(i + 1) == Some(&b'\n') {
+                    head_end = Some((i + 1, i + 2));
+                    break;
+                }
+                if bytes.get(i + 1) == Some(&b'\r') && bytes.get(i + 2) == Some(&b'\n') {
+                    head_end = Some((i + 1, i + 3));
+                    break;
+                }
+            }
+            i += 1;
+        }
+        let Some((head_len, consumed_head)) = head_end else {
+            if bytes.len() > self.max_head {
+                self.poisoned = true;
+                return ParseStep::Bad(ParseError::HeadTooLarge(format!(
+                    "no end of head within {} bytes",
+                    self.max_head
+                )));
+            }
+            return ParseStep::NeedMore;
+        };
+        if consumed_head > self.max_head {
+            self.poisoned = true;
+            return ParseStep::Bad(ParseError::HeadTooLarge(format!(
+                "head of {consumed_head} bytes exceeds {}",
+                self.max_head
+            )));
+        }
+
+        let head = match std::str::from_utf8(&bytes[..head_len]) {
+            Ok(s) => s,
+            Err(_) => {
+                self.poisoned = true;
+                return ParseStep::Bad(ParseError::Malformed("non-UTF-8 head".to_string()));
+            }
+        };
+        let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split_whitespace();
+        let Some(method) = parts.next() else {
+            self.poisoned = true;
+            return ParseStep::Bad(ParseError::Malformed("empty request line".to_string()));
+        };
+        let Some(path) = parts.next() else {
+            self.poisoned = true;
+            return ParseStep::Bad(ParseError::Malformed(
+                "request line missing target".to_string(),
+            ));
+        };
+        let Some(version) = parts.next() else {
+            self.poisoned = true;
+            return ParseStep::Bad(ParseError::Malformed(
+                "request line missing version".to_string(),
+            ));
+        };
+        if !version.starts_with("HTTP/1.") {
+            self.poisoned = true;
+            return ParseStep::Bad(ParseError::Malformed(format!(
+                "unsupported version {version}"
+            )));
+        }
+
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        let mut keep_alive = version != "HTTP/1.0";
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                self.poisoned = true;
+                return ParseStep::Bad(ParseError::Malformed(format!(
+                    "header without colon: {line:?}"
+                )));
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = match value.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        self.poisoned = true;
+                        return ParseStep::Bad(ParseError::Malformed(format!(
+                            "bad content-length {value:?}"
+                        )));
+                    }
+                };
+            }
+            if name == "connection" {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            headers.push((name, value));
+        }
+        if content_length > self.max_body {
+            self.poisoned = true;
+            return ParseStep::Bad(ParseError::BodyTooLarge(format!(
+                "body of {content_length} bytes exceeds {}",
+                self.max_body
+            )));
+        }
+        let total = consumed_head + content_length;
+        if bytes.len() < total {
+            return ParseStep::NeedMore;
+        }
+        let body = bytes[consumed_head..total].to_vec();
+        let method = method.to_string();
+        let path = path.to_string();
+        self.start += total;
+        ParseStep::Ready(ParsedRequest { method, path, headers, body, keep_alive })
+    }
+}
+
+/// Encode a full response: status line, `content-type`,
+/// `content-length`, a `connection` header that matches `keep_alive`,
+/// any extra headers, and the body.
+pub fn encode_response(
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> Vec<u8> {
+    let mut head = format!("HTTP/1.1 {status} {reason}\r\n");
+    head.push_str(&format!("content-type: {content_type}\r\n"));
+    head.push_str(&format!("content-length: {}\r\n", body.len()));
+    head.push_str(if keep_alive {
+        "connection: keep-alive\r\n"
+    } else {
+        "connection: close\r\n"
+    });
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parser() -> RequestParser {
+        RequestParser::new(DEFAULT_MAX_HEAD_BYTES, DEFAULT_MAX_BODY_BYTES)
+    }
+
+    #[test]
+    fn whole_request_in_one_push() {
+        let mut p = parser();
+        p.push(b"POST /v1/solve HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello");
+        match p.next_request() {
+            ParseStep::Ready(req) => {
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, "/v1/solve");
+                assert_eq!(req.header("host"), Some("x"));
+                assert_eq!(req.body, b"hello");
+                assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+            }
+            other => panic!("expected Ready, got {other:?}"),
+        }
+        assert_eq!(p.next_request(), ParseStep::NeedMore);
+        assert!(p.is_idle());
+    }
+
+    #[test]
+    fn byte_at_a_time_split_across_every_boundary() {
+        let raw = b"POST /v1/solve HTTP/1.1\r\ncontent-length: 4\r\nx-k: v\r\n\r\nbody";
+        let mut p = parser();
+        let mut got = None;
+        for &b in raw.iter() {
+            p.push(&[b]);
+            match p.next_request() {
+                ParseStep::NeedMore => {}
+                ParseStep::Ready(req) => got = Some(req),
+                ParseStep::Bad(e) => panic!("unexpected parse error: {e}"),
+            }
+        }
+        let req = got.expect("request must complete at the final byte");
+        assert_eq!(req.body, b"body");
+        assert_eq!(req.header("x-k"), Some("v"));
+    }
+
+    #[test]
+    fn pipelined_requests_pull_in_order() {
+        let mut p = parser();
+        p.push(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nconnection: close\r\n\r\n");
+        let first = match p.next_request() {
+            ParseStep::Ready(req) => req,
+            other => panic!("first: {other:?}"),
+        };
+        assert_eq!(first.path, "/a");
+        assert!(first.keep_alive);
+        let second = match p.next_request() {
+            ParseStep::Ready(req) => req,
+            other => panic!("second: {other:?}"),
+        };
+        assert_eq!(second.path, "/b");
+        assert!(!second.keep_alive);
+        assert_eq!(p.next_request(), ParseStep::NeedMore);
+    }
+
+    #[test]
+    fn http_1_0_closes_by_default() {
+        let mut p = parser();
+        p.push(b"GET / HTTP/1.0\r\n\r\nGET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n");
+        match (p.next_request(), p.next_request()) {
+            (ParseStep::Ready(a), ParseStep::Ready(b)) => {
+                assert!(!a.keep_alive);
+                assert!(b.keep_alive, "explicit keep-alive overrides the 1.0 default");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_head_is_reported_even_without_terminator() {
+        let mut p = RequestParser::new(64, 1024);
+        p.push(b"GET / HTTP/1.1\r\n");
+        p.push(&vec![b'a'; 80]);
+        assert!(matches!(p.next_request(), ParseStep::Bad(ParseError::HeadTooLarge(_))));
+        // Poisoned: further pulls keep failing.
+        assert!(matches!(p.next_request(), ParseStep::Bad(_)));
+    }
+
+    #[test]
+    fn oversized_body_declaration_is_reported() {
+        let mut p = RequestParser::new(1024, 16);
+        p.push(b"POST / HTTP/1.1\r\ncontent-length: 17\r\n\r\n");
+        assert!(matches!(p.next_request(), ParseStep::Bad(ParseError::BodyTooLarge(_))));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for raw in [
+            &b"NOT-HTTP\r\n\r\n"[..],
+            b"GET /\r\n\r\n",
+            b"GET / FTP/9\r\n\r\n",
+            b"\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"POST / HTTP/1.1\r\ncontent-length: wat\r\n\r\n",
+        ] {
+            let mut p = parser();
+            p.push(raw);
+            assert!(
+                matches!(p.next_request(), ParseStep::Bad(_)),
+                "must reject {:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn bare_lf_line_endings_parse() {
+        let mut p = parser();
+        p.push(b"GET /x HTTP/1.1\nhost: y\n\n");
+        match p.next_request() {
+            ParseStep::Ready(req) => {
+                assert_eq!(req.path, "/x");
+                assert_eq!(req.header("host"), Some("y"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn encode_response_sets_connection_header() {
+        let ka = encode_response(200, "OK", "application/json", &[("x-a", "1")], b"{}", true);
+        let text = String::from_utf8(ka).expect("ascii head");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.contains("x-a: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        let close = encode_response(400, "Bad Request", "text/plain", &[], b"", false);
+        assert!(String::from_utf8(close).expect("ascii head").contains("connection: close\r\n"));
+    }
+}

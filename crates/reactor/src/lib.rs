@@ -1,0 +1,33 @@
+//! `cubis-reactor`: a readiness-based, single-threaded event loop for
+//! serving HTTP/1.1 with keep-alive, pipelining, backpressure, and
+//! timeouts — built on raw `epoll(7)` (Linux) with a portable
+//! level-triggered `poll(2)` fallback and zero heavy dependencies.
+//!
+//! | module    | contents |
+//! |-----------|----------|
+//! | `sys`     | The entire unsafe surface: `extern "C"` syscall shims and safe wrappers, each unsafe block carrying a `cubis:sys-audit` justification. |
+//! | `poller`  | Backend-agnostic readiness API (`Poller`, `Interest`, `PollEvent`) over epoll/poll. |
+//! | `http1`   | Incremental, resumable HTTP/1.1 request parser (`RequestParser`) and response encoder; grammar-identical to the one-shot parser in `cubis-serve`. |
+//! | `reactor` | The event loop: accept, per-connection state machines, keep-alive, in-order pipelined replies, write backpressure, idle/read/write timeouts. |
+//!
+//! The workspace forbids `unsafe_code`; this crate is the single
+//! audited exemption. The crate-level lint is `deny` (set in
+//! Cargo.toml rather than inherited) so the allow below can scope the
+//! exemption to exactly one module. The static analyzer's SAFE02 rule
+//! enforces the same boundary from the outside.
+
+#[allow(unsafe_code)]
+pub(crate) mod sys;
+
+pub mod http1;
+pub mod poller;
+pub mod reactor;
+
+pub use http1::{
+    encode_response, ParseError, ParseStep, ParsedRequest, RequestParser,
+    DEFAULT_MAX_BODY_BYTES, DEFAULT_MAX_HEAD_BYTES,
+};
+pub use poller::{Interest, PollEvent, Poller};
+pub use reactor::{
+    start, Handler, ReactorConfig, ReactorHandle, Reply, Response, BACKPRESSURE_HIGH_WATER,
+};

@@ -1,0 +1,357 @@
+//! Readiness polling: epoll on Linux, `poll(2)` as the level-triggered
+//! fallback.
+//!
+//! Both backends expose the same level-triggered contract: `wait`
+//! reports an fd as long as the condition holds, so the loop never
+//! needs to drain a socket to exhaustion in one pass — unhandled
+//! readiness simply shows up again. The epoll backend is O(ready) per
+//! wait; the poll backend rebuilds its `pollfd` array each call and is
+//! O(registered), which is fine at the connection counts where the
+//! fallback matters.
+//!
+//! The backend is chosen at construction: epoll where available,
+//! `poll` otherwise or when `CUBIS_REACTOR_BACKEND=poll` forces the
+//! fallback (how the test suite covers both paths on one machine).
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+use crate::sys;
+
+/// What a registration wants to hear about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Report when a read would make progress.
+    pub readable: bool,
+    /// Report when a write would make progress.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest { readable: true, writable: false };
+    /// Write-only interest.
+    pub const WRITE: Interest = Interest { readable: false, writable: true };
+    /// Read + write interest.
+    pub const BOTH: Interest = Interest { readable: true, writable: true };
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct PollEvent {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// A read would make progress (or the peer closed).
+    pub readable: bool,
+    /// A write would make progress.
+    pub writable: bool,
+    /// Error/hang-up condition; the connection should be torn down
+    /// after a final read attempt observes it.
+    pub error: bool,
+}
+
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll {
+        epfd: std::os::fd::OwnedFd,
+        buf: Vec<sys::EpollEvent>,
+        registered: usize,
+    },
+    Poll {
+        /// `(fd, token, interest)` registrations, rebuilt into a
+        /// `pollfd` array on each wait.
+        slots: Vec<(RawFd, u64, Interest)>,
+    },
+}
+
+/// The readiness queue behind the event loop.
+pub struct Poller {
+    backend: Backend,
+}
+
+fn timeout_to_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        // Round up so a 100µs deadline never becomes a busy-spin at 0.
+        Some(t) => {
+            let mut ms = t.as_millis();
+            if t.as_nanos() > ms * 1_000_000 {
+                ms += 1;
+            }
+            ms.min(i32::MAX as u128) as i32
+        }
+    }
+}
+
+impl Poller {
+    /// Create a poller on the preferred backend for this platform,
+    /// honoring the `CUBIS_REACTOR_BACKEND=poll` override.
+    pub fn new() -> io::Result<Self> {
+        let force_poll =
+            std::env::var("CUBIS_REACTOR_BACKEND").map(|v| v == "poll").unwrap_or(false);
+        Self::with_fallback(force_poll)
+    }
+
+    /// Create a poller, forcing the `poll(2)` fallback when asked.
+    pub fn with_fallback(force_poll: bool) -> io::Result<Self> {
+        #[cfg(target_os = "linux")]
+        {
+            if !force_poll {
+                return Ok(Self {
+                    backend: Backend::Epoll {
+                        epfd: sys::epoll_create()?,
+                        buf: vec![sys::EpollEvent { events: 0, data: 0 }; 256],
+                        registered: 0,
+                    },
+                });
+            }
+        }
+        let _ = force_poll;
+        Ok(Self { backend: Backend::Poll { slots: Vec::new() } })
+    }
+
+    /// The backend actually in use (`"epoll"` or `"poll"`).
+    pub fn backend_name(&self) -> &'static str {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { .. } => "epoll",
+            Backend::Poll { .. } => "poll",
+        }
+    }
+
+    /// Registrations currently held.
+    pub fn registered(&self) -> usize {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { registered, .. } => *registered,
+            Backend::Poll { slots } => slots.len(),
+        }
+    }
+
+    /// Register `fd` under `token` with the given interest.
+    pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd, registered, .. } => {
+                use std::os::fd::AsRawFd;
+                sys::epoll_add(epfd.as_raw_fd(), fd, epoll_mask(interest), token)?;
+                *registered += 1;
+                Ok(())
+            }
+            Backend::Poll { slots } => {
+                if slots.iter().any(|&(f, _, _)| f == fd) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        "fd already registered",
+                    ));
+                }
+                slots.push((fd, token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    /// Change the interest set of a registered `fd`.
+    pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd, .. } => {
+                use std::os::fd::AsRawFd;
+                sys::epoll_modify(epfd.as_raw_fd(), fd, epoll_mask(interest), token)
+            }
+            Backend::Poll { slots } => {
+                match slots.iter_mut().find(|(f, _, _)| *f == fd) {
+                    Some(slot) => {
+                        slot.1 = token;
+                        slot.2 = interest;
+                        Ok(())
+                    }
+                    None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+                }
+            }
+        }
+    }
+
+    /// Remove `fd` from the poller. Must happen before the fd closes.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd, registered, .. } => {
+                use std::os::fd::AsRawFd;
+                sys::epoll_delete(epfd.as_raw_fd(), fd)?;
+                *registered = registered.saturating_sub(1);
+                Ok(())
+            }
+            Backend::Poll { slots } => {
+                let before = slots.len();
+                slots.retain(|&(f, _, _)| f != fd);
+                if slots.len() == before {
+                    return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Block until readiness or `timeout`, appending reports to
+    /// `events` (cleared first). `EINTR` reads as an empty wait.
+    pub fn wait(
+        &mut self,
+        events: &mut Vec<PollEvent>,
+        timeout: Option<Duration>,
+    ) -> io::Result<()> {
+        events.clear();
+        let timeout_ms = timeout_to_ms(timeout);
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd, buf, registered } => {
+                use std::os::fd::AsRawFd;
+                // Grow the report buffer with the registration count so
+                // one wait can surface every ready fd.
+                if buf.len() < (*registered).max(16) {
+                    buf.resize((*registered).next_power_of_two(), sys::EpollEvent {
+                        events: 0,
+                        data: 0,
+                    });
+                }
+                let n = match sys::epoll_wait_events(epfd.as_raw_fd(), buf, timeout_ms) {
+                    Ok(n) => n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+                    Err(e) => return Err(e),
+                };
+                for ev in &buf[..n] {
+                    // Copy out of the (packed) ABI struct before use.
+                    let bits = { ev.events };
+                    events.push(PollEvent {
+                        token: { ev.data },
+                        readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                        writable: bits & sys::EPOLLOUT != 0,
+                        error: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+                    });
+                }
+                Ok(())
+            }
+            Backend::Poll { slots } => {
+                let mut fds: Vec<sys::PollFd> = slots
+                    .iter()
+                    .map(|&(fd, _, interest)| sys::PollFd {
+                        fd,
+                        events: (if interest.readable { sys::POLLIN } else { 0 })
+                            | (if interest.writable { sys::POLLOUT } else { 0 }),
+                        revents: 0,
+                    })
+                    .collect();
+                let n = match sys::poll_fds(&mut fds, timeout_ms) {
+                    Ok(n) => n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+                    Err(e) => return Err(e),
+                };
+                if n > 0 {
+                    for (pfd, &(_, token, _)) in fds.iter().zip(slots.iter()) {
+                        if pfd.revents == 0 {
+                            continue;
+                        }
+                        events.push(PollEvent {
+                            token,
+                            readable: pfd.revents & (sys::POLLIN | sys::POLLHUP) != 0,
+                            writable: pfd.revents & sys::POLLOUT != 0,
+                            error: pfd.revents & (sys::POLLERR | sys::POLLHUP) != 0,
+                        });
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn epoll_mask(interest: Interest) -> u32 {
+    (if interest.readable { sys::EPOLLIN | sys::EPOLLRDHUP } else { 0 })
+        | (if interest.writable { sys::EPOLLOUT } else { 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::os::fd::AsRawFd;
+
+    fn backends() -> Vec<Poller> {
+        let mut list = vec![Poller::with_fallback(true).expect("poll backend")];
+        if cfg!(target_os = "linux") {
+            list.push(Poller::with_fallback(false).expect("epoll backend"));
+        }
+        list
+    }
+
+    #[test]
+    fn both_backends_report_level_triggered_readability() {
+        for mut poller in backends() {
+            let (r, w) = crate::sys::wake_pipe().expect("pipe");
+            poller.register(r.as_raw_fd(), 42, Interest::READ).expect("register");
+            let mut events = Vec::new();
+            poller.wait(&mut events, Some(Duration::ZERO)).expect("wait");
+            assert!(events.is_empty(), "{}: nothing readable yet", poller.backend_name());
+            crate::sys::write_fd(w.as_raw_fd(), b"!").expect("write");
+            poller.wait(&mut events, Some(Duration::from_secs(1))).expect("wait");
+            assert_eq!(events.len(), 1, "{}", poller.backend_name());
+            assert_eq!(events[0].token, 42);
+            assert!(events[0].readable);
+            // Level-triggered: unread data reports again.
+            poller.wait(&mut events, Some(Duration::from_secs(1))).expect("wait");
+            assert_eq!(events.len(), 1, "{}: level-triggered re-report", poller.backend_name());
+            poller.deregister(r.as_raw_fd()).expect("deregister");
+            poller.wait(&mut events, Some(Duration::ZERO)).expect("wait");
+            assert!(events.is_empty(), "{}: deregistered fd is silent", poller.backend_name());
+        }
+    }
+
+    #[test]
+    fn modify_switches_interest() {
+        for mut poller in backends() {
+            let (r, w) = crate::sys::wake_pipe().expect("pipe");
+            crate::sys::write_fd(w.as_raw_fd(), b"!").expect("write");
+            poller.register(r.as_raw_fd(), 1, Interest::READ).expect("register");
+            let mut events = Vec::new();
+            poller.wait(&mut events, Some(Duration::ZERO)).expect("wait");
+            assert_eq!(events.len(), 1, "{}", poller.backend_name());
+            // Drop read interest: the same readable pipe goes silent.
+            poller
+                .modify(r.as_raw_fd(), 1, Interest { readable: false, writable: false })
+                .expect("modify");
+            poller.wait(&mut events, Some(Duration::ZERO)).expect("wait");
+            assert!(
+                events.iter().all(|e| !e.readable),
+                "{}: read interest removed",
+                poller.backend_name()
+            );
+            poller.deregister(r.as_raw_fd()).expect("deregister");
+        }
+    }
+
+    #[test]
+    fn timeout_expires_without_events() {
+        for mut poller in backends() {
+            let (r, _w) = crate::sys::wake_pipe().expect("pipe");
+            poller.register(r.as_raw_fd(), 9, Interest::READ).expect("register");
+            let started = std::time::Instant::now();
+            let mut events = Vec::new();
+            poller.wait(&mut events, Some(Duration::from_millis(30))).expect("wait");
+            assert!(events.is_empty());
+            assert!(
+                started.elapsed() >= Duration::from_millis(25),
+                "{}: timeout honored",
+                poller.backend_name()
+            );
+        }
+    }
+
+    #[test]
+    fn backend_names_and_counts() {
+        for poller in backends() {
+            assert!(["epoll", "poll"].contains(&poller.backend_name()));
+            assert_eq!(poller.registered(), 0);
+        }
+    }
+}

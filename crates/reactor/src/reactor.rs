@@ -1,0 +1,953 @@
+//! The event loop: nonblocking accept, per-connection state machines,
+//! keep-alive, pipelining, write backpressure, and timeouts.
+//!
+//! One thread owns everything: the listener, the [`Poller`], and every
+//! connection. Request handling is delegated through [`Handler`] on
+//! the loop thread — handlers that finish instantly (health checks,
+//! metrics, rejections) call [`Reply::send`] before returning, while
+//! slow work (solves) hands the [`Reply`] to another thread and sends
+//! later; either way the completion lands on a queue and the loop is
+//! woken through its self-pipe. Responses to pipelined requests are
+//! written strictly in request order regardless of completion order.
+//!
+//! # Connection state machine
+//!
+//! ```text
+//!             ┌──────────── keep-alive ────────────┐
+//!             v                                    │
+//! accept → [Idle] ─bytes→ [Reading] ─request→ [Pending] ─reply→ [Writing]
+//!             │              │                      │               │
+//!          idle t/o       read t/o              (no I/O t/o;     write t/o,
+//!             │              │                   handler owns     backpressure
+//!             v              v                   its deadline)       │
+//!           close          close                                  close (after
+//!                                                                  flush if
+//!                                                                  `close`)
+//! ```
+//!
+//! A connection in `Pending`/`Writing` may simultaneously be `Reading`
+//! the next pipelined request; reads pause (the read interest is
+//! dropped) whenever buffered output exceeds the backpressure
+//! high-water mark, and resume once the peer drains it.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use cubis_trace::SharedRecorder;
+
+use crate::http1::{encode_response, ParseError, ParseStep, ParsedRequest, RequestParser};
+use crate::poller::{Interest, PollEvent, Poller};
+use crate::sys;
+
+/// Stop reading from a connection while more than this many response
+/// bytes are waiting for the peer to drain (write backpressure).
+pub const BACKPRESSURE_HIGH_WATER: usize = 256 * 1024;
+
+/// How long a shutdown waits for buffered responses to flush before
+/// abandoning the stragglers.
+const SHUTDOWN_FLUSH_BUDGET: Duration = Duration::from_secs(5);
+
+/// Reactor configuration.
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Hard cap on concurrently open connections; accepts beyond it
+    /// are closed immediately.
+    pub max_connections: usize,
+    /// Close a keep-alive connection idle (no buffered bytes, no
+    /// pending responses) for this long.
+    pub idle_timeout: Duration,
+    /// Close a connection whose partially-received request stalls for
+    /// this long (the slowloris guard).
+    pub read_timeout: Duration,
+    /// Close a connection whose buffered response bytes make no write
+    /// progress for this long.
+    pub write_timeout: Duration,
+    /// Per-request head cap (request line + headers).
+    pub max_head_bytes: usize,
+    /// Per-request body cap.
+    pub max_body_bytes: usize,
+    /// Force the `poll(2)` backend even where epoll is available.
+    pub force_poll_backend: bool,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 4096,
+            idle_timeout: Duration::from_secs(30),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_head_bytes: crate::http1::DEFAULT_MAX_HEAD_BYTES,
+            max_body_bytes: crate::http1::DEFAULT_MAX_BODY_BYTES,
+            force_poll_backend: false,
+        }
+    }
+}
+
+/// A fully-encoded response headed for one connection.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The exact bytes to write (status line through body).
+    pub bytes: Vec<u8>,
+    /// Close the connection once these bytes have flushed.
+    pub close: bool,
+}
+
+/// The application half of the reactor: called on the loop thread for
+/// every complete request.
+pub trait Handler: Send + Sync + 'static {
+    /// Handle one parsed request. Must not block: either reply
+    /// immediately or move `reply` to another thread and return.
+    fn handle(&self, req: ParsedRequest, reply: Reply);
+
+    /// Render the single response written before closing a connection
+    /// whose byte stream failed to parse.
+    fn on_parse_error(&self, err: &ParseError) -> Response {
+        let (status, reason) = match err {
+            ParseError::HeadTooLarge(_) => (431, "Request Header Fields Too Large"),
+            ParseError::BodyTooLarge(_) => (413, "Payload Too Large"),
+            ParseError::Malformed(_) => (400, "Bad Request"),
+        };
+        let body = format!("{err}\n");
+        Response {
+            bytes: encode_response(status, reason, "text/plain", &[], body.as_bytes(), false),
+            close: true,
+        }
+    }
+}
+
+/// Routes completed responses back to the loop thread and wakes it.
+struct ReplyRouter {
+    completions: Mutex<Vec<(u64, u64, Response)>>,
+    /// Write end of the loop's self-pipe.
+    wake_tx: std::os::fd::OwnedFd,
+    stop: AtomicBool,
+}
+
+impl ReplyRouter {
+    fn wake(&self) {
+        // A full pipe means a wake is already pending — WouldBlock is
+        // success here, and any other failure only costs latency (the
+        // loop ticks on its own).
+        let _ = sys::write_fd(self.wake_tx.as_raw_fd(), b"w");
+    }
+}
+
+/// The send-once capability for answering one request.
+pub struct Reply {
+    conn_id: u64,
+    serial: u64,
+    router: Arc<ReplyRouter>,
+}
+
+impl Reply {
+    /// Deliver the response. Responses are written to the socket in
+    /// request order; sending out of order is fine, the bytes wait.
+    pub fn send(self, response: Response) {
+        {
+            let mut q =
+                self.router.completions.lock().unwrap_or_else(PoisonError::into_inner);
+            q.push((self.conn_id, self.serial, response));
+        }
+        self.router.wake();
+    }
+}
+
+/// Handle to a running reactor.
+pub struct ReactorHandle {
+    addr: SocketAddr,
+    router: Arc<ReplyRouter>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReactorHandle {
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the loop: no new connections are accepted, buffered
+    /// responses get a bounded flush window, then everything closes.
+    /// Callers that need a drain (answer everything in flight) should
+    /// finish their handlers *before* calling this — the loop writes
+    /// every response already sent through a [`Reply`].
+    pub fn shutdown(mut self) {
+        self.router.stop.store(true, Ordering::SeqCst);
+        self.router.wake();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ReactorHandle {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.router.stop.store(true, Ordering::SeqCst);
+            self.router.wake();
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Start a reactor serving `handler`; returns once the listener is
+/// bound. Counters flow through `recorder` (see
+/// `cubis_trace::names` for the `reactor.*` set).
+pub fn start(
+    config: ReactorConfig,
+    handler: Arc<dyn Handler>,
+    recorder: SharedRecorder,
+) -> std::io::Result<ReactorHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let (wake_rx, wake_tx) = sys::wake_pipe()?;
+    let router = Arc::new(ReplyRouter {
+        completions: Mutex::new(Vec::new()),
+        wake_tx,
+        stop: AtomicBool::new(false),
+    });
+    let mut poller = Poller::with_fallback(config.force_poll_backend)?;
+    poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+    poller.register(wake_rx.as_raw_fd(), TOKEN_WAKE, Interest::READ)?;
+    let thread = {
+        let router = Arc::clone(&router);
+        std::thread::Builder::new().name("cubis-reactor".to_string()).spawn(move || {
+            let mut core = Loop {
+                listener,
+                wake_rx,
+                poller,
+                router,
+                handler,
+                recorder,
+                config,
+                conns: Vec::new(),
+                by_id: HashMap::new(),
+                next_id: 1,
+                stats: Stats::default(),
+            };
+            core.run();
+        })?
+    };
+    Ok(ReactorHandle { addr, router, thread: Some(thread) })
+}
+
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+
+/// What the current deadline on a connection means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeadlineKind {
+    Idle,
+    Read,
+    Write,
+}
+
+enum Slot {
+    /// Request dispatched; response not yet delivered.
+    Waiting(u64),
+    /// Response delivered out of order; waiting for its turn.
+    Done(Response),
+}
+
+struct Conn {
+    stream: TcpStream,
+    id: u64,
+    parser: RequestParser,
+    /// Encoded bytes not yet accepted by the socket.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// In-order response slots for dispatched requests.
+    pending: VecDeque<Slot>,
+    next_serial: u64,
+    requests_started: u64,
+    /// Registered interest (kept to avoid redundant `modify` calls).
+    interest: Interest,
+    deadline: Option<(Instant, DeadlineKind)>,
+    /// Stop parsing further requests (close requested or parse error).
+    no_more_requests: bool,
+    /// Close once `out` and `pending` drain.
+    closing: bool,
+    /// Peer sent EOF; serve what's pending, expect nothing more.
+    peer_closed: bool,
+}
+
+#[derive(Default)]
+struct Stats {
+    wakeups: u64,
+    readiness_events: u64,
+    accepts: u64,
+    keepalive_reuse: u64,
+    timeout_kills: u64,
+}
+
+struct Loop {
+    listener: TcpListener,
+    wake_rx: std::os::fd::OwnedFd,
+    poller: Poller,
+    router: Arc<ReplyRouter>,
+    handler: Arc<dyn Handler>,
+    recorder: SharedRecorder,
+    config: ReactorConfig,
+    /// Slab of connections; the poller token is the slot index.
+    conns: Vec<Option<Conn>>,
+    /// Connection id → slab slot (ids guard against slot reuse).
+    by_id: HashMap<u64, usize>,
+    next_id: u64,
+    stats: Stats,
+}
+
+impl Loop {
+    fn run(&mut self) {
+        let mut events: Vec<PollEvent> = Vec::new();
+        let mut stopping_since: Option<Instant> = None;
+        loop {
+            let stopping = self.router.stop.load(Ordering::SeqCst);
+            if stopping && stopping_since.is_none() {
+                stopping_since = Some(Instant::now());
+                let _ = self.poller.deregister(self.listener.as_raw_fd());
+                self.close_flushed_conns();
+            }
+            if let Some(since) = stopping_since {
+                if self.live_conns() == 0 || since.elapsed() >= SHUTDOWN_FLUSH_BUDGET {
+                    self.flush_stats();
+                    return;
+                }
+            }
+            let timeout = self.next_wait_timeout(stopping_since);
+            if self.poller.wait(&mut events, timeout).is_err() {
+                // A failed wait would spin; back off and retry.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            self.stats.wakeups += 1;
+            self.stats.readiness_events += events.len() as u64;
+            for ev in events.drain(..) {
+                match ev.token {
+                    TOKEN_LISTENER => {
+                        if stopping_since.is_none() {
+                            self.accept_ready();
+                        }
+                    }
+                    TOKEN_WAKE => {
+                        let mut buf = [0u8; 64];
+                        while let Ok(n) = sys::read_fd(self.wake_rx.as_raw_fd(), &mut buf) {
+                            if n < buf.len() {
+                                break;
+                            }
+                        }
+                    }
+                    token => self.conn_ready(token as usize, ev),
+                }
+            }
+            self.drain_completions();
+            self.expire_deadlines();
+            if stopping_since.is_some() {
+                self.close_flushed_conns();
+            }
+            self.refresh_registrations();
+            self.flush_stats();
+        }
+    }
+
+    fn live_conns(&self) -> usize {
+        self.conns.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// During shutdown: drop every connection with nothing left to
+    /// write; the rest get the flush budget.
+    fn close_flushed_conns(&mut self) {
+        let idle: Vec<usize> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let conn = c.as_ref()?;
+                let has_output =
+                    conn.out_pos < conn.out.len() || !conn.pending.is_empty();
+                (!has_output).then_some(i)
+            })
+            .collect();
+        for token in idle {
+            self.close_conn(token);
+        }
+    }
+
+    fn next_wait_timeout(&self, stopping_since: Option<Instant>) -> Option<Duration> {
+        let now = Instant::now();
+        let mut min: Option<Duration> = stopping_since
+            .map(|s| (s + SHUTDOWN_FLUSH_BUDGET).saturating_duration_since(now));
+        for conn in self.conns.iter().flatten() {
+            if let Some((at, _)) = conn.deadline {
+                let left = at.saturating_duration_since(now);
+                min = Some(match min {
+                    Some(m) => m.min(left),
+                    None => left,
+                });
+            }
+        }
+        // A coarse tick bounds how stale the deadline sweep can get
+        // even if a registration path misses a wake.
+        Some(min.map_or(Duration::from_millis(500), |m| m.min(Duration::from_millis(500))))
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            };
+            if self.live_conns() >= self.config.max_connections {
+                // Over the cap: shed the connection immediately.
+                drop(stream);
+                continue;
+            }
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let id = self.next_id;
+            self.next_id += 1;
+            let token = match self.conns.iter().position(|c| c.is_none()) {
+                Some(slot) => slot,
+                None => {
+                    self.conns.push(None);
+                    self.conns.len() - 1
+                }
+            };
+            let conn = Conn {
+                stream,
+                id,
+                parser: RequestParser::new(
+                    self.config.max_head_bytes,
+                    self.config.max_body_bytes,
+                ),
+                out: Vec::new(),
+                out_pos: 0,
+                pending: VecDeque::new(),
+                next_serial: 0,
+                requests_started: 0,
+                interest: Interest::READ,
+                deadline: Some((Instant::now() + self.config.idle_timeout, DeadlineKind::Idle)),
+                no_more_requests: false,
+                closing: false,
+                peer_closed: false,
+            };
+            if self
+                .poller
+                .register(conn.stream.as_raw_fd(), token as u64, Interest::READ)
+                .is_err()
+            {
+                continue;
+            }
+            self.stats.accepts += 1;
+            self.by_id.insert(id, token);
+            self.conns[token] = Some(conn);
+        }
+    }
+
+    fn conn_ready(&mut self, token: usize, ev: PollEvent) {
+        let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+            return;
+        };
+        if ev.readable && !conn.no_more_requests && conn.out.len() - conn.out_pos
+            <= BACKPRESSURE_HIGH_WATER
+        {
+            self.read_ready(token);
+        }
+        let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+            return;
+        };
+        if ev.writable || conn.out_pos < conn.out.len() {
+            self.write_ready(token);
+        }
+        let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+            return;
+        };
+        if ev.error && conn.out_pos >= conn.out.len() && conn.pending.is_empty() {
+            self.close_conn(token);
+        }
+    }
+
+    fn read_ready(&mut self, token: usize) {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+                return;
+            };
+            match (&conn.stream).read(&mut buf) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    conn.no_more_requests = true;
+                    if conn.out_pos >= conn.out.len() && conn.pending.is_empty() {
+                        self.close_conn(token);
+                    }
+                    return;
+                }
+                Ok(n) => {
+                    conn.parser.push(&buf[..n]);
+                    self.pump_parser(token);
+                    let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut)
+                    else {
+                        return;
+                    };
+                    if conn.no_more_requests
+                        || conn.out.len() - conn.out_pos > BACKPRESSURE_HIGH_WATER
+                    {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Pull every complete request out of the connection's parser and
+    /// dispatch it.
+    fn pump_parser(&mut self, token: usize) {
+        loop {
+            let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+                return;
+            };
+            if conn.no_more_requests {
+                return;
+            }
+            match conn.parser.next_request() {
+                ParseStep::NeedMore => return,
+                ParseStep::Ready(req) => {
+                    let serial = conn.next_serial;
+                    conn.next_serial += 1;
+                    conn.requests_started += 1;
+                    if conn.requests_started > 1 {
+                        self.stats.keepalive_reuse += 1;
+                    }
+                    if !req.keep_alive {
+                        conn.no_more_requests = true;
+                    }
+                    conn.pending.push_back(Slot::Waiting(serial));
+                    let reply = Reply {
+                        conn_id: conn.id,
+                        serial,
+                        router: Arc::clone(&self.router),
+                    };
+                    let handler = Arc::clone(&self.handler);
+                    handler.handle(req, reply);
+                }
+                ParseStep::Bad(err) => {
+                    let response = self.handler.on_parse_error(&err);
+                    let conn = match self.conns.get_mut(token).and_then(Option::as_mut) {
+                        Some(c) => c,
+                        None => return,
+                    };
+                    conn.no_more_requests = true;
+                    conn.closing = true;
+                    // Jump the queue only if nothing was dispatched
+                    // before the bad bytes; otherwise append in order.
+                    conn.pending.push_back(Slot::Done(response));
+                    self.promote_ready(token);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Move contiguous completed responses from `pending` into the
+    /// write buffer.
+    fn promote_ready(&mut self, token: usize) {
+        let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+            return;
+        };
+        while let Some(Slot::Done(_)) = conn.pending.front() {
+            let Some(Slot::Done(resp)) = conn.pending.pop_front() else {
+                break;
+            };
+            conn.out.extend_from_slice(&resp.bytes);
+            if resp.close {
+                conn.closing = true;
+                conn.no_more_requests = true;
+                conn.pending.clear();
+                break;
+            }
+        }
+        // Reclaim consumed prefix once it dominates the buffer.
+        if conn.out_pos > 4096 && conn.out_pos * 2 > conn.out.len() {
+            conn.out.drain(..conn.out_pos);
+            conn.out_pos = 0;
+        }
+        self.write_ready(token);
+    }
+
+    fn write_ready(&mut self, token: usize) {
+        let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+            return;
+        };
+        while conn.out_pos < conn.out.len() {
+            match (&conn.stream).write(&conn.out[conn.out_pos..]) {
+                Ok(0) => break,
+                Ok(n) => conn.out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+        let flushed = conn.out_pos >= conn.out.len();
+        if flushed && conn.closing && conn.pending.is_empty() {
+            self.close_conn(token);
+        } else if flushed && conn.peer_closed && conn.pending.is_empty() {
+            self.close_conn(token);
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        let completions: Vec<(u64, u64, Response)> = {
+            let mut q =
+                self.router.completions.lock().unwrap_or_else(PoisonError::into_inner);
+            std::mem::take(&mut *q)
+        };
+        for (conn_id, serial, response) in completions {
+            let Some(&token) = self.by_id.get(&conn_id) else {
+                continue; // Connection died before its response.
+            };
+            let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+                continue;
+            };
+            if conn.id != conn_id {
+                continue;
+            }
+            for slot in conn.pending.iter_mut() {
+                if let Slot::Waiting(s) = slot {
+                    if *s == serial {
+                        *slot = Slot::Done(response);
+                        break;
+                    }
+                }
+            }
+            self.promote_ready(token);
+        }
+    }
+
+    fn expire_deadlines(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<usize> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let conn = c.as_ref()?;
+                match conn.deadline {
+                    Some((at, _)) if at <= now => Some(i),
+                    _ => None,
+                }
+            })
+            .collect();
+        for token in expired {
+            self.stats.timeout_kills += 1;
+            self.close_conn(token);
+        }
+    }
+
+    /// Recompute interest + deadline for every live connection and
+    /// sync the poller where they changed.
+    fn refresh_registrations(&mut self) {
+        let now = Instant::now();
+        for token in 0..self.conns.len() {
+            let Some(conn) = self.conns[token].as_mut() else {
+                continue;
+            };
+            let has_output = conn.out_pos < conn.out.len();
+            let wants_read = !conn.no_more_requests
+                && !conn.peer_closed
+                && conn.out.len() - conn.out_pos <= BACKPRESSURE_HIGH_WATER;
+            let desired = Interest { readable: wants_read, writable: has_output };
+            if desired != conn.interest {
+                if self
+                    .poller
+                    .modify(conn.stream.as_raw_fd(), token as u64, desired)
+                    .is_ok()
+                {
+                    conn.interest = desired;
+                }
+            }
+            let kind = if has_output {
+                Some(DeadlineKind::Write)
+            } else if !conn.pending.is_empty() {
+                None // Handler owns its own deadline.
+            } else if !conn.parser.is_idle() {
+                Some(DeadlineKind::Read)
+            } else {
+                Some(DeadlineKind::Idle)
+            };
+            conn.deadline = match kind {
+                None => None,
+                Some(kind) => {
+                    let window = match kind {
+                        DeadlineKind::Idle => self.config.idle_timeout,
+                        DeadlineKind::Read => self.config.read_timeout,
+                        DeadlineKind::Write => self.config.write_timeout,
+                    };
+                    match conn.deadline {
+                        // Keep an armed deadline of the same kind —
+                        // re-arming on every tick would defeat it.
+                        Some((at, k)) if k == kind => Some((at, k)),
+                        _ => Some((now + window, kind)),
+                    }
+                }
+            };
+        }
+    }
+
+    fn close_conn(&mut self, token: usize) {
+        if let Some(conn) = self.conns.get_mut(token).and_then(Option::take) {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.by_id.remove(&conn.id);
+        }
+    }
+
+    /// Emit accumulated counters through the recorder (each name is
+    /// registered in `cubis_trace::names::COUNTERS`).
+    fn flush_stats(&mut self) {
+        let stats = std::mem::take(&mut self.stats);
+        if stats.wakeups > 0 {
+            self.recorder.counter("reactor.wakeups", stats.wakeups);
+        }
+        if stats.readiness_events > 0 {
+            self.recorder.counter("reactor.readiness_events", stats.readiness_events);
+        }
+        if stats.accepts > 0 {
+            self.recorder.counter("reactor.accepts", stats.accepts);
+        }
+        if stats.keepalive_reuse > 0 {
+            self.recorder.counter("reactor.keepalive_reuse", stats.keepalive_reuse);
+        }
+        if stats.timeout_kills > 0 {
+            self.recorder.counter("reactor.timeout_kills", stats.timeout_kills);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    /// Echoes the request path and body length; `/close` asks for
+    /// connection close; `/slow` replies from another thread after a
+    /// short delay (exercises the completion queue + wake pipe).
+    struct EchoHandler;
+
+    impl Handler for EchoHandler {
+        fn handle(&self, req: ParsedRequest, reply: Reply) {
+            let body = format!("path={} body_len={}", req.path, req.body.len());
+            let close = !req.keep_alive || req.path == "/close";
+            let response = Response {
+                bytes: encode_response(
+                    200,
+                    "OK",
+                    "text/plain",
+                    &[],
+                    body.as_bytes(),
+                    !close,
+                ),
+                close,
+            };
+            if req.path == "/slow" {
+                std::thread::spawn(move || {
+                    std::thread::sleep(Duration::from_millis(50));
+                    reply.send(response);
+                });
+            } else {
+                reply.send(response);
+            }
+        }
+    }
+
+    fn boot(config: ReactorConfig) -> ReactorHandle {
+        start(config, Arc::new(EchoHandler), SharedRecorder::default())
+            .expect("reactor binds an ephemeral port")
+    }
+
+    fn read_one_response(reader: &mut impl BufRead) -> (u16, Vec<(String, String)>, Vec<u8>) {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("status line");
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {line:?}"));
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("header line");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            let (n, v) = line.split_once(':').expect("header colon");
+            let (n, v) = (n.trim().to_ascii_lowercase(), v.trim().to_string());
+            if n == "content-length" {
+                content_length = v.parse().expect("content-length");
+            }
+            headers.push((n, v));
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).expect("body");
+        (status, headers, body)
+    }
+
+    fn configs() -> Vec<ReactorConfig> {
+        vec![
+            ReactorConfig::default(),
+            ReactorConfig { force_poll_backend: true, ..ReactorConfig::default() },
+        ]
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_on_one_connection() {
+        for config in configs() {
+            let handle = boot(config);
+            let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+            stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+            let mut writer = stream.try_clone().expect("clone");
+            let mut reader = std::io::BufReader::new(stream);
+            for i in 0..3 {
+                writer
+                    .write_all(format!("GET /r{i} HTTP/1.1\r\n\r\n").as_bytes())
+                    .expect("write");
+                let (status, headers, body) = read_one_response(&mut reader);
+                assert_eq!(status, 200);
+                assert_eq!(body, format!("path=/r{i} body_len=0").as_bytes());
+                assert!(headers
+                    .iter()
+                    .any(|(n, v)| n == "connection" && v == "keep-alive"));
+            }
+            handle.shutdown();
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_come_back_in_order() {
+        for config in configs() {
+            let handle = boot(config);
+            let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+            stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+            let mut writer = stream.try_clone().expect("clone");
+            let mut reader = std::io::BufReader::new(stream);
+            // The first is answered slowly off-thread, the second
+            // instantly — order must still be request order.
+            writer
+                .write_all(b"GET /slow HTTP/1.1\r\n\r\nGET /fast HTTP/1.1\r\n\r\n")
+                .expect("write");
+            let (_, _, body1) = read_one_response(&mut reader);
+            let (_, _, body2) = read_one_response(&mut reader);
+            assert_eq!(body1, b"path=/slow body_len=0");
+            assert_eq!(body2, b"path=/fast body_len=0");
+            handle.shutdown();
+        }
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let handle = boot(ReactorConfig::default());
+        let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = std::io::BufReader::new(stream);
+        writer
+            .write_all(b"POST /x HTTP/1.1\r\nconnection: close\r\ncontent-length: 2\r\n\r\nhi")
+            .expect("write");
+        let (status, headers, body) = read_one_response(&mut reader);
+        assert_eq!(status, 200);
+        assert_eq!(body, b"path=/x body_len=2");
+        assert!(headers.iter().any(|(n, v)| n == "connection" && v == "close"));
+        // Server closes: the next read sees EOF.
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).expect("eof");
+        assert!(rest.is_empty());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn oversized_head_gets_431_and_close() {
+        let handle = boot(ReactorConfig {
+            max_head_bytes: 256,
+            ..ReactorConfig::default()
+        });
+        let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = std::io::BufReader::new(stream);
+        let huge = format!("GET / HTTP/1.1\r\nx-big: {}\r\n\r\n", "a".repeat(512));
+        writer.write_all(huge.as_bytes()).expect("write");
+        let (status, _, _) = read_one_response(&mut reader);
+        assert_eq!(status, 431);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_line_gets_400() {
+        let handle = boot(ReactorConfig::default());
+        let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = std::io::BufReader::new(stream);
+        writer.write_all(b"NONSENSE\r\n\r\n").expect("write");
+        let (status, _, _) = read_one_response(&mut reader);
+        assert_eq!(status, 400);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn slowloris_idle_and_stalled_reads_are_killed() {
+        let handle = boot(ReactorConfig {
+            idle_timeout: Duration::from_millis(150),
+            read_timeout: Duration::from_millis(150),
+            ..ReactorConfig::default()
+        });
+        // Stalled mid-request: a partial head, then silence.
+        let mut stalled = TcpStream::connect(handle.local_addr()).expect("connect");
+        stalled.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        stalled.write_all(b"GET / HTT").expect("write");
+        let mut buf = Vec::new();
+        let start = Instant::now();
+        stalled.read_to_end(&mut buf).expect("server closes the stalled conn");
+        assert!(buf.is_empty(), "no response bytes for a never-finished request");
+        assert!(start.elapsed() < Duration::from_secs(4), "killed by timeout, not test patience");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_flushes_already_sent_responses() {
+        let handle = boot(ReactorConfig::default());
+        let addr = handle.local_addr();
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = std::io::BufReader::new(stream);
+        writer.write_all(b"GET /slow HTTP/1.1\r\n\r\n").expect("write");
+        // Give the loop a beat to dispatch, then shut down while the
+        // slow handler is still sleeping: its reply must still arrive.
+        std::thread::sleep(Duration::from_millis(10));
+        let shutdown = std::thread::spawn(move || handle.shutdown());
+        let (status, _, body) = read_one_response(&mut reader);
+        assert_eq!(status, 200);
+        assert_eq!(body, b"path=/slow body_len=0");
+        shutdown.join().expect("shutdown thread");
+    }
+}

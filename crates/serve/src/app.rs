@@ -31,9 +31,9 @@ use cubis_core::problem::RobustProblem;
 use cubis_core::{
     Cubis, CubisSolution, Deadline, DpInner, ScaleInner, SolveError, AUTO_SCALE_THRESHOLD,
 };
-use cubis_trace::{CounterSetRecorder, SharedRecorder};
+use cubis_trace::{CounterSetRecorder, Recorder, SharedRecorder};
 
-use crate::cache::SolutionCache;
+use crate::cache::{CacheTier, SolutionCache};
 use crate::codec::{self, BatchRequest, RequestPolicy, SolveRequest};
 use crate::metrics::ServerMetrics;
 
@@ -72,11 +72,14 @@ pub struct ApiResponse {
     /// `X-Cubis-Inner` header; `None` on errors and batch envelopes,
     /// whose items carry their own `inner` field).
     pub inner: Option<&'static str>,
+    /// Which cache tier satisfied a [`CacheOutcome::Hit`] (drives the
+    /// `X-Cubis-Cache-Tier` header; `None` otherwise).
+    pub tier: Option<CacheTier>,
 }
 
 impl ApiResponse {
     fn ok(body: String, cache: CacheOutcome, inner: Option<&'static str>) -> Self {
-        Self { status: 200, body, cache, inner }
+        Self { status: 200, body, cache, inner, tier: None }
     }
 
     fn error(status: u16, code: &str, detail: &str) -> Self {
@@ -85,6 +88,7 @@ impl ApiResponse {
             body: codec::error_body(code, detail, None),
             cache: CacheOutcome::NotApplicable,
             inner: None,
+            tier: None,
         }
     }
 }
@@ -97,13 +101,42 @@ pub struct App {
 }
 
 impl App {
-    /// Build an app with a cache of `shards × per_shard_capacity`
-    /// entries and fresh metrics/trace sheets.
+    /// Build an app with a memory-only cache of `shards ×
+    /// per_shard_capacity` hot entries and fresh metrics/trace sheets.
     pub fn new(shards: usize, per_shard_capacity: usize) -> Self {
+        Self::with_cache(SolutionCache::new(shards, per_shard_capacity))
+    }
+
+    /// Build an app whose cache falls through to a persistent tier
+    /// under `data_dir`; solutions survive restarts byte-identically.
+    pub fn with_data_dir(
+        shards: usize,
+        per_shard_capacity: usize,
+        data_dir: &std::path::Path,
+    ) -> std::io::Result<Self> {
+        Ok(Self::with_cache(SolutionCache::with_disk_tier(
+            shards,
+            per_shard_capacity,
+            data_dir,
+        )?))
+    }
+
+    fn with_cache(cache: SolutionCache) -> Self {
         Self {
-            cache: SolutionCache::new(shards, per_shard_capacity),
+            cache,
             metrics: Arc::new(ServerMetrics::default()),
             trace: Arc::new(CounterSetRecorder::new()),
+        }
+    }
+
+    /// Record a cache hit against its tier: the serve metrics sheet
+    /// plus the per-tier trace counters.
+    fn count_hit(&self, tier: CacheTier) {
+        self.metrics.cache_hits.fetch_add(1, Ordering::SeqCst);
+        let recorder = SharedRecorder::new(Arc::clone(&self.trace) as Arc<dyn Recorder>);
+        match tier {
+            CacheTier::Hot => recorder.counter("serve.cache_tier1_hits", 1),
+            CacheTier::Persistent => recorder.counter("serve.cache_tier2_hits", 1),
         }
     }
 
@@ -123,9 +156,14 @@ impl App {
         self.metrics.render(&self.trace)
     }
 
-    /// Entries currently cached.
+    /// Entries currently in the hot cache tier.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Records in the persistent cache tier (0 without a data dir).
+    pub fn cache_persistent_len(&self) -> usize {
+        self.cache.persistent_len()
     }
 
     fn deadline_from_ms(deadline_ms: Option<u64>) -> Deadline {
@@ -207,9 +245,12 @@ impl App {
         let engine = Self::engine_for(policy, inst.num_targets());
         let hash = inst.content_hash();
         let content = Self::cache_content(inst, policy);
-        if let Some(body) = self.cache.get(hash, &content) {
-            self.metrics.cache_hits.fetch_add(1, Ordering::SeqCst);
-            return ApiResponse::ok(body, CacheOutcome::Hit, Some(engine));
+        if let Some((body, tier)) = self.cache.get_tiered(hash, &content) {
+            self.count_hit(tier);
+            return ApiResponse {
+                tier: Some(tier),
+                ..ApiResponse::ok(body, CacheOutcome::Hit, Some(engine))
+            };
         }
         self.metrics.cache_misses.fetch_add(1, Ordering::SeqCst);
         match self.solve_fresh(inst, Self::deadline_from_ms(deadline_ms), policy) {
@@ -228,6 +269,7 @@ impl App {
                     ),
                     cache: CacheOutcome::NotApplicable,
                     inner: None,
+                    tier: None,
                 }
             }
             Err(e) => {
@@ -286,7 +328,10 @@ impl App {
         let mut slots: Vec<Option<(String, CacheOutcome)>> = keys
             .iter()
             .map(|(hash, content)| {
-                self.cache.get(*hash, content).map(|body| (body, CacheOutcome::Hit))
+                self.cache.get_tiered(*hash, content).map(|(body, tier)| {
+                    self.count_hit(tier);
+                    (body, CacheOutcome::Hit)
+                })
             })
             .collect();
 
@@ -295,7 +340,6 @@ impl App {
         // resolution) per group.
         let miss_idx: Vec<usize> =
             (0..slots.len()).filter(|&i| slots[i].is_none()).collect();
-        self.metrics.cache_hits.fetch_add((keys.len() - miss_idx.len()) as u64, Ordering::SeqCst);
         self.metrics.cache_misses.fetch_add(miss_idx.len() as u64, Ordering::SeqCst);
         let deadline = Self::deadline_from_ms(req.deadline_ms);
         let recorder = SharedRecorder::new(
@@ -540,6 +584,41 @@ mod tests {
         assert_eq!(App::engine_for(RequestPolicy::Auto, AUTO_SCALE_THRESHOLD + 1), "scale");
         assert_eq!(App::engine_for(RequestPolicy::Dp, 10_000), "dp");
         assert_eq!(App::engine_for(RequestPolicy::Scale, 1), "scale");
+    }
+
+    #[test]
+    fn persistent_tier_survives_an_app_restart_byte_identically() {
+        let dir = std::env::temp_dir()
+            .join(format!("cubis-app-tier2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let req = SolveRequest {
+            instance: small_instance(77),
+            deadline_ms: None,
+            policy: RequestPolicy::Auto,
+        };
+        let first = {
+            let app = App::with_data_dir(2, 8, &dir).expect("open data dir");
+            let first = app.handle_solve(&req);
+            assert_eq!((first.status, first.cache), (200, CacheOutcome::Miss));
+            assert_eq!(app.cache_persistent_len(), 1);
+            // A hot hit reports tier 1.
+            let again = app.handle_solve(&req);
+            assert_eq!(again.tier, Some(CacheTier::Hot));
+            first
+        };
+        // A "restarted" app on the same dir: cold memory, warm disk.
+        let app = App::with_data_dir(2, 8, &dir).expect("reopen data dir");
+        assert_eq!(app.cache_len(), 0);
+        let resp = app.handle_solve(&req);
+        assert_eq!(resp.cache, CacheOutcome::Hit);
+        assert_eq!(resp.tier, Some(CacheTier::Persistent));
+        assert_eq!(resp.body, first.body, "tier-2 hit must be bit-identical across restarts");
+        let text = app.render_metrics();
+        assert!(
+            text.contains("cubis_trace_counter{name=\"serve.cache_tier2_hits\"} 1"),
+            "metrics:\n{text}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

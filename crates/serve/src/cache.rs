@@ -1,4 +1,5 @@
-//! The sharded LRU solution cache.
+//! The two-tier solution cache: a sharded in-memory LRU hot tier over
+//! an optional persistent append-only content-hash store.
 //!
 //! Keys are the FNV-1a content hash of the canonical instance encoding
 //! ([`cubis_check::canon::content_hash`]); values are fully rendered
@@ -6,16 +7,61 @@
 //! so a hit is *bit-identical* to a fresh solve (the trace codec's
 //! shortest-repr `f64` printing makes re-rendering deterministic, and
 //! the `cubis-serve-cache-vs-fresh` oracle holds the service to it).
+//! The bit-identity contract spans both tiers — and server restarts: a
+//! body served from the persistent tier is the same bytes the original
+//! solve wrote, possibly in a previous process.
 //!
 //! Hash collisions cannot produce a wrong answer: each entry stores the
-//! canonical content bytes alongside the body, and a lookup whose bytes
-//! differ is treated as a miss. Shards are independent mutexes selected
-//! by the high bits of the key, so concurrent workers rarely contend;
-//! within a shard the LRU order is a small `VecDeque` scanned linearly
-//! — shard capacities are tens of entries, where a scan beats any
-//! pointer-chased list.
+//! canonical content bytes alongside the body (on disk, the record
+//! stores both byte runs), and a lookup whose bytes differ is treated
+//! as a miss. Shards are independent mutexes selected by the high bits
+//! of the key, so concurrent workers rarely contend; within a shard the
+//! LRU order is a small `VecDeque` scanned linearly — shard capacities
+//! are tens of entries, where a scan beats any pointer-chased list.
+//!
+//! # The persistent tier
+//!
+//! [`SolutionCache::with_disk_tier`] opens (or creates)
+//! `<dir>/solutions.log`, an append-only record log:
+//!
+//! ```text
+//! rec <hash-hex> <content-len> <body-len>\n
+//! <content bytes><body bytes>\n
+//! ```
+//!
+//! Opening scans the log once to build an in-memory offset index; a
+//! truncated final record (a crash mid-append) is ignored, everything
+//! before it stays served. Lookups that miss the hot tier read the
+//! record back, verify the content bytes, promote the body into the
+//! hot tier, and report [`CacheTier::Persistent`]. Inserts append at
+//! most once per `(hash, content)` — the log never stores duplicates,
+//! so its growth is bounded by the number of *distinct* instances ever
+//! solved, not by traffic.
 
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 use std::sync::{Mutex, PoisonError};
+
+/// Which tier satisfied a cache hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// The in-memory LRU.
+    Hot,
+    /// The on-disk append-only store (the body was then promoted).
+    Persistent,
+}
+
+impl CacheTier {
+    /// The `X-Cubis-Cache-Tier` header value.
+    pub fn header_value(&self) -> &'static str {
+        match self {
+            Self::Hot => "hot",
+            Self::Persistent => "persistent",
+        }
+    }
+}
 
 struct Entry {
     hash: u64,
@@ -31,15 +77,38 @@ struct Shard {
     entries: std::collections::VecDeque<Entry>,
 }
 
-/// A sharded least-recently-used map from instance content to solution
-/// bodies.
+/// Byte extents of one record's payload inside the log file.
+#[derive(Debug, Clone, Copy)]
+struct DiskRecord {
+    content_off: u64,
+    content_len: u32,
+    body_off: u64,
+    body_len: u32,
+}
+
+struct DiskState {
+    file: File,
+    /// hash → records with that hash (usually exactly one; collisions
+    /// and policy-qualified contents share a hash slot).
+    index: HashMap<u64, Vec<DiskRecord>>,
+    records: usize,
+}
+
+struct DiskTier {
+    state: Mutex<DiskState>,
+    path: PathBuf,
+}
+
+/// A two-tier map from instance content to solution bodies: sharded
+/// in-memory LRU over an optional persistent append-only log.
 pub struct SolutionCache {
     shards: Vec<Mutex<Shard>>,
     per_shard_capacity: usize,
+    disk: Option<DiskTier>,
 }
 
 impl SolutionCache {
-    /// Create a cache with `shards` independent shards of
+    /// Create a memory-only cache with `shards` independent shards of
     /// `per_shard_capacity` entries each (both clamped to ≥ 1).
     pub fn new(shards: usize, per_shard_capacity: usize) -> Self {
         let shards = shards.max(1);
@@ -48,7 +117,39 @@ impl SolutionCache {
                 .map(|_| Mutex::new(Shard { entries: std::collections::VecDeque::new() }))
                 .collect(),
             per_shard_capacity: per_shard_capacity.max(1),
+            disk: None,
         }
+    }
+
+    /// Create a cache whose misses fall through to a persistent store
+    /// under `dir` (created if absent). Entries already in the log —
+    /// including ones written by a previous process — are immediately
+    /// servable.
+    pub fn with_disk_tier(
+        shards: usize,
+        per_shard_capacity: usize,
+        dir: &Path,
+    ) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("solutions.log");
+        let mut file = OpenOptions::new().read(true).append(true).create(true).open(&path)?;
+        let (index, records, clean_len) = scan_log(&mut file)?;
+        if clean_len < file.metadata()?.len() {
+            // A crash left a partial record; trim it so new appends
+            // start on a record boundary instead of extending garbage.
+            file.set_len(clean_len)?;
+        }
+        let mut cache = Self::new(shards, per_shard_capacity);
+        cache.disk = Some(DiskTier {
+            state: Mutex::new(DiskState { file, index, records }),
+            path,
+        });
+        Ok(cache)
+    }
+
+    /// The log path of the persistent tier, if one is attached.
+    pub fn disk_path(&self) -> Option<&Path> {
+        self.disk.as_ref().map(|d| d.path.as_path())
     }
 
     fn shard(&self, hash: u64) -> &Mutex<Shard> {
@@ -58,25 +159,39 @@ impl SolutionCache {
         &self.shards[idx]
     }
 
-    /// Look up the body for `(hash, content)`, refreshing its LRU
-    /// position. `content` must be the canonical bytes `hash` was
-    /// computed from; an entry with the same hash but different bytes
-    /// is a collision and reads as a miss.
-    pub fn get(&self, hash: u64, content: &str) -> Option<String> {
-        let mut shard = self.shard(hash).lock().unwrap_or_else(PoisonError::into_inner);
-        let pos = shard
-            .entries
-            .iter()
-            .position(|e| e.hash == hash && e.content == content)?;
-        let entry = shard.entries.remove(pos)?;
-        let body = entry.body.clone();
-        shard.entries.push_front(entry);
-        Some(body)
+    /// Look up the body for `(hash, content)` and which tier held it,
+    /// refreshing (or establishing) its hot-tier LRU position.
+    /// `content` must be the canonical bytes `hash` was computed from;
+    /// an entry with the same hash but different bytes is a collision
+    /// and reads as a miss.
+    pub fn get_tiered(&self, hash: u64, content: &str) -> Option<(String, CacheTier)> {
+        {
+            let mut shard = self.shard(hash).lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(pos) =
+                shard.entries.iter().position(|e| e.hash == hash && e.content == content)
+            {
+                let entry = shard.entries.remove(pos)?;
+                let body = entry.body.clone();
+                shard.entries.push_front(entry);
+                return Some((body, CacheTier::Hot));
+            }
+        }
+        let disk = self.disk.as_ref()?;
+        let body = {
+            let mut state = disk.state.lock().unwrap_or_else(PoisonError::into_inner);
+            read_matching(&mut state, hash, content)?
+        };
+        // Promote: the next lookup is a hot hit.
+        self.insert_hot(hash, content, &body);
+        Some((body, CacheTier::Persistent))
     }
 
-    /// Insert (or refresh) the body for `(hash, content)`, evicting the
-    /// least-recently-used entry of the shard when full.
-    pub fn insert(&self, hash: u64, content: &str, body: &str) {
+    /// Look up the body for `(hash, content)` across both tiers.
+    pub fn get(&self, hash: u64, content: &str) -> Option<String> {
+        self.get_tiered(hash, content).map(|(body, _)| body)
+    }
+
+    fn insert_hot(&self, hash: u64, content: &str, body: &str) {
         let mut shard = self.shard(hash).lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(pos) =
             shard.entries.iter().position(|e| e.hash == hash && e.content == content)
@@ -93,7 +208,22 @@ impl SolutionCache {
         }
     }
 
-    /// Total entries across all shards.
+    /// Insert (or refresh) the body for `(hash, content)`: into the hot
+    /// tier (evicting LRU when the shard is full) and — if absent there
+    /// — appended to the persistent log.
+    pub fn insert(&self, hash: u64, content: &str, body: &str) {
+        self.insert_hot(hash, content, body);
+        if let Some(disk) = &self.disk {
+            let mut state = disk.state.lock().unwrap_or_else(PoisonError::into_inner);
+            if read_matching(&mut state, hash, content).is_none() {
+                // Append failures degrade the cache to memory-only for
+                // this entry; they never fail the solve.
+                let _ = append_record(&mut state, hash, content, body);
+            }
+        }
+    }
+
+    /// Total entries in the hot tier across all shards.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
@@ -101,15 +231,153 @@ impl SolutionCache {
             .sum()
     }
 
-    /// Whether the cache holds no entries.
+    /// Whether the hot tier holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Records in the persistent tier (0 without one).
+    pub fn persistent_len(&self) -> usize {
+        self.disk
+            .as_ref()
+            .map(|d| d.state.lock().unwrap_or_else(PoisonError::into_inner).records)
+            .unwrap_or(0)
+    }
+}
+
+/// Scan the log from the start, returning the offset index, the record
+/// count, and the byte offset of the end of the last intact record. A
+/// truncated tail (crash mid-append) ends the scan cleanly.
+fn scan_log(
+    file: &mut File,
+) -> std::io::Result<(HashMap<u64, Vec<DiskRecord>>, usize, u64)> {
+    file.seek(SeekFrom::Start(0))?;
+    let len = file.metadata()?.len();
+    let mut reader = BufReader::new(&mut *file);
+    let mut index: HashMap<u64, Vec<DiskRecord>> = HashMap::new();
+    let mut records = 0usize;
+    let mut offset = 0u64;
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header)?;
+        if n == 0 {
+            break;
+        }
+        let header_len = n as u64;
+        let Some((hash, content_len, body_len)) = parse_header(&header) else {
+            break; // Corrupt header: treat the rest of the log as tail.
+        };
+        let content_off = offset + header_len;
+        let body_off = content_off + u64::from(content_len);
+        // Payload + trailing newline must fit inside the file.
+        let end = body_off + u64::from(body_len) + 1;
+        if end > len {
+            break; // Truncated tail.
+        }
+        // Skip the payload without reading it.
+        let mut remaining = u64::from(content_len) + u64::from(body_len) + 1;
+        while remaining > 0 {
+            let take = remaining.min(64 * 1024) as usize;
+            let mut sink = vec![0u8; take];
+            reader.read_exact(&mut sink)?;
+            remaining -= take as u64;
+        }
+        index.entry(hash).or_default().push(DiskRecord {
+            content_off,
+            content_len,
+            body_off,
+            body_len,
+        });
+        records += 1;
+        offset = end;
+    }
+    Ok((index, records, offset))
+}
+
+fn parse_header(line: &str) -> Option<(u64, u32, u32)> {
+    let mut parts = line.trim_end().split(' ');
+    if parts.next()? != "rec" {
+        return None;
+    }
+    let hash = u64::from_str_radix(parts.next()?, 16).ok()?;
+    let content_len: u32 = parts.next()?.parse().ok()?;
+    let body_len: u32 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((hash, content_len, body_len))
+}
+
+/// Find and read back the body of the record matching `(hash,
+/// content)`, verifying the stored content bytes.
+fn read_matching(state: &mut DiskState, hash: u64, content: &str) -> Option<String> {
+    let candidates: Vec<DiskRecord> = state.index.get(&hash)?.clone();
+    for rec in candidates {
+        if rec.content_len as usize != content.len() {
+            continue;
+        }
+        let mut stored = vec![0u8; rec.content_len as usize];
+        if state.file.seek(SeekFrom::Start(rec.content_off)).is_err()
+            || state.file.read_exact(&mut stored).is_err()
+        {
+            continue;
+        }
+        if stored != content.as_bytes() {
+            continue; // Hash collision: different canonical bytes.
+        }
+        let mut body = vec![0u8; rec.body_len as usize];
+        if state.file.seek(SeekFrom::Start(rec.body_off)).is_err()
+            || state.file.read_exact(&mut body).is_err()
+        {
+            continue;
+        }
+        return String::from_utf8(body).ok();
+    }
+    None
+}
+
+fn append_record(
+    state: &mut DiskState,
+    hash: u64,
+    content: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let (content_len, body_len) = match (u32::try_from(content.len()), u32::try_from(body.len())) {
+        (Ok(c), Ok(b)) => (c, b),
+        _ => return Ok(()), // Absurdly large entry: skip persistence.
+    };
+    // Append mode: writes land at the end regardless of the read
+    // cursor, but the offsets must be computed from the real end.
+    let base = state.file.seek(SeekFrom::End(0))?;
+    let header = format!("rec {hash:016x} {content_len} {body_len}\n");
+    state.file.write_all(header.as_bytes())?;
+    state.file.write_all(content.as_bytes())?;
+    state.file.write_all(body.as_bytes())?;
+    state.file.write_all(b"\n")?;
+    state.file.flush()?;
+    let content_off = base + header.len() as u64;
+    state.index.entry(hash).or_default().push(DiskRecord {
+        content_off,
+        content_len,
+        body_off: content_off + u64::from(content_len),
+        body_len,
+    });
+    state.records += 1;
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cubis-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
 
     #[test]
     fn hit_after_insert_and_lru_eviction() {
@@ -174,5 +442,87 @@ mod tests {
             h.join().expect("cache worker panicked");
         }
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn disk_tier_survives_eviction_and_reports_the_tier() {
+        let dir = temp_dir("evict");
+        let cache = SolutionCache::with_disk_tier(1, 1, &dir).expect("open disk tier");
+        cache.insert(1, "a", "body-a");
+        cache.insert(2, "b", "body-b"); // Evicts `1` from the hot tier.
+        assert_eq!(
+            cache.get_tiered(2, "b"),
+            Some(("body-b".to_string(), CacheTier::Hot))
+        );
+        // `1` is gone from memory but lives in the log — and the hit
+        // promotes it back, evicting `2`.
+        assert_eq!(
+            cache.get_tiered(1, "a"),
+            Some(("body-a".to_string(), CacheTier::Persistent))
+        );
+        assert_eq!(
+            cache.get_tiered(1, "a"),
+            Some(("body-a".to_string(), CacheTier::Hot))
+        );
+        assert_eq!(cache.persistent_len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_tier_survives_reopen_byte_identically() {
+        let dir = temp_dir("reopen");
+        {
+            let cache = SolutionCache::with_disk_tier(2, 4, &dir).expect("open");
+            cache.insert(0xABCD, "canon\nlines", "{\"v\":1.25}");
+            // Re-inserting must not duplicate the record.
+            cache.insert(0xABCD, "canon\nlines", "{\"v\":1.25}");
+            assert_eq!(cache.persistent_len(), 1);
+        }
+        let cache = SolutionCache::with_disk_tier(2, 4, &dir).expect("reopen");
+        assert_eq!(cache.len(), 0, "hot tier starts cold after reopen");
+        assert_eq!(cache.persistent_len(), 1);
+        assert_eq!(
+            cache.get_tiered(0xABCD, "canon\nlines"),
+            Some(("{\"v\":1.25}".to_string(), CacheTier::Persistent)),
+            "reopened store must serve the exact original bytes"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_is_ignored_earlier_records_survive() {
+        let dir = temp_dir("trunc");
+        {
+            let cache = SolutionCache::with_disk_tier(1, 4, &dir).expect("open");
+            cache.insert(1, "aa", "first");
+            cache.insert(2, "bb", "second");
+        }
+        // Chop bytes off the end, simulating a crash mid-append.
+        let path = dir.join("solutions.log");
+        let bytes = std::fs::read(&path).expect("read log");
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).expect("truncate");
+        let cache = SolutionCache::with_disk_tier(1, 4, &dir).expect("reopen truncated");
+        assert_eq!(cache.persistent_len(), 1, "only the intact record survives");
+        assert_eq!(cache.get(1, "aa").as_deref(), Some("first"));
+        assert_eq!(cache.get(2, "bb"), None);
+        // And the store keeps working: new inserts append after repair.
+        cache.insert(3, "cc", "third");
+        let reopened = SolutionCache::with_disk_tier(1, 4, &dir).expect("reopen again");
+        assert_eq!(reopened.get(3, "cc").as_deref(), Some("third"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_collision_still_reads_as_miss() {
+        let dir = temp_dir("collide");
+        let cache = SolutionCache::with_disk_tier(1, 1, &dir).expect("open");
+        cache.insert(9, "content-a", "body-a");
+        cache.insert(10, "x", "y"); // Evict `9` from memory.
+        assert_eq!(cache.get_tiered(9, "content-z"), None);
+        assert_eq!(
+            cache.get_tiered(9, "content-a"),
+            Some(("body-a".to_string(), CacheTier::Persistent))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

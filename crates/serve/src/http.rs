@@ -1,13 +1,21 @@
 //! A minimal HTTP/1.1 subset over blocking streams.
 //!
-//! Just enough of RFC 9112 for the solve service and its load
-//! generator: one request per connection (`Connection: close` on every
-//! response), a request line, `\r\n`-terminated headers, and an
-//! optional `Content-Length` body. No chunked encoding, no keep-alive,
-//! no TLS — the service is an internal tool, and the parser's job is to
-//! be small, allocation-bounded, and impossible to wedge: header and
-//! body sizes are capped, and malformed input maps to a typed
-//! [`HttpError`] the caller turns into a 4xx.
+//! Just enough of RFC 9112 for the solve service and its clients: a
+//! request line, `\r\n`-terminated headers, and an optional
+//! `Content-Length` body. No chunked encoding, no TLS — the service is
+//! an internal tool, and the parser's job is to be small,
+//! allocation-bounded, and impossible to wedge: header and body sizes
+//! are capped, and malformed input maps to a typed [`HttpError`] the
+//! caller turns into a 4xx.
+//!
+//! Two clients live here: [`roundtrip`] opens a fresh
+//! `connection: close` stream per request (integration tests, one-off
+//! probes), and [`ClientConn`] keeps one stream open across many
+//! exchanges — the keep-alive client the scaled load generator drives
+//! against the reactor server. The *server*-side incremental parser
+//! lives in `cubis_reactor::http1`; its grammar deliberately mirrors
+//! [`read_request`] here, and the `serve-parser-incremental-vs-oneshot`
+//! oracle holds the two to byte-for-byte agreement.
 
 use std::io::{BufRead, Write};
 
@@ -157,6 +165,7 @@ pub fn reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
@@ -253,6 +262,83 @@ pub fn read_response(reader: &mut impl BufRead) -> Result<Response, HttpError> {
             .map_err(|e| HttpError::Io(e.to_string()))?;
     }
     Ok(Response { status, headers, body })
+}
+
+/// A keep-alive HTTP/1.1 client connection: one TCP stream reused for
+/// many request/response exchanges. The load generator's workhorse —
+/// reuse is what lets thousands of clients hammer the reactor without
+/// a connect/close storm. Exchanges run strictly in sequence; after a
+/// response carrying `connection: close` (or any transport error) the
+/// connection is dead and the caller reconnects.
+pub struct ClientConn {
+    writer: std::net::TcpStream,
+    reader: std::io::BufReader<std::net::TcpStream>,
+    /// Completed exchanges on this connection.
+    exchanges: u64,
+    /// The server announced it will close after the last response.
+    server_closing: bool,
+}
+
+impl ClientConn {
+    /// Connect with `timeout` applying to the connect and every
+    /// subsequent read/write.
+    pub fn connect(
+        addr: std::net::SocketAddr,
+        timeout: std::time::Duration,
+    ) -> Result<Self, HttpError> {
+        let stream = std::net::TcpStream::connect_timeout(&addr, timeout)
+            .map_err(|e| HttpError::Io(format!("connect: {e}")))?;
+        stream.set_read_timeout(Some(timeout)).map_err(|e| HttpError::Io(e.to_string()))?;
+        stream.set_write_timeout(Some(timeout)).map_err(|e| HttpError::Io(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        let writer = stream.try_clone().map_err(|e| HttpError::Io(e.to_string()))?;
+        Ok(Self {
+            writer,
+            reader: std::io::BufReader::new(stream),
+            exchanges: 0,
+            server_closing: false,
+        })
+    }
+
+    /// Exchanges completed on this connection so far (for keep-alive
+    /// reuse accounting: reuse = exchanges beyond the first).
+    pub fn exchanges(&self) -> u64 {
+        self.exchanges
+    }
+
+    /// Whether the connection can carry another request.
+    pub fn reusable(&self) -> bool {
+        !self.server_closing
+    }
+
+    /// Send one request and read its response, leaving the connection
+    /// open for the next exchange (unless the server says close).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<Response, HttpError> {
+        if self.server_closing {
+            return Err(HttpError::ConnectionClosed);
+        }
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: cubis\r\n");
+        head.push_str(&format!("content-length: {}\r\n", body.len()));
+        for (name, value) in extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        self.writer.write_all(head.as_bytes()).map_err(|e| HttpError::Io(e.to_string()))?;
+        self.writer.write_all(body).map_err(|e| HttpError::Io(e.to_string()))?;
+        self.writer.flush().map_err(|e| HttpError::Io(e.to_string()))?;
+        let response = read_response(&mut self.reader)?;
+        self.exchanges += 1;
+        if response.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close")) {
+            self.server_closing = true;
+        }
+        Ok(response)
+    }
 }
 
 /// Send `request` over a fresh client connection and return the parsed

@@ -11,24 +11,32 @@
 //!
 //! | layer | module | what it owns |
 //! |---|---|---|
-//! | wire | [`http`] | minimal HTTP/1.1 parse/print, client round trip |
+//! | wire | [`http`] | minimal HTTP/1.1 parse/print, one-shot + keep-alive clients |
 //! | codec | [`codec`] | versioned solve/batch/error bodies |
-//! | cache | [`cache`] | sharded LRU over content-hashed instances |
+//! | cache | [`cache`] | hot sharded LRU over a persistent content-hash store |
 //! | metrics | [`metrics`] | server counters + latency histogram + trace dump |
 //! | app | [`app`] | transport-free request handling (the oracle's entry point) |
-//! | server | [`server`] | acceptor, bounded queue, workers, graceful drain |
-//! | oracle | [`oracle`] | the `cubis-serve-cache-vs-fresh` differential check |
-//! | loadgen | [`loadgen`] | closed-loop clients behind `cubis-xtask loadgen` |
+//! | server | [`server`] | reactor frontend, work-stealing workers, graceful drain |
+//! | oracle | [`oracle`] | the cache-vs-fresh and parser differential checks |
+//! | loadgen | [`loadgen`] | keep-alive closed-loop clients behind `cubis-xtask loadgen` |
+//!
+//! The transport itself — the event loop, nonblocking accept,
+//! incremental request parsing, keep-alive/pipelining, timeouts —
+//! lives in the [`cubis_reactor`] crate; this crate supplies the
+//! application behind it.
 //!
 //! Operational contract, in one paragraph: `POST /v1/solve` and
 //! `POST /v1/solve_batch` go through a bounded admission queue (full →
-//! `429`, draining → `503`) to a fixed worker pool; per-request
-//! deadlines are enforced *inside* the binary search via
-//! [`cubis_core::Deadline`], so an expired request answers `504` with
-//! the incumbent bounds instead of burning a worker; `GET /healthz`
-//! and `GET /metrics` are answered by the acceptor itself and never
-//! queue behind solves; shutdown drains the queue before the workers
-//! exit, so admitted work is never dropped.
+//! `429` with `Retry-After`, draining → `503`) to a fixed
+//! work-stealing worker pool; per-request deadlines are enforced
+//! *inside* the binary search via [`cubis_core::Deadline`], so an
+//! expired request answers `504` with the incumbent bounds instead of
+//! burning a worker; `GET /healthz` and `GET /metrics` are answered on
+//! the reactor thread itself and never queue behind solves; cache hits
+//! are bit-identical to fresh solves across both tiers — including
+//! across server restarts, via the persistent tier under `--data-dir`
+//! — and shutdown drains the queue before the workers exit, so
+//! admitted work is never dropped.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,9 +51,9 @@ pub mod oracle;
 pub mod server;
 
 pub use app::{ApiResponse, App, CacheOutcome};
-pub use cache::SolutionCache;
+pub use cache::{CacheTier, SolutionCache};
 pub use codec::{BatchRequest, RequestPolicy, SolutionView, SolveRequest};
 pub use loadgen::{LoadgenConfig, LoadgenOutcome};
 pub use metrics::ServerMetrics;
-pub use oracle::cache_vs_fresh_oracle;
+pub use oracle::{cache_vs_fresh_oracle, parser_incremental_vs_oneshot_oracle};
 pub use server::{start, ServeConfig, ServerHandle};

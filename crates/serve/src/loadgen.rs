@@ -1,15 +1,28 @@
-//! A closed-loop load generator for the solve service.
+//! A closed-loop, keep-alive load generator for the solve service.
 //!
-//! `clients` threads each issue `requests_per_client` sequential
-//! `POST /v1/solve` requests over fresh connections (closed-loop: the
-//! next request waits for the previous response, so offered load tracks
-//! service capacity instead of overrunning it). The instance mix is
-//! seeded and deterministic: with probability `duplicate_rate` a
-//! request re-sends one of a small pool of pinned instances (these are
-//! the cache's bread and butter), otherwise it sends a fresh
-//! never-repeated instance. Latencies are measured client-side around
-//! the full connect→response round trip, so the reported quantiles are
-//! what a caller would actually observe.
+//! `clients` threads each open **one** keep-alive connection and issue
+//! `requests_per_client` sequential `POST /v1/solve` requests over it
+//! (closed-loop: the next request waits for the previous response, so
+//! offered load tracks service capacity instead of overrunning it).
+//! Connections are reused across requests — that reuse is the point:
+//! it is what exercises the reactor's per-connection state machines at
+//! thousands-of-clients scale without a connect/close storm — and are
+//! re-opened only after a transport error or a server-initiated close.
+//!
+//! The instance mix is seeded and deterministic: with probability
+//! `duplicate_rate` a request re-sends one of a small pool of pinned
+//! instances (these are the cache's bread and butter), otherwise it
+//! sends a fresh never-repeated instance. Admission pushback is
+//! honored: a `429 Too Many Requests` response's `Retry-After` header
+//! drives a jittered, attempt-scaled backoff sleep before the retry,
+//! up to `max_retries_429` attempts. Latencies are measured
+//! client-side around the full exchange *including* backoff retries,
+//! so the reported quantiles are what a caller would actually observe.
+//!
+//! Cache hits are split by tier (`x-cubis-cache-tier`: the in-memory
+//! hot tier vs. the persistent store), which is how the bench harness
+//! proves restart-survival: a run against a warm data dir reports
+//! tier-2 hits whose bodies are byte-identical to the priming run.
 
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -17,7 +30,7 @@ use std::time::{Duration, Instant};
 use cubis_check::{CheckInstance, SplitMix64};
 
 use crate::codec::SolveRequest;
-use crate::http;
+use crate::http::ClientConn;
 
 /// Load-generator configuration.
 #[derive(Debug, Clone)]
@@ -36,6 +49,8 @@ pub struct LoadgenConfig {
     pub deadline_ms: Option<u64>,
     /// Per-request I/O timeout.
     pub timeout: Duration,
+    /// Retries on 429 before counting the request as rejected.
+    pub max_retries_429: u32,
 }
 
 impl Default for LoadgenConfig {
@@ -48,6 +63,7 @@ impl Default for LoadgenConfig {
             pool_size: 4,
             deadline_ms: None,
             timeout: Duration::from_secs(30),
+            max_retries_429: 4,
         }
     }
 }
@@ -55,7 +71,10 @@ impl Default for LoadgenConfig {
 /// What one request observed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RequestOutcome {
-    Hit,
+    /// 200 from the in-memory hot cache tier.
+    HitTier1,
+    /// 200 from the persistent cache tier.
+    HitTier2,
     Miss,
     Rejected(u16),
     TransportError,
@@ -64,16 +83,26 @@ enum RequestOutcome {
 /// Aggregated results of a load-generation run.
 #[derive(Debug, Clone)]
 pub struct LoadgenOutcome {
-    /// Requests attempted.
+    /// Requests attempted (retries of one request count once).
     pub requests: usize,
-    /// 200s served from the cache.
+    /// 200s served from the cache (either tier).
     pub cache_hits: usize,
+    /// Cache hits served by the in-memory hot tier.
+    pub tier1_hits: usize,
+    /// Cache hits served by the persistent tier.
+    pub tier2_hits: usize,
     /// 200s solved fresh.
     pub cache_misses: usize,
-    /// Non-200 responses (429/503/504/…), by count.
+    /// Non-200 responses (429-after-retries/503/504/…), by count.
     pub rejected: usize,
     /// Requests that failed at the transport level.
     pub transport_errors: usize,
+    /// 429 responses that were retried after a `Retry-After` backoff.
+    pub retries_429: usize,
+    /// Requests carried by an already-used keep-alive connection.
+    pub keepalive_reused: usize,
+    /// TCP connections the clients opened in total.
+    pub connections: usize,
     /// Wall-clock duration of the whole run.
     pub elapsed: Duration,
     /// Sorted per-request latencies for successful (200) requests.
@@ -129,6 +158,15 @@ fn clamp_for_serving(mut inst: CheckInstance) -> CheckInstance {
     inst
 }
 
+/// Per-client tallies carried back to the aggregator.
+#[derive(Default)]
+struct ClientStats {
+    results: Vec<(RequestOutcome, Duration)>,
+    retries_429: usize,
+    keepalive_reused: usize,
+    connections: usize,
+}
+
 /// Run the load against a server at `addr`; blocks until every client
 /// finishes.
 pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> LoadgenOutcome {
@@ -138,23 +176,46 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> LoadgenOutcome {
         .map(|client| {
             let pool = pool.clone();
             let cfg = cfg.clone();
-            std::thread::spawn(move || client_loop(addr, client as u64, &pool, &cfg))
+            // Small stacks: at thousands of clients the default 8 MiB
+            // would reserve gigabytes for threads that mostly block.
+            std::thread::Builder::new()
+                .stack_size(256 * 1024)
+                .name(format!("cubis-loadgen-{client}"))
+                .spawn(move || client_loop(addr, client as u64, &pool, &cfg))
+                // cubis:allow(NUM02): thread-spawn failure is resource
+                // exhaustion in a load generator; there is no partial run
+                // worth salvaging, so aborting the benchmark is correct
+                .expect("spawn loadgen client")
         })
         .collect();
     let mut requests = 0;
     let mut cache_hits = 0;
+    let mut tier1_hits = 0;
+    let mut tier2_hits = 0;
     let mut cache_misses = 0;
     let mut rejected = 0;
     let mut transport_errors = 0;
+    let mut retries_429 = 0;
+    let mut keepalive_reused = 0;
+    let mut connections = 0;
     let mut latencies = Vec::new();
     for handle in handles {
         // cubis:allow(NUM02): a panicked client thread is a harness bug with no meaningful counts to salvage; surfacing the panic beats reporting a silently short run
-        let results = handle.join().expect("loadgen client panicked");
-        for (outcome, latency) in results {
+        let stats = handle.join().expect("loadgen client panicked");
+        retries_429 += stats.retries_429;
+        keepalive_reused += stats.keepalive_reused;
+        connections += stats.connections;
+        for (outcome, latency) in stats.results {
             requests += 1;
             match outcome {
-                RequestOutcome::Hit => {
+                RequestOutcome::HitTier1 => {
                     cache_hits += 1;
+                    tier1_hits += 1;
+                    latencies.push(latency);
+                }
+                RequestOutcome::HitTier2 => {
+                    cache_hits += 1;
+                    tier2_hits += 1;
                     latencies.push(latency);
                 }
                 RequestOutcome::Miss => {
@@ -170,12 +231,28 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> LoadgenOutcome {
     LoadgenOutcome {
         requests,
         cache_hits,
+        tier1_hits,
+        tier2_hits,
         cache_misses,
         rejected,
         transport_errors,
+        retries_429,
+        keepalive_reused,
+        connections,
         elapsed: started.elapsed(),
         latencies,
     }
+}
+
+/// The jittered backoff before retrying a 429: uniform in
+/// `[base/4, base]` (where `base` honors the server's `Retry-After`,
+/// in seconds), scaled by the attempt number so repeat offenders back
+/// off further.
+fn backoff_ms(r: &mut SplitMix64, retry_after_secs: u64, attempt: u32) -> u64 {
+    let base_ms = retry_after_secs.max(1).saturating_mul(1000);
+    let low = (base_ms / 4).max(1);
+    let jittered = low + r.next_u64() % (base_ms - low + 1);
+    jittered.saturating_mul(u64::from(attempt.max(1)))
 }
 
 fn client_loop(
@@ -183,11 +260,15 @@ fn client_loop(
     client: u64,
     pool: &[CheckInstance],
     cfg: &LoadgenConfig,
-) -> Vec<(RequestOutcome, Duration)> {
+) -> ClientStats {
     // Decorrelate the per-client streams while keeping the whole mix a
     // pure function of (seed, client index).
     let mut r = SplitMix64::new(cfg.seed ^ client.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let mut results = Vec::with_capacity(cfg.requests_per_client);
+    let mut stats = ClientStats {
+        results: Vec::with_capacity(cfg.requests_per_client),
+        ..ClientStats::default()
+    };
+    let mut conn: Option<ClientConn> = None;
     for _ in 0..cfg.requests_per_client {
         let instance = if r.chance(cfg.duplicate_rate) {
             pool[r.range_usize(0, pool.len() - 1)].clone()
@@ -201,27 +282,67 @@ fn client_loop(
         }
         .to_json_string();
         let started = Instant::now();
-        let outcome = match http::roundtrip(
-            addr,
-            "POST",
-            "/v1/solve",
-            &[],
-            body.as_bytes(),
-            cfg.timeout,
-        ) {
-            Ok(resp) if resp.status == 200 => {
-                if resp.header("x-cubis-cache") == Some("hit") {
-                    RequestOutcome::Hit
-                } else {
-                    RequestOutcome::Miss
+        let mut attempt = 0u32;
+        let outcome = loop {
+            let c = match &mut conn {
+                Some(c) if c.reusable() => c,
+                _ => match ClientConn::connect(addr, cfg.timeout) {
+                    Ok(c) => {
+                        stats.connections += 1;
+                        conn.insert(c)
+                    }
+                    Err(_) => break RequestOutcome::TransportError,
+                },
+            };
+            let reused = c.exchanges() > 0;
+            match c.request("POST", "/v1/solve", &[], body.as_bytes()) {
+                Ok(resp) => {
+                    if reused {
+                        stats.keepalive_reused += 1;
+                    }
+                    match resp.status {
+                        200 => {
+                            break if resp.header("x-cubis-cache") == Some("hit") {
+                                if resp.header("x-cubis-cache-tier") == Some("persistent") {
+                                    RequestOutcome::HitTier2
+                                } else {
+                                    RequestOutcome::HitTier1
+                                }
+                            } else {
+                                RequestOutcome::Miss
+                            };
+                        }
+                        429 if attempt < cfg.max_retries_429 => {
+                            attempt += 1;
+                            stats.retries_429 += 1;
+                            let retry_after = resp
+                                .header("retry-after")
+                                .and_then(|v| v.parse::<u64>().ok())
+                                .unwrap_or(1);
+                            std::thread::sleep(Duration::from_millis(backoff_ms(
+                                &mut r,
+                                retry_after,
+                                attempt,
+                            )));
+                        }
+                        status => break RequestOutcome::Rejected(status),
+                    }
+                }
+                Err(_) => {
+                    // The connection died mid-exchange; one fresh
+                    // connection gets to retry, then we report.
+                    conn = None;
+                    if attempt < 1 {
+                        attempt += 1;
+                    } else {
+                        break RequestOutcome::TransportError;
+                    }
                 }
             }
-            Ok(resp) => RequestOutcome::Rejected(resp.status),
-            Err(_) => RequestOutcome::TransportError,
         };
-        results.push((outcome, started.elapsed()));
+        stats.results.push((outcome, started.elapsed()));
     }
-    results
+    stats
 }
 
 #[cfg(test)]
@@ -243,9 +364,14 @@ mod tests {
         let outcome = LoadgenOutcome {
             requests: 10,
             cache_hits: 4,
+            tier1_hits: 3,
+            tier2_hits: 1,
             cache_misses: 4,
             rejected: 1,
             transport_errors: 1,
+            retries_429: 2,
+            keepalive_reused: 7,
+            connections: 3,
             elapsed: Duration::from_secs(2),
             latencies: (1..=8).map(Duration::from_millis).collect(),
         };
@@ -257,14 +383,36 @@ mod tests {
         let empty = LoadgenOutcome {
             requests: 0,
             cache_hits: 0,
+            tier1_hits: 0,
+            tier2_hits: 0,
             cache_misses: 0,
             rejected: 0,
             transport_errors: 0,
+            retries_429: 0,
+            keepalive_reused: 0,
+            connections: 0,
             elapsed: Duration::from_secs(1),
             latencies: vec![],
         };
         assert_eq!(empty.quantile(0.5), None);
         assert_eq!(empty.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn backoff_honors_retry_after_with_jitter() {
+        let mut r = SplitMix64::new(7);
+        for attempt in 1..=3u32 {
+            for _ in 0..64 {
+                let ms = backoff_ms(&mut r, 2, attempt);
+                let scale = u64::from(attempt);
+                assert!(
+                    ms >= 500 * scale && ms <= 2000 * scale,
+                    "attempt {attempt}: {ms}ms outside [base/4, base] × attempt"
+                );
+            }
+        }
+        // Retry-After of 0 still sleeps a little.
+        assert!(backoff_ms(&mut r, 0, 1) >= 250);
     }
 
     #[test]
@@ -289,6 +437,16 @@ mod tests {
         assert_eq!(outcome.transport_errors, 0, "transport errors: {outcome:?}");
         assert!(outcome.successes() > 0);
         assert!(outcome.cache_hits > 0, "duplicate mix must produce hits: {outcome:?}");
+        assert_eq!(
+            outcome.cache_hits,
+            outcome.tier1_hits + outcome.tier2_hits,
+            "every hit carries a tier: {outcome:?}"
+        );
+        assert!(
+            outcome.keepalive_reused >= 10,
+            "2 clients × 6 requests over keep-alive must reuse: {outcome:?}"
+        );
+        assert_eq!(outcome.connections, 2, "one connection per client: {outcome:?}");
         assert!(outcome.quantile(0.99).is_some());
         handle.shutdown();
     }

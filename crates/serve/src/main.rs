@@ -6,7 +6,9 @@
 //!
 //! Flags (all optional): `--addr <host:port>` (default `127.0.0.1:8787`;
 //! port 0 picks an ephemeral port and prints it), `--workers <n>`,
-//! `--queue <n>`, `--cache <entries-per-shard>`. The process serves
+//! `--queue <n>`, `--cache <entries-per-shard>`, and
+//! `--data-dir <path>` to attach the persistent cache tier (solved
+//! instances survive restarts byte-identically). The process serves
 //! until killed; see the crate docs and `ARCHITECTURE.md` §"The
 //! serving layer" for the routes and semantics.
 
@@ -15,7 +17,8 @@ use std::process::ExitCode;
 use cubis_serve::ServeConfig;
 
 fn usage() -> String {
-    "usage: cubis-serve [--addr <host:port>] [--workers <n>] [--queue <n>] [--cache <n>]"
+    "usage: cubis-serve [--addr <host:port>] [--workers <n>] [--queue <n>] [--cache <n>] \
+     [--data-dir <path>]"
         .to_string()
 }
 
@@ -39,6 +42,9 @@ fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
             "--cache" => {
                 config.cache_capacity_per_shard =
                     value("<n>")?.parse().map_err(|e| format!("--cache: {e}"))?;
+            }
+            "--data-dir" => {
+                config.data_dir = Some(std::path::PathBuf::from(value("<path>")?));
             }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
@@ -86,14 +92,17 @@ mod tests {
     fn defaults_and_flags_parse() {
         let config = parse_args(&[]).expect("defaults");
         assert_eq!(config.addr, "127.0.0.1:8787");
+        assert_eq!(config.data_dir, None);
         let config = parse_args(&s(&[
             "--addr", "127.0.0.1:0", "--workers", "3", "--queue", "9", "--cache", "5",
+            "--data-dir", "/tmp/cubis-cache",
         ]))
         .expect("flags");
         assert_eq!(config.addr, "127.0.0.1:0");
         assert_eq!(config.workers, 3);
         assert_eq!(config.queue_capacity, 9);
         assert_eq!(config.cache_capacity_per_shard, 5);
+        assert_eq!(config.data_dir.as_deref(), Some(std::path::Path::new("/tmp/cubis-cache")));
     }
 
     #[test]

@@ -1,24 +1,37 @@
-//! The `cubis-serve-cache-vs-fresh` differential oracle.
+//! The serve crate's differential oracles.
 //!
-//! Property: for any valid instance, a from-scratch solve, the
-//! in-process handler's first (cache-miss) response, and its second
-//! (cache-hit) response all produce *bit-identical* solution bodies.
-//! That is the cache's correctness contract — a hit is
-//! indistinguishable from a fresh solve at the byte level — and it is
-//! checked through [`crate::app::App`], the exact code path production
-//! requests take.
+//! **`cubis-serve-cache-vs-fresh`** — for any valid instance, a
+//! from-scratch solve, the in-process handler's first (cache-miss)
+//! response, and its second (cache-hit) response all produce
+//! *bit-identical* solution bodies. That is the cache's correctness
+//! contract — a hit is indistinguishable from a fresh solve at the
+//! byte level — and it is checked through [`crate::app::App`], the
+//! exact code path production requests take.
 //!
-//! The oracle is registered with `cubis-check` through the extras
+//! **`cubis-serve-parser-incremental-vs-oneshot`** — the reactor's
+//! resumable request parser ([`cubis_reactor::RequestParser`]) and
+//! this crate's blocking one-shot parser ([`crate::http::read_request`])
+//! implement the same grammar. For any instance, the oracle encodes a
+//! real solve request, feeds it to the incremental parser in
+//! seed-derived fragments (byte-split at arbitrary points, then
+//! pipelined twice on one buffer), and demands field-for-field
+//! agreement with the one-shot parse; a mangled request line must be
+//! rejected by *both*. This is what lets the reactor replace the old
+//! blocking front end without a wire-visible behavior change.
+//!
+//! The oracles are registered with `cubis-check` through the extras
 //! extension point (`run_fuzz_with`), which exists precisely because
 //! the dependency arrow points serve → check: the check crate cannot
-//! name this oracle, so the xtask fuzz driver passes it in.
+//! name these oracles, so the xtask fuzz driver passes them in.
 
 use cubis_check::oracles::{Oracle, OracleStatus};
-use cubis_check::CheckInstance;
+use cubis_check::{CheckInstance, SplitMix64};
 use cubis_core::Deadline;
+use cubis_reactor::{ParseStep, RequestParser};
 
 use crate::app::{App, CacheOutcome};
 use crate::codec::{RequestPolicy, SolveRequest};
+use crate::http;
 
 /// The registry entry for this crate's differential oracle.
 pub fn cache_vs_fresh_oracle() -> Oracle {
@@ -70,6 +83,142 @@ fn cache_vs_fresh(inst: &CheckInstance) -> Result<OracleStatus, String> {
     Ok(OracleStatus::Checked)
 }
 
+/// The registry entry for the parser-equivalence oracle.
+pub fn parser_incremental_vs_oneshot_oracle() -> Oracle {
+    Oracle {
+        name: "cubis-serve-parser-incremental-vs-oneshot",
+        what: "reactor's incremental request parser vs the one-shot parser, split/pipelined/mangled",
+        run: parser_incremental_vs_oneshot,
+    }
+}
+
+/// Parse `raw` with the one-shot blocking parser.
+fn oneshot(raw: &[u8]) -> Result<http::Request, String> {
+    http::read_request(&mut std::io::BufReader::new(raw))
+        .map_err(|e| format!("one-shot parser rejected a well-formed request: {e}"))
+}
+
+/// Feed `raw` to a fresh incremental parser in `cuts`-delimited
+/// fragments and pull out every completed request.
+fn incremental(
+    raw: &[u8],
+    cuts: &[usize],
+    expect: usize,
+) -> Result<Vec<cubis_reactor::ParsedRequest>, String> {
+    let mut parser = RequestParser::new(http::MAX_HEAD_BYTES, http::MAX_BODY_BYTES);
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut feed = |parser: &mut RequestParser, chunk: &[u8]| -> Result<(), String> {
+        parser.push(chunk);
+        loop {
+            match parser.next_request() {
+                ParseStep::NeedMore => return Ok(()),
+                ParseStep::Ready(req) => out.push(req),
+                ParseStep::Bad(err) => {
+                    return Err(format!("incremental parser rejected a well-formed request: {err}"))
+                }
+            }
+        }
+    };
+    for &cut in cuts {
+        let cut = cut.min(raw.len());
+        if cut > start {
+            feed(&mut parser, &raw[start..cut])?;
+            start = cut;
+        }
+    }
+    if start < raw.len() {
+        feed(&mut parser, &raw[start..])?;
+    }
+    if out.len() != expect {
+        return Err(format!(
+            "incremental parser produced {} requests from a buffer holding {expect}",
+            out.len()
+        ));
+    }
+    Ok(out)
+}
+
+fn same_request(a: &http::Request, b: &cubis_reactor::ParsedRequest) -> Result<(), String> {
+    if a.method != b.method || a.path != b.path {
+        return Err(format!(
+            "request line disagrees: one-shot {} {} vs incremental {} {}",
+            a.method, a.path, b.method, b.path
+        ));
+    }
+    if a.headers != b.headers {
+        return Err(format!(
+            "headers disagree:\n  one-shot:    {:?}\n  incremental: {:?}",
+            a.headers, b.headers
+        ));
+    }
+    if a.body != b.body {
+        return Err(format!(
+            "bodies disagree ({} vs {} bytes)",
+            a.body.len(),
+            b.body.len()
+        ));
+    }
+    Ok(())
+}
+
+fn parser_incremental_vs_oneshot(inst: &CheckInstance) -> Result<OracleStatus, String> {
+    // Cheap by construction: encode, split, parse — never solve.
+    let body = SolveRequest {
+        instance: inst.clone(),
+        deadline_ms: Some(1234),
+        policy: RequestPolicy::Auto,
+    }
+    .to_json_string();
+    let raw = format!(
+        "POST /v1/solve HTTP/1.1\r\nhost: cubis\r\nX-Cubis-Seed: {:#x}\r\ncontent-length: {}\r\n\r\n{body}",
+        inst.seed,
+        body.len(),
+    )
+    .into_bytes();
+    let reference = oneshot(&raw)?;
+
+    // Split the byte stream at seed-derived points (sorted, possibly
+    // duplicated — duplicates exercise empty pushes).
+    let mut r = SplitMix64::new(inst.content_hash() ^ 0x9A75_E2C1_0F00_0D1E);
+    let mut cuts: Vec<usize> = (0..r.range_usize(1, 9)).map(|_| r.range_usize(0, raw.len())).collect();
+    cuts.sort_unstable();
+    for req in incremental(&raw, &cuts, 1)? {
+        same_request(&reference, &req)?;
+    }
+
+    // Pipelined: the same request twice on one buffer, split across
+    // the request boundary.
+    let mut doubled = raw.clone();
+    doubled.extend_from_slice(&raw);
+    let mut cuts: Vec<usize> =
+        (0..r.range_usize(1, 9)).map(|_| r.range_usize(0, doubled.len())).collect();
+    cuts.sort_unstable();
+    for req in incremental(&doubled, &cuts, 2)? {
+        same_request(&reference, &req)?;
+    }
+
+    // Mangled request line: both parsers must reject.
+    let mangled: Vec<u8> = raw
+        .iter()
+        .map(|&b| if b == b'/' { b' ' } else { b })
+        .collect();
+    if oneshot(&mangled).is_ok() {
+        return Err("one-shot parser accepted a mangled request line".to_string());
+    }
+    let mut parser = RequestParser::new(http::MAX_HEAD_BYTES, http::MAX_BODY_BYTES);
+    parser.push(&mangled);
+    match parser.next_request() {
+        ParseStep::Bad(_) => {}
+        step => {
+            return Err(format!(
+                "incremental parser did not reject a mangled request line: {step:?}"
+            ))
+        }
+    }
+    Ok(OracleStatus::Checked)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +246,34 @@ mod tests {
         assert!(
             report.failure.is_none(),
             "extras fuzz violation: {:?}",
+            report.failure.map(|f| (f.oracle, f.detail))
+        );
+    }
+
+    #[test]
+    fn parser_oracle_checks_every_generated_instance() {
+        for seed in 0u64..32 {
+            let inst = CheckInstance::generate(seed);
+            assert!(
+                matches!(
+                    parser_incremental_vs_oneshot(&inst).expect("parser oracle violation"),
+                    OracleStatus::Checked
+                ),
+                "the parser oracle never skips"
+            );
+        }
+    }
+
+    #[test]
+    fn parser_oracle_runs_inside_the_check_harness() {
+        let report = cubis_check::run_fuzz_with(
+            &cubis_check::FuzzConfig { seed: 7, iters: 16 },
+            &[parser_incremental_vs_oneshot_oracle()],
+        );
+        assert_eq!(report.cases_run, 16);
+        assert!(
+            report.failure.is_none(),
+            "parser fuzz violation: {:?}",
             report.failure.map(|f| (f.oracle, f.detail))
         );
     }

@@ -1,31 +1,45 @@
-//! The HTTP server: acceptor, bounded admission queue, worker pool,
-//! graceful shutdown.
+//! The HTTP server: a nonblocking reactor frontend feeding a sharded,
+//! work-stealing worker pool.
 //!
-//! One acceptor thread owns the listener. It parses each request
-//! itself and answers the cheap read-only endpoints (`/healthz`,
-//! `/metrics`) inline, so health and observability stay responsive
-//! even when every worker is busy — then enqueues solve work onto a
-//! bounded queue serviced by a fixed pool of worker threads. Admission
-//! control is explicit: a full queue answers `429 Too Many Requests`,
-//! a draining server answers `503 Service Unavailable`, and nothing
-//! ever blocks the acceptor on solver time.
+//! One [`cubis_reactor`] thread owns the listener and every connection:
+//! it accepts, incrementally parses pipelined keep-alive requests, and
+//! answers the cheap read-only endpoints (`/healthz`, `/metrics`) and
+//! all rejections (429/503/405/404) inline — so health and
+//! observability stay responsive even when every worker is busy. Solve
+//! work is handed to a fixed pool of worker threads through per-worker
+//! queue shards: jobs are pushed round-robin, each worker drains its
+//! own shard first and *steals* from siblings when empty, and the
+//! total queued count is bounded by explicit admission control — a
+//! full queue answers `429 Too Many Requests` (with `Retry-After`), a
+//! draining server answers `503 Service Unavailable`, and nothing
+//! ever blocks the reactor on solver time. Workers answer through
+//! [`cubis_reactor::Reply`], which routes the encoded response back to
+//! the reactor; pipelined responses leave in request order no matter
+//! which worker finishes first.
 //!
 //! Shutdown is cooperative and drain-first: [`ServerHandle::shutdown`]
-//! flips the draining flag, wakes the acceptor with a loopback
-//! "poison" connection, and joins the workers — who keep popping until
-//! the queue is *empty*, so every request admitted before the drain
-//! began still gets its response.
+//! flips the draining flag (new solve requests get 503), joins the
+//! workers — who keep popping until the queue is *empty*, so every
+//! request admitted before the drain began still gets its response —
+//! then stops the reactor, which flushes every buffered response
+//! before closing.
 
 use std::collections::VecDeque;
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+use cubis_reactor::{
+    encode_response, Handler, ParseError, ParsedRequest, ReactorConfig, ReactorHandle, Reply,
+    Response,
+};
+use cubis_trace::SharedRecorder;
+
 use crate::app::App;
 use crate::codec;
-use crate::http::{self, HttpError, Request};
+use crate::http;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -34,17 +48,27 @@ pub struct ServeConfig {
     pub addr: String,
     /// Worker threads servicing the solve queue.
     pub workers: usize,
-    /// Bounded admission-queue capacity (beyond this: 429).
+    /// Bounded admission-queue capacity across all shards (beyond
+    /// this: 429).
     pub queue_capacity: usize,
     /// Shards of the solution cache.
     pub cache_shards: usize,
     /// LRU capacity per cache shard.
     pub cache_capacity_per_shard: usize,
-    /// Per-connection read/write timeout.
+    /// Per-connection read/write stall timeout.
     pub io_timeout: Duration,
+    /// How long an idle keep-alive connection may sit between
+    /// requests before the reactor closes it.
+    pub idle_timeout: Duration,
     /// Honor `x-cubis-test-hold-ms` (integration tests only: lets a
     /// test pin a worker deterministically to fill the queue).
     pub allow_test_hooks: bool,
+    /// Directory for the persistent cache tier; `None` = memory-only.
+    pub data_dir: Option<PathBuf>,
+    /// Hard cap on concurrently open connections.
+    pub max_connections: usize,
+    /// Force the reactor's portable `poll(2)` backend.
+    pub force_poll_backend: bool,
 }
 
 impl Default for ServeConfig {
@@ -56,37 +80,212 @@ impl Default for ServeConfig {
             cache_shards: 8,
             cache_capacity_per_shard: 32,
             io_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(30),
             allow_test_hooks: false,
+            data_dir: None,
+            max_connections: 4096,
+            force_poll_backend: false,
         }
     }
 }
 
 /// One admitted solve job.
 struct Job {
-    stream: TcpStream,
-    request: Request,
+    request: ParsedRequest,
+    reply: Reply,
+    keep_alive: bool,
+}
+
+/// Per-worker queue shards with work stealing. Pushes go round-robin;
+/// a worker drains its own shard front-first and steals from the
+/// *back* of siblings, so stolen work is the freshest (the owner keeps
+/// FIFO order for its own).
+struct WorkQueue {
+    shards: Vec<Mutex<VecDeque<Job>>>,
+    /// Total queued across shards (admission control reads this).
+    queued: AtomicUsize,
+    /// Round-robin push cursor.
+    rr: AtomicUsize,
+    gate: Mutex<()>,
+    wake: Condvar,
+}
+
+impl WorkQueue {
+    fn new(workers: usize) -> Self {
+        Self {
+            shards: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicUsize::new(0),
+            rr: AtomicUsize::new(0),
+            gate: Mutex::new(()),
+            wake: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) -> usize {
+        // cubis:allow(CONC01): the round-robin cursor only spreads pushes
+        // across shards; no memory is published through it, and the shard
+        // mutex below orders the job hand-off
+        let shard = self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.shards[shard]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(job);
+        let depth = self.queued.fetch_add(1, Ordering::SeqCst) + 1;
+        self.wake.notify_one();
+        depth
+    }
+
+    /// Pop for worker `own`: own shard first, then steal.
+    fn try_pop(&self, own: usize) -> Option<Job> {
+        if let Some(job) =
+            self.shards[own].lock().unwrap_or_else(PoisonError::into_inner).pop_front()
+        {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+        for offset in 1..self.shards.len() {
+            let victim = (own + offset) % self.shards.len();
+            if let Some(job) = self.shards[victim]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_back()
+            {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        None
+    }
 }
 
 struct Shared {
     app: App,
-    queue: Mutex<VecDeque<Job>>,
-    wake: Condvar,
+    queue: WorkQueue,
     draining: AtomicBool,
     config: ServeConfig,
 }
 
-impl Shared {
-    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
-        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+/// The reactor-side request handler: inline answers and admission.
+struct Frontend {
+    shared: Arc<Shared>,
+}
+
+/// Encode an application-level response for one request.
+fn render(
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> Response {
+    Response {
+        bytes: encode_response(
+            status,
+            http::reason(status),
+            content_type,
+            extra_headers,
+            body,
+            keep_alive,
+        ),
+        close: !keep_alive,
+    }
+}
+
+fn render_error(status: u16, code: &str, detail: &str, keep_alive: bool) -> Response {
+    render(
+        status,
+        &[],
+        "application/json",
+        codec::error_body(code, detail, None).as_bytes(),
+        keep_alive,
+    )
+}
+
+impl Handler for Frontend {
+    fn handle(&self, request: ParsedRequest, reply: Reply) {
+        let shared = &self.shared;
+        let metrics = shared.app.metrics();
+        metrics.requests_total.fetch_add(1, Ordering::SeqCst);
+        let keep_alive = request.keep_alive;
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => {
+                reply.send(render(
+                    200,
+                    &[],
+                    "application/json",
+                    b"{\"status\":\"ok\"}",
+                    keep_alive,
+                ));
+            }
+            ("GET", "/metrics") => {
+                let body = shared.app.render_metrics();
+                reply.send(render(
+                    200,
+                    &[],
+                    "text/plain; charset=utf-8",
+                    body.as_bytes(),
+                    keep_alive,
+                ));
+            }
+            ("POST", "/v1/solve") | ("POST", "/v1/solve_batch") => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    metrics.rejected_draining.fetch_add(1, Ordering::SeqCst);
+                    reply.send(render_error(
+                        503,
+                        "draining",
+                        "server is shutting down",
+                        false,
+                    ));
+                    return;
+                }
+                if shared.queue.queued.load(Ordering::SeqCst) >= shared.config.queue_capacity {
+                    metrics.rejected_queue_full.fetch_add(1, Ordering::SeqCst);
+                    reply.send(render(
+                        429,
+                        &[("retry-after", "1")],
+                        "application/json",
+                        codec::error_body(
+                            "queue_full",
+                            "admission queue is full; retry later",
+                            None,
+                        )
+                        .as_bytes(),
+                        keep_alive,
+                    ));
+                    return;
+                }
+                let depth = shared.queue.push(Job { request, reply, keep_alive });
+                metrics.queue_depth.store(depth as u64, Ordering::SeqCst);
+            }
+            ("GET", "/v1/solve") | ("GET", "/v1/solve_batch") => {
+                metrics.client_errors.fetch_add(1, Ordering::SeqCst);
+                reply.send(render_error(405, "method_not_allowed", "use POST", keep_alive));
+            }
+            _ => {
+                metrics.client_errors.fetch_add(1, Ordering::SeqCst);
+                reply.send(render_error(404, "not_found", "unknown route", keep_alive));
+            }
+        }
+    }
+
+    fn on_parse_error(&self, err: &ParseError) -> Response {
+        self.shared.app.metrics().client_errors.fetch_add(1, Ordering::SeqCst);
+        let (status, code) = match err {
+            ParseError::HeadTooLarge(_) => (431, "too_large"),
+            ParseError::BodyTooLarge(_) => (413, "too_large"),
+            ParseError::Malformed(_) => (400, "malformed"),
+        };
+        render_error(status, code, &err.to_string(), false)
     }
 }
 
 /// A running server; dropping the handle without calling
-/// [`Self::shutdown`] detaches the threads (they live until process
-/// exit), so tests and the load generator should always shut down.
+/// [`Self::shutdown`] stops the reactor (via its own drop) but
+/// detaches the workers, so tests and the load generator should
+/// always shut down.
 pub struct ServerHandle {
     addr: SocketAddr,
-    acceptor: Option<std::thread::JoinHandle<()>>,
+    reactor: Option<ReactorHandle>,
     workers: Vec<std::thread::JoinHandle<()>>,
     shared: Arc<Shared>,
 }
@@ -94,30 +293,42 @@ pub struct ServerHandle {
 /// Start a server for `config`; returns once the listener is bound
 /// and the worker pool is up.
 pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
-    let listener = TcpListener::bind(&config.addr)?;
-    let addr = listener.local_addr()?;
+    let app = match &config.data_dir {
+        Some(dir) => App::with_data_dir(config.cache_shards, config.cache_capacity_per_shard, dir)?,
+        None => App::new(config.cache_shards, config.cache_capacity_per_shard),
+    };
+    let workers_n = config.workers.max(1);
     let shared = Arc::new(Shared {
-        app: App::new(config.cache_shards, config.cache_capacity_per_shard),
-        queue: Mutex::new(VecDeque::new()),
-        wake: Condvar::new(),
+        app,
+        queue: WorkQueue::new(workers_n),
         draining: AtomicBool::new(false),
         config: config.clone(),
     });
-    let workers = (0..config.workers.max(1))
+    let workers = (0..workers_n)
         .map(|i| {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name(format!("cubis-serve-worker-{i}"))
-                .spawn(move || worker_loop(&shared))
+                .spawn(move || worker_loop(&shared, i))
         })
         .collect::<std::io::Result<Vec<_>>>()?;
-    let acceptor = {
-        let shared = Arc::clone(&shared);
-        std::thread::Builder::new()
-            .name("cubis-serve-acceptor".to_string())
-            .spawn(move || acceptor_loop(&listener, &shared))?
-    };
-    Ok(ServerHandle { addr, acceptor: Some(acceptor), workers, shared })
+    let recorder =
+        SharedRecorder::new(shared.app.trace() as Arc<dyn cubis_trace::Recorder>);
+    let reactor = cubis_reactor::start(
+        ReactorConfig {
+            addr: config.addr.clone(),
+            max_connections: config.max_connections,
+            idle_timeout: config.idle_timeout,
+            read_timeout: config.io_timeout,
+            write_timeout: config.io_timeout,
+            max_head_bytes: http::MAX_HEAD_BYTES,
+            max_body_bytes: http::MAX_BODY_BYTES,
+            force_poll_backend: config.force_poll_backend,
+        },
+        Arc::new(Frontend { shared: Arc::clone(&shared) }),
+        recorder,
+    )?;
+    Ok(ServerHandle { addr: reactor.local_addr(), reactor: Some(reactor), workers, shared })
 }
 
 impl ServerHandle {
@@ -132,155 +343,58 @@ impl ServerHandle {
         &self.shared.app
     }
 
-    /// Graceful shutdown: refuse new work, drain the queue, join all
-    /// threads. Every request admitted before this call still gets a
-    /// response.
+    /// Graceful shutdown: refuse new work, drain the queue, join the
+    /// workers, flush every buffered response, stop the reactor.
+    /// Every request admitted before this call still gets a response.
     pub fn shutdown(mut self) {
-        self.begin_drain();
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.app.metrics().draining.store(1, Ordering::SeqCst);
+        self.shared.queue.wake.notify_all();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-    }
-
-    fn begin_drain(&self) {
-        self.shared.draining.store(true, Ordering::SeqCst);
-        self.shared.app.metrics().draining.store(1, Ordering::SeqCst);
-        // Unblock the acceptor's `accept()` with a no-op connection.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
-        self.shared.wake.notify_all();
-    }
-}
-
-fn respond(stream: &mut TcpStream, status: u16, headers: &[(&str, &str)], body: &str) {
-    // The peer may already be gone; response-write failures are not
-    // server errors.
-    let _ = http::write_response(stream, status, headers, "application/json", body.as_bytes());
-}
-
-fn respond_error(stream: &mut TcpStream, status: u16, code: &str, detail: &str) {
-    respond(stream, status, &[], &codec::error_body(code, detail, None));
-}
-
-fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
-    loop {
-        let (stream, _) = match listener.accept() {
-            Ok(pair) => pair,
-            Err(_) => {
-                if shared.draining.load(Ordering::SeqCst) {
-                    return;
-                }
-                continue;
+        // A request admitted in the instant between the drain flag and
+        // the last worker exiting would otherwise hang its connection
+        // until the reactor's flush budget expires: answer it here.
+        for shard_idx in 0..self.shared.queue.shards.len() {
+            while let Some(job) = self.shared.queue.try_pop(shard_idx) {
+                self.shared.app.metrics().rejected_draining.fetch_add(1, Ordering::SeqCst);
+                job.reply.send(render_error(503, "draining", "server is shutting down", false));
             }
-        };
-        if shared.draining.load(Ordering::SeqCst) {
-            // Poison pill, or a client that raced the drain: refuse
-            // and stop accepting.
-            let mut stream = stream;
-            shared.app.metrics().rejected_draining.fetch_add(1, Ordering::SeqCst);
-            respond_error(&mut stream, 503, "draining", "server is shutting down");
-            return;
         }
-        handle_connection(stream, shared);
-    }
-}
-
-fn handle_connection(stream: TcpStream, shared: &Shared) {
-    let metrics = shared.app.metrics();
-    let timeout = shared.config.io_timeout;
-    let _ = stream.set_read_timeout(Some(timeout));
-    let _ = stream.set_write_timeout(Some(timeout));
-    let mut write_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let request = match http::read_request(&mut reader) {
-        Ok(req) => req,
-        Err(HttpError::ConnectionClosed) => return,
-        Err(HttpError::Io(_)) => return,
-        Err(HttpError::TooLarge(detail)) => {
-            metrics.client_errors.fetch_add(1, Ordering::SeqCst);
-            respond_error(&mut write_half, 413, "too_large", &detail);
-            return;
-        }
-        Err(HttpError::Malformed(detail)) => {
-            metrics.client_errors.fetch_add(1, Ordering::SeqCst);
-            respond_error(&mut write_half, 400, "malformed", &detail);
-            return;
-        }
-    };
-    metrics.requests_total.fetch_add(1, Ordering::SeqCst);
-
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => {
-            respond(&mut write_half, 200, &[], "{\"status\":\"ok\"}");
-        }
-        ("GET", "/metrics") => {
-            let body = shared.app.render_metrics();
-            let _ = http::write_response(
-                &mut write_half,
-                200,
-                &[],
-                "text/plain; charset=utf-8",
-                body.as_bytes(),
-            );
-        }
-        ("POST", "/v1/solve") | ("POST", "/v1/solve_batch") => {
-            let mut queue = shared.lock_queue();
-            if queue.len() >= shared.config.queue_capacity {
-                drop(queue);
-                metrics.rejected_queue_full.fetch_add(1, Ordering::SeqCst);
-                respond(
-                    &mut write_half,
-                    429,
-                    &[("retry-after", "1")],
-                    &codec::error_body("queue_full", "admission queue is full; retry later", None),
-                );
-                return;
-            }
-            queue.push_back(Job { stream: write_half, request });
-            metrics.queue_depth.store(queue.len() as u64, Ordering::SeqCst);
-            drop(queue);
-            shared.wake.notify_one();
-        }
-        ("GET", "/v1/solve") | ("GET", "/v1/solve_batch") => {
-            metrics.client_errors.fetch_add(1, Ordering::SeqCst);
-            respond_error(&mut write_half, 405, "method_not_allowed", "use POST");
-        }
-        _ => {
-            metrics.client_errors.fetch_add(1, Ordering::SeqCst);
-            respond_error(&mut write_half, 404, "not_found", "unknown route");
+        if let Some(reactor) = self.reactor.take() {
+            reactor.shutdown();
         }
     }
 }
 
-/// Pop the next job, blocking until one arrives or the drain finishes.
-fn next_job(shared: &Shared) -> Option<Job> {
+/// Pop the next job for worker `idx`, blocking until one arrives or
+/// the drain finishes.
+fn next_job(shared: &Shared, idx: usize) -> Option<Job> {
     let metrics = shared.app.metrics();
-    let mut queue = shared.lock_queue();
     loop {
-        if let Some(job) = queue.pop_front() {
-            metrics.queue_depth.store(queue.len() as u64, Ordering::SeqCst);
+        if let Some(job) = shared.queue.try_pop(idx) {
+            metrics
+                .queue_depth
+                .store(shared.queue.queued.load(Ordering::SeqCst) as u64, Ordering::SeqCst);
             return Some(job);
         }
         // Drain-first: only exit on an *empty* queue.
         if shared.draining.load(Ordering::SeqCst) {
             return None;
         }
-        queue = shared
+        let gate = shared.queue.gate.lock().unwrap_or_else(PoisonError::into_inner);
+        let _unused = shared
+            .queue
             .wake
-            .wait_timeout(queue, Duration::from_millis(100))
-            .unwrap_or_else(PoisonError::into_inner)
-            .0;
+            .wait_timeout(gate, Duration::from_millis(100))
+            .unwrap_or_else(PoisonError::into_inner);
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, idx: usize) {
     let metrics = shared.app.metrics();
-    while let Some(mut job) = next_job(shared) {
+    while let Some(job) = next_job(shared, idx) {
         metrics.in_flight.fetch_add(1, Ordering::SeqCst);
         let started = Instant::now();
         if shared.config.allow_test_hooks {
@@ -296,10 +410,19 @@ fn worker_loop(shared: &Shared) {
             _ => shared.app.handle_batch_body(&body_text),
         };
         let mut headers = vec![("x-cubis-cache", response.cache.header_value())];
+        if let Some(tier) = response.tier {
+            headers.push(("x-cubis-cache-tier", tier.header_value()));
+        }
         if let Some(engine) = response.inner {
             headers.push(("x-cubis-inner", engine));
         }
-        respond(&mut job.stream, response.status, &headers, &response.body);
+        job.reply.send(render(
+            response.status,
+            &headers,
+            "application/json",
+            response.body.as_bytes(),
+            job.keep_alive,
+        ));
         metrics.solve_latency.observe(started.elapsed());
         metrics.in_flight.fetch_sub(1, Ordering::SeqCst);
     }
@@ -337,7 +460,7 @@ mod tests {
         let handle = start(ServeConfig::default()).expect("bind ephemeral port");
         let addr = handle.local_addr();
         handle.shutdown();
-        // The listener is closed once the acceptor exits: either the
+        // The listener is closed once the reactor exits: either the
         // connection is refused outright or (if it raced the close) it
         // sees a 503.
         let outcome = http::roundtrip(addr, "GET", "/healthz", &[], b"", Duration::from_secs(2));
@@ -345,5 +468,29 @@ mod tests {
             Err(_) => {}
             Ok(resp) => assert_eq!(resp.status, 503),
         }
+    }
+
+    #[test]
+    fn keep_alive_client_reuses_one_connection_for_many_requests() {
+        let handle = start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .expect("bind ephemeral port");
+        let mut conn =
+            http::ClientConn::connect(handle.local_addr(), Duration::from_secs(5)).unwrap();
+        for _ in 0..5 {
+            let resp = conn.request("GET", "/healthz", &[], b"").unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.header("connection"), Some("keep-alive"));
+        }
+        assert_eq!(conn.exchanges(), 5);
+        assert!(conn.reusable());
+        let text = handle.app().render_metrics();
+        assert!(
+            text.contains("cubis_serve_requests_total 5"),
+            "all five keep-alive requests must be counted:\n{text}"
+        );
+        handle.shutdown();
     }
 }

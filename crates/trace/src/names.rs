@@ -71,6 +71,34 @@ pub const COUNTERS: &[(&str, &str)] = &[
     ),
     ("pg.starts", "projected-gradient restart count"),
     (
+        "reactor.accepts",
+        "TCP connections accepted by the serve reactor",
+    ),
+    (
+        "reactor.keepalive_reuse",
+        "requests served over an already-used keep-alive connection",
+    ),
+    (
+        "reactor.readiness_events",
+        "readiness events delivered by the reactor's poller backend",
+    ),
+    (
+        "reactor.timeout_kills",
+        "connections closed by idle/read/write deadline expiry",
+    ),
+    (
+        "reactor.wakeups",
+        "reactor event-loop iterations (poll wakeups)",
+    ),
+    (
+        "serve.cache_tier1_hits",
+        "solve responses served from the in-memory hot cache tier",
+    ),
+    (
+        "serve.cache_tier2_hits",
+        "solve responses served from the persistent cache tier",
+    ),
+    (
         "worst_type.steps",
         "worst-case attacker-type oracle evaluations",
     ),

@@ -47,13 +47,13 @@ pub const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "loadgen",
-        usage: "loadgen [--smoke] [--clients <n>] [--requests <n>] [--duplicate-rate <f>] [--seed <u64|0xhex>] [--out <path>] [--root <workspace-dir>]",
-        what: "boot an in-process solve server, drive closed-loop load; write BENCH_serve.json",
+        usage: "loadgen [--smoke] [--clients <n>] [--requests <n>] [--duplicate-rate <f>] [--seed <u64|0xhex>] [--data-dir <path>] [--out <path>] [--root <workspace-dir>]",
+        what: "boot an in-process solve server, drive keep-alive closed-loop load with a restart-survival probe; write BENCH_serve.json",
     },
     CommandSpec {
         name: "ci",
         usage: "ci [--root <workspace-dir>]",
-        what: "the local pre-merge gate (fmt, clippy, analyze, fuzz+scale+bench+serve smoke, tests, docs)",
+        what: "the local pre-merge gate (fmt, clippy, analyze, fuzz+scale+parser+bench+serve+reactor smoke, tests, docs)",
     },
 ];
 
@@ -114,6 +114,8 @@ mod tests {
         assert!(find("loadgen").is_some());
         assert!(usage_text().contains("BENCH_serve.json"));
         assert!(names_line().contains("loadgen"));
+        // The persistent tier's flag must be documented.
+        assert!(find("loadgen").unwrap().usage.contains("--data-dir"));
     }
 
     #[test]

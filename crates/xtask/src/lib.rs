@@ -156,6 +156,11 @@ pub struct FileAnalysis {
 /// checks against.
 pub const REGISTRY_PATH: &str = "crates/trace/src/names.rs";
 
+/// Workspace-relative path of the one crate root exempt from SAFE01:
+/// `cubis-reactor` carries `unsafe_code = "deny"` with a scoped
+/// re-allow for its syscall module, which SAFE02 audits site-by-site.
+pub const REACTOR_ROOT_PATH: &str = "crates/reactor/src/lib.rs";
+
 /// Analyze one file's source text in full. `rel` is the
 /// workspace-relative path used in findings and for classification
 /// (see [`classify`]).
@@ -171,6 +176,10 @@ pub fn analyze_file(rel: &Path, class: FileClass, src: &str) -> FileAnalysis {
         &in_test,
         &tree,
     ));
+    // SAFE02 sees the raw source too: its justification markers are
+    // comments, which the lexer (correctly) drops from the token
+    // stream.
+    findings.extend(rules::scan_unsafe(rel, &lexed.tokens, src));
 
     // LINT00: every allow must carry a justification and name known
     // rules. These findings are not themselves suppressible.
@@ -211,16 +220,17 @@ pub fn analyze_file(rel: &Path, class: FileClass, src: &str) -> FileAnalysis {
     }
 
     // Suppression, tracking which allows actually masked something so
-    // LINT01 can flag the stale ones.
+    // LINT01 can flag the stale ones. Only well-formed allows suppress:
+    // a marker that is itself a LINT00 (unknown rule such as SAFE02,
+    // missing justification) masks nothing.
     let mut used = vec![false; lexed.allows.len()];
     findings.retain(|f| {
         if f.rule == "LINT00" {
             return true;
         }
-        let hit = lexed.allows.iter().position(|a| {
-            a.applies_to == f.line
-                && !a.justification.is_empty()
-                && a.rules.iter().any(|r| r == f.rule)
+        let hit = (0..lexed.allows.len()).find(|&k| {
+            let a = &lexed.allows[k];
+            well_formed[k] && a.applies_to == f.line && a.rules.iter().any(|r| r == f.rule)
         });
         match hit {
             Some(k) => {
@@ -315,7 +325,10 @@ pub fn analyze_workspace_full(root: &Path) -> std::io::Result<WorkspaceAnalysis>
             registry = Some(reg);
         }
         // SAFE01: every library crate root must forbid unsafe code.
-        if is_crate_root(rel) && !fa.has_forbid_unsafe {
+        // Sole exemption: the reactor's root, which *denies* unsafe
+        // crate-wide and re-allows it only for its syscall module —
+        // where SAFE02 takes over and audits every site individually.
+        if is_crate_root(rel) && !fa.has_forbid_unsafe && rel != Path::new(REACTOR_ROOT_PATH) {
             let mut f = Finding::new(
                 "SAFE01",
                 rel,
@@ -642,6 +655,52 @@ mod tests {
     fn doc_comments_describing_the_syntax_are_not_allows() {
         assert!(lib("/// Suppress with `cubis:allow(NUM01)`.\nfn f() {}").is_empty());
         assert!(lib("//! `cubis:allow(BOGUS)` syntax docs.\nfn f() {}").is_empty());
+    }
+
+    // ---- SAFE02 ------------------------------------------------------
+
+    #[test]
+    fn safe02_fires_on_unsafe_outside_the_sys_module() {
+        let f = lib("fn f(p: *const u8) -> u8 { unsafe { *p } }");
+        assert_eq!(rules_of(&f), ["SAFE02"]);
+        // Test code gets no exemption: unsafe is confined by *path*.
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t(p: *const u8) -> u8 { unsafe { *p } }\n}";
+        assert_eq!(rules_of(&lib(in_test)), ["SAFE02"]);
+    }
+
+    #[test]
+    fn safe02_requires_audit_markers_in_the_sys_module() {
+        let p = Path::new("crates/reactor/src/sys.rs");
+        let marked = "fn f(p: *const u8) -> u8 {\n    \
+             // cubis:sys-audit: p is non-null and aligned by the caller's contract\n    \
+             unsafe { *p }\n}";
+        assert!(analyze_source(p, classify(p), marked).is_empty());
+        let unmarked = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}";
+        assert_eq!(
+            rules_of(&analyze_source(p, classify(p), unmarked)),
+            ["SAFE02"]
+        );
+        // A marker too far above the site justifies nothing.
+        let distant = format!(
+            "// cubis:sys-audit: stale marker\n{}fn f(p: *const u8) -> u8 {{ unsafe {{ *p }} }}",
+            "\n".repeat(rules::SYS_AUDIT_WINDOW as usize + 1)
+        );
+        assert_eq!(
+            rules_of(&analyze_source(p, classify(p), &distant)),
+            ["SAFE02"]
+        );
+    }
+
+    #[test]
+    fn safe02_is_not_suppressible_and_ignores_prose() {
+        // An allow marker naming SAFE02 is an unknown-rule LINT00
+        // (SAFE02 is deliberately absent from ALLOWABLE_RULES), and
+        // the finding survives.
+        let f = lib("fn f(p: *const u8) -> u8 { unsafe { *p } } // cubis:allow(SAFE02): no");
+        assert_eq!(rules_of(&f), ["LINT00", "SAFE02"]);
+        // Doc comments and strings mentioning the keyword never fire.
+        assert!(lib("/// Uses no `unsafe` anywhere.\nfn f() {}").is_empty());
+        assert!(lib("const S: &str = \"unsafe { }\";").is_empty());
     }
 
     // ---- classification ---------------------------------------------

@@ -25,29 +25,37 @@
 //!   benchmark (`cubis_bench::harness`); writes `BENCH_solve.json` at
 //!   the workspace root (or `--out`) and prints per-shape speedups.
 //! * `loadgen [--smoke] [--clients <n>] [--requests <n>]
-//!   [--duplicate-rate <f>] [--seed <u64>] [--out <path>]` — boots the
-//!   `cubis-serve` server on an ephemeral port, drives it with the
-//!   closed-loop load generator, and writes `BENCH_serve.json`
-//!   (throughput, hit rate, latency quantiles), validated before the
-//!   write.
+//!   [--duplicate-rate <f>] [--seed <u64>] [--data-dir <path>]
+//!   [--out <path>]` — boots the `cubis-serve` server on an ephemeral
+//!   port over a persistent cache dir, drives it with the keep-alive
+//!   closed-loop load generator (the full run: 1000 clients × 50
+//!   requests), replays a restart-survival probe (fresh server, same
+//!   data dir, byte-identical persistent-tier answer demanded), gates
+//!   the full run against `bench-pins.json`'s serve pins, and writes
+//!   `BENCH_serve.json` (throughput, per-tier hit rates, keep-alive
+//!   reuse, latency quantiles), validated before the write.
 //! * `ci [--root <dir>]` — the single local pre-merge gate: chains
 //!   `cargo fmt --check`, `cargo clippy --workspace --all-targets` with
 //!   warnings denied, the analyze pass gated on the committed baseline
 //!   (its JSON report written to `analyze-report.json` beside the
 //!   `BENCH_*.json` artifacts), the fuzz smoke subset, a focused
 //!   50-case fuzz of the breakpoint-grid oracles
-//!   (`inner-scale-vs-milp`, `inner-scale-certificate`), a scale
-//!   smoke (the `huge-t1000` workload solved on the certified
+//!   (`inner-scale-vs-milp`, `inner-scale-certificate`), a 50-case
+//!   fuzz of the reactor parser-equivalence oracle, a scale smoke
+//!   (the `huge-t1000` workload solved on the certified
 //!   breakpoint-grid engine under a wall budget with its certificate
 //!   gated), an in-process bench smoke (validated, not written), an
-//!   in-process serve smoke (boot + loadgen + validate), `cargo test
-//!   -q`, `cargo doc --no-deps` with warnings denied, and `cargo test
-//!   --doc`.
+//!   in-process serve smoke (loadgen + restart survival, plus the
+//!   committed `BENCH_serve.json` gated against its pins), a reactor
+//!   smoke (a keep-alive burst on one connection with the reuse
+//!   visible in `/metrics`), `cargo test -q`, `cargo doc --no-deps`
+//!   with warnings denied, and `cargo test --doc`.
 //!
 //! The fuzz harness runs the `cubis-check` registry *plus* the
-//! `cubis-serve-cache-vs-fresh` oracle, passed through the harness's
-//! extras extension point (the dependency arrow points serve → check,
-//! so check cannot name the oracle itself).
+//! `cubis-serve-cache-vs-fresh` and
+//! `cubis-serve-parser-incremental-vs-oneshot` oracles, passed through
+//! the harness's extras extension point (the dependency arrow points
+//! serve → check, so check cannot name the oracles itself).
 
 use cubis_xtask::baseline::{self, Baseline, GateOutcome};
 use cubis_xtask::{
@@ -70,9 +78,13 @@ const HANDLERS: &[(&str, fn(&[String]) -> ExitCode)] = &[
 ];
 
 /// Oracles registered from outside the `cubis-check` crate (see the
-/// crate docs above): currently the serve cache-vs-fresh check.
+/// crate docs above): the serve cache-vs-fresh check and the reactor
+/// parser-equivalence check.
 fn extra_oracles() -> Vec<cubis_check::Oracle> {
-    vec![cubis_serve::cache_vs_fresh_oracle()]
+    vec![
+        cubis_serve::cache_vs_fresh_oracle(),
+        cubis_serve::parser_incremental_vs_oneshot_oracle(),
+    ]
 }
 
 fn main() -> ExitCode {
@@ -345,7 +357,7 @@ fn bench(args: &[String]) -> ExitCode {
 
 /// The loadgen configuration the `--smoke` preset and the ci gate use:
 /// small enough for seconds, busy enough that the duplicate mix
-/// produces cache hits.
+/// produces cache hits and keep-alive reuse.
 fn smoke_loadgen_config() -> cubis_serve::LoadgenConfig {
     cubis_serve::LoadgenConfig {
         clients: 2,
@@ -356,18 +368,82 @@ fn smoke_loadgen_config() -> cubis_serve::LoadgenConfig {
     }
 }
 
-/// Boot an in-process server, run the closed-loop load generator
-/// against it, and distill the outcome into a validated report.
+/// The full (default) loadgen workload: the scaled run the committed
+/// `BENCH_serve.json` and its pins describe — 1000 keep-alive clients,
+/// 50 requests each, a duplicate-heavy mix over a pool larger than the
+/// hot cache so the persistent tier answers requests mid-run.
+fn full_loadgen_config() -> cubis_serve::LoadgenConfig {
+    cubis_serve::LoadgenConfig {
+        clients: 1000,
+        requests_per_client: 50,
+        duplicate_rate: 0.9,
+        pool_size: 64,
+        ..Default::default()
+    }
+}
+
+/// Serve sizing for one loadgen run. The hot cache is deliberately
+/// smaller than the duplicate pool: evictions push solutions down to
+/// the persistent tier under `data_dir` and later duplicates pull them
+/// back up, so tier-2 is exercised *during* the run, not only across
+/// restarts. The queue is sized at half the client count so the
+/// opening burst of a scaled run draws real `429 Retry-After`
+/// pushback.
+fn loadgen_serve_config(
+    config: &cubis_serve::LoadgenConfig,
+    data_dir: &Path,
+) -> cubis_serve::ServeConfig {
+    let workers =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(2, 8);
+    cubis_serve::ServeConfig {
+        workers,
+        queue_capacity: (config.clients / 2).clamp(64, 4096),
+        cache_shards: 4,
+        cache_capacity_per_shard: (config.pool_size / 8).max(2),
+        data_dir: Some(data_dir.to_path_buf()),
+        ..Default::default()
+    }
+}
+
+/// POST the first pinned pool instance and return the full response —
+/// the restart-survival reference: its body is the canonical answer
+/// the persistent tier must reproduce byte-for-byte after a restart.
+fn probe_pool_instance(
+    addr: std::net::SocketAddr,
+    config: &cubis_serve::LoadgenConfig,
+) -> Result<cubis_serve::http::Response, String> {
+    let pool = cubis_serve::loadgen::duplicate_pool(config.seed, config.pool_size);
+    let inst = pool.first().ok_or("empty duplicate pool")?;
+    let body = cubis_serve::SolveRequest {
+        instance: inst.clone(),
+        deadline_ms: None,
+        policy: cubis_serve::RequestPolicy::Auto,
+    }
+    .to_json_string();
+    let mut conn = cubis_serve::http::ClientConn::connect(addr, config.timeout)
+        .map_err(|e| format!("probe connect: {e}"))?;
+    let resp = conn
+        .request("POST", "/v1/solve", &[], body.as_bytes())
+        .map_err(|e| format!("probe request: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("probe answered {}: {}", resp.status, resp.body_text()));
+    }
+    Ok(resp)
+}
+
+/// Boot an in-process server over `data_dir`, run the closed-loop load
+/// generator against it, and distill the outcome into a validated
+/// report plus the probe body (the restart-survival reference).
 fn run_loadgen(
     config: &cubis_serve::LoadgenConfig,
-) -> Result<cubis_bench::ServeBenchReport, String> {
-    let server = cubis_serve::start(cubis_serve::ServeConfig {
-        workers: config.clients.max(2),
-        ..Default::default()
-    })
-    .map_err(|e| format!("cannot bind loadgen server: {e}"))?;
+    data_dir: &Path,
+) -> Result<(cubis_bench::ServeBenchReport, Vec<u8>), String> {
+    let server = cubis_serve::start(loadgen_serve_config(config, data_dir))
+        .map_err(|e| format!("cannot bind loadgen server: {e}"))?;
     let outcome = cubis_serve::loadgen::run(server.local_addr(), config);
+    let probe = probe_pool_instance(server.local_addr(), config);
     server.shutdown();
+    let probe = probe?;
     let q_us = |q: f64| {
         outcome
             .quantile(q)
@@ -382,9 +458,13 @@ fn run_loadgen(
         seed: config.seed,
         requests: outcome.requests as u64,
         cache_hits: outcome.cache_hits as u64,
+        tier1_hits: outcome.tier1_hits as u64,
+        tier2_hits: outcome.tier2_hits as u64,
         cache_misses: outcome.cache_misses as u64,
         rejected: outcome.rejected as u64,
         transport_errors: outcome.transport_errors as u64,
+        retries_429: outcome.retries_429 as u64,
+        keepalive_reused: outcome.keepalive_reused as u64,
         hit_rate: outcome.hit_rate(),
         throughput_rps: outcome.throughput_rps(),
         p50_us: q_us(0.50),
@@ -392,7 +472,38 @@ fn run_loadgen(
         p99_us: q_us(0.99),
     };
     report.validate()?;
-    Ok(report)
+    Ok((report, probe.body))
+}
+
+/// Reopen `data_dir` under a *fresh* server — empty hot cache, same
+/// persistent log — and demand the probe instance comes back from the
+/// persistent tier, byte-identical to the priming run's response.
+fn check_restart_survival(
+    config: &cubis_serve::LoadgenConfig,
+    data_dir: &Path,
+    reference: &[u8],
+) -> Result<(), String> {
+    let server = cubis_serve::start(loadgen_serve_config(config, data_dir))
+        .map_err(|e| format!("cannot rebind the restarted server: {e}"))?;
+    let resp = probe_pool_instance(server.local_addr(), config);
+    server.shutdown();
+    let resp = resp?;
+    match resp.header("x-cubis-cache-tier") {
+        Some("persistent") => {}
+        other => {
+            return Err(format!(
+                "restart probe was served from tier {other:?}, not the persistent tier"
+            ))
+        }
+    }
+    if resp.body != reference {
+        return Err(format!(
+            "restart probe body diverges from the priming run ({} vs {} bytes)",
+            resp.body.len(),
+            reference.len()
+        ));
+    }
+    Ok(())
 }
 
 /// Run the serve load benchmark and write `BENCH_serve.json`.
@@ -406,11 +517,8 @@ fn loadgen(args: &[String]) -> ExitCode {
             None => Ok(None),
         }
     };
-    let mut config = if args.iter().any(|a| a == "--smoke") {
-        smoke_loadgen_config()
-    } else {
-        cubis_serve::LoadgenConfig::default()
-    };
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut config = if smoke { smoke_loadgen_config() } else { full_loadgen_config() };
     match flag("--clients") {
         Ok(Some(v)) => match v.parse::<usize>() {
             Ok(n) if n > 0 => config.clients = n,
@@ -443,14 +551,28 @@ fn loadgen(args: &[String]) -> ExitCode {
         Ok(None) => {}
         Err(e) => return usage(&e),
     }
+    // The persistent tier's directory: an explicit `--data-dir` is
+    // used as-is (pointing at a warm dir is the way to benchmark a
+    // pre-primed cache); the default is a scratch dir wiped first so
+    // the committed report always describes a cold start.
+    let data_dir = match flag("--data-dir") {
+        Ok(Some(p)) => PathBuf::from(p),
+        Ok(None) => {
+            let dir = std::env::temp_dir().join(format!("cubis-loadgen-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            dir
+        }
+        Err(e) => return usage(&e),
+    };
     println!(
-        "loadgen: {} client(s) × {} request(s), duplicate rate {}, seed {}",
+        "loadgen: {} client(s) × {} request(s), duplicate rate {}, seed {}, data dir {}",
         config.clients,
         config.requests_per_client,
         config.duplicate_rate,
-        cubis_check::format_seed(config.seed)
+        cubis_check::format_seed(config.seed),
+        data_dir.display()
     );
-    let report = match run_loadgen(&config) {
+    let (report, reference) = match run_loadgen(&config, &data_dir) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("cubis-xtask loadgen: {e}");
@@ -458,17 +580,68 @@ fn loadgen(args: &[String]) -> ExitCode {
         }
     };
     println!(
-        "loadgen: {} request(s): {} hit / {} miss / {} rejected / {} transport error(s)",
+        "loadgen: {} request(s): {} hit ({} hot / {} persistent) / {} miss / {} rejected / \
+         {} transport error(s)",
         report.requests,
         report.cache_hits,
+        report.tier1_hits,
+        report.tier2_hits,
         report.cache_misses,
         report.rejected,
         report.transport_errors
     );
+    let successes = report.cache_hits + report.cache_misses;
+    let tier_rate = |hits: u64| if successes == 0 { 0.0 } else { hits as f64 / successes as f64 };
     println!(
-        "loadgen: {:.1} req/s, hit rate {:.2}, latency p50 {}us p95 {}us p99 {}us",
-        report.throughput_rps, report.hit_rate, report.p50_us, report.p95_us, report.p99_us
+        "loadgen: hit rate {:.2} (tier-1 {:.2}, tier-2 {:.2}), keep-alive reused {}, \
+         429 retries {}",
+        report.hit_rate,
+        tier_rate(report.tier1_hits),
+        tier_rate(report.tier2_hits),
+        report.keepalive_reused,
+        report.retries_429
     );
+    println!(
+        "loadgen: {:.1} req/s, latency p50 {}us p95 {}us p99 {}us",
+        report.throughput_rps, report.p50_us, report.p95_us, report.p99_us
+    );
+    // Restart survival is part of every loadgen run, smoke included: a
+    // fresh server over the same data dir must answer the probe from
+    // the persistent tier, byte-identically.
+    match check_restart_survival(&config, &data_dir, &reference) {
+        Ok(()) => println!("loadgen: restart survival ok (persistent tier, byte-identical)"),
+        Err(e) => {
+            eprintln!("cubis-xtask loadgen: restart survival FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // The full run must clear the committed serve pins before it may
+    // become the committed artifact.
+    if !smoke {
+        let root = match resolve_root(args) {
+            Ok(r) => r,
+            Err(e) => return usage(&e),
+        };
+        match cubis_bench::BenchPins::load(&root.join("bench-pins.json")) {
+            Ok(pins) => {
+                if let Err(e) = pins.serve_pin.check(&report) {
+                    eprintln!("cubis-xtask loadgen: pinned serve gate FAILED: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "loadgen: serve pins ok (p99 {}us <= {}us, {:.1} req/s >= {:.1})",
+                    report.p99_us,
+                    pins.serve_pin.max_p99_us,
+                    report.throughput_rps,
+                    pins.serve_pin.min_throughput_rps
+                );
+            }
+            Err(e) => {
+                eprintln!("cubis-xtask loadgen: cannot load bench-pins.json: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let out = match args.iter().position(|a| a == "--out") {
         Some(pos) => match args.get(pos + 1) {
             Some(p) => PathBuf::from(p),
@@ -772,6 +945,88 @@ fn run_scale_oracle_fuzz(seed: u64, iters: usize) -> Result<usize, String> {
     Ok(checks)
 }
 
+/// Fuzz only the reactor parser-equivalence oracle for `iters` seeded
+/// cases (the smoke subset runs it too; this buys depth on the split
+/// points without re-paying for the solve-heavy oracles).
+fn run_parser_oracle_fuzz(seed: u64, iters: usize) -> Result<usize, String> {
+    let oracle = cubis_serve::parser_incremental_vs_oneshot_oracle();
+    let mut seeds = cubis_check::SplitMix64::new(seed);
+    let mut checks = 0usize;
+    for _ in 0..iters {
+        let inst = cubis_check::CheckInstance::generate(seeds.next_u64());
+        match (oracle.run)(&inst) {
+            Ok(cubis_check::OracleStatus::Checked) => checks += 1,
+            Ok(cubis_check::OracleStatus::Skipped) => {}
+            Err(detail) => {
+                return Err(format!(
+                    "oracle `{}` violated on case seed {}: {detail}",
+                    oracle.name,
+                    cubis_check::format_seed(inst.seed)
+                ));
+            }
+        }
+    }
+    Ok(checks)
+}
+
+/// Keep-alive reuse floor the reactor smoke demands on its one
+/// connection (16 sequential requests leave at least this much reuse
+/// visible in `/metrics` even before the final iteration's flush).
+const REACTOR_SMOKE_MIN_REUSE: u64 = 10;
+
+/// Boot the reactor serving stack on an ephemeral port and drive one
+/// keep-alive connection through a short burst: every request must
+/// ride the same TCP connection, and the reuse must be visible in the
+/// reactor's own `/metrics` counters.
+fn run_reactor_smoke() -> Result<u64, String> {
+    let server = cubis_serve::start(cubis_serve::ServeConfig {
+        workers: 2,
+        ..Default::default()
+    })
+    .map_err(|e| format!("cannot bind the reactor smoke server: {e}"))?;
+    let run = || -> Result<u64, String> {
+        let mut conn = cubis_serve::http::ClientConn::connect(
+            server.local_addr(),
+            std::time::Duration::from_secs(5),
+        )
+        .map_err(|e| format!("connect: {e}"))?;
+        for i in 0..16 {
+            let resp = conn
+                .request("GET", "/healthz", &[], b"")
+                .map_err(|e| format!("healthz #{i}: {e}"))?;
+            if resp.status != 200 {
+                return Err(format!("healthz #{i} answered {}", resp.status));
+            }
+        }
+        let metrics = conn
+            .request("GET", "/metrics", &[], b"")
+            .map_err(|e| format!("metrics: {e}"))?;
+        if conn.exchanges() != 17 {
+            return Err(format!(
+                "{} exchanges on one connection (expected 17 — keep-alive broke)",
+                conn.exchanges()
+            ));
+        }
+        let text = metrics.body_text();
+        let reuse = text
+            .lines()
+            .find_map(|l| {
+                l.strip_prefix("cubis_trace_counter{name=\"reactor.keepalive_reuse\"} ")
+                    .and_then(|v| v.trim().parse::<u64>().ok())
+            })
+            .ok_or("reactor.keepalive_reuse missing from /metrics")?;
+        if reuse < REACTOR_SMOKE_MIN_REUSE {
+            return Err(format!(
+                "reactor.keepalive_reuse {reuse} under the smoke floor {REACTOR_SMOKE_MIN_REUSE}"
+            ));
+        }
+        Ok(reuse)
+    };
+    let result = run();
+    server.shutdown();
+    result
+}
+
 /// Solve the committed `huge-t1000` bench shape once on its production
 /// engine and gate wall time and the certified inner gap.
 fn run_scale_smoke() -> Result<(std::time::Duration, f64), String> {
@@ -807,11 +1062,11 @@ fn run_scale_smoke() -> Result<(std::time::Duration, f64), String> {
 }
 
 fn ci(root: &PathBuf) -> ExitCode {
-    println!("[1/11] cargo fmt --check");
+    println!("[1/13] cargo fmt --check");
     if !run_cargo(root, &["fmt", "--", "--check"], &[]) {
         return ExitCode::FAILURE;
     }
-    println!("[2/11] cargo clippy --workspace --all-targets (warnings denied)");
+    println!("[2/13] cargo clippy --workspace --all-targets (warnings denied)");
     // float-cmp and unwrap-used stay advisory here: their cubis-analyze
     // cousins (NUM01/NUM02) gate with per-site justifications clippy
     // cannot see.
@@ -833,7 +1088,7 @@ fn ci(root: &PathBuf) -> ExitCode {
     ) {
         return ExitCode::FAILURE;
     }
-    println!("[3/11] cubis-xtask analyze (vs committed baseline)");
+    println!("[3/13] cubis-xtask analyze (vs committed baseline)");
     // The JSON report lands beside the BENCH_*.json artifacts so CI can
     // upload it.
     let opts = AnalyzeOpts {
@@ -848,7 +1103,7 @@ fn ci(root: &PathBuf) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    println!("[4/11] cubis-check fuzz smoke (registry + serve oracle)");
+    println!("[4/13] cubis-check fuzz smoke (registry + serve oracles)");
     let smoke = cubis_check::run_fuzz_with(&cubis_check::FuzzConfig::smoke(), &extra_oracles());
     println!(
         "ci: fuzz smoke ran {} case(s), {} oracle check(s)",
@@ -858,7 +1113,7 @@ fn ci(root: &PathBuf) -> ExitCode {
         report_failure(&failure);
         return ExitCode::FAILURE;
     }
-    println!("[5/11] scale-oracle fuzz (50 cases over the breakpoint-grid oracles)");
+    println!("[5/13] scale-oracle fuzz (50 cases over the breakpoint-grid oracles)");
     match run_scale_oracle_fuzz(0x5CA1E, 50) {
         Ok(checks) => println!("ci: scale-oracle fuzz ok ({checks} oracle check(s))"),
         Err(detail) => {
@@ -866,7 +1121,15 @@ fn ci(root: &PathBuf) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    println!("[6/11] scale smoke (huge-t1000 certified under budget)");
+    println!("[6/13] parser-oracle fuzz (50 cases, incremental vs one-shot)");
+    match run_parser_oracle_fuzz(0x9A25E, 50) {
+        Ok(checks) => println!("ci: parser-oracle fuzz ok ({checks} oracle check(s))"),
+        Err(detail) => {
+            eprintln!("ci: parser-oracle fuzz failed: {detail}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("[7/13] scale smoke (huge-t1000 certified under budget)");
     match run_scale_smoke() {
         Ok((wall, gap)) => {
             println!("ci: scale smoke ok (huge-t1000 in {wall:?}, certified gap {gap:e})");
@@ -876,7 +1139,7 @@ fn ci(root: &PathBuf) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    println!("[7/11] cubis-bench smoke");
+    println!("[8/13] cubis-bench smoke");
     // In-process and validated only — the repo-root BENCH_solve.json is
     // written by an explicit `bench` run, never as a ci side effect.
     match cubis_bench::harness::run(&cubis_bench::harness::smoke_shapes()) {
@@ -901,26 +1164,66 @@ fn ci(root: &PathBuf) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    println!("[8/11] cubis-serve smoke");
+    println!("[9/13] cubis-serve smoke (loadgen + restart survival)");
     // Same discipline as the bench smoke: in-process and validated
     // only — BENCH_serve.json is written by an explicit `loadgen` run.
-    match run_loadgen(&smoke_loadgen_config()) {
-        Ok(report) => {
-            println!(
-                "ci: serve smoke ok ({} request(s), hit rate {:.2}, p99 {}us)",
-                report.requests, report.hit_rate, report.p99_us
-            );
+    // The smoke still runs the full two-phase protocol: prime a
+    // scratch data dir, then reboot over it and demand a byte-identical
+    // persistent-tier answer.
+    {
+        let smoke_config = smoke_loadgen_config();
+        let data_dir =
+            std::env::temp_dir().join(format!("cubis-ci-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&data_dir);
+        let outcome = run_loadgen(&smoke_config, &data_dir).and_then(|(report, reference)| {
+            check_restart_survival(&smoke_config, &data_dir, &reference)?;
+            Ok(report)
+        });
+        let _ = std::fs::remove_dir_all(&data_dir);
+        match outcome {
+            Ok(report) => {
+                println!(
+                    "ci: serve smoke ok ({} request(s), hit rate {:.2}, p99 {}us, \
+                     restart survival byte-identical)",
+                    report.requests, report.hit_rate, report.p99_us
+                );
+            }
+            Err(e) => {
+                eprintln!("ci: serve smoke failed: {e}");
+                return ExitCode::FAILURE;
+            }
         }
+        // The committed artifact must clear the committed serve pins —
+        // the p99/throughput/keep-alive/tier-2 regression gates.
+        let gate = cubis_bench::BenchPins::load(&root.join("bench-pins.json"))
+            .and_then(|pins| {
+                let committed = root.join("BENCH_serve.json");
+                let report = std::fs::read_to_string(&committed)
+                    .map_err(|e| format!("cannot read {}: {e}", committed.display()))
+                    .and_then(|s| cubis_bench::ServeBenchReport::from_json_str(&s))?;
+                pins.serve_pin.check(&report)
+            });
+        match gate {
+            Ok(()) => println!("ci: committed BENCH_serve.json clears its pinned gates"),
+            Err(e) => {
+                eprintln!("ci: committed serve report fails its pins: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("[10/13] reactor smoke (keep-alive burst on one connection)");
+    match run_reactor_smoke() {
+        Ok(reuse) => println!("ci: reactor smoke ok (keepalive_reuse {reuse} on one connection)"),
         Err(e) => {
-            eprintln!("ci: serve smoke failed: {e}");
+            eprintln!("ci: reactor smoke failed: {e}");
             return ExitCode::FAILURE;
         }
     }
-    println!("[9/11] cargo test -q");
+    println!("[11/13] cargo test -q");
     if !run_cargo(root, &["test", "-q"], &[]) {
         return ExitCode::FAILURE;
     }
-    println!("[10/11] cargo doc --no-deps (warnings denied)");
+    println!("[12/13] cargo doc --no-deps (warnings denied)");
     if !run_cargo(
         root,
         &["doc", "--no-deps"],
@@ -928,7 +1231,7 @@ fn ci(root: &PathBuf) -> ExitCode {
     ) {
         return ExitCode::FAILURE;
     }
-    println!("[11/11] cargo test --doc");
+    println!("[13/13] cargo test --doc");
     if !run_cargo(root, &["test", "--doc", "-q"], &[]) {
         return ExitCode::FAILURE;
     }
@@ -973,6 +1276,29 @@ mod tests {
     fn scale_oracle_fuzz_targets_exist_and_pass_a_short_run() {
         let checks = run_scale_oracle_fuzz(7, 5).expect("scale oracle fuzz violated");
         assert!(checks > 0, "every case skipped both scale oracles");
+    }
+
+    #[test]
+    fn parser_oracle_fuzz_passes_a_short_run() {
+        let checks = run_parser_oracle_fuzz(7, 5).expect("parser oracle fuzz violated");
+        assert_eq!(checks, 5, "the parser oracle never skips");
+    }
+
+    #[test]
+    fn reactor_smoke_sees_keepalive_reuse() {
+        let reuse = run_reactor_smoke().expect("reactor smoke failed");
+        assert!(reuse >= REACTOR_SMOKE_MIN_REUSE);
+    }
+
+    #[test]
+    fn loadgen_smoke_round_trips_the_persistent_tier() {
+        let config = smoke_loadgen_config();
+        let dir = std::env::temp_dir().join(format!("cubis-xtask-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (report, reference) = run_loadgen(&config, &dir).expect("loadgen smoke");
+        assert!(report.keepalive_reused > 0);
+        check_restart_survival(&config, &dir, &reference).expect("restart survival");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

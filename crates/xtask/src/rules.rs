@@ -83,7 +83,14 @@ pub const RULE_DOCS: &[(&str, &str)] = &[
     (
         "SAFE01",
         "library crate root missing `#![forbid(unsafe_code)]`; every crates/*/src/lib.rs \
-         must carry the attribute",
+         must carry the attribute (sole exemption: cubis-reactor's root, which denies \
+         unsafe and re-allows it only for the SAFE02-audited sys module)",
+    ),
+    (
+        "SAFE02",
+        "`unsafe` outside the audited syscall module (crates/reactor/src/sys.rs), or an \
+         unsafe block inside it without a `// cubis:sys-audit` justification marker on a \
+         nearby preceding line; all raw-pointer/FFI reasoning lives in that one file",
     ),
 ];
 
@@ -1016,6 +1023,76 @@ pub fn has_forbid_unsafe(toks: &[Token]) -> bool {
             && w[6].is_punct(")")
             && w[7].is_punct("]")
     })
+}
+
+/// Workspace-relative path of the one file where `unsafe` is legal:
+/// the reactor's syscall shim (SAFE02's exemption).
+pub const SYS_MODULE_PATH: &str = "crates/reactor/src/sys.rs";
+
+/// How close (in lines) a `// cubis:sys-audit` marker must sit above an
+/// unsafe block inside [`SYS_MODULE_PATH`] to justify it. The markers
+/// annotate the wrapper's safety argument, so a few lines of setup
+/// between the comment and the block are fine; a marker further away is
+/// treated as belonging to some other site.
+pub const SYS_AUDIT_WINDOW: u32 = 10;
+
+/// SAFE02: confine `unsafe` to the audited syscall module.
+///
+/// Outside [`SYS_MODULE_PATH`], any `unsafe` token is a finding — the
+/// workspace forbids the keyword wholesale, and the reactor crate's
+/// root re-allows it only for its `sys` module. Inside that module,
+/// every `unsafe` must carry a `// cubis:sys-audit` marker within the
+/// preceding [`SYS_AUDIT_WINDOW`] lines (same line counts) spelling out
+/// the safety argument. Doc comments and string literals mentioning the
+/// keyword never fire (the lexer drops comments and tags strings).
+pub fn scan_unsafe(path: &Path, toks: &[Token], src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let sites: Vec<u32> = toks
+        .iter()
+        .filter(|t| t.is_ident("unsafe"))
+        .map(|t| t.line)
+        .collect();
+    if sites.is_empty() {
+        return findings;
+    }
+    if path == Path::new(SYS_MODULE_PATH) {
+        let markers: Vec<u32> = src
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.contains("cubis:sys-audit"))
+            .map(|(i, _)| (i + 1) as u32)
+            .collect();
+        for line in sites {
+            let justified = markers
+                .iter()
+                .any(|&m| m <= line && line - m <= SYS_AUDIT_WINDOW);
+            if !justified {
+                findings.push(Finding::new(
+                    "SAFE02",
+                    path,
+                    line,
+                    format!(
+                        "unsafe block without a `// cubis:sys-audit` safety argument within \
+                         the preceding {SYS_AUDIT_WINDOW} lines; every site in the syscall \
+                         module documents why the invariants hold"
+                    ),
+                ));
+            }
+        }
+    } else {
+        for line in sites {
+            findings.push(Finding::new(
+                "SAFE02",
+                path,
+                line,
+                format!(
+                    "`unsafe` outside the audited syscall module; raw-pointer/FFI code \
+                     belongs in {SYS_MODULE_PATH} behind a checked safe wrapper"
+                ),
+            ));
+        }
+    }
+    findings
 }
 
 /// Index of the `]` matching the `[` at `open`, if balanced.

@@ -1,8 +1,11 @@
 //! Tier-1 gate for the cubis-serve subsystem, end to end over real
 //! sockets: boot on an ephemeral port, solve (miss then bit-identical
 //! hit), batch solve, health/metrics, backpressure (429 on a full
-//! queue), per-request deadlines (504 with incumbent bounds), and a
-//! graceful shutdown that drains admitted work.
+//! queue), per-request deadlines (504 with incumbent bounds), the
+//! persistent cache tier surviving a restart byte-identically (with
+//! the `serve.cache_tier2_hits` counter to show for it), keep-alive
+//! reuse over one connection, and a graceful shutdown that drains
+//! admitted work.
 //!
 //! The backpressure and drain tests pin a single worker with the
 //! `x-cubis-test-hold-ms` hook (enabled only by
@@ -278,6 +281,78 @@ fn full_queue_rejects_with_429() {
     assert_eq!(queued.join().expect("queued client").status, 200);
     let metrics = http::roundtrip(addr, "GET", "/metrics", &[], b"", IO).expect("metrics");
     assert!(metrics.body_text().contains("cubis_serve_rejected_queue_full 1"));
+    server.shutdown();
+}
+
+#[test]
+fn persistent_tier_survives_restart_and_counts_tier2_hits() {
+    let data_dir = std::env::temp_dir().join(format!("cubis-serve-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let config = || ServeConfig {
+        data_dir: Some(data_dir.clone()),
+        ..ServeConfig::default()
+    };
+    let body =
+        SolveRequest { instance: small_instance(3), deadline_ms: None, policy: RequestPolicy::Auto }
+            .to_json_string();
+
+    // First server: miss (solve lands in both tiers), then a hot hit.
+    let server = cubis_serve::start(config()).expect("bind");
+    let addr = server.local_addr();
+    let fresh = post_solve(addr, &body, &[]);
+    assert_eq!(fresh.status, 200, "body: {}", fresh.body_text());
+    assert_eq!(fresh.header("x-cubis-cache"), Some("miss"));
+    let hot = post_solve(addr, &body, &[]);
+    assert_eq!(hot.header("x-cubis-cache"), Some("hit"));
+    assert_eq!(hot.header("x-cubis-cache-tier"), Some("hot"));
+    assert_eq!(hot.body, fresh.body);
+    server.shutdown();
+
+    // Second server, same data dir, empty hot tier: the hit must come
+    // off disk, byte-identical, and show up in the tier-2 counter.
+    let server = cubis_serve::start(config()).expect("rebind");
+    let addr = server.local_addr();
+    let revived = post_solve(addr, &body, &[]);
+    assert_eq!(revived.status, 200, "body: {}", revived.body_text());
+    assert_eq!(revived.header("x-cubis-cache"), Some("hit"), "persistent tier lost the entry");
+    assert_eq!(revived.header("x-cubis-cache-tier"), Some("persistent"));
+    assert_eq!(revived.body, fresh.body, "restart must not change a cached byte");
+
+    let metrics = http::roundtrip(addr, "GET", "/metrics", &[], b"", IO).expect("metrics");
+    let text = metrics.body_text();
+    assert!(
+        text.contains("cubis_trace_counter{name=\"serve.cache_tier2_hits\"} 1"),
+        "tier-2 hit counter missing or wrong:\n{text}"
+    );
+    assert!(
+        text.contains("cubis_trace_counter{name=\"serve.cache_tier1_hits\"} 0"),
+        "fresh server must have an empty hot tier:\n{text}"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+#[test]
+fn keepalive_reuse_is_visible_in_metrics() {
+    let server = cubis_serve::start(ServeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let mut conn = http::ClientConn::connect(addr, IO).expect("connect");
+    for _ in 0..3 {
+        let resp = conn.request("GET", "/healthz", &[], b"").expect("healthz");
+        assert_eq!(resp.status, 200);
+    }
+    let resp = conn.request("GET", "/metrics", &[], b"").expect("metrics");
+    assert_eq!(conn.exchanges(), 4, "one connection must carry all four requests");
+    let text = resp.body_text();
+    let reuse = text
+        .lines()
+        .find_map(|l| l.strip_prefix("cubis_trace_counter{name=\"reactor.keepalive_reuse\"} "))
+        .and_then(|n| n.trim().parse::<u64>().ok())
+        .expect("reactor.keepalive_reuse counter line");
+    // The reactor flushes its counters at the end of each event-loop
+    // iteration, so the metrics request's own reuse tick may land
+    // after this response was rendered: 4 requests guarantee 2.
+    assert!(reuse >= 2, "4 requests on one connection must register >=2 reuses, got {reuse}");
     server.shutdown();
 }
 

@@ -7,7 +7,8 @@
 //! float `==`, library `unwrap`, NaN-hazardous comparator, weakened
 //! atomic ordering, unseeded RNG, hash-order output, a lock held
 //! across a blocking call, trace-name drift, a crate root without
-//! `#![forbid(unsafe_code)]` — fails `cargo test -q` with the exact
+//! `#![forbid(unsafe_code)]`, an `unsafe` block outside the reactor's
+//! audited syscall module — fails `cargo test -q` with the exact
 //! `path:line: [RULE]` list, unless the site carries a justified
 //! `// cubis:allow(RULE): why`. Warn-severity findings (NUM04,
 //! PANIC01) fail unless their fingerprint is in the baseline.
@@ -427,6 +428,85 @@ fn safe01_fires_on_crate_root_without_forbid() {
     assert_eq!(safe.len(), 1, "{safe:?}");
     assert_eq!(safe[0].path, Path::new("crates/unsound/src/lib.rs"));
     assert_eq!(safe[0].severity, Severity::Deny);
+}
+
+#[test]
+fn safe01_exempts_the_reactor_root_which_scopes_unsafe_itself() {
+    // The reactor crate root cannot carry `#![forbid(unsafe_code)]` —
+    // it must re-allow the keyword for its audited sys module — so
+    // SAFE01 skips exactly that one path and SAFE02 takes over.
+    let analysis = analyze_fixture(
+        "safe01-reactor",
+        &[(
+            "crates/reactor/src/lib.rs",
+            "#![deny(unsafe_code)]\n//! reactor\npub fn f() -> u32 {\n    1\n}\n",
+        )],
+    );
+    let safe: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == "SAFE01")
+        .collect();
+    assert!(safe.is_empty(), "{safe:?}");
+}
+
+#[test]
+fn safe02_confines_unsafe_to_the_audited_sys_module() {
+    // An `unsafe` block in an ordinary library file fires; the same
+    // construct inside the syscall module with a nearby
+    // `// cubis:sys-audit` marker is the one sanctioned home.
+    let analysis = analyze_fixture(
+        "safe02",
+        &[
+            (
+                "crates/demo/src/worker.rs",
+                "//! demo worker\n\
+                 pub fn peek(p: *const u32) -> u32 {\n\
+                     unsafe { *p }\n\
+                 }\n",
+            ),
+            (
+                "crates/reactor/src/sys.rs",
+                "//! syscall shim\n\
+                 // cubis:sys-audit: fd is owned by the caller and stays open\n\
+                 pub fn close(fd: i32) -> i32 {\n\
+                     unsafe { libc_close(fd) }\n\
+                 }\n",
+            ),
+        ],
+    );
+    let safe: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == "SAFE02")
+        .collect();
+    assert_eq!(safe.len(), 1, "{safe:?}");
+    assert_eq!(safe[0].path, Path::new("crates/demo/src/worker.rs"));
+    assert_eq!(safe[0].line, 3);
+    assert_eq!(safe[0].severity, Severity::Deny);
+    assert!(safe[0].message.contains("audited syscall module"));
+}
+
+#[test]
+fn safe02_requires_a_nearby_audit_marker_inside_the_sys_module() {
+    // Even the sanctioned module must justify each site: a marker
+    // further above than the window does not count.
+    let padding = "\n".repeat(rules::SYS_AUDIT_WINDOW as usize + 1);
+    let src = format!(
+        "//! syscall shim\n\
+         // cubis:sys-audit: too far away to cover the site below\n\
+         {padding}pub fn poke(p: *mut u32) {{\n\
+             unsafe {{ *p = 0 }}\n\
+         }}\n"
+    );
+    let analysis = analyze_fixture("safe02-marker", &[("crates/reactor/src/sys.rs", src.as_str())]);
+    let safe: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == "SAFE02")
+        .collect();
+    assert_eq!(safe.len(), 1, "{safe:?}");
+    assert!(safe[0].message.contains("cubis:sys-audit"), "{safe:?}");
 }
 
 // ---------------------------------------------------------------------
